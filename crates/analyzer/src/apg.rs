@@ -1,0 +1,248 @@
+//! The access path graph (Su & Liu, ref 25).
+//!
+//! "For these schema and data model dependent representations … an 'access
+//! path graph' is used to describe how a data traversal can be interpreted"
+//! in a concrete schema. Nodes are record types; edges are sets, traversable
+//! downward (owner → member, a set scan) or upward (member → owner, a
+//! `FIND OWNER`). The framework consults it for two things:
+//!
+//! * **alternate-path enumeration** — "if … multiple data paths can be found
+//!   to carry out an access then these issues can be resolved interactively"
+//!   (§4);
+//! * **path rewriting** — the converter re-derives a concrete path for an
+//!   abstract access sequence in the target schema, and the optimizer picks
+//!   the shortest one.
+
+use dbpc_datamodel::network::NetworkSchema;
+
+/// One hop of a concrete access path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathHop {
+    pub set: String,
+    /// `true`: owner → member (scan); `false`: member → owner.
+    pub downward: bool,
+    /// The record type reached by this hop.
+    pub to: String,
+}
+
+/// A concrete access path between two record types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPath {
+    pub from: String,
+    pub hops: Vec<PathHop>,
+}
+
+impl AccessPath {
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Render as `DIV -(DIV-DEPT)-> DEPT -(DEPT-EMP)-> EMP`.
+    pub fn describe(&self) -> String {
+        let mut s = self.from.clone();
+        for h in &self.hops {
+            let arrow = if h.downward { "->" } else { "<-" };
+            s.push_str(&format!(" -({}){} {}", h.set, arrow, h.to));
+        }
+        s
+    }
+}
+
+/// The access path graph over a schema.
+pub struct AccessPathGraph<'s> {
+    schema: &'s NetworkSchema,
+}
+
+impl<'s> AccessPathGraph<'s> {
+    pub fn new(schema: &'s NetworkSchema) -> Self {
+        AccessPathGraph { schema }
+    }
+
+    /// All simple paths from `from` to `to`, up to `max_hops` long, in a
+    /// deterministic order (shortest first, then lexicographic by set
+    /// names).
+    pub fn paths(&self, from: &str, to: &str, max_hops: usize) -> Vec<AccessPath> {
+        let mut out = Vec::new();
+        let mut hops = Vec::new();
+        let mut visited = vec![from.to_string()];
+        self.dfs(from, to, max_hops, &mut hops, &mut visited, &mut out);
+        out.sort_by(|a, b| {
+            a.len().cmp(&b.len()).then_with(|| {
+                let ka: Vec<&str> = a.hops.iter().map(|h| h.set.as_str()).collect();
+                let kb: Vec<&str> = b.hops.iter().map(|h| h.set.as_str()).collect();
+                ka.cmp(&kb)
+            })
+        });
+        out
+    }
+
+    fn dfs(
+        &self,
+        cur: &str,
+        to: &str,
+        budget: usize,
+        hops: &mut Vec<PathHop>,
+        visited: &mut Vec<String>,
+        out: &mut Vec<AccessPath>,
+    ) {
+        if cur == to && !hops.is_empty() {
+            out.push(AccessPath {
+                from: visited[0].clone(),
+                hops: hops.clone(),
+            });
+            return;
+        }
+        if budget == 0 {
+            return;
+        }
+        // Downward hops: sets owned by `cur`.
+        for s in self.schema.sets_owned_by(cur) {
+            if visited.contains(&s.member) {
+                continue;
+            }
+            hops.push(PathHop {
+                set: s.name.clone(),
+                downward: true,
+                to: s.member.clone(),
+            });
+            visited.push(s.member.clone());
+            self.dfs(&s.member, to, budget - 1, hops, visited, out);
+            visited.pop();
+            hops.pop();
+        }
+        // Upward hops: sets `cur` is a member of.
+        for s in self.schema.sets_with_member(cur) {
+            let Some(owner) = s.owner.record_name() else {
+                continue;
+            };
+            if visited.iter().any(|v| v == owner) {
+                continue;
+            }
+            hops.push(PathHop {
+                set: s.name.clone(),
+                downward: false,
+                to: owner.to_string(),
+            });
+            visited.push(owner.to_string());
+            self.dfs(owner, to, budget - 1, hops, visited, out);
+            visited.pop();
+            hops.pop();
+        }
+    }
+
+    /// The shortest path, if any.
+    pub fn shortest_path(&self, from: &str, to: &str, max_hops: usize) -> Option<AccessPath> {
+        self.paths(from, to, max_hops).into_iter().next()
+    }
+
+    /// Is the access from `from` to `to` ambiguous (more than one minimal
+    /// path)? This is the condition under which the supervisor must ask the
+    /// Conversion Analyst which path carries the application meaning.
+    pub fn is_ambiguous(&self, from: &str, to: &str, max_hops: usize) -> bool {
+        let paths = self.paths(from, to, max_hops);
+        match paths.as_slice() {
+            [] | [_] => false,
+            [a, b, ..] => a.len() == b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+
+    /// DIV → DEPT → EMP plus a direct DIV → EMP shortcut set.
+    fn diamond() -> NetworkSchema {
+        NetworkSchema::new("S")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "DEPT",
+                vec![FieldDef::new("DEPT-NAME", FieldType::Char(5))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-DEPT", "DIV", "DEPT", vec!["DEPT-NAME"]))
+            .with_set(SetDef::owned("DEPT-EMP", "DEPT", "EMP", vec!["EMP-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    #[test]
+    fn finds_both_downward_paths() {
+        let s = diamond();
+        let g = AccessPathGraph::new(&s);
+        let paths = g.paths("DIV", "EMP", 4);
+        assert_eq!(paths.len(), 2);
+        // Shortest first: the direct DIV-EMP hop.
+        assert_eq!(paths[0].describe(), "DIV -(DIV-EMP)-> EMP");
+        assert_eq!(
+            paths[1].describe(),
+            "DIV -(DIV-DEPT)-> DEPT -(DEPT-EMP)-> EMP"
+        );
+    }
+
+    #[test]
+    fn upward_paths_found() {
+        let s = diamond();
+        let g = AccessPathGraph::new(&s);
+        let p = g.shortest_path("EMP", "DIV", 4).unwrap();
+        assert_eq!(p.describe(), "EMP -(DIV-EMP)<- DIV");
+        assert!(!p.hops[0].downward);
+    }
+
+    #[test]
+    fn ambiguity_detected_only_for_equal_lengths() {
+        let s = diamond();
+        let g = AccessPathGraph::new(&s);
+        // DIV→EMP: paths of length 1 and 2 — unambiguous (shortest wins).
+        assert!(!g.is_ambiguous("DIV", "EMP", 4));
+        // EMP→DEPT: via DEPT-EMP (1 hop) or via DIV-EMP then DIV-DEPT (2) —
+        // unambiguous. But DEPT→EMP downward vs via DIV: 1 vs 2 — fine.
+        assert!(!g.is_ambiguous("DEPT", "EMP", 4));
+    }
+
+    #[test]
+    fn genuinely_ambiguous_schema_flagged() {
+        // Two parallel sets between A and B.
+        let s = NetworkSchema::new("P")
+            .with_record(RecordTypeDef::new(
+                "A",
+                vec![FieldDef::new("K", FieldType::Char(2))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "B",
+                vec![FieldDef::new("N", FieldType::Char(2))],
+            ))
+            .with_set(SetDef::owned("AB1", "A", "B", vec![]))
+            .with_set(SetDef::owned("AB2", "A", "B", vec![]));
+        let g = AccessPathGraph::new(&s);
+        assert!(g.is_ambiguous("A", "B", 3));
+        assert_eq!(g.paths("A", "B", 3).len(), 2);
+    }
+
+    #[test]
+    fn budget_limits_search() {
+        let s = diamond();
+        let g = AccessPathGraph::new(&s);
+        let paths = g.paths("DIV", "EMP", 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn no_path_between_unrelated() {
+        let s = diamond();
+        let g = AccessPathGraph::new(&s);
+        assert!(g.shortest_path("EMP", "EMP", 3).is_none());
+    }
+}

@@ -1,0 +1,576 @@
+//! Dataflow analysis: the §3.2 execution-time-variability hazards.
+//!
+//! "Any software which attempts to understand the program's behavior from a
+//! source language version of the program must (through data flow analysis
+//! techniques) make sure that the commands do not vary at run time."
+//! This module detects, over host and DBTG programs:
+//!
+//! * **run-time-variable DML verbs** — `CALL DML v ON R` where `v` is not a
+//!   literal ("what appeared to be a read at compile time might become an
+//!   update");
+//! * **observable retrieval order** — an unsorted `FIND` whose results reach
+//!   the terminal or a file in iteration order (restructuring the ordering
+//!   keys would silently change output);
+//! * **status-code dependence** — DBTG branches on integrity-flavored status
+//!   codes, whose values "certain restructurings … will cause … to be
+//!   different";
+//! * **process-first suspicion** — a `FIND FIRST` whose set is never
+//!   advanced with `FIND NEXT`: "a programmer may have intended to 'process
+//!   all' dependent records … but may have written a program which will
+//!   'process the first'".
+//!
+//! It also computes the **field reference set** — every `(record type,
+//! field)` a program touches — which is what lets the converter decide
+//! whether a `DropField` restructuring affects a given program.
+
+use crate::extract::var_types;
+use dbpc_dml::dbtg::{DbtgProgram, DbtgStmt, StatusCond};
+use dbpc_dml::expr::{BoolExpr, Expr};
+use dbpc_dml::host::{FindExpr, ForSource, PathStart, Program, Stmt};
+use dbpc_datamodel::network::NetworkSchema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conversion hazard detected by analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hazard {
+    /// `CALL DML` with a non-literal verb.
+    RuntimeVariableVerb { record: String },
+    /// Unsorted retrieval whose order reaches observable output. The
+    /// `query` is the printed form of the FIND.
+    OrderObservable { query: String },
+    /// DBTG program branches on an integrity-flavored status code.
+    StatusCodeDependence { status: String },
+    /// `FIND FIRST` without a subsequent `FIND NEXT` on the same set.
+    ProcessFirstSuspicion { set: String },
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hazard::RuntimeVariableVerb { record } => write!(
+                f,
+                "DML verb on {record} varies at run time; read/update \
+                 distinction unknowable at conversion time"
+            ),
+            Hazard::OrderObservable { query } => write!(
+                f,
+                "retrieval order observable without SORT: {query}"
+            ),
+            Hazard::StatusCodeDependence { status } => {
+                write!(f, "program branches on status code {status}")
+            }
+            Hazard::ProcessFirstSuspicion { set } => write!(
+                f,
+                "FIND FIRST WITHIN {set} never advanced; 'process all' may \
+                 have been intended"
+            ),
+        }
+    }
+}
+
+/// What static analysis learned about a program.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    pub hazards: Vec<Hazard>,
+    /// Every `(record type, field)` the program references.
+    pub field_refs: BTreeSet<(String, String)>,
+    /// Sets traversed in FIND paths.
+    pub sets_used: BTreeSet<String>,
+    /// Record types the program touches.
+    pub records_used: BTreeSet<String>,
+    /// Does the program perform updates (vs. pure retrieval)?
+    pub has_updates: bool,
+}
+
+impl AnalysisReport {
+    pub fn references_field(&self, record: &str, field: &str) -> bool {
+        self.field_refs
+            .contains(&(record.to_string(), field.to_string()))
+    }
+}
+
+/// Analyze a host program against its source schema.
+pub fn analyze_host(program: &Program, schema: &NetworkSchema) -> AnalysisReport {
+    let types = var_types(program);
+    let mut report = AnalysisReport::default();
+
+    // Pass 1: field references, sets, records.
+    program.visit_stmts(&mut |s| match s {
+        Stmt::Find { query, .. } => {
+            collect_find_refs(query, &types, schema, &mut report);
+        }
+        Stmt::ForEach {
+            source: ForSource::Query(q),
+            ..
+        } => {
+            collect_find_refs(q, &types, schema, &mut report);
+        }
+        Stmt::Store {
+            record,
+            assigns,
+            connects,
+        } => {
+            report.has_updates = true;
+            report.records_used.insert(record.clone());
+            for (f, e) in assigns {
+                report.field_refs.insert((record.clone(), f.clone()));
+                collect_expr_refs(e, &types, &mut report);
+            }
+            for c in connects {
+                report.sets_used.insert(c.set.clone());
+            }
+        }
+        Stmt::Modify { var, assigns } => {
+            report.has_updates = true;
+            if let Some(t) = types.get(var) {
+                for (f, _) in assigns {
+                    report.field_refs.insert((t.clone(), f.clone()));
+                }
+            }
+            for (_, e) in assigns {
+                collect_expr_refs(e, &types, &mut report);
+            }
+        }
+        Stmt::Delete { var, .. } => {
+            report.has_updates = true;
+            if let Some(t) = types.get(var) {
+                report.records_used.insert(t.clone());
+            }
+        }
+        Stmt::Connect { set, .. } | Stmt::Disconnect { set, .. } => {
+            report.has_updates = true;
+            report.sets_used.insert(set.clone());
+        }
+        Stmt::Print(exprs) | Stmt::WriteFile { exprs, .. } => {
+            for e in exprs {
+                collect_expr_refs(e, &types, &mut report);
+            }
+        }
+        Stmt::Let { expr, .. } => collect_expr_refs(expr, &types, &mut report),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Check { cond, .. } => {
+            collect_bool_refs(cond, &types, &mut report);
+        }
+        Stmt::CallDml { verb, record } => {
+            report.records_used.insert(record.clone());
+            if !matches!(verb, Expr::Lit(_)) {
+                report.hazards.push(Hazard::RuntimeVariableVerb {
+                    record: record.clone(),
+                });
+            }
+            // A runtime verb may read or write anything in the record.
+            if let Some(r) = schema.record(record) {
+                for f in &r.fields {
+                    report.field_refs.insert((record.clone(), f.name.clone()));
+                }
+            }
+            report.has_updates = true;
+        }
+        _ => {}
+    });
+
+    // Pass 2: order observability. A FIND feeding a FOR EACH whose body
+    // produces output is order-observable unless SORTed.
+    let mut order_hazards = Vec::new();
+    check_order(&program.stmts, &mut Vec::new(), &mut order_hazards);
+    report.hazards.extend(order_hazards);
+
+    report
+}
+
+/// Recursive walk tracking FIND definitions; flags unsorted iterations with
+/// observable bodies.
+fn check_order(stmts: &[Stmt], finds: &mut Vec<(String, FindExpr)>, out: &mut Vec<Hazard>) {
+    for s in stmts {
+        match s {
+            Stmt::Find { var, query } => {
+                finds.push((var.clone(), query.clone()));
+            }
+            Stmt::ForEach { source, body, .. } => {
+                let query = match source {
+                    ForSource::Query(q) => Some(q.clone()),
+                    ForSource::Var(v) => finds
+                        .iter()
+                        .rev()
+                        .find(|(name, _)| name == v)
+                        .map(|(_, q)| q.clone()),
+                };
+                if let Some(q) = query {
+                    if !q.is_sorted() && body_is_observable(body) && iteration_order_matters(&q)
+                    {
+                        out.push(Hazard::OrderObservable {
+                            query: q.to_string(),
+                        });
+                    }
+                }
+                check_order(body, finds, out);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                check_order(then_branch, finds, out);
+                check_order(else_branch, finds, out);
+            }
+            Stmt::While { body, .. } => check_order(body, finds, out),
+            _ => {}
+        }
+    }
+}
+
+/// Output inside the loop body makes iteration order observable.
+fn body_is_observable(body: &[Stmt]) -> bool {
+    let mut found = false;
+    for s in body {
+        match s {
+            Stmt::Print(_) | Stmt::WriteFile { .. } => found = true,
+            Stmt::ForEach { body, .. } | Stmt::While { body, .. } => {
+                found |= body_is_observable(body)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                found |= body_is_observable(then_branch) || body_is_observable(else_branch);
+            }
+            _ => {}
+        }
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Single-step paths over one set occurrence with at most one possible
+/// member… are still ordered; conservatively, any multi-member iteration
+/// matters. (A zero-step collection start inherits the source's order.)
+fn iteration_order_matters(q: &FindExpr) -> bool {
+    // Only an explicitly sorted query is order-safe; everything else is
+    // conservative-hazard. Kept as a hook for future refinement.
+    !q.is_sorted()
+}
+
+fn collect_find_refs(
+    q: &FindExpr,
+    types: &std::collections::BTreeMap<String, String>,
+    schema: &NetworkSchema,
+    report: &mut AnalysisReport,
+) {
+    let spec = q.spec();
+    if let PathStart::Collection(v) = &spec.start {
+        if let Some(t) = types.get(v) {
+            report.records_used.insert(t.clone());
+        }
+    }
+    for step in &spec.steps {
+        report.sets_used.insert(step.set.clone());
+        report.records_used.insert(step.record.clone());
+        if let Some(f) = &step.filter {
+            // Unqualified names that are fields of the step's record type
+            // count as field references of that record.
+            for n in f.names() {
+                if schema
+                    .record(&step.record)
+                    .is_some_and(|r| r.field(n).is_some())
+                {
+                    report
+                        .field_refs
+                        .insert((step.record.clone(), n.to_string()));
+                }
+            }
+            collect_bool_refs(f, types, report);
+        }
+    }
+    if let FindExpr::Sort { keys, .. } = q {
+        for k in keys {
+            report
+                .field_refs
+                .insert((spec.target.clone(), k.clone()));
+        }
+    }
+}
+
+fn collect_expr_refs(
+    e: &Expr,
+    types: &std::collections::BTreeMap<String, String>,
+    report: &mut AnalysisReport,
+) {
+    match e {
+        Expr::Field { var, field } => {
+            if let Some(t) = types.get(var) {
+                report.field_refs.insert((t.clone(), field.clone()));
+            }
+        }
+        Expr::Bin { left, right, .. } => {
+            collect_expr_refs(left, types, report);
+            collect_expr_refs(right, types, report);
+        }
+        _ => {}
+    }
+}
+
+fn collect_bool_refs(
+    b: &BoolExpr,
+    types: &std::collections::BTreeMap<String, String>,
+    report: &mut AnalysisReport,
+) {
+    match b {
+        BoolExpr::Cmp { left, right, .. } => {
+            collect_expr_refs(left, types, report);
+            collect_expr_refs(right, types, report);
+        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            collect_bool_refs(a, types, report);
+            collect_bool_refs(b, types, report);
+        }
+        BoolExpr::Not(a) => collect_bool_refs(a, types, report),
+    }
+}
+
+/// Analyze a DBTG program for status-code dependence and process-first
+/// suspicion.
+pub fn analyze_dbtg(program: &DbtgProgram) -> Vec<Hazard> {
+    let mut hazards = Vec::new();
+    let mut first_sets: Vec<String> = Vec::new();
+    let mut next_sets: Vec<String> = Vec::new();
+    for s in program.stmts() {
+        match s {
+            DbtgStmt::IfStatus { cond, .. } => {
+                // ENDSET/NOTFOUND branches are the normal loop templates;
+                // integrity-flavored codes are restructuring-sensitive.
+                if matches!(
+                    cond,
+                    StatusCond::Integrity | StatusCond::Duplicate | StatusCond::NoCurrency
+                ) {
+                    hazards.push(Hazard::StatusCodeDependence {
+                        status: cond.mnemonic().to_string(),
+                    });
+                }
+            }
+            DbtgStmt::FindFirst { set, .. } => first_sets.push(set.clone()),
+            DbtgStmt::FindNext { set, .. } => next_sets.push(set.clone()),
+            _ => {}
+        }
+    }
+    for set in first_sets {
+        if !next_sets.contains(&set) {
+            hazards.push(Hazard::ProcessFirstSuspicion { set });
+        }
+    }
+    hazards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::dbtg::parse_dbtg;
+    use dbpc_dml::host::parse_program;
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    #[test]
+    fn runtime_verb_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(matches!(
+            r.hazards.as_slice(),
+            [Hazard::RuntimeVariableVerb { record }] if record == "EMP"
+        ));
+        // All EMP fields are conservatively referenced.
+        assert!(r.references_field("EMP", "AGE"));
+    }
+
+    #[test]
+    fn literal_verb_not_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  CALL DML 'RETRIEVE' ON EMP;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.hazards.is_empty());
+    }
+
+    #[test]
+    fn unsorted_observable_iteration_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r
+            .hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::OrderObservable { .. })));
+    }
+
+    #[test]
+    fn sorted_iteration_not_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.hazards.is_empty());
+    }
+
+    #[test]
+    fn unobservable_iteration_not_flagged() {
+        // Counting does not observe order.
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.hazards.is_empty());
+    }
+
+    #[test]
+    fn field_references_collected_from_filters_and_prints() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'), DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    WRITE FILE 'OUT' R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.references_field("DIV", "DIV-NAME"));
+        assert!(r.references_field("EMP", "AGE"));
+        assert!(r.references_field("EMP", "EMP-NAME"));
+        assert!(!r.references_field("EMP", "DEPT-NAME"));
+        assert!(r.sets_used.contains("DIV-EMP"));
+        assert!(!r.has_updates);
+    }
+
+    #[test]
+    fn updates_detected() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  STORE EMP (EMP-NAME := 'X', AGE := 1) CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.has_updates);
+        assert!(r.references_field("EMP", "AGE"));
+    }
+
+    #[test]
+    fn sort_keys_are_field_refs() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE);
+END PROGRAM;",
+        )
+        .unwrap();
+        let r = analyze_host(&p, &company_schema());
+        assert!(r.references_field("EMP", "AGE"));
+    }
+
+    #[test]
+    fn dbtg_status_dependence_flagged() {
+        let p = parse_dbtg(
+            "DBTG PROGRAM D.
+  MOVE 'X' TO EMP-NAME IN EMP.
+  STORE EMP.
+  IF STATUS DUPLICATE GO TO DUP.
+  STOP.
+DUP.
+  PRINT 'DUP'.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let h = analyze_dbtg(&p);
+        assert!(matches!(
+            h.as_slice(),
+            [Hazard::StatusCodeDependence { status }] if status == "DUPLICATE"
+        ));
+    }
+
+    #[test]
+    fn dbtg_process_first_suspicion() {
+        let p = parse_dbtg(
+            "DBTG PROGRAM F.
+  MOVE 'M' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  GET EMP.
+  PRINT EMP.EMP-NAME.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let h = analyze_dbtg(&p);
+        assert!(matches!(
+            h.as_slice(),
+            [Hazard::ProcessFirstSuspicion { set }] if set == "DIV-EMP"
+        ));
+    }
+
+    #[test]
+    fn dbtg_loop_template_not_suspicious() {
+        let p = parse_dbtg(
+            "DBTG PROGRAM L.
+  MOVE 'M' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  FIND FIRST EMP WITHIN DIV-EMP.
+L.
+  IF STATUS ENDSET GO TO F.
+  GET EMP.
+  PRINT EMP.EMP-NAME.
+  FIND NEXT EMP WITHIN DIV-EMP.
+  GO TO L.
+F.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        assert!(analyze_dbtg(&p).is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+//! Extraction of access sequences from programs.
+//!
+//! Host programs carry their structure openly (`FIND` paths), so extraction
+//! is a direct reading. DBTG programs require the **language-template
+//! matching** of Nations & Su (ref 26): recognizing `MOVE`+`FIND ANY` entry
+//! idioms, `FIND NEXT … WITHIN` scan loops guarded by `IF STATUS ENDSET`,
+//! and `FIND OWNER` hops, and lifting them to the model-independent access
+//! patterns. When a set is declared to *realize an association* (the
+//! Florida model's `EMP-DEPT`), a member scan expands into the two-step
+//! `Access AB via B` / `Access A via AB` form — reproducing the paper's
+//! §4.1 sequence exactly.
+
+use crate::patterns::{AccessSequence, AccessStep, DbOperation, Via};
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::dbtg::{DbtgProgram, DbtgStmt, DbtgUnit};
+use dbpc_dml::expr::{BoolExpr, CmpOp, Expr};
+use dbpc_dml::host::{FindExpr, ForSource, PathStart, Program, Stmt};
+use std::collections::BTreeMap;
+
+/// Compute the record type held by each host variable (collection
+/// variables from `FIND`, loop variables from `FOR EACH`).
+pub fn var_types(program: &Program) -> BTreeMap<String, String> {
+    let mut types = BTreeMap::new();
+    program.visit_stmts(&mut |s| match s {
+        Stmt::Find { var, query } => {
+            types.insert(var.clone(), query.target().to_string());
+        }
+        Stmt::ForEach { var, source, .. } => {
+            let t = match source {
+                ForSource::Query(q) => Some(q.target().to_string()),
+                ForSource::Var(v) => types.get(v).cloned(),
+            };
+            if let Some(t) = t {
+                types.insert(var.clone(), t);
+            }
+        }
+        _ => {}
+    });
+    types
+}
+
+/// Lift one `FIND` expression to an access sequence. `start_entity` names
+/// the entity type of a collection-start variable (from [`var_types`]).
+pub fn sequence_of_find(expr: &FindExpr, start_entity: Option<&str>) -> AccessSequence {
+    let spec = expr.spec();
+    let mut steps = Vec::new();
+    let mut prev: Option<String> = match (&spec.start, start_entity) {
+        (PathStart::System, _) => None,
+        (PathStart::Collection(_), Some(t)) => Some(t.to_string()),
+        (PathStart::Collection(v), None) => Some(v.clone()),
+    };
+    for (i, step) in spec.steps.iter().enumerate() {
+        let via = match (&prev, i) {
+            (None, 0) => Via::SelfEntity,
+            (Some(p), _) => Via::Source(p.clone()),
+            (None, _) => unreachable!("prev set after first step"),
+        };
+        let mut s = AccessStep {
+            target: step.record.clone(),
+            via,
+            condition: step.filter.clone(),
+        };
+        // A SYSTEM entry with no previous entity is `Access A via A`.
+        if i == 0 && matches!(spec.start, PathStart::System) {
+            s.via = Via::SelfEntity;
+        }
+        steps.push(s);
+        prev = Some(step.record.clone());
+    }
+    AccessSequence::new(steps, DbOperation::Retrieve)
+}
+
+/// Extract all access sequences of a host program: retrievals from `FIND`
+/// and inline `FOR EACH` queries, updates from `STORE`/`MODIFY`/`DELETE`/
+/// `CONNECT`/`DISCONNECT`.
+pub fn sequences_of_host(program: &Program) -> Vec<AccessSequence> {
+    let types = var_types(program);
+    let mut out = Vec::new();
+    let mut defs: BTreeMap<String, AccessSequence> = BTreeMap::new();
+    program.visit_stmts(&mut |s| match s {
+        Stmt::Find { var, query } => {
+            let start = match &query.spec().start {
+                PathStart::Collection(v) => types.get(v).map(String::as_str),
+                PathStart::System => None,
+            };
+            let seq = sequence_of_find(query, start);
+            defs.insert(var.clone(), seq.clone());
+            out.push(seq);
+        }
+        Stmt::ForEach {
+            source: ForSource::Query(q),
+            ..
+        } => {
+            let start = match &q.spec().start {
+                PathStart::Collection(v) => types.get(v).map(String::as_str),
+                PathStart::System => None,
+            };
+            out.push(sequence_of_find(q, start));
+        }
+        Stmt::Store { record, .. } => {
+            out.push(AccessSequence::new(
+                vec![AccessStep::entry(record.clone())],
+                DbOperation::Store,
+            ));
+        }
+        Stmt::Modify { var, .. } => {
+            if let Some(seq) = defs.get(var) {
+                out.push(AccessSequence::new(seq.steps.clone(), DbOperation::Modify));
+            }
+        }
+        Stmt::Delete { var, .. } => {
+            if let Some(seq) = defs.get(var) {
+                out.push(AccessSequence::new(seq.steps.clone(), DbOperation::Erase));
+            }
+        }
+        Stmt::Connect { set, .. } => {
+            out.push(AccessSequence::new(
+                vec![AccessStep::entry(set.clone())],
+                DbOperation::Connect,
+            ));
+        }
+        Stmt::Disconnect { set, .. } => {
+            out.push(AccessSequence::new(
+                vec![AccessStep::entry(set.clone())],
+                DbOperation::Disconnect,
+            ));
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Result of template-matching a DBTG program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbtgExtraction {
+    pub sequences: Vec<AccessSequence>,
+    /// Statements the template library could not assimilate — the paper's
+    /// prediction that "large classes of programs will have to be analyzed
+    /// to become convinced that the set of templates is widely applicable".
+    pub gaps: Vec<String>,
+}
+
+/// Template-match a DBTG program against `schema`, lifting it to access
+/// sequences. `associations` maps set names to the association they
+/// realize in the semantic model (e.g. `ED → EMP-DEPT`), enabling the
+/// two-step `Access AB via B` / `Access A via AB` expansion.
+pub fn sequences_of_dbtg(
+    program: &DbtgProgram,
+    schema: &NetworkSchema,
+    associations: &BTreeMap<String, String>,
+) -> DbtgExtraction {
+    let mut gaps = Vec::new();
+    let mut sequences = Vec::new();
+    // UWA condition pool: (record, field) -> literal moved there.
+    let mut conds: BTreeMap<(String, String), Expr> = BTreeMap::new();
+    let mut steps: Vec<AccessStep> = Vec::new();
+    let mut current_entity: Option<String> = None;
+    let mut saw_retrieve = false;
+
+    let flush = |steps: &mut Vec<AccessStep>,
+                 sequences: &mut Vec<AccessSequence>,
+                 op: DbOperation| {
+        if !steps.is_empty() {
+            sequences.push(AccessSequence::new(std::mem::take(steps), op));
+        }
+    };
+
+    for unit in &program.units {
+        let DbtgUnit::Stmt(stmt) = unit else {
+            continue;
+        };
+        match stmt {
+            DbtgStmt::Move {
+                value,
+                field,
+                record,
+            } => {
+                conds.insert((record.clone(), field.clone()), value.clone());
+            }
+            DbtgStmt::Accept { field, record } => {
+                // Run-time input: the condition exists but its value is
+                // unknown at analysis time; model it as a field reference.
+                conds.insert(
+                    (record.clone(), field.clone()),
+                    Expr::name(format!("{field}-INPUT")),
+                );
+            }
+            DbtgStmt::FindAny { record, using } => {
+                let cond = condition_from(&conds, record, using);
+                let mut step = AccessStep::entry(record.clone());
+                step.condition = cond;
+                steps.push(step);
+                current_entity = Some(record.clone());
+            }
+            DbtgStmt::FindFirst { record, set }
+            | DbtgStmt::FindNext {
+                record,
+                set,
+                using: _,
+            } => {
+                // Skip repeated FIND NEXT for the same (record, set): the
+                // loop template contributes one scan step, not one per
+                // iteration (there is only one statement anyway — loops are
+                // GO TOs back to it).
+                let already = steps.last().is_some_and(|s| {
+                    s.target == *record
+                        && matches!(&s.via, Via::Source(v)
+                            if v == set || Some(v.as_str()) == associations.get(set).map(String::as_str))
+                });
+                if already {
+                    continue;
+                }
+                let using = match stmt {
+                    DbtgStmt::FindNext { using, .. } => using.clone(),
+                    _ => Vec::new(),
+                };
+                let cond = condition_from(&conds, record, &using);
+                let source = current_entity
+                    .clone()
+                    .or_else(|| {
+                        schema
+                            .set(set)
+                            .and_then(|s| s.owner.record_name().map(String::from))
+                    })
+                    .unwrap_or_else(|| "SYSTEM".to_string());
+                match associations.get(set) {
+                    Some(assoc) => {
+                        // Two-step expansion: the association via the source
+                        // entity (carrying the membership conditions), then
+                        // the member via the association.
+                        let mut a = AccessStep::via_source(assoc.clone(), source);
+                        a.condition = cond;
+                        steps.push(a);
+                        steps.push(AccessStep::via_source(record.clone(), assoc.clone()));
+                    }
+                    None => {
+                        let mut s = AccessStep::via_source(record.clone(), set.clone());
+                        s.condition = cond;
+                        steps.push(s);
+                    }
+                }
+                current_entity = Some(record.clone());
+            }
+            DbtgStmt::FindOwner { set } => match schema.set(set) {
+                Some(sd) => {
+                    let owner = sd.owner.record_name().unwrap_or("SYSTEM").to_string();
+                    let source = current_entity.clone().unwrap_or_else(|| sd.member.clone());
+                    // If the member is an association realization, the hop
+                    // reads `Access A via AB`.
+                    let via = associations
+                        .values()
+                        .find(|a| **a == source)
+                        .cloned()
+                        .unwrap_or(source);
+                    steps.push(AccessStep::via_source(owner.clone(), via));
+                    current_entity = Some(owner);
+                }
+                None => gaps.push(format!("FIND OWNER WITHIN unknown set {set}")),
+            },
+            DbtgStmt::Get { .. } => {}
+            DbtgStmt::Print(_) => saw_retrieve = true,
+            DbtgStmt::Store { record } => {
+                steps.push(AccessStep::entry(record.clone()));
+                flush(&mut steps, &mut sequences, DbOperation::Store);
+            }
+            DbtgStmt::Modify { .. } => {
+                flush(&mut steps, &mut sequences, DbOperation::Modify);
+            }
+            DbtgStmt::Erase { .. } => {
+                flush(&mut steps, &mut sequences, DbOperation::Erase);
+            }
+            DbtgStmt::Connect { .. } => {
+                flush(&mut steps, &mut sequences, DbOperation::Connect);
+            }
+            DbtgStmt::Disconnect { .. } => {
+                flush(&mut steps, &mut sequences, DbOperation::Disconnect);
+            }
+            DbtgStmt::IfStatus { .. } | DbtgStmt::Goto(_) | DbtgStmt::Stop => {}
+        }
+    }
+    if !steps.is_empty() {
+        // A trailing navigation with (or without) PRINTs is a retrieval.
+        let _ = saw_retrieve;
+        sequences.push(AccessSequence::new(steps, DbOperation::Retrieve));
+    }
+    DbtgExtraction { sequences, gaps }
+}
+
+/// Build the conjunction `f1 = v1 AND f2 = v2 …` from the UWA pool.
+fn condition_from(
+    conds: &BTreeMap<(String, String), Expr>,
+    record: &str,
+    using: &[String],
+) -> Option<BoolExpr> {
+    let parts: Vec<BoolExpr> = using
+        .iter()
+        .filter_map(|f| {
+            conds
+                .get(&(record.to_string(), f.clone()))
+                .map(|v| BoolExpr::cmp(Expr::name(f.clone()), CmpOp::Eq, v.clone()))
+        })
+        .collect();
+    BoolExpr::from_conjuncts(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::dbtg::parse_dbtg;
+    use dbpc_dml::host::parse_program;
+
+    #[test]
+    fn host_find_lifts_directly() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(AGE > 30));
+END PROGRAM;",
+        )
+        .unwrap();
+        let seqs = sequences_of_host(&p);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(
+            seqs[0].to_string(),
+            "ACCESS DIV via DIV\nACCESS EMP via DIV\nRETRIEVE"
+        );
+        assert!(seqs[0].steps[1].condition.is_some());
+    }
+
+    #[test]
+    fn host_var_types_propagate_through_loops() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  FOR EACH R IN D DO
+    PRINT R.DIV-NAME;
+  END FOR;
+  FIND E := FIND(EMP: D, DIV-EMP, EMP);
+END PROGRAM;",
+        )
+        .unwrap();
+        let t = var_types(&p);
+        assert_eq!(t.get("D").map(String::as_str), Some("DIV"));
+        assert_eq!(t.get("R").map(String::as_str), Some("DIV"));
+        assert_eq!(t.get("E").map(String::as_str), Some("EMP"));
+        let seqs = sequences_of_host(&p);
+        // The collection-start FIND knows its source entity is DIV.
+        assert_eq!(
+            seqs[1].to_string(),
+            "ACCESS EMP via DIV\nRETRIEVE"
+        );
+    }
+
+    #[test]
+    fn host_updates_extract_with_operations() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'));
+  STORE EMP (EMP-NAME := 'X') CONNECT TO DIV-EMP OF D;
+  FIND E := FIND(EMP: D, DIV-EMP, EMP(EMP-NAME = 'X'));
+  MODIFY E SET (AGE := 1);
+  DELETE E;
+END PROGRAM;",
+        )
+        .unwrap();
+        let seqs = sequences_of_host(&p);
+        let ops: Vec<DbOperation> = seqs.iter().map(|s| s.operation).collect();
+        assert_eq!(
+            ops,
+            vec![
+                DbOperation::Retrieve,
+                DbOperation::Store,
+                DbOperation::Retrieve,
+                DbOperation::Modify,
+                DbOperation::Erase
+            ]
+        );
+    }
+
+    fn personnel_schema() -> NetworkSchema {
+        NetworkSchema::new("PERSONNEL")
+            .with_record(RecordTypeDef::new(
+                "DEPT",
+                vec![
+                    FieldDef::new("D#", FieldType::Char(4)),
+                    FieldDef::new("DNAME", FieldType::Char(12)),
+                    FieldDef::new("MGR", FieldType::Char(20)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("E#", FieldType::Char(4)),
+                    FieldDef::new("ENAME", FieldType::Char(20)),
+                    FieldDef::new("YEAR-OF-SERVICE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DEPT", "DEPT", vec!["D#"]))
+            .with_set(SetDef::owned("ED", "DEPT", "EMP", vec!["E#"]))
+    }
+
+    /// §4.1 listing (B) lifts to the paper's four-line access-pattern
+    /// sequence when ED is declared to realize the EMP-DEPT association.
+    #[test]
+    fn listing_b_lifts_to_paper_sequence() {
+        let program = parse_dbtg(
+            "DBTG PROGRAM GETEMP.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO NOTFD.
+  MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+NEXT.
+  FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+  IF STATUS ENDSET GO TO FINISH.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO NEXT.
+NOTFD.
+FINISH.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let mut assoc = BTreeMap::new();
+        assoc.insert("ED".to_string(), "EMP-DEPT".to_string());
+        let ex = sequences_of_dbtg(&program, &personnel_schema(), &assoc);
+        assert!(ex.gaps.is_empty());
+        assert_eq!(ex.sequences.len(), 1);
+        assert_eq!(
+            ex.sequences[0].to_string(),
+            "ACCESS DEPT via DEPT\nACCESS EMP-DEPT via DEPT\nACCESS EMP via EMP-DEPT\nRETRIEVE"
+        );
+        // The entry condition captured the MOVEd literal.
+        let entry = &ex.sequences[0].steps[0];
+        assert_eq!(
+            entry.condition.as_ref().unwrap().to_string(),
+            "D# = 'D2'"
+        );
+        // The association step carries the YEAR-OF-SERVICE condition.
+        assert_eq!(
+            ex.sequences[0].steps[1].condition.as_ref().unwrap().to_string(),
+            "YEAR-OF-SERVICE = 3"
+        );
+    }
+
+    #[test]
+    fn without_association_metadata_the_set_name_is_used() {
+        let program = parse_dbtg(
+            "DBTG PROGRAM S.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+L.
+  FIND NEXT EMP WITHIN ED.
+  IF STATUS ENDSET GO TO F.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO L.
+F.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let ex = sequences_of_dbtg(&program, &personnel_schema(), &BTreeMap::new());
+        assert_eq!(
+            ex.sequences[0].to_string(),
+            "ACCESS DEPT via DEPT\nACCESS EMP via ED\nRETRIEVE"
+        );
+    }
+
+    #[test]
+    fn find_owner_lifts_to_reverse_hop() {
+        let program = parse_dbtg(
+            "DBTG PROGRAM O.
+  MOVE 'E1' TO E# IN EMP.
+  FIND ANY EMP USING E#.
+  FIND OWNER WITHIN ED.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let ex = sequences_of_dbtg(&program, &personnel_schema(), &BTreeMap::new());
+        assert_eq!(
+            ex.sequences[0].to_string(),
+            "ACCESS EMP via EMP\nACCESS DEPT via EMP\nRETRIEVE"
+        );
+    }
+
+    #[test]
+    fn store_flushes_sequence_with_operation() {
+        let program = parse_dbtg(
+            "DBTG PROGRAM W.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  MOVE 'E9' TO E# IN EMP.
+  STORE EMP.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let ex = sequences_of_dbtg(&program, &personnel_schema(), &BTreeMap::new());
+        assert_eq!(ex.sequences.len(), 1);
+        assert_eq!(ex.sequences[0].operation, DbOperation::Store);
+    }
+
+    #[test]
+    fn accept_models_runtime_condition() {
+        let program = parse_dbtg(
+            "DBTG PROGRAM A.
+  ACCEPT D# IN DEPT FROM TERMINAL.
+  FIND ANY DEPT USING D#.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let ex = sequences_of_dbtg(&program, &personnel_schema(), &BTreeMap::new());
+        let cond = ex.sequences[0].steps[0].condition.as_ref().unwrap();
+        assert!(cond.to_string().contains("D#-INPUT"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Detection of procedurally enforced integrity constraints.
+//!
+//! §3.1: constraints "can be and are maintained by the programs that access
+//! the database", and §5.3 asks "whether the program analyzer can detect
+//! database integrity constraints that are enforced procedurally in the
+//! program". We answer affirmatively for the crate's constraint catalogue,
+//! by recognizing the `CHECK … ELSE ABORT` guard idiom:
+//!
+//! * **cardinality**: `FIND c := FIND(M: owner, SET, M); CHECK COUNT(c) < n
+//!   ELSE ABORT …` guarding a `STORE M … CONNECT TO SET …` — the program is
+//!   enforcing `CARDINALITY ON SET BETWEEN 0 AND n` (the guard admits the
+//!   store while the count is below n; §3.1's "a course may not be offered
+//!   more than twice" is `CHECK COUNT(offs) < 2`);
+//! * **not-null**: `CHECK x <> NULL ELSE ABORT …` where `x` feeds field `F`
+//!   of a subsequent `STORE R (… F := x …)` — enforcing `NOT NULL R.F`;
+//! * **domain**: `CHECK x >= lo … AND x <= hi ELSE ABORT` feeding a stored
+//!   field — enforcing `DOMAIN R.F FROM lo TO hi`.
+//!
+//! Matched checks let the converter *remove* redundant program logic when a
+//! target schema declares the constraint, and conversely tell the DBA what
+//! must be added to programs when a declarative constraint is dropped.
+
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_dml::expr::{BoolExpr, CmpOp, Expr};
+use dbpc_dml::host::{PathStart, Program, Stmt};
+use dbpc_datamodel::value::Value;
+
+/// A procedural constraint discovered in program text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProceduralConstraint {
+    /// The declarative constraint the code enforces.
+    pub constraint: Constraint,
+    /// Statement index (in a preorder statement walk) of the CHECK.
+    pub check_index: usize,
+}
+
+/// Scan a host program for procedurally enforced constraints.
+pub fn detect_procedural(program: &Program) -> Vec<ProceduralConstraint> {
+    let mut out = Vec::new();
+    // Flatten statements in preorder with indices.
+    let mut flat: Vec<Stmt> = Vec::new();
+    program.visit_stmts(&mut |s| flat.push(s.clone()));
+
+    for (i, s) in flat.iter().enumerate() {
+        let Stmt::Check { cond, .. } = s else {
+            continue;
+        };
+        // Cardinality: COUNT(v) < n (or <= n) where v was FIND(M: o, SET, M)
+        // and a later STORE connects to SET.
+        if let BoolExpr::Cmp {
+            op,
+            left: Expr::Count(var),
+            right: Expr::Lit(Value::Int(n)),
+        } = cond
+        {
+            // The guard passes while COUNT < n (resp. <= n) and then ONE
+            // more member is stored, so the resulting occupancy bound is n
+            // (resp. n + 1).
+            let max = match op {
+                CmpOp::Lt => Some(*n),
+                CmpOp::Le => Some(*n + 1),
+                _ => None,
+            };
+            if let Some(max) = max {
+                // The counted collection's defining FIND.
+                let set = flat[..i].iter().rev().find_map(|p| match p {
+                    Stmt::Find { var: v, query } if v == var => query
+                        .spec()
+                        .steps
+                        .first()
+                        .filter(|_| {
+                            matches!(query.spec().start, PathStart::Collection(_))
+                        })
+                        .map(|st| st.set.clone()),
+                    _ => None,
+                });
+                // A later STORE connecting into the same set confirms the
+                // guard's purpose.
+                if let Some(set) = set {
+                    let guarded = flat[i..].iter().any(|p| match p {
+                        Stmt::Store { connects, .. } => {
+                            connects.iter().any(|c| c.set == set)
+                        }
+                        _ => false,
+                    });
+                    if guarded && max >= 0 {
+                        out.push(ProceduralConstraint {
+                            constraint: Constraint::Cardinality {
+                                set,
+                                min: 0,
+                                max: Some(max as u32),
+                            },
+                            check_index: i,
+                        });
+                        continue;
+                    }
+                }
+            }
+        }
+        // Not-null / domain guards on a variable feeding a later STORE.
+        if let Some((var, kind)) = guard_shape(cond) {
+            // Find the stored (record, field) the variable feeds.
+            let target = flat[i..].iter().find_map(|p| match p {
+                Stmt::Store {
+                    record, assigns, ..
+                } => assigns.iter().find_map(|(fld, e)| {
+                    if expr_mentions_name(e, &var) {
+                        Some((record.clone(), fld.clone()))
+                    } else {
+                        None
+                    }
+                }),
+                _ => None,
+            });
+            if let Some((record, field)) = target {
+                let constraint = match kind {
+                    GuardKind::NotNull => Constraint::NotNull { record, field },
+                    GuardKind::Domain { low, high } => Constraint::Domain {
+                        record,
+                        field,
+                        low,
+                        high,
+                    },
+                };
+                out.push(ProceduralConstraint {
+                    constraint,
+                    check_index: i,
+                });
+            }
+        }
+    }
+    out
+}
+
+enum GuardKind {
+    NotNull,
+    Domain {
+        low: Option<Value>,
+        high: Option<Value>,
+    },
+}
+
+/// Recognize `x <> NULL` and `x >= lo [AND x <= hi]` shapes on a single
+/// variable.
+fn guard_shape(cond: &BoolExpr) -> Option<(String, GuardKind)> {
+    match cond {
+        BoolExpr::Cmp {
+            op: CmpOp::Ne,
+            left: Expr::Name(v),
+            right: Expr::Lit(Value::Null),
+        } => Some((v.clone(), GuardKind::NotNull)),
+        BoolExpr::Cmp {
+            op,
+            left: Expr::Name(v),
+            right: Expr::Lit(lit),
+        } => match op {
+            CmpOp::Ge => Some((
+                v.clone(),
+                GuardKind::Domain {
+                    low: Some(lit.clone()),
+                    high: None,
+                },
+            )),
+            CmpOp::Le => Some((
+                v.clone(),
+                GuardKind::Domain {
+                    low: None,
+                    high: Some(lit.clone()),
+                },
+            )),
+            _ => None,
+        },
+        BoolExpr::And(a, b) => {
+            let (va, ka) = guard_shape(a)?;
+            let (vb, kb) = guard_shape(b)?;
+            if va != vb {
+                return None;
+            }
+            match (ka, kb) {
+                (
+                    GuardKind::Domain { low: la, high: ha },
+                    GuardKind::Domain { low: lb, high: hb },
+                ) => Some((
+                    va,
+                    GuardKind::Domain {
+                        low: la.or(lb),
+                        high: ha.or(hb),
+                    },
+                )),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn expr_mentions_name(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Name(n) => n == name,
+        Expr::Bin { left, right, .. } => {
+            expr_mentions_name(left, name) || expr_mentions_name(right, name)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_dml::host::parse_program;
+
+    #[test]
+    fn cardinality_guard_detected() {
+        // §3.1: "a course may not be offered more than twice in a school
+        // year", enforced in program logic.
+        let p = parse_program(
+            "PROGRAM ENROLL;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C1'));
+  FIND OFFS := FIND(COURSE-OFFERING: C, COURSES-OFFERING, COURSE-OFFERING);
+  CHECK COUNT(OFFS) < 2 ELSE ABORT 'COURSE ALREADY OFFERED TWICE';
+  STORE COURSE-OFFERING (S := 'F78') CONNECT TO COURSES-OFFERING OF C;
+END PROGRAM;",
+        )
+        .unwrap();
+        let found = detect_procedural(&p);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].constraint,
+            Constraint::Cardinality {
+                set: "COURSES-OFFERING".into(),
+                min: 0,
+                max: Some(2),
+            }
+        );
+    }
+
+    #[test]
+    fn not_null_guard_detected() {
+        let p = parse_program(
+            "PROGRAM ADD;
+  READ TERMINAL INTO CNO;
+  CHECK CNO <> NULL ELSE ABORT 'CNO REQUIRED';
+  STORE COURSE (CNO := CNO);
+END PROGRAM;",
+        )
+        .unwrap();
+        let found = detect_procedural(&p);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].constraint,
+            Constraint::NotNull {
+                record: "COURSE".into(),
+                field: "CNO".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn domain_guard_detected() {
+        let p = parse_program(
+            "PROGRAM HIRE;
+  READ TERMINAL INTO A;
+  CHECK A >= 14 AND A <= 99 ELSE ABORT 'BAD AGE';
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  STORE EMP (AGE := A) CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let found = detect_procedural(&p);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].constraint,
+            Constraint::Domain {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                low: Some(Value::Int(14)),
+                high: Some(Value::Int(99)),
+            }
+        );
+    }
+
+    #[test]
+    fn unguarded_check_not_misclassified() {
+        // A CHECK with no related STORE is not an integrity guard we can
+        // attribute.
+        let p = parse_program(
+            "PROGRAM C;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  CHECK COUNT(E) < 100 ELSE ABORT 'TOO MANY';
+END PROGRAM;",
+        )
+        .unwrap();
+        assert!(detect_procedural(&p).is_empty());
+    }
+
+    #[test]
+    fn unrelated_variable_not_linked() {
+        let p = parse_program(
+            "PROGRAM X;
+  READ TERMINAL INTO A;
+  READ TERMINAL INTO B;
+  CHECK A <> NULL ELSE ABORT 'A REQUIRED';
+  STORE COURSE (CNO := B);
+END PROGRAM;",
+        )
+        .unwrap();
+        assert!(detect_procedural(&p).is_empty());
+    }
+}

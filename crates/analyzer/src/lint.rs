@@ -1,0 +1,394 @@
+//! The programmer's aid of §5.3.
+//!
+//! "If a program analyzer can be successfully constructed, it could be used
+//! as a programmer's aid during initial writing of database application
+//! programs … Program 'improvement' of this kind should be a natural
+//! byproduct of a good program analyzer." And §6 promises the work will
+//! "illustrate programming practices which will yield more convertible
+//! database applications."
+//!
+//! [`lint_program`] turns the analyzer's machinery into exactly that: a set
+//! of convertibility guidelines checked against a program before it ever
+//! needs converting.
+
+use crate::dataflow::{analyze_host, Hazard};
+use crate::integrity::detect_procedural;
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::host::{ForSource, Program, Stmt};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A convertibility guideline the program violates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// G1: retrieval order reaches output without SORT — any ordering
+    /// restructuring will silently change this program's output (§3.2).
+    UnpinnedObservableOrder { query: String },
+    /// G2: the DML verb is a run-time value — unconvertible by any
+    /// automatic system (§3.2).
+    RuntimeVariableVerb { record: String },
+    /// G3: an integrity constraint is enforced in program logic; it should
+    /// be "centralized, explicitly, as part of the data model" (§3.1).
+    ProceduralConstraint { constraint: String },
+    /// G4: a procedural check duplicates a constraint the schema already
+    /// declares — dead weight that will confuse conversion.
+    RedundantConstraintCheck { constraint: String },
+    /// G5: a retrieval result is never used.
+    DeadRetrieval { var: String },
+    /// G6: `DELETE ALL` cascades through every owned set — the §3.1 ERASE
+    /// hazard ("could cause deletion of 'course offerings' when instructors
+    /// are deleted").
+    CascadingDelete { var: String },
+    /// G7 (DBTG): the program branches on integrity-flavored status codes,
+    /// whose values "certain restructurings … will cause … to be different"
+    /// (§3.2).
+    StatusCodeDependence { status: String },
+    /// G8 (DBTG): `FIND FIRST` never advanced — "a programmer may have
+    /// intended to 'process all' … but may have written a program which
+    /// will 'process the first'" (§3.2).
+    ProcessFirstSuspicion { set: String },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnpinnedObservableOrder { query } => write!(
+                f,
+                "G1: output depends on set ordering; wrap in SORT to survive \
+                 key restructurings: {query}"
+            ),
+            Lint::RuntimeVariableVerb { record } => write!(
+                f,
+                "G2: DML verb on {record} varies at run time; no conversion \
+                 system can classify this access"
+            ),
+            Lint::ProceduralConstraint { constraint } => write!(
+                f,
+                "G3: constraint enforced in program logic; declare it in the \
+                 schema instead: {constraint}"
+            ),
+            Lint::RedundantConstraintCheck { constraint } => write!(
+                f,
+                "G4: check duplicates a declared constraint: {constraint}"
+            ),
+            Lint::DeadRetrieval { var } => {
+                write!(f, "G5: retrieval into {var} is never used")
+            }
+            Lint::CascadingDelete { var } => write!(
+                f,
+                "G6: DELETE ALL {var} cascades through owned sets; prefer \
+                 explicit member handling"
+            ),
+            Lint::StatusCodeDependence { status } => write!(
+                f,
+                "G7: branching on status {status}; restructurings may change \
+                 which code is returned"
+            ),
+            Lint::ProcessFirstSuspicion { set } => write!(
+                f,
+                "G8: FIND FIRST WITHIN {set} never advanced; was 'process \
+                 all' intended?"
+            ),
+        }
+    }
+}
+
+/// Check a program against the convertibility guidelines.
+pub fn lint_program(program: &Program, schema: &NetworkSchema) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let report = analyze_host(program, schema);
+    for h in &report.hazards {
+        match h {
+            Hazard::OrderObservable { query } => {
+                lints.push(Lint::UnpinnedObservableOrder {
+                    query: query.clone(),
+                })
+            }
+            Hazard::RuntimeVariableVerb { record } => {
+                lints.push(Lint::RuntimeVariableVerb {
+                    record: record.clone(),
+                })
+            }
+            _ => {}
+        }
+    }
+    for pc in detect_procedural(program) {
+        if schema.constraints.contains(&pc.constraint) {
+            lints.push(Lint::RedundantConstraintCheck {
+                constraint: pc.constraint.to_string(),
+            });
+        } else {
+            lints.push(Lint::ProceduralConstraint {
+                constraint: pc.constraint.to_string(),
+            });
+        }
+    }
+    // Dead retrievals: FIND whose variable is never read.
+    let mut reads: BTreeSet<String> = BTreeSet::new();
+    let mut finds: Vec<String> = Vec::new();
+    program.visit_stmts(&mut |s| {
+        if let Stmt::Find { var, .. } = s {
+            finds.push(var.clone());
+        }
+        collect_reads(s, &mut reads);
+    });
+    for var in finds {
+        if !reads.contains(&var) {
+            lints.push(Lint::DeadRetrieval { var });
+        }
+    }
+    program.visit_stmts(&mut |s| {
+        if let Stmt::Delete { var, all: true } = s {
+            lints.push(Lint::CascadingDelete { var: var.clone() });
+        }
+    });
+    lints
+}
+
+/// DBTG-dialect guidelines: status-code dependence beyond the loop
+/// templates and process-first suspicion (§3.2's navigational hazards).
+pub fn lint_dbtg(program: &dbpc_dml::dbtg::DbtgProgram) -> Vec<Lint> {
+    crate::dataflow::analyze_dbtg(program)
+        .into_iter()
+        .filter_map(|h| match h {
+            Hazard::StatusCodeDependence { status } => Some(Lint::StatusCodeDependence { status }),
+            Hazard::ProcessFirstSuspicion { set } => Some(Lint::ProcessFirstSuspicion { set }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn collect_reads(s: &Stmt, reads: &mut BTreeSet<String>) {
+    use dbpc_dml::expr::{BoolExpr, Expr};
+    fn expr(e: &Expr, reads: &mut BTreeSet<String>) {
+        match e {
+            Expr::Name(n) => {
+                reads.insert(n.clone());
+            }
+            Expr::Field { var, .. } | Expr::Count(var) => {
+                reads.insert(var.clone());
+            }
+            Expr::Bin { left, right, .. } => {
+                expr(left, reads);
+                expr(right, reads);
+            }
+            Expr::Lit(_) => {}
+        }
+    }
+    fn boolean(b: &BoolExpr, reads: &mut BTreeSet<String>) {
+        match b {
+            BoolExpr::Cmp { left, right, .. } => {
+                expr(left, reads);
+                expr(right, reads);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                boolean(a, reads);
+                boolean(b, reads);
+            }
+            BoolExpr::Not(a) => boolean(a, reads),
+        }
+    }
+    match s {
+        Stmt::Let { expr: e, .. } => expr(e, reads),
+        Stmt::Find { query, .. } => {
+            if let dbpc_dml::host::PathStart::Collection(v) = &query.spec().start {
+                reads.insert(v.clone());
+            }
+            for step in &query.spec().steps {
+                if let Some(f) = &step.filter {
+                    boolean(f, reads);
+                }
+            }
+        }
+        Stmt::ForEach { source, .. } => match source {
+            ForSource::Var(v) => {
+                reads.insert(v.clone());
+            }
+            ForSource::Query(q) => {
+                if let dbpc_dml::host::PathStart::Collection(v) = &q.spec().start {
+                    reads.insert(v.clone());
+                }
+                for step in &q.spec().steps {
+                    if let Some(f) = &step.filter {
+                        boolean(f, reads);
+                    }
+                }
+            }
+        },
+        Stmt::Print(es) | Stmt::WriteFile { exprs: es, .. } => {
+            for e in es {
+                expr(e, reads);
+            }
+        }
+        Stmt::Store {
+            assigns, connects, ..
+        } => {
+            for (_, e) in assigns {
+                expr(e, reads);
+            }
+            for c in connects {
+                reads.insert(c.owner_var.clone());
+            }
+        }
+        Stmt::Connect {
+            member_var,
+            owner_var,
+            ..
+        } => {
+            reads.insert(member_var.clone());
+            reads.insert(owner_var.clone());
+        }
+        Stmt::Disconnect { member_var, .. } => {
+            reads.insert(member_var.clone());
+        }
+        Stmt::Delete { var, .. } | Stmt::Modify { var, .. } => {
+            reads.insert(var.clone());
+            if let Stmt::Modify { assigns, .. } = s {
+                for (_, e) in assigns {
+                    expr(e, reads);
+                }
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Check { cond, .. } => {
+            boolean(cond, reads)
+        }
+        Stmt::CallDml { verb, .. } => expr(verb, reads),
+        Stmt::ReadTerminal { .. } | Stmt::ReadFile { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::constraint::Constraint;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::parse_program;
+
+    fn schema() -> NetworkSchema {
+        NetworkSchema::new("C")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        assert!(lint_program(&p, &schema()).is_empty());
+    }
+
+    #[test]
+    fn order_and_dead_code_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+  FIND UNUSED := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+END PROGRAM;",
+        )
+        .unwrap();
+        let lints = lint_program(&p, &schema());
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnpinnedObservableOrder { .. })));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadRetrieval { var } if var == "UNUSED")));
+    }
+
+    #[test]
+    fn procedural_vs_redundant_constraint_distinguished() {
+        let src = "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'));
+  FIND STAFF := FIND(EMP: D, DIV-EMP, EMP);
+  CHECK COUNT(STAFF) < 10 ELSE ABORT 'FULL';
+  STORE EMP (EMP-NAME := 'X') CONNECT TO DIV-EMP OF D;
+END PROGRAM;";
+        let p = parse_program(src).unwrap();
+        // Without a declared constraint: G3.
+        let lints = lint_program(&p, &schema());
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::ProceduralConstraint { .. })));
+        // With the constraint declared: G4.
+        let declared = schema().with_constraint(Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(10),
+        });
+        let lints = lint_program(&p, &declared);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::RedundantConstraintCheck { .. })));
+    }
+
+    #[test]
+    fn dbtg_lints_surface_navigational_hazards() {
+        use dbpc_dml::dbtg::parse_dbtg;
+        let p = parse_dbtg(
+            "DBTG PROGRAM D.
+  MOVE 'M' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  GET EMP.
+  PRINT EMP.EMP-NAME.
+  MOVE 'X' TO EMP-NAME IN EMP.
+  STORE EMP.
+  IF STATUS DUPLICATE GO TO DUP.
+  STOP.
+DUP.
+  PRINT 'DUP'.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let lints = lint_dbtg(&p);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::StatusCodeDependence { .. })));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::ProcessFirstSuspicion { .. })));
+    }
+
+    #[test]
+    fn runtime_verb_and_cascade_flagged() {
+        let p = parse_program(
+            "PROGRAM P;
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  DELETE ALL D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let lints = lint_program(&p, &schema());
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::RuntimeVariableVerb { .. })));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::CascadingDelete { .. })));
+    }
+}

@@ -1,0 +1,205 @@
+//! Su's model-independent access patterns (§4.1).
+//!
+//! "Four basic access patterns have been identified":
+//!
+//! * `Access A via A` — entity occurrences selected by their own field
+//!   conditions;
+//! * `Access A via B through (Ai, Bj)` — entities related only by comparable
+//!   fields (a value join);
+//! * `Access AB via B` — association occurrences reached from an entity;
+//! * `Access A via AB` — entities reached from association occurrences.
+//!
+//! "A sequence of these basic access patterns can be used to describe the
+//! traversal of data specified in the application program" — that sequence,
+//! plus the terminal database operation, is an [`AccessSequence`]. The
+//! representation is deliberately independent of how entities and
+//! associations are realized in any schema, which is what makes cross-model
+//! conversion possible.
+
+use dbpc_dml::expr::BoolExpr;
+use std::fmt;
+
+/// How a step's target is reached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Via {
+    /// `Access A via A`: by the target's own condition (an entry point).
+    SelfEntity,
+    /// `Access A via S`: through the (association or entity) occurrences
+    /// selected by the previous step, named `S`.
+    Source(String),
+    /// `Access A via B through (Ai, Bj)`: a value join on comparable fields.
+    Comparable {
+        source: String,
+        target_field: String,
+        source_field: String,
+    },
+}
+
+/// One access step: reach occurrences of `target`, optionally constrained
+/// by a condition on the target's fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessStep {
+    pub target: String,
+    pub via: Via,
+    pub condition: Option<BoolExpr>,
+}
+
+impl AccessStep {
+    pub fn entry(target: impl Into<String>) -> AccessStep {
+        AccessStep {
+            target: target.into(),
+            via: Via::SelfEntity,
+            condition: None,
+        }
+    }
+
+    pub fn via_source(target: impl Into<String>, source: impl Into<String>) -> AccessStep {
+        AccessStep {
+            target: target.into(),
+            via: Via::Source(source.into()),
+            condition: None,
+        }
+    }
+
+    pub fn with_condition(mut self, c: BoolExpr) -> AccessStep {
+        self.condition = Some(c);
+        self
+    }
+}
+
+impl fmt::Display for AccessStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.via {
+            Via::SelfEntity => write!(f, "ACCESS {} via {}", self.target, self.target),
+            Via::Source(s) => write!(f, "ACCESS {} via {s}", self.target),
+            Via::Comparable {
+                source,
+                target_field,
+                source_field,
+            } => write!(
+                f,
+                "ACCESS {} via {source} through ({target_field}, {source_field})",
+                self.target
+            ),
+        }
+    }
+}
+
+/// The database operation terminating an access sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbOperation {
+    Retrieve,
+    Store,
+    Modify,
+    Erase,
+    Connect,
+    Disconnect,
+}
+
+impl fmt::Display for DbOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DbOperation::Retrieve => "RETRIEVE",
+            DbOperation::Store => "STORE",
+            DbOperation::Modify => "MODIFY",
+            DbOperation::Erase => "ERASE",
+            DbOperation::Connect => "CONNECT",
+            DbOperation::Disconnect => "DISCONNECT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A data traversal: access steps followed by an operation — the abstract
+/// program representation of Figure 4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSequence {
+    pub steps: Vec<AccessStep>,
+    pub operation: DbOperation,
+}
+
+impl AccessSequence {
+    pub fn new(steps: Vec<AccessStep>, operation: DbOperation) -> AccessSequence {
+        AccessSequence { steps, operation }
+    }
+
+    /// The final entity reached (the operation's target type).
+    pub fn target(&self) -> Option<&str> {
+        self.steps.last().map(|s| s.target.as_str())
+    }
+
+    /// Entities and associations touched anywhere in the sequence.
+    pub fn touched(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.target.as_str()).collect()
+    }
+}
+
+impl fmt::Display for AccessSequence {
+    /// The paper's own layout (§4.1):
+    ///
+    /// ```text
+    /// ACCESS DEPT via DEPT
+    /// ACCESS EMP-DEPT via DEPT
+    /// ACCESS EMP via EMP-DEPT
+    /// RETRIEVE
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            writeln!(f, "{s}")?;
+        }
+        write!(f, "{}", self.operation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §4.1 Manager-Smith sequence, built by hand; `extract`
+    /// tests recover the same thing from real programs.
+    #[test]
+    fn displays_paper_sequence_verbatim() {
+        let seq = AccessSequence::new(
+            vec![
+                AccessStep::entry("DEPT"),
+                AccessStep::via_source("EMP-DEPT", "DEPT"),
+                AccessStep::via_source("EMP", "EMP-DEPT"),
+            ],
+            DbOperation::Retrieve,
+        );
+        assert_eq!(
+            seq.to_string(),
+            "ACCESS DEPT via DEPT\nACCESS EMP-DEPT via DEPT\nACCESS EMP via EMP-DEPT\nRETRIEVE"
+        );
+    }
+
+    #[test]
+    fn comparable_step_display() {
+        let s = AccessStep {
+            target: "EMP".into(),
+            via: Via::Comparable {
+                source: "RETIREE".into(),
+                target_field: "EMP-NAME".into(),
+                source_field: "NAME".into(),
+            },
+            condition: None,
+        };
+        assert_eq!(
+            s.to_string(),
+            "ACCESS EMP via RETIREE through (EMP-NAME, NAME)"
+        );
+    }
+
+    #[test]
+    fn sequence_metadata() {
+        let seq = AccessSequence::new(
+            vec![
+                AccessStep::entry("DIV"),
+                AccessStep::via_source("EMP", "DIV"),
+            ],
+            DbOperation::Modify,
+        );
+        assert_eq!(seq.target(), Some("EMP"));
+        assert_eq!(seq.touched(), vec!["DIV", "EMP"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Experiment E7: program-analysis and conversion throughput (§5.3 asks
+//! whether "a usable program analyzer" can be built; its cost must scale
+//! with program size, not database size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbpc_analyzer::dataflow::analyze_host;
+use dbpc_analyzer::extract::{sequences_of_dbtg, sequences_of_host};
+use dbpc_convert::report::AutoAnalyst;
+use dbpc_convert::Supervisor;
+use dbpc_corpus::named;
+use dbpc_dml::dbtg::parse_dbtg;
+use dbpc_dml::host::parse_program;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A host program with `n` report blocks.
+fn host_program(n: usize) -> dbpc_dml::host::Program {
+    let mut src = String::from("PROGRAM BIG;\n");
+    for i in 0..n {
+        let _ = write!(
+            src,
+            "  FIND E{i} := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(AGE > {}));
+  FOR EACH R{i} IN E{i} DO
+    WRITE FILE 'OUT' R{i}.EMP-NAME;
+  END FOR;
+",
+            20 + (i % 40)
+        );
+    }
+    src.push_str("END PROGRAM;\n");
+    parse_program(&src).unwrap()
+}
+
+/// A DBTG program with `n` scan loops.
+fn dbtg_program(n: usize) -> dbpc_dml::dbtg::DbtgProgram {
+    let mut src = String::from("DBTG PROGRAM BIG.\n");
+    for i in 0..n {
+        let _ = write!(
+            src,
+            "  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO END{i}.
+L{i}.
+  FIND NEXT EMP WITHIN ED.
+  IF STATUS ENDSET GO TO END{i}.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO L{i}.
+END{i}.
+"
+        );
+    }
+    src.push_str("  STOP.\nEND PROGRAM.\n");
+    parse_dbtg(&src).unwrap()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    let schema = named::company_schema();
+    let personnel = named::personnel_network_schema();
+    let restructuring = named::fig_4_4_restructuring();
+
+    for &n in &[1usize, 10, 50] {
+        let hp = host_program(n);
+        let dp = dbtg_program(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("host-dataflow", n),
+            &(),
+            |b, _| b.iter(|| analyze_host(&hp, &schema)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("host-extract", n),
+            &(),
+            |b, _| b.iter(|| sequences_of_host(&hp)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dbtg-template-match", n),
+            &(),
+            |b, _| b.iter(|| sequences_of_dbtg(&dp, &personnel, &BTreeMap::new())),
+        );
+        group.bench_with_input(BenchmarkId::new("full-conversion", n), &(), |b, _| {
+            b.iter(|| {
+                Supervisor::new()
+                    .convert(&schema, &restructuring, &hp, &mut AutoAnalyst)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E5: bridge write-back — differential file vs. full
+//! retranslation (§2.1.2 / Severance–Lohman, paper ref 9).
+//!
+//! Expected shape: for a fixed, small number of updates, differential
+//! replay cost is flat in database size while full retranslation grows
+//! linearly; read-only workloads skip write-back entirely under the
+//! differential strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpc_bench::{retrieval_workload, target_db, update_workload};
+use dbpc_corpus::named;
+use dbpc_emulate::{run_bridged, WriteBack};
+use dbpc_engine::Inputs;
+
+fn bench_bridge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bridge_updates");
+    group.sample_size(10);
+    let schema = named::company_schema();
+
+    for &(divs, depts, emps, label) in dbpc_bench::SCALES {
+        let (target, restructuring) = target_db(divs, depts, emps);
+        for (wname, wb) in [
+            ("full-retranslate", WriteBack::FullRetranslate),
+            ("differential", WriteBack::Differential),
+        ] {
+            let updates = update_workload();
+            group.bench_with_input(
+                BenchmarkId::new(format!("update/{wname}"), label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        run_bridged(
+                            target.clone(),
+                            &schema,
+                            &restructuring,
+                            &updates,
+                            Inputs::new(),
+                            wb,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            let reads = retrieval_workload();
+            group.bench_with_input(
+                BenchmarkId::new(format!("read-only/{wname}"), label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        run_bridged(
+                            target.clone(),
+                            &schema,
+                            &restructuring,
+                            &reads,
+                            Inputs::new(),
+                            wb,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bridge);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Experiment E4: declarative vs. procedural integrity enforcement (§3.1).
+//!
+//! The same insertion workload guarded (a) by a program-level CHECK (which
+//! re-retrieves the member collection on every insert) and (b) by a
+//! declarative cardinality constraint (checked inside the engine against
+//! the indexed occurrence). Expected shape: declarative enforcement is
+//! cheaper, increasingly so as occupancy grows — the paper's argument that
+//! constraints belong "centralized, explicitly, as part of the data model".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpc_corpus::named;
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_dml::host::parse_program;
+use dbpc_engine::host_exec::run_host;
+use dbpc_engine::Inputs;
+
+fn insert_program(n: usize, with_check: bool) -> dbpc_dml::host::Program {
+    let mut body = String::from(
+        "PROGRAM INS;\n  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));\n",
+    );
+    for i in 0..n {
+        if with_check {
+            body.push_str(&format!(
+                "  FIND S{i} := FIND(EMP: D, DIV-EMP, EMP);\n  CHECK COUNT(S{i}) < 1000000 ELSE ABORT 'FULL';\n"
+            ));
+        }
+        body.push_str(&format!(
+            "  STORE EMP (EMP-NAME := 'ZZ-{i:05}', DEPT-NAME := 'SALES', AGE := 30) CONNECT TO DIV-EMP OF D;\n"
+        ));
+    }
+    body.push_str("END PROGRAM;\n");
+    parse_program(&body).unwrap()
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints");
+    group.sample_size(10);
+    let inserts = 50usize;
+
+    for &(divs, depts, emps, label) in &[(2usize, 3usize, 100usize, "1e2"), (2, 3, 1000, "1e3")] {
+        // Procedural: plain schema, program carries the guard.
+        let plain = named::company_db(divs, depts, emps);
+        let guarded = insert_program(inserts, true);
+        group.bench_with_input(
+            BenchmarkId::new("procedural-check", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut db = plain.clone();
+                    run_host(&mut db, &guarded, Inputs::new()).unwrap()
+                })
+            },
+        );
+
+        // Declarative: schema carries the constraint, program is bare.
+        let schema = named::company_schema().with_constraint(Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(1_000_000),
+        });
+        let mut declarative = dbpc_storage::NetworkDb::new(schema).unwrap();
+        // Clone the plain data into the constrained schema.
+        for div in plain.records_of_type("DIV") {
+            let name = plain.field_value(div, "DIV-NAME").unwrap();
+            let loc = plain.field_value(div, "DIV-LOC").unwrap();
+            let d = declarative
+                .store("DIV", &[("DIV-NAME", name), ("DIV-LOC", loc)], &[])
+                .unwrap();
+            for emp in plain.members_of("DIV-EMP", div).unwrap() {
+                declarative
+                    .store(
+                        "EMP",
+                        &[
+                            ("EMP-NAME", plain.field_value(emp, "EMP-NAME").unwrap()),
+                            ("DEPT-NAME", plain.field_value(emp, "DEPT-NAME").unwrap()),
+                            ("AGE", plain.field_value(emp, "AGE").unwrap()),
+                        ],
+                        &[("DIV-EMP", d)],
+                    )
+                    .unwrap();
+            }
+        }
+        let bare = insert_program(inserts, false);
+        group.bench_with_input(
+            BenchmarkId::new("declarative-constraint", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut db = declarative.clone();
+                    run_host(&mut db, &bare, Inputs::new()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

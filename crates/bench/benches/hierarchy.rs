@@ -1,0 +1,72 @@
+//! Experiment E8: hierarchical traversal and the cost of order-qualified
+//! navigation (the Mehl & Wang setting, paper ref 11).
+//!
+//! Measures DL/I scans — unqualified `GN` walks vs. qualified `GNP`
+//! iterations — on the company hierarchy at scale, plus the cost of the
+//! reordering translation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpc_corpus::named;
+use dbpc_dml::dli::parse_dli;
+use dbpc_engine::dli_exec::run_dli;
+use dbpc_engine::Inputs;
+use dbpc_restructure::crossmodel::{reorder_hier_children, translate_hier_reorder};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+
+    let walk = parse_dli(
+        "DLI PROGRAM WALK.
+L.
+  GN EMP.
+  IF STATUS GB GO TO DONE.
+  GO TO L.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let qualified = parse_dli(
+        "DLI PROGRAM Q.
+  GU DIV(DIV-NAME = 'MACHINERY').
+L.
+  GNP EMP.
+  IF STATUS GE GO TO DONE.
+  PRINT EMP-NAME.
+  GO TO L.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+
+    for &(divs, emps, label) in &[(4usize, 50usize, "2e2"), (4, 500, "2e3")] {
+        let db = named::company_hier_db(divs, 4, emps).unwrap();
+        group.bench_with_input(BenchmarkId::new("gn-walk", label), &(), |b, _| {
+            b.iter(|| {
+                let mut d = db.clone();
+                run_dli(&mut d, &walk, Inputs::new()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gnp-qualified", label), &(), |b, _| {
+            b.iter(|| {
+                let mut d = db.clone();
+                run_dli(&mut d, &qualified, Inputs::new()).unwrap()
+            })
+        });
+        // Reordering translation: only meaningful when DIV has >1 child
+        // type; the company hierarchy has exactly EMP, so reorder is a
+        // no-op permutation — still measures the rebuild cost.
+        let new_schema = reorder_hier_children(db.schema(), "DIV", &["EMP"]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("reorder-translate", label),
+            &(),
+            |b, _| b.iter(|| translate_hier_reorder(&db, &new_schema).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

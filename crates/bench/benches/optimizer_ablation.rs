@@ -1,0 +1,82 @@
+//! Experiment E3: the Optimizer's effect (§5.4).
+//!
+//! The converted-but-unoptimized program carries a conservative SORT (the
+//! paper's own example-1 wrapper) and a now-redundant procedural integrity
+//! check with its feeder retrieval. The optimized program has neither.
+//! Expected shape: optimization wins, and the win grows with data size
+//! (the SORT is O(n log n) and the feeder retrieval O(n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpc_convert::report::AutoAnalyst;
+use dbpc_convert::Supervisor;
+use dbpc_corpus::named;
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_dml::host::parse_program;
+use dbpc_engine::host_exec::run_host;
+use dbpc_engine::Inputs;
+use dbpc_restructure::{Restructuring, Transform};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.sample_size(10);
+
+    // Restructuring: the Figure 4.2→4.4 promotion AND a newly declared
+    // cardinality limit, so both optimizer passes have work to do.
+    let restructuring = Restructuring::new(vec![
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        },
+        Transform::AddConstraint(Constraint::Cardinality {
+            set: "DEPT-EMP".into(),
+            min: 0,
+            max: Some(100_000),
+        }),
+    ]);
+    let program = parse_program(
+        "PROGRAM RPT;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    WRITE FILE 'OUT' R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+    )
+    .unwrap();
+    let schema = named::company_schema();
+    let unopt = Supervisor::without_optimizer()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap()
+        .program
+        .unwrap();
+    let opt = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap()
+        .program
+        .unwrap();
+
+    for &(divs, depts, emps, label) in dbpc_bench::SCALES {
+        let src = named::company_db(divs, depts, emps);
+        let target = restructuring.translate(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("unoptimized", label), &(), |b, _| {
+            b.iter(|| {
+                let mut db = target.clone();
+                run_host(&mut db, &unopt, Inputs::new()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", label), &(), |b, _| {
+            b.iter(|| {
+                let mut db = target.clone();
+                run_host(&mut db, &opt, Inputs::new()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

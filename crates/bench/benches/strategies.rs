@@ -1,0 +1,62 @@
+//! Experiment E1: conversion-strategy efficiency (§2.1.2).
+//!
+//! The paper: "Both these strategies [emulation, bridge], though
+//! straightforward in concept, have drawbacks of degraded efficiency …
+//! Efficiency is degraded in the emulation strategy because each source DML
+//! statement must be mapped into a target emulation program … In the bridge
+//! program strategy, a subset of the target database must be dynamically
+//! restructured."
+//!
+//! Expected shape: rewrite < emulate < bridge for the retrieval workload,
+//! with the bridge's gap growing with database size (its reconstruction
+//! cost is O(db)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpc_bench::{retrieval_workload, target_db, convert_for_fig44};
+use dbpc_corpus::named;
+use dbpc_emulate::{run_bridged, Emulator, WriteBack};
+use dbpc_engine::host_exec::run_host;
+use dbpc_engine::Inputs;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+    let program = retrieval_workload();
+    let schema = named::company_schema();
+
+    for &(divs, depts, emps, label) in dbpc_bench::SCALES {
+        let (target, restructuring) = target_db(divs, depts, emps);
+        let converted = convert_for_fig44(&program, true);
+
+        group.bench_with_input(BenchmarkId::new("rewrite", label), &(), |b, _| {
+            b.iter(|| {
+                let mut db = target.clone();
+                run_host(&mut db, &converted, Inputs::new()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("emulate", label), &(), |b, _| {
+            b.iter(|| {
+                let mut emu =
+                    Emulator::over(target.clone(), &schema, &restructuring).unwrap();
+                run_host(&mut emu, &program, Inputs::new()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bridge", label), &(), |b, _| {
+            b.iter(|| {
+                run_bridged(
+                    target.clone(),
+                    &schema,
+                    &restructuring,
+                    &program,
+                    Inputs::new(),
+                    WriteBack::Differential,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E6: data-translation throughput per transformation operator
+//! (the substrate the paper's §1 says made program conversion the remaining
+//! bottleneck: "substantial productivity gains are possible by using these
+//! new [data conversion] tools").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbpc_corpus::named;
+use dbpc_datamodel::types::FieldType;
+use dbpc_datamodel::value::Value;
+use dbpc_dml::expr::CmpOp;
+use dbpc_restructure::{Restructuring, Transform};
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+    group.sample_size(10);
+
+    let transforms: Vec<(&str, Transform)> = vec![
+        (
+            "rename-record",
+            Transform::RenameRecord {
+                old: "EMP".into(),
+                new: "WORKER".into(),
+            },
+        ),
+        (
+            "add-field",
+            Transform::AddField {
+                record: "EMP".into(),
+                field: "SALARY".into(),
+                ty: FieldType::Int(6),
+                default: Value::Int(0),
+            },
+        ),
+        (
+            "promote-dept",
+            Transform::PromoteFieldToOwner {
+                record: "EMP".into(),
+                field: "DEPT-NAME".into(),
+                via_set: "DIV-EMP".into(),
+                new_record: "DEPT".into(),
+                upper_set: "DIV-DEPT".into(),
+                lower_set: "DEPT-EMP".into(),
+            },
+        ),
+        (
+            "change-keys",
+            Transform::ChangeSetKeys {
+                set: "DIV-EMP".into(),
+                keys: vec!["AGE".into(), "EMP-NAME".into()],
+            },
+        ),
+        (
+            "delete-where",
+            Transform::DeleteWhere {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(55),
+            },
+        ),
+    ];
+
+    for &(divs, depts, emps, label) in &[(4usize, 4usize, 250usize, "1e3"), (4, 4, 2500, "1e4")] {
+        let src = named::company_db(divs, depts, emps);
+        let records = src.record_count() as u64;
+        group.throughput(Throughput::Elements(records));
+        for (name, t) in &transforms {
+            let r = Restructuring::single(t.clone());
+            group.bench_with_input(
+                BenchmarkId::new(*name, label),
+                &(),
+                |b, _| b.iter(|| r.translate(&src).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

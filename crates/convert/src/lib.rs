@@ -1,0 +1,53 @@
+//! # dbpc-convert
+//!
+//! The paper's primary contribution, realized: the **database program
+//! conversion framework** of Figure 4.1.
+//!
+//! ```text
+//!  database descriptions ──▶ CONVERSION ANALYZER ─┐
+//!  application program ───▶ PROGRAM ANALYZER ─────┤   (dbpc-analyzer)
+//!                                                 ▼
+//!                           PROGRAM CONVERTER  (rules)
+//!                                                 ▼
+//!                           OPTIMIZER          (optimizer)
+//!                                                 ▼
+//!                           PROGRAM GENERATOR  (generator)
+//!
+//!        all under the PROGRAM CONVERSION SUPERVISOR (supervisor),
+//!        interacting with a Conversion Analyst (the Analyst trait)
+//! ```
+//!
+//! * [`mapping`] — the Conversion Analyzer: validates that the declared
+//!   transformation sequence produces the declared target schema, and
+//!   classifies the changes.
+//! * [`rules`] — transformation rules, one family per
+//!   [`dbpc_restructure::Transform`]: path splicing for promoted/demoted
+//!   records, filter re-homing, SORT insertion for order preservation,
+//!   find-or-create compensation for STOREs, compensating deletes when a
+//!   characterizing constraint moves from schema to program, and typed
+//!   [`report::Question`]s for everything §3.2 says cannot be automated.
+//! * [`optimizer`] — §5.4: redundant-SORT elimination, redundant
+//!   integrity-check removal (when the target schema declares the
+//!   constraint), and dead-retrieval elimination.
+//! * [`generator`] — program text emission plus the cross-model lowering of
+//!   access sequences into SEQUEL (reproducing §4.1 listing A from
+//!   listing B's access patterns).
+//! * [`supervisor`] — the conversion program manager: drives the pipeline,
+//!   consults the [`report::Analyst`], and assembles a
+//!   [`report::ConversionReport`].
+//! * [`dli_rules`] — Mehl & Wang's DL/I command substitution under
+//!   hierarchy reordering (ref 11).
+//! * [`equivalence`] — the §1.1 acceptance test (trace equality) and the
+//!   §5.2 levels of "successful conversion".
+
+pub mod dli_rules;
+pub mod equivalence;
+pub mod generator;
+pub mod mapping;
+pub mod optimizer;
+pub mod report;
+pub mod rules;
+pub mod supervisor;
+
+pub use report::{Analyst, Answer, AutoAnalyst, ConversionReport, Question, Verdict, Warning};
+pub use supervisor::Supervisor;

@@ -1,0 +1,387 @@
+//! The Optimizer of Figure 4.1.
+//!
+//! §5.4 gives the brief: "the original source program may not be efficiently
+//! coded or … an efficient application program may become inefficient after
+//! both the database and the program have been converted: the target program
+//! needs to be optimized to take advantage of the new data relationships in
+//! the target database." Three passes:
+//!
+//! 1. **Redundant-SORT elimination** — a `SORT … ON (keys)` whose inner
+//!    retrieval already delivers that order (the final traversed set's
+//!    declared keys equal the sort keys in the target schema) is unwrapped.
+//!    This is exactly what happens to the paper's conservatively-wrapped
+//!    converted example 1 under our FIND ordering semantics.
+//! 2. **Redundant-check elimination** — a procedural integrity check
+//!    (detected by the analyzer's §5.3 machinery) that duplicates a
+//!    constraint the *target* schema declares is removed; the engine now
+//!    enforces it.
+//! 3. **Dead-retrieval elimination** — `FIND v := …` whose variable is never
+//!    subsequently read (often exposed by pass 2) is removed; retrievals
+//!    have no side effects.
+
+use crate::report::Warning;
+use dbpc_analyzer::integrity::detect_procedural;
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::expr::Expr;
+use dbpc_dml::host::{FindExpr, ForSource, PathStart, Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Optimize a converted program against the target schema.
+pub fn optimize(program: &Program, target_schema: &NetworkSchema) -> (Program, Vec<Warning>) {
+    let mut p = program.clone();
+    let mut warnings = Vec::new();
+    remove_redundant_sorts(&mut p, target_schema, &mut warnings);
+    remove_redundant_checks(&mut p, target_schema, &mut warnings);
+    remove_dead_finds(&mut p, &mut warnings);
+    (p, warnings)
+}
+
+/// Pass 1: unwrap `SORT` whose keys equal the final set's declared keys.
+fn remove_redundant_sorts(
+    p: &mut Program,
+    schema: &NetworkSchema,
+    warnings: &mut Vec<Warning>,
+) {
+    let mut removed = Vec::new();
+    p.visit_finds_mut(&mut |q| {
+        let FindExpr::Sort { inner, keys } = q else {
+            return;
+        };
+        // Collection starts inherit the source collection's order, which the
+        // optimizer cannot see; only SYSTEM-rooted paths are provably
+        // ordered.
+        let spec = inner.spec();
+        if !matches!(spec.start, PathStart::System) {
+            return;
+        }
+        let Some(final_set) = spec.steps.last().map(|s| s.set.as_str()) else {
+            return;
+        };
+        let Some(sd) = schema.set(final_set) else {
+            return;
+        };
+        if &sd.keys == keys {
+            removed.push(inner.to_string());
+            let unwrapped = (**inner).clone();
+            *q = unwrapped;
+        }
+    });
+    for r in removed {
+        warnings.push(Warning::RedundantSortRemoved { query: r });
+    }
+}
+
+/// Pass 2: remove procedural checks the target schema enforces.
+fn remove_redundant_checks(
+    p: &mut Program,
+    schema: &NetworkSchema,
+    warnings: &mut Vec<Warning>,
+) {
+    let found = detect_procedural(p);
+    let redundant: Vec<_> = found
+        .into_iter()
+        .filter(|pc| schema.constraints.contains(&pc.constraint))
+        .collect();
+    if redundant.is_empty() {
+        return;
+    }
+    for pc in &redundant {
+        warnings.push(Warning::RedundantCheckRemoved {
+            constraint: pc.constraint.to_string(),
+        });
+    }
+    // Remove by index in the preorder statement walk.
+    let doomed: BTreeSet<usize> = redundant.iter().map(|pc| pc.check_index).collect();
+    let mut index = 0usize;
+    retain_stmts(&mut p.stmts, &mut |_| {
+        let keep = !doomed.contains(&index);
+        index += 1;
+        keep
+    });
+}
+
+/// Pass 3: drop FIND statements whose variable is never read afterwards.
+fn remove_dead_finds(p: &mut Program, warnings: &mut Vec<Warning>) {
+    loop {
+        // Collect all variable reads.
+        let mut reads: BTreeSet<String> = BTreeSet::new();
+        p.visit_stmts(&mut |s| collect_reads(s, &mut reads));
+        let mut removed: Vec<String> = Vec::new();
+        retain_stmts(&mut p.stmts, &mut |s| match s {
+            Stmt::Find { var, .. } if !reads.contains(var) => {
+                removed.push(var.clone());
+                false
+            }
+            _ => true,
+        });
+        if removed.is_empty() {
+            break;
+        }
+        for var in removed {
+            warnings.push(Warning::DeadFindRemoved { var });
+        }
+    }
+}
+
+fn collect_reads(s: &Stmt, reads: &mut BTreeSet<String>) {
+    let mut expr_reads = |e: &Expr| collect_expr_reads(e, reads);
+    match s {
+        Stmt::Let { expr, .. } => expr_reads(expr),
+        Stmt::Find { query, .. } => collect_find_reads(query, reads),
+        Stmt::ForEach { source, .. } => match source {
+            ForSource::Var(v) => {
+                reads.insert(v.clone());
+            }
+            ForSource::Query(q) => collect_find_reads(q, reads),
+        },
+        Stmt::Print(exprs) | Stmt::WriteFile { exprs, .. } => {
+            for e in exprs {
+                collect_expr_reads(e, reads);
+            }
+        }
+        Stmt::Store {
+            assigns, connects, ..
+        } => {
+            for (_, e) in assigns {
+                collect_expr_reads(e, reads);
+            }
+            for c in connects {
+                reads.insert(c.owner_var.clone());
+            }
+        }
+        Stmt::Connect {
+            member_var,
+            owner_var,
+            ..
+        } => {
+            reads.insert(member_var.clone());
+            reads.insert(owner_var.clone());
+        }
+        Stmt::Disconnect { member_var, .. } => {
+            reads.insert(member_var.clone());
+        }
+        Stmt::Delete { var, .. } => {
+            reads.insert(var.clone());
+        }
+        Stmt::Modify { var, assigns } => {
+            reads.insert(var.clone());
+            for (_, e) in assigns {
+                collect_expr_reads(e, reads);
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Check { cond, .. } => {
+            collect_bool_reads(cond, reads)
+        }
+        Stmt::CallDml { verb, .. } => collect_expr_reads(verb, reads),
+        Stmt::ReadTerminal { .. } | Stmt::ReadFile { .. } => {}
+    }
+}
+
+fn collect_find_reads(q: &FindExpr, reads: &mut BTreeSet<String>) {
+    let spec = q.spec();
+    if let PathStart::Collection(v) = &spec.start {
+        reads.insert(v.clone());
+    }
+    for step in &spec.steps {
+        if let Some(f) = &step.filter {
+            collect_bool_reads(f, reads);
+        }
+    }
+}
+
+fn collect_bool_reads(b: &dbpc_dml::expr::BoolExpr, reads: &mut BTreeSet<String>) {
+    use dbpc_dml::expr::BoolExpr;
+    match b {
+        BoolExpr::Cmp { left, right, .. } => {
+            collect_expr_reads(left, reads);
+            collect_expr_reads(right, reads);
+        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            collect_bool_reads(a, reads);
+            collect_bool_reads(b, reads);
+        }
+        BoolExpr::Not(a) => collect_bool_reads(a, reads),
+    }
+}
+
+fn collect_expr_reads(e: &Expr, reads: &mut BTreeSet<String>) {
+    match e {
+        // Unqualified names may be host variables (or contextual fields;
+        // treating them as reads is conservative and safe).
+        Expr::Name(n) => {
+            reads.insert(n.clone());
+        }
+        Expr::Field { var, .. } | Expr::Count(var) => {
+            reads.insert(var.clone());
+        }
+        Expr::Bin { left, right, .. } => {
+            collect_expr_reads(left, reads);
+            collect_expr_reads(right, reads);
+        }
+        Expr::Lit(_) => {}
+    }
+}
+
+/// Retain statements (recursively, preorder) for which `f` returns true.
+/// `f` is called on every statement in the same preorder as
+/// `Program::visit_stmts`.
+fn retain_stmts<F: FnMut(&Stmt) -> bool>(stmts: &mut Vec<Stmt>, f: &mut F) {
+    let old = std::mem::take(stmts);
+    for mut s in old {
+        let keep = f(&s);
+        match &mut s {
+            Stmt::ForEach { body, .. } | Stmt::While { body, .. } => retain_stmts(body, f),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                retain_stmts(then_branch, f);
+                retain_stmts(else_branch, f);
+            }
+            _ => {}
+        }
+        if keep {
+            stmts.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::constraint::Constraint;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::{parse_program, print_program};
+
+    fn schema() -> NetworkSchema {
+        NetworkSchema::new("S")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    #[test]
+    fn redundant_sort_unwrapped() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, warnings) = optimize(&p, &schema());
+        let Stmt::Find { query, .. } = &opt.stmts[0] else {
+            panic!()
+        };
+        assert!(!query.is_sorted());
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::RedundantSortRemoved { .. })));
+    }
+
+    #[test]
+    fn non_matching_sort_kept() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE);
+  FOR EACH R IN E DO
+    PRINT R.AGE;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&p, &schema());
+        let Stmt::Find { query, .. } = &opt.stmts[0] else {
+            panic!()
+        };
+        assert!(query.is_sorted());
+    }
+
+    #[test]
+    fn redundant_check_and_feeder_find_removed() {
+        let schema = schema().with_constraint(Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(100),
+        });
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'));
+  FIND STAFF := FIND(EMP: D, DIV-EMP, EMP);
+  CHECK COUNT(STAFF) < 100 ELSE ABORT 'FULL';
+  STORE EMP (EMP-NAME := 'X') CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, warnings) = optimize(&p, &schema);
+        let text = print_program(&opt);
+        assert!(!text.contains("CHECK"));
+        assert!(!text.contains("FIND STAFF"));
+        assert!(text.contains("STORE EMP"));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::RedundantCheckRemoved { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::DeadFindRemoved { .. })));
+    }
+
+    #[test]
+    fn undeclared_check_kept() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'));
+  FIND STAFF := FIND(EMP: D, DIV-EMP, EMP);
+  CHECK COUNT(STAFF) < 100 ELSE ABORT 'FULL';
+  STORE EMP (EMP-NAME := 'X') CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, warnings) = optimize(&p, &schema());
+        assert!(print_program(&opt).contains("CHECK"));
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn dead_find_chains_removed() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND A := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  FIND B := FIND(EMP: A, DIV-EMP, EMP);
+  PRINT 'DONE';
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, warnings) = optimize(&p, &schema());
+        assert_eq!(opt.stmts.len(), 1);
+        assert_eq!(warnings.len(), 2);
+    }
+
+    #[test]
+    fn used_finds_kept() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND A := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  PRINT COUNT(A);
+END PROGRAM;",
+        )
+        .unwrap();
+        let (opt, warnings) = optimize(&p, &schema());
+        assert_eq!(opt.stmts.len(), 2);
+        assert!(warnings.is_empty());
+    }
+}

@@ -1,0 +1,1373 @@
+//! Transformation rules: rewrite a host program to account for one schema
+//! transformation.
+//!
+//! "The rules for changing the operations as the result of schema changes
+//! are called transformation rules. These rules can be formulated if the
+//! structural properties, operational characteristics and integrity
+//! constraints of the data are given explicitly in the data model" (§4.1).
+//!
+//! Each rule family takes the program and the schema *before* its transform
+//! and produces the rewritten program plus typed questions (automation
+//! failures, per §3.2) and warnings (automatic but behavior-relevant
+//! compensations). The flagship rules reproduce the paper's §4.2 example:
+//! under the Figure 4.2 → 4.4 promotion,
+//!
+//! ```text
+//! FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))
+//!   ⇒ SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP,
+//!               EMP(AGE > 30))) ON (EMP-NAME)
+//!
+//! FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP,
+//!      EMP(DEPT-NAME = 'SALES'))
+//!   ⇒ FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT,
+//!          DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)
+//! ```
+//!
+//! (SORT is inserted exactly when the promoted field is not pinned by an
+//! equality filter — the paper wraps its example 1 but not its example 2.)
+
+use crate::report::{Question, Warning};
+use dbpc_analyzer::dataflow::analyze_host;
+use dbpc_analyzer::extract::var_types;
+use dbpc_datamodel::network::{Insertion, NetworkSchema, Retention};
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_dml::expr::{BoolExpr, CmpOp, Expr};
+use dbpc_dml::host::{
+    ConnectTo, FindExpr, FindSpec, ForSource, PathStart, PathStep, Program, Stmt,
+};
+use dbpc_restructure::Transform;
+use std::collections::BTreeMap;
+
+/// Result of applying one rule family.
+#[derive(Debug)]
+pub struct RuleOutcome {
+    pub program: Program,
+    pub questions: Vec<Question>,
+    pub warnings: Vec<Warning>,
+}
+
+/// Rewrite `program` (valid against `schema_before`) to run against
+/// `transform.apply_schema(schema_before)`.
+pub fn convert_step(
+    program: &Program,
+    schema_before: &NetworkSchema,
+    transform: &Transform,
+    fresh: &mut FreshNames,
+) -> RuleOutcome {
+    let mut ctx = Ctx {
+        program: program.clone(),
+        schema: schema_before,
+        types: var_types(program),
+        questions: Vec::new(),
+        warnings: Vec::new(),
+        fresh,
+    };
+    match transform {
+        Transform::RenameRecord { old, new } => ctx.rename_record(old, new),
+        Transform::RenameSet { old, new } => ctx.rename_set(old, new),
+        Transform::RenameField { record, old, new } => ctx.rename_field(record, old, new),
+        Transform::AddField { record, .. } => ctx.field_list_changed(record),
+        Transform::DropField { record, field } => ctx.drop_field(record, field),
+        Transform::PromoteFieldToOwner {
+            record,
+            field,
+            via_set,
+            new_record,
+            upper_set,
+            lower_set,
+        } => ctx.promote(record, field, via_set, new_record, upper_set, lower_set),
+        Transform::DemoteOwnerToField {
+            mid_record,
+            upper_set,
+            lower_set,
+            record,
+            merged_set,
+            ..
+        } => ctx.demote(mid_record, upper_set, lower_set, record, merged_set),
+        Transform::ChangeSetKeys { set, keys } => ctx.change_set_keys(set, keys),
+        Transform::ChangeInsertion { set, insertion } => ctx.change_insertion(set, *insertion),
+        Transform::ChangeRetention { set, retention } => ctx.change_retention(set, *retention),
+        Transform::AddConstraint(c) => ctx.add_constraint(c),
+        Transform::DropConstraint(c) => ctx.drop_constraint(c),
+        Transform::DeleteWhere { record, .. } => ctx.delete_where(record),
+    }
+    RuleOutcome {
+        program: ctx.program,
+        questions: ctx.questions,
+        warnings: ctx.warnings,
+    }
+}
+
+/// Generator of fresh variable names for compensating statements, shared
+/// across the steps of a restructuring so names never collide.
+#[derive(Debug, Default)]
+pub struct FreshNames {
+    counter: usize,
+}
+
+impl FreshNames {
+    pub fn collection(&mut self) -> String {
+        self.counter += 1;
+        format!("CVT-{}", self.counter)
+    }
+
+    pub fn scalar(&mut self) -> String {
+        self.counter += 1;
+        format!("CVT-V{}", self.counter)
+    }
+}
+
+struct Ctx<'a> {
+    program: Program,
+    schema: &'a NetworkSchema,
+    types: BTreeMap<String, String>,
+    questions: Vec<Question>,
+    warnings: Vec<Warning>,
+    fresh: &'a mut FreshNames,
+}
+
+impl<'a> Ctx<'a> {
+    // -- renames -------------------------------------------------------------
+
+    fn rename_record(&mut self, old: &str, new: &str) {
+        let (o, n) = (old.to_string(), new.to_string());
+        self.program.visit_finds_mut(&mut |q| {
+            let spec = q.spec_mut();
+            if spec.target == o {
+                spec.target = n.clone();
+            }
+            for step in &mut spec.steps {
+                if step.record == o {
+                    step.record = n.clone();
+                }
+            }
+        });
+        self.program.visit_stmts_mut(&mut |s| match s {
+            Stmt::Store { record, .. } if *record == o => *record = n.clone(),
+            Stmt::CallDml { record, .. } if *record == o => *record = n.clone(),
+            _ => {}
+        });
+    }
+
+    fn rename_set(&mut self, old: &str, new: &str) {
+        let (o, n) = (old.to_string(), new.to_string());
+        self.program.visit_finds_mut(&mut |q| {
+            for step in &mut q.spec_mut().steps {
+                if step.set == o {
+                    step.set = n.clone();
+                }
+            }
+        });
+        self.program.visit_stmts_mut(&mut |s| match s {
+            Stmt::Store { connects, .. } => {
+                for c in connects {
+                    if c.set == o {
+                        c.set = n.clone();
+                    }
+                }
+            }
+            Stmt::Connect { set, .. } | Stmt::Disconnect { set, .. } if *set == o => {
+                *set = n.clone();
+            }
+            _ => {}
+        });
+    }
+
+    fn rename_field(&mut self, record: &str, old: &str, new: &str) {
+        let rec = record.to_string();
+        let (o, n) = (old.to_string(), new.to_string());
+        // FIND path filters and SORT keys.
+        self.program.visit_finds_mut(&mut |q| {
+            if let FindExpr::Sort { inner, keys } = q {
+                if inner.target() == rec {
+                    for k in keys.iter_mut() {
+                        if *k == o {
+                            *k = n.clone();
+                        }
+                    }
+                }
+            }
+            for step in &mut q.spec_mut().steps {
+                if step.record == rec {
+                    if let Some(f) = &mut step.filter {
+                        f.rename_name(&o, &n);
+                    }
+                }
+            }
+        });
+        // Store/Modify assigns and qualified field references.
+        let types = self.types.clone();
+        self.program.visit_stmts_mut(&mut |s| match s {
+            Stmt::Store {
+                record: r, assigns, ..
+            } if *r == rec => {
+                for (f, _) in assigns.iter_mut() {
+                    if *f == o {
+                        *f = n.clone();
+                    }
+                }
+            }
+            Stmt::Modify { var, assigns } if types.get(var) == Some(&rec) => {
+                for (f, e) in assigns.iter_mut() {
+                    if *f == o {
+                        *f = n.clone();
+                    }
+                    // RHS names resolve contextually against the record.
+                    e.rename_name(&o, &n);
+                }
+            }
+            _ => {}
+        });
+        rewrite_exprs(&mut self.program, &mut |e| {
+            if let Expr::Field { var, field } = e {
+                if types.get(var) == Some(&rec) && *field == o {
+                    *field = n.clone();
+                }
+            }
+        });
+    }
+
+    // -- field addition / removal --------------------------------------------
+
+    fn field_list_changed(&mut self, record: &str) {
+        // Only `CALL DML` retrievals print whole records; anything else is
+        // unaffected by a new field.
+        let mut affected = false;
+        self.program.visit_stmts(&mut |s| {
+            if let Stmt::CallDml { record: r, .. } = s {
+                if r == record {
+                    affected = true;
+                }
+            }
+        });
+        if affected {
+            self.questions.push(Question::CallDmlFieldListChanged {
+                record: record.to_string(),
+            });
+        }
+    }
+
+    fn drop_field(&mut self, record: &str, field: &str) {
+        let report = analyze_host(&self.program, self.schema);
+        if report.references_field(record, field) {
+            self.questions.push(Question::DroppedFieldReferenced {
+                record: record.to_string(),
+                field: field.to_string(),
+            });
+        }
+    }
+
+    // -- the Figure 4.2 → 4.4 promotion ---------------------------------------
+
+    fn promote(
+        &mut self,
+        record: &str,
+        field: &str,
+        via_set: &str,
+        new_record: &str,
+        upper_set: &str,
+        lower_set: &str,
+    ) {
+        // Names that move to the new record: the promoted field plus the
+        // virtual fields routed through the split set.
+        let mut moved: Vec<String> = vec![field.to_string()];
+        if let Some(r) = self.schema.record(record) {
+            for f in &r.fields {
+                if let Some(v) = &f.virtual_via {
+                    if v.set == via_set {
+                        moved.push(f.name.clone());
+                    }
+                }
+            }
+        }
+        let record_fields: Vec<String> = self
+            .schema
+            .record(record)
+            .map(|r| r.fields.iter().map(|f| f.name.clone()).collect())
+            .unwrap_or_default();
+        let old_keys: Vec<String> = self
+            .schema
+            .set(via_set)
+            .map(|s| s.keys.clone())
+            .unwrap_or_default();
+
+        // 1. Qualified references to moved fields are unconvertible in this
+        //    program shape.
+        let types = self.types.clone();
+        let mut migrated_refs: Vec<Question> = Vec::new();
+        visit_exprs(&self.program, &mut |e| {
+            if let Expr::Field { var, field: f } = e {
+                if types.get(var).map(String::as_str) == Some(record) && moved.contains(f) {
+                    migrated_refs.push(Question::MigratedFieldReference {
+                        record: record.to_string(),
+                        field: f.clone(),
+                        moved_to: new_record.to_string(),
+                    });
+                }
+            }
+        });
+        self.questions.extend(migrated_refs);
+        // MODIFY of the promoted field means re-homing.
+        let mut modify_qs = Vec::new();
+        self.program.visit_stmts(&mut |s| {
+            if let Stmt::Modify { var, assigns } = s {
+                if types.get(var).map(String::as_str) == Some(record)
+                    && assigns.iter().any(|(f, _)| moved.contains(f))
+                {
+                    modify_qs.push(Question::ModifyMovedField {
+                        record: record.to_string(),
+                        field: field.to_string(),
+                    });
+                }
+            }
+            if let Stmt::CallDml { record: r, .. } = s {
+                if r == record {
+                    modify_qs.push(Question::CallDmlFieldListChanged {
+                        record: record.to_string(),
+                    });
+                }
+            }
+        });
+        self.questions.extend(modify_qs);
+
+        // 2. Path splicing with filter re-homing.
+        let mut questions = Vec::new();
+        self.program.visit_finds_mut(&mut |q| {
+            let mut needs_sort = false;
+            {
+                let spec = q.spec_mut();
+                let mut new_steps = Vec::with_capacity(spec.steps.len() + 1);
+                for step in spec.steps.drain(..) {
+                    if step.set != via_set || step.record != record {
+                        new_steps.push(step);
+                        continue;
+                    }
+                    // Split the filter's conjuncts between the new steps.
+                    let mut upper_parts = Vec::new();
+                    let mut lower_parts = Vec::new();
+                    let mut pinned = false;
+                    if let Some(f) = &step.filter {
+                        for conj in f.conjuncts() {
+                            let names = conj.names();
+                            let mentions_moved = names.iter().any(|n| moved.contains(&n.to_string()));
+                            let mentions_kept = names.iter().any(|n| {
+                                !moved.contains(&n.to_string())
+                                    && record_fields.contains(&n.to_string())
+                            });
+                            match (mentions_moved, mentions_kept) {
+                                (true, true) => {
+                                    questions.push(Question::UnsplittableFilter {
+                                        detail: conj.to_string(),
+                                    });
+                                    lower_parts.push(conj.clone());
+                                }
+                                (true, false) => {
+                                    if let BoolExpr::Cmp {
+                                        op: CmpOp::Eq,
+                                        left: Expr::Name(n),
+                                        ..
+                                    } = conj
+                                    {
+                                        if n == field {
+                                            pinned = true;
+                                        }
+                                    }
+                                    upper_parts.push(conj.clone());
+                                }
+                                (false, _) => lower_parts.push(conj.clone()),
+                            }
+                        }
+                    }
+                    if !pinned {
+                        needs_sort = true;
+                    }
+                    new_steps.push(PathStep {
+                        set: upper_set.to_string(),
+                        record: new_record.to_string(),
+                        filter: BoolExpr::from_conjuncts(upper_parts),
+                    });
+                    new_steps.push(PathStep {
+                        set: lower_set.to_string(),
+                        record: record.to_string(),
+                        filter: BoolExpr::from_conjuncts(lower_parts),
+                    });
+                }
+                spec.steps = new_steps;
+            }
+            // 3. Order preservation: unless the promoted field was pinned to
+            //    a single value, the result now interleaves across grouping
+            //    records; pin the source order with SORT (paper §4.2,
+            //    converted example 1).
+            if needs_sort && !q.is_sorted() && !old_keys.is_empty() && q.target() == record {
+                let inner = std::mem::replace(
+                    q,
+                    FindExpr::Find(FindSpec {
+                        target: String::new(),
+                        start: PathStart::System,
+                        steps: Vec::new(),
+                    }),
+                );
+                *q = FindExpr::Sort {
+                    inner: Box::new(inner),
+                    keys: old_keys.clone(),
+                };
+            }
+        });
+        self.questions.extend(questions);
+        if self
+            .warnings
+            .iter()
+            .all(|w| !matches!(w, Warning::OrderCompensated { .. }))
+        {
+            // Report order compensation once per program if any SORT landed.
+            let mut any_sort = false;
+            self.program.visit_stmts(&mut |s| {
+                if let Stmt::Find { query, .. } = s {
+                    any_sort |= query.is_sorted();
+                }
+                if let Stmt::ForEach {
+                    source: ForSource::Query(qq),
+                    ..
+                } = s
+                {
+                    any_sort |= qq.is_sorted();
+                }
+            });
+            if any_sort {
+                self.warnings.push(Warning::OrderCompensated {
+                    query: format!("retrievals of {record} after promotion of {field}"),
+                });
+            }
+        }
+
+        // 4. STORE compensation: find-or-create the grouping record.
+        self.rewrite_stores_for_promote(record, field, via_set, new_record, upper_set, lower_set);
+    }
+
+    /// `STORE EMP (…, DEPT-NAME := e, …) CONNECT TO DIV-EMP OF D`
+    /// becomes a find-or-create of the DEPT under D followed by a STORE
+    /// connected through the lower set — the compensating statements Su's
+    /// §4.1 describes the system inserting.
+    fn rewrite_stores_for_promote(
+        &mut self,
+        record: &str,
+        field: &str,
+        via_set: &str,
+        new_record: &str,
+        upper_set: &str,
+        lower_set: &str,
+    ) {
+        let fresh = &mut *self.fresh;
+        let mut warnings = Vec::new();
+        map_stmts(&mut self.program.stmts, &mut |s| {
+            let Stmt::Store {
+                record: r,
+                assigns,
+                connects,
+            } = &s
+            else {
+                return vec![s];
+            };
+            if r != record || !connects.iter().any(|c| c.set == via_set) {
+                return vec![s];
+            }
+            let owner_var = connects
+                .iter()
+                .find(|c| c.set == via_set)
+                .unwrap()
+                .owner_var
+                .clone();
+            // The grouping value: the promoted field's assigned expression,
+            // or NULL when unassigned.
+            let value_expr = assigns
+                .iter()
+                .find(|(f, _)| f == field)
+                .map(|(_, e)| e.clone())
+                .unwrap_or(Expr::Lit(dbpc_datamodel::value::Value::Null));
+            let vname = fresh.scalar();
+            let cname = fresh.collection();
+            let group_filter = BoolExpr::cmp(
+                Expr::name(field.to_string()),
+                CmpOp::Eq,
+                Expr::name(vname.clone()),
+            );
+            let find_group = Stmt::Find {
+                var: cname.clone(),
+                query: FindExpr::Find(FindSpec {
+                    target: new_record.to_string(),
+                    start: PathStart::Collection(owner_var.clone()),
+                    steps: vec![PathStep {
+                        set: upper_set.to_string(),
+                        record: new_record.to_string(),
+                        filter: Some(group_filter.clone()),
+                    }],
+                }),
+            };
+            let create_group = Stmt::If {
+                cond: BoolExpr::cmp(Expr::Count(cname.clone()), CmpOp::Eq, Expr::lit(0)),
+                then_branch: vec![
+                    Stmt::Store {
+                        record: new_record.to_string(),
+                        assigns: vec![(field.to_string(), Expr::name(vname.clone()))],
+                        connects: vec![ConnectTo {
+                            set: upper_set.to_string(),
+                            owner_var: owner_var.clone(),
+                        }],
+                    },
+                    find_group.clone(),
+                ],
+                else_branch: vec![],
+            };
+            let new_assigns: Vec<(String, Expr)> = assigns
+                .iter()
+                .filter(|(f, _)| f != field)
+                .cloned()
+                .collect();
+            let mut new_connects: Vec<ConnectTo> = connects
+                .iter()
+                .filter(|c| c.set != via_set)
+                .cloned()
+                .collect();
+            new_connects.push(ConnectTo {
+                set: lower_set.to_string(),
+                owner_var: cname.clone(),
+            });
+            warnings.push(Warning::CompensationInserted {
+                detail: format!("find-or-create {new_record} for STORE {record}"),
+            });
+            vec![
+                Stmt::Let {
+                    var: vname,
+                    expr: value_expr,
+                },
+                find_group,
+                create_group,
+                Stmt::Store {
+                    record: record.to_string(),
+                    assigns: new_assigns,
+                    connects: new_connects,
+                },
+            ]
+        });
+        self.warnings.extend(warnings);
+    }
+
+    // -- demotion --------------------------------------------------------------
+
+    fn demote(
+        &mut self,
+        mid_record: &str,
+        upper_set: &str,
+        lower_set: &str,
+        record: &str,
+        merged_set: &str,
+    ) {
+        let mut questions = Vec::new();
+        self.program.visit_finds_mut(&mut |q| {
+            let spec = q.spec_mut();
+            if spec.target == mid_record {
+                questions.push(Question::TargetEntityRemoved {
+                    record: mid_record.to_string(),
+                });
+                return;
+            }
+            let old_steps = std::mem::take(&mut spec.steps);
+            let mut new_steps = Vec::with_capacity(old_steps.len());
+            let mut i = 0;
+            while i < old_steps.len() {
+                let step = &old_steps[i];
+                if step.set == upper_set && step.record == mid_record {
+                    // Must be immediately followed by the lower hop.
+                    if let Some(next) = old_steps.get(i + 1) {
+                        if next.set == lower_set && next.record == record {
+                            let filter = match (&step.filter, &next.filter) {
+                                (None, None) => None,
+                                (Some(a), None) => Some(a.clone()),
+                                (None, Some(b)) => Some(b.clone()),
+                                (Some(a), Some(b)) => Some(a.clone().and(b.clone())),
+                            };
+                            new_steps.push(PathStep {
+                                set: merged_set.to_string(),
+                                record: record.to_string(),
+                                filter,
+                            });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    questions.push(Question::TargetEntityRemoved {
+                        record: mid_record.to_string(),
+                    });
+                    new_steps.push(step.clone());
+                    i += 1;
+                } else {
+                    new_steps.push(step.clone());
+                    i += 1;
+                }
+            }
+            spec.steps = new_steps;
+        });
+        self.questions.extend(questions);
+
+        // Statement-level uses of the removed record type.
+        let mut qs = Vec::new();
+        self.program.visit_stmts(&mut |s| match s {
+            Stmt::Store {
+                record: r,
+                connects,
+                ..
+            }
+                if (r == mid_record || connects.iter().any(|c| c.set == lower_set)) => {
+                    qs.push(Question::TargetEntityRemoved {
+                        record: mid_record.to_string(),
+                    });
+                }
+            Stmt::Connect { set, .. } | Stmt::Disconnect { set, .. }
+                if (set == upper_set || set == lower_set) => {
+                    qs.push(Question::TargetEntityRemoved {
+                        record: mid_record.to_string(),
+                    });
+                }
+            Stmt::CallDml { record: r, .. } if r == mid_record || r == record => {
+                qs.push(Question::CallDmlFieldListChanged { record: r.clone() });
+            }
+            _ => {}
+        });
+        self.questions.extend(qs);
+    }
+
+    // -- ordering --------------------------------------------------------------
+
+    fn change_set_keys(&mut self, set: &str, new_keys: &[String]) {
+        let old_keys: Vec<String> = self
+            .schema
+            .set(set)
+            .map(|s| s.keys.clone())
+            .unwrap_or_default();
+        // New ordering keys impose a new uniqueness rule within each
+        // occurrence ("Duplicates are not allowed within a set occurrence",
+        // §4.2): programs that insert or modify members may newly fail.
+        if !new_keys.is_empty() && new_keys != old_keys {
+            let member = self
+                .schema
+                .set(set)
+                .map(|s| s.member.clone())
+                .unwrap_or_default();
+            let mut updates_member = false;
+            let types = self.types.clone();
+            self.program.visit_stmts(&mut |s| match s {
+                Stmt::Store { record, .. } if *record == member => updates_member = true,
+                Stmt::Modify { var, assigns }
+                    if types.get(var) == Some(&member)
+                        && assigns.iter().any(|(f, _)| new_keys.contains(f))
+                    => {
+                        updates_member = true;
+                    }
+                _ => {}
+            });
+            if updates_member {
+                self.warnings.push(Warning::IntegrityTightened {
+                    detail: format!(
+                        "set {set} is now keyed on ({}); duplicate key values                          within an occurrence will be rejected",
+                        new_keys.join(", ")
+                    ),
+                });
+            }
+        }
+        let report = analyze_host(&self.program, self.schema);
+        let order_sensitive: Vec<String> = report
+            .hazards
+            .iter()
+            .filter_map(|h| match h {
+                dbpc_analyzer::dataflow::Hazard::OrderObservable { query } => {
+                    Some(query.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let mut questions = Vec::new();
+        let mut wrapped = Vec::new();
+        self.program.visit_finds_mut(&mut |q| {
+            if q.is_sorted() {
+                return;
+            }
+            let final_set = q.spec().steps.last().map(|s| s.set.clone());
+            if final_set.as_deref() != Some(set) {
+                return;
+            }
+            let observable = order_sensitive.iter().any(|s| s == &q.to_string());
+            if old_keys.is_empty() {
+                // Chronological order is not reconstructible by sorting.
+                if observable {
+                    questions.push(Question::OrderIrrecoverable {
+                        query: q.to_string(),
+                    });
+                }
+                return;
+            }
+            // Pin the source order. (The optimizer removes the SORT again
+            // when the order is unobservable or already matches.)
+            wrapped.push(q.to_string());
+            let inner = std::mem::replace(
+                q,
+                FindExpr::Find(FindSpec {
+                    target: String::new(),
+                    start: PathStart::System,
+                    steps: Vec::new(),
+                }),
+            );
+            *q = FindExpr::Sort {
+                inner: Box::new(inner),
+                keys: old_keys.clone(),
+            };
+        });
+        self.questions.extend(questions);
+        for w in wrapped {
+            self.warnings.push(Warning::OrderCompensated { query: w });
+        }
+    }
+
+    // -- integrity-semantics changes --------------------------------------------
+
+    fn change_insertion(&mut self, set: &str, insertion: Insertion) {
+        let member = self
+            .schema
+            .set(set)
+            .map(|s| s.member.clone())
+            .unwrap_or_default();
+        match insertion {
+            Insertion::Automatic => {
+                let mut qs = Vec::new();
+                self.program.visit_stmts(&mut |s| {
+                    if let Stmt::Store {
+                        record, connects, ..
+                    } = s
+                    {
+                        if *record == member && !connects.iter().any(|c| c.set == set) {
+                            qs.push(Question::InsertionTightened {
+                                record: member.clone(),
+                                set: set.to_string(),
+                            });
+                        }
+                    }
+                });
+                self.questions.extend(qs);
+            }
+            Insertion::Manual => self.warnings.push(Warning::IntegrityLoosened {
+                detail: format!("set {set} insertion is now MANUAL"),
+            }),
+        }
+    }
+
+    fn change_retention(&mut self, set: &str, retention: Retention) {
+        match retention {
+            Retention::Mandatory => {
+                let mut affected = false;
+                self.program.visit_stmts(&mut |s| {
+                    if let Stmt::Disconnect { set: s2, .. } = s {
+                        if s2 == set {
+                            affected = true;
+                        }
+                    }
+                });
+                if affected {
+                    self.questions
+                        .push(Question::RetentionTightened { set: set.to_string() });
+                } else {
+                    self.warnings.push(Warning::IntegrityTightened {
+                        detail: format!("set {set} retention is now MANDATORY"),
+                    });
+                }
+            }
+            Retention::Optional => self.warnings.push(Warning::IntegrityLoosened {
+                detail: format!("set {set} retention is now OPTIONAL"),
+            }),
+        }
+    }
+
+    fn add_constraint(&mut self, c: &Constraint) {
+        let touched = c.touches_records(self.schema);
+        let report = analyze_host(&self.program, self.schema);
+        if touched
+            .iter()
+            .any(|r| report.records_used.contains(*r) && report.has_updates)
+        {
+            self.warnings.push(Warning::IntegrityTightened {
+                detail: format!("updates now checked against: {c}"),
+            });
+        }
+    }
+
+    fn drop_constraint(&mut self, c: &Constraint) {
+        // The characterizing case changes DELETE behavior: implicit member
+        // cascade disappears, so explicit member deletion is inserted
+        // (Su's dependent-entity example, §4.1).
+        if let Constraint::Characterizing { set } = c {
+            let Some(sd) = self.schema.set(set) else {
+                return;
+            };
+            let owner_type = sd.owner.record_name().unwrap_or_default().to_string();
+            let member_type = sd.member.clone();
+            let set_name = set.clone();
+            let types = self.types.clone();
+            let fresh = &mut *self.fresh;
+            let mut inserted = false;
+            map_stmts(&mut self.program.stmts, &mut |s| {
+                let Stmt::Delete { var, all: false } = &s else {
+                    return vec![s];
+                };
+                if types.get(var).map(String::as_str) != Some(owner_type.as_str()) {
+                    return vec![s];
+                }
+                inserted = true;
+                let cvar = fresh.collection();
+                vec![
+                    Stmt::Find {
+                        var: cvar.clone(),
+                        query: FindExpr::Find(FindSpec {
+                            target: member_type.clone(),
+                            start: PathStart::Collection(var.clone()),
+                            steps: vec![PathStep::new(set_name.clone(), member_type.clone())],
+                        }),
+                    },
+                    Stmt::Delete {
+                        var: cvar,
+                        all: false,
+                    },
+                    s,
+                ]
+            });
+            if inserted {
+                self.warnings.push(Warning::CompensationInserted {
+                    detail: format!(
+                        "explicit deletion of {member_type} members before DELETE of \
+                         {owner_type} (characterizing constraint dropped from {set})"
+                    ),
+                });
+            }
+        } else {
+            self.warnings.push(Warning::IntegrityLoosened {
+                detail: format!("constraint dropped: {c}"),
+            });
+        }
+    }
+
+    fn delete_where(&mut self, record: &str) {
+        let report = analyze_host(&self.program, self.schema);
+        if report.records_used.contains(record) {
+            self.warnings.push(Warning::InformationDeleted {
+                record: record.to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST walking helpers
+// ---------------------------------------------------------------------------
+
+/// Map every statement (recursively) through `f`, which may expand one
+/// statement into several.
+pub fn map_stmts<F: FnMut(Stmt) -> Vec<Stmt>>(stmts: &mut Vec<Stmt>, f: &mut F) {
+    let old = std::mem::take(stmts);
+    for mut s in old {
+        match &mut s {
+            Stmt::ForEach { body, .. } | Stmt::While { body, .. } => map_stmts(body, f),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                map_stmts(then_branch, f);
+                map_stmts(else_branch, f);
+            }
+            _ => {}
+        }
+        stmts.extend(f(s));
+    }
+}
+
+/// Visit every expression in the program immutably (including path filters).
+pub fn visit_exprs<F: FnMut(&Expr)>(program: &Program, f: &mut F) {
+    fn walk_bool<F: FnMut(&Expr)>(b: &BoolExpr, f: &mut F) {
+        match b {
+            BoolExpr::Cmp { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                walk_bool(a, f);
+                walk_bool(b, f);
+            }
+            BoolExpr::Not(a) => walk_bool(a, f),
+        }
+    }
+    fn walk_expr<F: FnMut(&Expr)>(e: &Expr, f: &mut F) {
+        f(e);
+        if let Expr::Bin { left, right, .. } = e {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+    }
+    fn walk_find<F: FnMut(&Expr)>(q: &FindExpr, f: &mut F) {
+        for step in &q.spec().steps {
+            if let Some(b) = &step.filter {
+                walk_bool(b, f);
+            }
+        }
+    }
+    program.visit_stmts(&mut |s| match s {
+        Stmt::Let { expr, .. } => walk_expr(expr, f),
+        Stmt::Find { query, .. } => walk_find(query, f),
+        Stmt::ForEach {
+            source: ForSource::Query(q),
+            ..
+        } => walk_find(q, f),
+        Stmt::Print(exprs) | Stmt::WriteFile { exprs, .. } => {
+            for e in exprs {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::Store { assigns, .. } | Stmt::Modify { assigns, .. } => {
+            for (_, e) in assigns {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Check { cond, .. } => {
+            walk_bool(cond, f)
+        }
+        Stmt::CallDml { verb, .. } => walk_expr(verb, f),
+        _ => {}
+    });
+}
+
+/// Rewrite every expression in the program mutably (including path filters).
+pub fn rewrite_exprs<F: FnMut(&mut Expr)>(program: &mut Program, f: &mut F) {
+    fn walk_bool<F: FnMut(&mut Expr)>(b: &mut BoolExpr, f: &mut F) {
+        match b {
+            BoolExpr::Cmp { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                walk_bool(a, f);
+                walk_bool(b, f);
+            }
+            BoolExpr::Not(a) => walk_bool(a, f),
+        }
+    }
+    fn walk_expr<F: FnMut(&mut Expr)>(e: &mut Expr, f: &mut F) {
+        f(e);
+        if let Expr::Bin { left, right, .. } = e {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+    }
+    program.visit_stmts_mut(&mut |s| match s {
+        Stmt::Let { expr, .. } => walk_expr(expr, f),
+        Stmt::Find { query, .. } => {
+            for step in &mut query.spec_mut().steps {
+                if let Some(b) = &mut step.filter {
+                    walk_bool(b, f);
+                }
+            }
+        }
+        Stmt::ForEach {
+            source: ForSource::Query(q),
+            ..
+        } => {
+            for step in &mut q.spec_mut().steps {
+                if let Some(b) = &mut step.filter {
+                    walk_bool(b, f);
+                }
+            }
+        }
+        Stmt::Print(exprs) | Stmt::WriteFile { exprs, .. } => {
+            for e in exprs {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::Store { assigns, .. } | Stmt::Modify { assigns, .. } => {
+            for (_, e) in assigns {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Check { cond, .. } => {
+            walk_bool(cond, f)
+        }
+        Stmt::CallDml { verb, .. } => walk_expr(verb, f),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::{parse_program, print_program};
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                    FieldDef::virtual_field("DIV-NAME", FieldType::Char(20), "DIV-EMP", "DIV-NAME"),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn fig_4_4() -> Transform {
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        }
+    }
+
+    fn convert_one(src: &str, t: &Transform) -> RuleOutcome {
+        let p = parse_program(src).unwrap();
+        let mut fresh = FreshNames::default();
+        convert_step(&p, &company_schema(), t, &mut fresh)
+    }
+
+    /// Paper §4.2, converted example 1 — the SORT-wrapped spliced path.
+    #[test]
+    fn paper_converted_example_1() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(out.questions.is_empty());
+        let Stmt::Find { query, .. } = &out.program.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            query.to_string(),
+            "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, \
+             EMP(AGE > 30))) ON (EMP-NAME)"
+        );
+    }
+
+    /// Paper §4.2, converted example 2 — filter re-homed, no SORT.
+    #[test]
+    fn paper_converted_example_2() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(out.questions.is_empty());
+        let Stmt::Find { query, .. } = &out.program.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            query.to_string(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), \
+             DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)"
+        );
+    }
+
+    #[test]
+    fn mixed_conjunct_raises_question() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(DEPT-NAME = EMP-NAME));
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(matches!(
+            out.questions.as_slice(),
+            [Question::UnsplittableFilter { .. }]
+        ));
+    }
+
+    #[test]
+    fn store_gets_find_or_create_compensation() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  STORE EMP (EMP-NAME := 'NEW', DEPT-NAME := 'SALES', AGE := 21) CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(out.questions.is_empty());
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::CompensationInserted { .. })));
+        let text = print_program(&out.program);
+        // Find-or-create shape.
+        assert!(text.contains("LET CVT-V1 := 'SALES';"));
+        assert!(text.contains("FIND CVT-2 := FIND(DEPT: D, DIV-DEPT, DEPT(DEPT-NAME = CVT-V1));"));
+        assert!(text.contains("IF COUNT(CVT-2) = 0 THEN"));
+        assert!(text.contains("STORE DEPT (DEPT-NAME := CVT-V1) CONNECT TO DIV-DEPT OF D;"));
+        assert!(text
+            .contains("STORE EMP (EMP-NAME := 'NEW', AGE := 21) CONNECT TO DEPT-EMP OF CVT-2;"));
+    }
+
+    #[test]
+    fn migrated_virtual_reference_raises_question() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  FOR EACH R IN E DO
+    PRINT R.DIV-NAME;
+  END FOR;
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(out
+            .questions
+            .iter()
+            .any(|q| matches!(q, Question::MigratedFieldReference { field, .. } if field == "DIV-NAME")));
+    }
+
+    #[test]
+    fn modify_of_promoted_field_raises_question() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(EMP-NAME = 'X'));
+  MODIFY E SET (DEPT-NAME := 'ENG');
+END PROGRAM;",
+            &fig_4_4(),
+        );
+        assert!(out
+            .questions
+            .iter()
+            .any(|q| matches!(q, Question::ModifyMovedField { .. })));
+    }
+
+    #[test]
+    fn demote_merges_spliced_path_back() {
+        // Build the 4.4 schema, then demote.
+        let target = fig_4_4().apply_schema(&company_schema()).unwrap();
+        let demote = fig_4_4().inverse().unwrap();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP(AGE > 30));
+END PROGRAM;",
+        )
+        .unwrap();
+        let mut fresh = FreshNames::default();
+        let out = convert_step(&p, &target, &demote, &mut fresh);
+        assert!(out.questions.is_empty());
+        let Stmt::Find { query, .. } = &out.program.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            query.to_string(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), \
+             DIV-EMP, EMP(DEPT-NAME = 'SALES' AND AGE > 30))"
+        );
+    }
+
+    #[test]
+    fn demote_flags_programs_targeting_removed_entity() {
+        let target = fig_4_4().apply_schema(&company_schema()).unwrap();
+        let demote = fig_4_4().inverse().unwrap();
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DEPT: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT);
+  PRINT COUNT(D);
+END PROGRAM;",
+        )
+        .unwrap();
+        let mut fresh = FreshNames::default();
+        let out = convert_step(&p, &target, &demote, &mut fresh);
+        assert!(out
+            .questions
+            .iter()
+            .any(|q| matches!(q, Question::TargetEntityRemoved { .. })));
+    }
+
+    #[test]
+    fn renames_rewrite_everything() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.AGE;
+  END FOR;
+  MODIFY E SET (AGE := AGE + 1);
+END PROGRAM;",
+            &Transform::RenameField {
+                record: "EMP".into(),
+                old: "AGE".into(),
+                new: "YEARS".into(),
+            },
+        );
+        let text = print_program(&out.program);
+        assert!(text.contains("EMP(YEARS > 30)"));
+        assert!(text.contains("R.YEARS"));
+        assert!(text.contains("MODIFY E SET (YEARS := YEARS + 1);"));
+        assert!(!text.contains("AGE"));
+    }
+
+    #[test]
+    fn rename_record_and_set() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  STORE EMP (EMP-NAME := 'X') CONNECT TO DIV-EMP OF D;
+END PROGRAM;",
+            &Transform::RenameSet {
+                old: "DIV-EMP".into(),
+                new: "STAFF".into(),
+            },
+        );
+        let text = print_program(&out.program);
+        assert!(text.contains("CONNECT TO STAFF OF D;"));
+    }
+
+    #[test]
+    fn drop_field_referenced_is_questioned() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+END PROGRAM;",
+            &Transform::DropField {
+                record: "EMP".into(),
+                field: "AGE".into(),
+            },
+        );
+        assert!(matches!(
+            out.questions.as_slice(),
+            [Question::DroppedFieldReferenced { .. }]
+        ));
+    }
+
+    #[test]
+    fn drop_field_unreferenced_is_clean() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(EMP-NAME = 'X'));
+END PROGRAM;",
+            &Transform::DropField {
+                record: "EMP".into(),
+                field: "AGE".into(),
+            },
+        );
+        assert!(out.questions.is_empty());
+    }
+
+    #[test]
+    fn change_set_keys_wraps_sort_on_old_keys() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+            &Transform::ChangeSetKeys {
+                set: "DIV-EMP".into(),
+                keys: vec!["AGE".into()],
+            },
+        );
+        let Stmt::Find { query, .. } = &out.program.stmts[0] else {
+            panic!()
+        };
+        assert!(query.is_sorted());
+        assert!(query.to_string().ends_with("ON (EMP-NAME)"));
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::OrderCompensated { .. })));
+    }
+
+    #[test]
+    fn dropped_characterizing_constraint_inserts_member_deletes() {
+        let schema = company_schema().with_constraint(Constraint::Characterizing {
+            set: "DIV-EMP".into(),
+        });
+        let p = parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  DELETE D;
+END PROGRAM;",
+        )
+        .unwrap();
+        let mut fresh = FreshNames::default();
+        let out = convert_step(
+            &p,
+            &schema,
+            &Transform::DropConstraint(Constraint::Characterizing {
+                set: "DIV-EMP".into(),
+            }),
+            &mut fresh,
+        );
+        let text = print_program(&out.program);
+        assert!(text.contains("FIND CVT-1 := FIND(EMP: D, DIV-EMP, EMP);"));
+        assert!(text.contains("DELETE CVT-1;"));
+        assert!(text.contains("DELETE D;"));
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::CompensationInserted { .. })));
+    }
+
+    #[test]
+    fn insertion_tightening_questions_unconnected_stores() {
+        let mut schema = company_schema();
+        schema.set_mut("DIV-EMP").unwrap().insertion = Insertion::Manual;
+        let p = parse_program(
+            "PROGRAM P;
+  STORE EMP (EMP-NAME := 'X');
+END PROGRAM;",
+        )
+        .unwrap();
+        let mut fresh = FreshNames::default();
+        let out = convert_step(
+            &p,
+            &schema,
+            &Transform::ChangeInsertion {
+                set: "DIV-EMP".into(),
+                insertion: Insertion::Automatic,
+            },
+            &mut fresh,
+        );
+        assert!(matches!(
+            out.questions.as_slice(),
+            [Question::InsertionTightened { .. }]
+        ));
+    }
+
+    #[test]
+    fn delete_where_warns_readers() {
+        let out = convert_one(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+            &Transform::DeleteWhere {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                op: CmpOp::Gt,
+                value: dbpc_datamodel::value::Value::Int(60),
+            },
+        );
+        assert!(matches!(
+            out.warnings.as_slice(),
+            [Warning::InformationDeleted { .. }]
+        ));
+    }
+}

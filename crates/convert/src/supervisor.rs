@@ -1,0 +1,442 @@
+//! The Program Conversion Supervisor (Figure 4.1's conversion program
+//! manager).
+//!
+//! "During the entire program conversion process, a monitor program, the
+//! conversion program manager, oversees the operation of the other modules.
+//! We expect that an interactive system would be most successful in
+//! resolving issues of database integrity and application program
+//! requirements."
+//!
+//! The pipeline:
+//!
+//! 1. **Conversion Analyzer** ([`crate::mapping`]) validates the declared
+//!    schemas/restructuring triple;
+//! 2. **Program Analyzer** (dbpc-analyzer) surfaces §3.2 hazards — a
+//!    run-time-variable DML verb is raised to the analyst immediately;
+//! 3. **Program Converter** ([`crate::rules`]) applies one rule family per
+//!    transform, threading the program through the schema snapshots;
+//! 4. every [`Question`] is put to the [`Analyst`]; a rejection ends the
+//!    conversion, an approval downgrades the verdict to
+//!    [`Verdict::NeedsManualWork`];
+//! 5. the **Optimizer** (optional) cleans up;
+//! 6. the **Program Generator** emits target text.
+
+use crate::mapping::Mapping;
+use crate::optimizer::optimize;
+use crate::report::{Analyst, Answer, ConversionReport, Question, Verdict, Warning};
+use crate::rules::{convert_step, FreshNames};
+use dbpc_analyzer::apg::AccessPathGraph;
+use dbpc_analyzer::dataflow::{analyze_host, Hazard};
+use dbpc_datamodel::error::ModelResult;
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::host::Program;
+use dbpc_restructure::Restructuring;
+
+/// Configuration of a conversion run.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervisor {
+    /// Run the optimizer after conversion (§5.4).
+    pub optimize: bool,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor { optimize: true }
+    }
+}
+
+impl Supervisor {
+    pub fn new() -> Supervisor {
+        Supervisor::default()
+    }
+
+    pub fn without_optimizer() -> Supervisor {
+        Supervisor { optimize: false }
+    }
+
+    /// Convert one program under a restructuring, consulting `analyst` for
+    /// every question. The target schema is derived from the restructuring.
+    pub fn convert(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+    ) -> ModelResult<ConversionReport> {
+        let mapping = Mapping::from_restructuring(source_schema, restructuring)?;
+
+        let mut warnings: Vec<Warning> = Vec::new();
+        let mut questions: Vec<(Question, Answer)> = Vec::new();
+        let mut needs_manual = false;
+        let mut rejected = false;
+
+        // Program analysis: execution-time variability blocks automation
+        // before any rewriting is attempted (§3.2).
+        let analysis = analyze_host(program, source_schema);
+        for h in &analysis.hazards {
+            if let Hazard::RuntimeVariableVerb { .. } = h {
+                let q = Question::RuntimeVariability { hazard: h.clone() };
+                let a = analyst.resolve(&q);
+                match a {
+                    Answer::Proceed => needs_manual = true,
+                    Answer::Reject => rejected = true,
+                }
+                questions.push((q, a));
+            }
+        }
+
+        // Per-transform rewriting against the pre-step schema snapshots.
+        let mut current = program.clone();
+        let mut fresh = FreshNames::default();
+        if !rejected {
+            for (i, t) in mapping.restructuring.transforms.iter().enumerate() {
+                let outcome = convert_step(&current, &mapping.snapshots[i], t, &mut fresh);
+                current = outcome.program;
+                warnings.extend(outcome.warnings);
+                for q in outcome.questions {
+                    let a = analyst.resolve(&q);
+                    match a {
+                        Answer::Proceed => {
+                            // §5.2: an approved integrity tightening is a
+                            // *desired* behavior change ("the application
+                            // requirements have changed"), not unfinished
+                            // work — record it as a predicted change.
+                            if let Question::InsertionTightened { record, set } = &q {
+                                warnings.push(Warning::IntegrityTightened {
+                                    detail: format!(
+                                        "STORE {record} now requires membership in {set}                                          (behavior change approved by analyst)"
+                                    ),
+                                });
+                            } else if let Question::RetentionTightened { set } = &q {
+                                warnings.push(Warning::IntegrityTightened {
+                                    detail: format!(
+                                        "DISCONNECT from {set} now forbidden                                          (behavior change approved by analyst)"
+                                    ),
+                                });
+                            } else {
+                                needs_manual = true;
+                            }
+                        }
+                        Answer::Reject => rejected = true,
+                    }
+                    questions.push((q, a));
+                }
+                if rejected {
+                    break;
+                }
+            }
+        }
+
+        // Alternate-path audit: "if … multiple data paths can be found to
+        // carry out an access then these issues can be resolved
+        // interactively" (§4). Each converted hop whose (source, target)
+        // pair is realized by more than one set in the target schema is
+        // put to the analyst once.
+        if !rejected {
+            for q in ambiguous_paths(&current, &mapping.target) {
+                let a = analyst.resolve(&q);
+                match a {
+                    Answer::Proceed => {}
+                    Answer::Reject => rejected = true,
+                }
+                questions.push((q, a));
+                if rejected {
+                    break;
+                }
+            }
+        }
+
+        if rejected {
+            return Ok(ConversionReport {
+                verdict: Verdict::Rejected,
+                program: None,
+                text: None,
+                warnings,
+                questions,
+            });
+        }
+
+        if self.optimize {
+            let (optimized, opt_warnings) = optimize(&current, &mapping.target);
+            current = optimized;
+            warnings.extend(opt_warnings);
+        }
+
+        let verdict = if needs_manual {
+            Verdict::NeedsManualWork
+        } else if warnings.is_empty() {
+            Verdict::Converted
+        } else {
+            Verdict::ConvertedWithWarnings
+        };
+        let text = crate::generator::generate_host(&current);
+        Ok(ConversionReport {
+            verdict,
+            program: Some(current),
+            text: Some(text),
+            warnings,
+            questions,
+        })
+    }
+}
+
+/// Find converted path hops with more than one minimal realization in the
+/// target schema.
+fn ambiguous_paths(program: &Program, target: &NetworkSchema) -> Vec<Question> {
+    use dbpc_dml::host::PathStart;
+    let apg = AccessPathGraph::new(target);
+    let mut seen: Vec<(String, String)> = Vec::new();
+    let mut questions = Vec::new();
+    for find in program.finds() {
+        let spec = find.spec();
+        let mut prev: Option<String> = match &spec.start {
+            PathStart::System => None,
+            PathStart::Collection(_) => None,
+        };
+        for step in &spec.steps {
+            if let Some(from) = &prev {
+                let pair = (from.clone(), step.record.clone());
+                if !seen.contains(&pair) && apg.is_ambiguous(from, &step.record, 1) {
+                    let candidates: Vec<String> = apg
+                        .paths(from, &step.record, 1)
+                        .into_iter()
+                        .map(|p| p.describe())
+                        .collect();
+                    questions.push(Question::AmbiguousPath {
+                        from: from.clone(),
+                        to: step.record.clone(),
+                        candidates,
+                    });
+                    seen.push(pair);
+                }
+            }
+            prev = Some(step.record.clone());
+        }
+    }
+    questions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AutoAnalyst, PermissiveAnalyst};
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::parse_program;
+    use dbpc_restructure::Transform;
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn fig_4_4() -> Restructuring {
+        Restructuring::single(Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        })
+    }
+
+    #[test]
+    fn clean_program_converts_automatically() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        assert!(report.succeeded());
+        let text = report.text.unwrap();
+        assert!(text.contains("DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP"));
+    }
+
+    #[test]
+    fn optimizer_removes_conservative_sort() {
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+END PROGRAM;",
+        )
+        .unwrap();
+        // Without the optimizer: the rules wrap a SORT (paper example 1).
+        let r1 = Supervisor::without_optimizer()
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        assert!(r1.text.unwrap().contains("SORT("));
+        // With the optimizer: the SORT is provably redundant (DEPT-EMP is
+        // keyed on EMP-NAME) and vanishes — but the dead-FIND pass removes
+        // the unused retrieval first, so use the result.
+        let p2 = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let r2 = Supervisor::new()
+            .convert(&company_schema(), &fig_4_4(), &p2, &mut AutoAnalyst)
+            .unwrap();
+        let text = r2.text.unwrap();
+        assert!(!text.contains("SORT("));
+        assert!(text.contains("DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)"));
+    }
+
+    #[test]
+    fn runtime_verb_rejected_by_auto_analyst() {
+        let p = parse_program(
+            "PROGRAM P;
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        assert_eq!(report.verdict, Verdict::Rejected);
+        assert!(report.program.is_none());
+    }
+
+    #[test]
+    fn permissive_analyst_downgrades_to_manual() {
+        let p = parse_program(
+            "PROGRAM P;
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &fig_4_4(), &p, &mut PermissiveAnalyst)
+            .unwrap();
+        assert_eq!(report.verdict, Verdict::NeedsManualWork);
+        assert!(report.program.is_some());
+    }
+
+    #[test]
+    fn multi_step_restructuring_threads_snapshots() {
+        let r = Restructuring::new(vec![
+            Transform::RenameField {
+                record: "EMP".into(),
+                old: "AGE".into(),
+                new: "YEARS".into(),
+            },
+            Transform::RenameRecord {
+                old: "EMP".into(),
+                new: "WORKER".into(),
+            },
+        ]);
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.AGE;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::new()
+            .convert(&company_schema(), &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        let text = report.text.unwrap();
+        assert!(text.contains("WORKER(YEARS > 30)"));
+        assert!(text.contains("R.YEARS"));
+    }
+
+    #[test]
+    fn ambiguous_path_raised_for_parallel_sets() {
+        // Two sets between DIV and EMP: the access is genuinely ambiguous
+        // in the target schema (§4's interactive-resolution case).
+        let schema = NetworkSchema::new("P")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("CURRENT-STAFF", "DIV", "EMP", vec!["EMP-NAME"]))
+            .with_set(
+                SetDef::owned("ALUMNI", "DIV", "EMP", vec!["EMP-NAME"])
+                    .with_insertion(dbpc_datamodel::network::Insertion::Manual),
+            );
+        let r = Restructuring::single(Transform::RenameField {
+            record: "EMP".into(),
+            old: "EMP-NAME".into(),
+            new: "NAME".into(),
+        });
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, CURRENT-STAFF, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap();
+        // Fully automatic mode rejects on the ambiguity question.
+        let auto = Supervisor::new()
+            .convert(&schema, &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        assert_eq!(auto.verdict, Verdict::Rejected);
+        assert!(auto
+            .questions
+            .iter()
+            .any(|(q, _)| matches!(q, crate::report::Question::AmbiguousPath { .. })));
+        // A human confirming the set choice lets it through.
+        let ok = Supervisor::new()
+            .convert(&schema, &r, &p, &mut PermissiveAnalyst)
+            .unwrap();
+        assert!(ok.program.is_some());
+    }
+
+    #[test]
+    fn verdict_reflects_warnings() {
+        let r = Restructuring::single(Transform::ChangeSetKeys {
+            set: "DIV-EMP".into(),
+            keys: vec!["AGE".into()],
+        });
+        let p = parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap();
+        let report = Supervisor::without_optimizer()
+            .convert(&company_schema(), &r, &p, &mut AutoAnalyst)
+            .unwrap();
+        assert_eq!(report.verdict, Verdict::ConvertedWithWarnings);
+        assert!(report.text.unwrap().contains("ON (EMP-NAME)"));
+    }
+}

@@ -1,0 +1,515 @@
+//! Study harnesses: the success-rate matrix (experiment E2) and the
+//! conversion cost model (experiment E9).
+//!
+//! §2.1.1 reports that 1970s computer-aided converters "achieve a 65-70
+//! percent success rate (sometimes higher) … When a conversion cannot be
+//! done, often the software tool will mark the portion of the program that
+//! failed, and then the conversion is completed by hand." The study
+//! measures our framework the same way: over a corpus stratified by program
+//! feature × restructuring class, what fraction converts fully
+//! automatically, what fraction converts with warnings, what needs a human,
+//! and what is rejected — and, for everything converted, whether the result
+//! actually **runs equivalently** (the §1.1 criterion, checked by
+//! execution, not by assumption).
+
+use crate::gen::{generate_program, ProgramClass, TransformClass};
+use crate::named::company_db;
+use dbpc_convert::equivalence::{check_equivalence, EquivalenceLevel};
+use dbpc_convert::report::AutoAnalyst;
+use dbpc_convert::{Supervisor, Verdict};
+use dbpc_engine::Inputs;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Outcome counts for one (transform class, program class) cell.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    pub total: usize,
+    pub converted: usize,
+    pub converted_with_warnings: usize,
+    pub needs_manual: usize,
+    pub rejected: usize,
+    /// Converted programs whose execution trace matched (strict or at the
+    /// predicted-warning level).
+    pub verified_equivalent: usize,
+    /// Converted programs whose execution diverged unpredictably — a
+    /// conversion-system bug if ever nonzero.
+    pub verified_wrong: usize,
+}
+
+impl Cell {
+    /// Fraction automatically converted (with or without warnings).
+    pub fn auto_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.converted + self.converted_with_warnings) as f64 / self.total as f64
+    }
+}
+
+/// One row of the study: a transform class against every program class.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    pub transform: TransformClass,
+    pub cells: Vec<(ProgramClass, Cell)>,
+}
+
+impl StudyRow {
+    pub fn aggregate(&self) -> Cell {
+        let mut agg = Cell::default();
+        for (_, c) in &self.cells {
+            agg.total += c.total;
+            agg.converted += c.converted;
+            agg.converted_with_warnings += c.converted_with_warnings;
+            agg.needs_manual += c.needs_manual;
+            agg.rejected += c.rejected;
+            agg.verified_equivalent += c.verified_equivalent;
+            agg.verified_wrong += c.verified_wrong;
+        }
+        agg
+    }
+}
+
+/// The complete study result.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    pub rows: Vec<StudyRow>,
+    pub samples_per_cell: usize,
+}
+
+impl StudyResult {
+    /// The overall automatic-conversion rate — the number the paper's
+    /// §2.1.1 pegs at 65-70 % for 1970s converters.
+    pub fn overall_auto_rate(&self) -> f64 {
+        let mut total = 0usize;
+        let mut auto_ok = 0usize;
+        for row in &self.rows {
+            let agg = row.aggregate();
+            total += agg.total;
+            auto_ok += agg.converted + agg.converted_with_warnings;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            auto_ok as f64 / total as f64
+        }
+    }
+
+    pub fn total_verified_wrong(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.aggregate().verified_wrong)
+            .sum()
+    }
+}
+
+impl fmt::Display for StudyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7} {:>9}",
+            "transform", "auto", "warn", "manual", "reject", "auto%", "verified"
+        )?;
+        for row in &self.rows {
+            let a = row.aggregate();
+            writeln!(
+                f,
+                "{:<16} {:>6} {:>6} {:>6} {:>7} {:>6.1}% {:>5}/{:<3}",
+                row.transform.name(),
+                a.converted,
+                a.converted_with_warnings,
+                a.needs_manual,
+                a.rejected,
+                100.0 * a.auto_rate(),
+                a.verified_equivalent,
+                a.converted + a.converted_with_warnings,
+            )?;
+        }
+        writeln!(
+            f,
+            "overall automatic conversion rate: {:.1}%  (1970s computer-aided baseline: 65-70%)",
+            100.0 * self.overall_auto_rate()
+        )
+    }
+}
+
+/// Run the success-rate study in fully automatic mode (every analyst
+/// question is a rejection).
+pub fn success_rate_study(samples: usize, seed: u64) -> StudyResult {
+    success_rate_study_with(samples, seed, false)
+}
+
+/// Run the study with a permissive analyst: questions are approved, so
+/// partially-convertible programs land in `needs_manual` instead of
+/// `rejected` — the "conversion is completed by hand" mode of §2.1.1.
+pub fn success_rate_study_interactive(samples: usize, seed: u64) -> StudyResult {
+    success_rate_study_with(samples, seed, true)
+}
+
+fn success_rate_study_with(samples: usize, seed: u64, permissive: bool) -> StudyResult {
+    use dbpc_convert::report::{Analyst, PermissiveAnalyst};
+    let schema = crate::named::company_schema();
+    let supervisor = Supervisor::new();
+    let mut rows = Vec::new();
+    for t in TransformClass::ALL {
+        let restructuring = t.restructuring();
+        let mut cells = Vec::new();
+        for pc in ProgramClass::ALL {
+            let mut cell = Cell::default();
+            for k in 0..samples {
+                let program_seed = seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((k as u64) << 8)
+                    .wrapping_add(*pc as u64);
+                let program = generate_program(*pc, program_seed);
+                cell.total += 1;
+                let mut auto = AutoAnalyst;
+                let mut perm = PermissiveAnalyst;
+                let analyst: &mut dyn Analyst =
+                    if permissive { &mut perm } else { &mut auto };
+                let report = match supervisor.convert(
+                    &schema,
+                    &restructuring,
+                    &program,
+                    analyst,
+                ) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        cell.rejected += 1;
+                        continue;
+                    }
+                };
+                match report.verdict {
+                    Verdict::Converted => cell.converted += 1,
+                    Verdict::ConvertedWithWarnings => cell.converted_with_warnings += 1,
+                    Verdict::NeedsManualWork => cell.needs_manual += 1,
+                    Verdict::Rejected => cell.rejected += 1,
+                }
+                // Execution verification for successful conversions.
+                if report.succeeded() {
+                    let src_db = company_db(4, 3, 8);
+                    let Ok(tgt_db) = restructuring.translate(&src_db) else {
+                        cell.verified_wrong += 1;
+                        continue;
+                    };
+                    let converted = report.program.as_ref().unwrap();
+                    match check_equivalence(
+                        src_db,
+                        &program,
+                        tgt_db,
+                        converted,
+                        &Inputs::new().with_terminal(&["RETRIEVE"]),
+                        &report.warnings,
+                    ) {
+                        Ok(eq) => match eq.level {
+                            EquivalenceLevel::Strict | EquivalenceLevel::Warned => {
+                                cell.verified_equivalent += 1
+                            }
+                            EquivalenceLevel::NotEquivalent => cell.verified_wrong += 1,
+                        },
+                        Err(_) => cell.verified_wrong += 1,
+                    }
+                }
+            }
+            cells.push((*pc, cell));
+        }
+        rows.push(StudyRow {
+            transform: *t,
+            cells,
+        });
+    }
+    StudyResult {
+        rows,
+        samples_per_cell: samples,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The conversion cost model (experiment E9)
+// ---------------------------------------------------------------------------
+
+/// Effort parameters, in analyst-hours per program (period-plausible
+/// magnitudes; the *shape* of the comparison is the claim, not the
+/// absolute numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Fully manual conversion of one database program.
+    pub manual_hours: f64,
+    /// Reviewing an automatically converted program.
+    pub review_hours: f64,
+    /// Completing a program the system converted partially
+    /// (needs-manual-work verdict).
+    pub completion_hours: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        // A 1979 shop: a week of analyst time to convert a program by hand,
+        // an hour to review a machine conversion, two days to finish a
+        // partial one.
+        CostParams {
+            manual_hours: 40.0,
+            review_hours: 1.0,
+            completion_hours: 16.0,
+        }
+    }
+}
+
+/// The cost-model result.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    pub programs: usize,
+    pub manual_total_hours: f64,
+    pub aided_total_hours: f64,
+}
+
+impl CostReport {
+    /// Fraction of the manual cost avoided — compare with the GAO figure
+    /// the paper opens with (about $100M of $450M ≈ 22 %, for conversions
+    /// in general; database program conversion automates better).
+    pub fn savings_fraction(&self) -> f64 {
+        1.0 - self.aided_total_hours / self.manual_total_hours
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        let _ = writeln!(s, "programs converted          : {}", self.programs);
+        let _ = writeln!(
+            s,
+            "manual conversion           : {:>10.0} analyst-hours",
+            self.manual_total_hours
+        );
+        let _ = writeln!(
+            s,
+            "computer-aided conversion   : {:>10.0} analyst-hours",
+            self.aided_total_hours
+        );
+        let _ = writeln!(
+            s,
+            "savings                     : {:>9.1}%  (GAO 1977 all-conversion baseline: ~22%)",
+            100.0 * self.savings_fraction()
+        );
+        f.write_str(&s)
+    }
+}
+
+/// Apply the cost model to a study result.
+pub fn cost_model(study: &StudyResult, params: CostParams) -> CostReport {
+    let mut programs = 0usize;
+    let mut aided = 0.0f64;
+    for row in &study.rows {
+        let a = row.aggregate();
+        programs += a.total;
+        let auto = (a.converted + a.converted_with_warnings) as f64;
+        aided += auto * params.review_hours;
+        aided += a.needs_manual as f64 * (params.review_hours + params.completion_hours);
+        aided += a.rejected as f64 * params.manual_hours;
+    }
+    CostReport {
+        programs,
+        manual_total_hours: programs as f64 * params.manual_hours,
+        aided_total_hours: aided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_runs_and_never_converts_wrongly() {
+        let study = success_rate_study(2, 1979);
+        let total: usize = study.rows.iter().map(|r| r.aggregate().total).sum();
+        assert_eq!(
+            total,
+            TransformClass::ALL.len() * ProgramClass::ALL.len() * 2
+        );
+        // The load-bearing assertion: nothing that claimed success runs
+        // differently than predicted.
+        assert_eq!(study.total_verified_wrong(), 0, "\n{study}");
+        // And the tool is in the plausible automation band.
+        let rate = study.overall_auto_rate();
+        assert!(rate > 0.4 && rate < 0.95, "rate = {rate}");
+    }
+
+    #[test]
+    fn renames_convert_everything_convertible() {
+        let study = success_rate_study(2, 7);
+        let rename_row = study
+            .rows
+            .iter()
+            .find(|r| r.transform == TransformClass::RenameAgeField)
+            .unwrap();
+        // Only the runtime-verb class resists a pure rename.
+        let agg = rename_row.aggregate();
+        assert_eq!(agg.rejected, 2, "{study}");
+    }
+
+    #[test]
+    fn cost_model_shows_savings() {
+        let study = success_rate_study(2, 3);
+        let report = cost_model(&study, CostParams::default());
+        assert!(report.savings_fraction() > 0.2, "{report}");
+        assert!(report.aided_total_hours < report.manual_total_hours);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy coverage (the §2.1.2 restrictiveness comparison)
+// ---------------------------------------------------------------------------
+
+/// Per-strategy outcome for one (transform, program) cell.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageCell {
+    pub total: usize,
+    pub rewrite_ok: usize,
+    pub emulate_ok: usize,
+    pub bridge_ok: usize,
+}
+
+/// Coverage of the three §2 strategies across the corpus: for each
+/// generated program and transform, does each strategy reproduce the source
+/// trace? The paper's claim under test: "The drawback of restrictiveness
+/// comes about because the emulation and bridge program strategies probably
+/// cannot utilize the increased capabilities of the restructured database …
+/// This approach may also limit the class of restructurings that can be
+/// done."
+pub fn strategy_coverage(samples: usize, seed: u64) -> Vec<(TransformClass, CoverageCell)> {
+    use dbpc_emulate::{run_bridged, Emulator, WriteBack};
+    use dbpc_engine::host_exec::run_host;
+
+    let schema = crate::named::company_schema();
+    let supervisor = Supervisor::new();
+    let mut rows = Vec::new();
+    for t in TransformClass::ALL {
+        let restructuring = t.restructuring();
+        let mut cell = CoverageCell::default();
+        for pc in ProgramClass::ALL {
+            for k in 0..samples {
+                let program_seed = seed
+                    .wrapping_mul(7_777_777)
+                    .wrapping_add((k as u64) << 8)
+                    .wrapping_add(*pc as u64);
+                let program = generate_program(*pc, program_seed);
+                cell.total += 1;
+
+                // Ground truth on the source database.
+                let mut src = company_db(4, 3, 8);
+                let Ok(tgt) = restructuring.translate(&src) else {
+                    continue;
+                };
+                let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
+                let Ok(expected) = run_host(&mut src, &program, inputs.clone()) else {
+                    continue;
+                };
+
+                // Rewriting.
+                if let Ok(report) =
+                    supervisor.convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+                {
+                    if report.succeeded() {
+                        let mut db = tgt.clone();
+                        if let Ok(trace) =
+                            run_host(&mut db, report.program.as_ref().unwrap(), inputs.clone())
+                        {
+                            if trace == expected {
+                                cell.rewrite_ok += 1;
+                            }
+                        }
+                    }
+                }
+                // Emulation (unmodified program).
+                if let Ok(mut emu) = Emulator::over(tgt.clone(), &schema, &restructuring) {
+                    if let Ok(trace) = run_host(&mut emu, &program, inputs.clone()) {
+                        if trace == expected {
+                            cell.emulate_ok += 1;
+                        }
+                    }
+                }
+                // Bridge (unmodified program, differential write-back).
+                if let Ok(run) = run_bridged(
+                    tgt.clone(),
+                    &schema,
+                    &restructuring,
+                    &program,
+                    inputs.clone(),
+                    WriteBack::Differential,
+                ) {
+                    if run.trace == expected {
+                        cell.bridge_ok += 1;
+                    }
+                }
+            }
+        }
+        rows.push((*t, cell));
+    }
+    rows
+}
+
+/// Render the coverage table.
+pub fn format_coverage(rows: &[(TransformClass, CoverageCell)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>9} {:>9} {:>9}",
+        "transform", "total", "rewrite", "emulate", "bridge"
+    );
+    for (t, c) in rows {
+        let pct = |n: usize| 100.0 * n as f64 / c.total.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>8.1}% {:>8.1}% {:>8.1}%",
+            t.name(),
+            c.total,
+            pct(c.rewrite_ok),
+            pct(c.emulate_ok),
+            pct(c.bridge_ok),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+
+    /// The measured shape of the §2.1.2 restrictiveness claim — with a
+    /// nuance the experiment surfaces honestly:
+    ///
+    /// * per *transform class*, emulation and bridge are all-or-nothing:
+    ///   information-losing restructurings (drop-field, delete-where) and
+    ///   non-invertible ones (bridge under change-keys) are **impossible**
+    ///   ("this approach may also limit the class of restructurings that
+    ///   can be done"), while rewriting still converts the programs that
+    ///   don't touch the lost information;
+    /// * per *program*, on the restructurings it does support, emulation
+    ///   covers at least as many programs as rewriting — by construction it
+    ///   mimics the source DML call by call — at the run-time cost
+    ///   experiment E1 measures.
+    #[test]
+    fn restrictiveness_shape_holds() {
+        let rows = strategy_coverage(1, 42);
+        let cell = |tc: TransformClass| {
+            rows.iter().find(|(t, _)| *t == tc).map(|(_, c)| c.clone()).unwrap()
+        };
+        // Lossy restructurings: emulation/bridge impossible, rewriting
+        // partially survives.
+        for lossy in [TransformClass::DropAgeField, TransformClass::DeleteSeniors] {
+            let c = cell(lossy);
+            assert_eq!(c.emulate_ok, 0, "{lossy}:\n{}", format_coverage(&rows));
+            assert_eq!(c.bridge_ok, 0, "{lossy}:\n{}", format_coverage(&rows));
+            assert!(c.rewrite_ok > 0, "{lossy}:\n{}", format_coverage(&rows));
+        }
+        // Non-invertible restructuring: the bridge (which needs Housel's
+        // inverse operators) is impossible; emulation and rewriting work.
+        let ck = cell(TransformClass::ChangeEmpKeys);
+        assert_eq!(ck.bridge_ok, 0, "{}", format_coverage(&rows));
+        assert!(ck.emulate_ok > 0 && ck.rewrite_ok > 0);
+        // On the paper's own promotion, per-call emulation covers at least
+        // as many programs as rewriting (and E1 shows what that costs).
+        let pr = cell(TransformClass::Promote);
+        assert!(pr.emulate_ok >= pr.rewrite_ok, "{}", format_coverage(&rows));
+    }
+}

@@ -1,0 +1,302 @@
+//! The integrity-constraint catalogue of §3.1.
+//!
+//! The paper's diagnosis: "The single most significant deficiency in the
+//! existing models is their inability to model integrity constraints to the
+//! degree needed." Constraints therefore end up "maintained by the programs
+//! that access the database", and converting those programs safely requires
+//! knowing about them. This module makes the §3.1 constraint kinds
+//! first-class so they can be (a) enforced declaratively by the storage
+//! engine, (b) detected procedurally by the program analyzer, and (c) moved
+//! between the two forms by the converter.
+
+use crate::error::{ModelError, ModelResult};
+use crate::network::NetworkSchema;
+use crate::value::Value;
+use std::fmt;
+
+/// A declarative integrity constraint over a network schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// §3.1: "a 'course-offering' instance cannot exist unless the 'course'
+    /// and 'semester' instances it references do" — the member of `set` must
+    /// always be connected to an owner. (Subsumes DBTG
+    /// AUTOMATIC/MANDATORY, but kept explicit so it survives restructurings
+    /// that remove the set.)
+    Existence { set: String },
+
+    /// Su's defined/characterizing entity dependency (§4.1): deleting an
+    /// occurrence of the owner of `set` implies deleting its members
+    /// ("Deletion of an employee implies deletion of dependents").
+    Characterizing { set: String },
+
+    /// §3.1: "numeric limits on relationship participation … a course may
+    /// not be offered more than twice in a school year" — each owner of
+    /// `set` may have at most `max` members (and at least `min`
+    /// at steady state; `min` is checked on disconnect/delete).
+    Cardinality { set: String, min: u32, max: Option<u32> },
+
+    /// `record.field` may not be null (§3.1's "CNO and S can not have null
+    /// values").
+    NotNull { record: String, field: String },
+
+    /// No two occurrences of `record` agree on all of `fields` (tuple
+    /// uniqueness, "the only constraint maintained explicitly in the
+    /// relational model").
+    Unique { record: String, fields: Vec<String> },
+
+    /// `record.field` must lie in `[low, high]` (inclusive); either bound
+    /// optional. A simple representative of the "arbitrarily complex"
+    /// constraint family.
+    Domain {
+        record: String,
+        field: String,
+        low: Option<Value>,
+        high: Option<Value>,
+    },
+}
+
+impl Constraint {
+    /// Which record types does enforcement of this constraint touch?
+    pub fn touches_records<'a>(&'a self, schema: &'a NetworkSchema) -> Vec<&'a str> {
+        match self {
+            Constraint::Existence { set }
+            | Constraint::Characterizing { set }
+            | Constraint::Cardinality { set, .. } => {
+                let mut v = Vec::new();
+                if let Some(s) = schema.set(set) {
+                    if let Some(o) = s.owner.record_name() {
+                        v.push(o);
+                    }
+                    v.push(s.member.as_str());
+                }
+                v
+            }
+            Constraint::NotNull { record, .. }
+            | Constraint::Unique { record, .. }
+            | Constraint::Domain { record, .. } => vec![record.as_str()],
+        }
+    }
+
+    /// The set this constraint is attached to, if any.
+    pub fn set_name(&self) -> Option<&str> {
+        match self {
+            Constraint::Existence { set }
+            | Constraint::Characterizing { set }
+            | Constraint::Cardinality { set, .. } => Some(set),
+            _ => None,
+        }
+    }
+
+    /// Check that all names referenced by the constraint exist in `schema`.
+    pub fn validate_against(&self, schema: &NetworkSchema) -> ModelResult<()> {
+        match self {
+            Constraint::Existence { set }
+            | Constraint::Characterizing { set }
+            | Constraint::Cardinality { set, .. } => {
+                let s = schema
+                    .set(set)
+                    .ok_or_else(|| ModelError::unknown("set", set))?;
+                if let (Constraint::Characterizing { .. } | Constraint::Existence { .. }, None) =
+                    (self, s.owner.record_name())
+                {
+                    return Err(ModelError::invalid(format!(
+                        "constraint on system set '{set}' is meaningless"
+                    )));
+                }
+                if let Constraint::Cardinality {
+                    min, max: Some(mx), ..
+                } = self
+                {
+                    if mx < min {
+                        return Err(ModelError::invalid(format!(
+                            "cardinality on '{set}': max {mx} < min {min}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Constraint::NotNull { record, field } | Constraint::Domain { record, field, .. } => {
+                let r = schema
+                    .record(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                if r.field(field).is_none() {
+                    return Err(ModelError::unknown("field", format!("{record}.{field}")));
+                }
+                Ok(())
+            }
+            Constraint::Unique { record, fields } => {
+                let r = schema
+                    .record(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                if fields.is_empty() {
+                    return Err(ModelError::invalid(format!(
+                        "unique constraint on '{record}' with no fields"
+                    )));
+                }
+                for f in fields {
+                    if r.field(f).is_none() {
+                        return Err(ModelError::unknown("field", format!("{record}.{f}")));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Existence { set } => write!(f, "EXISTENCE ON {set}"),
+            Constraint::Characterizing { set } => write!(f, "CHARACTERIZING ON {set}"),
+            Constraint::Cardinality { set, min, max } => match max {
+                Some(mx) => write!(f, "CARDINALITY ON {set} BETWEEN {min} AND {mx}"),
+                None => write!(f, "CARDINALITY ON {set} AT LEAST {min}"),
+            },
+            Constraint::NotNull { record, field } => {
+                write!(f, "NOT NULL {record}.{field}")
+            }
+            Constraint::Unique { record, fields } => {
+                write!(f, "UNIQUE {record} ({})", fields.join(", "))
+            }
+            Constraint::Domain {
+                record,
+                field,
+                low,
+                high,
+            } => {
+                write!(f, "DOMAIN {record}.{field}")?;
+                if let Some(l) = low {
+                    write!(f, " FROM {l}")?;
+                }
+                if let Some(h) = high {
+                    write!(f, " TO {h}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{FieldDef, RecordTypeDef, SetDef};
+    use crate::types::FieldType;
+
+    fn school() -> NetworkSchema {
+        // Fig 3.1b: COURSE and SEMESTER own COURSE-OFFERING through two sets.
+        NetworkSchema::new("SCHOOL")
+            .with_record(RecordTypeDef::new(
+                "COURSE",
+                vec![
+                    FieldDef::new("CNO", FieldType::Char(6)),
+                    FieldDef::new("CNAME", FieldType::Char(20)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "SEMESTER",
+                vec![
+                    FieldDef::new("S", FieldType::Char(4)),
+                    FieldDef::new("YEAR", FieldType::Int(4)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "COURSE-OFFERING",
+                vec![
+                    FieldDef::new("CNO", FieldType::Char(6)),
+                    FieldDef::new("S", FieldType::Char(4)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-COURSE", "COURSE", vec!["CNO"]))
+            .with_set(SetDef::system("ALL-SEMESTER", "SEMESTER", vec!["S"]))
+            .with_set(SetDef::owned(
+                "COURSES-OFFERING",
+                "COURSE",
+                "COURSE-OFFERING",
+                vec!["S"],
+            ))
+            .with_set(SetDef::owned(
+                "SEMESTERS-OFFERING",
+                "SEMESTER",
+                "COURSE-OFFERING",
+                vec!["CNO"],
+            ))
+    }
+
+    #[test]
+    fn school_constraints_validate() {
+        let s = school()
+            .with_constraint(Constraint::Existence {
+                set: "COURSES-OFFERING".into(),
+            })
+            .with_constraint(Constraint::Cardinality {
+                set: "COURSES-OFFERING".into(),
+                min: 0,
+                max: Some(2),
+            })
+            .with_constraint(Constraint::NotNull {
+                record: "COURSE-OFFERING".into(),
+                field: "CNO".into(),
+            })
+            .with_constraint(Constraint::Unique {
+                record: "COURSE".into(),
+                fields: vec!["CNO".into()],
+            });
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_set_rejected() {
+        let s = school().with_constraint(Constraint::Existence {
+            set: "NO-SET".into(),
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn cardinality_bounds_checked() {
+        let s = school().with_constraint(Constraint::Cardinality {
+            set: "COURSES-OFFERING".into(),
+            min: 3,
+            max: Some(2),
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn existence_on_system_set_rejected() {
+        let s = school().with_constraint(Constraint::Existence {
+            set: "ALL-COURSE".into(),
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn unique_requires_fields() {
+        let s = school().with_constraint(Constraint::Unique {
+            record: "COURSE".into(),
+            fields: vec![],
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn touches_records_for_set_constraints() {
+        let s = school();
+        let c = Constraint::Characterizing {
+            set: "COURSES-OFFERING".into(),
+        };
+        assert_eq!(c.touches_records(&s), vec!["COURSE", "COURSE-OFFERING"]);
+    }
+
+    #[test]
+    fn display_round() {
+        let c = Constraint::Cardinality {
+            set: "S".into(),
+            min: 0,
+            max: Some(2),
+        };
+        assert_eq!(c.to_string(), "CARDINALITY ON S BETWEEN 0 AND 2");
+    }
+}

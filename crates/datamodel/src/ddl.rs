@@ -1,0 +1,829 @@
+//! Parser and pretty-printer for the Figure 4.3 schema language.
+//!
+//! The paper gives a complete example schema (Figure 4.3) in the Maryland
+//! conversion-oriented DDL. We reconstruct its grammar:
+//!
+//! ```text
+//! SCHEMA NAME IS COMPANY-NAME.
+//! RECORD SECTION.
+//!   RECORD NAME IS DIV.
+//!   FIELDS ARE.
+//!     DIV-NAME PIC X(20).
+//!     DIV-LOC PIC X(10).
+//!   END RECORD.
+//!   RECORD NAME IS EMP.
+//!   FIELDS ARE.
+//!     EMP-NAME PIC X(25).
+//!     AGE PIC 9(2).
+//!     DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+//!   END RECORD.
+//! END RECORD SECTION.
+//! SET SECTION.
+//!   SET NAME IS ALL-DIV.
+//!   OWNER IS SYSTEM.
+//!   MEMBER IS DIV.
+//!   SET KEYS ARE (DIV-NAME).
+//!   END SET.
+//! END SET SECTION.
+//! END SCHEMA.
+//! ```
+//!
+//! Extensions beyond the figure, both motivated by the paper itself:
+//!
+//! * `INSERTION IS AUTOMATIC|MANUAL.` and `RETENTION IS MANDATORY|OPTIONAL.`
+//!   clauses in a set declaration (§3.1 uses these DBTG classes);
+//! * an optional `CONSTRAINT SECTION.` carrying the §3.1 constraint
+//!   catalogue, since the paper argues constraints must be "centralized,
+//!   explicitly, as part of the data model".
+
+use crate::constraint::Constraint;
+use crate::error::{ModelError, ModelResult};
+use crate::network::{
+    FieldDef, Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef, SetOwner,
+};
+use crate::types::FieldType;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>, // token, line
+    pos: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> ModelResult<Lexer> {
+        let mut toks = Vec::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line_no = lineno + 1;
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_whitespace() {
+                    i += 1;
+                } else if c == '*' && i == 0 {
+                    // comment line
+                    break;
+                } else if c.is_ascii_alphabetic() {
+                    let start = i;
+                    while i < bytes.len() {
+                        let ch = bytes[i] as char;
+                        // identifiers may contain '-' and '#' (EMP-NAME, D#)
+                        let ident_hyphen = ch == '-'
+                            && i + 1 < bytes.len()
+                            && (bytes[i + 1] as char).is_ascii_alphanumeric();
+                        if ch.is_ascii_alphanumeric() || ch == '#' || ident_hyphen {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((Tok::Ident(line[start..i].to_string()), line_no));
+                } else if c.is_ascii_digit() {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = line[start..i].parse().map_err(|_| ModelError::Syntax {
+                        line: line_no,
+                        message: "bad number".into(),
+                    })?;
+                    toks.push((Tok::Num(n), line_no));
+                } else {
+                    let t = match c {
+                        '.' => Tok::Dot,
+                        ',' => Tok::Comma,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        _ => {
+                            return Err(ModelError::Syntax {
+                                line: line_no,
+                                message: format!("unexpected character '{c}'"),
+                            })
+                        }
+                    };
+                    toks.push((t, line_no));
+                    i += 1;
+                }
+            }
+        }
+        let last_line = src.lines().count().max(1);
+        toks.push((Tok::Eof, last_line));
+        Ok(Lexer { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ModelError {
+        ModelError::Syntax {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn expect_kw(&mut self, kw: &str) -> ModelResult<()> {
+        match self.peek() {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> ModelResult<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_num(&mut self) -> ModelResult<i64> {
+        match self.next() {
+            Tok::Num(n) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> ModelResult<()> {
+        let got = self.next();
+        if got == t {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse a network schema from Figure 4.3 DDL text.
+///
+/// ```
+/// use dbpc_datamodel::ddl::parse_network_schema;
+/// let schema = parse_network_schema("\
+/// SCHEMA NAME IS S.
+/// RECORD SECTION.
+///   RECORD NAME IS A.
+///   FIELDS ARE.
+///     K PIC X(4).
+///   END RECORD.
+/// END RECORD SECTION.
+/// SET SECTION.
+///   SET NAME IS ALL-A.
+///   OWNER IS SYSTEM.
+///   MEMBER IS A.
+///   SET KEYS ARE (K).
+///   END SET.
+/// END SET SECTION.
+/// END SCHEMA.
+/// ").unwrap();
+/// assert_eq!(schema.record("A").unwrap().field_names(), vec!["K"]);
+/// ```
+pub fn parse_network_schema(src: &str) -> ModelResult<NetworkSchema> {
+    let mut lx = Lexer::new(src)?;
+    lx.expect_kw("SCHEMA")?;
+    lx.expect_kw("NAME")?;
+    lx.expect_kw("IS")?;
+    let name = lx.expect_ident()?;
+    // Figure 4.3 shows both "SCHEMA NAME IS X" (no dot) and dotted forms;
+    // accept an optional terminator.
+    if lx.peek() == &Tok::Dot {
+        lx.next();
+    }
+    let mut schema = NetworkSchema::new(name);
+
+    lx.expect_kw("RECORD")?;
+    lx.expect_kw("SECTION")?;
+    terminator(&mut lx)?;
+    while lx.at_kw("RECORD") {
+        schema.records.push(parse_record(&mut lx)?);
+    }
+    lx.expect_kw("END")?;
+    lx.expect_kw("RECORD")?;
+    lx.expect_kw("SECTION")?;
+    terminator(&mut lx)?;
+
+    lx.expect_kw("SET")?;
+    lx.expect_kw("SECTION")?;
+    terminator(&mut lx)?;
+    while lx.at_kw("SET") {
+        schema.sets.push(parse_set(&mut lx)?);
+    }
+    lx.expect_kw("END")?;
+    lx.expect_kw("SET")?;
+    lx.expect_kw("SECTION")?;
+    terminator(&mut lx)?;
+
+    if lx.at_kw("CONSTRAINT") {
+        lx.next();
+        lx.expect_kw("SECTION")?;
+        terminator(&mut lx)?;
+        while !lx.at_kw("END") {
+            schema.constraints.push(parse_constraint(&mut lx)?);
+        }
+        lx.expect_kw("END")?;
+        lx.expect_kw("CONSTRAINT")?;
+        lx.expect_kw("SECTION")?;
+        terminator(&mut lx)?;
+    }
+
+    lx.expect_kw("END")?;
+    lx.expect_kw("SCHEMA")?;
+    terminator(&mut lx)?;
+    schema.validate()?;
+    Ok(schema)
+}
+
+/// Figure 4.3 uses `.` and `;` interchangeably as statement terminators
+/// (the paper's own listing mixes them); we accept either.
+fn terminator(lx: &mut Lexer) -> ModelResult<()> {
+    match lx.peek() {
+        Tok::Dot => {
+            lx.next();
+            Ok(())
+        }
+        _ => Err(lx.err("expected '.'")),
+    }
+}
+
+fn parse_record(lx: &mut Lexer) -> ModelResult<RecordTypeDef> {
+    lx.expect_kw("RECORD")?;
+    lx.expect_kw("NAME")?;
+    lx.expect_kw("IS")?;
+    let name = lx.expect_ident()?;
+    terminator(lx)?;
+    lx.expect_kw("FIELDS")?;
+    lx.expect_kw("ARE")?;
+    terminator(lx)?;
+    let mut fields = Vec::new();
+    while !lx.at_kw("END") {
+        fields.push(parse_field(lx)?);
+    }
+    lx.expect_kw("END")?;
+    lx.expect_kw("RECORD")?;
+    terminator(lx)?;
+    Ok(RecordTypeDef { name, fields })
+}
+
+fn parse_field(lx: &mut Lexer) -> ModelResult<FieldDef> {
+    let name = lx.expect_ident()?;
+    if lx.at_kw("VIRTUAL") {
+        lx.next();
+        lx.expect_kw("VIA")?;
+        let set = lx.expect_ident()?;
+        lx.expect_kw("USING")?;
+        let source_field = lx.expect_ident()?;
+        terminator(lx)?;
+        // Type of a virtual field is resolved from its source at validation
+        // time in the engine; declare it permissively here. The printed form
+        // matches Figure 4.3, which carries no PIC clause on virtual fields.
+        return Ok(FieldDef::virtual_field(
+            name,
+            FieldType::Char(255),
+            set,
+            source_field,
+        ));
+    }
+    let ty = parse_pic(lx)?;
+    terminator(lx)?;
+    Ok(FieldDef::new(name, ty))
+}
+
+fn parse_pic(lx: &mut Lexer) -> ModelResult<FieldType> {
+    if lx.at_kw("COMP-2") {
+        lx.next();
+        return Ok(FieldType::Float);
+    }
+    lx.expect_kw("PIC")?;
+    match lx.next() {
+        Tok::Ident(s) if s.eq_ignore_ascii_case("X") => {
+            lx.expect(Tok::LParen)?;
+            let n = lx.expect_num()?;
+            lx.expect(Tok::RParen)?;
+            Ok(FieldType::Char(n as usize))
+        }
+        Tok::Num(9) => {
+            lx.expect(Tok::LParen)?;
+            let n = lx.expect_num()?;
+            lx.expect(Tok::RParen)?;
+            Ok(FieldType::Int(n as usize))
+        }
+        other => Err(lx.err(format!("expected X(n) or 9(n) after PIC, found {other:?}"))),
+    }
+}
+
+fn parse_set(lx: &mut Lexer) -> ModelResult<SetDef> {
+    lx.expect_kw("SET")?;
+    lx.expect_kw("NAME")?;
+    lx.expect_kw("IS")?;
+    let name = lx.expect_ident()?;
+    terminator(lx)?;
+    lx.expect_kw("OWNER")?;
+    lx.expect_kw("IS")?;
+    let owner_name = lx.expect_ident()?;
+    let owner = if owner_name.eq_ignore_ascii_case("SYSTEM") {
+        SetOwner::System
+    } else {
+        SetOwner::Record(owner_name)
+    };
+    terminator(lx)?;
+    lx.expect_kw("MEMBER")?;
+    lx.expect_kw("IS")?;
+    let member = lx.expect_ident()?;
+    terminator(lx)?;
+    let mut keys = Vec::new();
+    let mut insertion = Insertion::Automatic;
+    let mut retention = Retention::Optional;
+    loop {
+        if lx.at_kw("SET") {
+            // SET KEYS ARE (...)
+            lx.next();
+            lx.expect_kw("KEYS")?;
+            lx.expect_kw("ARE")?;
+            lx.expect(Tok::LParen)?;
+            loop {
+                keys.push(lx.expect_ident()?);
+                if lx.peek() == &Tok::Comma {
+                    lx.next();
+                } else {
+                    break;
+                }
+            }
+            lx.expect(Tok::RParen)?;
+            terminator(lx)?;
+        } else if lx.at_kw("INSERTION") {
+            lx.next();
+            lx.expect_kw("IS")?;
+            let v = lx.expect_ident()?;
+            insertion = match v.to_ascii_uppercase().as_str() {
+                "AUTOMATIC" => Insertion::Automatic,
+                "MANUAL" => Insertion::Manual,
+                _ => return Err(lx.err(format!("bad insertion class '{v}'"))),
+            };
+            terminator(lx)?;
+        } else if lx.at_kw("RETENTION") {
+            lx.next();
+            lx.expect_kw("IS")?;
+            let v = lx.expect_ident()?;
+            retention = match v.to_ascii_uppercase().as_str() {
+                "MANDATORY" => Retention::Mandatory,
+                "OPTIONAL" => Retention::Optional,
+                _ => return Err(lx.err(format!("bad retention class '{v}'"))),
+            };
+            terminator(lx)?;
+        } else {
+            break;
+        }
+    }
+    lx.expect_kw("END")?;
+    lx.expect_kw("SET")?;
+    terminator(lx)?;
+    Ok(SetDef {
+        name,
+        owner,
+        member,
+        keys,
+        insertion,
+        retention,
+    })
+}
+
+fn parse_constraint(lx: &mut Lexer) -> ModelResult<Constraint> {
+    let kw = lx.expect_ident()?;
+    let c = match kw.to_ascii_uppercase().as_str() {
+        "EXISTENCE" => {
+            lx.expect_kw("ON")?;
+            Constraint::Existence {
+                set: lx.expect_ident()?,
+            }
+        }
+        "CHARACTERIZING" => {
+            lx.expect_kw("ON")?;
+            Constraint::Characterizing {
+                set: lx.expect_ident()?,
+            }
+        }
+        "CARDINALITY" => {
+            lx.expect_kw("ON")?;
+            let set = lx.expect_ident()?;
+            if lx.at_kw("BETWEEN") {
+                lx.next();
+                let min = lx.expect_num()? as u32;
+                lx.expect_kw("AND")?;
+                let max = lx.expect_num()? as u32;
+                Constraint::Cardinality {
+                    set,
+                    min,
+                    max: Some(max),
+                }
+            } else {
+                lx.expect_kw("AT")?;
+                lx.expect_kw("LEAST")?;
+                let min = lx.expect_num()? as u32;
+                Constraint::Cardinality {
+                    set,
+                    min,
+                    max: None,
+                }
+            }
+        }
+        "NOT" => {
+            lx.expect_kw("NULL")?;
+            let record = lx.expect_ident()?;
+            lx.expect(Tok::Dot)?;
+            let field = lx.expect_ident()?;
+            Constraint::NotNull { record, field }
+        }
+        "UNIQUE" => {
+            let record = lx.expect_ident()?;
+            lx.expect(Tok::LParen)?;
+            let mut fields = Vec::new();
+            loop {
+                fields.push(lx.expect_ident()?);
+                if lx.peek() == &Tok::Comma {
+                    lx.next();
+                } else {
+                    break;
+                }
+            }
+            lx.expect(Tok::RParen)?;
+            Constraint::Unique { record, fields }
+        }
+        "DOMAIN" => {
+            let record = lx.expect_ident()?;
+            lx.expect(Tok::Dot)?;
+            let field = lx.expect_ident()?;
+            let mut low = None;
+            let mut high = None;
+            if lx.at_kw("FROM") {
+                lx.next();
+                low = Some(Value::Int(lx.expect_num()?));
+            }
+            if lx.at_kw("TO") {
+                lx.next();
+                high = Some(Value::Int(lx.expect_num()?));
+            }
+            Constraint::Domain {
+                record,
+                field,
+                low,
+                high,
+            }
+        }
+        other => return Err(lx.err(format!("unknown constraint kind '{other}'"))),
+    };
+    terminator(lx)?;
+    Ok(c)
+}
+
+// ---------------------------------------------------------------------------
+// Compact relational notation (Figure 3.1a)
+// ---------------------------------------------------------------------------
+
+/// Parse the paper's compact relational notation:
+///
+/// ```text
+/// COURSE-OFFERING(CNO,S, .... )
+/// COURSE(CNO,CNAME, .... )
+/// SEMESTER(S,YEAR, .... )
+/// ```
+///
+/// The notation carries no types or key declarations; by the figure's
+/// convention the first column is taken as the key and every column is
+/// `PIC X(20)`. Trailing `....` ellipses (the paper writes them) are
+/// ignored.
+pub fn parse_compact_relational(src: &str) -> ModelResult<crate::relational::RelationalSchema> {
+    use crate::relational::{ColumnDef, RelationalSchema, TableDef};
+    let mut schema = RelationalSchema::new("RELATIONAL");
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let open = line.find('(').ok_or(ModelError::Syntax {
+            line: line_no,
+            message: "expected '('".into(),
+        })?;
+        let close = line.rfind(')').ok_or(ModelError::Syntax {
+            line: line_no,
+            message: "expected ')'".into(),
+        })?;
+        let name = line[..open].trim();
+        if name.is_empty() {
+            return Err(ModelError::Syntax {
+                line: line_no,
+                message: "missing relation name".into(),
+            });
+        }
+        let cols: Vec<&str> = line[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|c| !c.is_empty() && !c.chars().all(|ch| ch == '.'))
+            .collect();
+        if cols.is_empty() {
+            return Err(ModelError::Syntax {
+                line: line_no,
+                message: format!("relation {name} has no columns"),
+            });
+        }
+        let mut table = TableDef::new(
+            name,
+            cols.iter()
+                .map(|c| ColumnDef::new(*c, FieldType::Char(20)))
+                .collect(),
+        );
+        table.primary_key = vec![cols[0].to_string()];
+        schema.tables.push(table);
+    }
+    schema.validate()?;
+    Ok(schema)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+/// Pretty-print a network schema in the Figure 4.3 DDL.
+///
+/// `parse_network_schema(&print_network_schema(s))` round-trips for every
+/// valid schema (property-tested in the workspace test suite).
+pub fn print_network_schema(schema: &NetworkSchema) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "SCHEMA NAME IS {}.", schema.name);
+    let _ = writeln!(o, "RECORD SECTION.");
+    for r in &schema.records {
+        let _ = writeln!(o, "  RECORD NAME IS {}.", r.name);
+        let _ = writeln!(o, "  FIELDS ARE.");
+        for f in &r.fields {
+            match &f.virtual_via {
+                Some(v) => {
+                    let _ = writeln!(
+                        o,
+                        "    {} VIRTUAL VIA {} USING {}.",
+                        f.name, v.set, v.source_field
+                    );
+                }
+                None => {
+                    let _ = writeln!(o, "    {} {}.", f.name, f.ty.pic_clause());
+                }
+            }
+        }
+        let _ = writeln!(o, "  END RECORD.");
+    }
+    let _ = writeln!(o, "END RECORD SECTION.");
+    let _ = writeln!(o, "SET SECTION.");
+    for s in &schema.sets {
+        let _ = writeln!(o, "  SET NAME IS {}.", s.name);
+        let owner = match &s.owner {
+            SetOwner::System => "SYSTEM".to_string(),
+            SetOwner::Record(r) => r.clone(),
+        };
+        let _ = writeln!(o, "  OWNER IS {owner}.");
+        let _ = writeln!(o, "  MEMBER IS {}.", s.member);
+        if !s.keys.is_empty() {
+            let _ = writeln!(o, "  SET KEYS ARE ({}).", s.keys.join(", "));
+        }
+        if s.insertion != Insertion::Automatic {
+            let _ = writeln!(o, "  INSERTION IS MANUAL.");
+        }
+        if s.retention != Retention::Optional {
+            let _ = writeln!(o, "  RETENTION IS MANDATORY.");
+        }
+        let _ = writeln!(o, "  END SET.");
+    }
+    let _ = writeln!(o, "END SET SECTION.");
+    if !schema.constraints.is_empty() {
+        let _ = writeln!(o, "CONSTRAINT SECTION.");
+        for c in &schema.constraints {
+            let _ = writeln!(o, "  {c}.");
+        }
+        let _ = writeln!(o, "END CONSTRAINT SECTION.");
+    }
+    let _ = writeln!(o, "END SCHEMA.");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 4.3 listing, transcribed from the paper (with the AGE
+    /// field's PIC X(2) kept verbatim even though 9(2) would be idiomatic).
+    pub const FIG_4_3: &str = "\
+SCHEMA NAME IS COMPANY-NAME.
+RECORD SECTION.
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC X(2).
+    DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+";
+
+    #[test]
+    fn parses_figure_4_3() {
+        let s = parse_network_schema(FIG_4_3).unwrap();
+        assert_eq!(s.name, "COMPANY-NAME");
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.sets.len(), 2);
+        let emp = s.record("EMP").unwrap();
+        assert_eq!(emp.fields.len(), 4);
+        assert!(emp.field("DIV-NAME").unwrap().is_virtual());
+        let de = s.set("DIV-EMP").unwrap();
+        assert_eq!(de.keys, vec!["EMP-NAME".to_string()]);
+    }
+
+    #[test]
+    fn round_trips_figure_4_3() {
+        let s1 = parse_network_schema(FIG_4_3).unwrap();
+        let printed = print_network_schema(&s1);
+        let s2 = parse_network_schema(&printed).unwrap();
+        // Virtual fields lose only their (undeclarable) PIC width; everything
+        // else must survive exactly.
+        assert_eq!(s1.name, s2.name);
+        assert_eq!(s1.sets, s2.sets);
+        assert_eq!(s1.records.len(), s2.records.len());
+        for (a, b) in s1.records.iter().zip(&s2.records) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.field_names(), b.field_names());
+        }
+    }
+
+    #[test]
+    fn parses_insertion_retention_and_constraints() {
+        let src = "\
+SCHEMA NAME IS S.
+RECORD SECTION.
+  RECORD NAME IS A.
+  FIELDS ARE.
+    K PIC 9(4).
+  END RECORD.
+  RECORD NAME IS B.
+  FIELDS ARE.
+    N PIC X(8).
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS AB.
+  OWNER IS A.
+  MEMBER IS B.
+  SET KEYS ARE (N).
+  INSERTION IS MANUAL.
+  RETENTION IS MANDATORY.
+  END SET.
+END SET SECTION.
+CONSTRAINT SECTION.
+  EXISTENCE ON AB.
+  CARDINALITY ON AB BETWEEN 0 AND 2.
+  NOT NULL A.K.
+  UNIQUE A (K).
+  DOMAIN A.K FROM 0 TO 9999.
+END CONSTRAINT SECTION.
+END SCHEMA.
+";
+        let s = parse_network_schema(src).unwrap();
+        let ab = s.set("AB").unwrap();
+        assert_eq!(ab.insertion, Insertion::Manual);
+        assert_eq!(ab.retention, Retention::Mandatory);
+        assert_eq!(s.constraints.len(), 5);
+        // Round trip keeps everything.
+        let s2 = parse_network_schema(&print_network_schema(&s)).unwrap();
+        assert_eq!(s.sets, s2.sets);
+        assert_eq!(s.constraints, s2.constraints);
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "SCHEMA NAME IS S.\nRECORD SECTION.\n  BOGUS.\n";
+        match parse_network_schema(src) {
+            Err(ModelError::Syntax { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_error_surfaces() {
+        // Set member that doesn't exist.
+        let src = "\
+SCHEMA NAME IS S.
+RECORD SECTION.
+  RECORD NAME IS A.
+  FIELDS ARE.
+    K PIC 9(4).
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS AX.
+  OWNER IS A.
+  MEMBER IS MISSING.
+  END SET.
+END SET SECTION.
+END SCHEMA.
+";
+        assert!(matches!(
+            parse_network_schema(src),
+            Err(ModelError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_relational_parses_fig_31a() {
+        // As printed in the paper, ellipses included.
+        let src = "COURSE-OFFERING(CNO,S, .... )\nCOURSE(CNO,CNAME, .... )\nSEMESTER(S,YEAR, .... )\n";
+        let s = parse_compact_relational(src).unwrap();
+        assert_eq!(s.tables.len(), 3);
+        let off = s.table("COURSE-OFFERING").unwrap();
+        assert_eq!(off.column_names(), vec!["CNO", "S"]);
+        assert_eq!(off.primary_key, vec!["CNO".to_string()]);
+        // Round trip through the compact printer.
+        let printed = s.to_compact_notation();
+        let again = parse_compact_relational(&printed).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn compact_relational_rejects_garbage() {
+        assert!(parse_compact_relational("NOPAREN").is_err());
+        assert!(parse_compact_relational("X()").is_err());
+        assert!(parse_compact_relational("(A,B)").is_err());
+    }
+
+    #[test]
+    fn pic_9_parses_as_int() {
+        let src = "\
+SCHEMA NAME IS S.
+RECORD SECTION.
+  RECORD NAME IS A.
+  FIELDS ARE.
+    K PIC 9(4).
+    F COMP-2.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+END SET SECTION.
+END SCHEMA.
+";
+        let s = parse_network_schema(src).unwrap();
+        let a = s.record("A").unwrap();
+        assert_eq!(a.field("K").unwrap().ty, FieldType::Int(4));
+        assert_eq!(a.field("F").unwrap().ty, FieldType::Float);
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural schema diff.
+//!
+//! The framework's **Conversion Analyzer** (Figure 4.1) "analyzes the source
+//! and target databases in order to classify the types of changes that have
+//! been made". When the restructuring is declared as an explicit transform
+//! list this classification is redundant; but the paper also anticipates the
+//! common case where the DBA simply presents two schemas. This module
+//! computes a conservative classified change list from a schema pair, which
+//! the converter cross-checks against the declared transforms.
+
+use crate::network::{NetworkSchema, SetOwner};
+
+/// One classified difference between a source and a target schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaChange {
+    RecordAdded(String),
+    RecordRemoved(String),
+    FieldAdded { record: String, field: String },
+    FieldRemoved { record: String, field: String },
+    FieldTypeChanged { record: String, field: String },
+    FieldVirtualityChanged { record: String, field: String },
+    SetAdded(String),
+    SetRemoved(String),
+    SetOwnerChanged { set: String },
+    SetMemberChanged { set: String },
+    SetKeysChanged { set: String },
+    SetInsertionChanged { set: String },
+    SetRetentionChanged { set: String },
+    ConstraintAdded(String),
+    ConstraintRemoved(String),
+}
+
+impl SchemaChange {
+    /// Changes that can silently alter the observable order of retrievals —
+    /// the §3.2 "order dependence" hazard. The converter must compensate
+    /// (insert SORT) or warn for programs whose output order is observable.
+    pub fn affects_ordering(&self) -> bool {
+        matches!(
+            self,
+            SchemaChange::SetKeysChanged { .. }
+                | SchemaChange::SetAdded(_)
+                | SchemaChange::SetRemoved(_)
+        )
+    }
+
+    /// Changes that alter integrity semantics (the §3.1 concern).
+    pub fn affects_integrity(&self) -> bool {
+        matches!(
+            self,
+            SchemaChange::SetInsertionChanged { .. }
+                | SchemaChange::SetRetentionChanged { .. }
+                | SchemaChange::ConstraintAdded(_)
+                | SchemaChange::ConstraintRemoved(_)
+        )
+    }
+
+    /// Changes that may lose information (dropping fields or records): the
+    /// paper's "conversion when not all information is preserved is a
+    /// different and more difficult conversion problem".
+    pub fn may_lose_information(&self) -> bool {
+        matches!(
+            self,
+            SchemaChange::FieldRemoved { .. } | SchemaChange::RecordRemoved(_)
+        )
+    }
+}
+
+/// Compute the classified differences between two network schemas.
+pub fn diff_network(source: &NetworkSchema, target: &NetworkSchema) -> Vec<SchemaChange> {
+    let mut out = Vec::new();
+
+    for r in &source.records {
+        match target.record(&r.name) {
+            None => out.push(SchemaChange::RecordRemoved(r.name.clone())),
+            Some(t) => {
+                for f in &r.fields {
+                    match t.field(&f.name) {
+                        None => out.push(SchemaChange::FieldRemoved {
+                            record: r.name.clone(),
+                            field: f.name.clone(),
+                        }),
+                        Some(tf) => {
+                            if tf.ty != f.ty {
+                                out.push(SchemaChange::FieldTypeChanged {
+                                    record: r.name.clone(),
+                                    field: f.name.clone(),
+                                });
+                            }
+                            if tf.is_virtual() != f.is_virtual() {
+                                out.push(SchemaChange::FieldVirtualityChanged {
+                                    record: r.name.clone(),
+                                    field: f.name.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                for tf in &t.fields {
+                    if r.field(&tf.name).is_none() {
+                        out.push(SchemaChange::FieldAdded {
+                            record: r.name.clone(),
+                            field: tf.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for t in &target.records {
+        if source.record(&t.name).is_none() {
+            out.push(SchemaChange::RecordAdded(t.name.clone()));
+        }
+    }
+
+    for s in &source.sets {
+        match target.set(&s.name) {
+            None => out.push(SchemaChange::SetRemoved(s.name.clone())),
+            Some(t) => {
+                let owner_eq = match (&s.owner, &t.owner) {
+                    (SetOwner::System, SetOwner::System) => true,
+                    (SetOwner::Record(a), SetOwner::Record(b)) => a == b,
+                    _ => false,
+                };
+                if !owner_eq {
+                    out.push(SchemaChange::SetOwnerChanged {
+                        set: s.name.clone(),
+                    });
+                }
+                if s.member != t.member {
+                    out.push(SchemaChange::SetMemberChanged {
+                        set: s.name.clone(),
+                    });
+                }
+                if s.keys != t.keys {
+                    out.push(SchemaChange::SetKeysChanged {
+                        set: s.name.clone(),
+                    });
+                }
+                if s.insertion != t.insertion {
+                    out.push(SchemaChange::SetInsertionChanged {
+                        set: s.name.clone(),
+                    });
+                }
+                if s.retention != t.retention {
+                    out.push(SchemaChange::SetRetentionChanged {
+                        set: s.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for t in &target.sets {
+        if source.set(&t.name).is_none() {
+            out.push(SchemaChange::SetAdded(t.name.clone()));
+        }
+    }
+
+    for c in &source.constraints {
+        if !target.constraints.contains(c) {
+            out.push(SchemaChange::ConstraintRemoved(c.to_string()));
+        }
+    }
+    for c in &target.constraints {
+        if !source.constraints.contains(c) {
+            out.push(SchemaChange::ConstraintAdded(c.to_string()));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::network::{FieldDef, RecordTypeDef, SetDef};
+    use crate::types::FieldType;
+
+    fn base() -> NetworkSchema {
+        NetworkSchema::new("S")
+            .with_record(RecordTypeDef::new(
+                "A",
+                vec![FieldDef::new("K", FieldType::Int(4))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "B",
+                vec![FieldDef::new("N", FieldType::Char(8))],
+            ))
+            .with_set(SetDef::owned("AB", "A", "B", vec!["N"]))
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        assert!(diff_network(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn detects_field_removal_and_addition() {
+        let mut t = base();
+        t.record_mut("A").unwrap().fields = vec![FieldDef::new("K2", FieldType::Int(4))];
+        let d = diff_network(&base(), &t);
+        assert!(d.contains(&SchemaChange::FieldRemoved {
+            record: "A".into(),
+            field: "K".into()
+        }));
+        assert!(d.contains(&SchemaChange::FieldAdded {
+            record: "A".into(),
+            field: "K2".into()
+        }));
+        assert!(d.iter().any(|c| c.may_lose_information()));
+    }
+
+    #[test]
+    fn detects_key_change_as_ordering_hazard() {
+        let mut t = base();
+        t.set_mut("AB").unwrap().keys = vec![];
+        let d = diff_network(&base(), &t);
+        assert_eq!(d, vec![SchemaChange::SetKeysChanged { set: "AB".into() }]);
+        assert!(d[0].affects_ordering());
+    }
+
+    #[test]
+    fn detects_constraint_changes_as_integrity() {
+        let t = base().with_constraint(Constraint::Existence { set: "AB".into() });
+        let d = diff_network(&base(), &t);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].affects_integrity());
+    }
+
+    #[test]
+    fn detects_record_and_set_addition() {
+        let t = base()
+            .with_record(RecordTypeDef::new("C", vec![]))
+            .with_set(SetDef::owned("AC", "A", "C", vec![]));
+        let d = diff_network(&base(), &t);
+        assert!(d.contains(&SchemaChange::RecordAdded("C".into())));
+        assert!(d.contains(&SchemaChange::SetAdded("AC".into())));
+    }
+
+    #[test]
+    fn detects_type_change() {
+        let mut t = base();
+        t.record_mut("A").unwrap().fields[0].ty = FieldType::Char(4);
+        let d = diff_network(&base(), &t);
+        assert_eq!(
+            d,
+            vec![SchemaChange::FieldTypeChanged {
+                record: "A".into(),
+                field: "K".into()
+            }]
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by schema construction, validation, and DDL parsing.
+
+use std::fmt;
+
+/// Errors raised while building or validating schemas and while parsing DDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A record/table/segment/set name was declared twice.
+    Duplicate { kind: &'static str, name: String },
+    /// A reference to an undeclared record/field/set/table/segment.
+    Unknown { kind: &'static str, name: String },
+    /// Structural rule violated (e.g. set member equal to owner, cyclic
+    /// hierarchy, key field not in record).
+    Invalid(String),
+    /// DDL syntax error with a line number.
+    Syntax { line: usize, message: String },
+}
+
+impl ModelError {
+    pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
+        ModelError::Unknown {
+            kind,
+            name: name.into(),
+        }
+    }
+    pub fn duplicate(kind: &'static str, name: impl Into<String>) -> Self {
+        ModelError::Duplicate {
+            kind,
+            name: name.into(),
+        }
+    }
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ModelError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Duplicate { kind, name } => {
+                write!(f, "duplicate {kind} '{name}'")
+            }
+            ModelError::Unknown { kind, name } => {
+                write!(f, "unknown {kind} '{name}'")
+            }
+            ModelError::Invalid(m) => write!(f, "invalid schema: {m}"),
+            ModelError::Syntax { line, message } => {
+                write!(f, "DDL syntax error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenient result alias for this crate.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ModelError::duplicate("record", "EMP").to_string(),
+            "duplicate record 'EMP'"
+        );
+        assert_eq!(
+            ModelError::unknown("set", "DIV-EMP").to_string(),
+            "unknown set 'DIV-EMP'"
+        );
+        assert!(ModelError::Syntax {
+            line: 3,
+            message: "expected RECORD".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

@@ -1,0 +1,236 @@
+//! The hierarchical (IMS-like) data model.
+//!
+//! Needed for two parts of the paper: the general claim that the framework
+//! spans "the relational, owner-coupled-set and hierarchical" models (§3.1),
+//! and the Mehl & Wang experiment (ref 11) on converting DL/I programs when
+//! "the hierarchical order of an IMS structure" changes.
+//!
+//! A hierarchical schema is a forest of segment types. Each segment type has
+//! typed fields and an ordered list of child segment types; the **hierarchic
+//! order** (preorder: parent, then children left-to-right) governs the
+//! semantics of get-next (`GN`) calls, which is exactly what the reordering
+//! transformation perturbs.
+
+use crate::error::{ModelError, ModelResult};
+use crate::network::FieldDef;
+
+/// A segment type: name, fields, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentDef {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+    /// Optional sequence field: occurrences under one parent are kept
+    /// ordered by this field (IMS "sequence field").
+    pub seq_field: Option<String>,
+    pub children: Vec<SegmentDef>,
+}
+
+impl SegmentDef {
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+        SegmentDef {
+            name: name.into(),
+            fields,
+            seq_field: None,
+            children: Vec::new(),
+        }
+    }
+
+    pub fn with_seq_field(mut self, f: impl Into<String>) -> Self {
+        self.seq_field = Some(f.into());
+        self
+    }
+
+    pub fn with_child(mut self, c: SegmentDef) -> Self {
+        self.children.push(c);
+        self
+    }
+
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == field)
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        out.push(&self.name);
+        for c in &self.children {
+            c.collect_names(out);
+        }
+    }
+}
+
+/// A hierarchical schema: a named forest of segment-type trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierSchema {
+    pub name: String,
+    pub roots: Vec<SegmentDef>,
+}
+
+impl HierSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        HierSchema {
+            name: name.into(),
+            roots: Vec::new(),
+        }
+    }
+
+    pub fn with_root(mut self, s: SegmentDef) -> Self {
+        self.roots.push(s);
+        self
+    }
+
+    /// All segment-type names in hierarchic (preorder) order — the order
+    /// that defines `GN` traversal.
+    pub fn hierarchic_order(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for r in &self.roots {
+            r.collect_names(&mut out);
+        }
+        out
+    }
+
+    /// Find a segment type by name anywhere in the forest.
+    pub fn segment(&self, name: &str) -> Option<&SegmentDef> {
+        fn find<'a>(s: &'a SegmentDef, name: &str) -> Option<&'a SegmentDef> {
+            if s.name == name {
+                return Some(s);
+            }
+            s.children.iter().find_map(|c| find(c, name))
+        }
+        self.roots.iter().find_map(|r| find(r, name))
+    }
+
+    /// Find a segment type by name, mutably.
+    pub fn segment_mut(&mut self, name: &str) -> Option<&mut SegmentDef> {
+        fn find<'a>(s: &'a mut SegmentDef, name: &str) -> Option<&'a mut SegmentDef> {
+            if s.name == name {
+                return Some(s);
+            }
+            s.children.iter_mut().find_map(|c| find(c, name))
+        }
+        self.roots.iter_mut().find_map(|r| find(r, name))
+    }
+
+    /// Name of the parent segment type of `name`, if any.
+    pub fn parent_of(&self, name: &str) -> Option<&str> {
+        fn find<'a>(s: &'a SegmentDef, name: &str) -> Option<&'a str> {
+            for c in &s.children {
+                if c.name == name {
+                    return Some(&s.name);
+                }
+                if let Some(p) = find(c, name) {
+                    return Some(p);
+                }
+            }
+            None
+        }
+        self.roots.iter().find_map(|r| find(r, name))
+    }
+
+    /// Validate: unique segment names, unique field names per segment,
+    /// sequence fields exist.
+    pub fn validate(&self) -> ModelResult<()> {
+        let names = self.hierarchic_order();
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(ModelError::duplicate("segment", *n));
+            }
+        }
+        fn check(s: &SegmentDef) -> ModelResult<()> {
+            for (j, f) in s.fields.iter().enumerate() {
+                if s.fields[..j].iter().any(|p| p.name == f.name) {
+                    return Err(ModelError::duplicate(
+                        "field",
+                        format!("{}.{}", s.name, f.name),
+                    ));
+                }
+            }
+            if let Some(sf) = &s.seq_field {
+                if s.field_index(sf).is_none() {
+                    return Err(ModelError::unknown(
+                        "field",
+                        format!("{}.{}", s.name, sf),
+                    ));
+                }
+            }
+            for c in &s.children {
+                check(c)?;
+            }
+            Ok(())
+        }
+        for r in &self.roots {
+            check(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FieldType;
+
+    fn ims_company() -> HierSchema {
+        HierSchema::new("COMPANY").with_root(
+            SegmentDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            )
+            .with_seq_field("DIV-NAME")
+            .with_child(
+                SegmentDef::new(
+                    "EMP",
+                    vec![
+                        FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                        FieldDef::new("AGE", FieldType::Int(2)),
+                    ],
+                )
+                .with_seq_field("EMP-NAME"),
+            )
+            .with_child(SegmentDef::new(
+                "PROJ",
+                vec![FieldDef::new("PROJ-NAME", FieldType::Char(10))],
+            )),
+        )
+    }
+
+    #[test]
+    fn validates() {
+        ims_company().validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchic_order_is_preorder() {
+        assert_eq!(ims_company().hierarchic_order(), vec!["DIV", "EMP", "PROJ"]);
+    }
+
+    #[test]
+    fn parent_lookup() {
+        let s = ims_company();
+        assert_eq!(s.parent_of("EMP"), Some("DIV"));
+        assert_eq!(s.parent_of("DIV"), None);
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let s = ims_company();
+        assert!(s.segment("PROJ").is_some());
+        assert!(s.segment("NOPE").is_none());
+    }
+
+    #[test]
+    fn duplicate_segment_rejected() {
+        let mut s = ims_company();
+        let clone = s.roots[0].children[0].clone();
+        s.roots[0].children.push(clone);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn bad_seq_field_rejected() {
+        let mut s = ims_company();
+        s.segment_mut("EMP").unwrap().seq_field = Some("NOPE".into());
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,497 @@
+//! The owner-coupled-set (CODASYL network) data model.
+//!
+//! This follows the conversion-oriented DDL designed at the University of
+//! Maryland (paper §4.2): owner-member-coupled sets with a single owner and
+//! a single member record type, a declared ordering (`SET KEYS ARE (…)`),
+//! no duplicate members within a set occurrence, plus the DBTG
+//! `AUTOMATIC`/`MANUAL` insertion and `MANDATORY`/`OPTIONAL` retention
+//! classes the paper's §3.1 uses to discuss existence constraints.
+//!
+//! Virtual fields (`DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME` in
+//! Figure 4.3) materialize an owner's field in the member record; they are
+//! the hinge of several conversion rules (a filter on a virtual field can be
+//! re-homed onto the owner record's path step).
+
+use crate::constraint::Constraint;
+use crate::error::{ModelError, ModelResult};
+use crate::types::FieldType;
+
+/// `VIRTUAL VIA <set> USING <field>`: the field's value is sourced from the
+/// named field of the owner of `<set>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualVia {
+    /// Set through which the owner is reached (this record must be the
+    /// set's member type).
+    pub set: String,
+    /// Field of the owner record supplying the value.
+    pub source_field: String,
+}
+
+/// A field of a record type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: FieldType,
+    /// `Some` if this is a virtual (owner-sourced) field.
+    pub virtual_via: Option<VirtualVia>,
+}
+
+impl FieldDef {
+    /// An ordinary stored field.
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        FieldDef {
+            name: name.into(),
+            ty,
+            virtual_via: None,
+        }
+    }
+
+    /// A virtual field sourced from the owner of `set`.
+    pub fn virtual_field(
+        name: impl Into<String>,
+        ty: FieldType,
+        set: impl Into<String>,
+        source_field: impl Into<String>,
+    ) -> Self {
+        FieldDef {
+            name: name.into(),
+            ty,
+            virtual_via: Some(VirtualVia {
+                set: set.into(),
+                source_field: source_field.into(),
+            }),
+        }
+    }
+
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_via.is_some()
+    }
+}
+
+/// A record type: a named, ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordTypeDef {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+}
+
+impl RecordTypeDef {
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+        RecordTypeDef {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Index of `field` within this record type.
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == field)
+    }
+
+    pub fn field(&self, field: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == field)
+    }
+
+    /// Names of all fields, in declaration order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Indices of the non-virtual (stored) fields.
+    pub fn stored_field_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_virtual())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Owner of a set type: the SYSTEM pseudo-record or a declared record type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetOwner {
+    /// A singular, system-owned set (entry point; e.g. `ALL-DIV`).
+    System,
+    /// Owned by occurrences of the named record type.
+    Record(String),
+}
+
+impl SetOwner {
+    pub fn record_name(&self) -> Option<&str> {
+        match self {
+            SetOwner::System => None,
+            SetOwner::Record(r) => Some(r),
+        }
+    }
+}
+
+/// DBTG insertion class: is membership established automatically at STORE
+/// time, or manually via an explicit CONNECT?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insertion {
+    Automatic,
+    Manual,
+}
+
+/// DBTG retention class: may a member exist outside the set (OPTIONAL) or
+/// must it always have an owner (MANDATORY)?
+///
+/// §3.1: "if a 'course' instance and a 'semester' instance must exist in
+/// order for a 'course offering' to be inserted, then 'course offering' can
+/// be made an AUTOMATIC and MANDATORY member…".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    Mandatory,
+    Optional,
+}
+
+/// A set type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetDef {
+    pub name: String,
+    pub owner: SetOwner,
+    /// Member record type (single member type, per the Maryland DDL).
+    pub member: String,
+    /// Ordering keys: member record instances are kept sorted by these
+    /// member fields within each set occurrence.
+    pub keys: Vec<String>,
+    pub insertion: Insertion,
+    pub retention: Retention,
+}
+
+impl SetDef {
+    /// A system-owned entry-point set, `AUTOMATIC`/`OPTIONAL` by default.
+    pub fn system(name: impl Into<String>, member: impl Into<String>, keys: Vec<&str>) -> Self {
+        SetDef {
+            name: name.into(),
+            owner: SetOwner::System,
+            member: member.into(),
+            keys: keys.into_iter().map(String::from).collect(),
+            insertion: Insertion::Automatic,
+            retention: Retention::Optional,
+        }
+    }
+
+    /// A record-owned set, `AUTOMATIC`/`OPTIONAL` by default.
+    pub fn owned(
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        member: impl Into<String>,
+        keys: Vec<&str>,
+    ) -> Self {
+        SetDef {
+            name: name.into(),
+            owner: SetOwner::Record(owner.into()),
+            member: member.into(),
+            keys: keys.into_iter().map(String::from).collect(),
+            insertion: Insertion::Automatic,
+            retention: Retention::Optional,
+        }
+    }
+
+    pub fn with_insertion(mut self, i: Insertion) -> Self {
+        self.insertion = i;
+        self
+    }
+
+    pub fn with_retention(mut self, r: Retention) -> Self {
+        self.retention = r;
+        self
+    }
+
+    pub fn is_system(&self) -> bool {
+        matches!(self.owner, SetOwner::System)
+    }
+}
+
+/// A complete network schema: record types, set types, and the declarative
+/// integrity constraints of §3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSchema {
+    pub name: String,
+    pub records: Vec<RecordTypeDef>,
+    pub sets: Vec<SetDef>,
+    pub constraints: Vec<Constraint>,
+}
+
+impl NetworkSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkSchema {
+            name: name.into(),
+            records: Vec::new(),
+            sets: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Builder: add a record type.
+    pub fn with_record(mut self, r: RecordTypeDef) -> Self {
+        self.records.push(r);
+        self
+    }
+
+    /// Builder: add a set type.
+    pub fn with_set(mut self, s: SetDef) -> Self {
+        self.sets.push(s);
+        self
+    }
+
+    /// Builder: add a constraint.
+    pub fn with_constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    pub fn record(&self, name: &str) -> Option<&RecordTypeDef> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    pub fn record_mut(&mut self, name: &str) -> Option<&mut RecordTypeDef> {
+        self.records.iter_mut().find(|r| r.name == name)
+    }
+
+    pub fn set(&self, name: &str) -> Option<&SetDef> {
+        self.sets.iter().find(|s| s.name == name)
+    }
+
+    pub fn set_mut(&mut self, name: &str) -> Option<&mut SetDef> {
+        self.sets.iter_mut().find(|s| s.name == name)
+    }
+
+    /// All sets whose owner is the given record type.
+    pub fn sets_owned_by(&self, record: &str) -> Vec<&SetDef> {
+        self.sets
+            .iter()
+            .filter(|s| s.owner.record_name() == Some(record))
+            .collect()
+    }
+
+    /// All sets whose member is the given record type.
+    pub fn sets_with_member(&self, record: &str) -> Vec<&SetDef> {
+        self.sets.iter().filter(|s| s.member == record).collect()
+    }
+
+    /// The system-owned entry sets for a record type.
+    pub fn system_sets_of(&self, record: &str) -> Vec<&SetDef> {
+        self.sets
+            .iter()
+            .filter(|s| s.is_system() && s.member == record)
+            .collect()
+    }
+
+    /// Full structural validation. Returns the schema's invariants the rest
+    /// of the framework relies on:
+    ///
+    /// * names unique per namespace (records, sets) and fields unique per
+    ///   record;
+    /// * every set's owner/member record types exist, and owner ≠ member
+    ///   (the Maryland DDL has single owner and member types; recursive
+    ///   sets are out of scope, as in the paper);
+    /// * set keys are fields of the member record;
+    /// * virtual fields reference a set in which this record is the member,
+    ///   and a stored field of that set's owner;
+    /// * constraints reference existing records/fields/sets.
+    pub fn validate(&self) -> ModelResult<()> {
+        // Unique record names, unique field names per record.
+        for (i, r) in self.records.iter().enumerate() {
+            if self.records[..i].iter().any(|p| p.name == r.name) {
+                return Err(ModelError::duplicate("record", &r.name));
+            }
+            for (j, f) in r.fields.iter().enumerate() {
+                if r.fields[..j].iter().any(|p| p.name == f.name) {
+                    return Err(ModelError::duplicate(
+                        "field",
+                        format!("{}.{}", r.name, f.name),
+                    ));
+                }
+            }
+        }
+        // Unique set names; owner/member exist; keys are member fields.
+        for (i, s) in self.sets.iter().enumerate() {
+            if self.sets[..i].iter().any(|p| p.name == s.name) {
+                return Err(ModelError::duplicate("set", &s.name));
+            }
+            let member = self
+                .record(&s.member)
+                .ok_or_else(|| ModelError::unknown("record", &s.member))?;
+            if let SetOwner::Record(owner) = &s.owner {
+                if self.record(owner).is_none() {
+                    return Err(ModelError::unknown("record", owner));
+                }
+                if owner == &s.member {
+                    return Err(ModelError::invalid(format!(
+                        "set '{}' has identical owner and member '{}'",
+                        s.name, owner
+                    )));
+                }
+            }
+            for k in &s.keys {
+                if member.field(k).is_none() {
+                    return Err(ModelError::invalid(format!(
+                        "set '{}' key '{}' is not a field of member '{}'",
+                        s.name, k, s.member
+                    )));
+                }
+            }
+        }
+        // Virtual fields.
+        for r in &self.records {
+            for f in &r.fields {
+                if let Some(v) = &f.virtual_via {
+                    let set = self
+                        .set(&v.set)
+                        .ok_or_else(|| ModelError::unknown("set", &v.set))?;
+                    if set.member != r.name {
+                        return Err(ModelError::invalid(format!(
+                            "virtual field {}.{} names set '{}' whose member is '{}'",
+                            r.name, f.name, v.set, set.member
+                        )));
+                    }
+                    let owner_name = set.owner.record_name().ok_or_else(|| {
+                        ModelError::invalid(format!(
+                            "virtual field {}.{} via system set '{}'",
+                            r.name, f.name, v.set
+                        ))
+                    })?;
+                    let owner = self
+                        .record(owner_name)
+                        .ok_or_else(|| ModelError::unknown("record", owner_name))?;
+                    match owner.field(&v.source_field) {
+                        None => {
+                            return Err(ModelError::invalid(format!(
+                                "virtual field {}.{} sources missing field {}.{}",
+                                r.name, f.name, owner_name, v.source_field
+                            )))
+                        }
+                        Some(src) if src.is_virtual() => {
+                            return Err(ModelError::invalid(format!(
+                                "virtual field {}.{} sources another virtual field",
+                                r.name, f.name
+                            )))
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        // Constraints.
+        for c in &self.constraints {
+            c.validate_against(self)?;
+        }
+        Ok(())
+    }
+
+    /// True if `from` reaches `to` through a chain of sets, owner → member
+    /// (used to reason about hierarchical embeddings and cascades).
+    pub fn reaches_via_sets(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from.to_string()];
+        let mut seen = vec![from.to_string()];
+        while let Some(cur) = stack.pop() {
+            for s in self.sets_owned_by(&cur) {
+                if s.member == to {
+                    return true;
+                }
+                if !seen.contains(&s.member) {
+                    seen.push(s.member.clone());
+                    stack.push(s.member.clone());
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 4.2/4.3 schema: DIV —DIV-EMP→ EMP, with EMP
+    /// carrying a virtual DIV-NAME.
+    pub fn company() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                    FieldDef::virtual_field(
+                        "DIV-NAME",
+                        FieldType::Char(20),
+                        "DIV-EMP",
+                        "DIV-NAME",
+                    ),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    #[test]
+    fn company_schema_validates() {
+        company().validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_record_rejected() {
+        let s = company().with_record(RecordTypeDef::new("DIV", vec![]));
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::Duplicate { kind: "record", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_set_key_rejected() {
+        let mut s = company();
+        s.set_mut("DIV-EMP").unwrap().keys = vec!["NO-SUCH".into()];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn owner_equals_member_rejected() {
+        let s = company().with_set(SetDef::owned("SELF", "EMP", "EMP", vec![]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn virtual_field_must_match_set_member() {
+        let mut s = company();
+        // Point EMP's virtual field at ALL-DIV (whose member is DIV, not EMP).
+        s.record_mut("EMP").unwrap().fields[3]
+            .virtual_via
+            .as_mut()
+            .unwrap()
+            .set = "ALL-DIV".into();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn set_lookups() {
+        let s = company();
+        assert!(s.set("DIV-EMP").is_some());
+        assert_eq!(s.sets_owned_by("DIV").len(), 1);
+        assert_eq!(s.sets_with_member("EMP").len(), 1);
+        assert_eq!(s.system_sets_of("DIV").len(), 1);
+        assert!(s.system_sets_of("EMP").is_empty());
+    }
+
+    #[test]
+    fn reachability() {
+        let s = company();
+        assert!(s.reaches_via_sets("DIV", "EMP"));
+        assert!(!s.reaches_via_sets("EMP", "DIV"));
+        assert!(s.reaches_via_sets("EMP", "EMP"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The relational model, in the compact notation of Figure 3.1a:
+//!
+//! ```text
+//! COURSE-OFFERING(CNO, S, ....)
+//! COURSE(CNO, CNAME, ....)
+//! SEMESTER(S, YEAR, ....)
+//! ```
+//!
+//! Tables with typed columns, declared primary keys (the paper notes tuple
+//! uniqueness via key declarations is "the only constraint maintained
+//! explicitly in the relational model"), and foreign keys — which 1979
+//! relational systems did *not* enforce; our engine enforces them only when
+//! a corresponding [`crate::constraint::Constraint`] is carried over, so the
+//! §3.1 point about unenforced existence constraints is reproducible.
+
+use crate::error::{ModelError, ModelResult};
+use crate::types::FieldType;
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: FieldType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A foreign-key declaration: `columns` of this table reference
+/// `parent_columns` of `parent_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub columns: Vec<String>,
+    pub parent_table: String,
+    pub parent_columns: Vec<String>,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Primary key column names (may be empty: a keyless 1979-style table).
+    pub primary_key: Vec<String>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableDef {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableDef {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn with_key(mut self, key: Vec<&str>) -> Self {
+        self.primary_key = key.into_iter().map(String::from).collect();
+        self
+    }
+
+    pub fn with_foreign_key(
+        mut self,
+        columns: Vec<&str>,
+        parent_table: &str,
+        parent_columns: Vec<&str>,
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: columns.into_iter().map(String::from).collect(),
+            parent_table: parent_table.to_string(),
+            parent_columns: parent_columns.into_iter().map(String::from).collect(),
+        });
+        self
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// A relational schema: a named list of tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationalSchema {
+    pub name: String,
+    pub tables: Vec<TableDef>,
+}
+
+impl RelationalSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationalSchema {
+            name: name.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    pub fn with_table(mut self, t: TableDef) -> Self {
+        self.tables.push(t);
+        self
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableDef> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Structural validation: unique table/column names, keys and foreign
+    /// keys reference declared columns/tables with matching arity.
+    pub fn validate(&self) -> ModelResult<()> {
+        for (i, t) in self.tables.iter().enumerate() {
+            if self.tables[..i].iter().any(|p| p.name == t.name) {
+                return Err(ModelError::duplicate("table", &t.name));
+            }
+            for (j, c) in t.columns.iter().enumerate() {
+                if t.columns[..j].iter().any(|p| p.name == c.name) {
+                    return Err(ModelError::duplicate(
+                        "column",
+                        format!("{}.{}", t.name, c.name),
+                    ));
+                }
+            }
+            for k in &t.primary_key {
+                if t.column(k).is_none() {
+                    return Err(ModelError::unknown("column", format!("{}.{}", t.name, k)));
+                }
+            }
+            for fk in &t.foreign_keys {
+                let parent = self
+                    .table(&fk.parent_table)
+                    .ok_or_else(|| ModelError::unknown("table", &fk.parent_table))?;
+                if fk.columns.len() != fk.parent_columns.len() || fk.columns.is_empty() {
+                    return Err(ModelError::invalid(format!(
+                        "foreign key on '{}' has mismatched arity",
+                        t.name
+                    )));
+                }
+                for c in &fk.columns {
+                    if t.column(c).is_none() {
+                        return Err(ModelError::unknown("column", format!("{}.{}", t.name, c)));
+                    }
+                }
+                for c in &fk.parent_columns {
+                    if parent.column(c).is_none() {
+                        return Err(ModelError::unknown(
+                            "column",
+                            format!("{}.{}", parent.name, c),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render in the paper's Figure 3.1a notation, key columns first.
+    pub fn to_compact_notation(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&t.name);
+            out.push('(');
+            out.push_str(
+                &t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push_str(")\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3.1a relational school database.
+    pub fn school() -> RelationalSchema {
+        RelationalSchema::new("SCHOOL")
+            .with_table(
+                TableDef::new(
+                    "COURSE",
+                    vec![
+                        ColumnDef::new("CNO", FieldType::Char(6)),
+                        ColumnDef::new("CNAME", FieldType::Char(20)),
+                    ],
+                )
+                .with_key(vec!["CNO"]),
+            )
+            .with_table(
+                TableDef::new(
+                    "SEMESTER",
+                    vec![
+                        ColumnDef::new("S", FieldType::Char(4)),
+                        ColumnDef::new("YEAR", FieldType::Int(4)),
+                    ],
+                )
+                .with_key(vec!["S"]),
+            )
+            .with_table(
+                TableDef::new(
+                    "COURSE-OFFERING",
+                    vec![
+                        ColumnDef::new("CNO", FieldType::Char(6)),
+                        ColumnDef::new("S", FieldType::Char(4)),
+                    ],
+                )
+                .with_key(vec!["CNO", "S"])
+                .with_foreign_key(vec!["CNO"], "COURSE", vec!["CNO"])
+                .with_foreign_key(vec!["S"], "SEMESTER", vec!["S"]),
+            )
+    }
+
+    #[test]
+    fn school_validates() {
+        school().validate().unwrap();
+    }
+
+    #[test]
+    fn compact_notation_matches_fig_31a() {
+        let s = school();
+        let txt = s.to_compact_notation();
+        assert!(txt.contains("COURSE-OFFERING(CNO,S)"));
+        assert!(txt.contains("COURSE(CNO,CNAME)"));
+        assert!(txt.contains("SEMESTER(S,YEAR)"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let s = school().with_table(TableDef::new("COURSE", vec![]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn bad_primary_key_rejected() {
+        let mut s = school();
+        s.table_mut("COURSE").unwrap().primary_key = vec!["NOPE".into()];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fk_arity_checked() {
+        let mut s = school();
+        s.table_mut("COURSE-OFFERING").unwrap().foreign_keys[0]
+            .parent_columns
+            .push("CNAME".into());
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fk_unknown_parent_rejected() {
+        let s = RelationalSchema::new("X").with_table(
+            TableDef::new("A", vec![ColumnDef::new("ID", FieldType::Int(4))])
+                .with_foreign_key(vec!["ID"], "MISSING", vec!["ID"]),
+        );
+        assert!(s.validate().is_err());
+    }
+}

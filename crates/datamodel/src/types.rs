@@ -1,0 +1,90 @@
+//! Field types in the COBOL `PICTURE` tradition used by Figure 4.3.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Declared type of a field / column / segment field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    /// `PIC 9(n)` — integer. `n` is the declared digit count (display width).
+    Int(usize),
+    /// `PIC X(n)` — character data of capacity `n`.
+    Char(usize),
+    /// Floating point (`COMP-2` in period terms).
+    Float,
+}
+
+impl FieldType {
+    /// Does `v` conform to this type? Null conforms to every type; nullability
+    /// is governed by constraints, not by the type (matching the paper's
+    /// discussion of nulls as an integrity matter in §3.1).
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (FieldType::Int(_), Value::Int(_)) => true,
+            (FieldType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (FieldType::Char(n), Value::Str(s)) => s.len() <= *n,
+            _ => false,
+        }
+    }
+
+    /// The DDL `PIC` clause for this type.
+    pub fn pic_clause(&self) -> String {
+        match self {
+            FieldType::Int(n) => format!("PIC 9({n})"),
+            FieldType::Char(n) => format!("PIC X({n})"),
+            FieldType::Float => "COMP-2".to_string(),
+        }
+    }
+
+    /// A neutral default value of this type (used by `AddField` transforms
+    /// when no explicit default is supplied).
+    pub fn default_value(&self) -> Value {
+        match self {
+            FieldType::Int(_) => Value::Int(0),
+            FieldType::Float => Value::Float(0.0),
+            FieldType::Char(_) => Value::Str(String::new()),
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pic_clause())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_checks_kind_and_width() {
+        assert!(FieldType::Char(5).admits(&Value::str("SALES")));
+        assert!(!FieldType::Char(4).admits(&Value::str("SALES")));
+        assert!(FieldType::Int(4).admits(&Value::Int(1234)));
+        assert!(!FieldType::Int(4).admits(&Value::str("1234")));
+        assert!(FieldType::Float.admits(&Value::Int(3)));
+    }
+
+    #[test]
+    fn null_admitted_everywhere() {
+        for t in [FieldType::Int(2), FieldType::Char(2), FieldType::Float] {
+            assert!(t.admits(&Value::Null));
+        }
+    }
+
+    #[test]
+    fn pic_clauses() {
+        assert_eq!(FieldType::Char(20).pic_clause(), "PIC X(20)");
+        assert_eq!(FieldType::Int(2).pic_clause(), "PIC 9(2)");
+        assert_eq!(FieldType::Float.pic_clause(), "COMP-2");
+    }
+
+    #[test]
+    fn defaults_conform() {
+        for t in [FieldType::Int(2), FieldType::Char(2), FieldType::Float] {
+            assert!(t.admits(&t.default_value()));
+        }
+    }
+}

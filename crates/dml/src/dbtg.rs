@@ -1,0 +1,546 @@
+//! The low-level CODASYL DBTG navigation DML.
+//!
+//! This is the dialect of the paper's §4.1 listing (B):
+//!
+//! ```text
+//! MOVE 'D2' TO D# IN DEPT.
+//! FIND ANY DEPT USING D#.
+//! IF STATUS NOTFOUND GO TO NOTFD.
+//! MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+//! NEXT.
+//! FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+//! IF STATUS ENDSET GO TO FINISH.
+//! ...
+//! GO TO NEXT.
+//! ```
+//!
+//! Programs communicate with the database through a **user work area**
+//! (UWA): `MOVE` fills UWA fields, `FIND` establishes *currency* (current of
+//! run-unit / record type / set type), `GET` copies the current record into
+//! the UWA, and a **status register** records the outcome of every DML verb
+//! for `IF STATUS … GO TO` branching. This explicit navigation style — with
+//! its status-code and currency dependence — is exactly what §3.2 identifies
+//! as hard to convert, and what the template-matching Program Analyzer
+//! (Nations & Su, ref 26) lifts back into access patterns.
+//!
+//! Statements are terminated by `.` as in the paper's listings; a bare
+//! `IDENT.` line is a label.
+
+use crate::error::ParseResult;
+use crate::expr::{parse_expr, Expr};
+use crate::lexer::{Tok, TokenStream};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Status-register conditions testable by `IF STATUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCond {
+    Ok,
+    NotFound,
+    EndSet,
+    Integrity,
+    Duplicate,
+    NoCurrency,
+}
+
+impl StatusCond {
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            StatusCond::Ok => "OK",
+            StatusCond::NotFound => "NOTFOUND",
+            StatusCond::EndSet => "ENDSET",
+            StatusCond::Integrity => "INTEGRITY",
+            StatusCond::Duplicate => "DUPLICATE",
+            StatusCond::NoCurrency => "NOCURRENCY",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<StatusCond> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "OK" => StatusCond::Ok,
+            "NOTFOUND" => StatusCond::NotFound,
+            "ENDSET" => StatusCond::EndSet,
+            "INTEGRITY" => StatusCond::Integrity,
+            "DUPLICATE" => StatusCond::Duplicate,
+            "NOCURRENCY" => StatusCond::NoCurrency,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StatusCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One DBTG statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbtgStmt {
+    /// `MOVE expr TO field IN record.` — set a UWA field. The expression may
+    /// reference other UWA fields (`REC.F`).
+    Move {
+        value: Expr,
+        field: String,
+        record: String,
+    },
+    /// `FIND ANY record USING f, ….` — first occurrence whose listed fields
+    /// equal the UWA values; establishes currency.
+    FindAny { record: String, using: Vec<String> },
+    /// `FIND FIRST record WITHIN set.` — first member of the current (or
+    /// sole, for system sets) occurrence of `set`.
+    FindFirst { record: String, set: String },
+    /// `FIND NEXT record WITHIN set [USING f, …].` — next member after the
+    /// current one, optionally skipping to the next whose listed fields
+    /// match the UWA.
+    FindNext {
+        record: String,
+        set: String,
+        using: Vec<String>,
+    },
+    /// `FIND OWNER WITHIN set.` — the owner of the current member.
+    FindOwner { set: String },
+    /// `GET record.` — copy the current of `record` into the UWA.
+    Get { record: String },
+    /// `IF STATUS cond GO TO label.`
+    IfStatus { cond: StatusCond, goto: String },
+    /// `GO TO label.`
+    Goto(String),
+    /// `PRINT e, ….` — observable terminal output; expressions read UWA
+    /// fields (`REC.F`) or literals.
+    Print(Vec<Expr>),
+    /// `ACCEPT field IN record FROM TERMINAL.` — observable terminal input
+    /// into a UWA field.
+    Accept { field: String, record: String },
+    /// `STORE record.` — create an occurrence from the UWA; connects to the
+    /// current occurrence of every AUTOMATIC set the type is a member of
+    /// (DBTG "set selection by application").
+    Store { record: String },
+    /// `MODIFY record.` — update the current occurrence from the UWA.
+    Modify { record: String },
+    /// `ERASE record [ALL].`
+    Erase { record: String, all: bool },
+    /// `CONNECT record TO set.` — connect current of `record` to current
+    /// occurrence of `set`.
+    Connect { record: String, set: String },
+    /// `DISCONNECT record FROM set.`
+    Disconnect { record: String, set: String },
+    /// `STOP.`
+    Stop,
+}
+
+/// A statement or a label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbtgUnit {
+    Label(String),
+    Stmt(DbtgStmt),
+}
+
+/// A complete DBTG program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbtgProgram {
+    pub name: String,
+    pub units: Vec<DbtgUnit>,
+}
+
+impl DbtgProgram {
+    /// Index of a label within `units`.
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.units
+            .iter()
+            .position(|u| matches!(u, DbtgUnit::Label(l) if l == label))
+    }
+
+    /// All statements (without labels).
+    pub fn stmts(&self) -> impl Iterator<Item = &DbtgStmt> {
+        self.units.iter().filter_map(|u| match u {
+            DbtgUnit::Stmt(s) => Some(s),
+            DbtgUnit::Label(_) => None,
+        })
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "MOVE",
+    "FIND",
+    "GET",
+    "IF",
+    "GO",
+    "PRINT",
+    "ACCEPT",
+    "STORE",
+    "MODIFY",
+    "ERASE",
+    "CONNECT",
+    "DISCONNECT",
+    "STOP",
+    "END",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parse a DBTG program.
+pub fn parse_dbtg(src: &str) -> ParseResult<DbtgProgram> {
+    let mut ts = TokenStream::new(src)?;
+    ts.expect_kw("DBTG")?;
+    ts.expect_kw("PROGRAM")?;
+    let name = ts.expect_ident()?;
+    ts.expect(Tok::Dot)?;
+    let mut units = Vec::new();
+    loop {
+        if ts.at_kw("END") {
+            break;
+        }
+        // Label: IDENT. where IDENT is not a statement keyword.
+        if let Tok::Ident(id) = ts.peek().clone() {
+            if !is_keyword(&id) && ts.peek2() == &Tok::Dot {
+                ts.next();
+                ts.next();
+                units.push(DbtgUnit::Label(id));
+                continue;
+            }
+        }
+        units.push(DbtgUnit::Stmt(parse_stmt(&mut ts)?));
+    }
+    ts.expect_kw("END")?;
+    ts.expect_kw("PROGRAM")?;
+    ts.expect(Tok::Dot)?;
+    if !ts.at_eof() {
+        return Err(ts.err("trailing input after END PROGRAM"));
+    }
+    Ok(DbtgProgram { name, units })
+}
+
+fn parse_stmt(ts: &mut TokenStream) -> ParseResult<DbtgStmt> {
+    if ts.eat_kw("MOVE") {
+        let value = parse_expr(ts)?;
+        ts.expect_kw("TO")?;
+        let field = ts.expect_ident()?;
+        ts.expect_kw("IN")?;
+        let record = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Move {
+            value,
+            field,
+            record,
+        });
+    }
+    if ts.eat_kw("FIND") {
+        if ts.eat_kw("ANY") {
+            let record = ts.expect_ident()?;
+            let using = parse_using(ts)?;
+            ts.expect(Tok::Dot)?;
+            return Ok(DbtgStmt::FindAny { record, using });
+        }
+        if ts.eat_kw("FIRST") {
+            let record = ts.expect_ident()?;
+            ts.expect_kw("WITHIN")?;
+            let set = ts.expect_ident()?;
+            ts.expect(Tok::Dot)?;
+            return Ok(DbtgStmt::FindFirst { record, set });
+        }
+        if ts.eat_kw("NEXT") {
+            let record = ts.expect_ident()?;
+            ts.expect_kw("WITHIN")?;
+            let set = ts.expect_ident()?;
+            let using = parse_using(ts)?;
+            ts.expect(Tok::Dot)?;
+            return Ok(DbtgStmt::FindNext {
+                record,
+                set,
+                using,
+            });
+        }
+        if ts.eat_kw("OWNER") {
+            ts.expect_kw("WITHIN")?;
+            let set = ts.expect_ident()?;
+            ts.expect(Tok::Dot)?;
+            return Ok(DbtgStmt::FindOwner { set });
+        }
+        return Err(ts.err("expected ANY/FIRST/NEXT/OWNER after FIND"));
+    }
+    if ts.eat_kw("GET") {
+        let record = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Get { record });
+    }
+    if ts.eat_kw("IF") {
+        ts.expect_kw("STATUS")?;
+        let mn = ts.expect_ident()?;
+        let cond = StatusCond::from_mnemonic(&mn)
+            .ok_or_else(|| ts.err(format!("unknown status mnemonic '{mn}'")))?;
+        ts.expect_kw("GO")?;
+        ts.expect_kw("TO")?;
+        let goto = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::IfStatus { cond, goto });
+    }
+    if ts.eat_kw("GO") {
+        ts.expect_kw("TO")?;
+        let label = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Goto(label));
+    }
+    if ts.eat_kw("PRINT") {
+        let mut exprs = vec![parse_expr(ts)?];
+        while ts.eat(Tok::Comma) {
+            exprs.push(parse_expr(ts)?);
+        }
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Print(exprs));
+    }
+    if ts.eat_kw("ACCEPT") {
+        let field = ts.expect_ident()?;
+        ts.expect_kw("IN")?;
+        let record = ts.expect_ident()?;
+        ts.expect_kw("FROM")?;
+        ts.expect_kw("TERMINAL")?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Accept { field, record });
+    }
+    if ts.eat_kw("STORE") {
+        let record = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Store { record });
+    }
+    if ts.eat_kw("MODIFY") {
+        let record = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Modify { record });
+    }
+    if ts.eat_kw("ERASE") {
+        let record = ts.expect_ident()?;
+        let all = ts.eat_kw("ALL");
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Erase { record, all });
+    }
+    if ts.eat_kw("CONNECT") {
+        let record = ts.expect_ident()?;
+        ts.expect_kw("TO")?;
+        let set = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Connect { record, set });
+    }
+    if ts.eat_kw("DISCONNECT") {
+        let record = ts.expect_ident()?;
+        ts.expect_kw("FROM")?;
+        let set = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Disconnect { record, set });
+    }
+    if ts.eat_kw("STOP") {
+        ts.expect(Tok::Dot)?;
+        return Ok(DbtgStmt::Stop);
+    }
+    Err(ts.err(format!(
+        "expected a DBTG statement, found {}",
+        ts.peek().describe()
+    )))
+}
+
+fn parse_using(ts: &mut TokenStream) -> ParseResult<Vec<String>> {
+    let mut using = Vec::new();
+    if ts.eat_kw("USING") {
+        using.push(ts.expect_ident()?);
+        while ts.eat(Tok::Comma) {
+            using.push(ts.expect_ident()?);
+        }
+    }
+    Ok(using)
+}
+
+/// Pretty-print a DBTG program (Program Generator back-end).
+pub fn print_dbtg(p: &DbtgProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DBTG PROGRAM {}.", p.name);
+    for u in &p.units {
+        match u {
+            DbtgUnit::Label(l) => {
+                let _ = writeln!(out, "{l}.");
+            }
+            DbtgUnit::Stmt(s) => {
+                let _ = writeln!(out, "  {}", print_stmt(s));
+            }
+        }
+    }
+    let _ = writeln!(out, "END PROGRAM.");
+    out
+}
+
+fn print_stmt(s: &DbtgStmt) -> String {
+    match s {
+        DbtgStmt::Move {
+            value,
+            field,
+            record,
+        } => format!("MOVE {value} TO {field} IN {record}."),
+        DbtgStmt::FindAny { record, using } => {
+            if using.is_empty() {
+                format!("FIND ANY {record}.")
+            } else {
+                format!("FIND ANY {record} USING {}.", using.join(", "))
+            }
+        }
+        DbtgStmt::FindFirst { record, set } => {
+            format!("FIND FIRST {record} WITHIN {set}.")
+        }
+        DbtgStmt::FindNext {
+            record,
+            set,
+            using,
+        } => {
+            if using.is_empty() {
+                format!("FIND NEXT {record} WITHIN {set}.")
+            } else {
+                format!(
+                    "FIND NEXT {record} WITHIN {set} USING {}.",
+                    using.join(", ")
+                )
+            }
+        }
+        DbtgStmt::FindOwner { set } => format!("FIND OWNER WITHIN {set}."),
+        DbtgStmt::Get { record } => format!("GET {record}."),
+        DbtgStmt::IfStatus { cond, goto } => {
+            format!("IF STATUS {cond} GO TO {goto}.")
+        }
+        DbtgStmt::Goto(l) => format!("GO TO {l}."),
+        DbtgStmt::Print(exprs) => {
+            let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            format!("PRINT {}.", list.join(", "))
+        }
+        DbtgStmt::Accept { field, record } => {
+            format!("ACCEPT {field} IN {record} FROM TERMINAL.")
+        }
+        DbtgStmt::Store { record } => format!("STORE {record}."),
+        DbtgStmt::Modify { record } => format!("MODIFY {record}."),
+        DbtgStmt::Erase { record, all } => {
+            if *all {
+                format!("ERASE {record} ALL.")
+            } else {
+                format!("ERASE {record}.")
+            }
+        }
+        DbtgStmt::Connect { record, set } => format!("CONNECT {record} TO {set}."),
+        DbtgStmt::Disconnect { record, set } => {
+            format!("DISCONNECT {record} FROM {set}.")
+        }
+        DbtgStmt::Stop => "STOP.".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §4.1 listing (B), completed into a runnable program:
+    /// "Get the names of those employees who have worked for department D2
+    /// for three years."
+    pub const LISTING_B: &str = "\
+DBTG PROGRAM GETEMP.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO NOTFD.
+  MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+NEXT.
+  FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+  IF STATUS ENDSET GO TO FINISH.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO NEXT.
+NOTFD.
+  PRINT 'NO SUCH DEPARTMENT'.
+FINISH.
+  STOP.
+END PROGRAM.
+";
+
+    #[test]
+    fn parses_listing_b() {
+        let p = parse_dbtg(LISTING_B).unwrap();
+        assert_eq!(p.name, "GETEMP");
+        assert_eq!(
+            p.units
+                .iter()
+                .filter(|u| matches!(u, DbtgUnit::Label(_)))
+                .count(),
+            3
+        );
+        assert!(p.stmts().any(|s| matches!(
+            s,
+            DbtgStmt::FindNext { set, using, .. }
+            if set == "ED" && using == &vec!["YEAR-OF-SERVICE".to_string()]
+        )));
+    }
+
+    #[test]
+    fn round_trips() {
+        let p1 = parse_dbtg(LISTING_B).unwrap();
+        let printed = print_dbtg(&p1);
+        assert_eq!(printed, LISTING_B);
+        assert_eq!(parse_dbtg(&printed).unwrap(), p1);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let p = parse_dbtg(LISTING_B).unwrap();
+        assert!(p.label_index("NEXT").is_some());
+        assert!(p.label_index("FINISH").is_some());
+        assert!(p.label_index("NOPE").is_none());
+    }
+
+    #[test]
+    fn parses_update_verbs() {
+        let src = "\
+DBTG PROGRAM UPD.
+  MOVE 'X' TO ENAME IN EMP.
+  STORE EMP.
+  MODIFY EMP.
+  CONNECT EMP TO ED.
+  DISCONNECT EMP FROM ED.
+  ERASE EMP ALL.
+  STOP.
+END PROGRAM.
+";
+        let p = parse_dbtg(src).unwrap();
+        assert_eq!(p.units.len(), 7);
+        assert_eq!(print_dbtg(&p), src);
+    }
+
+    #[test]
+    fn accept_statement() {
+        let src = "\
+DBTG PROGRAM A.
+  ACCEPT D# IN DEPT FROM TERMINAL.
+  STOP.
+END PROGRAM.
+";
+        let p = parse_dbtg(src).unwrap();
+        assert!(matches!(
+            p.stmts().next().unwrap(),
+            DbtgStmt::Accept { .. }
+        ));
+        assert_eq!(print_dbtg(&p), src);
+    }
+
+    #[test]
+    fn unknown_status_rejected() {
+        let src = "DBTG PROGRAM B.\n  IF STATUS WEIRD GO TO X.\nEND PROGRAM.\n";
+        assert!(parse_dbtg(src).is_err());
+    }
+
+    #[test]
+    fn status_mnemonics_round_trip() {
+        for c in [
+            StatusCond::Ok,
+            StatusCond::NotFound,
+            StatusCond::EndSet,
+            StatusCond::Integrity,
+            StatusCond::Duplicate,
+            StatusCond::NoCurrency,
+        ] {
+            assert_eq!(StatusCond::from_mnemonic(c.mnemonic()), Some(c));
+        }
+    }
+}

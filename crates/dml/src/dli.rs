@@ -1,0 +1,542 @@
+//! DL/I-style hierarchical calls — the IMS dialect.
+//!
+//! Needed for the Mehl & Wang study the paper surveys (ref 11): "a method to
+//! intercept and interpret DL/I statements to account for changes in the
+//! hierarchical order of an IMS structure". Programs navigate a hierarchic
+//! database with:
+//!
+//! * `GU` (get unique) — position on the first segment satisfying a path of
+//!   segment search arguments (SSAs);
+//! * `GN` (get next) — advance in hierarchic (preorder) sequence, optionally
+//!   to the next occurrence of a named segment type;
+//! * `GNP` (get next within parent) — like `GN` but confined to the current
+//!   parent's subtree;
+//! * `ISRT` / `DLET` / `REPL` — insert under the current position, delete /
+//!   replace the current segment.
+//!
+//! A status register (`OK`, `GE` = not found, `GB` = end of database)
+//! supports the same `IF STATUS … GO TO` branching as the DBTG dialect —
+//! and the same §3.2 status-code conversion hazard.
+
+use crate::error::ParseResult;
+use crate::expr::{parse_cmp_op, CmpOp};
+use crate::lexer::{Tok, TokenStream};
+use dbpc_datamodel::value::Value;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// DL/I status conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DliStatus {
+    /// Blank status: call succeeded.
+    Ok,
+    /// `GE` — segment not found.
+    NotFound,
+    /// `GB` — end of database reached.
+    EndOfDb,
+}
+
+impl DliStatus {
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DliStatus::Ok => "OK",
+            DliStatus::NotFound => "GE",
+            DliStatus::EndOfDb => "GB",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<DliStatus> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "OK" => DliStatus::Ok,
+            "GE" => DliStatus::NotFound,
+            "GB" => DliStatus::EndOfDb,
+            _ => None?,
+        })
+    }
+}
+
+impl fmt::Display for DliStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A segment search argument: a segment type, optionally qualified by a
+/// field comparison — `EMP(EMP-NAME = 'JONES')`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ssa {
+    pub segment: String,
+    pub qual: Option<(String, CmpOp, Value)>,
+}
+
+impl Ssa {
+    pub fn unqualified(segment: impl Into<String>) -> Ssa {
+        Ssa {
+            segment: segment.into(),
+            qual: None,
+        }
+    }
+
+    pub fn qualified(
+        segment: impl Into<String>,
+        field: impl Into<String>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Ssa {
+        Ssa {
+            segment: segment.into(),
+            qual: Some((field.into(), op, value.into())),
+        }
+    }
+}
+
+impl fmt::Display for Ssa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.segment)?;
+        if let Some((field, op, v)) = &self.qual {
+            let vs = match v {
+                Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                other => other.to_string(),
+            };
+            write!(f, "({field} {} {vs})", op.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+/// One DL/I statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DliStmt {
+    /// `GU ssa ssa ….` — position on the first segment matching the SSA
+    /// path from a root.
+    Gu { ssas: Vec<Ssa> },
+    /// `GN [segment].` — next segment in hierarchic sequence (of the named
+    /// type, if given).
+    Gn { segment: Option<String> },
+    /// `GNP [segment].` — next within the current parent.
+    Gnp { segment: Option<String> },
+    /// `ISRT segment (F = v, …).` — insert under the current position's
+    /// matching parent.
+    Isrt {
+        segment: String,
+        assigns: Vec<(String, Value)>,
+    },
+    /// `DLET.` — delete the current segment (and its subtree).
+    Dlet,
+    /// `REPL (F = v, …).` — replace fields of the current segment.
+    Repl { assigns: Vec<(String, Value)> },
+    /// `PRINT f, ….` — print fields of the current segment and/or string
+    /// literals (observable).
+    Print { items: Vec<PrintItem> },
+    /// `IF STATUS cond GO TO label.`
+    IfStatus { cond: DliStatus, goto: String },
+    /// `GO TO label.`
+    Goto(String),
+    /// `STOP.`
+    Stop,
+}
+
+/// One item of a `PRINT` list: a field of the current segment or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintItem {
+    Field(String),
+    Lit(Value),
+}
+
+impl fmt::Display for PrintItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrintItem::Field(n) => write!(f, "{n}"),
+            PrintItem::Lit(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            PrintItem::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A statement or label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DliUnit {
+    Label(String),
+    Stmt(DliStmt),
+}
+
+/// A complete DL/I program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DliProgram {
+    pub name: String,
+    pub units: Vec<DliUnit>,
+}
+
+impl DliProgram {
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.units
+            .iter()
+            .position(|u| matches!(u, DliUnit::Label(l) if l == label))
+    }
+
+    pub fn stmts(&self) -> impl Iterator<Item = &DliStmt> {
+        self.units.iter().filter_map(|u| match u {
+            DliUnit::Stmt(s) => Some(s),
+            DliUnit::Label(_) => None,
+        })
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "GU", "GN", "GNP", "ISRT", "DLET", "REPL", "PRINT", "IF", "GO", "STOP", "END",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parse a DL/I program: `DLI PROGRAM name. stmt… END PROGRAM.`
+pub fn parse_dli(src: &str) -> ParseResult<DliProgram> {
+    let mut ts = TokenStream::new(src)?;
+    ts.expect_kw("DLI")?;
+    ts.expect_kw("PROGRAM")?;
+    let name = ts.expect_ident()?;
+    ts.expect(Tok::Dot)?;
+    let mut units = Vec::new();
+    loop {
+        if ts.at_kw("END") {
+            break;
+        }
+        if let Tok::Ident(id) = ts.peek().clone() {
+            if !is_keyword(&id) && ts.peek2() == &Tok::Dot {
+                ts.next();
+                ts.next();
+                units.push(DliUnit::Label(id));
+                continue;
+            }
+        }
+        units.push(DliUnit::Stmt(parse_stmt(&mut ts)?));
+    }
+    ts.expect_kw("END")?;
+    ts.expect_kw("PROGRAM")?;
+    ts.expect(Tok::Dot)?;
+    if !ts.at_eof() {
+        return Err(ts.err("trailing input after END PROGRAM"));
+    }
+    Ok(DliProgram { name, units })
+}
+
+fn parse_stmt(ts: &mut TokenStream) -> ParseResult<DliStmt> {
+    if ts.eat_kw("GU") {
+        let mut ssas = vec![parse_ssa(ts)?];
+        while !matches!(ts.peek(), Tok::Dot) {
+            ssas.push(parse_ssa(ts)?);
+        }
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Gu { ssas });
+    }
+    if ts.eat_kw("GNP") {
+        let segment = match ts.peek().clone() {
+            Tok::Ident(s) => {
+                ts.next();
+                Some(s)
+            }
+            _ => None,
+        };
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Gnp { segment });
+    }
+    if ts.eat_kw("GN") {
+        let segment = match ts.peek().clone() {
+            Tok::Ident(s) => {
+                ts.next();
+                Some(s)
+            }
+            _ => None,
+        };
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Gn { segment });
+    }
+    if ts.eat_kw("ISRT") {
+        let segment = ts.expect_ident()?;
+        let assigns = parse_assigns(ts)?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Isrt { segment, assigns });
+    }
+    if ts.eat_kw("DLET") {
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Dlet);
+    }
+    if ts.eat_kw("REPL") {
+        let assigns = parse_assigns(ts)?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Repl { assigns });
+    }
+    if ts.eat_kw("PRINT") {
+        let mut items = vec![parse_print_item(ts)?];
+        while ts.eat(Tok::Comma) {
+            items.push(parse_print_item(ts)?);
+        }
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Print { items });
+    }
+    if ts.eat_kw("IF") {
+        ts.expect_kw("STATUS")?;
+        let mn = ts.expect_ident()?;
+        let cond = DliStatus::from_mnemonic(&mn)
+            .ok_or_else(|| ts.err(format!("unknown DL/I status '{mn}'")))?;
+        ts.expect_kw("GO")?;
+        ts.expect_kw("TO")?;
+        let goto = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::IfStatus { cond, goto });
+    }
+    if ts.eat_kw("GO") {
+        ts.expect_kw("TO")?;
+        let label = ts.expect_ident()?;
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Goto(label));
+    }
+    if ts.eat_kw("STOP") {
+        ts.expect(Tok::Dot)?;
+        return Ok(DliStmt::Stop);
+    }
+    Err(ts.err(format!(
+        "expected a DL/I statement, found {}",
+        ts.peek().describe()
+    )))
+}
+
+fn parse_print_item(ts: &mut TokenStream) -> ParseResult<PrintItem> {
+    match ts.peek().clone() {
+        Tok::Ident(s) => {
+            ts.next();
+            Ok(PrintItem::Field(s))
+        }
+        Tok::Str(s) => {
+            ts.next();
+            Ok(PrintItem::Lit(Value::Str(s)))
+        }
+        Tok::Int(n) => {
+            ts.next();
+            Ok(PrintItem::Lit(Value::Int(n)))
+        }
+        Tok::Minus => {
+            ts.next();
+            let n = ts.expect_int()?;
+            Ok(PrintItem::Lit(Value::Int(-n)))
+        }
+        other => Err(ts.err(format!(
+            "expected field or literal in PRINT, found {}",
+            other.describe()
+        ))),
+    }
+}
+
+fn parse_ssa(ts: &mut TokenStream) -> ParseResult<Ssa> {
+    let segment = ts.expect_ident()?;
+    let qual = if ts.eat(Tok::LParen) {
+        let field = ts.expect_ident()?;
+        let op = parse_cmp_op(ts)?;
+        let v = parse_value(ts)?;
+        ts.expect(Tok::RParen)?;
+        Some((field, op, v))
+    } else {
+        None
+    };
+    Ok(Ssa { segment, qual })
+}
+
+fn parse_assigns(ts: &mut TokenStream) -> ParseResult<Vec<(String, Value)>> {
+    ts.expect(Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        let field = ts.expect_ident()?;
+        ts.expect(Tok::Eq)?;
+        out.push((field, parse_value(ts)?));
+        if !ts.eat(Tok::Comma) {
+            break;
+        }
+    }
+    ts.expect(Tok::RParen)?;
+    Ok(out)
+}
+
+fn parse_value(ts: &mut TokenStream) -> ParseResult<Value> {
+    match ts.peek().clone() {
+        Tok::Int(n) => {
+            ts.next();
+            Ok(Value::Int(n))
+        }
+        Tok::Minus => {
+            ts.next();
+            Ok(Value::Int(-ts.expect_int()?))
+        }
+        Tok::Str(s) => {
+            ts.next();
+            Ok(Value::Str(s))
+        }
+        Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => {
+            ts.next();
+            Ok(Value::Null)
+        }
+        other => Err(ts.err(format!("expected a literal, found {}", other.describe()))),
+    }
+}
+
+/// Pretty-print a DL/I program.
+pub fn print_dli(p: &DliProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DLI PROGRAM {}.", p.name);
+    for u in &p.units {
+        match u {
+            DliUnit::Label(l) => {
+                let _ = writeln!(out, "{l}.");
+            }
+            DliUnit::Stmt(s) => {
+                let _ = writeln!(out, "  {}", print_stmt(s));
+            }
+        }
+    }
+    let _ = writeln!(out, "END PROGRAM.");
+    out
+}
+
+fn print_stmt(s: &DliStmt) -> String {
+    match s {
+        DliStmt::Gu { ssas } => {
+            let list: Vec<String> = ssas.iter().map(|s| s.to_string()).collect();
+            format!("GU {}.", list.join(" "))
+        }
+        DliStmt::Gn { segment } => match segment {
+            Some(s) => format!("GN {s}."),
+            None => "GN.".to_string(),
+        },
+        DliStmt::Gnp { segment } => match segment {
+            Some(s) => format!("GNP {s}."),
+            None => "GNP.".to_string(),
+        },
+        DliStmt::Isrt { segment, assigns } => {
+            format!("ISRT {segment} ({}).", fmt_assigns(assigns))
+        }
+        DliStmt::Dlet => "DLET.".to_string(),
+        DliStmt::Repl { assigns } => format!("REPL ({}).", fmt_assigns(assigns)),
+        DliStmt::Print { items } => {
+            let list: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+            format!("PRINT {}.", list.join(", "))
+        }
+        DliStmt::IfStatus { cond, goto } => format!("IF STATUS {cond} GO TO {goto}."),
+        DliStmt::Goto(l) => format!("GO TO {l}."),
+        DliStmt::Stop => "STOP.".to_string(),
+    }
+}
+
+fn fmt_assigns(assigns: &[(String, Value)]) -> String {
+    assigns
+        .iter()
+        .map(|(f, v)| {
+            let vs = match v {
+                Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                other => other.to_string(),
+            };
+            format!("{f} = {vs}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCAN: &str = "\
+DLI PROGRAM SCAN.
+  GU DIV(DIV-NAME = 'MACHINERY').
+LOOP.
+  GNP EMP.
+  IF STATUS GE GO TO DONE.
+  PRINT EMP-NAME, AGE.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.
+";
+
+    #[test]
+    fn parses_scan() {
+        let p = parse_dli(SCAN).unwrap();
+        assert_eq!(p.name, "SCAN");
+        let first = p.stmts().next().unwrap();
+        assert_eq!(
+            first,
+            &DliStmt::Gu {
+                ssas: vec![Ssa::qualified(
+                    "DIV",
+                    "DIV-NAME",
+                    CmpOp::Eq,
+                    "MACHINERY"
+                )]
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = parse_dli(SCAN).unwrap();
+        let printed = print_dli(&p);
+        assert_eq!(printed, SCAN);
+        assert_eq!(parse_dli(&printed).unwrap(), p);
+    }
+
+    #[test]
+    fn multi_ssa_gu() {
+        let src = "\
+DLI PROGRAM M.
+  GU DIV(DIV-NAME = 'MACHINERY') EMP(EMP-NAME = 'JONES').
+  STOP.
+END PROGRAM.
+";
+        let p = parse_dli(src).unwrap();
+        let DliStmt::Gu { ssas } = p.stmts().next().unwrap() else {
+            panic!()
+        };
+        assert_eq!(ssas.len(), 2);
+        assert_eq!(print_dli(&p), src);
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let src = "\
+DLI PROGRAM U.
+  GU DIV(DIV-NAME = 'M').
+  ISRT EMP (EMP-NAME = 'X', AGE = 30).
+  GU DIV(DIV-NAME = 'M') EMP(EMP-NAME = 'X').
+  REPL (AGE = 31).
+  DLET.
+  STOP.
+END PROGRAM.
+";
+        let p = parse_dli(src).unwrap();
+        assert_eq!(print_dli(&p), src);
+    }
+
+    #[test]
+    fn bare_gn_and_unqualified_ssa() {
+        let src = "\
+DLI PROGRAM G.
+  GU DIV.
+L.
+  GN.
+  IF STATUS GB GO TO E.
+  GO TO L.
+E.
+  STOP.
+END PROGRAM.
+";
+        let p = parse_dli(src).unwrap();
+        assert!(p.stmts().any(|s| matches!(s, DliStmt::Gn { segment: None })));
+        assert_eq!(print_dli(&p), src);
+    }
+
+    #[test]
+    fn status_mnemonics() {
+        assert_eq!(DliStatus::from_mnemonic("GE"), Some(DliStatus::NotFound));
+        assert_eq!(DliStatus::from_mnemonic("GB"), Some(DliStatus::EndOfDb));
+        assert_eq!(DliStatus::from_mnemonic("XX"), None);
+    }
+}

@@ -1,0 +1,524 @@
+//! Expressions shared by the program dialects.
+//!
+//! Two reference forms matter for conversion:
+//!
+//! * [`Expr::Name`] — an unqualified name, resolved by context: inside a
+//!   `FIND` path filter it names a field of that path step's record type,
+//!   falling back to a host variable; in host statements it names a host
+//!   variable;
+//! * [`Expr::Field`] — a qualified `VAR.FIELD` reference into a record held
+//!   by a host variable.
+//!
+//! Keeping field references syntactically explicit is what lets the Program
+//! Analyzer build the "relationships among program variables" and the data
+//! access patterns the framework requires (§4).
+
+use crate::error::ParseResult;
+use crate::lexer::{Tok, TokenStream};
+use dbpc_datamodel::value::Value;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluate against two values using the documented total order.
+    pub fn eval(&self, l: &Value, r: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = l.total_cmp(r);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The reversed comparison (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Unqualified name (context-resolved: path-step field, else host var).
+    Name(String),
+    /// `VAR.FIELD` — field of the record held in a host variable.
+    Field { var: String, field: String },
+    /// `COUNT(VAR)` — cardinality of a collection variable.
+    Count(String),
+    /// Binary arithmetic.
+    Bin {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn name(n: impl Into<String>) -> Expr {
+        Expr::Name(n.into())
+    }
+
+    pub fn field(var: impl Into<String>, field: impl Into<String>) -> Expr {
+        Expr::Field {
+            var: var.into(),
+            field: field.into(),
+        }
+    }
+
+    /// All unqualified names appearing in the expression.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Name(n) => out.push(n),
+            Expr::Bin { left, right, .. } => {
+                left.collect_names(out);
+                right.collect_names(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Rename every unqualified-name reference `from` → `to` (used by field
+    /// rename rules).
+    pub fn rename_name(&mut self, from: &str, to: &str) {
+        match self {
+            Expr::Name(n) if n == from => *n = to.to_string(),
+            Expr::Bin { left, right, .. } => {
+                left.rename_name(from, to);
+                right.rename_name(from, to);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Name(n) => write!(f, "{n}"),
+            Expr::Field { var, field } => write!(f, "{var}.{field}"),
+            Expr::Count(v) => write!(f, "COUNT({v})"),
+            Expr::Bin { op, left, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+        }
+    }
+}
+
+/// A boolean expression over scalar comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    Cmp {
+        op: CmpOp,
+        left: Expr,
+        right: Expr,
+    },
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    pub fn cmp(left: Expr, op: CmpOp, right: Expr) -> BoolExpr {
+        BoolExpr::Cmp { op, left, right }
+    }
+
+    pub fn and(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// All unqualified names referenced anywhere in the predicate.
+    pub fn names(&self) -> Vec<&str> {
+        match self {
+            BoolExpr::Cmp { left, right, .. } => {
+                let mut v = left.names();
+                v.extend(right.names());
+                v
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                let mut v = a.names();
+                v.extend(b.names());
+                v
+            }
+            BoolExpr::Not(a) => a.names(),
+        }
+    }
+
+    /// Rename unqualified names throughout.
+    pub fn rename_name(&mut self, from: &str, to: &str) {
+        match self {
+            BoolExpr::Cmp { left, right, .. } => {
+                left.rename_name(from, to);
+                right.rename_name(from, to);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.rename_name(from, to);
+                b.rename_name(from, to);
+            }
+            BoolExpr::Not(a) => a.rename_name(from, to),
+        }
+    }
+
+    /// Split a conjunction into its conjuncts (used when a filter must be
+    /// divided between two path steps by the converter).
+    pub fn conjuncts(&self) -> Vec<&BoolExpr> {
+        match self {
+            BoolExpr::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from parts; `None` if empty.
+    pub fn from_conjuncts(parts: Vec<BoolExpr>) -> Option<BoolExpr> {
+        let mut it = parts.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, p| acc.and(p)))
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Cmp { op, left, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+            BoolExpr::And(a, b) => write!(f, "{a} AND {b}"),
+            BoolExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            BoolExpr::Not(a) => write!(f, "NOT ({a})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (shared by host / sequel dialects)
+// ---------------------------------------------------------------------------
+
+/// Parse a boolean expression: `bool := bterm (OR bterm)*`,
+/// `bterm := bfactor (AND bfactor)*`, `bfactor := NOT bfactor | ( bool ) |
+/// cmp`.
+pub fn parse_bool(ts: &mut TokenStream) -> ParseResult<BoolExpr> {
+    let mut left = parse_bool_term(ts)?;
+    while ts.eat_kw("OR") {
+        let right = parse_bool_term(ts)?;
+        left = BoolExpr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_bool_term(ts: &mut TokenStream) -> ParseResult<BoolExpr> {
+    let mut left = parse_bool_factor(ts)?;
+    while ts.eat_kw("AND") {
+        let right = parse_bool_factor(ts)?;
+        left = BoolExpr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_bool_factor(ts: &mut TokenStream) -> ParseResult<BoolExpr> {
+    if ts.eat_kw("NOT") {
+        let inner = parse_bool_factor(ts)?;
+        return Ok(BoolExpr::Not(Box::new(inner)));
+    }
+    // A parenthesis here could open `(bool)` or a parenthesized scalar
+    // subexpression of a comparison; we try the boolean reading first by
+    // backtracking on failure.
+    if ts.peek() == &Tok::LParen {
+        let save = ts.clone();
+        ts.next();
+        if let Ok(inner) = parse_bool(ts) {
+            if ts.eat(Tok::RParen) {
+                return Ok(inner);
+            }
+        }
+        *ts = save;
+    }
+    let left = parse_expr(ts)?;
+    let op = parse_cmp_op(ts)?;
+    let right = parse_expr(ts)?;
+    Ok(BoolExpr::Cmp { op, left, right })
+}
+
+/// Parse a comparison operator token.
+pub fn parse_cmp_op(ts: &mut TokenStream) -> ParseResult<CmpOp> {
+    let op = match ts.peek() {
+        Tok::Eq => CmpOp::Eq,
+        Tok::Ne => CmpOp::Ne,
+        Tok::Lt => CmpOp::Lt,
+        Tok::Le => CmpOp::Le,
+        Tok::Gt => CmpOp::Gt,
+        Tok::Ge => CmpOp::Ge,
+        other => {
+            return Err(ts.err(format!(
+                "expected comparison operator, found {}",
+                other.describe()
+            )))
+        }
+    };
+    ts.next();
+    Ok(op)
+}
+
+/// Parse a scalar expression: `expr := term ((+|-) term)*`,
+/// `term := factor ((*|/) factor)*`.
+pub fn parse_expr(ts: &mut TokenStream) -> ParseResult<Expr> {
+    let mut left = parse_term(ts)?;
+    loop {
+        let op = match ts.peek() {
+            Tok::Plus => BinOp::Add,
+            Tok::Minus => BinOp::Sub,
+            _ => break,
+        };
+        ts.next();
+        let right = parse_term(ts)?;
+        left = Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+    }
+    Ok(left)
+}
+
+fn parse_term(ts: &mut TokenStream) -> ParseResult<Expr> {
+    let mut left = parse_factor(ts)?;
+    loop {
+        let op = match ts.peek() {
+            Tok::Star => BinOp::Mul,
+            Tok::Slash => BinOp::Div,
+            _ => break,
+        };
+        ts.next();
+        let right = parse_factor(ts)?;
+        left = Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+    }
+    Ok(left)
+}
+
+fn parse_factor(ts: &mut TokenStream) -> ParseResult<Expr> {
+    match ts.peek().clone() {
+        Tok::Int(n) => {
+            ts.next();
+            Ok(Expr::Lit(Value::Int(n)))
+        }
+        Tok::Minus => {
+            ts.next();
+            let n = ts.expect_int()?;
+            Ok(Expr::Lit(Value::Int(-n)))
+        }
+        Tok::Str(s) => {
+            ts.next();
+            Ok(Expr::Lit(Value::Str(s)))
+        }
+        Tok::LParen => {
+            ts.next();
+            let e = parse_expr(ts)?;
+            ts.expect(Tok::RParen)?;
+            Ok(e)
+        }
+        Tok::Ident(name) => {
+            ts.next();
+            if name.eq_ignore_ascii_case("NULL") {
+                return Ok(Expr::Lit(Value::Null));
+            }
+            if name.eq_ignore_ascii_case("COUNT") && ts.peek() == &Tok::LParen {
+                ts.next();
+                let var = ts.expect_ident()?;
+                ts.expect(Tok::RParen)?;
+                return Ok(Expr::Count(var));
+            }
+            // Qualified reference VAR.FIELD (only when a field name follows
+            // the dot; a bare trailing period is a statement terminator in
+            // DBTG listings).
+            if ts.peek() == &Tok::Dot {
+                if let Tok::Ident(_) = ts.peek2() {
+                    ts.next();
+                    let field = ts.expect_ident()?;
+                    return Ok(Expr::Field { var: name, field });
+                }
+            }
+            Ok(Expr::Name(name))
+        }
+        other => Err(ts.err(format!("expected expression, found {}", other.describe()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bexpr(src: &str) -> BoolExpr {
+        let mut ts = TokenStream::new(src).unwrap();
+        let b = parse_bool(&mut ts).unwrap();
+        assert!(ts.at_eof(), "trailing input in {src:?}");
+        b
+    }
+
+    #[test]
+    fn parses_simple_comparison() {
+        let b = bexpr("AGE > 30");
+        assert_eq!(
+            b,
+            BoolExpr::cmp(Expr::name("AGE"), CmpOp::Gt, Expr::lit(30))
+        );
+        assert_eq!(b.to_string(), "AGE > 30");
+    }
+
+    #[test]
+    fn parses_conjunction_and_precedence() {
+        let b = bexpr("A = 1 AND B = 2 OR C = 3");
+        // AND binds tighter than OR.
+        match b {
+            BoolExpr::Or(l, _) => assert!(matches!(*l, BoolExpr::And(_, _))),
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_qualified_field() {
+        let b = bexpr("R.AGE >= X");
+        assert_eq!(
+            b,
+            BoolExpr::cmp(Expr::field("R", "AGE"), CmpOp::Ge, Expr::name("X"))
+        );
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let mut ts = TokenStream::new("A + B * 2").unwrap();
+        let e = parse_expr(&mut ts).unwrap();
+        assert_eq!(e.to_string(), "A + B * 2");
+        match e {
+            Expr::Bin { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Bin { op: BinOp::Mul, .. }))
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_and_null() {
+        let b = bexpr("COUNT(OFFS) < 2 AND X <> NULL");
+        let names = b.names();
+        assert_eq!(names, vec!["X"]);
+        assert!(b.to_string().contains("COUNT(OFFS)"));
+    }
+
+    #[test]
+    fn parses_not_and_parens() {
+        let b = bexpr("NOT (A = 1 OR B = 2)");
+        assert!(matches!(b, BoolExpr::Not(_)));
+    }
+
+    #[test]
+    fn negative_literal() {
+        let b = bexpr("X > -5");
+        assert_eq!(
+            b,
+            BoolExpr::cmp(Expr::name("X"), CmpOp::Gt, Expr::lit(-5))
+        );
+    }
+
+    #[test]
+    fn string_display_quotes() {
+        assert_eq!(Expr::lit("O'BRIEN").to_string(), "'O''BRIEN'");
+    }
+
+    #[test]
+    fn conjunct_split_and_rebuild() {
+        let b = bexpr("A = 1 AND B = 2 AND C = 3");
+        let parts = b.conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rebuilt =
+            BoolExpr::from_conjuncts(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn rename_traverses() {
+        let mut b = bexpr("DEPT-NAME = 'SALES' AND AGE > 30");
+        b.rename_name("DEPT-NAME", "DNAME");
+        assert_eq!(b.to_string(), "DNAME = 'SALES' AND AGE > 30");
+    }
+
+    #[test]
+    fn cmp_eval() {
+        use dbpc_datamodel::value::Value;
+        assert!(CmpOp::Gt.eval(&Value::Int(31), &Value::Int(30)));
+        assert!(CmpOp::Le.eval(&Value::str("A"), &Value::str("B")));
+        assert!(!CmpOp::Eq.eval(&Value::Null, &Value::Int(0)));
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+    }
+}

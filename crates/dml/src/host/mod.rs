@@ -1,0 +1,402 @@
+//! The host program language with Maryland-style `FIND` paths (§4.2).
+//!
+//! The paper's Maryland prototype defines "a new DDL and DML which would be
+//! familiar while facilitating conversion": retrievals return "collections
+//! of records of a single record type, accessible to the user in the host
+//! language program", specified by a `FIND` statement with "the target
+//! record type and a qualified access path" that "begins with a SYSTEM owned
+//! set or a collection of previously retrieved target records". This module
+//! reconstructs that language plus the minimal host constructs (loops,
+//! conditionals, terminal/file I/O, updates) needed for the paper's notion
+//! of a *database program* — a conventional program with embedded DML whose
+//! non-database I/O behavior must be preserved by conversion.
+//!
+//! The concrete syntax of a `FIND` expression is the paper's own:
+//!
+//! ```text
+//! FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'))
+//! SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME)
+//! ```
+
+mod parser;
+mod printer;
+
+pub use parser::parse_program;
+pub use printer::print_program;
+
+use crate::expr::{BoolExpr, Expr};
+use std::fmt;
+
+/// A complete host program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub name: String,
+    pub stmts: Vec<Stmt>,
+}
+
+/// Start of a `FIND` access path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// Path enters through a SYSTEM-owned set.
+    System,
+    /// Path continues from a previously retrieved collection.
+    Collection(String),
+}
+
+/// One qualified step of an access path: traverse `set` to reach `record`
+/// occurrences, keeping those satisfying `filter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    pub set: String,
+    pub record: String,
+    pub filter: Option<BoolExpr>,
+}
+
+impl PathStep {
+    pub fn new(set: impl Into<String>, record: impl Into<String>) -> PathStep {
+        PathStep {
+            set: set.into(),
+            record: record.into(),
+            filter: None,
+        }
+    }
+
+    pub fn with_filter(mut self, f: BoolExpr) -> PathStep {
+        self.filter = Some(f);
+        self
+    }
+}
+
+/// The body of a `FIND(target: start, set, record(filter), …)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindSpec {
+    /// Target record type — the type of the resulting collection.
+    pub target: String,
+    pub start: PathStart,
+    pub steps: Vec<PathStep>,
+}
+
+/// A retrieval expression: a plain `FIND` or a `SORT(…) ON (keys)` of one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindExpr {
+    Find(FindSpec),
+    Sort {
+        inner: Box<FindExpr>,
+        keys: Vec<String>,
+    },
+}
+
+impl FindExpr {
+    /// The underlying `FindSpec` (through any SORT wrappers).
+    pub fn spec(&self) -> &FindSpec {
+        match self {
+            FindExpr::Find(s) => s,
+            FindExpr::Sort { inner, .. } => inner.spec(),
+        }
+    }
+
+    /// Mutable access to the underlying `FindSpec`.
+    pub fn spec_mut(&mut self) -> &mut FindSpec {
+        match self {
+            FindExpr::Find(s) => s,
+            FindExpr::Sort { inner, .. } => inner.spec_mut(),
+        }
+    }
+
+    /// The target record type.
+    pub fn target(&self) -> &str {
+        &self.spec().target
+    }
+
+    /// Is the result order pinned by an explicit SORT?
+    pub fn is_sorted(&self) -> bool {
+        matches!(self, FindExpr::Sort { .. })
+    }
+
+    /// Wrap in `SORT … ON (keys)`.
+    pub fn sorted_on(self, keys: Vec<&str>) -> FindExpr {
+        FindExpr::Sort {
+            inner: Box::new(self),
+            keys: keys.into_iter().map(String::from).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FindExpr {
+    /// Paper-verbatim rendering (cf. §4.2):
+    /// `FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))` and
+    /// `SORT(FIND(…)) ON (EMP-NAME)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindExpr::Find(spec) => {
+                write!(f, "FIND({}: ", spec.target)?;
+                match &spec.start {
+                    PathStart::System => write!(f, "SYSTEM")?,
+                    PathStart::Collection(v) => write!(f, "{v}")?,
+                }
+                for step in &spec.steps {
+                    write!(f, ", {}, {}", step.set, step.record)?;
+                    if let Some(filt) = &step.filter {
+                        write!(f, "({filt})")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            FindExpr::Sort { inner, keys } => {
+                write!(f, "SORT({inner}) ON ({})", keys.join(", "))
+            }
+        }
+    }
+}
+
+/// Source of a `FOR EACH` iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForSource {
+    /// Iterate a previously bound collection variable.
+    Var(String),
+    /// Iterate an inline retrieval.
+    Query(FindExpr),
+}
+
+/// A `CONNECT TO set OF ownervar` clause of STORE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectTo {
+    pub set: String,
+    pub owner_var: String,
+}
+
+/// A host-language statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `LET v := expr;`
+    Let { var: String, expr: Expr },
+    /// `FIND v := <find-expr>;`
+    Find { var: String, query: FindExpr },
+    /// `FOR EACH r IN source DO … END FOR;`
+    ForEach {
+        var: String,
+        source: ForSource,
+        body: Vec<Stmt>,
+    },
+    /// `IF cond THEN … [ELSE …] END IF;`
+    If {
+        cond: BoolExpr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// `WHILE cond DO … END WHILE;`
+    While { cond: BoolExpr, body: Vec<Stmt> },
+    /// `PRINT e, …;` — terminal output (part of the observable trace).
+    Print(Vec<Expr>),
+    /// `WRITE FILE 'f' e, …;` — non-database file output (observable).
+    WriteFile { file: String, exprs: Vec<Expr> },
+    /// `READ TERMINAL INTO v;` — scripted terminal input (observable).
+    ReadTerminal { var: String },
+    /// `READ FILE 'f' INTO v;` — non-database file input (observable).
+    ReadFile { file: String, var: String },
+    /// `STORE rec (F := e, …) [CONNECT TO set OF v, …];`
+    Store {
+        record: String,
+        assigns: Vec<(String, Expr)>,
+        connects: Vec<ConnectTo>,
+    },
+    /// `CONNECT m TO set OF o;`
+    Connect {
+        member_var: String,
+        set: String,
+        owner_var: String,
+    },
+    /// `DISCONNECT m FROM set;`
+    Disconnect { member_var: String, set: String },
+    /// `DELETE v;` — erase the record(s) held by `v`. Fails (aborts) while
+    /// owned members exist, except through *characterizing* sets, which
+    /// cascade implicitly (Su's dependency semantics). `DELETE ALL v;`
+    /// cascades through every owned set — the §3.1 integrity hazard.
+    Delete { var: String, all: bool },
+    /// `MODIFY v SET (F := e, …);`
+    Modify {
+        var: String,
+        assigns: Vec<(String, Expr)>,
+    },
+    /// `CHECK cond ELSE ABORT 'msg';` — the procedural integrity-check
+    /// idiom the analyzer recognizes (§3.1 constraints "maintained by the
+    /// programs").
+    Check { cond: BoolExpr, message: String },
+    /// `CALL DML v ON rec;` — a DML verb carried in a *variable*: the §3.2
+    /// execution-time-variability pathology ("what appeared to be a read at
+    /// compile time might become an update").
+    CallDml { verb: Expr, record: String },
+}
+
+impl Program {
+    pub fn new(name: impl Into<String>, stmts: Vec<Stmt>) -> Program {
+        Program {
+            name: name.into(),
+            stmts,
+        }
+    }
+
+    /// Visit every statement (depth-first, mutable).
+    pub fn visit_stmts_mut<F: FnMut(&mut Stmt)>(&mut self, f: &mut F) {
+        fn walk<F: FnMut(&mut Stmt)>(stmts: &mut [Stmt], f: &mut F) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::ForEach { body, .. } | Stmt::While { body, .. } => walk(body, f),
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, f);
+                        walk(else_branch, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&mut self.stmts, f);
+    }
+
+    /// Visit every statement (depth-first, immutable).
+    pub fn visit_stmts<F: FnMut(&Stmt)>(&self, f: &mut F) {
+        fn walk<F: FnMut(&Stmt)>(stmts: &[Stmt], f: &mut F) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::ForEach { body, .. } | Stmt::While { body, .. } => walk(body, f),
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, f);
+                        walk(else_branch, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.stmts, f);
+    }
+
+    /// Visit every `FindExpr` in the program, mutably (the converter's main
+    /// rewriting hook).
+    pub fn visit_finds_mut<F: FnMut(&mut FindExpr)>(&mut self, f: &mut F) {
+        self.visit_stmts_mut(&mut |s| match s {
+            Stmt::Find { query, .. } => f(query),
+            Stmt::ForEach {
+                source: ForSource::Query(q),
+                ..
+            } => f(q),
+            _ => {}
+        });
+    }
+
+    /// Collect all `FindExpr`s (immutable).
+    pub fn finds(&self) -> Vec<FindExpr> {
+        let mut out = Vec::new();
+        self.visit_stmts(&mut |s| match s {
+            Stmt::Find { query, .. } => out.push(query.clone()),
+            Stmt::ForEach {
+                source: ForSource::Query(q),
+                ..
+            } => out.push(q.clone()),
+            _ => {}
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    /// The paper's §4.2 example 1.
+    pub fn example_1() -> FindExpr {
+        FindExpr::Find(FindSpec {
+            target: "EMP".into(),
+            start: PathStart::System,
+            steps: vec![
+                PathStep::new("ALL-DIV", "DIV"),
+                PathStep::new("DIV-EMP", "EMP").with_filter(BoolExpr::cmp(
+                    Expr::name("AGE"),
+                    CmpOp::Gt,
+                    Expr::lit(30),
+                )),
+            ],
+        })
+    }
+
+    #[test]
+    fn displays_paper_example_1_verbatim() {
+        assert_eq!(
+            example_1().to_string(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))"
+        );
+    }
+
+    #[test]
+    fn displays_paper_example_2_verbatim() {
+        let e = FindExpr::Find(FindSpec {
+            target: "EMP".into(),
+            start: PathStart::System,
+            steps: vec![
+                PathStep::new("ALL-DIV", "DIV").with_filter(BoolExpr::cmp(
+                    Expr::name("DIV-NAME"),
+                    CmpOp::Eq,
+                    Expr::lit("MACHINERY"),
+                )),
+                PathStep::new("DIV-EMP", "EMP").with_filter(BoolExpr::cmp(
+                    Expr::name("DEPT-NAME"),
+                    CmpOp::Eq,
+                    Expr::lit("SALES"),
+                )),
+            ],
+        });
+        assert_eq!(
+            e.to_string(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), \
+             DIV-EMP, EMP(DEPT-NAME = 'SALES'))"
+        );
+    }
+
+    #[test]
+    fn sort_wrapper_displays_on_clause() {
+        let e = example_1().sorted_on(vec!["EMP-NAME"]);
+        assert_eq!(
+            e.to_string(),
+            "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME)"
+        );
+        assert!(e.is_sorted());
+        assert_eq!(e.target(), "EMP");
+    }
+
+    #[test]
+    fn visit_finds_reaches_nested_queries() {
+        let prog = Program::new(
+            "P",
+            vec![
+                Stmt::Find {
+                    var: "E".into(),
+                    query: example_1(),
+                },
+                Stmt::ForEach {
+                    var: "R".into(),
+                    source: ForSource::Query(example_1()),
+                    body: vec![Stmt::If {
+                        cond: BoolExpr::cmp(Expr::field("R", "AGE"), CmpOp::Gt, Expr::lit(50)),
+                        then_branch: vec![Stmt::Print(vec![Expr::field("R", "EMP-NAME")])],
+                        else_branch: vec![],
+                    }],
+                },
+            ],
+        );
+        assert_eq!(prog.finds().len(), 2);
+        let mut count = 0;
+        let mut p2 = prog.clone();
+        p2.visit_finds_mut(&mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! Recursive-descent parser for the host program language.
+//!
+//! Grammar sketch (`;`-terminated statements):
+//!
+//! ```text
+//! program   := PROGRAM name ; stmt* END PROGRAM ;
+//! stmt      := LET v := expr ;
+//!            | FIND v := findexpr ;
+//!            | FOR EACH v IN (v | findexpr) DO stmt* END FOR ;
+//!            | IF bool THEN stmt* [ELSE stmt*] END IF ;
+//!            | WHILE bool DO stmt* END WHILE ;
+//!            | PRINT expr {, expr} ;
+//!            | WRITE FILE 'f' expr {, expr} ;
+//!            | READ TERMINAL INTO v ; | READ FILE 'f' INTO v ;
+//!            | STORE rec ( F := expr {, F := expr} )
+//!                  [CONNECT TO set OF v {, set OF v}] ;
+//!            | CONNECT v TO set OF v ;
+//!            | DISCONNECT v FROM set ;
+//!            | DELETE v ;
+//!            | MODIFY v SET ( F := expr {, F := expr} ) ;
+//!            | CHECK bool ELSE ABORT 'msg' ;
+//!            | CALL DML v ON rec ;
+//! findexpr  := FIND ( target : start {, set , rec [ ( bool ) ]} )
+//!            | SORT ( findexpr ) ON ( key {, key} )
+//! start     := SYSTEM | v
+//! ```
+
+use super::{ConnectTo, FindExpr, FindSpec, ForSource, PathStart, PathStep, Program, Stmt};
+use crate::error::ParseResult;
+use crate::expr::{parse_bool, parse_expr};
+use crate::lexer::{Tok, TokenStream};
+
+/// Parse a complete host program from source text.
+///
+/// ```
+/// use dbpc_dml::host::{parse_program, print_program};
+/// let p = parse_program("PROGRAM P;
+///   FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+///   FOR EACH R IN E DO
+///     PRINT R.EMP-NAME;
+///   END FOR;
+/// END PROGRAM;").unwrap();
+/// assert_eq!(parse_program(&print_program(&p)).unwrap(), p);
+/// ```
+pub fn parse_program(src: &str) -> ParseResult<Program> {
+    let mut ts = TokenStream::new(src)?;
+    ts.expect_kw("PROGRAM")?;
+    let name = ts.expect_ident()?;
+    ts.expect(Tok::Semi)?;
+    let stmts = parse_stmts(&mut ts)?;
+    ts.expect_kw("END")?;
+    ts.expect_kw("PROGRAM")?;
+    ts.expect(Tok::Semi)?;
+    if !ts.at_eof() {
+        return Err(ts.err("trailing input after END PROGRAM"));
+    }
+    Ok(Program { name, stmts })
+}
+
+/// Parse statements until an END/ELSE boundary keyword.
+fn parse_stmts(ts: &mut TokenStream) -> ParseResult<Vec<Stmt>> {
+    let mut out = Vec::new();
+    while !ts.at_kw("END") && !ts.at_kw("ELSE") && !ts.at_eof() {
+        out.push(parse_stmt(ts)?);
+    }
+    Ok(out)
+}
+
+fn parse_stmt(ts: &mut TokenStream) -> ParseResult<Stmt> {
+    if ts.eat_kw("LET") {
+        let var = ts.expect_ident()?;
+        ts.expect(Tok::Assign)?;
+        let expr = parse_expr(ts)?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Let { var, expr });
+    }
+    if ts.eat_kw("FIND") {
+        let var = ts.expect_ident()?;
+        ts.expect(Tok::Assign)?;
+        let query = parse_find_expr(ts)?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Find { var, query });
+    }
+    if ts.eat_kw("FOR") {
+        ts.expect_kw("EACH")?;
+        let var = ts.expect_ident()?;
+        ts.expect_kw("IN")?;
+        let source = if ts.at_kw("FIND") || ts.at_kw("SORT") {
+            ForSource::Query(parse_find_expr(ts)?)
+        } else {
+            ForSource::Var(ts.expect_ident()?)
+        };
+        ts.expect_kw("DO")?;
+        let body = parse_stmts(ts)?;
+        ts.expect_kw("END")?;
+        ts.expect_kw("FOR")?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::ForEach { var, source, body });
+    }
+    if ts.eat_kw("IF") {
+        let cond = parse_bool(ts)?;
+        ts.expect_kw("THEN")?;
+        let then_branch = parse_stmts(ts)?;
+        let else_branch = if ts.eat_kw("ELSE") {
+            parse_stmts(ts)?
+        } else {
+            Vec::new()
+        };
+        ts.expect_kw("END")?;
+        ts.expect_kw("IF")?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        });
+    }
+    if ts.eat_kw("WHILE") {
+        let cond = parse_bool(ts)?;
+        ts.expect_kw("DO")?;
+        let body = parse_stmts(ts)?;
+        ts.expect_kw("END")?;
+        ts.expect_kw("WHILE")?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::While { cond, body });
+    }
+    if ts.eat_kw("PRINT") {
+        let exprs = parse_expr_list(ts)?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Print(exprs));
+    }
+    if ts.eat_kw("WRITE") {
+        ts.expect_kw("FILE")?;
+        let file = ts.expect_str()?;
+        let exprs = parse_expr_list(ts)?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::WriteFile { file, exprs });
+    }
+    if ts.eat_kw("READ") {
+        if ts.eat_kw("TERMINAL") {
+            ts.expect_kw("INTO")?;
+            let var = ts.expect_ident()?;
+            ts.expect(Tok::Semi)?;
+            return Ok(Stmt::ReadTerminal { var });
+        }
+        ts.expect_kw("FILE")?;
+        let file = ts.expect_str()?;
+        ts.expect_kw("INTO")?;
+        let var = ts.expect_ident()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::ReadFile { file, var });
+    }
+    if ts.eat_kw("STORE") {
+        let record = ts.expect_ident()?;
+        let assigns = parse_assign_list(ts)?;
+        let mut connects = Vec::new();
+        if ts.eat_kw("CONNECT") {
+            ts.expect_kw("TO")?;
+            loop {
+                let set = ts.expect_ident()?;
+                ts.expect_kw("OF")?;
+                let owner_var = ts.expect_ident()?;
+                connects.push(ConnectTo { set, owner_var });
+                if !ts.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Store {
+            record,
+            assigns,
+            connects,
+        });
+    }
+    if ts.eat_kw("CONNECT") {
+        let member_var = ts.expect_ident()?;
+        ts.expect_kw("TO")?;
+        let set = ts.expect_ident()?;
+        ts.expect_kw("OF")?;
+        let owner_var = ts.expect_ident()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Connect {
+            member_var,
+            set,
+            owner_var,
+        });
+    }
+    if ts.eat_kw("DISCONNECT") {
+        let member_var = ts.expect_ident()?;
+        ts.expect_kw("FROM")?;
+        let set = ts.expect_ident()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Disconnect { member_var, set });
+    }
+    if ts.eat_kw("DELETE") {
+        let all = ts.eat_kw("ALL");
+        let var = ts.expect_ident()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Delete { var, all });
+    }
+    if ts.eat_kw("MODIFY") {
+        let var = ts.expect_ident()?;
+        ts.expect_kw("SET")?;
+        let assigns = parse_assign_list(ts)?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Modify { var, assigns });
+    }
+    if ts.eat_kw("CHECK") {
+        let cond = parse_bool(ts)?;
+        ts.expect_kw("ELSE")?;
+        ts.expect_kw("ABORT")?;
+        let message = ts.expect_str()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::Check { cond, message });
+    }
+    if ts.eat_kw("CALL") {
+        ts.expect_kw("DML")?;
+        let verb = parse_expr(ts)?;
+        ts.expect_kw("ON")?;
+        let record = ts.expect_ident()?;
+        ts.expect(Tok::Semi)?;
+        return Ok(Stmt::CallDml { verb, record });
+    }
+    Err(ts.err(format!(
+        "expected a statement, found {}",
+        ts.peek().describe()
+    )))
+}
+
+fn parse_expr_list(ts: &mut TokenStream) -> ParseResult<Vec<crate::expr::Expr>> {
+    let mut out = vec![parse_expr(ts)?];
+    while ts.eat(Tok::Comma) {
+        out.push(parse_expr(ts)?);
+    }
+    Ok(out)
+}
+
+fn parse_assign_list(ts: &mut TokenStream) -> ParseResult<Vec<(String, crate::expr::Expr)>> {
+    ts.expect(Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        let field = ts.expect_ident()?;
+        ts.expect(Tok::Assign)?;
+        let e = parse_expr(ts)?;
+        out.push((field, e));
+        if !ts.eat(Tok::Comma) {
+            break;
+        }
+    }
+    ts.expect(Tok::RParen)?;
+    Ok(out)
+}
+
+/// Parse a `FIND(…)` / `SORT(…) ON (…)` retrieval expression.
+pub fn parse_find_expr(ts: &mut TokenStream) -> ParseResult<FindExpr> {
+    if ts.eat_kw("SORT") {
+        ts.expect(Tok::LParen)?;
+        let inner = parse_find_expr(ts)?;
+        ts.expect(Tok::RParen)?;
+        ts.expect_kw("ON")?;
+        ts.expect(Tok::LParen)?;
+        let mut keys = vec![ts.expect_ident()?];
+        while ts.eat(Tok::Comma) {
+            keys.push(ts.expect_ident()?);
+        }
+        ts.expect(Tok::RParen)?;
+        return Ok(FindExpr::Sort {
+            inner: Box::new(inner),
+            keys,
+        });
+    }
+    ts.expect_kw("FIND")?;
+    ts.expect(Tok::LParen)?;
+    let target = ts.expect_ident()?;
+    ts.expect(Tok::Colon)?;
+    let start_name = ts.expect_ident()?;
+    let start = if start_name.eq_ignore_ascii_case("SYSTEM") {
+        PathStart::System
+    } else {
+        PathStart::Collection(start_name)
+    };
+    let mut steps = Vec::new();
+    while ts.eat(Tok::Comma) {
+        let set = ts.expect_ident()?;
+        ts.expect(Tok::Comma)?;
+        let record = ts.expect_ident()?;
+        let filter = if ts.peek() == &Tok::LParen {
+            ts.next();
+            let b = parse_bool(ts)?;
+            ts.expect(Tok::RParen)?;
+            Some(b)
+        } else {
+            None
+        };
+        steps.push(PathStep {
+            set,
+            record,
+            filter,
+        });
+    }
+    ts.expect(Tok::RParen)?;
+    Ok(FindExpr::Find(FindSpec {
+        target,
+        start,
+        steps,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BoolExpr, CmpOp, Expr};
+
+    #[test]
+    fn parses_paper_find_statements() {
+        let src = "\
+PROGRAM EXAMPLES;
+  FIND E1 := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FIND E2 := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.name, "EXAMPLES");
+        assert_eq!(p.stmts.len(), 2);
+        let Stmt::Find { query, .. } = &p.stmts[0] else {
+            panic!("expected FIND");
+        };
+        assert_eq!(
+            query.to_string(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))"
+        );
+    }
+
+    #[test]
+    fn parses_sort_wrapper() {
+        let src = "\
+PROGRAM S;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME);
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        let Stmt::Find { query, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert!(query.is_sorted());
+        assert_eq!(
+            query.to_string(),
+            "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) ON (EMP-NAME)"
+        );
+    }
+
+    #[test]
+    fn parses_collection_start() {
+        let src = "\
+PROGRAM C;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-LOC = 'DETROIT'));
+  FIND E := FIND(EMP: D, DIV-EMP, EMP);
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        let Stmt::Find { query, .. } = &p.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(query.spec().start, PathStart::Collection("D".into()));
+    }
+
+    #[test]
+    fn parses_control_flow_and_io() {
+        let src = "\
+PROGRAM REPORT;
+  LET LIMIT := 30;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > LIMIT));
+  FOR EACH R IN E DO
+    IF R.AGE > 60 THEN
+      PRINT 'SENIOR', R.EMP-NAME;
+    ELSE
+      PRINT R.EMP-NAME, R.AGE;
+    END IF;
+  END FOR;
+  WRITE FILE 'OUT' COUNT(E);
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 4);
+        let Stmt::ForEach { body, .. } = &p.stmts[2] else {
+            panic!()
+        };
+        assert!(matches!(body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_updates() {
+        let src = "\
+PROGRAM U;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  STORE EMP (EMP-NAME := 'JONES', AGE := 34) CONNECT TO DIV-EMP OF D;
+  FIND E := FIND(EMP: D, DIV-EMP, EMP(EMP-NAME = 'JONES'));
+  MODIFY E SET (AGE := 35);
+  DISCONNECT E FROM DIV-EMP;
+  CONNECT E TO DIV-EMP OF D;
+  DELETE E;
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 7);
+        let Stmt::Store { connects, .. } = &p.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(connects.len(), 1);
+        assert_eq!(connects[0].set, "DIV-EMP");
+    }
+
+    #[test]
+    fn parses_check_and_call_dml() {
+        let src = "\
+PROGRAM P;
+  FIND OFFS := FIND(COURSE-OFFERING: SYSTEM, ALL-OFF, COURSE-OFFERING);
+  CHECK COUNT(OFFS) < 2 ELSE ABORT 'TOO MANY OFFERINGS';
+  READ TERMINAL INTO VERB;
+  CALL DML VERB ON EMP;
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(&p.stmts[1], Stmt::Check { .. }));
+        let Stmt::CallDml { verb, record } = &p.stmts[3] else {
+            panic!()
+        };
+        assert_eq!(verb, &Expr::name("VERB"));
+        assert_eq!(record, "EMP");
+    }
+
+    #[test]
+    fn inline_query_in_for_each() {
+        let src = "\
+PROGRAM Q;
+  FOR EACH R IN FIND(DIV: SYSTEM, ALL-DIV, DIV) DO
+    PRINT R.DIV-NAME;
+  END FOR;
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        let Stmt::ForEach { source, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(source, ForSource::Query(_)));
+    }
+
+    #[test]
+    fn filter_with_conjunction() {
+        let src = "\
+PROGRAM F;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30 AND DEPT-NAME = 'SALES'));
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        let Stmt::Find { query, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let filt = query.spec().steps[1].filter.as_ref().unwrap();
+        assert_eq!(
+            filt,
+            &BoolExpr::cmp(Expr::name("AGE"), CmpOp::Gt, Expr::lit(30)).and(BoolExpr::cmp(
+                Expr::name("DEPT-NAME"),
+                CmpOp::Eq,
+                Expr::lit("SALES")
+            ))
+        );
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("PROGRAM X; FROB; END PROGRAM;").is_err());
+        assert!(parse_program("PROGRAM X; PRINT 1; END WHILE;").is_err());
+    }
+}

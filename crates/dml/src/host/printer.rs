@@ -1,0 +1,192 @@
+//! Pretty-printer for host programs — the host-language back-end of the
+//! framework's **Program Generator** (Figure 4.1).
+//!
+//! `parse_program(&print_program(p)) == p` for every program (round-trip is
+//! property-tested at the workspace level), which is what makes conversion
+//! output inspectable, re-parsable source text rather than an opaque AST.
+
+use super::{ForSource, Program, Stmt};
+use std::fmt::Write as _;
+
+/// Render a program as canonical source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {};", p.name);
+    print_stmts(&p.stmts, 1, &mut out);
+    let _ = writeln!(out, "END PROGRAM;");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmts(stmts: &[Stmt], level: usize, out: &mut String) {
+    for s in stmts {
+        print_stmt(s, level, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Let { var, expr } => {
+            let _ = writeln!(out, "LET {var} := {expr};");
+        }
+        Stmt::Find { var, query } => {
+            let _ = writeln!(out, "FIND {var} := {query};");
+        }
+        Stmt::ForEach { var, source, body } => {
+            match source {
+                ForSource::Var(v) => {
+                    let _ = writeln!(out, "FOR EACH {var} IN {v} DO");
+                }
+                ForSource::Query(q) => {
+                    let _ = writeln!(out, "FOR EACH {var} IN {q} DO");
+                }
+            }
+            print_stmts(body, level + 1, out);
+            indent(level, out);
+            let _ = writeln!(out, "END FOR;");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "IF {cond} THEN");
+            print_stmts(then_branch, level + 1, out);
+            if !else_branch.is_empty() {
+                indent(level, out);
+                let _ = writeln!(out, "ELSE");
+                print_stmts(else_branch, level + 1, out);
+            }
+            indent(level, out);
+            let _ = writeln!(out, "END IF;");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "WHILE {cond} DO");
+            print_stmts(body, level + 1, out);
+            indent(level, out);
+            let _ = writeln!(out, "END WHILE;");
+        }
+        Stmt::Print(exprs) => {
+            let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            let _ = writeln!(out, "PRINT {};", list.join(", "));
+        }
+        Stmt::WriteFile { file, exprs } => {
+            let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            let _ = writeln!(out, "WRITE FILE '{file}' {};", list.join(", "));
+        }
+        Stmt::ReadTerminal { var } => {
+            let _ = writeln!(out, "READ TERMINAL INTO {var};");
+        }
+        Stmt::ReadFile { file, var } => {
+            let _ = writeln!(out, "READ FILE '{file}' INTO {var};");
+        }
+        Stmt::Store {
+            record,
+            assigns,
+            connects,
+        } => {
+            let alist: Vec<String> = assigns
+                .iter()
+                .map(|(f, e)| format!("{f} := {e}"))
+                .collect();
+            let _ = write!(out, "STORE {record} ({})", alist.join(", "));
+            if !connects.is_empty() {
+                let clist: Vec<String> = connects
+                    .iter()
+                    .map(|c| format!("{} OF {}", c.set, c.owner_var))
+                    .collect();
+                let _ = write!(out, " CONNECT TO {}", clist.join(", "));
+            }
+            let _ = writeln!(out, ";");
+        }
+        Stmt::Connect {
+            member_var,
+            set,
+            owner_var,
+        } => {
+            let _ = writeln!(out, "CONNECT {member_var} TO {set} OF {owner_var};");
+        }
+        Stmt::Disconnect { member_var, set } => {
+            let _ = writeln!(out, "DISCONNECT {member_var} FROM {set};");
+        }
+        Stmt::Delete { var, all } => {
+            if *all {
+                let _ = writeln!(out, "DELETE ALL {var};");
+            } else {
+                let _ = writeln!(out, "DELETE {var};");
+            }
+        }
+        Stmt::Modify { var, assigns } => {
+            let alist: Vec<String> = assigns
+                .iter()
+                .map(|(f, e)| format!("{f} := {e}"))
+                .collect();
+            let _ = writeln!(out, "MODIFY {var} SET ({});", alist.join(", "));
+        }
+        Stmt::Check { cond, message } => {
+            let _ = writeln!(
+                out,
+                "CHECK {cond} ELSE ABORT '{}';",
+                message.replace('\'', "''")
+            );
+        }
+        Stmt::CallDml { verb, record } => {
+            let _ = writeln!(out, "CALL DML {verb} ON {record};");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_program;
+    use super::*;
+
+    const SOURCE: &str = "\
+PROGRAM REPORT;
+  LET LIMIT := 30;
+  FIND E := SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > LIMIT))) ON (EMP-NAME);
+  FOR EACH R IN E DO
+    IF R.AGE > 60 THEN
+      PRINT 'SENIOR', R.EMP-NAME;
+    ELSE
+      PRINT R.EMP-NAME, R.AGE;
+    END IF;
+  END FOR;
+  STORE EMP (EMP-NAME := 'NEW', AGE := 21) CONNECT TO DIV-EMP OF D;
+  MODIFY E SET (AGE := 99);
+  CHECK COUNT(E) < 100 ELSE ABORT 'TOO MANY';
+  WRITE FILE 'OUT' COUNT(E);
+END PROGRAM;
+";
+
+    #[test]
+    fn round_trips_exactly() {
+        let p1 = parse_program(SOURCE).unwrap();
+        let printed = print_program(&p1);
+        assert_eq!(printed, SOURCE);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn nested_blocks_indent() {
+        let src = "\
+PROGRAM N;
+  WHILE X < 3 DO
+    FOR EACH R IN E DO
+      PRINT R.A;
+    END FOR;
+    LET X := X + 1;
+  END WHILE;
+END PROGRAM;
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(print_program(&p), src);
+    }
+}

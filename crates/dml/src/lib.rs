@@ -1,0 +1,38 @@
+//! # dbpc-dml
+//!
+//! Program representations for the database program conversion framework:
+//! abstract syntax trees, parsers, and pretty-printers for the four program
+//! dialects the paper works in.
+//!
+//! The paper defines a database program as "(1) a program written in a
+//! conventional programming language, with embedded data manipulation
+//! statements ... or (2) a statement or series of statements in a query/update
+//! language" (§1.1). Correspondingly:
+//!
+//! * [`host`] — the **host program language** with embedded Maryland-style
+//!   `FIND` path expressions (§4.2). This is the primary dialect the
+//!   converter rewrites; the paper's worked example (the Figure 4.2→4.4
+//!   restructuring) is expressed in it.
+//! * [`dbtg`] — a **low-level CODASYL DBTG navigation DML** (currency, `FIND
+//!   ANY` / `FIND NEXT ... WITHIN`, status-code branching) — the dialect of the
+//!   paper's §4.1 listing (B), and the input to the template-matching
+//!   program analyzer.
+//! * [`sequel`] — a **SEQUEL subset** with nested `IN (SELECT ...)` — the
+//!   dialect of §4.1 listing (A), and the target of cross-model conversion.
+//! * [`dli`] — **DL/I-style hierarchical calls** (`GU`/`GN`/`GNP`/`ISRT`/
+//!   `DLET`/`REPL`) for the Mehl & Wang order-transformation experiments.
+//!
+//! Everything is **programs-as-data**: each dialect round-trips through its
+//! printer and parser, which is what allows the Program Converter to rewrite
+//! ASTs and the Program Generator to emit source text (Figure 4.1).
+
+pub mod dbtg;
+pub mod dli;
+pub mod error;
+pub mod expr;
+pub mod host;
+pub mod lexer;
+pub mod sequel;
+
+pub use error::{ParseError, ParseResult};
+pub use expr::{BinOp, BoolExpr, CmpOp, Expr};

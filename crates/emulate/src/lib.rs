@@ -1,0 +1,30 @@
+//! # dbpc-emulate
+//!
+//! The two baseline conversion strategies of §2.1.2, implemented as real
+//! executables so the paper's efficiency claims are measurable:
+//!
+//! * [`emulation`] — **DML emulation** (the Honeywell "Task 609" strategy):
+//!   "preserves the behavior of the application program by intercepting the
+//!   individual DML calls at execution time and invoking equivalent DML
+//!   calls to the restructured database." The unmodified program runs
+//!   against an [`emulation::Emulator`] that answers every owner-coupled-set
+//!   call from the restructured database through per-call mapping — paying
+//!   exactly the overheads the paper predicts ("each source DML statement
+//!   must be mapped into a target emulation program").
+//!
+//! * [`bridge`] — **bridge programs**: "the source application program's
+//!   access requirements are supported by dynamically reconstructing from
+//!   the target database that portion of the source database needed …
+//!   A reverse mapping is required to reflect updates and each simulated
+//!   source database segment that has changed must be retranslated …
+//!   Differential file techniques can be used to ease this process."
+//!   The unmodified program runs against a reconstruction (built with the
+//!   restructuring's inverse operators — Housel's condition), and updates
+//!   are written back either by full retranslation or by replaying a
+//!   [`bridge::DifferentialFile`] of record-level changes.
+
+pub mod bridge;
+pub mod emulation;
+
+pub use bridge::{run_bridged, DifferentialFile, WriteBack};
+pub use emulation::Emulator;

@@ -1,0 +1,754 @@
+//! The DBTG currency machine.
+//!
+//! Implements the execution model the paper's §3.2 worries about: a program
+//! navigates record-at-a-time, holding *currency indicators* — current of
+//! run-unit, current of each record type, current of each set type (an
+//! owner occurrence plus a position within its member list) — and branches
+//! on the *status register* after every verb. The §2.1.2 remark that
+//! emulation "may require the conversion software to evaluate each DML
+//! operation against the source structure to determine status values (e.g.,
+//! currency)" is about exactly this state.
+
+use crate::error::{RunError, RunResult};
+use crate::trace::{Inputs, Trace, TraceEvent};
+use dbpc_datamodel::value::Value;
+use dbpc_dml::dbtg::{DbtgProgram, DbtgStmt, DbtgUnit, StatusCond};
+use dbpc_dml::expr::{BinOp, Expr};
+use dbpc_storage::{DbError, NetworkDb, RecordId, StatusCode, SYSTEM_OWNER};
+use std::collections::BTreeMap;
+
+/// Currency for one set type: the owner occurrence and the current member
+/// position (None = positioned at the owner / before the first member).
+#[derive(Debug, Clone, Copy)]
+struct SetCurrency {
+    owner: RecordId,
+    member: Option<RecordId>,
+}
+
+/// The DBTG run-unit state.
+pub struct DbtgMachine<'d> {
+    db: &'d mut NetworkDb,
+    /// User work area: (record type, field) → value.
+    uwa: BTreeMap<(String, String), Value>,
+    current_of_type: BTreeMap<String, RecordId>,
+    current_of_set: BTreeMap<String, SetCurrency>,
+    current_run_unit: Option<RecordId>,
+    status: StatusCode,
+    inputs: Inputs,
+    trace: Trace,
+    steps: usize,
+    step_limit: usize,
+}
+
+/// Run a DBTG program against a network database; returns the trace.
+pub fn run_dbtg(db: &mut NetworkDb, program: &DbtgProgram, inputs: Inputs) -> RunResult<Trace> {
+    DbtgMachine::new(db, inputs).run(program)
+}
+
+impl<'d> DbtgMachine<'d> {
+    pub fn new(db: &'d mut NetworkDb, inputs: Inputs) -> Self {
+        DbtgMachine {
+            db,
+            uwa: BTreeMap::new(),
+            current_of_type: BTreeMap::new(),
+            current_of_set: BTreeMap::new(),
+            current_run_unit: None,
+            status: StatusCode::Ok,
+            inputs,
+            trace: Trace::new(),
+            steps: 0,
+            step_limit: 1_000_000,
+        }
+    }
+
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    pub fn run(mut self, program: &DbtgProgram) -> RunResult<Trace> {
+        let mut pc = 0usize;
+        while pc < program.units.len() {
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(RunError::StepLimit);
+            }
+            let unit = &program.units[pc];
+            match unit {
+                DbtgUnit::Label(_) => {
+                    pc += 1;
+                }
+                DbtgUnit::Stmt(s) => match s {
+                    DbtgStmt::Stop => break,
+                    DbtgStmt::Goto(label) => {
+                        pc = program
+                            .label_index(label)
+                            .ok_or_else(|| RunError::NoSuchLabel(label.clone()))?;
+                    }
+                    DbtgStmt::IfStatus { cond, goto } => {
+                        if status_matches(self.status, *cond) {
+                            pc = program
+                                .label_index(goto)
+                                .ok_or_else(|| RunError::NoSuchLabel(goto.clone()))?;
+                        } else {
+                            pc += 1;
+                        }
+                    }
+                    other => {
+                        self.exec(other)?;
+                        pc += 1;
+                    }
+                },
+            }
+        }
+        Ok(self.trace)
+    }
+
+    /// The machine's status register after the last verb.
+    pub fn status(&self) -> StatusCode {
+        self.status
+    }
+
+    fn exec(&mut self, s: &DbtgStmt) -> RunResult<()> {
+        match s {
+            DbtgStmt::Move {
+                value,
+                field,
+                record,
+            } => {
+                let v = self.eval(value)?;
+                self.uwa.insert((record.clone(), field.clone()), v);
+                self.status = StatusCode::Ok;
+            }
+            DbtgStmt::FindAny { record, using } => {
+                let candidates = self.db.records_of_type(record);
+                let hit = candidates
+                    .into_iter()
+                    .find(|&id| self.matches_uwa(id, record, using));
+                match hit {
+                    Some(id) => self.establish_currency(id),
+                    None => self.status = StatusCode::NotFound,
+                }
+            }
+            DbtgStmt::FindFirst { record, set } => {
+                let owner = match self.occurrence_owner(set)? {
+                    Some(o) => o,
+                    None => {
+                        self.status = StatusCode::NoCurrency;
+                        return Ok(());
+                    }
+                };
+                let members = self.db.members_of(set, owner)?;
+                match members.first().copied() {
+                    Some(id) if self.record_type_of(id)? == *record => {
+                        self.establish_currency(id)
+                    }
+                    Some(_) | None => self.status = StatusCode::EndOfSet,
+                }
+            }
+            DbtgStmt::FindNext {
+                record,
+                set,
+                using,
+            } => {
+                let cur = match self.current_of_set.get(set).copied() {
+                    Some(c) => c,
+                    None => {
+                        // No currency yet: try to derive the occurrence from
+                        // the current owner (FIND ANY DEPT then FIND NEXT EMP
+                        // WITHIN ED, as in the paper's listing).
+                        match self.occurrence_owner(set)? {
+                            Some(owner) => SetCurrency {
+                                owner,
+                                member: None,
+                            },
+                            None => {
+                                self.status = StatusCode::NoCurrency;
+                                return Ok(());
+                            }
+                        }
+                    }
+                };
+                let members = self.db.members_of(set, cur.owner)?;
+                let start = match cur.member {
+                    None => 0,
+                    Some(m) => match members.iter().position(|&x| x == m) {
+                        Some(i) => i + 1,
+                        None => 0,
+                    },
+                };
+                let hit = members[start..]
+                    .iter()
+                    .copied()
+                    .find(|&id| self.matches_uwa_allow_missing(id, record, using));
+                match hit {
+                    Some(id) => self.establish_currency(id),
+                    None => self.status = StatusCode::EndOfSet,
+                }
+            }
+            DbtgStmt::FindOwner { set } => {
+                let cur = self.current_of_set.get(set).copied();
+                let member = cur.and_then(|c| c.member).or_else(|| {
+                    // Fall back to current of the member type.
+                    let sd = self.db.schema().set(set)?;
+                    self.current_of_type.get(&sd.member).copied()
+                });
+                let Some(member) = member else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                match self.db.owner_in(set, member)? {
+                    Some(owner) if owner != SYSTEM_OWNER => self.establish_currency(owner),
+                    _ => self.status = StatusCode::NotFound,
+                }
+            }
+            DbtgStmt::Get { record } => {
+                let Some(&id) = self.current_of_type.get(record) else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                let rt = self
+                    .db
+                    .schema()
+                    .record(record)
+                    .ok_or_else(|| RunError::Db(DbError::unknown("record", record)))?
+                    .clone();
+                for f in &rt.fields {
+                    let v = self.db.field_value(id, &f.name)?;
+                    self.uwa.insert((record.clone(), f.name.clone()), v);
+                }
+                self.status = StatusCode::Ok;
+            }
+            DbtgStmt::Print(exprs) => {
+                let mut parts = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    parts.push(self.eval(e)?.to_string());
+                }
+                self.trace.push(TraceEvent::TerminalOut(parts.join(" ")));
+            }
+            DbtgStmt::Accept { field, record } => {
+                let line = self.inputs.read_terminal();
+                self.trace.push(TraceEvent::TerminalIn(line.clone()));
+                let v = match line.trim().parse::<i64>() {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::Str(line),
+                };
+                self.uwa.insert((record.clone(), field.clone()), v);
+                self.status = StatusCode::Ok;
+            }
+            DbtgStmt::Store { record } => {
+                let rt = match self.db.schema().record(record) {
+                    Some(r) => r.clone(),
+                    None => return Err(RunError::Db(DbError::unknown("record", record))),
+                };
+                let mut values: Vec<(String, Value)> = Vec::new();
+                for f in &rt.fields {
+                    if f.is_virtual() {
+                        continue;
+                    }
+                    if let Some(v) = self.uwa.get(&(record.clone(), f.name.clone())) {
+                        values.push((f.name.clone(), v.clone()));
+                    }
+                }
+                // Set selection by application: connect to the current
+                // occurrence of each record-owned set of this member type.
+                let mut connects: Vec<(String, RecordId)> = Vec::new();
+                let member_sets: Vec<String> = self
+                    .db
+                    .schema()
+                    .sets_with_member(record)
+                    .iter()
+                    .filter(|s| !s.is_system())
+                    .map(|s| s.name.clone())
+                    .collect();
+                for set in member_sets {
+                    if let Some(owner) = self.occurrence_owner(&set)? {
+                        connects.push((set, owner));
+                    }
+                }
+                let vref: Vec<(&str, Value)> = values
+                    .iter()
+                    .map(|(f, v)| (f.as_str(), v.clone()))
+                    .collect();
+                let cref: Vec<(&str, RecordId)> =
+                    connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+                match self.db.store(record, &vref, &cref) {
+                    Ok(id) => self.establish_currency(id),
+                    Err(e) => self.status = e.status(),
+                }
+            }
+            DbtgStmt::Modify { record } => {
+                let Some(&id) = self.current_of_type.get(record) else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                let rt = self.db.schema().record(record).unwrap().clone();
+                let mut assigns: Vec<(String, Value)> = Vec::new();
+                for f in &rt.fields {
+                    if f.is_virtual() {
+                        continue;
+                    }
+                    if let Some(v) = self.uwa.get(&(record.clone(), f.name.clone())) {
+                        assigns.push((f.name.clone(), v.clone()));
+                    }
+                }
+                let aref: Vec<(&str, Value)> = assigns
+                    .iter()
+                    .map(|(f, v)| (f.as_str(), v.clone()))
+                    .collect();
+                self.status = match self.db.modify(id, &aref) {
+                    Ok(()) => StatusCode::Ok,
+                    Err(e) => e.status(),
+                };
+            }
+            DbtgStmt::Erase { record, all } => {
+                let Some(&id) = self.current_of_type.get(record) else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                self.status = match self.db.erase(id, *all) {
+                    Ok(_) => {
+                        self.current_of_type.remove(record);
+                        self.invalidate_currency(id);
+                        StatusCode::Ok
+                    }
+                    Err(e) => e.status(),
+                };
+            }
+            DbtgStmt::Connect { record, set } => {
+                let Some(&member) = self.current_of_type.get(record) else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                let Some(owner) = self.occurrence_owner(set)? else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                self.status = match self.db.connect(set, owner, member) {
+                    Ok(()) => StatusCode::Ok,
+                    Err(e) => e.status(),
+                };
+            }
+            DbtgStmt::Disconnect { record, set } => {
+                let Some(&member) = self.current_of_type.get(record) else {
+                    self.status = StatusCode::NoCurrency;
+                    return Ok(());
+                };
+                self.status = match self.db.disconnect(set, member) {
+                    Ok(()) => StatusCode::Ok,
+                    Err(e) => e.status(),
+                };
+            }
+            DbtgStmt::Stop | DbtgStmt::Goto(_) | DbtgStmt::IfStatus { .. } => {
+                unreachable!("control flow handled by run()")
+            }
+        }
+        Ok(())
+    }
+
+    /// The owner occurrence of `set`'s current occurrence: SYSTEM for
+    /// system sets, the set currency's owner, or (fallback) the current of
+    /// the owner record type.
+    fn occurrence_owner(&self, set: &str) -> RunResult<Option<RecordId>> {
+        let sd = self
+            .db
+            .schema()
+            .set(set)
+            .ok_or_else(|| RunError::Db(DbError::unknown("set", set)))?;
+        match sd.owner.record_name() {
+            None => Ok(Some(SYSTEM_OWNER)),
+            Some(owner_type) => {
+                if let Some(c) = self.current_of_set.get(set) {
+                    return Ok(Some(c.owner));
+                }
+                Ok(self.current_of_type.get(owner_type).copied())
+            }
+        }
+    }
+
+    fn record_type_of(&self, id: RecordId) -> RunResult<String> {
+        Ok(self.db.get(id)?.rtype.clone())
+    }
+
+    /// Make `id` current of run-unit, its record type, and every set it
+    /// participates in (as member or owner) — full DBTG currency update.
+    fn establish_currency(&mut self, id: RecordId) {
+        self.status = StatusCode::Ok;
+        self.current_run_unit = Some(id);
+        let rtype = match self.db.get(id) {
+            Ok(r) => r.rtype.clone(),
+            Err(_) => return,
+        };
+        self.current_of_type.insert(rtype.clone(), id);
+        let member_sets: Vec<String> = self
+            .db
+            .schema()
+            .sets_with_member(&rtype)
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for set in member_sets {
+            if let Ok(Some(owner)) = self.db.owner_in(&set, id) {
+                self.current_of_set
+                    .insert(set, SetCurrency { owner, member: Some(id) });
+            }
+        }
+        let owned_sets: Vec<String> = self
+            .db
+            .schema()
+            .sets_owned_by(&rtype)
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for set in owned_sets {
+            self.current_of_set.insert(
+                set,
+                SetCurrency {
+                    owner: id,
+                    member: None,
+                },
+            );
+        }
+    }
+
+    /// Drop currency that referenced an erased record.
+    fn invalidate_currency(&mut self, id: RecordId) {
+        if self.current_run_unit == Some(id) {
+            self.current_run_unit = None;
+        }
+        self.current_of_type.retain(|_, &mut v| v != id);
+        self.current_of_set
+            .retain(|_, c| c.owner != id && c.member != Some(id));
+    }
+
+    fn matches_uwa(&self, id: RecordId, record: &str, using: &[String]) -> bool {
+        using.iter().all(|f| {
+            let uwa = self.uwa.get(&(record.to_string(), f.clone()));
+            match (uwa, self.db.field_value(id, f)) {
+                (Some(u), Ok(v)) => u.loose_eq(&v),
+                _ => false,
+            }
+        })
+    }
+
+    /// Like `matches_uwa` but vacuously true with an empty using list.
+    fn matches_uwa_allow_missing(&self, id: RecordId, record: &str, using: &[String]) -> bool {
+        if using.is_empty() {
+            return true;
+        }
+        self.matches_uwa(id, record, using)
+    }
+
+    fn eval(&self, e: &Expr) -> RunResult<Value> {
+        match e {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Field { var, field } => self
+                .uwa
+                .get(&(var.clone(), field.clone()))
+                .cloned()
+                .ok_or_else(|| RunError::UnboundVar(format!("{var}.{field}"))),
+            Expr::Name(n) => Err(RunError::UnboundVar(n.clone())),
+            Expr::Count(v) => Err(RunError::UnboundVar(format!("COUNT({v})"))),
+            Expr::Bin { op, left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                match (*op, l.as_int(), r.as_int()) {
+                    (BinOp::Add, Some(a), Some(b)) => Ok(Value::Int(a + b)),
+                    (BinOp::Sub, Some(a), Some(b)) => Ok(Value::Int(a - b)),
+                    (BinOp::Mul, Some(a), Some(b)) => Ok(Value::Int(a * b)),
+                    (BinOp::Div, Some(a), Some(b)) if b != 0 => Ok(Value::Int(a / b)),
+                    _ => Err(RunError::Arith("bad operands in DBTG arithmetic".into())),
+                }
+            }
+        }
+    }
+}
+
+fn status_matches(status: StatusCode, cond: StatusCond) -> bool {
+    matches!(
+        (status, cond),
+        (StatusCode::Ok, StatusCond::Ok)
+            | (StatusCode::NotFound, StatusCond::NotFound)
+            | (StatusCode::EndOfSet, StatusCond::EndSet)
+            | (StatusCode::IntegrityViolation, StatusCond::Integrity)
+            | (StatusCode::Duplicate, StatusCond::Duplicate)
+            | (StatusCode::NoCurrency, StatusCond::NoCurrency)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, NetworkSchema, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::dbtg::parse_dbtg;
+
+    /// The §4.1 schema: DEPT —ED→ EMP-DEPT-ish flattened as EMP directly
+    /// under DEPT with YEAR-OF-SERVICE on the membership record.
+    fn dept_schema() -> NetworkSchema {
+        NetworkSchema::new("PERSONNEL")
+            .with_record(RecordTypeDef::new(
+                "DEPT",
+                vec![
+                    FieldDef::new("D#", FieldType::Char(4)),
+                    FieldDef::new("DNAME", FieldType::Char(12)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("E#", FieldType::Char(4)),
+                    FieldDef::new("ENAME", FieldType::Char(20)),
+                    FieldDef::new("YEAR-OF-SERVICE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DEPT", "DEPT", vec!["D#"]))
+            .with_set(SetDef::owned("ED", "DEPT", "EMP", vec!["E#"]))
+    }
+
+    fn dept_db() -> NetworkDb {
+        let mut db = NetworkDb::new(dept_schema()).unwrap();
+        let d2 = db
+            .store(
+                "DEPT",
+                &[("D#", Value::str("D2")), ("DNAME", Value::str("SALES"))],
+                &[],
+            )
+            .unwrap();
+        let d3 = db
+            .store(
+                "DEPT",
+                &[("D#", Value::str("D3")), ("DNAME", Value::str("ENG"))],
+                &[],
+            )
+            .unwrap();
+        for (e, name, yos, d) in [
+            ("E1", "SMITH", 3, d2),
+            ("E2", "JONES", 5, d2),
+            ("E3", "BAKER", 3, d2),
+            ("E4", "DAVIS", 3, d3),
+        ] {
+            db.store(
+                "EMP",
+                &[
+                    ("E#", Value::str(e)),
+                    ("ENAME", Value::str(name)),
+                    ("YEAR-OF-SERVICE", Value::Int(yos)),
+                ],
+                &[("ED", d)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// The paper's listing (B) completed: names of employees in D2 with
+    /// three years of service.
+    const LISTING_B: &str = "\
+DBTG PROGRAM GETEMP.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO NOTFD.
+  MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+NEXT.
+  FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+  IF STATUS ENDSET GO TO FINISH.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO NEXT.
+NOTFD.
+  PRINT 'NO SUCH DEPARTMENT'.
+FINISH.
+  STOP.
+END PROGRAM.
+";
+
+    #[test]
+    fn listing_b_retrieves_matching_employees() {
+        let mut db = dept_db();
+        let p = parse_dbtg(LISTING_B).unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        // Members of ED under D2 in E# order: E1 SMITH (3), E3 BAKER (3).
+        assert_eq!(t.terminal_lines(), vec!["SMITH", "BAKER"]);
+    }
+
+    #[test]
+    fn not_found_branch_taken() {
+        let mut db = dept_db();
+        let p = parse_dbtg(&LISTING_B.replace("'D2'", "'D9'")).unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["NO SUCH DEPARTMENT"]);
+    }
+
+    #[test]
+    fn find_first_and_owner() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM F.
+  MOVE 'D3' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  FIND FIRST EMP WITHIN ED.
+  GET EMP.
+  PRINT EMP.ENAME.
+  FIND OWNER WITHIN ED.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["DAVIS", "ENG"]);
+    }
+
+    #[test]
+    fn store_connects_to_current_owner() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM S.
+  MOVE 'D3' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  MOVE 'E9' TO E# IN EMP.
+  MOVE 'NEWMAN' TO ENAME IN EMP.
+  MOVE 1 TO YEAR-OF-SERVICE IN EMP.
+  STORE EMP.
+LOOP.
+  FIND NEXT EMP WITHIN ED.
+  IF STATUS ENDSET GO TO DONE.
+  GET EMP.
+  PRINT EMP.E#.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        // After STORE the new record is current; FIND NEXT continues after
+        // it (E9 sorts after E4, so the loop sees end-of-set at once)... but
+        // currency was established at E9 which is last. So loop prints
+        // nothing and exits. Verify the record exists instead.
+        assert!(t.terminal_lines().is_empty());
+        let emps = db.records_of_type("EMP");
+        assert_eq!(emps.len(), 5);
+    }
+
+    #[test]
+    fn scan_from_first_prints_all_members() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM SCAN.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  FIND FIRST EMP WITHIN ED.
+  IF STATUS ENDSET GO TO DONE.
+  GET EMP.
+  PRINT EMP.ENAME.
+LOOP.
+  FIND NEXT EMP WITHIN ED.
+  IF STATUS ENDSET GO TO DONE.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["SMITH", "JONES", "BAKER"]);
+    }
+
+    #[test]
+    fn modify_and_erase_with_status() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM M.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  FIND FIRST EMP WITHIN ED.
+  GET EMP.
+  MOVE 9 TO YEAR-OF-SERVICE IN EMP.
+  MODIFY EMP.
+  IF STATUS OK GO TO OKAY.
+  PRINT 'MODIFY FAILED'.
+OKAY.
+  ERASE EMP.
+  IF STATUS OK GO TO DONE.
+  PRINT 'ERASE FAILED'.
+DONE.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        assert!(t.terminal_lines().is_empty());
+        assert_eq!(db.records_of_type("EMP").len(), 3);
+    }
+
+    #[test]
+    fn accept_reads_terminal() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM A.
+  ACCEPT D# IN DEPT FROM TERMINAL.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO MISS.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  GO TO DONE.
+MISS.
+  PRINT 'NO'.
+DONE.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new().with_terminal(&["D3"])).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["ENG"]);
+    }
+
+    #[test]
+    fn missing_label_is_malfunction() {
+        let mut db = dept_db();
+        let p = parse_dbtg("DBTG PROGRAM X.\n  GO TO NOWHERE.\nEND PROGRAM.").unwrap();
+        assert!(matches!(
+            run_dbtg(&mut db, &p, Inputs::new()),
+            Err(RunError::NoSuchLabel(_))
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_guarded() {
+        let mut db = dept_db();
+        let p = parse_dbtg("DBTG PROGRAM L.\nX.\n  GO TO X.\nEND PROGRAM.").unwrap();
+        let r = DbtgMachine::new(&mut db, Inputs::new())
+            .with_step_limit(100)
+            .run(&p);
+        assert_eq!(r.unwrap_err(), RunError::StepLimit);
+    }
+
+    #[test]
+    fn duplicate_store_sets_status_not_abort() {
+        let mut db = dept_db();
+        let p = parse_dbtg(
+            "DBTG PROGRAM D.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  MOVE 'E1' TO E# IN EMP.
+  MOVE 'CLONE' TO ENAME IN EMP.
+  STORE EMP.
+  IF STATUS DUPLICATE GO TO DUP.
+  PRINT 'STORED'.
+  GO TO DONE.
+DUP.
+  PRINT 'DUPLICATE KEY'.
+DONE.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap();
+        let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+        assert_eq!(t.terminal_lines(), vec!["DUPLICATE KEY"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Runtime errors.
+//!
+//! A distinction matters here: **database rejections** (integrity
+//! violations, duplicates) are *program-observable* 1979 behavior — they
+//! become `Abort` trace events or status-register values, not Rust errors —
+//! while [`RunError`] covers genuine malfunctions: unbound variables,
+//! ill-typed programs, jumps to missing labels, or runaway loops. A
+//! conversion that produces a program raising `RunError` is simply wrong.
+
+use dbpc_storage::DbError;
+use std::fmt;
+
+/// A malfunction while interpreting a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Reference to an unbound host variable.
+    UnboundVar(String),
+    /// A variable held the wrong kind of value (collection vs scalar).
+    Kind { var: String, expected: &'static str },
+    /// Field access on something that is not a single record.
+    NotARecord(String),
+    /// Schema lookup failed (program references a name the schema lacks).
+    Db(DbError),
+    /// `GO TO` to an undefined label.
+    NoSuchLabel(String),
+    /// Statement budget exhausted (runaway loop guard).
+    StepLimit,
+    /// Arithmetic on non-numeric values.
+    Arith(String),
+    /// A `CALL DML` verb that is not a known DML operation at run time.
+    BadDmlVerb(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnboundVar(v) => write!(f, "unbound variable '{v}'"),
+            RunError::Kind { var, expected } => {
+                write!(f, "variable '{var}' is not a {expected}")
+            }
+            RunError::NotARecord(v) => {
+                write!(f, "variable '{v}' does not hold a single record")
+            }
+            RunError::Db(e) => write!(f, "database error: {e}"),
+            RunError::NoSuchLabel(l) => write!(f, "no such label '{l}'"),
+            RunError::StepLimit => write!(f, "statement budget exhausted"),
+            RunError::Arith(m) => write!(f, "arithmetic error: {m}"),
+            RunError::BadDmlVerb(v) => write!(f, "unknown DML verb '{v}'"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<DbError> for RunError {
+    fn from(e: DbError) -> Self {
+        RunError::Db(e)
+    }
+}
+
+pub type RunResult<T> = Result<T, RunError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(RunError::UnboundVar("X".into()).to_string().contains("X"));
+        assert!(RunError::StepLimit.to_string().contains("budget"));
+        let e: RunError = DbError::NotFound("r".into()).into();
+        assert!(matches!(e, RunError::Db(_)));
+    }
+}

@@ -1,0 +1,727 @@
+//! The data translator: carry a stored database across a transformation.
+//!
+//! This is the crate's answer to the paper's middle step — "converting the
+//! data to reflect the new schema" (§1) — the part the 1970s data-translation
+//! projects (EXPRESS, the Michigan translator; refs 3–7) solved and which a
+//! program conversion system presupposes.
+//!
+//! Translation is a *rebuild*: a fresh [`NetworkDb`] under the target schema
+//! is populated through the ordinary typed/constrained mutation API, owner
+//! types before member types, records in creation order. Rebuilding through
+//! the front door means a translation can fail exactly where a 1979 reload
+//! would have failed (duplicate keys, cardinality limits), rather than
+//! producing a silently inconsistent database.
+
+use crate::transform::Transform;
+use dbpc_datamodel::network::{NetworkSchema, SetOwner};
+use dbpc_datamodel::value::Value;
+use dbpc_storage::keys::KeyTuple;
+use dbpc_storage::{DbError, DbResult, NetworkDb, RecordId, SYSTEM_OWNER};
+use std::collections::BTreeMap;
+
+/// Translate `db` across `transform`, producing the restructured database.
+pub fn translate(db: &NetworkDb, transform: &Transform) -> DbResult<NetworkDb> {
+    let target_schema = transform
+        .apply_schema(db.schema())
+        .map_err(|e| DbError::constraint(e.to_string()))?;
+    match transform {
+        Transform::DeleteWhere {
+            record,
+            field,
+            op,
+            value,
+        } => {
+            // Schema unchanged: clone and erase matching occurrences
+            // (cascading), the §5.2 information-losing subset.
+            let mut out = db.clone();
+            let doomed: Vec<RecordId> = out
+                .records_of_type(record)
+                .into_iter()
+                .filter(|&id| {
+                    out.field_value(id, field)
+                        .map(|v| op.eval(&v, value))
+                        .unwrap_or(false)
+                })
+                .collect();
+            for id in doomed {
+                // May already be gone through a cascade.
+                match out.erase(id, true) {
+                    Ok(_) | Err(DbError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(out)
+        }
+        Transform::PromoteFieldToOwner {
+            record,
+            field,
+            via_set,
+            new_record,
+            upper_set,
+            lower_set,
+        } => translate_promote(
+            db,
+            target_schema,
+            record,
+            field,
+            via_set,
+            new_record,
+            upper_set,
+            lower_set,
+        ),
+        Transform::DemoteOwnerToField {
+            mid_record,
+            field,
+            upper_set,
+            lower_set,
+            record,
+            merged_set,
+        } => translate_demote(
+            db,
+            target_schema,
+            mid_record,
+            field,
+            upper_set,
+            lower_set,
+            record,
+            merged_set,
+        ),
+        // Structure-preserving transforms share the generic rebuild with a
+        // per-record mapping.
+        other => translate_generic(db, target_schema, other),
+    }
+}
+
+/// Record types ordered so that set owners precede their members.
+fn topo_order(schema: &NetworkSchema) -> DbResult<Vec<String>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut remaining: Vec<&str> = schema.records.iter().map(|r| r.name.as_str()).collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|r| {
+            let ready = schema.sets_with_member(r).iter().all(|s| match &s.owner {
+                SetOwner::System => true,
+                SetOwner::Record(o) => order.iter().any(|x| x == o),
+            });
+            if ready {
+                order.push(r.to_string());
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            return Err(DbError::constraint(format!(
+                "ownership cycle among record types: {}",
+                remaining.join(", ")
+            )));
+        }
+    }
+    Ok(order)
+}
+
+/// How a structure-preserving transform maps names and values.
+struct NameMap {
+    record: BTreeMap<String, String>,
+    set: BTreeMap<String, String>,
+}
+
+impl NameMap {
+    fn identity() -> NameMap {
+        NameMap {
+            record: BTreeMap::new(),
+            set: BTreeMap::new(),
+        }
+    }
+
+    fn record<'a>(&'a self, name: &'a str) -> &'a str {
+        self.record.get(name).map(String::as_str).unwrap_or(name)
+    }
+
+    fn set_rev<'a>(&'a self, target_name: &'a str) -> &'a str {
+        for (old, new) in &self.set {
+            if new == target_name {
+                return old;
+            }
+        }
+        target_name
+    }
+}
+
+fn translate_generic(
+    db: &NetworkDb,
+    target_schema: NetworkSchema,
+    transform: &Transform,
+) -> DbResult<NetworkDb> {
+    let mut map = NameMap::identity();
+    if let Transform::RenameRecord { old, new } = transform {
+        map.record.insert(old.clone(), new.clone());
+    }
+    if let Transform::RenameSet { old, new } = transform {
+        map.set.insert(old.clone(), new.clone());
+    }
+
+    let mut out = NetworkDb::new(target_schema.clone())?;
+    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
+    let order = topo_order(db.schema())?;
+
+    for old_type in &order {
+        let new_type = map.record(old_type).to_string();
+        let old_rt = db.schema().record(old_type).unwrap().clone();
+        let new_rt = target_schema
+            .record(&new_type)
+            .ok_or_else(|| DbError::unknown("record", &new_type))?
+            .clone();
+        for old_id in db.records_of_type(old_type) {
+            let old_rec = db.get(old_id)?;
+            // Stored values under the (possibly renamed/extended) fields.
+            let mut values: Vec<(String, Value)> = Vec::new();
+            for nf in &new_rt.fields {
+                if nf.is_virtual() {
+                    continue;
+                }
+                // Which old field supplies this new field?
+                let old_field = match transform {
+                    Transform::RenameField { record, old, new }
+                        if record == old_type && *new == nf.name =>
+                    {
+                        Some(old.clone())
+                    }
+                    Transform::AddField { record, field, .. }
+                        if record == old_type && *field == nf.name =>
+                    {
+                        None
+                    }
+                    _ => Some(nf.name.clone()),
+                };
+                match old_field {
+                    Some(of) => {
+                        if let Some(idx) = old_rt.field_index(&of) {
+                            if !old_rt.fields[idx].is_virtual() {
+                                values.push((nf.name.clone(), old_rec.values[idx].clone()));
+                            }
+                        }
+                    }
+                    None => {
+                        if let Transform::AddField { default, .. } = transform {
+                            values.push((nf.name.clone(), default.clone()));
+                        }
+                    }
+                }
+            }
+            // Connections: one per record-owned target set the type belongs
+            // to, derived from the source membership.
+            let mut connects: Vec<(String, RecordId)> = Vec::new();
+            for ns in target_schema.sets_with_member(&new_type) {
+                if ns.is_system() {
+                    continue;
+                }
+                let old_set = map.set_rev(&ns.name).to_string();
+                if let Some(old_owner) = db.owner_in(&old_set, old_id)? {
+                    if old_owner != SYSTEM_OWNER {
+                        let new_owner = idmap.get(&old_owner).ok_or_else(|| {
+                            DbError::constraint(format!(
+                                "owner #{} of set {old_set} not yet translated",
+                                old_owner.0
+                            ))
+                        })?;
+                        connects.push((ns.name.clone(), *new_owner));
+                    }
+                }
+            }
+            let vref: Vec<(&str, Value)> =
+                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let cref: Vec<(&str, RecordId)> =
+                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            let new_id = out.store(&new_type, &vref, &cref)?;
+            idmap.insert(old_id, new_id);
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn translate_promote(
+    db: &NetworkDb,
+    target_schema: NetworkSchema,
+    record: &str,
+    field: &str,
+    via_set: &str,
+    new_record: &str,
+    upper_set: &str,
+    lower_set: &str,
+) -> DbResult<NetworkDb> {
+    let mut out = NetworkDb::new(target_schema.clone())?;
+    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
+    // Owner of the split set in the source schema.
+    let via_owner_type = db
+        .schema()
+        .set(via_set)
+        .and_then(|s| s.owner.record_name())
+        .ok_or_else(|| DbError::unknown("set", via_set))?
+        .to_string();
+
+    // 1. Copy every record type except the member of the split set, in
+    //    topological order (the new record type is synthesized in step 2).
+    let order = topo_order(db.schema())?;
+    for rtype in order.iter().filter(|r| *r != record) {
+        let rt = db.schema().record(rtype).unwrap().clone();
+        for old_id in db.records_of_type(rtype) {
+            let old_rec = db.get(old_id)?;
+            let values: Vec<(String, Value)> = rt
+                .fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.is_virtual())
+                .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+                .collect();
+            let mut connects: Vec<(String, RecordId)> = Vec::new();
+            for s in db.schema().sets_with_member(rtype) {
+                if s.is_system() || s.name == via_set {
+                    continue;
+                }
+                if let Some(owner) = db.owner_in(&s.name, old_id)? {
+                    if owner != SYSTEM_OWNER {
+                        connects.push((s.name.clone(), idmap[&owner]));
+                    }
+                }
+            }
+            let vref: Vec<(&str, Value)> =
+                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let cref: Vec<(&str, RecordId)> =
+                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            let new_id = out.store(rtype, &vref, &cref)?;
+            idmap.insert(old_id, new_id);
+        }
+    }
+
+    // 2. For each owner occurrence, create one new-record occurrence per
+    //    distinct promoted-field value among its members.
+    let mut group_map: BTreeMap<(RecordId, KeyTuple), RecordId> = BTreeMap::new();
+    for owner in db.records_of_type(&via_owner_type) {
+        for member in db.members_of(via_set, owner)? {
+            let v = db.field_value(member, field)?;
+            let key = (owner, KeyTuple(vec![v.clone()]));
+            if let std::collections::btree_map::Entry::Vacant(slot) = group_map.entry(key) {
+                let new_id = out.store(
+                    new_record,
+                    &[(field, v)],
+                    &[(upper_set, idmap[&owner])],
+                )?;
+                slot.insert(new_id);
+            }
+        }
+    }
+
+    // 3. Copy the member records, re-homed under their group records.
+    let rt = db.schema().record(record).unwrap().clone();
+    for old_id in db.records_of_type(record) {
+        let old_rec = db.get(old_id)?;
+        let values: Vec<(String, Value)> = rt
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_virtual() && f.name != field)
+            .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+            .collect();
+        let mut connects: Vec<(String, RecordId)> = Vec::new();
+        match db.owner_in(via_set, old_id)? {
+            Some(owner) => {
+                let v = db.field_value(old_id, field)?;
+                let group = group_map[&(owner, KeyTuple(vec![v]))];
+                connects.push((lower_set.to_string(), group));
+            }
+            None => {
+                // Disconnected member: its promoted-field value has no group
+                // to live in; non-null values would be silently lost.
+                let idx = rt.field_index(field).unwrap();
+                if !old_rec.values[idx].is_null() {
+                    return Err(DbError::constraint(format!(
+                        "cannot promote {record}.{field}: record #{} is not \
+                         connected in {via_set} but carries a value",
+                        old_id.0
+                    )));
+                }
+            }
+        }
+        for s in db.schema().sets_with_member(record) {
+            if s.is_system() || s.name == via_set {
+                continue;
+            }
+            if let Some(owner) = db.owner_in(&s.name, old_id)? {
+                if owner != SYSTEM_OWNER {
+                    connects.push((s.name.clone(), idmap[&owner]));
+                }
+            }
+        }
+        let vref: Vec<(&str, Value)> =
+            values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+        let cref: Vec<(&str, RecordId)> =
+            connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+        let new_id = out.store(record, &vref, &cref)?;
+        idmap.insert(old_id, new_id);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn translate_demote(
+    db: &NetworkDb,
+    target_schema: NetworkSchema,
+    mid_record: &str,
+    field: &str,
+    _upper_set: &str,
+    lower_set: &str,
+    record: &str,
+    merged_set: &str,
+) -> DbResult<NetworkDb> {
+    let mut out = NetworkDb::new(target_schema.clone())?;
+    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
+    let upper_set_name = db
+        .schema()
+        .sets_with_member(mid_record)
+        .iter()
+        .map(|s| s.name.clone())
+        .next()
+        .ok_or_else(|| DbError::unknown("set", "upper set"))?;
+
+    let order = topo_order(db.schema())?;
+    for rtype in order.iter().filter(|r| *r != mid_record && *r != record) {
+        let rt = db.schema().record(rtype).unwrap().clone();
+        for old_id in db.records_of_type(rtype) {
+            let old_rec = db.get(old_id)?;
+            let values: Vec<(String, Value)> = rt
+                .fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.is_virtual())
+                .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+                .collect();
+            let mut connects: Vec<(String, RecordId)> = Vec::new();
+            for s in db.schema().sets_with_member(rtype) {
+                if s.is_system() {
+                    continue;
+                }
+                if let Some(owner) = db.owner_in(&s.name, old_id)? {
+                    if owner != SYSTEM_OWNER {
+                        connects.push((s.name.clone(), idmap[&owner]));
+                    }
+                }
+            }
+            let vref: Vec<(&str, Value)> =
+                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let cref: Vec<(&str, RecordId)> =
+                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            let new_id = out.store(rtype, &vref, &cref)?;
+            idmap.insert(old_id, new_id);
+        }
+    }
+
+    // Member records regain the demoted field; membership re-homes to the
+    // grand-owner via the merged set.
+    let rt = db.schema().record(record).unwrap().clone();
+    for old_id in db.records_of_type(record) {
+        let old_rec = db.get(old_id)?;
+        let mut values: Vec<(String, Value)> = rt
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_virtual())
+            .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+            .collect();
+        let mut connects: Vec<(String, RecordId)> = Vec::new();
+        match db.owner_in(lower_set, old_id)? {
+            Some(mid) => {
+                values.push((field.to_string(), db.field_value(mid, field)?));
+                if let Some(grand) = db.owner_in(&upper_set_name, mid)? {
+                    if grand != SYSTEM_OWNER {
+                        connects.push((merged_set.to_string(), idmap[&grand]));
+                    }
+                }
+            }
+            None => {
+                values.push((field.to_string(), Value::Null));
+            }
+        }
+        for s in db.schema().sets_with_member(record) {
+            if s.is_system() || s.name == lower_set {
+                continue;
+            }
+            if let Some(owner) = db.owner_in(&s.name, old_id)? {
+                if owner != SYSTEM_OWNER {
+                    connects.push((s.name.clone(), idmap[&owner]));
+                }
+            }
+        }
+        let vref: Vec<(&str, Value)> =
+            values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+        let cref: Vec<(&str, RecordId)> =
+            connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+        let new_id = out.store(record, &vref, &cref)?;
+        idmap.insert(old_id, new_id);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::Transform;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::expr::CmpOp;
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                    FieldDef::virtual_field("DIV-NAME", FieldType::Char(20), "DIV-EMP", "DIV-NAME"),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn company_db() -> NetworkDb {
+        let mut db = NetworkDb::new(company_schema()).unwrap();
+        let mach = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        let aero = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("AEROSPACE")),
+                    ("DIV-LOC", Value::str("SEATTLE")),
+                ],
+                &[],
+            )
+            .unwrap();
+        for (name, dept, age, div) in [
+            ("JONES", "SALES", 34, mach),
+            ("ADAMS", "SALES", 28, mach),
+            ("BAKER", "MFG", 45, mach),
+            ("CLARK", "SALES", 52, aero),
+        ] {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(name)),
+                    ("DEPT-NAME", Value::str(dept)),
+                    ("AGE", Value::Int(age)),
+                ],
+                &[("DIV-EMP", div)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn fig_4_4() -> Transform {
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        }
+    }
+
+    #[test]
+    fn promote_groups_members_into_new_records() {
+        let src = company_db();
+        let out = translate(&src, &fig_4_4()).unwrap();
+        // MACHINERY has SALES+MFG, AEROSPACE has SALES → 3 DEPTs.
+        assert_eq!(out.records_of_type("DEPT").len(), 3);
+        assert_eq!(out.records_of_type("EMP").len(), 4);
+        // Machinery's SALES dept holds ADAMS and JONES in name order.
+        let machinery = out
+            .records_of_type("DIV")
+            .into_iter()
+            .find(|&d| {
+                out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY")
+            })
+            .unwrap();
+        let depts = out.members_of("DIV-DEPT", machinery).unwrap();
+        assert_eq!(depts.len(), 2);
+        // DIV-DEPT is keyed on DEPT-NAME: MFG before SALES.
+        assert_eq!(
+            out.field_value(depts[0], "DEPT-NAME").unwrap(),
+            Value::str("MFG")
+        );
+        let sales = depts[1];
+        let emps = out.members_of("DEPT-EMP", sales).unwrap();
+        let names: Vec<Value> = emps
+            .iter()
+            .map(|&e| out.field_value(e, "EMP-NAME").unwrap())
+            .collect();
+        assert_eq!(names, vec![Value::str("ADAMS"), Value::str("JONES")]);
+        // DEPT's migrated virtual field resolves through DIV-DEPT.
+        assert_eq!(
+            out.field_value(sales, "DIV-NAME").unwrap(),
+            Value::str("MACHINERY")
+        );
+    }
+
+    #[test]
+    fn promote_then_demote_round_trips_data() {
+        let src = company_db();
+        let mid = translate(&src, &fig_4_4()).unwrap();
+        let back = translate(&mid, &fig_4_4().inverse().unwrap()).unwrap();
+        assert_eq!(back.records_of_type("EMP").len(), 4);
+        // Every employee's (name, dept, age, division) quadruple survives.
+        let quad = |db: &NetworkDb| -> Vec<(Value, Value, Value, Value)> {
+            let mut v: Vec<_> = db
+                .records_of_type("EMP")
+                .into_iter()
+                .map(|e| {
+                    (
+                        db.field_value(e, "EMP-NAME").unwrap(),
+                        db.field_value(e, "DEPT-NAME").unwrap(),
+                        db.field_value(e, "AGE").unwrap(),
+                        db.field_value(e, "DIV-NAME").unwrap(),
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            v
+        };
+        assert_eq!(quad(&src), quad(&back));
+    }
+
+    #[test]
+    fn rename_record_rebuilds_identically() {
+        let src = company_db();
+        let out = translate(
+            &src,
+            &Transform::RenameRecord {
+                old: "DIV".into(),
+                new: "DIVISION".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(out.records_of_type("DIVISION").len(), 2);
+        let emps = out.records_of_type("EMP");
+        assert_eq!(emps.len(), 4);
+        // Virtual field still resolves.
+        assert_eq!(
+            out.field_value(emps[0], "DIV-NAME").unwrap(),
+            Value::str("MACHINERY")
+        );
+    }
+
+    #[test]
+    fn add_field_fills_default() {
+        let src = company_db();
+        let out = translate(
+            &src,
+            &Transform::AddField {
+                record: "EMP".into(),
+                field: "SALARY".into(),
+                ty: FieldType::Int(6),
+                default: Value::Int(100),
+            },
+        )
+        .unwrap();
+        for e in out.records_of_type("EMP") {
+            assert_eq!(out.field_value(e, "SALARY").unwrap(), Value::Int(100));
+        }
+    }
+
+    #[test]
+    fn drop_field_removes_values() {
+        let src = company_db();
+        let out = translate(
+            &src,
+            &Transform::DropField {
+                record: "EMP".into(),
+                field: "AGE".into(),
+            },
+        )
+        .unwrap();
+        assert!(out.field_value(out.records_of_type("EMP")[0], "AGE").is_err());
+    }
+
+    #[test]
+    fn change_set_keys_reorders_occurrences() {
+        let src = company_db();
+        let out = translate(
+            &src,
+            &Transform::ChangeSetKeys {
+                set: "DIV-EMP".into(),
+                keys: vec!["AGE".into()],
+            },
+        )
+        .unwrap();
+        let machinery = out
+            .records_of_type("DIV")
+            .into_iter()
+            .find(|&d| {
+                out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY")
+            })
+            .unwrap();
+        let ages: Vec<Value> = out
+            .members_of("DIV-EMP", machinery)
+            .unwrap()
+            .iter()
+            .map(|&e| out.field_value(e, "AGE").unwrap())
+            .collect();
+        assert_eq!(ages, vec![Value::Int(28), Value::Int(34), Value::Int(45)]);
+    }
+
+    #[test]
+    fn delete_where_erases_matching_and_preserves_rest() {
+        let src = company_db();
+        let out = translate(
+            &src,
+            &Transform::DeleteWhere {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(40),
+            },
+        )
+        .unwrap();
+        assert_eq!(out.records_of_type("EMP").len(), 2);
+        // Deleting divisions cascades their employees.
+        let out2 = translate(
+            &src,
+            &Transform::DeleteWhere {
+                record: "DIV".into(),
+                field: "DIV-NAME".into(),
+                op: CmpOp::Eq,
+                value: Value::str("MACHINERY"),
+            },
+        )
+        .unwrap();
+        assert_eq!(out2.records_of_type("DIV").len(), 1);
+        assert_eq!(out2.records_of_type("EMP").len(), 1);
+    }
+
+    #[test]
+    fn topo_order_owners_first() {
+        let order = topo_order(&company_schema()).unwrap();
+        let div = order.iter().position(|r| r == "DIV").unwrap();
+        let emp = order.iter().position(|r| r == "EMP").unwrap();
+        assert!(div < emp);
+    }
+}

@@ -1,0 +1,1002 @@
+//! Schema transformation operators.
+//!
+//! Each operator knows how to rewrite a network schema
+//! ([`Transform::apply_schema`]), whether it can be undone
+//! ([`Transform::inverse`], Housel's invertibility condition), and whether
+//! it preserves information (the paper's §1.1 caveat: "conversion when not
+//! all information is preserved is a different and more difficult conversion
+//! problem").
+//!
+//! The flagship operator is [`Transform::PromoteFieldToOwner`], the paper's
+//! own worked example (Figure 4.2 → Figure 4.4): hoist `DEPT-NAME` out of
+//! `EMP` into a new `DEPT` record type interposed between `DIV` and `EMP`,
+//! replacing the set `DIV-EMP` by `DIV-DEPT` ∘ `DEPT-EMP`.
+
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_datamodel::error::{ModelError, ModelResult};
+use dbpc_datamodel::network::{
+    FieldDef, Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef, SetOwner,
+};
+use dbpc_datamodel::types::FieldType;
+use dbpc_datamodel::value::Value;
+use dbpc_dml::expr::CmpOp;
+use std::fmt;
+
+/// One schema transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Rename a record type.
+    RenameRecord { old: String, new: String },
+    /// Rename a set type.
+    RenameSet { old: String, new: String },
+    /// Rename a field of a record type.
+    RenameField {
+        record: String,
+        old: String,
+        new: String,
+    },
+    /// Add a stored field with a default value for existing occurrences.
+    AddField {
+        record: String,
+        field: String,
+        ty: FieldType,
+        default: Value,
+    },
+    /// Drop a field. **Information-losing**; programs referencing the field
+    /// cannot be converted (they raise a conversion question instead).
+    DropField { record: String, field: String },
+    /// The Figure 4.2 → 4.4 operator: hoist `field` of `record` into a new
+    /// owner record `new_record`, splitting `via_set` (owner O → record)
+    /// into `upper_set` (O → new_record) and `lower_set` (new_record →
+    /// record). Virtual fields of `record` routed via the split set migrate
+    /// to `new_record`.
+    PromoteFieldToOwner {
+        record: String,
+        field: String,
+        via_set: String,
+        new_record: String,
+        upper_set: String,
+        lower_set: String,
+    },
+    /// The inverse of [`Transform::PromoteFieldToOwner`]: demote the single
+    /// stored field of `mid_record` back into `record` and merge
+    /// `upper_set` ∘ `lower_set` into `merged_set`.
+    DemoteOwnerToField {
+        mid_record: String,
+        field: String,
+        upper_set: String,
+        lower_set: String,
+        record: String,
+        merged_set: String,
+    },
+    /// Change a set's ordering keys — the §3.2 *order dependence* hazard:
+    /// programs that observe member order silently change meaning.
+    ChangeSetKeys { set: String, keys: Vec<String> },
+    /// Change a set's insertion class (AUTOMATIC ⇄ MANUAL).
+    ChangeInsertion { set: String, insertion: Insertion },
+    /// Change a set's retention class (MANDATORY ⇄ OPTIONAL) — an
+    /// integrity-semantics change (§3.1).
+    ChangeRetention { set: String, retention: Retention },
+    /// Add a declarative constraint (a procedural check can then be removed
+    /// from programs — the §4.1 Florida scenario, reversed).
+    AddConstraint(Constraint),
+    /// Drop a declarative constraint (programs must now enforce it
+    /// procedurally if the application still requires it).
+    DropConstraint(Constraint),
+    /// Delete occurrences of `record` where `field op value` during
+    /// translation (with cascade). Schema is unchanged; **information is
+    /// lost** — the §5.2 "employees who retired prior to 1950" example used
+    /// for the levels-of-equivalence experiment.
+    DeleteWhere {
+        record: String,
+        field: String,
+        op: CmpOp,
+        value: Value,
+    },
+}
+
+impl Transform {
+    /// Apply to a schema, producing the restructured schema.
+    ///
+    /// The paper\'s own example, Figure 4.2 → Figure 4.4:
+    ///
+    /// ```
+    /// use dbpc_restructure::Transform;
+    /// use dbpc_datamodel::ddl::parse_network_schema;
+    /// let source = parse_network_schema("\
+    /// SCHEMA NAME IS C.
+    /// RECORD SECTION.
+    ///   RECORD NAME IS DIV.
+    ///   FIELDS ARE.
+    ///     DIV-NAME PIC X(20).
+    ///   END RECORD.
+    ///   RECORD NAME IS EMP.
+    ///   FIELDS ARE.
+    ///     EMP-NAME PIC X(25).
+    ///     DEPT-NAME PIC X(5).
+    ///   END RECORD.
+    /// END RECORD SECTION.
+    /// SET SECTION.
+    ///   SET NAME IS ALL-DIV.
+    ///   OWNER IS SYSTEM.
+    ///   MEMBER IS DIV.
+    ///   SET KEYS ARE (DIV-NAME).
+    ///   END SET.
+    ///   SET NAME IS DIV-EMP.
+    ///   OWNER IS DIV.
+    ///   MEMBER IS EMP.
+    ///   SET KEYS ARE (EMP-NAME).
+    ///   END SET.
+    /// END SET SECTION.
+    /// END SCHEMA.
+    /// ").unwrap();
+    /// let target = Transform::PromoteFieldToOwner {
+    ///     record: "EMP".into(),
+    ///     field: "DEPT-NAME".into(),
+    ///     via_set: "DIV-EMP".into(),
+    ///     new_record: "DEPT".into(),
+    ///     upper_set: "DIV-DEPT".into(),
+    ///     lower_set: "DEPT-EMP".into(),
+    /// }
+    /// .apply_schema(&source)
+    /// .unwrap();
+    /// assert!(target.record("DEPT").is_some());
+    /// assert!(target.set("DIV-EMP").is_none());
+    /// ```
+    pub fn apply_schema(&self, schema: &NetworkSchema) -> ModelResult<NetworkSchema> {
+        let mut s = schema.clone();
+        match self {
+            Transform::RenameRecord { old, new } => {
+                if s.record(old).is_none() {
+                    return Err(ModelError::unknown("record", old));
+                }
+                if s.record(new).is_some() {
+                    return Err(ModelError::duplicate("record", new));
+                }
+                for r in &mut s.records {
+                    if r.name == *old {
+                        r.name = new.clone();
+                    }
+                }
+                for set in &mut s.sets {
+                    if set.member == *old {
+                        set.member = new.clone();
+                    }
+                    if let SetOwner::Record(o) = &mut set.owner {
+                        if o == old {
+                            *o = new.clone();
+                        }
+                    }
+                }
+                for c in &mut s.constraints {
+                    rename_constraint_record(c, old, new);
+                }
+            }
+            Transform::RenameSet { old, new } => {
+                if s.set(old).is_none() {
+                    return Err(ModelError::unknown("set", old));
+                }
+                if s.set(new).is_some() {
+                    return Err(ModelError::duplicate("set", new));
+                }
+                for set in &mut s.sets {
+                    if set.name == *old {
+                        set.name = new.clone();
+                    }
+                }
+                for r in &mut s.records {
+                    for f in &mut r.fields {
+                        if let Some(v) = &mut f.virtual_via {
+                            if v.set == *old {
+                                v.set = new.clone();
+                            }
+                        }
+                    }
+                }
+                for c in &mut s.constraints {
+                    rename_constraint_set(c, old, new);
+                }
+            }
+            Transform::RenameField { record, old, new } => {
+                let r = s
+                    .record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                if r.field(new).is_some() {
+                    return Err(ModelError::duplicate("field", format!("{record}.{new}")));
+                }
+                let f = r.fields.iter_mut().find(|f| f.name == *old).ok_or_else(|| {
+                    ModelError::unknown("field", format!("{record}.{old}"))
+                })?;
+                f.name = new.clone();
+                // Set keys referencing the field.
+                for set in &mut s.sets {
+                    if set.member == *record {
+                        for k in &mut set.keys {
+                            if k == old {
+                                *k = new.clone();
+                            }
+                        }
+                    }
+                }
+                // Virtual fields sourcing the renamed field.
+                let sets_owned: Vec<String> = s
+                    .sets
+                    .iter()
+                    .filter(|st| st.owner.record_name() == Some(record.as_str()))
+                    .map(|st| st.name.clone())
+                    .collect();
+                for r in &mut s.records {
+                    for f in &mut r.fields {
+                        if let Some(v) = &mut f.virtual_via {
+                            if v.source_field == *old && sets_owned.contains(&v.set) {
+                                v.source_field = new.clone();
+                            }
+                        }
+                    }
+                }
+                for c in &mut s.constraints {
+                    rename_constraint_field(c, record, old, new);
+                }
+            }
+            Transform::AddField {
+                record,
+                field,
+                ty,
+                default,
+            } => {
+                if !ty.admits(default) {
+                    return Err(ModelError::invalid(format!(
+                        "default {default} does not fit {ty}"
+                    )));
+                }
+                let r = s
+                    .record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                if r.field(field).is_some() {
+                    return Err(ModelError::duplicate(
+                        "field",
+                        format!("{record}.{field}"),
+                    ));
+                }
+                r.fields.push(FieldDef::new(field.clone(), ty.clone()));
+            }
+            Transform::DropField { record, field } => {
+                let r = s
+                    .record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                let before = r.fields.len();
+                r.fields.retain(|f| f.name != *field);
+                if r.fields.len() == before {
+                    return Err(ModelError::unknown("field", format!("{record}.{field}")));
+                }
+                // The field must not be load-bearing elsewhere.
+                for set in &s.sets {
+                    if set.member == *record && set.keys.contains(field) {
+                        return Err(ModelError::invalid(format!(
+                            "cannot drop {record}.{field}: it is a key of set {}",
+                            set.name
+                        )));
+                    }
+                }
+                let sets_owned: Vec<String> = s
+                    .sets
+                    .iter()
+                    .filter(|st| st.owner.record_name() == Some(record.as_str()))
+                    .map(|st| st.name.clone())
+                    .collect();
+                for r2 in &s.records {
+                    for f in &r2.fields {
+                        if let Some(v) = &f.virtual_via {
+                            if v.source_field == *field && sets_owned.contains(&v.set) {
+                                return Err(ModelError::invalid(format!(
+                                    "cannot drop {record}.{field}: virtual field {}.{} sources it",
+                                    r2.name, f.name
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            Transform::PromoteFieldToOwner {
+                record,
+                field,
+                via_set,
+                new_record,
+                upper_set,
+                lower_set,
+            } => {
+                let via = s
+                    .set(via_set)
+                    .ok_or_else(|| ModelError::unknown("set", via_set))?
+                    .clone();
+                if via.member != *record {
+                    return Err(ModelError::invalid(format!(
+                        "set {via_set} does not have {record} as member"
+                    )));
+                }
+                let owner_name = via
+                    .owner
+                    .record_name()
+                    .ok_or_else(|| {
+                        ModelError::invalid(format!(
+                            "cannot promote through system set {via_set}"
+                        ))
+                    })?
+                    .to_string();
+                if s.record(new_record).is_some() {
+                    return Err(ModelError::duplicate("record", new_record));
+                }
+                let rec = s
+                    .record(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?
+                    .clone();
+                let fdef = rec
+                    .field(field)
+                    .ok_or_else(|| ModelError::unknown("field", format!("{record}.{field}")))?
+                    .clone();
+                if fdef.is_virtual() {
+                    return Err(ModelError::invalid(format!(
+                        "cannot promote virtual field {record}.{field}"
+                    )));
+                }
+                if via.keys.contains(field) {
+                    return Err(ModelError::invalid(format!(
+                        "cannot promote {record}.{field}: it is a key of {via_set}"
+                    )));
+                }
+
+                // New record: the promoted field plus migrated virtual
+                // fields of `record` that were routed via the split set.
+                let mut new_fields = vec![FieldDef::new(field.clone(), fdef.ty.clone())];
+                for f in &rec.fields {
+                    if let Some(v) = &f.virtual_via {
+                        if v.set == *via_set {
+                            new_fields.push(FieldDef::virtual_field(
+                                f.name.clone(),
+                                f.ty.clone(),
+                                upper_set.clone(),
+                                v.source_field.clone(),
+                            ));
+                        }
+                    }
+                }
+                s.records
+                    .push(RecordTypeDef::new(new_record.clone(), new_fields));
+                // Member record loses the promoted field and the migrated
+                // virtual fields.
+                let r = s.record_mut(record).unwrap();
+                r.fields.retain(|f| {
+                    f.name != *field
+                        && f.virtual_via
+                            .as_ref()
+                            .is_none_or(|v| v.set != *via_set)
+                });
+                // Replace the set.
+                s.sets.retain(|st| st.name != *via_set);
+                s.sets.push(SetDef {
+                    name: upper_set.clone(),
+                    owner: SetOwner::Record(owner_name),
+                    member: new_record.clone(),
+                    keys: vec![field.clone()],
+                    insertion: via.insertion,
+                    retention: via.retention,
+                });
+                s.sets.push(SetDef {
+                    name: lower_set.clone(),
+                    owner: SetOwner::Record(new_record.clone()),
+                    member: record.clone(),
+                    keys: via.keys.clone(),
+                    insertion: via.insertion,
+                    retention: via.retention,
+                });
+                // Constraints attached to the split set re-attach to the
+                // lower set (the member side keeps its semantics).
+                for c in &mut s.constraints {
+                    rename_constraint_set(c, via_set, lower_set);
+                }
+            }
+            Transform::DemoteOwnerToField {
+                mid_record,
+                field,
+                upper_set,
+                lower_set,
+                record,
+                merged_set,
+            } => {
+                let upper = s
+                    .set(upper_set)
+                    .ok_or_else(|| ModelError::unknown("set", upper_set))?
+                    .clone();
+                let lower = s
+                    .set(lower_set)
+                    .ok_or_else(|| ModelError::unknown("set", lower_set))?
+                    .clone();
+                if upper.member != *mid_record
+                    || lower.owner.record_name() != Some(mid_record.as_str())
+                    || lower.member != *record
+                {
+                    return Err(ModelError::invalid(format!(
+                        "sets {upper_set}/{lower_set} do not sandwich {mid_record}"
+                    )));
+                }
+                let mid = s
+                    .record(mid_record)
+                    .ok_or_else(|| ModelError::unknown("record", mid_record))?
+                    .clone();
+                let fdef = mid
+                    .field(field)
+                    .ok_or_else(|| {
+                        ModelError::unknown("field", format!("{mid_record}.{field}"))
+                    })?
+                    .clone();
+                // Other record types must not reference the mid record.
+                for st in &s.sets {
+                    if st.name != *upper_set
+                        && st.name != *lower_set
+                        && (st.member == *mid_record
+                            || st.owner.record_name() == Some(mid_record.as_str()))
+                    {
+                        return Err(ModelError::invalid(format!(
+                            "record {mid_record} participates in set {}; cannot demote",
+                            st.name
+                        )));
+                    }
+                }
+                // The member record regains the stored field, plus virtual
+                // fields the mid record carried (re-routed via the merged
+                // set).
+                let r = s.record_mut(record).unwrap();
+                r.fields
+                    .push(FieldDef::new(field.clone(), fdef.ty.clone()));
+                let migrated: Vec<FieldDef> = mid
+                    .fields
+                    .iter()
+                    .filter_map(|f| {
+                        f.virtual_via.as_ref().map(|v| {
+                            FieldDef::virtual_field(
+                                f.name.clone(),
+                                f.ty.clone(),
+                                merged_set.clone(),
+                                v.source_field.clone(),
+                            )
+                        })
+                    })
+                    .collect();
+                s.record_mut(record).unwrap().fields.extend(migrated);
+                // Remove the mid record and both sets; add the merged set.
+                s.records.retain(|r| r.name != *mid_record);
+                s.sets
+                    .retain(|st| st.name != *upper_set && st.name != *lower_set);
+                s.sets.push(SetDef {
+                    name: merged_set.clone(),
+                    owner: upper.owner.clone(),
+                    member: record.clone(),
+                    keys: lower.keys.clone(),
+                    insertion: lower.insertion,
+                    retention: lower.retention,
+                });
+                for c in &mut s.constraints {
+                    rename_constraint_set(c, lower_set, merged_set);
+                }
+            }
+            Transform::ChangeSetKeys { set, keys } => {
+                let member = {
+                    let sd = s
+                        .set(set)
+                        .ok_or_else(|| ModelError::unknown("set", set))?;
+                    sd.member.clone()
+                };
+                let rec = s.record(&member).unwrap();
+                for k in keys {
+                    if rec.field(k).is_none() {
+                        return Err(ModelError::unknown(
+                            "field",
+                            format!("{member}.{k}"),
+                        ));
+                    }
+                }
+                s.set_mut(set).unwrap().keys = keys.clone();
+            }
+            Transform::ChangeInsertion { set, insertion } => {
+                s.set_mut(set)
+                    .ok_or_else(|| ModelError::unknown("set", set))?
+                    .insertion = *insertion;
+            }
+            Transform::ChangeRetention { set, retention } => {
+                s.set_mut(set)
+                    .ok_or_else(|| ModelError::unknown("set", set))?
+                    .retention = *retention;
+            }
+            Transform::AddConstraint(c) => {
+                c.validate_against(&s)?;
+                if s.constraints.contains(c) {
+                    return Err(ModelError::invalid(format!(
+                        "constraint already declared: {c}"
+                    )));
+                }
+                s.constraints.push(c.clone());
+            }
+            Transform::DropConstraint(c) => {
+                let before = s.constraints.len();
+                s.constraints.retain(|x| x != c);
+                if s.constraints.len() == before {
+                    return Err(ModelError::invalid(format!(
+                        "constraint not declared: {c}"
+                    )));
+                }
+            }
+            Transform::DeleteWhere { record, field, .. } => {
+                let r = s
+                    .record(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
+                if r.field(field).is_none() {
+                    return Err(ModelError::unknown("field", format!("{record}.{field}")));
+                }
+                // Schema is unchanged.
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// The inverse operator, when one exists (Housel's condition). `None`
+    /// for information-losing transforms.
+    pub fn inverse(&self) -> Option<Transform> {
+        match self {
+            Transform::RenameRecord { old, new } => Some(Transform::RenameRecord {
+                old: new.clone(),
+                new: old.clone(),
+            }),
+            Transform::RenameSet { old, new } => Some(Transform::RenameSet {
+                old: new.clone(),
+                new: old.clone(),
+            }),
+            Transform::RenameField { record, old, new } => Some(Transform::RenameField {
+                record: record.clone(),
+                old: new.clone(),
+                new: old.clone(),
+            }),
+            // Dropping the added field recovers the source schema exactly;
+            // the default values the forward direction invented are not
+            // source information.
+            Transform::AddField { record, field, .. } => Some(Transform::DropField {
+                record: record.clone(),
+                field: field.clone(),
+            }),
+            Transform::DropField { .. } => None,
+            Transform::PromoteFieldToOwner {
+                record,
+                field,
+                via_set,
+                new_record,
+                upper_set,
+                lower_set,
+            } => Some(Transform::DemoteOwnerToField {
+                mid_record: new_record.clone(),
+                field: field.clone(),
+                upper_set: upper_set.clone(),
+                lower_set: lower_set.clone(),
+                record: record.clone(),
+                merged_set: via_set.clone(),
+            }),
+            Transform::DemoteOwnerToField {
+                mid_record,
+                field,
+                upper_set,
+                lower_set,
+                record,
+                merged_set,
+            } => Some(Transform::PromoteFieldToOwner {
+                record: record.clone(),
+                field: field.clone(),
+                via_set: merged_set.clone(),
+                new_record: mid_record.clone(),
+                upper_set: upper_set.clone(),
+                lower_set: lower_set.clone(),
+            }),
+            // Key changes are invertible at schema level but the original
+            // keys must be remembered by the caller; Restructuring handles
+            // that by recording the prior keys.
+            Transform::ChangeSetKeys { .. } => None,
+            Transform::ChangeInsertion { set, insertion } => Some(Transform::ChangeInsertion {
+                set: set.clone(),
+                insertion: match insertion {
+                    Insertion::Automatic => Insertion::Manual,
+                    Insertion::Manual => Insertion::Automatic,
+                },
+            }),
+            Transform::ChangeRetention { set, retention } => Some(Transform::ChangeRetention {
+                set: set.clone(),
+                retention: match retention {
+                    Retention::Mandatory => Retention::Optional,
+                    Retention::Optional => Retention::Mandatory,
+                },
+            }),
+            Transform::AddConstraint(c) => Some(Transform::DropConstraint(c.clone())),
+            Transform::DropConstraint(c) => Some(Transform::AddConstraint(c.clone())),
+            Transform::DeleteWhere { .. } => None,
+        }
+    }
+
+    /// Does the transform preserve all source information (§1.1)?
+    pub fn preserves_information(&self) -> bool {
+        !matches!(
+            self,
+            Transform::DropField { .. } | Transform::DeleteWhere { .. }
+        )
+    }
+
+    /// Can the transform silently change the observable order of
+    /// retrievals (§3.2 order dependence)?
+    pub fn affects_ordering(&self) -> bool {
+        matches!(
+            self,
+            Transform::ChangeSetKeys { .. }
+                | Transform::PromoteFieldToOwner { .. }
+                | Transform::DemoteOwnerToField { .. }
+        )
+    }
+
+    /// Does the transform change integrity semantics (§3.1)?
+    pub fn affects_integrity(&self) -> bool {
+        matches!(
+            self,
+            Transform::ChangeInsertion { .. }
+                | Transform::ChangeRetention { .. }
+                | Transform::AddConstraint(_)
+                | Transform::DropConstraint(_)
+        )
+    }
+}
+
+fn rename_constraint_set(c: &mut Constraint, old: &str, new: &str) {
+    match c {
+        Constraint::Existence { set }
+        | Constraint::Characterizing { set }
+        | Constraint::Cardinality { set, .. }
+            if set == old =>
+        {
+            *set = new.to_string();
+        }
+        _ => {}
+    }
+}
+
+fn rename_constraint_record(c: &mut Constraint, old: &str, new: &str) {
+    match c {
+        Constraint::NotNull { record, .. }
+        | Constraint::Unique { record, .. }
+        | Constraint::Domain { record, .. }
+            if record == old =>
+        {
+            *record = new.to_string();
+        }
+        _ => {}
+    }
+}
+
+fn rename_constraint_field(c: &mut Constraint, rec: &str, old: &str, new: &str) {
+    match c {
+        Constraint::NotNull { record, field } | Constraint::Domain { record, field, .. }
+            if record == rec && field == old =>
+        {
+            *field = new.to_string();
+        }
+        Constraint::Unique { record, fields } if record == rec => {
+            for f in fields {
+                if f == old {
+                    *f = new.to_string();
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::RenameRecord { old, new } => write!(f, "RENAME RECORD {old} TO {new}"),
+            Transform::RenameSet { old, new } => write!(f, "RENAME SET {old} TO {new}"),
+            Transform::RenameField { record, old, new } => {
+                write!(f, "RENAME FIELD {record}.{old} TO {new}")
+            }
+            Transform::AddField {
+                record,
+                field,
+                ty,
+                default,
+            } => write!(f, "ADD FIELD {record}.{field} {ty} DEFAULT {default}"),
+            Transform::DropField { record, field } => {
+                write!(f, "DROP FIELD {record}.{field}")
+            }
+            Transform::PromoteFieldToOwner {
+                record,
+                field,
+                via_set,
+                new_record,
+                upper_set,
+                lower_set,
+            } => write!(
+                f,
+                "PROMOTE {record}.{field} VIA {via_set} INTO {new_record} \
+                 SPLITTING INTO {upper_set}, {lower_set}"
+            ),
+            Transform::DemoteOwnerToField {
+                mid_record,
+                field,
+                record,
+                merged_set,
+                ..
+            } => write!(
+                f,
+                "DEMOTE {mid_record}.{field} INTO {record} MERGING AS {merged_set}"
+            ),
+            Transform::ChangeSetKeys { set, keys } => {
+                write!(f, "CHANGE KEYS OF {set} TO ({})", keys.join(", "))
+            }
+            Transform::ChangeInsertion { set, insertion } => {
+                let m = match insertion {
+                    Insertion::Automatic => "AUTOMATIC",
+                    Insertion::Manual => "MANUAL",
+                };
+                write!(f, "CHANGE INSERTION OF {set} TO {m}")
+            }
+            Transform::ChangeRetention { set, retention } => {
+                let m = match retention {
+                    Retention::Mandatory => "MANDATORY",
+                    Retention::Optional => "OPTIONAL",
+                };
+                write!(f, "CHANGE RETENTION OF {set} TO {m}")
+            }
+            Transform::AddConstraint(c) => write!(f, "ADD CONSTRAINT {c}"),
+            Transform::DropConstraint(c) => write!(f, "DROP CONSTRAINT {c}"),
+            Transform::DeleteWhere {
+                record,
+                field,
+                op,
+                value,
+            } => write!(f, "DELETE {record} WHERE {field} {} {value}", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 4.2/4.3 company schema.
+    pub fn company() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                    FieldDef::virtual_field("DIV-NAME", FieldType::Char(20), "DIV-EMP", "DIV-NAME"),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    /// The paper's restructuring: Figure 4.2 → Figure 4.4.
+    pub fn fig_4_4_transform() -> Transform {
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        }
+    }
+
+    #[test]
+    fn promote_produces_fig_4_4_schema() {
+        let target = fig_4_4_transform().apply_schema(&company()).unwrap();
+        // DEPT record with the promoted field and the migrated virtual.
+        let dept = target.record("DEPT").unwrap();
+        assert_eq!(dept.fields[0].name, "DEPT-NAME");
+        assert!(dept.field("DIV-NAME").unwrap().is_virtual());
+        // EMP lost DEPT-NAME and the old virtual DIV-NAME.
+        let emp = target.record("EMP").unwrap();
+        assert!(emp.field("DEPT-NAME").is_none());
+        assert!(emp.field("DIV-NAME").is_none());
+        // Set structure: DIV-DEPT and DEPT-EMP replace DIV-EMP.
+        assert!(target.set("DIV-EMP").is_none());
+        let upper = target.set("DIV-DEPT").unwrap();
+        assert_eq!(upper.owner, SetOwner::Record("DIV".into()));
+        assert_eq!(upper.member, "DEPT");
+        assert_eq!(upper.keys, vec!["DEPT-NAME".to_string()]);
+        let lower = target.set("DEPT-EMP").unwrap();
+        assert_eq!(lower.owner, SetOwner::Record("DEPT".into()));
+        assert_eq!(lower.member, "EMP");
+        assert_eq!(lower.keys, vec!["EMP-NAME".to_string()]);
+    }
+
+    #[test]
+    fn promote_then_demote_round_trips_schema() {
+        let t = fig_4_4_transform();
+        let mid = t.apply_schema(&company()).unwrap();
+        let back = t.inverse().unwrap().apply_schema(&mid).unwrap();
+        // Same structure up to field ordering within EMP.
+        let src = company();
+        assert_eq!(back.sets.len(), src.sets.len());
+        for s in &src.sets {
+            assert_eq!(back.set(&s.name), Some(s));
+        }
+        let src_emp = src.record("EMP").unwrap();
+        let back_emp = back.record("EMP").unwrap();
+        let mut a: Vec<&str> = src_emp.field_names();
+        let mut b: Vec<&str> = back_emp.field_names();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renames_cascade_through_references() {
+        let s = company();
+        let s2 = Transform::RenameRecord {
+            old: "DIV".into(),
+            new: "DIVISION".into(),
+        }
+        .apply_schema(&s)
+        .unwrap();
+        assert_eq!(
+            s2.set("DIV-EMP").unwrap().owner,
+            SetOwner::Record("DIVISION".into())
+        );
+
+        let s3 = Transform::RenameField {
+            record: "DIV".into(),
+            old: "DIV-NAME".into(),
+            new: "DNAME".into(),
+        }
+        .apply_schema(&s)
+        .unwrap();
+        // System-set key follows.
+        assert_eq!(s3.set("ALL-DIV").unwrap().keys, vec!["DNAME".to_string()]);
+        // Virtual source follows.
+        let emp = s3.record("EMP").unwrap();
+        assert_eq!(
+            emp.field("DIV-NAME").unwrap().virtual_via.as_ref().unwrap().source_field,
+            "DNAME"
+        );
+    }
+
+    #[test]
+    fn rename_set_updates_virtuals_and_constraints() {
+        let s = company().with_constraint(Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(100),
+        });
+        let s2 = Transform::RenameSet {
+            old: "DIV-EMP".into(),
+            new: "STAFF".into(),
+        }
+        .apply_schema(&s)
+        .unwrap();
+        let emp = s2.record("EMP").unwrap();
+        assert_eq!(
+            emp.field("DIV-NAME").unwrap().virtual_via.as_ref().unwrap().set,
+            "STAFF"
+        );
+        assert!(matches!(
+            &s2.constraints[0],
+            Constraint::Cardinality { set, .. } if set == "STAFF"
+        ));
+    }
+
+    #[test]
+    fn drop_field_guards_keys_and_virtual_sources() {
+        let s = company();
+        // EMP-NAME is a key of DIV-EMP.
+        assert!(Transform::DropField {
+            record: "EMP".into(),
+            field: "EMP-NAME".into(),
+        }
+        .apply_schema(&s)
+        .is_err());
+        // DIV.DIV-NAME feeds EMP's virtual field (and is a key).
+        assert!(Transform::DropField {
+            record: "DIV".into(),
+            field: "DIV-NAME".into(),
+        }
+        .apply_schema(&s)
+        .is_err());
+        // AGE is free to go.
+        let s2 = Transform::DropField {
+            record: "EMP".into(),
+            field: "AGE".into(),
+        }
+        .apply_schema(&s)
+        .unwrap();
+        assert!(s2.record("EMP").unwrap().field("AGE").is_none());
+    }
+
+    #[test]
+    fn add_field_checks_default_type() {
+        assert!(Transform::AddField {
+            record: "EMP".into(),
+            field: "SALARY".into(),
+            ty: FieldType::Int(6),
+            default: Value::str("lots"),
+        }
+        .apply_schema(&company())
+        .is_err());
+        let s2 = Transform::AddField {
+            record: "EMP".into(),
+            field: "SALARY".into(),
+            ty: FieldType::Int(6),
+            default: Value::Int(0),
+        }
+        .apply_schema(&company())
+        .unwrap();
+        assert!(s2.record("EMP").unwrap().field("SALARY").is_some());
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(fig_4_4_transform().affects_ordering());
+        assert!(fig_4_4_transform().preserves_information());
+        assert!(!Transform::DropField {
+            record: "EMP".into(),
+            field: "AGE".into()
+        }
+        .preserves_information());
+        assert!(Transform::ChangeRetention {
+            set: "DIV-EMP".into(),
+            retention: Retention::Mandatory
+        }
+        .affects_integrity());
+    }
+
+    #[test]
+    fn inverses_are_inverses() {
+        let t = Transform::RenameRecord {
+            old: "DIV".into(),
+            new: "D2".into(),
+        };
+        let fwd = t.apply_schema(&company()).unwrap();
+        let back = t.inverse().unwrap().apply_schema(&fwd).unwrap();
+        assert_eq!(back, company());
+        assert!(Transform::DropField {
+            record: "EMP".into(),
+            field: "AGE".into()
+        }
+        .inverse()
+        .is_none());
+    }
+
+    #[test]
+    fn constraint_add_drop() {
+        let c = Constraint::Existence {
+            set: "DIV-EMP".into(),
+        };
+        let s2 = Transform::AddConstraint(c.clone())
+            .apply_schema(&company())
+            .unwrap();
+        assert_eq!(s2.constraints.len(), 1);
+        // Double add rejected.
+        assert!(Transform::AddConstraint(c.clone()).apply_schema(&s2).is_err());
+        let s3 = Transform::DropConstraint(c.clone()).apply_schema(&s2).unwrap();
+        assert!(s3.constraints.is_empty());
+        assert!(Transform::DropConstraint(c).apply_schema(&s3).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(fig_4_4_transform().to_string().contains("PROMOTE EMP.DEPT-NAME"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Database errors and the 1979-flavoured status-code register.
+//!
+//! The paper's §3.2 singles out **status-code dependence** as a conversion
+//! hazard: "it is easy to write programs which depend on certain status
+//! codes being returned by the database system but certain restructurings …
+//! will cause a different status code to be returned." To make that hazard
+//! reproducible, every engine operation reports a [`StatusCode`] that DBTG
+//! programs can branch on (`IF STATUS NOTFOUND GO TO …`).
+
+use std::fmt;
+
+/// The status register value after a DML operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// Operation completed.
+    Ok,
+    /// Direct lookup found no occurrence (`FIND ANY` miss).
+    NotFound,
+    /// Sequential scan ran off the end of a set occurrence.
+    EndOfSet,
+    /// An integrity constraint rejected the operation.
+    IntegrityViolation,
+    /// A duplicate set-key or primary-key value was presented.
+    Duplicate,
+    /// Currency needed by the operation was not established.
+    NoCurrency,
+}
+
+impl StatusCode {
+    /// The mnemonic used in DBTG program text (`IF STATUS <mnemonic>`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::NotFound => "NOTFOUND",
+            StatusCode::EndOfSet => "ENDSET",
+            StatusCode::IntegrityViolation => "INTEGRITY",
+            StatusCode::Duplicate => "DUPLICATE",
+            StatusCode::NoCurrency => "NOCURRENCY",
+        }
+    }
+
+    /// Parse a mnemonic as written in DBTG program text.
+    pub fn from_mnemonic(s: &str) -> Option<StatusCode> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "OK" => StatusCode::Ok,
+            "NOTFOUND" => StatusCode::NotFound,
+            "ENDSET" => StatusCode::EndOfSet,
+            "INTEGRITY" => StatusCode::IntegrityViolation,
+            "DUPLICATE" => StatusCode::Duplicate,
+            "NOCURRENCY" => StatusCode::NoCurrency,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An error from a storage-engine operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Record / row / segment not found.
+    NotFound(String),
+    /// Unknown record type / table / segment / set / field name.
+    UnknownName { kind: &'static str, name: String },
+    /// Value does not conform to the declared field type.
+    TypeMismatch { field: String, detail: String },
+    /// A declarative constraint rejected the operation.
+    Constraint { rule: String },
+    /// Duplicate key within a set occurrence or table.
+    Duplicate { scope: String, key: String },
+    /// Set-membership rule violated (AUTOMATIC unconnected, MANDATORY
+    /// disconnect, connecting an already-connected member, …).
+    Membership(String),
+    /// Attempted write to a virtual field.
+    VirtualWrite { field: String },
+}
+
+impl DbError {
+    /// The status code a 1979 DBMS would raise for this error.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            DbError::NotFound(_) => StatusCode::NotFound,
+            DbError::UnknownName { .. } => StatusCode::NotFound,
+            DbError::TypeMismatch { .. } => StatusCode::IntegrityViolation,
+            DbError::Constraint { .. } => StatusCode::IntegrityViolation,
+            DbError::Duplicate { .. } => StatusCode::Duplicate,
+            DbError::Membership(_) => StatusCode::IntegrityViolation,
+            DbError::VirtualWrite { .. } => StatusCode::IntegrityViolation,
+        }
+    }
+
+    pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
+        DbError::UnknownName {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    pub fn constraint(rule: impl Into<String>) -> Self {
+        DbError::Constraint { rule: rule.into() }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NotFound(what) => write!(f, "not found: {what}"),
+            DbError::UnknownName { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            DbError::TypeMismatch { field, detail } => {
+                write!(f, "type mismatch on '{field}': {detail}")
+            }
+            DbError::Constraint { rule } => write!(f, "integrity violation: {rule}"),
+            DbError::Duplicate { scope, key } => {
+                write!(f, "duplicate key {key} in {scope}")
+            }
+            DbError::Membership(m) => write!(f, "set membership violation: {m}"),
+            DbError::VirtualWrite { field } => {
+                write!(f, "cannot write virtual field '{field}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for s in [
+            StatusCode::Ok,
+            StatusCode::NotFound,
+            StatusCode::EndOfSet,
+            StatusCode::IntegrityViolation,
+            StatusCode::Duplicate,
+            StatusCode::NoCurrency,
+        ] {
+            assert_eq!(StatusCode::from_mnemonic(s.mnemonic()), Some(s));
+        }
+        assert_eq!(StatusCode::from_mnemonic("BOGUS"), None);
+    }
+
+    #[test]
+    fn errors_map_to_period_status_codes() {
+        assert_eq!(
+            DbError::NotFound("EMP".into()).status(),
+            StatusCode::NotFound
+        );
+        assert_eq!(
+            DbError::constraint("x").status(),
+            StatusCode::IntegrityViolation
+        );
+        assert_eq!(
+            DbError::Duplicate {
+                scope: "s".into(),
+                key: "k".into()
+            }
+            .status(),
+            StatusCode::Duplicate
+        );
+    }
+}

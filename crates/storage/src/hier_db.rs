@@ -1,0 +1,480 @@
+//! The hierarchical (IMS-like) storage engine.
+//!
+//! Segment instances form forests mirroring the schema's segment-type trees.
+//! The **hierarchic order** — root occurrence, then for each child *type* in
+//! declaration order, each child *occurrence* (in sequence-field order) with
+//! its whole subtree — defines the database traversal sequence that DL/I
+//! `GN` (get next) walks. The Mehl & Wang experiment (paper ref 11) is
+//! precisely about what happens to programs when a restructuring permutes
+//! this order.
+
+use crate::error::{DbError, DbResult};
+use dbpc_datamodel::hierarchical::{HierSchema, SegmentDef};
+use dbpc_datamodel::value::Value;
+use std::collections::BTreeMap;
+
+/// A stored segment occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentInstance {
+    pub id: u64,
+    pub seg_type: String,
+    pub values: Vec<Value>,
+    pub parent: Option<u64>,
+    /// Children in hierarchic order (grouped by child type rank, then
+    /// sequence-field value, then insertion order).
+    pub children: Vec<u64>,
+}
+
+/// A hierarchical database instance.
+#[derive(Debug, Clone)]
+pub struct HierDb {
+    schema: HierSchema,
+    segs: BTreeMap<u64, SegmentInstance>,
+    /// Root occurrences in (root type rank, sequence, insertion) order.
+    roots: Vec<u64>,
+    next_id: u64,
+}
+
+impl HierDb {
+    pub fn new(schema: HierSchema) -> DbResult<HierDb> {
+        schema
+            .validate()
+            .map_err(|e| DbError::constraint(e.to_string()))?;
+        Ok(HierDb {
+            schema,
+            segs: BTreeMap::new(),
+            roots: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    pub fn schema(&self) -> &HierSchema {
+        &self.schema
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn get(&self, id: u64) -> DbResult<&SegmentInstance> {
+        self.segs
+            .get(&id)
+            .ok_or_else(|| DbError::NotFound(format!("segment #{id}")))
+    }
+
+    fn seg_def(&self, name: &str) -> DbResult<&SegmentDef> {
+        self.schema
+            .segment(name)
+            .ok_or_else(|| DbError::unknown("segment", name))
+    }
+
+    /// Insert a segment occurrence (`ISRT`).
+    ///
+    /// A root-type segment takes `parent = None`; a dependent segment's
+    /// parent occurrence must be of its schema parent type.
+    pub fn insert(
+        &mut self,
+        seg_type: &str,
+        values: &[(&str, Value)],
+        parent: Option<u64>,
+    ) -> DbResult<u64> {
+        let def = self.seg_def(seg_type)?.clone();
+        let mut row = vec![Value::Null; def.fields.len()];
+        for (name, v) in values {
+            let idx = def
+                .field_index(name)
+                .ok_or_else(|| DbError::unknown("field", format!("{seg_type}.{name}")))?;
+            if !def.fields[idx].ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{seg_type}.{name}"),
+                    detail: format!("{} does not fit {}", v.type_name(), def.fields[idx].ty),
+                });
+            }
+            row[idx] = v.clone();
+        }
+        let schema_parent = self.schema.parent_of(seg_type).map(str::to_string);
+        match (&schema_parent, parent) {
+            (None, Some(_)) => {
+                return Err(DbError::Membership(format!(
+                    "segment type {seg_type} is a root; no parent allowed"
+                )))
+            }
+            (Some(p), None) => {
+                return Err(DbError::Membership(format!(
+                    "segment type {seg_type} requires a parent of type {p}"
+                )))
+            }
+            (Some(p), Some(pid)) => {
+                let prec = self.get(pid)?;
+                if &prec.seg_type != p {
+                    return Err(DbError::Membership(format!(
+                        "segment type {seg_type} requires parent type {p}, got {}",
+                        prec.seg_type
+                    )));
+                }
+            }
+            (None, None) => {}
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let inst = SegmentInstance {
+            id,
+            seg_type: seg_type.to_string(),
+            values: row.clone(),
+            parent,
+            children: Vec::new(),
+        };
+        self.segs.insert(id, inst);
+        match parent {
+            Some(pid) => {
+                let pos = self.child_position(pid, seg_type, &def, &row)?;
+                self.segs.get_mut(&pid).unwrap().children.insert(pos, id);
+            }
+            None => {
+                let pos = self.root_position(seg_type, &def, &row);
+                self.roots.insert(pos, id);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Where does a new child of `seg_type` with `row` go among `pid`'s
+    /// children? Group by child-type rank, then sequence field, then
+    /// insertion order.
+    fn child_position(
+        &self,
+        pid: u64,
+        seg_type: &str,
+        def: &SegmentDef,
+        row: &[Value],
+    ) -> DbResult<usize> {
+        let parent = self.get(pid)?;
+        let pdef = self.seg_def(&parent.seg_type)?;
+        let rank = pdef
+            .children
+            .iter()
+            .position(|c| c.name == seg_type)
+            .expect("validated parentage");
+        let seq_val = def
+            .seq_field
+            .as_ref()
+            .map(|f| row[def.field_index(f).unwrap()].clone());
+        let children = &parent.children;
+        let mut pos = children.len();
+        for (i, cid) in children.iter().enumerate() {
+            let c = &self.segs[cid];
+            let crank = pdef
+                .children
+                .iter()
+                .position(|d| d.name == c.seg_type)
+                .unwrap();
+            if crank < rank {
+                continue;
+            }
+            if crank > rank {
+                pos = i;
+                break;
+            }
+            // Same type: order by sequence field (stable: insertions of
+            // equal keys stay in arrival order).
+            if let Some(sv) = &seq_val {
+                let cdef = self.seg_def(&c.seg_type).unwrap();
+                let cseq =
+                    c.values[cdef.field_index(cdef.seq_field.as_ref().unwrap()).unwrap()].clone();
+                if sv.total_cmp(&cseq) == std::cmp::Ordering::Less {
+                    pos = i;
+                    break;
+                }
+            }
+        }
+        Ok(pos)
+    }
+
+    fn root_position(&self, seg_type: &str, def: &SegmentDef, row: &[Value]) -> usize {
+        let rank = self
+            .schema
+            .roots
+            .iter()
+            .position(|r| r.name == seg_type)
+            .expect("validated root type");
+        let seq_val = def
+            .seq_field
+            .as_ref()
+            .map(|f| row[def.field_index(f).unwrap()].clone());
+        let mut pos = self.roots.len();
+        for (i, rid) in self.roots.iter().enumerate() {
+            let r = &self.segs[rid];
+            let rrank = self
+                .schema
+                .roots
+                .iter()
+                .position(|d| d.name == r.seg_type)
+                .unwrap();
+            if rrank < rank {
+                continue;
+            }
+            if rrank > rank {
+                pos = i;
+                break;
+            }
+            if let Some(sv) = &seq_val {
+                let rdef = self.seg_def(&r.seg_type).unwrap();
+                let rseq =
+                    r.values[rdef.field_index(rdef.seq_field.as_ref().unwrap()).unwrap()].clone();
+                if sv.total_cmp(&rseq) == std::cmp::Ordering::Less {
+                    pos = i;
+                    break;
+                }
+            }
+        }
+        pos
+    }
+
+    /// The full database in hierarchic (preorder) sequence — the order `GN`
+    /// traverses.
+    pub fn preorder(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.segs.len());
+        for &r in &self.roots {
+            self.preorder_into(r, &mut out);
+        }
+        out
+    }
+
+    fn preorder_into(&self, id: u64, out: &mut Vec<u64>) {
+        out.push(id);
+        for &c in &self.segs[&id].children {
+            self.preorder_into(c, out);
+        }
+    }
+
+    /// Children of `id` having segment type `seg_type`, in hierarchic order.
+    pub fn children_of(&self, id: u64, seg_type: &str) -> DbResult<Vec<u64>> {
+        let inst = self.get(id)?;
+        Ok(inst
+            .children
+            .iter()
+            .copied()
+            .filter(|c| self.segs[c].seg_type == seg_type)
+            .collect())
+    }
+
+    /// Read one field of a segment occurrence.
+    pub fn field_value(&self, id: u64, field: &str) -> DbResult<Value> {
+        let inst = self.get(id)?;
+        let def = self.seg_def(&inst.seg_type)?;
+        let idx = def
+            .field_index(field)
+            .ok_or_else(|| DbError::unknown("field", format!("{}.{field}", inst.seg_type)))?;
+        Ok(inst.values[idx].clone())
+    }
+
+    /// Replace fields of a segment occurrence (`REPL`). Changing the
+    /// sequence field repositions the occurrence among its siblings.
+    pub fn replace(&mut self, id: u64, assigns: &[(&str, Value)]) -> DbResult<()> {
+        let inst = self.get(id)?.clone();
+        let def = self.seg_def(&inst.seg_type)?.clone();
+        let mut row = inst.values.clone();
+        for (name, v) in assigns {
+            let idx = def
+                .field_index(name)
+                .ok_or_else(|| DbError::unknown("field", format!("{}.{name}", inst.seg_type)))?;
+            if !def.fields[idx].ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{}.{name}", inst.seg_type),
+                    detail: format!("{} does not fit {}", v.type_name(), def.fields[idx].ty),
+                });
+            }
+            row[idx] = v.clone();
+        }
+        let seq_changed = def.seq_field.as_ref().is_some_and(|f| {
+            let i = def.field_index(f).unwrap();
+            !inst.values[i].loose_eq(&row[i])
+        });
+        self.segs.get_mut(&id).unwrap().values = row.clone();
+        if seq_changed {
+            match inst.parent {
+                Some(pid) => {
+                    self.segs
+                        .get_mut(&pid)
+                        .unwrap()
+                        .children
+                        .retain(|&c| c != id);
+                    let pos = self.child_position(pid, &inst.seg_type, &def, &row)?;
+                    self.segs.get_mut(&pid).unwrap().children.insert(pos, id);
+                }
+                None => {
+                    self.roots.retain(|&r| r != id);
+                    let pos = self.root_position(&inst.seg_type, &def, &row);
+                    self.roots.insert(pos, id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a segment occurrence and its whole subtree (`DLET` — IMS
+    /// deletes dependents implicitly, the §3.1 cascade hazard in
+    /// hierarchical form). Returns the number of segments deleted.
+    pub fn delete(&mut self, id: u64) -> DbResult<usize> {
+        let inst = self.get(id)?.clone();
+        match inst.parent {
+            Some(pid) => self
+                .segs
+                .get_mut(&pid)
+                .unwrap()
+                .children
+                .retain(|&c| c != id),
+            None => self.roots.retain(|&r| r != id),
+        }
+        let mut doomed = Vec::new();
+        self.preorder_into(id, &mut doomed);
+        for d in &doomed {
+            self.segs.remove(d);
+        }
+        Ok(doomed.len())
+    }
+
+    /// All occurrences of a segment type in hierarchic order.
+    pub fn occurrences_of(&self, seg_type: &str) -> Vec<u64> {
+        self.preorder()
+            .into_iter()
+            .filter(|id| self.segs[id].seg_type == seg_type)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::FieldDef;
+    use dbpc_datamodel::types::FieldType;
+
+    fn schema() -> HierSchema {
+        HierSchema::new("COMPANY").with_root(
+            SegmentDef::new("DIV", vec![FieldDef::new("DIV-NAME", FieldType::Char(20))])
+                .with_seq_field("DIV-NAME")
+                .with_child(
+                    SegmentDef::new(
+                        "EMP",
+                        vec![
+                            FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                            FieldDef::new("AGE", FieldType::Int(2)),
+                        ],
+                    )
+                    .with_seq_field("EMP-NAME"),
+                )
+                .with_child(SegmentDef::new(
+                    "PROJ",
+                    vec![FieldDef::new("PROJ-NAME", FieldType::Char(10))],
+                )),
+        )
+    }
+
+    fn sample() -> (HierDb, u64, u64) {
+        let mut db = HierDb::new(schema()).unwrap();
+        let d1 = db
+            .insert("DIV", &[("DIV-NAME", Value::str("MACHINERY"))], None)
+            .unwrap();
+        let d2 = db
+            .insert("DIV", &[("DIV-NAME", Value::str("AEROSPACE"))], None)
+            .unwrap();
+        (db, d1, d2)
+    }
+
+    #[test]
+    fn roots_ordered_by_sequence_field() {
+        let (db, d1, d2) = sample();
+        assert_eq!(db.preorder(), vec![d2, d1]); // AEROSPACE < MACHINERY
+    }
+
+    #[test]
+    fn hierarchic_order_groups_child_types() {
+        let (mut db, d1, _) = sample();
+        let p = db
+            .insert("PROJ", &[("PROJ-NAME", Value::str("P1"))], Some(d1))
+            .unwrap();
+        let e2 = db
+            .insert("EMP", &[("EMP-NAME", Value::str("ZOLA"))], Some(d1))
+            .unwrap();
+        let e1 = db
+            .insert("EMP", &[("EMP-NAME", Value::str("ADAMS"))], Some(d1))
+            .unwrap();
+        // Under MACHINERY: all EMPs (by name) precede all PROJs.
+        let kids = db.get(d1).unwrap().children.clone();
+        assert_eq!(kids, vec![e1, e2, p]);
+    }
+
+    #[test]
+    fn parentage_is_type_checked() {
+        let (mut db, d1, _) = sample();
+        let e = db
+            .insert("EMP", &[("EMP-NAME", Value::str("X"))], Some(d1))
+            .unwrap();
+        // PROJ under an EMP is illegal (EMP has no PROJ child).
+        assert!(db
+            .insert("PROJ", &[("PROJ-NAME", Value::str("P"))], Some(e))
+            .is_err());
+        // EMP with no parent is illegal.
+        assert!(db
+            .insert("EMP", &[("EMP-NAME", Value::str("Y"))], None)
+            .is_err());
+        // DIV with a parent is illegal.
+        assert!(db
+            .insert("DIV", &[("DIV-NAME", Value::str("Z"))], Some(d1))
+            .is_err());
+    }
+
+    #[test]
+    fn delete_cascades_subtree() {
+        let (mut db, d1, d2) = sample();
+        db.insert("EMP", &[("EMP-NAME", Value::str("A"))], Some(d1))
+            .unwrap();
+        db.insert("EMP", &[("EMP-NAME", Value::str("B"))], Some(d1))
+            .unwrap();
+        let n = db.delete(d1).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.preorder(), vec![d2]);
+    }
+
+    #[test]
+    fn replace_repositions_on_seq_change() {
+        let (mut db, d1, _) = sample();
+        let a = db
+            .insert("EMP", &[("EMP-NAME", Value::str("ADAMS"))], Some(d1))
+            .unwrap();
+        let z = db
+            .insert("EMP", &[("EMP-NAME", Value::str("ZOLA"))], Some(d1))
+            .unwrap();
+        db.replace(a, &[("EMP-NAME", Value::str("ZZTOP"))]).unwrap();
+        assert_eq!(db.get(d1).unwrap().children, vec![z, a]);
+    }
+
+    #[test]
+    fn occurrences_follow_hierarchic_order() {
+        let (mut db, d1, d2) = sample();
+        let e_mach = db
+            .insert("EMP", &[("EMP-NAME", Value::str("M1"))], Some(d1))
+            .unwrap();
+        let e_aero = db
+            .insert("EMP", &[("EMP-NAME", Value::str("A1"))], Some(d2))
+            .unwrap();
+        // AEROSPACE's employees come first because AEROSPACE is first.
+        assert_eq!(db.occurrences_of("EMP"), vec![e_aero, e_mach]);
+    }
+
+    #[test]
+    fn field_access_and_type_checks() {
+        let (mut db, d1, _) = sample();
+        let e = db
+            .insert(
+                "EMP",
+                &[("EMP-NAME", Value::str("X")), ("AGE", Value::Int(40))],
+                Some(d1),
+            )
+            .unwrap();
+        assert_eq!(db.field_value(e, "AGE").unwrap(), Value::Int(40));
+        assert!(db.field_value(e, "NOPE").is_err());
+        assert!(db.insert("EMP", &[("AGE", Value::str("old"))], Some(d1)).is_err());
+    }
+}

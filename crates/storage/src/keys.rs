@@ -1,0 +1,57 @@
+//! Ordered key tuples.
+//!
+//! `Value` has no `Ord` implementation (floats), but set ordering, primary
+//! keys, and SORT all need totally ordered tuples. [`KeyTuple`] wraps a
+//! value vector with the documented total order of
+//! [`dbpc_datamodel::value::cmp_tuple`].
+
+use dbpc_datamodel::value::{cmp_tuple, Value};
+use std::cmp::Ordering;
+
+/// A totally ordered tuple of values, usable as a `BTreeMap` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyTuple(pub Vec<Value>);
+
+impl Eq for KeyTuple {}
+
+impl PartialOrd for KeyTuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyTuple {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_tuple(&self.0, &other.0)
+    }
+}
+
+impl From<Vec<Value>> for KeyTuple {
+    fn from(v: Vec<Value>) -> Self {
+        KeyTuple(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn usable_as_btree_key() {
+        let mut m: BTreeMap<KeyTuple, u32> = BTreeMap::new();
+        m.insert(vec![Value::str("B")].into(), 2);
+        m.insert(vec![Value::str("A")].into(), 1);
+        m.insert(vec![Value::Null].into(), 0);
+        let order: Vec<u32> = m.values().copied().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn float_keys_do_not_panic() {
+        let mut m: BTreeMap<KeyTuple, u32> = BTreeMap::new();
+        m.insert(vec![Value::Float(f64::NAN)].into(), 1);
+        m.insert(vec![Value::Float(0.0)].into(), 2);
+        assert_eq!(m.len(), 2);
+    }
+}

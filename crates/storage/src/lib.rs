@@ -1,0 +1,31 @@
+//! # dbpc-storage
+//!
+//! In-memory storage engines for the three data models of the paper:
+//!
+//! * [`NetworkDb`] — owner-coupled-set databases with ordered set
+//!   occurrences, key-directed insertion, `AUTOMATIC`/`MANUAL` and
+//!   `MANDATORY`/`OPTIONAL` semantics, virtual-field resolution, and
+//!   enforcement of the §3.1 declarative constraint catalogue;
+//! * [`RelationalDb`] — tables with primary-key uniqueness (the one
+//!   constraint the paper notes the relational model enforces) and
+//!   optional foreign-key checking;
+//! * [`HierDb`] — IMS-like forests of segment instances with hierarchic
+//!   (preorder) traversal order, the substrate for DL/I programs and the
+//!   Mehl & Wang reordering experiments.
+//!
+//! Design rule inherited from the paper's equivalence criterion (§1.1):
+//! **all iteration orders are defined and deterministic.** Converted and
+//! original programs are compared by their I/O traces, so the engines never
+//! let a hash-map ordering reach an observable result.
+
+pub mod error;
+pub mod hier_db;
+pub mod keys;
+pub mod network_db;
+pub mod relational_db;
+
+pub use error::{DbError, DbResult, StatusCode};
+pub use hier_db::{HierDb, SegmentInstance};
+pub use keys::KeyTuple;
+pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
+pub use relational_db::{RelationalDb, RowId};

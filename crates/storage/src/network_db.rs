@@ -1,0 +1,1007 @@
+//! The owner-coupled-set storage engine.
+//!
+//! Implements the operational semantics the paper's §3.1 and §4.2 rely on:
+//!
+//! * **ordered set occurrences** — members of each set occurrence are kept
+//!   sorted by the declared `SET KEYS`, with duplicates rejected ("Duplicates
+//!   are not allowed within a set occurrence", §4.2); keyless sets preserve
+//!   insertion (chronological) order;
+//! * **insertion classes** — storing a record that is an `AUTOMATIC` member
+//!   of a set requires a connection at STORE time; `MANUAL` membership is
+//!   established later via `CONNECT`;
+//! * **retention classes** — a `MANDATORY` member cannot be disconnected,
+//!   reproducing the existence-constraint mechanism of §3.1;
+//! * **virtual fields** — reads resolve through the owning record
+//!   (`VIRTUAL VIA set USING field`), writes are rejected;
+//! * **declarative constraints** — the §3.1 catalogue (existence,
+//!   characterizing/cascade, cardinality limits, not-null, uniqueness,
+//!   domain) is enforced on every mutation, so moving a constraint between
+//!   program logic and the schema is observable.
+
+use crate::error::{DbError, DbResult};
+use crate::keys::KeyTuple;
+use dbpc_datamodel::constraint::Constraint;
+use dbpc_datamodel::network::{Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef};
+use dbpc_datamodel::value::Value;
+use std::collections::BTreeMap;
+
+/// Identifier of a stored record. `RecordId(0)` is the SYSTEM pseudo-owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+/// Owner id used for occurrences of system-owned sets.
+pub const SYSTEM_OWNER: RecordId = RecordId(0);
+
+/// A stored record occurrence. `values` is parallel to the record type's
+/// full field list; virtual-field slots hold `Null` and are resolved on
+/// read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    pub id: RecordId,
+    pub rtype: String,
+    pub values: Vec<Value>,
+}
+
+/// Storage for one set type: per-owner ordered member lists plus the
+/// member→owner index.
+#[derive(Debug, Clone, Default)]
+struct SetStore {
+    members: BTreeMap<u64, Vec<u64>>,
+    owner_of: BTreeMap<u64, u64>,
+}
+
+/// An owner-coupled-set database instance.
+#[derive(Debug, Clone)]
+pub struct NetworkDb {
+    schema: NetworkSchema,
+    records: BTreeMap<u64, StoredRecord>,
+    sets: BTreeMap<String, SetStore>,
+    next_id: u64,
+}
+
+impl NetworkDb {
+    /// Create an empty database for a (validated) schema.
+    pub fn new(schema: NetworkSchema) -> DbResult<NetworkDb> {
+        schema
+            .validate()
+            .map_err(|e| DbError::constraint(e.to_string()))?;
+        let sets = schema
+            .sets
+            .iter()
+            .map(|s| (s.name.clone(), SetStore::default()))
+            .collect();
+        Ok(NetworkDb {
+            schema,
+            records: BTreeMap::new(),
+            sets,
+            next_id: 1,
+        })
+    }
+
+    pub fn schema(&self) -> &NetworkSchema {
+        &self.schema
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Fetch a record.
+    pub fn get(&self, id: RecordId) -> DbResult<&StoredRecord> {
+        self.records
+            .get(&id.0)
+            .ok_or_else(|| DbError::NotFound(format!("record #{}", id.0)))
+    }
+
+    /// All record ids of a type, in creation order (deterministic).
+    pub fn records_of_type(&self, rtype: &str) -> Vec<RecordId> {
+        self.records
+            .values()
+            .filter(|r| r.rtype == rtype)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Members of a set occurrence, in set-key order.
+    pub fn members_of(&self, set: &str, owner: RecordId) -> DbResult<Vec<RecordId>> {
+        let store = self
+            .sets
+            .get(set)
+            .ok_or_else(|| DbError::unknown("set", set))?;
+        Ok(store
+            .members
+            .get(&owner.0)
+            .map(|v| v.iter().map(|&i| RecordId(i)).collect())
+            .unwrap_or_default())
+    }
+
+    /// The owner of `member` in `set`, if connected.
+    pub fn owner_in(&self, set: &str, member: RecordId) -> DbResult<Option<RecordId>> {
+        let store = self
+            .sets
+            .get(set)
+            .ok_or_else(|| DbError::unknown("set", set))?;
+        Ok(store.owner_of.get(&member.0).map(|&i| RecordId(i)))
+    }
+
+    /// Read a field, resolving virtual fields through the owner. A virtual
+    /// field of a disconnected member reads as `Null` (the "null instructor"
+    /// device of §3.1).
+    pub fn field_value(&self, id: RecordId, field: &str) -> DbResult<Value> {
+        let rec = self.get(id)?;
+        let rt = self.record_type(&rec.rtype)?;
+        let idx = rt
+            .field_index(field)
+            .ok_or_else(|| DbError::unknown("field", format!("{}.{}", rec.rtype, field)))?;
+        let fdef = &rt.fields[idx];
+        match &fdef.virtual_via {
+            None => Ok(rec.values[idx].clone()),
+            Some(v) => match self.owner_in(&v.set, id)? {
+                None => Ok(Value::Null),
+                Some(owner) => self.field_value(owner, &v.source_field),
+            },
+        }
+    }
+
+    /// All field values of a record in declaration order, virtuals resolved.
+    pub fn resolved_values(&self, id: RecordId) -> DbResult<Vec<Value>> {
+        let rec = self.get(id)?;
+        let rt = self.record_type(&rec.rtype)?.clone();
+        rt.fields
+            .iter()
+            .map(|f| self.field_value(id, &f.name))
+            .collect()
+    }
+
+    // -- mutation ----------------------------------------------------------
+
+    /// Store a new record.
+    ///
+    /// `values` gives stored (non-virtual) fields; omitted fields default to
+    /// `Null`. `connects` names the owner occurrence for record-owned sets;
+    /// system-owned sets of the type are connected automatically. An
+    /// `AUTOMATIC` record-owned set *must* appear in `connects`.
+    pub fn store(
+        &mut self,
+        rtype: &str,
+        values: &[(&str, Value)],
+        connects: &[(&str, RecordId)],
+    ) -> DbResult<RecordId> {
+        let rt = self.record_type(rtype)?.clone();
+        let mut row = vec![Value::Null; rt.fields.len()];
+        for (name, v) in values {
+            let idx = rt
+                .field_index(name)
+                .ok_or_else(|| DbError::unknown("field", format!("{rtype}.{name}")))?;
+            let fdef = &rt.fields[idx];
+            if fdef.is_virtual() {
+                return Err(DbError::VirtualWrite {
+                    field: format!("{rtype}.{name}"),
+                });
+            }
+            if !fdef.ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{rtype}.{name}"),
+                    detail: format!("{} does not fit {}", v.type_name(), fdef.ty),
+                });
+            }
+            row[idx] = v.clone();
+        }
+
+        // Row-level declarative constraints.
+        self.check_row_constraints(rtype, &rt, &row, None)?;
+
+        // Validate the requested connections before anything is inserted.
+        let mut planned: Vec<(SetDef, RecordId)> = Vec::new();
+        for (set_name, owner) in connects {
+            let set = self
+                .schema
+                .set(set_name)
+                .ok_or_else(|| DbError::unknown("set", *set_name))?
+                .clone();
+            if set.member != rtype {
+                return Err(DbError::Membership(format!(
+                    "record type {rtype} is not the member of set {set_name}"
+                )));
+            }
+            let owner_rec = self.get(*owner)?;
+            if set.owner.record_name() != Some(owner_rec.rtype.as_str()) {
+                return Err(DbError::Membership(format!(
+                    "record #{} of type {} cannot own set {set_name}",
+                    owner.0, owner_rec.rtype
+                )));
+            }
+            planned.push((set, *owner));
+        }
+        // AUTOMATIC record-owned sets must be connected at store time; an
+        // Existence constraint demands connection regardless of class.
+        for set in self.schema.sets_with_member(rtype) {
+            if set.owner.record_name().is_none() {
+                continue;
+            }
+            let requested = planned.iter().any(|(s, _)| s.name == set.name);
+            let required = set.insertion == Insertion::Automatic
+                || self.has_existence_constraint(&set.name);
+            if required && !requested {
+                return Err(DbError::Membership(format!(
+                    "set {} requires connection at STORE time (AUTOMATIC/EXISTENCE)",
+                    set.name
+                )));
+            }
+        }
+
+        // Pre-check occupancy rules for each planned connection.
+        for (set, owner) in &planned {
+            self.check_connectable(set, *owner, &rt, &row)?;
+        }
+        // System sets: duplicate-key check against the single occurrence.
+        let system_sets: Vec<SetDef> = self
+            .schema
+            .system_sets_of(rtype)
+            .into_iter()
+            .cloned()
+            .collect();
+        for set in &system_sets {
+            self.check_connectable(set, SYSTEM_OWNER, &rt, &row)?;
+        }
+
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            id.0,
+            StoredRecord {
+                id,
+                rtype: rtype.to_string(),
+                values: row.clone(),
+            },
+        );
+        for set in &system_sets {
+            self.insert_member(set, SYSTEM_OWNER, id, &rt, &row);
+        }
+        for (set, owner) in &planned {
+            self.insert_member(set, *owner, id, &rt, &row);
+        }
+        Ok(id)
+    }
+
+    /// Connect an existing record into a set occurrence (`CONNECT`).
+    pub fn connect(&mut self, set_name: &str, owner: RecordId, member: RecordId) -> DbResult<()> {
+        let set = self
+            .schema
+            .set(set_name)
+            .ok_or_else(|| DbError::unknown("set", set_name))?
+            .clone();
+        let mem_rec = self.get(member)?.clone();
+        if set.member != mem_rec.rtype {
+            return Err(DbError::Membership(format!(
+                "record type {} is not the member of set {set_name}",
+                mem_rec.rtype
+            )));
+        }
+        let owner_rec = self.get(owner)?;
+        if set.owner.record_name() != Some(owner_rec.rtype.as_str()) {
+            return Err(DbError::Membership(format!(
+                "record type {} cannot own set {set_name}",
+                owner_rec.rtype
+            )));
+        }
+        if self.sets[set_name].owner_of.contains_key(&member.0) {
+            return Err(DbError::Membership(format!(
+                "record #{} already connected in set {set_name}",
+                member.0
+            )));
+        }
+        let rt = self.record_type(&mem_rec.rtype)?.clone();
+        self.check_connectable(&set, owner, &rt, &mem_rec.values)?;
+        self.insert_member(&set, owner, member, &rt, &mem_rec.values);
+        Ok(())
+    }
+
+    /// Disconnect a record from a set occurrence (`DISCONNECT`).
+    ///
+    /// Rejected for `MANDATORY` members and for sets carrying an existence
+    /// constraint; enforces a declared cardinality minimum on the owner.
+    pub fn disconnect(&mut self, set_name: &str, member: RecordId) -> DbResult<()> {
+        let set = self
+            .schema
+            .set(set_name)
+            .ok_or_else(|| DbError::unknown("set", set_name))?
+            .clone();
+        if set.retention == Retention::Mandatory {
+            return Err(DbError::Membership(format!(
+                "cannot disconnect MANDATORY member from {set_name}"
+            )));
+        }
+        if self.has_existence_constraint(set_name) {
+            return Err(DbError::constraint(format!(
+                "EXISTENCE ON {set_name} forbids disconnect"
+            )));
+        }
+        let store = self.sets.get(set_name).unwrap();
+        let owner = *store
+            .owner_of
+            .get(&member.0)
+            .ok_or_else(|| DbError::Membership(format!("record not connected in {set_name}")))?;
+        if let Some(min) = self.cardinality_min(set_name) {
+            let count = store.members.get(&owner).map(|v| v.len()).unwrap_or(0);
+            if (count as u32) <= min {
+                return Err(DbError::constraint(format!(
+                    "cardinality minimum {min} on {set_name} would be violated"
+                )));
+            }
+        }
+        let store = self.sets.get_mut(set_name).unwrap();
+        store.owner_of.remove(&member.0);
+        if let Some(v) = store.members.get_mut(&owner) {
+            v.retain(|&m| m != member.0);
+        }
+        Ok(())
+    }
+
+    /// Erase a record (`ERASE` / DBTG `DELETE`).
+    ///
+    /// Without `cascade`, erasure fails while the record owns members —
+    /// except through **characterizing** sets, whose members are deleted
+    /// implicitly (Su's defined/characterizing semantics: "Deletion of an
+    /// employee implies deletion of dependents"). With `cascade` (DBTG
+    /// `ERASE ALL`), members of every owned set are erased recursively —
+    /// which is precisely the operation §3.1 warns "may … violate the
+    /// system's integrity constraints", and our engine permits it just as
+    /// the 1979 systems did.
+    ///
+    /// Returns all erased record ids (the root first).
+    pub fn erase(&mut self, id: RecordId, cascade: bool) -> DbResult<Vec<RecordId>> {
+        self.get(id)?;
+        let mut erased = Vec::new();
+        self.erase_inner(id, cascade, &mut erased)?;
+        Ok(erased)
+    }
+
+    fn erase_inner(
+        &mut self,
+        id: RecordId,
+        cascade: bool,
+        erased: &mut Vec<RecordId>,
+    ) -> DbResult<()> {
+        let rtype = self.get(id)?.rtype.clone();
+        // Gather owned occurrences.
+        let owned_sets: Vec<SetDef> = self
+            .schema
+            .sets_owned_by(&rtype)
+            .into_iter()
+            .cloned()
+            .collect();
+        for set in &owned_sets {
+            let members: Vec<u64> = self.sets[&set.name]
+                .members
+                .get(&id.0)
+                .cloned()
+                .unwrap_or_default();
+            if members.is_empty() {
+                continue;
+            }
+            let characterizing = self.has_characterizing_constraint(&set.name);
+            if cascade || characterizing {
+                for m in members {
+                    // A member may already have been erased through another
+                    // path in a diamond-shaped cascade.
+                    if self.records.contains_key(&m) {
+                        self.erase_inner(RecordId(m), cascade, erased)?;
+                    }
+                }
+            } else {
+                return Err(DbError::Membership(format!(
+                    "record owns {} member(s) in set {}; ERASE ALL required",
+                    members.len(),
+                    set.name
+                )));
+            }
+        }
+        // Remove from all sets in which it participates as member.
+        for store in self.sets.values_mut() {
+            if let Some(owner) = store.owner_of.remove(&id.0) {
+                if let Some(v) = store.members.get_mut(&owner) {
+                    v.retain(|&m| m != id.0);
+                }
+            }
+            store.members.remove(&id.0);
+        }
+        self.records.remove(&id.0);
+        erased.push(id);
+        Ok(())
+    }
+
+    /// Modify stored fields of a record (`MODIFY`). Re-sorts the record
+    /// within any set occurrence whose keys it changes.
+    pub fn modify(&mut self, id: RecordId, assigns: &[(&str, Value)]) -> DbResult<()> {
+        let rec = self.get(id)?.clone();
+        let rt = self.record_type(&rec.rtype)?.clone();
+        let mut new_row = rec.values.clone();
+        for (name, v) in assigns {
+            let idx = rt
+                .field_index(name)
+                .ok_or_else(|| DbError::unknown("field", format!("{}.{}", rec.rtype, name)))?;
+            let fdef = &rt.fields[idx];
+            if fdef.is_virtual() {
+                return Err(DbError::VirtualWrite {
+                    field: format!("{}.{}", rec.rtype, name),
+                });
+            }
+            if !fdef.ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{}.{}", rec.rtype, name),
+                    detail: format!("{} does not fit {}", v.type_name(), fdef.ty),
+                });
+            }
+            new_row[idx] = v.clone();
+        }
+        self.check_row_constraints(&rec.rtype, &rt, &new_row, Some(id))?;
+
+        // Which sets' key tuples change?
+        let member_sets: Vec<SetDef> = self
+            .schema
+            .sets_with_member(&rec.rtype)
+            .into_iter()
+            .cloned()
+            .collect();
+        for set in &member_sets {
+            if set.keys.is_empty() {
+                continue;
+            }
+            let old_key = key_tuple(&rt, &rec.values, &set.keys);
+            let new_key = key_tuple(&rt, &new_row, &set.keys);
+            if old_key == new_key {
+                continue;
+            }
+            if let Some(&owner) = self.sets[&set.name].owner_of.get(&id.0) {
+                // Duplicate check against siblings.
+                let siblings = self.sets[&set.name].members.get(&owner).unwrap().clone();
+                for sib in &siblings {
+                    if *sib == id.0 {
+                        continue;
+                    }
+                    let sib_rec = &self.records[sib];
+                    if key_tuple(&rt, &sib_rec.values, &set.keys) == new_key {
+                        return Err(DbError::Duplicate {
+                            scope: format!("set {}", set.name),
+                            key: format!("{:?}", new_key.0),
+                        });
+                    }
+                }
+            }
+        }
+        // Commit the new values, then reposition.
+        self.records.get_mut(&id.0).unwrap().values = new_row.clone();
+        for set in &member_sets {
+            if set.keys.is_empty() {
+                continue;
+            }
+            let owner = match self.sets[&set.name].owner_of.get(&id.0) {
+                Some(&o) => o,
+                None => continue,
+            };
+            let store = self.sets.get_mut(&set.name).unwrap();
+            let v = store.members.get_mut(&owner).unwrap();
+            v.retain(|&m| m != id.0);
+            // Re-insert in key order.
+            let pos = {
+                let target = key_tuple(&rt, &new_row, &set.keys);
+                v.partition_point(|m| {
+                    let mrec = &self.records[m];
+                    let mrt = self.schema.record(&mrec.rtype).unwrap();
+                    key_tuple(mrt, &mrec.values, &set.keys) < target
+                })
+            };
+            self.sets
+                .get_mut(&set.name)
+                .unwrap()
+                .members
+                .get_mut(&owner)
+                .unwrap()
+                .insert(pos, id.0);
+        }
+        Ok(())
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn record_type(&self, rtype: &str) -> DbResult<&RecordTypeDef> {
+        self.schema
+            .record(rtype)
+            .ok_or_else(|| DbError::unknown("record", rtype))
+    }
+
+    fn has_existence_constraint(&self, set: &str) -> bool {
+        self.schema
+            .constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Existence { set: s } if s == set))
+    }
+
+    fn has_characterizing_constraint(&self, set: &str) -> bool {
+        self.schema
+            .constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Characterizing { set: s } if s == set))
+    }
+
+    fn cardinality_max(&self, set: &str) -> Option<u32> {
+        self.schema.constraints.iter().find_map(|c| match c {
+            Constraint::Cardinality {
+                set: s,
+                max: Some(m),
+                ..
+            } if s == set => Some(*m),
+            _ => None,
+        })
+    }
+
+    fn cardinality_min(&self, set: &str) -> Option<u32> {
+        self.schema.constraints.iter().find_map(|c| match c {
+            Constraint::Cardinality { set: s, min, .. } if s == set && *min > 0 => Some(*min),
+            _ => None,
+        })
+    }
+
+    /// Not-null / domain / uniqueness checks for a prospective row.
+    fn check_row_constraints(
+        &self,
+        rtype: &str,
+        rt: &RecordTypeDef,
+        row: &[Value],
+        exclude: Option<RecordId>,
+    ) -> DbResult<()> {
+        for c in &self.schema.constraints {
+            match c {
+                Constraint::NotNull { record, field } if record == rtype => {
+                    let idx = rt.field_index(field).unwrap();
+                    if row[idx].is_null() {
+                        return Err(DbError::constraint(format!("NOT NULL {record}.{field}")));
+                    }
+                }
+                Constraint::Domain {
+                    record,
+                    field,
+                    low,
+                    high,
+                } if record == rtype => {
+                    let idx = rt.field_index(field).unwrap();
+                    let v = &row[idx];
+                    if v.is_null() {
+                        continue;
+                    }
+                    if let Some(l) = low {
+                        if v.total_cmp(l) == std::cmp::Ordering::Less {
+                            return Err(DbError::constraint(format!(
+                                "DOMAIN {record}.{field}: {v} below {l}"
+                            )));
+                        }
+                    }
+                    if let Some(h) = high {
+                        if v.total_cmp(h) == std::cmp::Ordering::Greater {
+                            return Err(DbError::constraint(format!(
+                                "DOMAIN {record}.{field}: {v} above {h}"
+                            )));
+                        }
+                    }
+                }
+                Constraint::Unique { record, fields } if record == rtype => {
+                    let idxs: Vec<usize> =
+                        fields.iter().map(|f| rt.field_index(f).unwrap()).collect();
+                    let key: Vec<&Value> = idxs.iter().map(|&i| &row[i]).collect();
+                    for other in self.records.values() {
+                        if other.rtype != rtype || Some(other.id) == exclude {
+                            continue;
+                        }
+                        if idxs
+                            .iter()
+                            .zip(&key)
+                            .all(|(&i, k)| other.values[i].loose_eq(k))
+                        {
+                            return Err(DbError::Duplicate {
+                                scope: format!("record {record}"),
+                                key: fields.join(","),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Key tuple of a member already stored in the database.
+    fn member_key(&self, member: u64, keys: &[String]) -> KeyTuple {
+        let mrec = &self.records[&member];
+        let mrt = self.schema.record(&mrec.rtype).unwrap();
+        key_tuple(mrt, &mrec.values, keys)
+    }
+
+    /// Can a record with values `row` be connected under `owner` in `set`?
+    /// Checks cardinality maxima and duplicate set keys (by binary search
+    /// over the key-ordered member list).
+    fn check_connectable(
+        &self,
+        set: &SetDef,
+        owner: RecordId,
+        rt: &RecordTypeDef,
+        row: &[Value],
+    ) -> DbResult<()> {
+        static EMPTY: &[u64] = &[];
+        let existing: &[u64] = self.sets[&set.name]
+            .members
+            .get(&owner.0)
+            .map(Vec::as_slice)
+            .unwrap_or(EMPTY);
+        if let Some(max) = self.cardinality_max(&set.name) {
+            if existing.len() as u32 >= max {
+                return Err(DbError::constraint(format!(
+                    "cardinality maximum {max} on {} reached",
+                    set.name
+                )));
+            }
+        }
+        if !set.keys.is_empty() {
+            let key = key_tuple(rt, row, &set.keys);
+            let pos = existing.partition_point(|&m| self.member_key(m, &set.keys) < key);
+            if pos < existing.len() && self.member_key(existing[pos], &set.keys) == key {
+                return Err(DbError::Duplicate {
+                    scope: format!("set {}", set.name),
+                    key: format!("{:?}", key.0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a member at its key-ordered position (append for keyless
+    /// sets).
+    fn insert_member(
+        &mut self,
+        set: &SetDef,
+        owner: RecordId,
+        member: RecordId,
+        rt: &RecordTypeDef,
+        row: &[Value],
+    ) {
+        let pos = {
+            static EMPTY: &[u64] = &[];
+            let existing: &[u64] = self.sets[&set.name]
+                .members
+                .get(&owner.0)
+                .map(Vec::as_slice)
+                .unwrap_or(EMPTY);
+            if set.keys.is_empty() {
+                existing.len()
+            } else {
+                let target = key_tuple(rt, row, &set.keys);
+                existing.partition_point(|&m| self.member_key(m, &set.keys) < target)
+            }
+        };
+        let store = self.sets.get_mut(&set.name).unwrap();
+        store.members.entry(owner.0).or_default().insert(pos, member.0);
+        store.owner_of.insert(member.0, owner.0);
+    }
+}
+
+fn key_tuple(rt: &RecordTypeDef, row: &[Value], keys: &[String]) -> KeyTuple {
+    KeyTuple(
+        keys.iter()
+            .map(|k| row[rt.field_index(k).unwrap()].clone())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                    FieldDef::virtual_field("DIV-NAME", FieldType::Char(20), "DIV-EMP", "DIV-NAME"),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn company_db() -> (NetworkDb, RecordId, RecordId) {
+        let mut db = NetworkDb::new(company_schema()).unwrap();
+        let mach = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        let sales = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("AEROSPACE")),
+                    ("DIV-LOC", Value::str("SEATTLE")),
+                ],
+                &[],
+            )
+            .unwrap();
+        (db, mach, sales)
+    }
+
+    #[test]
+    fn system_set_orders_by_keys() {
+        let (db, mach, aero) = company_db();
+        // AEROSPACE < MACHINERY alphabetically even though stored later.
+        let order = db.members_of("ALL-DIV", SYSTEM_OWNER).unwrap();
+        assert_eq!(order, vec![aero, mach]);
+    }
+
+    #[test]
+    fn store_and_read_member_with_virtual_field() {
+        let (mut db, mach, _) = company_db();
+        let e = db
+            .store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str("JONES")),
+                    ("DEPT-NAME", Value::str("SALES")),
+                    ("AGE", Value::Int(34)),
+                ],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        assert_eq!(
+            db.field_value(e, "DIV-NAME").unwrap(),
+            Value::str("MACHINERY")
+        );
+        assert_eq!(db.field_value(e, "AGE").unwrap(), Value::Int(34));
+        assert_eq!(db.owner_in("DIV-EMP", e).unwrap(), Some(mach));
+    }
+
+    #[test]
+    fn automatic_set_requires_connection() {
+        let (mut db, _, _) = company_db();
+        let err = db
+            .store("EMP", &[("EMP-NAME", Value::str("X"))], &[])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Membership(_)));
+    }
+
+    #[test]
+    fn manual_set_allows_deferred_connect() {
+        let mut schema = company_schema();
+        schema.set_mut("DIV-EMP").unwrap().insertion = Insertion::Manual;
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d = db
+            .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
+            .unwrap();
+        let e = db
+            .store("EMP", &[("EMP-NAME", Value::str("X"))], &[])
+            .unwrap();
+        assert_eq!(db.field_value(e, "DIV-NAME").unwrap(), Value::Null);
+        db.connect("DIV-EMP", d, e).unwrap();
+        assert_eq!(db.field_value(e, "DIV-NAME").unwrap(), Value::str("M"));
+    }
+
+    #[test]
+    fn duplicate_set_key_rejected() {
+        let (mut db, mach, _) = company_db();
+        db.store(
+            "EMP",
+            &[("EMP-NAME", Value::str("JONES"))],
+            &[("DIV-EMP", mach)],
+        )
+        .unwrap();
+        let err = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("JONES"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn members_kept_in_key_order_under_modify() {
+        let (mut db, mach, _) = company_db();
+        let a = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("ADAMS"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        let z = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("ZOLA"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        assert_eq!(db.members_of("DIV-EMP", mach).unwrap(), vec![a, z]);
+        // Rename ADAMS → ZZTOP: must move after ZOLA.
+        db.modify(a, &[("EMP-NAME", Value::str("ZZTOP"))]).unwrap();
+        assert_eq!(db.members_of("DIV-EMP", mach).unwrap(), vec![z, a]);
+    }
+
+    #[test]
+    fn mandatory_member_cannot_disconnect() {
+        let mut schema = company_schema();
+        schema.set_mut("DIV-EMP").unwrap().retention = Retention::Mandatory;
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d = db
+            .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
+            .unwrap();
+        let e = db
+            .store("EMP", &[("EMP-NAME", Value::str("X"))], &[("DIV-EMP", d)])
+            .unwrap();
+        assert!(db.disconnect("DIV-EMP", e).is_err());
+    }
+
+    #[test]
+    fn erase_requires_cascade_when_members_exist() {
+        let (mut db, mach, _) = company_db();
+        db.store(
+            "EMP",
+            &[("EMP-NAME", Value::str("X"))],
+            &[("DIV-EMP", mach)],
+        )
+        .unwrap();
+        assert!(db.erase(mach, false).is_err());
+        let erased = db.erase(mach, true).unwrap();
+        assert_eq!(erased.len(), 2);
+        assert_eq!(db.records_of_type("EMP").len(), 0);
+    }
+
+    #[test]
+    fn characterizing_set_cascades_implicitly() {
+        let schema = company_schema().with_constraint(Constraint::Characterizing {
+            set: "DIV-EMP".into(),
+        });
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d = db
+            .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
+            .unwrap();
+        db.store("EMP", &[("EMP-NAME", Value::str("X"))], &[("DIV-EMP", d)])
+            .unwrap();
+        // Plain erase cascades because EMP characterizes DIV.
+        let erased = db.erase(d, false).unwrap();
+        assert_eq!(erased.len(), 2);
+    }
+
+    #[test]
+    fn cardinality_max_enforced() {
+        let schema = company_schema().with_constraint(Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(2),
+        });
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d = db
+            .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
+            .unwrap();
+        for name in ["A", "B"] {
+            db.store(
+                "EMP",
+                &[("EMP-NAME", Value::str(name))],
+                &[("DIV-EMP", d)],
+            )
+            .unwrap();
+        }
+        let err = db
+            .store("EMP", &[("EMP-NAME", Value::str("C"))], &[("DIV-EMP", d)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint { .. }));
+    }
+
+    #[test]
+    fn not_null_and_domain_enforced() {
+        let schema = company_schema()
+            .with_constraint(Constraint::NotNull {
+                record: "EMP".into(),
+                field: "EMP-NAME".into(),
+            })
+            .with_constraint(Constraint::Domain {
+                record: "EMP".into(),
+                field: "AGE".into(),
+                low: Some(Value::Int(14)),
+                high: Some(Value::Int(99)),
+            });
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d = db
+            .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
+            .unwrap();
+        assert!(db.store("EMP", &[], &[("DIV-EMP", d)]).is_err()); // null name
+        let err = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("K")), ("AGE", Value::Int(7))],
+                &[("DIV-EMP", d)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint { .. }));
+    }
+
+    #[test]
+    fn unique_constraint_enforced_across_occurrences() {
+        let schema = company_schema().with_constraint(Constraint::Unique {
+            record: "EMP".into(),
+            fields: vec!["EMP-NAME".into()],
+        });
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d1 = db
+            .store("DIV", &[("DIV-NAME", Value::str("A"))], &[])
+            .unwrap();
+        let d2 = db
+            .store("DIV", &[("DIV-NAME", Value::str("B"))], &[])
+            .unwrap();
+        db.store("EMP", &[("EMP-NAME", Value::str("X"))], &[("DIV-EMP", d1)])
+            .unwrap();
+        // Same name under a *different* division: set-key check passes but
+        // the global uniqueness constraint must reject it.
+        assert!(db
+            .store("EMP", &[("EMP-NAME", Value::str("X"))], &[("DIV-EMP", d2)])
+            .is_err());
+    }
+
+    #[test]
+    fn type_checks_on_store_and_modify() {
+        let (mut db, mach, _) = company_db();
+        assert!(matches!(
+            db.store(
+                "EMP",
+                &[("AGE", Value::str("OLD")), ("EMP-NAME", Value::str("E"))],
+                &[("DIV-EMP", mach)],
+            ),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        let e = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("E"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        assert!(matches!(
+            db.modify(e, &[("AGE", Value::str("OLD"))]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.modify(e, &[("DIV-NAME", Value::str("HACK"))]),
+            Err(DbError::VirtualWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn existence_constraint_blocks_manual_orphan() {
+        let mut schema = company_schema().with_constraint(Constraint::Existence {
+            set: "DIV-EMP".into(),
+        });
+        schema.set_mut("DIV-EMP").unwrap().insertion = Insertion::Manual;
+        let mut db = NetworkDb::new(schema).unwrap();
+        // Even though the set is MANUAL, the EXISTENCE constraint requires a
+        // connection at store time.
+        assert!(db
+            .store("EMP", &[("EMP-NAME", Value::str("X"))], &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! The relational storage engine.
+//!
+//! Deliberately 1979-shaped: tables are bags of rows in insertion order
+//! (SEQUEL results are unordered unless `ORDER BY` is given — which is why
+//! the converter must reason about order observability), primary-key
+//! uniqueness is enforced when declared ("the only constraint maintained
+//! explicitly in the relational model", §3.1), and foreign keys are checked
+//! only when `enforce_foreign_keys` is enabled — so the §3.1 scenario of
+//! integrity constraints living in application programs is reproducible.
+
+use crate::error::{DbError, DbResult};
+use crate::keys::KeyTuple;
+use dbpc_datamodel::relational::{RelationalSchema, TableDef};
+use dbpc_datamodel::value::Value;
+use std::collections::BTreeMap;
+
+/// Identifier of a stored row (stable across deletes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+#[derive(Debug, Clone, Default)]
+struct Table {
+    rows: BTreeMap<u64, Vec<Value>>,
+    /// Primary-key index (only when the table declares a key).
+    pk_index: BTreeMap<KeyTuple, u64>,
+}
+
+/// A relational database instance.
+#[derive(Debug, Clone)]
+pub struct RelationalDb {
+    schema: RelationalSchema,
+    tables: BTreeMap<String, Table>,
+    next_id: u64,
+    /// Enforce declared foreign keys on insert/delete. Off by default,
+    /// mirroring 1979 systems.
+    pub enforce_foreign_keys: bool,
+}
+
+impl RelationalDb {
+    pub fn new(schema: RelationalSchema) -> DbResult<RelationalDb> {
+        schema
+            .validate()
+            .map_err(|e| DbError::constraint(e.to_string()))?;
+        let tables = schema
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), Table::default()))
+            .collect();
+        Ok(RelationalDb {
+            schema,
+            tables,
+            next_id: 1,
+            enforce_foreign_keys: false,
+        })
+    }
+
+    pub fn schema(&self) -> &RelationalSchema {
+        &self.schema
+    }
+
+    fn table_def(&self, name: &str) -> DbResult<&TableDef> {
+        self.schema
+            .table(name)
+            .ok_or_else(|| DbError::unknown("table", name))
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> DbResult<usize> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .rows
+            .len())
+    }
+
+    /// Row ids of a table in insertion order.
+    pub fn row_ids(&self, table: &str) -> DbResult<Vec<RowId>> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .rows
+            .keys()
+            .map(|&k| RowId(k))
+            .collect())
+    }
+
+    /// Fetch one row.
+    pub fn row(&self, table: &str, id: RowId) -> DbResult<&[Value]> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .rows
+            .get(&id.0)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| DbError::NotFound(format!("{table} row #{}", id.0)))
+    }
+
+    /// All rows of a table in insertion order (cloned).
+    pub fn scan(&self, table: &str) -> DbResult<Vec<Vec<Value>>> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .rows
+            .values()
+            .cloned()
+            .collect())
+    }
+
+    /// Insert a row given `(column, value)` pairs; omitted columns are null.
+    pub fn insert(&mut self, table: &str, values: &[(&str, Value)]) -> DbResult<RowId> {
+        let def = self.table_def(table)?.clone();
+        let mut row = vec![Value::Null; def.columns.len()];
+        for (name, v) in values {
+            let idx = def
+                .column_index(name)
+                .ok_or_else(|| DbError::unknown("column", format!("{table}.{name}")))?;
+            if !def.columns[idx].ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{table}.{name}"),
+                    detail: format!("{} does not fit {}", v.type_name(), def.columns[idx].ty),
+                });
+            }
+            row[idx] = v.clone();
+        }
+        // Primary-key uniqueness.
+        let pk = self.pk_of(&def, &row);
+        if let Some(pk) = &pk {
+            if self.tables[table].pk_index.contains_key(pk) {
+                return Err(DbError::Duplicate {
+                    scope: format!("table {table}"),
+                    key: format!("{:?}", pk.0),
+                });
+            }
+        }
+        // Foreign keys (optional enforcement).
+        if self.enforce_foreign_keys {
+            for fk in &def.foreign_keys {
+                let child: Vec<Value> = fk
+                    .columns
+                    .iter()
+                    .map(|c| row[def.column_index(c).unwrap()].clone())
+                    .collect();
+                if child.iter().any(Value::is_null) {
+                    continue; // null references are the §3.1 escape hatch
+                }
+                let parent = self.table_def(&fk.parent_table)?.clone();
+                let found = self.tables[&fk.parent_table].rows.values().any(|prow| {
+                    fk.parent_columns
+                        .iter()
+                        .zip(&child)
+                        .all(|(pc, cv)| prow[parent.column_index(pc).unwrap()].loose_eq(cv))
+                });
+                if !found {
+                    return Err(DbError::constraint(format!(
+                        "foreign key {table}({}) -> {}({})",
+                        fk.columns.join(","),
+                        fk.parent_table,
+                        fk.parent_columns.join(",")
+                    )));
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let t = self.tables.get_mut(table).unwrap();
+        t.rows.insert(id, row);
+        if let Some(pk) = pk {
+            t.pk_index.insert(pk, id);
+        }
+        Ok(RowId(id))
+    }
+
+    /// Delete rows matching a predicate; returns the number deleted.
+    pub fn delete_where<F>(&mut self, table: &str, pred: F) -> DbResult<usize>
+    where
+        F: Fn(&[Value]) -> bool,
+    {
+        let def = self.table_def(table)?.clone();
+        let doomed: Vec<u64> = self.tables[table]
+            .rows
+            .iter()
+            .filter(|(_, row)| pred(row))
+            .map(|(&id, _)| id)
+            .collect();
+        let t = self.tables.get_mut(table).unwrap();
+        for id in &doomed {
+            if let Some(row) = t.rows.remove(id) {
+                if let Some(pk) = pk_of_static(&def, &row) {
+                    t.pk_index.remove(&pk);
+                }
+            }
+        }
+        Ok(doomed.len())
+    }
+
+    /// Update rows matching a predicate with `(column, value)` assignments;
+    /// returns the number updated.
+    pub fn update_where<F>(
+        &mut self,
+        table: &str,
+        pred: F,
+        assigns: &[(&str, Value)],
+    ) -> DbResult<usize>
+    where
+        F: Fn(&[Value]) -> bool,
+    {
+        let def = self.table_def(table)?.clone();
+        let mut idxs = Vec::new();
+        for (name, v) in assigns {
+            let idx = def
+                .column_index(name)
+                .ok_or_else(|| DbError::unknown("column", format!("{table}.{name}")))?;
+            if !def.columns[idx].ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    field: format!("{table}.{name}"),
+                    detail: format!("{} does not fit {}", v.type_name(), def.columns[idx].ty),
+                });
+            }
+            idxs.push((idx, v.clone()));
+        }
+        let targets: Vec<u64> = self.tables[table]
+            .rows
+            .iter()
+            .filter(|(_, row)| pred(row))
+            .map(|(&id, _)| id)
+            .collect();
+        let pk_cols_touched = def
+            .primary_key
+            .iter()
+            .any(|k| idxs.iter().any(|(i, _)| def.column_index(k) == Some(*i)));
+        // Validate-then-commit: compute every new row and check key
+        // uniqueness before mutating anything, so a rejected update leaves
+        // the table untouched.
+        type PlannedRow = (u64, Vec<Value>, Option<KeyTuple>, Option<KeyTuple>);
+        let mut planned: Vec<PlannedRow> = Vec::new();
+        let mut new_keys: Vec<KeyTuple> = Vec::new();
+        for id in &targets {
+            let mut row = self.tables[table].rows[id].clone();
+            let old_pk = pk_of_static(&def, &row);
+            for (i, v) in &idxs {
+                row[*i] = v.clone();
+            }
+            let new_pk = pk_of_static(&def, &row);
+            if pk_cols_touched {
+                if let Some(np) = &new_pk {
+                    let conflict_outside = self.tables[table]
+                        .pk_index
+                        .get(np)
+                        .is_some_and(|owner| !targets.contains(owner));
+                    if conflict_outside || new_keys.contains(np) {
+                        return Err(DbError::Duplicate {
+                            scope: format!("table {table}"),
+                            key: format!("{:?}", np.0),
+                        });
+                    }
+                    new_keys.push(np.clone());
+                }
+            }
+            planned.push((*id, row, old_pk, new_pk));
+        }
+        let t = self.tables.get_mut(table).unwrap();
+        for (id, row, old_pk, new_pk) in planned {
+            if pk_cols_touched {
+                if let Some(op) = old_pk {
+                    t.pk_index.remove(&op);
+                }
+            }
+            t.rows.insert(id, row);
+            if pk_cols_touched {
+                if let Some(np) = new_pk {
+                    t.pk_index.insert(np, id);
+                }
+            }
+        }
+        Ok(targets.len())
+    }
+
+    /// Primary-key point lookup.
+    pub fn find_by_key(&self, table: &str, key: &[Value]) -> DbResult<Option<RowId>> {
+        let def = self.table_def(table)?;
+        if def.primary_key.is_empty() {
+            return Ok(None);
+        }
+        Ok(self.tables[table]
+            .pk_index
+            .get(&KeyTuple(key.to_vec()))
+            .map(|&id| RowId(id)))
+    }
+
+    fn pk_of(&self, def: &TableDef, row: &[Value]) -> Option<KeyTuple> {
+        pk_of_static(def, row)
+    }
+}
+
+fn pk_of_static(def: &TableDef, row: &[Value]) -> Option<KeyTuple> {
+    if def.primary_key.is_empty() {
+        return None;
+    }
+    Some(KeyTuple(
+        def.primary_key
+            .iter()
+            .map(|k| row[def.column_index(k).unwrap()].clone())
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::relational::ColumnDef;
+    use dbpc_datamodel::types::FieldType;
+
+    fn school() -> RelationalSchema {
+        RelationalSchema::new("SCHOOL")
+            .with_table(
+                TableDef::new(
+                    "COURSE",
+                    vec![
+                        ColumnDef::new("CNO", FieldType::Char(6)),
+                        ColumnDef::new("CNAME", FieldType::Char(20)),
+                    ],
+                )
+                .with_key(vec!["CNO"]),
+            )
+            .with_table(
+                TableDef::new(
+                    "COURSE-OFFERING",
+                    vec![
+                        ColumnDef::new("CNO", FieldType::Char(6)),
+                        ColumnDef::new("S", FieldType::Char(4)),
+                    ],
+                )
+                .with_key(vec!["CNO", "S"])
+                .with_foreign_key(vec!["CNO"], "COURSE", vec!["CNO"]),
+            )
+    }
+
+    #[test]
+    fn insert_scan_order_is_insertion_order() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C2"))]).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        let rows = db.scan("COURSE").unwrap();
+        assert_eq!(rows[0][0], Value::str("C2"));
+        assert_eq!(rows[1][0], Value::str("C1"));
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        assert!(matches!(
+            db.insert("COURSE", &[("CNO", Value::str("C1"))]),
+            Err(DbError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn composite_keys_and_lookup() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert(
+            "COURSE-OFFERING",
+            &[("CNO", Value::str("C1")), ("S", Value::str("F78"))],
+        )
+        .unwrap();
+        let hit = db
+            .find_by_key("COURSE-OFFERING", &[Value::str("C1"), Value::str("F78")])
+            .unwrap();
+        assert!(hit.is_some());
+        let miss = db
+            .find_by_key("COURSE-OFFERING", &[Value::str("C1"), Value::str("S79")])
+            .unwrap();
+        assert!(miss.is_none());
+    }
+
+    #[test]
+    fn foreign_keys_unenforced_by_default_like_1979() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        // The §3.1 problem: nothing stops a dangling COURSE-OFFERING.
+        db.insert(
+            "COURSE-OFFERING",
+            &[("CNO", Value::str("GHOST")), ("S", Value::str("F78"))],
+        )
+        .unwrap();
+        assert_eq!(db.row_count("COURSE-OFFERING").unwrap(), 1);
+    }
+
+    #[test]
+    fn foreign_keys_enforced_when_enabled() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.enforce_foreign_keys = true;
+        assert!(db
+            .insert(
+                "COURSE-OFFERING",
+                &[("CNO", Value::str("GHOST")), ("S", Value::str("F78"))],
+            )
+            .is_err());
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        db.insert(
+            "COURSE-OFFERING",
+            &[("CNO", Value::str("C1")), ("S", Value::str("F78"))],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn null_fk_reference_allowed() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.enforce_foreign_keys = true;
+        // Null reference = the paper's "null instructor" trick.
+        db.insert("COURSE-OFFERING", &[("S", Value::str("F78"))])
+            .unwrap();
+    }
+
+    #[test]
+    fn delete_where_updates_index() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        let n = db
+            .delete_where("COURSE", |r| r[0].loose_eq(&Value::str("C1")))
+            .unwrap();
+        assert_eq!(n, 1);
+        // Key is free again.
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+    }
+
+    #[test]
+    fn update_where_maintains_pk_index() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C2"))]).unwrap();
+        // Renaming C2 to C1 must be rejected.
+        assert!(db
+            .update_where(
+                "COURSE",
+                |r| r[0].loose_eq(&Value::str("C2")),
+                &[("CNO", Value::str("C1"))],
+            )
+            .is_err());
+        // Renaming C2 to C3 works and the index follows.
+        db.update_where(
+            "COURSE",
+            |r| r[0].loose_eq(&Value::str("C2")),
+            &[("CNO", Value::str("C3"))],
+        )
+        .unwrap();
+        assert!(db
+            .find_by_key("COURSE", &[Value::str("C3")])
+            .unwrap()
+            .is_some());
+        assert!(db
+            .find_by_key("COURSE", &[Value::str("C2")])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        assert!(matches!(
+            db.insert("COURSE", &[("CNO", Value::Int(12))]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+}

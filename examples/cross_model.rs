@@ -1,0 +1,61 @@
+//! Cross-model conversion (§4.1): a network program becomes an executable
+//! SEQUEL query over the relational encoding of the same data, and the same
+//! company lives as an IMS-style hierarchy.
+//!
+//! ```sh
+//! cargo run --example cross_model
+//! ```
+
+use dbpc::convert::generator::lower_find_to_sequel;
+use dbpc::corpus::named;
+use dbpc::dml::host::{parse_program, Stmt};
+use dbpc::dml::sequel::print_select;
+use dbpc::engine::host_exec::run_host;
+use dbpc::engine::sequel_exec::eval_select;
+use dbpc::engine::Inputs;
+use dbpc::restructure::crossmodel::network_db_to_relational;
+
+fn main() {
+    let mut net = named::company_db(3, 3, 10);
+
+    let program = parse_program(
+        "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'AEROSPACE'), DIV-EMP, EMP(AGE > 35));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME, R.AGE;
+  END FOR;
+END PROGRAM;",
+    )
+    .unwrap();
+    println!("== Network program ==\n{}", dbpc::dml::host::print_program(&program));
+    let trace = run_host(&mut net, &program, Inputs::new()).unwrap();
+    println!("network result:\n{trace}");
+
+    // Lower the FIND to SEQUEL over the DBKEY relational encoding.
+    let Stmt::Find { query, .. } = &program.stmts[0] else {
+        unreachable!()
+    };
+    let q = lower_find_to_sequel(query.spec(), vec!["EMP-NAME", "AGE"], net.schema()).unwrap();
+    println!("== Lowered SEQUEL over the relational encoding ==");
+    print!("{}", print_select(&q));
+
+    let rel = network_db_to_relational(&net).unwrap();
+    let rows = eval_select(&rel, &q).unwrap();
+    println!("\nrelational result:");
+    for r in &rows {
+        println!(
+            "OUT   | {}",
+            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+        );
+    }
+    assert_eq!(rows.len(), trace.terminal_lines().len());
+
+    // The hierarchy view.
+    let hier = named::company_hier_db(3, 3, 10).unwrap();
+    println!(
+        "\n== Hierarchical form ==\nhierarchic order: {:?}\nsegments: {}",
+        hier.schema().hierarchic_order(),
+        hier.segment_count()
+    );
+    println!("\nsame facts, three data models — §4.1's model-independent claim.");
+}

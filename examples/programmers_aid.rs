@@ -1,0 +1,70 @@
+//! The §5.3 programmer's aid, plus the interactive Conversion Analyst.
+//!
+//! First lints a freshly written program against the convertibility
+//! guidelines ("programming practices which will yield more convertible
+//! database applications", §6); then demonstrates the interactive
+//! supervisor: the same hazardous program is rejected in fully automatic
+//! mode and proceeds when a (scripted) analyst answers the questions.
+//!
+//! ```sh
+//! cargo run --example programmers_aid
+//! ```
+
+use dbpc::analyzer::lint::lint_program;
+use dbpc::convert::report::{Answer, AutoAnalyst, ScriptedAnalyst};
+use dbpc::convert::Supervisor;
+use dbpc::corpus::named;
+use dbpc::dml::host::parse_program;
+
+fn main() {
+    let schema = named::company_schema();
+
+    // A program written the way 1979 programs were written.
+    let program = parse_program(
+        "PROGRAM LEGACY;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  FIND STAFF := FIND(EMP: D, DIV-EMP, EMP);
+  CHECK COUNT(STAFF) < 500 ELSE ABORT 'FULL';
+  STORE EMP (EMP-NAME := 'NEW', DEPT-NAME := 'ENG', AGE := 20) CONNECT TO DIV-EMP OF D;
+  FIND SCRATCH := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+END PROGRAM;",
+    )
+    .unwrap();
+
+    println!("== Convertibility guidelines (§5.3 programmer's aid) ==");
+    for lint in lint_program(&program, &schema) {
+        println!("  {lint}");
+    }
+
+    // Conversion under the Figure 4.2→4.4 restructuring.
+    let restructuring = named::fig_4_4_restructuring();
+
+    println!("\n== Fully automatic mode (every question rejects) ==");
+    let auto = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    println!("verdict: {:?}", auto.verdict);
+    for (q, a) in &auto.questions {
+        println!("  Q: {q}\n  A: {a:?}");
+    }
+
+    println!("\n== Interactive mode (analyst approves, promising manual follow-up) ==");
+    let mut analyst = ScriptedAnalyst::new(vec![Answer::Proceed; 8]);
+    let interactive = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut analyst)
+        .unwrap();
+    println!("verdict: {:?}", interactive.verdict);
+    for (q, a) in &interactive.questions {
+        println!("  Q: {q}\n  A: {a:?}");
+    }
+    println!(
+        "\nconverted program (needs manual completion of the flagged parts):\n{}",
+        interactive.text.unwrap()
+    );
+}

@@ -1,0 +1,88 @@
+//! The Figure 3.1 school database and the §3.1 integrity-constraint
+//! catalogue, exercised.
+//!
+//! Shows: the relational form (Figure 3.1a) in the paper's compact
+//! notation, the CODASYL form (Figure 3.1b) with AUTOMATIC/MANDATORY
+//! membership, the existence constraint rejecting orphan offerings, the
+//! twice-per-year cardinality rule, and the DELETE cascade hazard the
+//! paper warns about.
+//!
+//! ```sh
+//! cargo run --example school_constraints
+//! ```
+
+use dbpc::corpus::named;
+use dbpc::datamodel::ddl::print_network_schema;
+use dbpc::datamodel::value::Value;
+use dbpc::dml::host::parse_program;
+use dbpc::engine::host_exec::run_host;
+use dbpc::engine::Inputs;
+
+fn main() {
+    println!("== Figure 3.1a (relational, compact notation) ==");
+    print!("{}", named::school_relational_schema().to_compact_notation());
+
+    println!("\n== Figure 3.1b (CODASYL) ==");
+    println!("{}", print_network_schema(&named::school_network_schema()));
+
+    let mut db = named::school_network_db(4, 3).unwrap();
+    println!(
+        "populated: {} courses, {} semesters, {} offerings\n",
+        db.records_of_type("COURSE").len(),
+        db.records_of_type("SEMESTER").len(),
+        db.records_of_type("COURSE-OFFERING").len()
+    );
+
+    // §3.1: "a 'course-offering' instance cannot exist unless the 'course'
+    // and 'semester' instances it references do."
+    match db.store("COURSE-OFFERING", &[("OFF-ID", Value::str("ORPHAN"))], &[]) {
+        Err(e) => println!("orphan offering rejected : {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    // §3.1: "a course may not be offered more than twice in a school year."
+    let program = parse_program(
+        "PROGRAM OFFER;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C000'));
+  FIND S := FIND(SEMESTER: SYSTEM, ALL-SEMESTER, SEMESTER(S = 'S01'));
+  STORE COURSE-OFFERING (OFF-ID := 'EXTRA-1') CONNECT TO COURSES-OFFERING OF C, SEMESTERS-OFFERING OF S;
+  PRINT 'SECOND OFFERING ACCEPTED';
+  STORE COURSE-OFFERING (OFF-ID := 'EXTRA-2') CONNECT TO COURSES-OFFERING OF C, SEMESTERS-OFFERING OF S;
+  PRINT 'THIRD OFFERING ACCEPTED';
+END PROGRAM;",
+    )
+    .unwrap();
+    let trace = run_host(&mut db, &program, Inputs::new()).unwrap();
+    println!("\nrunning the offering program:");
+    print!("{trace}");
+
+    // §3.1's DELETE hazard: "The DELETE (ERASE) command has an option which
+    // could cause deletion of 'course offerings' … This violates the
+    // system's integrity constraints."
+    let mut db2 = named::school_network_db(2, 2).unwrap();
+    let erase = parse_program(
+        "PROGRAM DROP-COURSE;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C000'));
+  DELETE C;
+  PRINT 'PLAIN DELETE SUCCEEDED';
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_host(&mut db2, &erase, Inputs::new()).unwrap();
+    println!("\nplain DELETE of a course with offerings:");
+    print!("{t}");
+
+    let erase_all = parse_program(
+        "PROGRAM DROP-COURSE-ALL;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C000'));
+  DELETE ALL C;
+  FIND OFFS := FIND(COURSE-OFFERING: SYSTEM, ALL-SEMESTER, SEMESTER, SEMESTERS-OFFERING, COURSE-OFFERING);
+  PRINT 'OFFERINGS LEFT', COUNT(OFFS);
+END PROGRAM;",
+    )
+    .unwrap();
+    let mut db3 = named::school_network_db(2, 2).unwrap();
+    let t = run_host(&mut db3, &erase_all, Inputs::new()).unwrap();
+    println!("\nDELETE ALL (the cascading option §3.1 warns about):");
+    print!("{t}");
+}

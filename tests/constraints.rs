@@ -1,0 +1,265 @@
+//! Constraint movement between program logic and the data model —
+//! the §3.1/§4.1 story, executed (experiment E4's correctness side).
+
+use dbpc::convert::equivalence::{check_equivalence, EquivalenceLevel};
+use dbpc::convert::report::{AutoAnalyst, Warning};
+use dbpc::convert::Supervisor;
+use dbpc::corpus::named;
+use dbpc::datamodel::constraint::Constraint;
+use dbpc::dml::host::parse_program;
+use dbpc::engine::host_exec::run_host;
+use dbpc::engine::Inputs;
+use dbpc::restructure::{Restructuring, Transform};
+
+/// Procedural → declarative: the program's CHECK guard becomes a schema
+/// constraint; the optimizer removes the now-redundant check (and its
+/// feeder FIND); behavior is preserved — including the abort when the
+/// limit is hit.
+#[test]
+fn procedural_to_declarative_preserves_behavior() {
+    let schema = named::company_schema();
+    let restructuring = Restructuring::single(Transform::AddConstraint(
+        Constraint::Cardinality {
+            set: "DIV-EMP".into(),
+            min: 0,
+            max: Some(3),
+        },
+    ));
+    // The program enforces "at most 2 employees per division" itself.
+    let program = parse_program(
+        "PROGRAM HIRE;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  FIND STAFF := FIND(EMP: D, DIV-EMP, EMP);
+  CHECK COUNT(STAFF) < 3 ELSE ABORT 'DIVISION FULL';
+  STORE EMP (EMP-NAME := 'ZZ-NEW', DEPT-NAME := 'ENG', AGE := 30) CONNECT TO DIV-EMP OF D;
+  PRINT 'HIRED';
+END PROGRAM;",
+    )
+    .unwrap();
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    assert!(report.succeeded());
+    // The optimizer removed the guard.
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::RedundantCheckRemoved { .. })));
+    let text = report.text.as_ref().unwrap();
+    assert!(!text.contains("CHECK"));
+
+    // Case 1: room available (1 employee) — both hire successfully.
+    let src_small = named::company_db(1, 1, 1);
+    let tgt_small = restructuring.translate(&src_small).unwrap();
+    let eq = check_equivalence(
+        src_small,
+        &program,
+        tgt_small,
+        report.program.as_ref().unwrap(),
+        &Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+    assert_eq!(eq.original_trace.terminal_lines(), vec!["HIRED"]);
+
+    // Case 2: division full (3 employees) — the source aborts via CHECK,
+    // the target aborts via the declarative constraint. Message text
+    // differs (program message vs. DBMS message), which the integrity
+    // warning predicts: the §5.2 "warned" level.
+    let src_full = named::company_db(1, 1, 3);
+    let tgt_full = restructuring.translate(&src_full).unwrap();
+    let eq = check_equivalence(
+        src_full,
+        &program,
+        tgt_full,
+        report.program.as_ref().unwrap(),
+        &Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert!(eq.original_trace.aborted());
+    assert!(eq.converted_trace.aborted());
+    assert_ne!(eq.level, EquivalenceLevel::NotEquivalent);
+}
+
+/// Declarative → procedural: dropping the characterizing constraint makes
+/// the converter insert explicit member deletion — Su's dependent-entity
+/// example — and behavior is preserved exactly.
+#[test]
+fn declarative_to_procedural_cascade_compensation() {
+    let schema = named::company_schema().with_constraint(Constraint::Characterizing {
+        set: "DIV-EMP".into(),
+    });
+    let restructuring = Restructuring::single(Transform::DropConstraint(
+        Constraint::Characterizing {
+            set: "DIV-EMP".into(),
+        },
+    ));
+    let program = parse_program(
+        "PROGRAM CLOSE-DIV;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  DELETE D;
+  FIND LEFT := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  PRINT COUNT(LEFT);
+END PROGRAM;",
+    )
+    .unwrap();
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    assert!(report.succeeded(), "{:?}", report.questions);
+    let text = report.text.as_ref().unwrap();
+    assert!(text.contains("FIND CVT-1 := FIND(EMP: D, DIV-EMP, EMP);"));
+    assert!(text.contains("DELETE CVT-1;"));
+
+    // Build the source db under the characterizing schema.
+    let mut src = dbpc::storage::NetworkDb::new(schema.clone()).unwrap();
+    for (i, name) in ["MACHINERY", "AEROSPACE"].iter().enumerate() {
+        let d = src
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", dbpc::datamodel::value::Value::str(*name)),
+                    (
+                        "DIV-LOC",
+                        dbpc::datamodel::value::Value::str(format!("CITY-{i}")),
+                    ),
+                ],
+                &[],
+            )
+            .unwrap();
+        for e in 0..3 {
+            src.store(
+                "EMP",
+                &[
+                    (
+                        "EMP-NAME",
+                        dbpc::datamodel::value::Value::str(format!("E-{i}-{e}")),
+                    ),
+                    ("DEPT-NAME", dbpc::datamodel::value::Value::str("SALES")),
+                    ("AGE", dbpc::datamodel::value::Value::Int(30)),
+                ],
+                &[("DIV-EMP", d)],
+            )
+            .unwrap();
+        }
+    }
+    let tgt = restructuring.translate(&src).unwrap();
+    let eq = check_equivalence(
+        src,
+        &program,
+        tgt,
+        report.program.as_ref().unwrap(),
+        &Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+    assert_eq!(eq.original_trace.terminal_lines(), vec!["1"]);
+}
+
+/// Without the compensation, the same program simply aborts on the target
+/// schema — demonstrating that the inserted statements are load-bearing.
+#[test]
+fn uncompensated_delete_aborts_on_target() {
+    let schema = named::company_schema(); // no characterizing constraint
+    let mut db = dbpc::storage::NetworkDb::new(schema).unwrap();
+    let d = db
+        .store(
+            "DIV",
+            &[("DIV-NAME", dbpc::datamodel::value::Value::str("M"))],
+            &[],
+        )
+        .unwrap();
+    db.store(
+        "EMP",
+        &[("EMP-NAME", dbpc::datamodel::value::Value::str("X"))],
+        &[("DIV-EMP", d)],
+    )
+    .unwrap();
+    let program = parse_program(
+        "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'));
+  DELETE D;
+  PRINT 'DELETED';
+END PROGRAM;",
+    )
+    .unwrap();
+    let trace = run_host(&mut db, &program, Inputs::new()).unwrap();
+    assert!(trace.aborted());
+}
+
+/// The school database's twice-per-year rule, checked end to end through
+/// the engine (the §3.1 worked example).
+#[test]
+fn school_cardinality_rule_enforced_through_engine() {
+    let program = parse_program(
+        "PROGRAM OFFER;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C000'));
+  FIND S := FIND(SEMESTER: SYSTEM, ALL-SEMESTER, SEMESTER(S = 'S01'));
+  STORE COURSE-OFFERING (OFF-ID := 'NEW-1') CONNECT TO COURSES-OFFERING OF C, SEMESTERS-OFFERING OF S;
+  PRINT 'FIRST EXTRA OK';
+  STORE COURSE-OFFERING (OFF-ID := 'NEW-2') CONNECT TO COURSES-OFFERING OF C, SEMESTERS-OFFERING OF S;
+  PRINT 'SECOND EXTRA OK';
+END PROGRAM;",
+    )
+    .unwrap();
+    let mut db = named::school_network_db(3, 2).unwrap();
+    let trace = run_host(&mut db, &program, Inputs::new()).unwrap();
+    // One offering exists already; the first extra is the second offering
+    // (allowed), the second extra is the third (rejected).
+    assert_eq!(trace.terminal_lines(), vec!["FIRST EXTRA OK"]);
+    assert!(trace.aborted());
+}
+
+/// §5.2's own example of an intended behavior change: employees could be
+/// stored without a division; the restructured schema requires one. The
+/// converted insert program fails where the original succeeded — "the
+/// desired behavior because the application requirements have changed, but
+/// it is not strictly equivalent": the Warned level.
+#[test]
+fn section_5_2_insert_behavior_change_is_warned() {
+    use dbpc::convert::report::PermissiveAnalyst;
+    use dbpc::datamodel::network::Insertion;
+
+    let mut schema = named::company_schema();
+    schema.set_mut("DIV-EMP").unwrap().insertion = Insertion::Manual;
+    let restructuring = Restructuring::single(Transform::ChangeInsertion {
+        set: "DIV-EMP".into(),
+        insertion: Insertion::Automatic,
+    });
+    // The legacy program stores a floating employee (legal while MANUAL).
+    let program = parse_program(
+        "PROGRAM ONBOARD;
+  STORE EMP (EMP-NAME := 'FLOATER', DEPT-NAME := 'ENG', AGE := 30);
+  PRINT 'STORED';
+END PROGRAM;",
+    )
+    .unwrap();
+    // The supervisor asks; the analyst approves the new requirement.
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut PermissiveAnalyst)
+        .unwrap();
+    assert!(report.succeeded(), "verdict {:?}", report.verdict);
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::IntegrityTightened { .. })));
+
+    let src = dbpc::storage::NetworkDb::new(schema.clone()).unwrap();
+    let tgt = restructuring.translate(&src).unwrap();
+    let eq = check_equivalence(
+        src,
+        &program,
+        tgt,
+        report.program.as_ref().unwrap(),
+        &Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    // Original stores the floater; the converted run aborts — predicted.
+    assert_eq!(eq.original_trace.terminal_lines(), vec!["STORED"]);
+    assert!(eq.converted_trace.aborted());
+    assert_eq!(eq.level, EquivalenceLevel::Warned);
+}

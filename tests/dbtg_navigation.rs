@@ -1,0 +1,140 @@
+//! DBTG navigation details: system-set scans, currency after updates, and
+//! the full listing-B program against the corpus personnel database.
+
+use dbpc::corpus::named;
+use dbpc::dml::dbtg::parse_dbtg;
+use dbpc::engine::dbtg_exec::run_dbtg;
+use dbpc::engine::Inputs;
+
+/// Scan a system-owned set front to back: FIND FIRST / FIND NEXT over
+/// ALL-DEPT.
+#[test]
+fn system_set_scan_visits_all_owners() {
+    let mut db = named::personnel_network_db(4, 2).unwrap();
+    let p = parse_dbtg(
+        "DBTG PROGRAM SCAN.
+  FIND FIRST DEPT WITHIN ALL-DEPT.
+  IF STATUS ENDSET GO TO DONE.
+  GET DEPT.
+  PRINT DEPT.D#.
+LOOP.
+  FIND NEXT DEPT WITHIN ALL-DEPT.
+  IF STATUS ENDSET GO TO DONE.
+  GET DEPT.
+  PRINT DEPT.D#.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+    assert_eq!(t.terminal_lines(), vec!["D0", "D1", "D2", "D3"]);
+}
+
+/// Nested navigation: for each department, walk its employees — two
+/// interleaved currencies.
+#[test]
+fn nested_set_scan_with_owner_currency() {
+    let mut db = named::personnel_network_db(2, 2).unwrap();
+    let p = parse_dbtg(
+        "DBTG PROGRAM NEST.
+  FIND FIRST DEPT WITHIN ALL-DEPT.
+DEPT-LOOP.
+  IF STATUS ENDSET GO TO DONE.
+  GET DEPT.
+  PRINT 'DEPT', DEPT.D#.
+EMP-LOOP.
+  FIND NEXT EMP WITHIN ED.
+  IF STATUS ENDSET GO TO NEXT-DEPT.
+  GET EMP.
+  PRINT EMP.E#.
+  GO TO EMP-LOOP.
+NEXT-DEPT.
+  FIND NEXT DEPT WITHIN ALL-DEPT.
+  GO TO DEPT-LOOP.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+    assert_eq!(
+        t.terminal_lines(),
+        vec!["DEPT D0", "E0000", "E0001", "DEPT D1", "E0002", "E0003"]
+    );
+}
+
+/// ERASE invalidates currency: a GET after erasing the current record
+/// reports no currency rather than resurrecting the ghost.
+#[test]
+fn erase_invalidates_currency() {
+    let mut db = named::personnel_network_db(1, 2).unwrap();
+    let p = parse_dbtg(
+        "DBTG PROGRAM E.
+  MOVE 'E0000' TO E# IN EMP.
+  FIND ANY EMP USING E#.
+  ERASE EMP.
+  GET EMP.
+  IF STATUS NOCURRENCY GO TO GOOD.
+  PRINT 'GHOST'.
+  GO TO DONE.
+GOOD.
+  PRINT 'CURRENCY GONE'.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+    assert_eq!(t.terminal_lines(), vec!["CURRENCY GONE"]);
+}
+
+/// UWA survives across FINDs: MOVE once, probe several departments.
+#[test]
+fn uwa_is_persistent_state() {
+    let mut db = named::personnel_network_db(3, 1).unwrap();
+    let p = parse_dbtg(
+        "DBTG PROGRAM U.
+  MOVE 'D1' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  GET DEPT.
+  PRINT DEPT.DNAME.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+    assert_eq!(t.terminal_lines(), vec!["DEPT-01", "DEPT-02"]);
+}
+
+/// The corpus personnel database serves the paper's listing (B) at scale.
+#[test]
+fn listing_b_at_scale() {
+    let mut db = named::personnel_network_db(6, 30).unwrap();
+    let p = parse_dbtg(
+        "DBTG PROGRAM GETEMP.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO FINISH.
+  MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+NEXT.
+  FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+  IF STATUS ENDSET GO TO FINISH.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO NEXT.
+FINISH.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let t = run_dbtg(&mut db, &p, Inputs::new()).unwrap();
+    // D2 holds employees 60..89; YEAR-OF-SERVICE = emp_no % 5 == 3.
+    assert_eq!(t.terminal_lines().len(), 6);
+    assert!(t.terminal_lines().contains(&"NAME-0063"));
+}

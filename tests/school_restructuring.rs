@@ -1,0 +1,207 @@
+//! Restructuring a *genuine network* (Figure 3.1b): COURSE-OFFERING has two
+//! owners (COURSE and SEMESTER). Promoting INSTRUCTOR out of the offering
+//! interposes an instructor-group record on the course side while the
+//! semester-side membership is carried across untouched — the case that
+//! separates a network restructurer from a hierarchy restructurer.
+
+use dbpc::convert::equivalence::{check_equivalence, EquivalenceLevel};
+use dbpc::convert::report::AutoAnalyst;
+use dbpc::convert::Supervisor;
+use dbpc::corpus::named;
+use dbpc::dml::host::parse_program;
+use dbpc::restructure::{Restructuring, Transform};
+
+fn promote_instructor() -> Restructuring {
+    Restructuring::single(Transform::PromoteFieldToOwner {
+        record: "COURSE-OFFERING".into(),
+        field: "INSTRUCTOR".into(),
+        via_set: "COURSES-OFFERING".into(),
+        new_record: "TEACHING".into(),
+        upper_set: "COURSE-TEACHING".into(),
+        lower_set: "TEACHING-OFFERING".into(),
+    })
+}
+
+#[test]
+fn schema_promotes_with_second_owner_intact() {
+    let target = promote_instructor()
+        .apply_schema(&named::school_network_schema())
+        .unwrap();
+    // The semester side is untouched.
+    let sem_set = target.set("SEMESTERS-OFFERING").unwrap();
+    assert_eq!(sem_set.member, "COURSE-OFFERING");
+    // The course side goes through the instructor group.
+    assert_eq!(target.set("COURSE-TEACHING").unwrap().member, "TEACHING");
+    assert_eq!(
+        target.set("TEACHING-OFFERING").unwrap().member,
+        "COURSE-OFFERING"
+    );
+    assert!(target.set("COURSES-OFFERING").is_none());
+    // Constraints on the split set re-attached to the lower set.
+    assert!(target
+        .constraints
+        .iter()
+        .any(|c| c.set_name() == Some("TEACHING-OFFERING")));
+}
+
+#[test]
+fn data_translates_preserving_both_memberships() {
+    let src = named::school_network_db(6, 3).unwrap();
+    let out = promote_instructor().translate(&src).unwrap();
+    assert_eq!(
+        out.records_of_type("COURSE-OFFERING").len(),
+        src.records_of_type("COURSE-OFFERING").len()
+    );
+    // Every offering still has a semester owner AND reaches a course
+    // through its teaching group.
+    for off in out.records_of_type("COURSE-OFFERING") {
+        let sem = out.owner_in("SEMESTERS-OFFERING", off).unwrap();
+        assert!(sem.is_some());
+        let teaching = out.owner_in("TEACHING-OFFERING", off).unwrap().unwrap();
+        let course = out.owner_in("COURSE-TEACHING", teaching).unwrap();
+        assert!(course.is_some());
+    }
+}
+
+#[test]
+fn instructor_filtered_report_converts_and_runs_equivalently() {
+    let schema = named::school_network_schema();
+    let restructuring = promote_instructor();
+    // "Which offerings of course C000 does PROF-00 teach?" — the filter on
+    // the promoted field must re-home onto the TEACHING step.
+    let program = parse_program(
+        "PROGRAM WHO;
+  FIND C := FIND(COURSE: SYSTEM, ALL-COURSE, COURSE(CNO = 'C000'));
+  FIND OFFS := FIND(COURSE-OFFERING: C, COURSES-OFFERING, COURSE-OFFERING(INSTRUCTOR = 'PROF-00'));
+  FOR EACH R IN OFFS DO
+    PRINT R.OFF-ID;
+  END FOR;
+  PRINT 'TOTAL', COUNT(OFFS);
+END PROGRAM;",
+    )
+    .unwrap();
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    assert!(report.succeeded(), "{:?}", report.questions);
+    let text = report.text.as_ref().unwrap();
+    assert!(text.contains(
+        "FIND(COURSE-OFFERING: C, COURSE-TEACHING, TEACHING(INSTRUCTOR = 'PROF-00'), \
+         TEACHING-OFFERING, COURSE-OFFERING)"
+    ));
+
+    let src = named::school_network_db(6, 3).unwrap();
+    let tgt = restructuring.translate(&src).unwrap();
+    let eq = check_equivalence(
+        src,
+        &program,
+        tgt,
+        report.program.as_ref().unwrap(),
+        &dbpc::engine::Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+    assert_eq!(*eq.original_trace.terminal_lines().last().unwrap(), "TOTAL 1");
+}
+
+#[test]
+fn semester_side_reports_unaffected_by_course_side_promotion() {
+    let schema = named::school_network_schema();
+    let restructuring = promote_instructor();
+    let program = parse_program(
+        "PROGRAM SEM;
+  FIND S := FIND(SEMESTER: SYSTEM, ALL-SEMESTER, SEMESTER(S = 'S01'));
+  FIND OFFS := FIND(COURSE-OFFERING: S, SEMESTERS-OFFERING, COURSE-OFFERING);
+  PRINT COUNT(OFFS);
+END PROGRAM;",
+    )
+    .unwrap();
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    assert!(report.succeeded());
+    // The semester-side path is untouched by the conversion.
+    assert!(report
+        .text
+        .as_ref()
+        .unwrap()
+        .contains("SEMESTERS-OFFERING, COURSE-OFFERING"));
+
+    let src = named::school_network_db(6, 3).unwrap();
+    let tgt = restructuring.translate(&src).unwrap();
+    let eq = check_equivalence(
+        src,
+        &program,
+        tgt,
+        report.program.as_ref().unwrap(),
+        &dbpc::engine::Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+}
+
+/// Two stacked promotions: first DEPT out of EMP (Figure 4.2→4.4), then an
+/// age-band group out of EMP under DEPT — the converter splices the same
+/// path twice, threading schema snapshots between steps.
+#[test]
+fn two_level_promotion_composes() {
+    use dbpc::corpus::named as company;
+    let schema = company::company_schema();
+    let restructuring = Restructuring::new(vec![
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        },
+        Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "AGE".into(),
+            via_set: "DEPT-EMP".into(),
+            new_record: "AGE-BAND".into(),
+            upper_set: "DEPT-BAND".into(),
+            lower_set: "BAND-EMP".into(),
+        },
+    ]);
+    // A program filtering on both promoted fields.
+    let program = parse_program(
+        "PROGRAM DOUBLE;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP(DEPT-NAME = 'SALES' AND AGE = 27));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+  PRINT 'N', COUNT(E);
+END PROGRAM;",
+    )
+    .unwrap();
+    let report = Supervisor::new()
+        .convert(&schema, &restructuring, &program, &mut AutoAnalyst)
+        .unwrap();
+    assert!(report.succeeded(), "{:?}", report.questions);
+    let text = report.text.as_ref().unwrap();
+    // The path now descends DIV → DEPT → AGE-BAND → EMP, each filter
+    // re-homed to its level.
+    assert!(
+        text.contains(
+            "DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-BAND, AGE-BAND(AGE = 27), BAND-EMP, EMP"
+        ),
+        "{text}"
+    );
+
+    let src = company::company_db(3, 3, 9);
+    let tgt = restructuring.translate(&src).unwrap();
+    let eq = check_equivalence(
+        src,
+        &program,
+        tgt,
+        report.program.as_ref().unwrap(),
+        &dbpc::engine::Inputs::new(),
+        &report.warnings,
+    )
+    .unwrap();
+    assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
+}

@@ -1,0 +1,80 @@
+//! SEQUEL update statements with nested `IN` predicates, run through the
+//! relational engine — the update side of the §4.1 dialect.
+
+use dbpc::corpus::named;
+use dbpc::dml::sequel::parse_sequel_program;
+use dbpc::engine::sequel_exec::run_sequel;
+use dbpc::engine::Inputs;
+
+#[test]
+fn delete_with_nested_in_prunes_the_right_rows() {
+    let mut db = named::personnel_relational_db(4, 5).unwrap();
+    // Remove the association rows of everyone in SMITH's department, then
+    // show who is left associated.
+    let p = parse_sequel_program(
+        "SEQUEL PROGRAM PURGE;
+DELETE FROM EMP-DEPT WHERE D# IN (SELECT D# FROM DEPT WHERE MGR = 'SMITH');
+SELECT D#
+FROM DEPT
+WHERE D# IN
+SELECT D#
+FROM EMP-DEPT
+WHERE YEAR-OF-SERVICE >= 0;
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_sequel(&mut db, &p, Inputs::new()).unwrap();
+    // D2 (SMITH's) no longer appears among associated departments.
+    assert!(!t.terminal_lines().contains(&"D2"));
+    assert_eq!(t.terminal_lines().len(), 3);
+    assert_eq!(db.row_count("EMP-DEPT").unwrap(), 15);
+}
+
+#[test]
+fn update_with_nested_in_touches_only_matches() {
+    let mut db = named::personnel_relational_db(3, 4).unwrap();
+    let p = parse_sequel_program(
+        "SEQUEL PROGRAM RAISE;
+UPDATE EMP-DEPT SET (YEAR-OF-SERVICE = 99)
+  WHERE E# IN (SELECT E# FROM EMP WHERE AGE > 40);
+SELECT E#
+FROM EMP-DEPT
+WHERE YEAR-OF-SERVICE = 99;
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_sequel(&mut db, &p, Inputs::new()).unwrap();
+    // Exactly the over-40 employees got the marker.
+    let expected: usize = {
+        let mut db2 = named::personnel_relational_db(3, 4).unwrap();
+        let q = parse_sequel_program(
+            "SEQUEL PROGRAM COUNT;
+SELECT E#
+FROM EMP
+WHERE AGE > 40;
+END PROGRAM;",
+        )
+        .unwrap();
+        run_sequel(&mut db2, &q, Inputs::new())
+            .unwrap()
+            .terminal_lines()
+            .len()
+    };
+    assert_eq!(t.terminal_lines().len(), expected);
+    assert!(expected > 0);
+}
+
+#[test]
+fn or_and_not_predicates_evaluate() {
+    let mut db = named::personnel_relational_db(2, 3).unwrap();
+    let p = parse_sequel_program(
+        "SEQUEL PROGRAM LOGIC;
+SELECT ENAME
+FROM EMP
+WHERE (AGE < 25 OR AGE > 40) AND NOT (E# = 'E0000');
+END PROGRAM;",
+    )
+    .unwrap();
+    let t = run_sequel(&mut db, &p, Inputs::new()).unwrap();
+    assert!(!t.terminal_lines().contains(&"NAME-0000"));
+}

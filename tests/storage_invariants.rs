@@ -1,0 +1,208 @@
+//! Property tests on the owner-coupled-set engine's invariants under
+//! arbitrary operation sequences. Trace-equality conversion checking is
+//! only as trustworthy as the substrate, so the substrate gets its own
+//! adversarial workout.
+
+use dbpc::corpus::named;
+use dbpc::datamodel::network::SetOwner;
+use dbpc::datamodel::value::{cmp_tuple, Value};
+use dbpc::storage::{NetworkDb, RecordId, SYSTEM_OWNER};
+use proptest::prelude::*;
+
+/// One random mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    StoreEmp { name_seed: u16, dept: u8, age: u8, div_pick: u8 },
+    StoreDiv { name_seed: u16 },
+    ModifyAge { pick: u8, age: u8 },
+    RenameEmp { pick: u8, name_seed: u16 },
+    EraseEmp { pick: u8 },
+    EraseDivCascade { pick: u8 },
+    Disconnect { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(name_seed, dept, age, div_pick)| Op::StoreEmp {
+                name_seed,
+                dept,
+                age,
+                div_pick
+            }),
+        any::<u16>().prop_map(|name_seed| Op::StoreDiv { name_seed }),
+        (any::<u8>(), any::<u8>()).prop_map(|(pick, age)| Op::ModifyAge { pick, age }),
+        (any::<u8>(), any::<u16>())
+            .prop_map(|(pick, name_seed)| Op::RenameEmp { pick, name_seed }),
+        any::<u8>().prop_map(|pick| Op::EraseEmp { pick }),
+        any::<u8>().prop_map(|pick| Op::EraseDivCascade { pick }),
+        any::<u8>().prop_map(|pick| Op::Disconnect { pick }),
+    ]
+}
+
+fn pick(ids: &[RecordId], k: u8) -> Option<RecordId> {
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids[k as usize % ids.len()])
+    }
+}
+
+fn apply(db: &mut NetworkDb, op: &Op) {
+    // Every operation may legitimately fail (duplicates, members present);
+    // the property is that the database never becomes inconsistent.
+    match op {
+        Op::StoreEmp {
+            name_seed,
+            dept,
+            age,
+            div_pick,
+        } => {
+            let divs = db.records_of_type("DIV");
+            if let Some(div) = pick(&divs, *div_pick) {
+                let _ = db.store(
+                    "EMP",
+                    &[
+                        ("EMP-NAME", Value::str(format!("E{name_seed:05}"))),
+                        ("DEPT-NAME", Value::str(format!("D{}", dept % 5))),
+                        ("AGE", Value::Int(*age as i64 % 80)),
+                    ],
+                    &[("DIV-EMP", div)],
+                );
+            }
+        }
+        Op::StoreDiv { name_seed } => {
+            let _ = db.store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str(format!("DIV{name_seed:05}"))),
+                    ("DIV-LOC", Value::str("X")),
+                ],
+                &[],
+            );
+        }
+        Op::ModifyAge { pick: p, age } => {
+            if let Some(id) = pick(&db.records_of_type("EMP"), *p) {
+                let _ = db.modify(id, &[("AGE", Value::Int(*age as i64 % 80))]);
+            }
+        }
+        Op::RenameEmp { pick: p, name_seed } => {
+            if let Some(id) = pick(&db.records_of_type("EMP"), *p) {
+                let _ = db.modify(id, &[("EMP-NAME", Value::str(format!("R{name_seed:05}")))]);
+            }
+        }
+        Op::EraseEmp { pick: p } => {
+            if let Some(id) = pick(&db.records_of_type("EMP"), *p) {
+                let _ = db.erase(id, false);
+            }
+        }
+        Op::EraseDivCascade { pick: p } => {
+            if let Some(id) = pick(&db.records_of_type("DIV"), *p) {
+                let _ = db.erase(id, true);
+            }
+        }
+        Op::Disconnect { pick: p } => {
+            if let Some(id) = pick(&db.records_of_type("EMP"), *p) {
+                let _ = db.disconnect("DIV-EMP", id);
+            }
+        }
+    }
+}
+
+/// The engine's structural invariants.
+fn check_invariants(db: &NetworkDb) {
+    let schema = db.schema().clone();
+    for set in &schema.sets {
+        let owners: Vec<RecordId> = match &set.owner {
+            SetOwner::System => vec![SYSTEM_OWNER],
+            SetOwner::Record(r) => db.records_of_type(r),
+        };
+        for owner in owners {
+            let members = db.members_of(&set.name, owner).unwrap();
+            // 1. Member lists are sorted by the declared keys.
+            if !set.keys.is_empty() {
+                let keys: Vec<Vec<Value>> = members
+                    .iter()
+                    .map(|&m| {
+                        set.keys
+                            .iter()
+                            .map(|k| db.field_value(m, k).unwrap())
+                            .collect()
+                    })
+                    .collect();
+                for w in keys.windows(2) {
+                    assert_ne!(
+                        cmp_tuple(&w[0], &w[1]),
+                        std::cmp::Ordering::Greater,
+                        "set {} occurrence unsorted",
+                        set.name
+                    );
+                }
+                // 2. No duplicate keys within an occurrence.
+                for w in keys.windows(2) {
+                    assert_ne!(
+                        cmp_tuple(&w[0], &w[1]),
+                        std::cmp::Ordering::Equal,
+                        "set {} occurrence has duplicate keys",
+                        set.name
+                    );
+                }
+            }
+            // 3. owner_in is the inverse of members_of.
+            for &m in &members {
+                assert_eq!(
+                    db.owner_in(&set.name, m).unwrap(),
+                    Some(owner),
+                    "member/owner index out of sync in {}",
+                    set.name
+                );
+            }
+        }
+        // 4. System sets contain every record of their member type.
+        if set.is_system() {
+            let members = db.members_of(&set.name, SYSTEM_OWNER).unwrap();
+            let mut all = db.records_of_type(&set.member);
+            let mut ms = members.clone();
+            all.sort();
+            ms.sort();
+            assert_eq!(all, ms, "system set {} incomplete", set.name);
+        }
+    }
+    // 5. Every live record's values resolve.
+    for r in &schema.records {
+        for id in db.records_of_type(&r.name) {
+            db.resolved_values(id).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_op_sequences(
+        ops in prop::collection::vec(op_strategy(), 0..120)
+    ) {
+        let mut db = named::company_db(3, 3, 5);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        check_invariants(&db);
+    }
+
+    /// Translation preserves the invariants too (the rebuild goes through
+    /// the same mutation API, but diamond cases deserve the check).
+    #[test]
+    fn invariants_hold_after_translation(
+        ops in prop::collection::vec(op_strategy(), 0..60)
+    ) {
+        let mut db = named::company_db(2, 3, 4);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let r = named::fig_4_4_restructuring();
+        if let Ok(t) = r.translate(&db) {
+            check_invariants(&t);
+        }
+    }
+}
