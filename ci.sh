@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate — mirrors .github/workflows/ci.yml exactly.
+#
+# All dependencies are vendored as workspace shims (see shims/), so every
+# step below runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

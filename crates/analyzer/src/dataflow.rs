@@ -24,10 +24,10 @@
 //! whether a `DropField` restructuring affects a given program.
 
 use crate::extract::var_types;
+use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::dbtg::{DbtgProgram, DbtgStmt, StatusCond};
 use dbpc_dml::expr::{BoolExpr, Expr};
 use dbpc_dml::host::{FindExpr, ForSource, PathStart, Program, Stmt};
-use dbpc_datamodel::network::NetworkSchema;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -53,10 +53,9 @@ impl fmt::Display for Hazard {
                 "DML verb on {record} varies at run time; read/update \
                  distinction unknowable at conversion time"
             ),
-            Hazard::OrderObservable { query } => write!(
-                f,
-                "retrieval order observable without SORT: {query}"
-            ),
+            Hazard::OrderObservable { query } => {
+                write!(f, "retrieval order observable without SORT: {query}")
+            }
             Hazard::StatusCodeDependence { status } => {
                 write!(f, "program branches on status code {status}")
             }
@@ -196,8 +195,7 @@ fn check_order(stmts: &[Stmt], finds: &mut Vec<(String, FindExpr)>, out: &mut Ve
                         .map(|(_, q)| q.clone()),
                 };
                 if let Some(q) = query {
-                    if !q.is_sorted() && body_is_observable(body) && iteration_order_matters(&q)
-                    {
+                    if !q.is_sorted() && body_is_observable(body) && iteration_order_matters(&q) {
                         out.push(Hazard::OrderObservable {
                             query: q.to_string(),
                         });
@@ -286,9 +284,7 @@ fn collect_find_refs(
     }
     if let FindExpr::Sort { keys, .. } = q {
         for k in keys {
-            report
-                .field_refs
-                .insert((spec.target.clone(), k.clone()));
+            report.field_refs.insert((spec.target.clone(), k.clone()));
         }
     }
 }

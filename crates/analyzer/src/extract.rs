@@ -157,13 +157,12 @@ pub fn sequences_of_dbtg(
     let mut current_entity: Option<String> = None;
     let mut saw_retrieve = false;
 
-    let flush = |steps: &mut Vec<AccessStep>,
-                 sequences: &mut Vec<AccessSequence>,
-                 op: DbOperation| {
-        if !steps.is_empty() {
-            sequences.push(AccessSequence::new(std::mem::take(steps), op));
-        }
-    };
+    let flush =
+        |steps: &mut Vec<AccessStep>, sequences: &mut Vec<AccessSequence>, op: DbOperation| {
+            if !steps.is_empty() {
+                sequences.push(AccessSequence::new(std::mem::take(steps), op));
+            }
+        };
 
     for unit in &program.units {
         let DbtgUnit::Stmt(stmt) = unit else {
@@ -346,10 +345,7 @@ END PROGRAM;",
         assert_eq!(t.get("E").map(String::as_str), Some("EMP"));
         let seqs = sequences_of_host(&p);
         // The collection-start FIND knows its source entity is DIV.
-        assert_eq!(
-            seqs[1].to_string(),
-            "ACCESS EMP via DIV\nRETRIEVE"
-        );
+        assert_eq!(seqs[1].to_string(), "ACCESS EMP via DIV\nRETRIEVE");
     }
 
     #[test]
@@ -433,13 +429,14 @@ END PROGRAM.",
         );
         // The entry condition captured the MOVEd literal.
         let entry = &ex.sequences[0].steps[0];
-        assert_eq!(
-            entry.condition.as_ref().unwrap().to_string(),
-            "D# = 'D2'"
-        );
+        assert_eq!(entry.condition.as_ref().unwrap().to_string(), "D# = 'D2'");
         // The association step carries the YEAR-OF-SERVICE condition.
         assert_eq!(
-            ex.sequences[0].steps[1].condition.as_ref().unwrap().to_string(),
+            ex.sequences[0].steps[1]
+                .condition
+                .as_ref()
+                .unwrap()
+                .to_string(),
             "YEAR-OF-SERVICE = 3"
         );
     }

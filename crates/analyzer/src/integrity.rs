@@ -21,9 +21,9 @@
 //! must be added to programs when a declarative constraint is dropped.
 
 use dbpc_datamodel::constraint::Constraint;
+use dbpc_datamodel::value::Value;
 use dbpc_dml::expr::{BoolExpr, CmpOp, Expr};
 use dbpc_dml::host::{PathStart, Program, Stmt};
-use dbpc_datamodel::value::Value;
 
 /// A procedural constraint discovered in program text.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,9 +68,7 @@ pub fn detect_procedural(program: &Program) -> Vec<ProceduralConstraint> {
                         .spec()
                         .steps
                         .first()
-                        .filter(|_| {
-                            matches!(query.spec().start, PathStart::Collection(_))
-                        })
+                        .filter(|_| matches!(query.spec().start, PathStart::Collection(_)))
                         .map(|st| st.set.clone()),
                     _ => None,
                 });
@@ -78,9 +76,7 @@ pub fn detect_procedural(program: &Program) -> Vec<ProceduralConstraint> {
                 // guard's purpose.
                 if let Some(set) = set {
                     let guarded = flat[i..].iter().any(|p| match p {
-                        Stmt::Store { connects, .. } => {
-                            connects.iter().any(|c| c.set == set)
-                        }
+                        Stmt::Store { connects, .. } => connects.iter().any(|c| c.set == set),
                         _ => false,
                     });
                     if guarded && max >= 0 {

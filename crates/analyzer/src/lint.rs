@@ -99,16 +99,12 @@ pub fn lint_program(program: &Program, schema: &NetworkSchema) -> Vec<Lint> {
     let report = analyze_host(program, schema);
     for h in &report.hazards {
         match h {
-            Hazard::OrderObservable { query } => {
-                lints.push(Lint::UnpinnedObservableOrder {
-                    query: query.clone(),
-                })
-            }
-            Hazard::RuntimeVariableVerb { record } => {
-                lints.push(Lint::RuntimeVariableVerb {
-                    record: record.clone(),
-                })
-            }
+            Hazard::OrderObservable { query } => lints.push(Lint::UnpinnedObservableOrder {
+                query: query.clone(),
+            }),
+            Hazard::RuntimeVariableVerb { record } => lints.push(Lint::RuntimeVariableVerb {
+                record: record.clone(),
+            }),
             _ => {}
         }
     }

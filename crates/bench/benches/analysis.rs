@@ -64,21 +64,15 @@ fn bench_analysis(c: &mut Criterion) {
         let hp = host_program(n);
         let dp = dbtg_program(n);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new("host-dataflow", n),
-            &(),
-            |b, _| b.iter(|| analyze_host(&hp, &schema)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("host-extract", n),
-            &(),
-            |b, _| b.iter(|| sequences_of_host(&hp)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("dbtg-template-match", n),
-            &(),
-            |b, _| b.iter(|| sequences_of_dbtg(&dp, &personnel, &BTreeMap::new())),
-        );
+        group.bench_with_input(BenchmarkId::new("host-dataflow", n), &(), |b, _| {
+            b.iter(|| analyze_host(&hp, &schema))
+        });
+        group.bench_with_input(BenchmarkId::new("host-extract", n), &(), |b, _| {
+            b.iter(|| sequences_of_host(&hp))
+        });
+        group.bench_with_input(BenchmarkId::new("dbtg-template-match", n), &(), |b, _| {
+            b.iter(|| sequences_of_dbtg(&dp, &personnel, &BTreeMap::new()))
+        });
         group.bench_with_input(BenchmarkId::new("full-conversion", n), &(), |b, _| {
             b.iter(|| {
                 Supervisor::new()

@@ -41,16 +41,12 @@ fn bench_constraints(c: &mut Criterion) {
         // Procedural: plain schema, program carries the guard.
         let plain = named::company_db(divs, depts, emps);
         let guarded = insert_program(inserts, true);
-        group.bench_with_input(
-            BenchmarkId::new("procedural-check", label),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let mut db = plain.clone();
-                    run_host(&mut db, &guarded, Inputs::new()).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("procedural-check", label), &(), |b, _| {
+            b.iter(|| {
+                let mut db = plain.clone();
+                run_host(&mut db, &guarded, Inputs::new()).unwrap()
+            })
+        });
 
         // Declarative: schema carries the constraint, program is bare.
         let schema = named::company_schema().with_constraint(Constraint::Cardinality {

@@ -59,11 +59,9 @@ END PROGRAM.",
         // type; the company hierarchy has exactly EMP, so reorder is a
         // no-op permutation — still measures the rebuild cost.
         let new_schema = reorder_hier_children(db.schema(), "DIV", &["EMP"]).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("reorder-translate", label),
-            &(),
-            |b, _| b.iter(|| translate_hier_reorder(&db, &new_schema).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("reorder-translate", label), &(), |b, _| {
+            b.iter(|| translate_hier_reorder(&db, &new_schema).unwrap())
+        });
     }
     group.finish();
 }

@@ -12,7 +12,7 @@
 //! cost is O(db)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbpc_bench::{retrieval_workload, target_db, convert_for_fig44};
+use dbpc_bench::{convert_for_fig44, retrieval_workload, target_db};
 use dbpc_corpus::named;
 use dbpc_emulate::{run_bridged, Emulator, WriteBack};
 use dbpc_engine::host_exec::run_host;
@@ -36,8 +36,7 @@ fn bench_strategies(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("emulate", label), &(), |b, _| {
             b.iter(|| {
-                let mut emu =
-                    Emulator::over(target.clone(), &schema, &restructuring).unwrap();
+                let mut emu = Emulator::over(target.clone(), &schema, &restructuring).unwrap();
                 run_host(&mut emu, &program, Inputs::new()).unwrap()
             })
         });

@@ -66,11 +66,9 @@ fn bench_translation(c: &mut Criterion) {
         group.throughput(Throughput::Elements(records));
         for (name, t) in &transforms {
             let r = Restructuring::single(t.clone());
-            group.bench_with_input(
-                BenchmarkId::new(*name, label),
-                &(),
-                |b, _| b.iter(|| r.translate(&src).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, label), &(), |b, _| {
+                b.iter(|| r.translate(&src).unwrap())
+            });
         }
     }
     group.finish();

@@ -40,6 +40,9 @@ fn main() {
                 ..params
             },
         );
-        println!("  review {review:>4.1}h  ->  {:>5.1}%", 100.0 * r.savings_fraction());
+        println!(
+            "  review {review:>4.1}h  ->  {:>5.1}%",
+            100.0 * r.savings_fraction()
+        );
     }
 }

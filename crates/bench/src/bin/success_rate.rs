@@ -14,10 +14,7 @@ use dbpc_corpus::harness::success_rate_study;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let samples: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let samples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1979);
 
     let study = success_rate_study(samples, seed);

@@ -45,11 +45,8 @@ END PROGRAM;",
 }
 
 /// Standard scales for the strategy comparison (divisions, depts, emps/div).
-pub const SCALES: &[(usize, usize, usize, &str)] = &[
-    (4, 4, 25, "1e2"),
-    (4, 4, 250, "1e3"),
-    (4, 4, 2500, "1e4"),
-];
+pub const SCALES: &[(usize, usize, usize, &str)] =
+    &[(4, 4, 25, "1e2"), (4, 4, 250, "1e3"), (4, 4, 2500, "1e4")];
 
 /// Build the target database (Figure 4.4 form) for a scale.
 pub fn target_db(divs: usize, depts: usize, emps: usize) -> (NetworkDb, Restructuring) {

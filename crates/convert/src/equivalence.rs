@@ -15,9 +15,9 @@
 //! difference was predicted by a conversion warning.
 
 use crate::report::Warning;
+use dbpc_dml::host::Program;
 use dbpc_engine::host_exec::run_host;
 use dbpc_engine::{diff_traces, Inputs, RunError, Trace};
-use dbpc_dml::host::Program;
 use dbpc_storage::NetworkDb;
 
 /// How equivalent the converted program turned out to be.
@@ -301,8 +301,7 @@ END PROGRAM;",
 END PROGRAM;",
         )
         .unwrap();
-        let eq =
-            check_equivalence(src_db, &p, tgt_db, &wrong, &Inputs::new(), &[]).unwrap();
+        let eq = check_equivalence(src_db, &p, tgt_db, &wrong, &Inputs::new(), &[]).unwrap();
         assert_eq!(eq.level, EquivalenceLevel::NotEquivalent);
         assert!(eq.divergence.unwrap().contains("diverge"));
     }

@@ -142,7 +142,11 @@ pub fn lower_sequence_to_sequel(
                     (assoc.right_link.clone(), assoc.right_link.clone())
                 };
                 // Inline an equality on the link field; nest otherwise.
-                match prev.condition.as_ref().and_then(|c| equality_on(c, &prev_key)) {
+                match prev
+                    .condition
+                    .as_ref()
+                    .and_then(|c| equality_on(c, &prev_key))
+                {
                     Some(v) => {
                         preds.push(SequelPred::cmp(link_col, CmpOp::Eq, v));
                         // The inlined entity must contribute nothing else.
@@ -331,9 +335,7 @@ pub fn lift_sequence_to_host(
                     .system_sets_of(&step.target)
                     .first()
                     .map(|s| s.name.clone())
-                    .ok_or_else(|| {
-                        format!("entity {} has no system entry set", step.target)
-                    })?;
+                    .ok_or_else(|| format!("entity {} has no system entry set", step.target))?;
                 steps.push(PathStep {
                     set: sys,
                     record: step.target.clone(),
@@ -378,9 +380,7 @@ pub fn lift_sequence_to_host(
                         .sets_owned_by(prev)
                         .into_iter()
                         .find(|s| s.member == step.target)
-                        .ok_or_else(|| {
-                            format!("no set from {prev} to {}", step.target)
-                        })?;
+                        .ok_or_else(|| format!("no set from {prev} to {}", step.target))?;
                     steps.push(PathStep {
                         set: set.name.clone(),
                         record: step.target.clone(),
@@ -503,24 +503,14 @@ pub fn convert_retrieval_program_to_sequel(
                 let mut cols = Vec::new();
                 for e in exprs {
                     match e {
-                        Expr::Field { var: v, field } if v == var => {
-                            cols.push(field.as_str())
-                        }
-                        other => {
-                            return Err(format!(
-                                "PRINT item has no SEQUEL form: {other}"
-                            ))
-                        }
+                        Expr::Field { var: v, field } if v == var => cols.push(field.as_str()),
+                        other => return Err(format!("PRINT item has no SEQUEL form: {other}")),
                     }
                 }
                 let q = lower_find_to_sequel(&spec, cols, schema)?;
                 stmts.push(SequelStmt::Select(q));
             }
-            other => {
-                return Err(format!(
-                    "statement has no SEQUEL counterpart: {other:?}"
-                ))
-            }
+            other => return Err(format!("statement has no SEQUEL counterpart: {other:?}")),
         }
     }
     if stmts.is_empty() {
@@ -577,8 +567,8 @@ mod tests {
     /// The paper's listing (A), generated from the abstract patterns.
     #[test]
     fn lowering_reproduces_listing_a() {
-        let q = lower_sequence_to_sequel(&d2_sequence(), vec!["ENAME"], &personnel_catalog())
-            .unwrap();
+        let q =
+            lower_sequence_to_sequel(&d2_sequence(), vec!["ENAME"], &personnel_catalog()).unwrap();
         assert_eq!(
             print_select(&q),
             "SELECT ENAME
@@ -644,8 +634,7 @@ END PROGRAM.
             ],
             DbOperation::Retrieve,
         );
-        let q =
-            lower_sequence_to_sequel(&seq, vec!["ENAME"], &personnel_catalog()).unwrap();
+        let q = lower_sequence_to_sequel(&seq, vec!["ENAME"], &personnel_catalog()).unwrap();
         let text = print_select(&q);
         assert!(text.contains("D# IN"));
         assert!(text.contains("FROM DEPT"));

@@ -71,14 +71,12 @@ impl Mapping {
 
     /// Do the classified changes include any ordering hazard?
     pub fn has_ordering_changes(&self) -> bool {
-        self.changes.iter().any(|c| c.affects_ordering())
-            || self.restructuring.affects_ordering()
+        self.changes.iter().any(|c| c.affects_ordering()) || self.restructuring.affects_ordering()
     }
 
     /// Do the classified changes include integrity-semantics changes?
     pub fn has_integrity_changes(&self) -> bool {
-        self.changes.iter().any(|c| c.affects_integrity())
-            || self.restructuring.affects_integrity()
+        self.changes.iter().any(|c| c.affects_integrity()) || self.restructuring.affects_integrity()
     }
 }
 

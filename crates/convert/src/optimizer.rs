@@ -37,11 +37,7 @@ pub fn optimize(program: &Program, target_schema: &NetworkSchema) -> (Program, V
 }
 
 /// Pass 1: unwrap `SORT` whose keys equal the final set's declared keys.
-fn remove_redundant_sorts(
-    p: &mut Program,
-    schema: &NetworkSchema,
-    warnings: &mut Vec<Warning>,
-) {
+fn remove_redundant_sorts(p: &mut Program, schema: &NetworkSchema, warnings: &mut Vec<Warning>) {
     let mut removed = Vec::new();
     p.visit_finds_mut(&mut |q| {
         let FindExpr::Sort { inner, keys } = q else {
@@ -72,11 +68,7 @@ fn remove_redundant_sorts(
 }
 
 /// Pass 2: remove procedural checks the target schema enforces.
-fn remove_redundant_checks(
-    p: &mut Program,
-    schema: &NetworkSchema,
-    warnings: &mut Vec<Warning>,
-) {
+fn remove_redundant_checks(p: &mut Program, schema: &NetworkSchema, warnings: &mut Vec<Warning>) {
     let found = detect_procedural(p);
     let redundant: Vec<_> = found
         .into_iter()

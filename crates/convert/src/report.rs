@@ -76,7 +76,10 @@ impl fmt::Display for Question {
                 "program modifies {record}.{field}, which became a grouping record"
             ),
             Question::TargetEntityRemoved { record } => {
-                write!(f, "program retrieves {record}, which the restructuring removes")
+                write!(
+                    f,
+                    "program retrieves {record}, which the restructuring removes"
+                )
             }
             Question::UnsplittableFilter { detail } => {
                 write!(f, "filter cannot be split across new path steps: {detail}")
@@ -113,26 +116,42 @@ impl fmt::Display for Question {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Warning {
     /// A SORT was inserted to preserve the source result order.
-    OrderCompensated { query: String },
+    OrderCompensated {
+        query: String,
+    },
     /// A redundant SORT was removed (target ordering already matches).
-    RedundantSortRemoved { query: String },
+    RedundantSortRemoved {
+        query: String,
+    },
     /// A procedural integrity check duplicated by the target schema's
     /// declarative constraint was removed.
-    RedundantCheckRemoved { constraint: String },
+    RedundantCheckRemoved {
+        constraint: String,
+    },
     /// A dead retrieval (result never used) was removed.
-    DeadFindRemoved { var: String },
+    DeadFindRemoved {
+        var: String,
+    },
     /// Compensating statements were inserted (find-or-create owner,
     /// explicit member deletion, …) — Su's "the system will insert
     /// statements to traverse this relationship".
-    CompensationInserted { detail: String },
+    CompensationInserted {
+        detail: String,
+    },
     /// The restructuring deletes data the program reads; the conversion is
     /// only equivalent at the §5.2 "warned" level.
-    InformationDeleted { record: String },
+    InformationDeleted {
+        record: String,
+    },
     /// Integrity semantics tightened/loosened; operations may newly fail or
     /// newly succeed — "the desired behavior because the application
     /// requirements have changed, but … not strictly equivalent" (§5.2).
-    IntegrityTightened { detail: String },
-    IntegrityLoosened { detail: String },
+    IntegrityTightened {
+        detail: String,
+    },
+    IntegrityLoosened {
+        detail: String,
+    },
 }
 
 impl fmt::Display for Warning {
@@ -213,7 +232,11 @@ impl ScriptedAnalyst {
 
 impl Analyst for ScriptedAnalyst {
     fn resolve(&mut self, _q: &Question) -> Answer {
-        let a = self.answers.get(self.next).copied().unwrap_or(Answer::Reject);
+        let a = self
+            .answers
+            .get(self.next)
+            .copied()
+            .unwrap_or(Answer::Reject);
         self.next += 1;
         a
     }

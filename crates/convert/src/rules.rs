@@ -29,8 +29,8 @@
 use crate::report::{Question, Warning};
 use dbpc_analyzer::dataflow::analyze_host;
 use dbpc_analyzer::extract::var_types;
-use dbpc_datamodel::network::{Insertion, NetworkSchema, Retention};
 use dbpc_datamodel::constraint::Constraint;
+use dbpc_datamodel::network::{Insertion, NetworkSchema, Retention};
 use dbpc_dml::expr::{BoolExpr, CmpOp, Expr};
 use dbpc_dml::host::{
     ConnectTo, FindExpr, FindSpec, ForSource, PathStart, PathStep, Program, Stmt,
@@ -349,7 +349,8 @@ impl<'a> Ctx<'a> {
                     if let Some(f) = &step.filter {
                         for conj in f.conjuncts() {
                             let names = conj.names();
-                            let mentions_moved = names.iter().any(|n| moved.contains(&n.to_string()));
+                            let mentions_moved =
+                                names.iter().any(|n| moved.contains(&n.to_string()));
                             let mentions_kept = names.iter().any(|n| {
                                 !moved.contains(&n.to_string())
                                     && record_fields.contains(&n.to_string())
@@ -616,18 +617,18 @@ impl<'a> Ctx<'a> {
                 record: r,
                 connects,
                 ..
+            } if (r == mid_record || connects.iter().any(|c| c.set == lower_set)) => {
+                qs.push(Question::TargetEntityRemoved {
+                    record: mid_record.to_string(),
+                });
             }
-                if (r == mid_record || connects.iter().any(|c| c.set == lower_set)) => {
-                    qs.push(Question::TargetEntityRemoved {
-                        record: mid_record.to_string(),
-                    });
-                }
             Stmt::Connect { set, .. } | Stmt::Disconnect { set, .. }
-                if (set == upper_set || set == lower_set) => {
-                    qs.push(Question::TargetEntityRemoved {
-                        record: mid_record.to_string(),
-                    });
-                }
+                if (set == upper_set || set == lower_set) =>
+            {
+                qs.push(Question::TargetEntityRemoved {
+                    record: mid_record.to_string(),
+                });
+            }
             Stmt::CallDml { record: r, .. } if r == mid_record || r == record => {
                 qs.push(Question::CallDmlFieldListChanged { record: r.clone() });
             }
@@ -659,10 +660,10 @@ impl<'a> Ctx<'a> {
                 Stmt::Store { record, .. } if *record == member => updates_member = true,
                 Stmt::Modify { var, assigns }
                     if types.get(var) == Some(&member)
-                        && assigns.iter().any(|(f, _)| new_keys.contains(f))
-                    => {
-                        updates_member = true;
-                    }
+                        && assigns.iter().any(|(f, _)| new_keys.contains(f)) =>
+                {
+                    updates_member = true;
+                }
                 _ => {}
             });
             if updates_member {
@@ -679,9 +680,7 @@ impl<'a> Ctx<'a> {
             .hazards
             .iter()
             .filter_map(|h| match h {
-                dbpc_analyzer::dataflow::Hazard::OrderObservable { query } => {
-                    Some(query.clone())
-                }
+                dbpc_analyzer::dataflow::Hazard::OrderObservable { query } => Some(query.clone()),
                 _ => None,
             })
             .collect();
@@ -771,8 +770,9 @@ impl<'a> Ctx<'a> {
                     }
                 });
                 if affected {
-                    self.questions
-                        .push(Question::RetentionTightened { set: set.to_string() });
+                    self.questions.push(Question::RetentionTightened {
+                        set: set.to_string(),
+                    });
                 } else {
                     self.warnings.push(Warning::IntegrityTightened {
                         detail: format!("set {set} retention is now MANDATORY"),
@@ -1120,8 +1120,9 @@ END PROGRAM;",
         assert!(text.contains("FIND CVT-2 := FIND(DEPT: D, DIV-DEPT, DEPT(DEPT-NAME = CVT-V1));"));
         assert!(text.contains("IF COUNT(CVT-2) = 0 THEN"));
         assert!(text.contains("STORE DEPT (DEPT-NAME := CVT-V1) CONNECT TO DIV-DEPT OF D;"));
-        assert!(text
-            .contains("STORE EMP (EMP-NAME := 'NEW', AGE := 21) CONNECT TO DEPT-EMP OF CVT-2;"));
+        assert!(
+            text.contains("STORE EMP (EMP-NAME := 'NEW', AGE := 21) CONNECT TO DEPT-EMP OF CVT-2;")
+        );
     }
 
     #[test]
@@ -1135,10 +1136,9 @@ END PROGRAM;",
 END PROGRAM;",
             &fig_4_4(),
         );
-        assert!(out
-            .questions
-            .iter()
-            .any(|q| matches!(q, Question::MigratedFieldReference { field, .. } if field == "DIV-NAME")));
+        assert!(out.questions.iter().any(
+            |q| matches!(q, Question::MigratedFieldReference { field, .. } if field == "DIV-NAME")
+        ));
     }
 
     #[test]

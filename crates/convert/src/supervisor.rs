@@ -385,7 +385,12 @@ END PROGRAM;",
                 vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
             ))
             .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
-            .with_set(SetDef::owned("CURRENT-STAFF", "DIV", "EMP", vec!["EMP-NAME"]))
+            .with_set(SetDef::owned(
+                "CURRENT-STAFF",
+                "DIV",
+                "EMP",
+                vec!["EMP-NAME"],
+            ))
             .with_set(
                 SetDef::owned("ALUMNI", "DIV", "EMP", vec!["EMP-NAME"])
                     .with_insertion(dbpc_datamodel::network::Insertion::Manual),

@@ -10,10 +10,10 @@
 //! whether it enforces constraints procedurally, and whether it exhibits
 //! the §3.2 execution-time pathologies.
 
-use dbpc_dml::host::{parse_program, Program};
-use dbpc_restructure::{Restructuring, Transform};
 use dbpc_datamodel::value::Value;
 use dbpc_dml::expr::CmpOp;
+use dbpc_dml::host::{parse_program, Program};
+use dbpc_restructure::{Restructuring, Transform};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::fmt;
@@ -245,19 +245,15 @@ impl TransformClass {
     pub fn restructuring(&self) -> Restructuring {
         match self {
             TransformClass::Promote => crate::named::fig_4_4_restructuring(),
-            TransformClass::RenameAgeField => {
-                Restructuring::single(Transform::RenameField {
-                    record: "EMP".into(),
-                    old: "AGE".into(),
-                    new: "YEARS".into(),
-                })
-            }
-            TransformClass::RenameEmpRecord => {
-                Restructuring::single(Transform::RenameRecord {
-                    old: "EMP".into(),
-                    new: "WORKER".into(),
-                })
-            }
+            TransformClass::RenameAgeField => Restructuring::single(Transform::RenameField {
+                record: "EMP".into(),
+                old: "AGE".into(),
+                new: "YEARS".into(),
+            }),
+            TransformClass::RenameEmpRecord => Restructuring::single(Transform::RenameRecord {
+                old: "EMP".into(),
+                new: "WORKER".into(),
+            }),
             TransformClass::ChangeEmpKeys => Restructuring::single(Transform::ChangeSetKeys {
                 set: "DIV-EMP".into(),
                 keys: vec!["AGE".into()],
@@ -293,13 +289,11 @@ impl TransformClass {
                     upper_set: "DIV-DEPT".into(),
                     lower_set: "DEPT-EMP".into(),
                 },
-                Transform::AddConstraint(
-                    dbpc_datamodel::constraint::Constraint::Cardinality {
-                        set: "DEPT-EMP".into(),
-                        min: 0,
-                        max: Some(10_000),
-                    },
-                ),
+                Transform::AddConstraint(dbpc_datamodel::constraint::Constraint::Cardinality {
+                    set: "DEPT-EMP".into(),
+                    min: 0,
+                    max: Some(10_000),
+                }),
             ]),
         }
     }
@@ -386,11 +380,7 @@ pub fn generate_schema(cfg: SchemaGenConfig, seed: u64) -> NetworkSchema {
         }
         schema = schema.with_record(RecordTypeDef::new(format!("R{i}"), fields));
         if i == 0 || rng.random_range(0..4) == 0 {
-            schema = schema.with_set(SetDef::system(
-                format!("ALL-R{i}"),
-                format!("R{i}"),
-                vec![],
-            ));
+            schema = schema.with_set(SetDef::system(format!("ALL-R{i}"), format!("R{i}"), vec![]));
             // System sets are keyed on the record's key field.
             let set_name = format!("ALL-R{i}");
             schema.set_mut(&set_name).unwrap().keys = vec![format!("K{i}")];
@@ -446,8 +436,10 @@ pub fn populate_schema(schema: &NetworkSchema, per_type: usize, seed: u64) -> Db
                     connects.push((s.name.clone(), pick));
                 }
             }
-            let vref: Vec<(&str, Value)> =
-                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let vref: Vec<(&str, Value)> = values
+                .iter()
+                .map(|(f, v)| (f.as_str(), v.clone()))
+                .collect();
             let cref: Vec<(&str, dbpc_storage::RecordId)> =
                 connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
             db.store(&r.name, &vref, &cref)?;
@@ -498,7 +490,9 @@ mod gen_schema_tests {
     fn generated_schemas_validate_and_populate() {
         for seed in 0..20u64 {
             let schema = generate_schema(SchemaGenConfig::default(), seed);
-            schema.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            schema
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let db = populate_schema(&schema, 5, seed).unwrap();
             assert!(db.record_count() >= 5);
         }
@@ -509,7 +503,9 @@ mod gen_schema_tests {
         for seed in 0..20u64 {
             let schema = generate_schema(SchemaGenConfig::default(), seed);
             let t = random_invertible_transform(&schema, seed);
-            let fwd = t.apply_schema(&schema).unwrap_or_else(|e| panic!("seed {seed} {t}: {e}"));
+            let fwd = t
+                .apply_schema(&schema)
+                .unwrap_or_else(|e| panic!("seed {seed} {t}: {e}"));
             let back = t.inverse().unwrap().apply_schema(&fwd).unwrap();
             // Renames round-trip exactly; AddField's inverse drops the field.
             assert_eq!(back.records.len(), schema.records.len());

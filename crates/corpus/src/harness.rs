@@ -96,10 +96,7 @@ impl StudyResult {
     }
 
     pub fn total_verified_wrong(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| r.aggregate().verified_wrong)
-            .sum()
+        self.rows.iter().map(|r| r.aggregate().verified_wrong).sum()
     }
 }
 
@@ -165,14 +162,8 @@ fn success_rate_study_with(samples: usize, seed: u64, permissive: bool) -> Study
                 cell.total += 1;
                 let mut auto = AutoAnalyst;
                 let mut perm = PermissiveAnalyst;
-                let analyst: &mut dyn Analyst =
-                    if permissive { &mut perm } else { &mut auto };
-                let report = match supervisor.convert(
-                    &schema,
-                    &restructuring,
-                    &program,
-                    analyst,
-                ) {
+                let analyst: &mut dyn Analyst = if permissive { &mut perm } else { &mut auto };
+                let report = match supervisor.convert(&schema, &restructuring, &program, analyst) {
                     Ok(r) => r,
                     Err(_) => {
                         cell.rejected += 1;
@@ -492,7 +483,10 @@ mod coverage_tests {
     fn restrictiveness_shape_holds() {
         let rows = strategy_coverage(1, 42);
         let cell = |tc: TransformClass| {
-            rows.iter().find(|(t, _)| *t == tc).map(|(_, c)| c.clone()).unwrap()
+            rows.iter()
+                .find(|(t, _)| *t == tc)
+                .map(|(_, c)| c.clone())
+                .unwrap()
         };
         // Lossy restructurings: emulation/bridge impossible, rewriting
         // partially survives.

@@ -173,9 +173,14 @@ pub fn school_network_schema() -> NetworkSchema {
         .with_set(SetDef::system("ALL-COURSE", "COURSE", vec!["CNO"]))
         .with_set(SetDef::system("ALL-SEMESTER", "SEMESTER", vec!["S"]))
         .with_set(
-            SetDef::owned("COURSES-OFFERING", "COURSE", "COURSE-OFFERING", vec!["OFF-ID"])
-                .with_insertion(Insertion::Automatic)
-                .with_retention(Retention::Mandatory),
+            SetDef::owned(
+                "COURSES-OFFERING",
+                "COURSE",
+                "COURSE-OFFERING",
+                vec!["OFF-ID"],
+            )
+            .with_insertion(Insertion::Automatic)
+            .with_retention(Retention::Mandatory),
         )
         .with_set(
             SetDef::owned(
@@ -317,7 +322,14 @@ pub fn personnel_network_db(depts: usize, emps_per_dept: usize) -> DbResult<Netw
             &[
                 ("D#", Value::str(format!("D{d}"))),
                 ("DNAME", Value::str(format!("DEPT-{d:02}"))),
-                ("MGR", Value::str(if d == 2 { "SMITH".into() } else { format!("MGR-{d:02}") })),
+                (
+                    "MGR",
+                    Value::str(if d == 2 {
+                        "SMITH".into()
+                    } else {
+                        format!("MGR-{d:02}")
+                    }),
+                ),
             ],
             &[],
         )?;
@@ -348,7 +360,14 @@ pub fn personnel_relational_db(depts: usize, emps_per_dept: usize) -> DbResult<R
             &[
                 ("D#", Value::str(format!("D{d}"))),
                 ("DNAME", Value::str(format!("DEPT-{d:02}"))),
-                ("MGR", Value::str(if d == 2 { "SMITH".into() } else { format!("MGR-{d:02}") })),
+                (
+                    "MGR",
+                    Value::str(if d == 2 {
+                        "SMITH".into()
+                    } else {
+                        format!("MGR-{d:02}")
+                    }),
+                ),
             ],
         )?;
         for _ in 0..emps_per_dept {
@@ -381,7 +400,11 @@ pub fn company_hier_schema() -> DbResult<HierSchema> {
 }
 
 /// Hierarchical company database at scale.
-pub fn company_hier_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -> DbResult<HierDb> {
+pub fn company_hier_db(
+    divisions: usize,
+    depts_per_div: usize,
+    emps_per_div: usize,
+) -> DbResult<HierDb> {
     crossmodel::network_db_to_hier(&company_db(divisions, depts_per_div, emps_per_div))
 }
 

@@ -33,7 +33,11 @@ pub enum Constraint {
     /// not be offered more than twice in a school year" — each owner of
     /// `set` may have at most `max` members (and at least `min`
     /// at steady state; `min` is checked on disconnect/delete).
-    Cardinality { set: String, min: u32, max: Option<u32> },
+    Cardinality {
+        set: String,
+        min: u32,
+        max: Option<u32>,
+    },
 
     /// `record.field` may not be null (§3.1's "CNO and S can not have null
     /// values").

@@ -787,7 +787,8 @@ END SCHEMA.
     #[test]
     fn compact_relational_parses_fig_31a() {
         // As printed in the paper, ellipses included.
-        let src = "COURSE-OFFERING(CNO,S, .... )\nCOURSE(CNO,CNAME, .... )\nSEMESTER(S,YEAR, .... )\n";
+        let src =
+            "COURSE-OFFERING(CNO,S, .... )\nCOURSE(CNO,CNAME, .... )\nSEMESTER(S,YEAR, .... )\n";
         let s = parse_compact_relational(src).unwrap();
         assert_eq!(s.tables.len(), 3);
         let off = s.table("COURSE-OFFERING").unwrap();

@@ -145,10 +145,7 @@ impl HierSchema {
             }
             if let Some(sf) = &s.seq_field {
                 if s.field_index(sf).is_none() {
-                    return Err(ModelError::unknown(
-                        "field",
-                        format!("{}.{}", s.name, sf),
-                    ));
+                    return Err(ModelError::unknown("field", format!("{}.{}", s.name, sf)));
                 }
             }
             for c in &s.children {

@@ -426,12 +426,7 @@ mod tests {
                     FieldDef::new("EMP-NAME", FieldType::Char(25)),
                     FieldDef::new("DEPT-NAME", FieldType::Char(5)),
                     FieldDef::new("AGE", FieldType::Int(2)),
-                    FieldDef::virtual_field(
-                        "DIV-NAME",
-                        FieldType::Char(20),
-                        "DIV-EMP",
-                        "DIV-NAME",
-                    ),
+                    FieldDef::virtual_field("DIV-NAME", FieldType::Char(20), "DIV-EMP", "DIV-NAME"),
                 ],
             ))
             .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))

@@ -268,8 +268,11 @@ mod tests {
     #[test]
     fn fk_unknown_parent_rejected() {
         let s = RelationalSchema::new("X").with_table(
-            TableDef::new("A", vec![ColumnDef::new("ID", FieldType::Int(4))])
-                .with_foreign_key(vec!["ID"], "MISSING", vec!["ID"]),
+            TableDef::new("A", vec![ColumnDef::new("ID", FieldType::Int(4))]).with_foreign_key(
+                vec!["ID"],
+                "MISSING",
+                vec!["ID"],
+            ),
         );
         assert!(s.validate().is_err());
     }

@@ -170,18 +170,12 @@ mod tests {
     #[test]
     fn numeric_cross_type_compare() {
         assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
-        assert_eq!(
-            Value::Float(1.5).total_cmp(&Value::Int(2)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Float(1.5).total_cmp(&Value::Int(2)), Ordering::Less);
     }
 
     #[test]
     fn numbers_before_strings() {
-        assert_eq!(
-            Value::Int(999).total_cmp(&Value::str("0")),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(999).total_cmp(&Value::str("0")), Ordering::Less);
         assert!(!Value::Int(0).loose_eq(&Value::str("0")));
     }
 

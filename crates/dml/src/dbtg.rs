@@ -247,11 +247,7 @@ fn parse_stmt(ts: &mut TokenStream) -> ParseResult<DbtgStmt> {
             let set = ts.expect_ident()?;
             let using = parse_using(ts)?;
             ts.expect(Tok::Dot)?;
-            return Ok(DbtgStmt::FindNext {
-                record,
-                set,
-                using,
-            });
+            return Ok(DbtgStmt::FindNext { record, set, using });
         }
         if ts.eat_kw("OWNER") {
             ts.expect_kw("WITHIN")?;
@@ -386,11 +382,7 @@ fn print_stmt(s: &DbtgStmt) -> String {
         DbtgStmt::FindFirst { record, set } => {
             format!("FIND FIRST {record} WITHIN {set}.")
         }
-        DbtgStmt::FindNext {
-            record,
-            set,
-            using,
-        } => {
+        DbtgStmt::FindNext { record, set, using } => {
             if using.is_empty() {
                 format!("FIND NEXT {record} WITHIN {set}.")
             } else {
@@ -517,10 +509,7 @@ DBTG PROGRAM A.
 END PROGRAM.
 ";
         let p = parse_dbtg(src).unwrap();
-        assert!(matches!(
-            p.stmts().next().unwrap(),
-            DbtgStmt::Accept { .. }
-        ));
+        assert!(matches!(p.stmts().next().unwrap(), DbtgStmt::Accept { .. }));
         assert_eq!(print_dbtg(&p), src);
     }
 

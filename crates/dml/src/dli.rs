@@ -465,12 +465,7 @@ END PROGRAM.
         assert_eq!(
             first,
             &DliStmt::Gu {
-                ssas: vec![Ssa::qualified(
-                    "DIV",
-                    "DIV-NAME",
-                    CmpOp::Eq,
-                    "MACHINERY"
-                )]
+                ssas: vec![Ssa::qualified("DIV", "DIV-NAME", CmpOp::Eq, "MACHINERY")]
             }
         );
     }
@@ -529,7 +524,9 @@ E.
 END PROGRAM.
 ";
         let p = parse_dli(src).unwrap();
-        assert!(p.stmts().any(|s| matches!(s, DliStmt::Gn { segment: None })));
+        assert!(p
+            .stmts()
+            .any(|s| matches!(s, DliStmt::Gn { segment: None })));
         assert_eq!(print_dli(&p), src);
     }
 

@@ -173,11 +173,7 @@ impl fmt::Display for Expr {
 /// A boolean expression over scalar comparisons.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BoolExpr {
-    Cmp {
-        op: CmpOp,
-        left: Expr,
-        right: Expr,
-    },
+    Cmp { op: CmpOp, left: Expr, right: Expr },
     And(Box<BoolExpr>, Box<BoolExpr>),
     Or(Box<BoolExpr>, Box<BoolExpr>),
     Not(Box<BoolExpr>),
@@ -461,7 +457,11 @@ mod tests {
         let e = parse_expr(&mut ts).unwrap();
         assert_eq!(e.to_string(), "A + B * 2");
         match e {
-            Expr::Bin { op: BinOp::Add, right, .. } => {
+            Expr::Bin {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Bin { op: BinOp::Mul, .. }))
             }
             other => panic!("wrong shape: {other:?}"),
@@ -485,10 +485,7 @@ mod tests {
     #[test]
     fn negative_literal() {
         let b = bexpr("X > -5");
-        assert_eq!(
-            b,
-            BoolExpr::cmp(Expr::name("X"), CmpOp::Gt, Expr::lit(-5))
-        );
+        assert_eq!(b, BoolExpr::cmp(Expr::name("X"), CmpOp::Gt, Expr::lit(-5)));
     }
 
     #[test]
@@ -501,8 +498,7 @@ mod tests {
         let b = bexpr("A = 1 AND B = 2 AND C = 3");
         let parts = b.conjuncts();
         assert_eq!(parts.len(), 3);
-        let rebuilt =
-            BoolExpr::from_conjuncts(parts.into_iter().cloned().collect()).unwrap();
+        let rebuilt = BoolExpr::from_conjuncts(parts.into_iter().cloned().collect()).unwrap();
         assert_eq!(rebuilt, b);
     }
 

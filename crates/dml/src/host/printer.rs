@@ -91,10 +91,7 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             assigns,
             connects,
         } => {
-            let alist: Vec<String> = assigns
-                .iter()
-                .map(|(f, e)| format!("{f} := {e}"))
-                .collect();
+            let alist: Vec<String> = assigns.iter().map(|(f, e)| format!("{f} := {e}")).collect();
             let _ = write!(out, "STORE {record} ({})", alist.join(", "));
             if !connects.is_empty() {
                 let clist: Vec<String> = connects
@@ -123,10 +120,7 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             }
         }
         Stmt::Modify { var, assigns } => {
-            let alist: Vec<String> = assigns
-                .iter()
-                .map(|(f, e)| format!("{f} := {e}"))
-                .collect();
+            let alist: Vec<String> = assigns.iter().map(|(f, e)| format!("{f} := {e}")).collect();
             let _ = writeln!(out, "MODIFY {var} SET ({});", alist.join(", "));
         }
         Stmt::Check { cond, message } => {

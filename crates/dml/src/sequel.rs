@@ -548,8 +548,7 @@ END PROGRAM;
 
     #[test]
     fn boolean_combinations() {
-        let q =
-            parse_select("SELECT A FROM T WHERE X = 1 AND Y = 2 OR NOT (Z = 3)").unwrap();
+        let q = parse_select("SELECT A FROM T WHERE X = 1 AND Y = 2 OR NOT (Z = 3)").unwrap();
         let w = q.where_.unwrap();
         assert!(matches!(w, SequelPred::Or(_, _)));
     }

@@ -130,14 +130,21 @@ pub fn run_bridged(
     let diff = compute_diff(&recon_before, &recon).map_err(RunError::Db)?;
     // 4. Write back.
     let (new_target, fell_back) = match writeback {
-        WriteBack::FullRetranslate => {
-            (restructuring.translate(&recon).map_err(RunError::Db)?, false)
-        }
+        WriteBack::FullRetranslate => (
+            restructuring.translate(&recon).map_err(RunError::Db)?,
+            false,
+        ),
         WriteBack::Differential => {
             if diff.is_empty() {
                 (target, false)
             } else {
-                match replay_diff(&diff, target.clone(), &recon_schema, source_schema, restructuring) {
+                match replay_diff(
+                    &diff,
+                    target.clone(),
+                    &recon_schema,
+                    source_schema,
+                    restructuring,
+                ) {
                     Ok(t) => (t, false),
                     Err(_) => {
                         // Ambiguous logical identification: retranslate.
@@ -488,8 +495,8 @@ END PROGRAM;",
         .unwrap();
         assert!(!diff.fell_back);
         assert_eq!(diff.diff.len(), 3); // store + modify + erase
-        // Both write-back strategies leave behaviorally identical targets:
-        // compare the source-level view of each.
+                                        // Both write-back strategies leave behaviorally identical targets:
+                                        // compare the source-level view of each.
         let view = |db: NetworkDb| -> Vec<String> {
             let mut emu = Emulator::over(db, &company_schema(), &fig_4_4()).unwrap();
             let q = parse_program(

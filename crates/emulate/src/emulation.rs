@@ -205,9 +205,7 @@ impl Emulator {
                     .map(|r| {
                         r.fields
                             .iter()
-                            .filter(|f| {
-                                f.virtual_via.as_ref().is_some_and(|v| v.set == *via_set)
-                            })
+                            .filter(|f| f.virtual_via.as_ref().is_some_and(|v| v.set == *via_set))
                             .map(|f| f.name.clone())
                             .collect()
                     })
@@ -315,11 +313,7 @@ impl NetworkOps for Emulator {
         match self {
             Emulator::Base(db) => db.field_value(id, field),
             Emulator::Layer { kind, inner, .. } => match kind {
-                LayerKind::RenameField {
-                    record,
-                    old,
-                    new,
-                } if field == old => {
+                LayerKind::RenameField { record, old, new } if field == old => {
                     if inner.rtype_of(id)? == *record {
                         inner.field_value(id, new)
                     } else {
@@ -372,9 +366,7 @@ impl NetworkOps for Emulator {
         match self {
             Emulator::Base(db) => db.members_of(set, owner),
             Emulator::Layer { kind, inner, .. } => match kind.clone() {
-                LayerKind::RenameSet { old, new } if set == old => {
-                    inner.members_of(&new, owner)
-                }
+                LayerKind::RenameSet { old, new } if set == old => inner.members_of(&new, owner),
                 LayerKind::Promote {
                     via_set,
                     upper_set,
@@ -423,9 +415,7 @@ impl NetworkOps for Emulator {
         match self {
             Emulator::Base(db) => db.owner_in(set, member),
             Emulator::Layer { kind, inner, .. } => match kind.clone() {
-                LayerKind::RenameSet { old, new } if set == old => {
-                    inner.owner_in(&new, member)
-                }
+                LayerKind::RenameSet { old, new } if set == old => inner.owner_in(&new, member),
                 LayerKind::Promote {
                     via_set,
                     upper_set,
@@ -469,9 +459,7 @@ impl NetworkOps for Emulator {
                 LayerKind::RenameSet { old, new } => {
                     let mapped: Vec<(&str, RecordId)> = connects
                         .iter()
-                        .map(|(s, o)| {
-                            (if *s == old { new.as_str() } else { *s }, *o)
-                        })
+                        .map(|(s, o)| (if *s == old { new.as_str() } else { *s }, *o))
                         .collect();
                     inner.store(rtype, values, &mapped)
                 }
@@ -479,9 +467,7 @@ impl NetworkOps for Emulator {
                     if rtype == record {
                         let mapped: Vec<(&str, Value)> = values
                             .iter()
-                            .map(|(f, v)| {
-                                (if *f == old { new.as_str() } else { *f }, v.clone())
-                            })
+                            .map(|(f, v)| (if *f == old { new.as_str() } else { *f }, v.clone()))
                             .collect();
                         inner.store(rtype, &mapped, connects)
                     } else {
@@ -547,9 +533,7 @@ impl NetworkOps for Emulator {
                     if inner.rtype_of(id)? == record {
                         let mapped: Vec<(&str, Value)> = assigns
                             .iter()
-                            .map(|(f, v)| {
-                                (if *f == old { new.as_str() } else { *f }, v.clone())
-                            })
+                            .map(|(f, v)| (if *f == old { new.as_str() } else { *f }, v.clone()))
                             .collect();
                         inner.modify(id, &mapped)
                     } else {
@@ -575,9 +559,7 @@ impl NetworkOps for Emulator {
                         .filter(|(f, _)| *f != field)
                         .map(|(f, v)| (*f, v.clone()))
                         .collect();
-                    if let Some((_, new_value)) =
-                        assigns.iter().find(|(f, _)| *f == field)
-                    {
+                    if let Some((_, new_value)) = assigns.iter().find(|(f, _)| *f == field) {
                         // Re-home the member to the right grouping record.
                         let cur_dept = inner.owner_in(&lower_set, id)?.ok_or_else(|| {
                             DbError::constraint(format!(
@@ -663,14 +645,10 @@ impl NetworkOps for Emulator {
         match self {
             Emulator::Base(db) => db.disconnect(set, member),
             Emulator::Layer { kind, inner, .. } => match kind.clone() {
-                LayerKind::RenameSet { old, new } if set == old => {
-                    inner.disconnect(&new, member)
-                }
-                LayerKind::Promote { via_set, .. } if set == via_set => {
-                    Err(DbError::constraint(format!(
-                        "emulation does not support DISCONNECT across split set {set}"
-                    )))
-                }
+                LayerKind::RenameSet { old, new } if set == old => inner.disconnect(&new, member),
+                LayerKind::Promote { via_set, .. } if set == via_set => Err(DbError::constraint(
+                    format!("emulation does not support DISCONNECT across split set {set}"),
+                )),
                 _ => inner.disconnect(set, member),
             },
         }
@@ -703,9 +681,9 @@ mod tests {
     use super::*;
     use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
     use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::parse_program;
     use dbpc_engine::host_exec::run_host;
     use dbpc_engine::{diff_traces, Inputs};
-    use dbpc_dml::host::parse_program;
 
     fn company_schema() -> NetworkSchema {
         NetworkSchema::new("COMPANY-NAME")

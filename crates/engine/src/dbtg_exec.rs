@@ -40,9 +40,13 @@ pub struct DbtgMachine<'d> {
     step_limit: usize,
 }
 
-/// Run a DBTG program against a network database; returns the trace.
+/// Run a DBTG program against a network database; returns the trace,
+/// carrying the run's access-path counters.
 pub fn run_dbtg(db: &mut NetworkDb, program: &DbtgProgram, inputs: Inputs) -> RunResult<Trace> {
-    DbtgMachine::new(db, inputs).run(program)
+    db.access_stats().reset();
+    let mut trace = DbtgMachine::new(db, inputs).run(program)?;
+    trace.access = db.access_stats().snapshot();
+    Ok(trace)
 }
 
 impl<'d> DbtgMachine<'d> {
@@ -121,10 +125,23 @@ impl<'d> DbtgMachine<'d> {
                 self.status = StatusCode::Ok;
             }
             DbtgStmt::FindAny { record, using } => {
-                let candidates = self.db.records_of_type(record);
-                let hit = candidates
-                    .into_iter()
-                    .find(|&id| self.matches_uwa(id, record, using));
+                // CALC-key access: when every USING field has a UWA value,
+                // probe the calc-key index instead of scanning the type.
+                // The candidates are exact matches in creation order, so
+                // the first one is the record the scan would have found;
+                // `matches_uwa` still vets each candidate (virtual fields
+                // and type quirks fall back to scan below).
+                let probed = self.keyed_candidates(record, using)?;
+                let hit = match probed {
+                    Some(ids) => ids
+                        .into_iter()
+                        .find(|&id| self.matches_uwa(id, record, using)),
+                    None => self
+                        .db
+                        .records_of_type(record)
+                        .into_iter()
+                        .find(|&id| self.matches_uwa(id, record, using)),
+                };
                 match hit {
                     Some(id) => self.establish_currency(id),
                     None => self.status = StatusCode::NotFound,
@@ -140,17 +157,11 @@ impl<'d> DbtgMachine<'d> {
                 };
                 let members = self.db.members_of(set, owner)?;
                 match members.first().copied() {
-                    Some(id) if self.record_type_of(id)? == *record => {
-                        self.establish_currency(id)
-                    }
+                    Some(id) if self.record_type_of(id)? == *record => self.establish_currency(id),
                     Some(_) | None => self.status = StatusCode::EndOfSet,
                 }
             }
-            DbtgStmt::FindNext {
-                record,
-                set,
-                using,
-            } => {
+            DbtgStmt::FindNext { record, set, using } => {
                 let cur = match self.current_of_set.get(set).copied() {
                     Some(c) => c,
                     None => {
@@ -389,8 +400,13 @@ impl<'d> DbtgMachine<'d> {
             .collect();
         for set in member_sets {
             if let Ok(Some(owner)) = self.db.owner_in(&set, id) {
-                self.current_of_set
-                    .insert(set, SetCurrency { owner, member: Some(id) });
+                self.current_of_set.insert(
+                    set,
+                    SetCurrency {
+                        owner,
+                        member: Some(id),
+                    },
+                );
             }
         }
         let owned_sets: Vec<String> = self
@@ -419,6 +435,28 @@ impl<'d> DbtgMachine<'d> {
         self.current_of_type.retain(|_, &mut v| v != id);
         self.current_of_set
             .retain(|_, c| c.owner != id && c.member != Some(id));
+    }
+
+    /// Candidate ids for a keyed FIND ANY via the calc-key index.
+    /// `Ok(None)` = not probeable (no USING fields, a USING field without
+    /// a UWA value, or a non-indexable field list) — scan instead.
+    fn keyed_candidates(&self, record: &str, using: &[String]) -> RunResult<Option<Vec<RecordId>>> {
+        if using.is_empty() {
+            return Ok(None);
+        }
+        let mut key = Vec::with_capacity(using.len());
+        for f in using {
+            match self.uwa.get(&(record.to_string(), f.clone())) {
+                Some(v) => key.push(v.clone()),
+                // An unset USING field makes `matches_uwa` uniformly
+                // false; the scan path reproduces that NOT-FOUND.
+                None => return Ok(None),
+            }
+        }
+        let fields: Vec<&str> = using.iter().map(String::as_str).collect();
+        self.db
+            .find_keyed(record, &fields, &key)
+            .map_err(RunError::Db)
     }
 
     fn matches_uwa(&self, id: RecordId, record: &str, using: &[String]) -> bool {

@@ -27,9 +27,13 @@ pub struct DliMachine<'d> {
     step_limit: usize,
 }
 
-/// Run a DL/I program; returns the observable trace.
+/// Run a DL/I program; returns the observable trace, carrying the run's
+/// access-path counters (notably `preorder_rebuilds`).
 pub fn run_dli(db: &mut HierDb, program: &DliProgram, _inputs: Inputs) -> RunResult<Trace> {
-    DliMachine::new(db).run(program)
+    db.access_stats().reset();
+    let mut trace = DliMachine::new(db).run(program)?;
+    trace.access = db.access_stats().snapshot();
+    Ok(trace)
 }
 
 impl<'d> DliMachine<'d> {
@@ -87,28 +91,19 @@ impl<'d> DliMachine<'d> {
 
     fn exec(&mut self, s: &DliStmt) -> RunResult<()> {
         match s {
-            DliStmt::Gu { ssas } => {
-                match self.search_path(ssas)? {
-                    Some(id) => {
-                        self.position = Some(id);
-                        self.parentage = Some(id);
-                        self.status = DliStatus::Ok;
-                    }
-                    None => self.status = DliStatus::NotFound,
+            DliStmt::Gu { ssas } => match self.search_path(ssas)? {
+                Some(id) => {
+                    self.position = Some(id);
+                    self.parentage = Some(id);
+                    self.status = DliStatus::Ok;
                 }
-            }
+                None => self.status = DliStatus::NotFound,
+            },
             DliStmt::Gn { segment } => {
-                let order = self.db.preorder();
-                let start = match self.position {
-                    None => 0,
-                    Some(p) => order.iter().position(|&x| x == p).map_or(0, |i| i + 1),
-                };
-                let hit = order[start..].iter().copied().find(|&id| {
-                    segment
-                        .as_ref()
-                        .is_none_or(|s| self.db.get(id).map(|i| &i.seg_type == s).unwrap_or(false))
-                });
-                match hit {
+                // Amortized: the hierarchic sequence is cached in the
+                // engine; no per-call preorder materialization or linear
+                // position search.
+                match self.db.next_in_preorder(self.position, segment.as_deref()) {
                     Some(id) => {
                         self.position = Some(id);
                         self.parentage = Some(id);
@@ -122,21 +117,10 @@ impl<'d> DliMachine<'d> {
                     self.status = DliStatus::NotFound;
                     return Ok(());
                 };
-                // Descendants of the parent in hierarchic order.
-                let mut subtree = Vec::new();
-                collect_descendants(self.db, parent, &mut subtree);
-                let start = match self.position {
-                    Some(p) if p != parent => {
-                        subtree.iter().position(|&x| x == p).map_or(0, |i| i + 1)
-                    }
-                    _ => 0,
-                };
-                let hit = subtree[start..].iter().copied().find(|&id| {
-                    segment
-                        .as_ref()
-                        .is_none_or(|s| self.db.get(id).map(|i| &i.seg_type == s).unwrap_or(false))
-                });
-                match hit {
+                match self
+                    .db
+                    .next_within(parent, self.position, segment.as_deref())
+                {
                     Some(id) => {
                         self.position = Some(id);
                         self.status = DliStatus::Ok;
@@ -212,7 +196,7 @@ impl<'d> DliMachine<'d> {
                         }
                     }
                 }
-                self.trace.push(TraceEvent::TerminalOut(parts.join(" "))); 
+                self.trace.push(TraceEvent::TerminalOut(parts.join(" ")));
             }
             DliStmt::Stop | DliStmt::Goto(_) | DliStmt::IfStatus { .. } => {
                 unreachable!("handled in run()")
@@ -276,15 +260,6 @@ impl<'d> DliMachine<'d> {
                 Ok(v) => op.eval(&v, value),
                 Err(_) => false,
             },
-        }
-    }
-}
-
-fn collect_descendants(db: &HierDb, id: u64, out: &mut Vec<u64>) {
-    if let Ok(inst) = db.get(id) {
-        for &c in &inst.children {
-            out.push(c);
-            collect_descendants(db, c, out);
         }
     }
 }

@@ -20,7 +20,7 @@ use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_dml::expr::{BinOp, BoolExpr, Expr};
 use dbpc_dml::host::{FindExpr, FindSpec, ForSource, PathStart, Program, Stmt};
-use dbpc_storage::{DbError, DbResult, NetworkDb, RecordId, SYSTEM_OWNER};
+use dbpc_storage::{AccessProfile, DbError, DbResult, NetworkDb, RecordId, SYSTEM_OWNER};
 use std::collections::BTreeMap;
 
 /// The owner-coupled-set DML surface the interpreter drives.
@@ -60,6 +60,33 @@ pub trait NetworkOps {
     /// Connect / disconnect membership.
     fn connect(&mut self, set: &str, owner: RecordId, member: RecordId) -> DbResult<()>;
     fn disconnect(&mut self, set: &str, member: RecordId) -> DbResult<()>;
+
+    // -- access-path hooks (optional) --------------------------------------
+    //
+    // Default implementations describe an ops layer with no index support:
+    // keyed lookups fall back to scans and no counters are reported. The
+    // emulation layer deliberately stays on these defaults — its per-call
+    // re-sorting IS the degraded access path §2.1.2 predicts — while
+    // `NetworkDb` overrides them with its calc-key index and counters.
+
+    /// Records of `rtype` whose stored `fields` equal `key`, in creation
+    /// order. `Ok(None)` means "no index available": the caller must scan.
+    fn find_keyed(
+        &mut self,
+        _rtype: &str,
+        _fields: &[&str],
+        _key: &[Value],
+    ) -> DbResult<Option<Vec<RecordId>>> {
+        Ok(None)
+    }
+
+    /// Snapshot of the layer's access-path counters, if it keeps any.
+    fn access_profile(&self) -> Option<AccessProfile> {
+        None
+    }
+
+    /// Zero the layer's access-path counters before a run.
+    fn reset_access_stats(&mut self) {}
 }
 
 impl NetworkOps for NetworkDb {
@@ -124,6 +151,23 @@ impl NetworkOps for NetworkDb {
     fn disconnect(&mut self, set: &str, member: RecordId) -> DbResult<()> {
         NetworkDb::disconnect(self, set, member)
     }
+
+    fn find_keyed(
+        &mut self,
+        rtype: &str,
+        fields: &[&str],
+        key: &[Value],
+    ) -> DbResult<Option<Vec<RecordId>>> {
+        NetworkDb::find_keyed(self, rtype, fields, key)
+    }
+
+    fn access_profile(&self) -> Option<AccessProfile> {
+        Some(self.access_stats().snapshot())
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.access_stats().reset();
+    }
 }
 
 /// A runtime value: a scalar or a record collection. `FOR EACH` loop
@@ -160,13 +204,13 @@ pub struct HostInterpreter<'d, D: NetworkOps> {
     step_limit: usize,
 }
 
-/// Run `program` against `db` with scripted `inputs`; returns the trace.
-pub fn run_host<D: NetworkOps>(
-    db: &mut D,
-    program: &Program,
-    inputs: Inputs,
-) -> RunResult<Trace> {
-    HostInterpreter::new(db, inputs).run(program)
+/// Run `program` against `db` with scripted `inputs`; returns the trace,
+/// carrying the ops layer's access-path counters when it keeps any.
+pub fn run_host<D: NetworkOps>(db: &mut D, program: &Program, inputs: Inputs) -> RunResult<Trace> {
+    db.reset_access_stats();
+    let mut trace = HostInterpreter::new(db, inputs).run(program)?;
+    trace.access = db.access_profile().unwrap_or_default();
+    Ok(trace)
 }
 
 impl<'d, D: NetworkOps> HostInterpreter<'d, D> {
@@ -620,9 +664,7 @@ fn parse_input(line: &str) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbpc_datamodel::network::{
-        FieldDef, NetworkSchema, RecordTypeDef, SetDef,
-    };
+    use dbpc_datamodel::network::{FieldDef, NetworkSchema, RecordTypeDef, SetDef};
     use dbpc_datamodel::types::FieldType;
     use dbpc_dml::host::parse_program;
 
@@ -710,10 +752,7 @@ END PROGRAM;",
         );
         // The result collection is ordered by the final set's keys
         // (EMP-NAME), globally.
-        assert_eq!(
-            t.terminal_lines(),
-            vec!["BAKER", "CLARK", "DAVIS", "JONES"]
-        );
+        assert_eq!(t.terminal_lines(), vec!["BAKER", "CLARK", "DAVIS", "JONES"]);
     }
 
     #[test]
@@ -743,10 +782,7 @@ END PROGRAM;",
             &mut db,
             Inputs::new(),
         );
-        assert_eq!(
-            t.terminal_lines(),
-            vec!["BAKER", "CLARK", "DAVIS", "JONES"]
-        );
+        assert_eq!(t.terminal_lines(), vec!["BAKER", "CLARK", "DAVIS", "JONES"]);
     }
 
     #[test]

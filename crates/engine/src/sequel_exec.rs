@@ -12,10 +12,23 @@ use crate::error::{RunError, RunResult};
 use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_dml::sequel::{SelectQuery, SequelPred, SequelProgram, SequelStmt};
+use dbpc_dml::CmpOp;
 use dbpc_storage::{DbError, RelationalDb};
 
 /// Run a SEQUEL program; each SELECT's rows are printed to the terminal.
+/// The returned trace carries the run's access-path counters.
 pub fn run_sequel(
+    db: &mut RelationalDb,
+    program: &SequelProgram,
+    inputs: Inputs,
+) -> RunResult<Trace> {
+    db.access_stats().reset();
+    let mut trace = run_sequel_inner(db, program, inputs)?;
+    trace.access = db.access_stats().snapshot();
+    Ok(trace)
+}
+
+fn run_sequel_inner(
     db: &mut RelationalDb,
     program: &SequelProgram,
     _inputs: Inputs,
@@ -86,20 +99,15 @@ type RowPred = Box<dyn Fn(&[Value]) -> bool>;
 /// `IN` subqueries are pre-evaluated to value sets (they are uncorrelated in
 /// this sublanguage), so the closure needs no database access — which also
 /// keeps the mutable-borrow story simple.
-fn compile_pred(
-    db: &RelationalDb,
-    table: &str,
-    pred: Option<&SequelPred>,
-) -> RunResult<RowPred> {
+fn compile_pred(db: &RelationalDb, table: &str, pred: Option<&SequelPred>) -> RunResult<RowPred> {
     let Some(p) = pred else {
         return Ok(Box::new(|_| true));
     };
     let def = db
         .schema()
         .table(table)
-        .ok_or_else(|| RunError::Db(DbError::unknown("table", table)))?
-        .clone();
-    compile_pred_inner(db, &def, p)
+        .ok_or_else(|| RunError::Db(DbError::unknown("table", table)))?;
+    compile_pred_inner(db, def, p)
 }
 
 fn compile_pred_inner(
@@ -152,23 +160,53 @@ fn compile_pred_inner(
 }
 
 /// Evaluate a `SELECT` to projected rows.
+///
+/// Access path: top-level conjunctive `col = const` terms are pushed down
+/// to [`RelationalDb::probe_eq`] (primary key or secondary index). The
+/// candidates come back in storage order and the **full** predicate is
+/// re-evaluated on each one, so the probe changes row visits, never
+/// results — contradictory or duplicated equality terms included. Without
+/// a usable index the table is read through the borrowing row cursor;
+/// rows are cloned only once the predicate admits them.
 pub fn eval_select(db: &RelationalDb, q: &SelectQuery) -> RunResult<Vec<Vec<Value>>> {
     let def = db
         .schema()
         .table(&q.table)
-        .ok_or_else(|| RunError::Db(DbError::unknown("table", &q.table)))?
-        .clone();
-    let rows = db.scan(&q.table)?;
+        .ok_or_else(|| RunError::Db(DbError::unknown("table", &q.table)))?;
+
+    let mut eqs: Vec<(String, Value)> = Vec::new();
+    collect_eq_terms(q.where_.as_ref(), &mut eqs);
+    let candidates = if eqs.is_empty() {
+        None
+    } else {
+        db.probe_eq(&q.table, &eqs)?
+    };
 
     // Pre-evaluate IN subqueries once (they are uncorrelated in this
     // sublanguage, matching the paper's usage).
     let mut kept: Vec<Vec<Value>> = Vec::new();
-    for row in rows {
-        if match &q.where_ {
-            None => true,
-            Some(p) => eval_pred(db, &def, p, &row)?,
-        } {
-            kept.push(row);
+    match candidates {
+        Some(ids) => {
+            for id in ids {
+                let row = db.row(&q.table, id)?;
+                db.access_stats().scanned(1);
+                if match &q.where_ {
+                    None => true,
+                    Some(p) => eval_pred(db, def, p, row)?,
+                } {
+                    kept.push(row.to_vec());
+                }
+            }
+        }
+        None => {
+            for (_, row) in db.iter_rows(&q.table)? {
+                if match &q.where_ {
+                    None => true,
+                    Some(p) => eval_pred(db, def, p, row)?,
+                } {
+                    kept.push(row.to_vec());
+                }
+            }
         }
     }
 
@@ -209,6 +247,25 @@ pub fn eval_select(db: &RelationalDb, q: &SelectQuery) -> RunResult<Vec<Vec<Valu
         .collect())
 }
 
+/// Collect the `col = const` terms reachable through top-level `AND`s.
+/// `OR`, `NOT` and `IN` subtrees are left to per-row evaluation: an
+/// equality below them does not restrict the result set.
+fn collect_eq_terms(p: Option<&SequelPred>, out: &mut Vec<(String, Value)>) {
+    let Some(p) = p else { return };
+    match p {
+        SequelPred::Cmp {
+            column,
+            op: CmpOp::Eq,
+            value,
+        } => out.push((column.clone(), value.clone())),
+        SequelPred::And(a, b) => {
+            collect_eq_terms(Some(a), out);
+            collect_eq_terms(Some(b), out);
+        }
+        _ => {}
+    }
+}
+
 fn eval_pred(
     db: &RelationalDb,
     def: &dbpc_datamodel::relational::TableDef,
@@ -237,12 +294,8 @@ fn eval_pred(
                 .iter()
                 .any(|r| !r.is_empty() && r[0].loose_eq(&row[idx])))
         }
-        SequelPred::And(a, b) => {
-            Ok(eval_pred(db, def, a, row)? && eval_pred(db, def, b, row)?)
-        }
-        SequelPred::Or(a, b) => {
-            Ok(eval_pred(db, def, a, row)? || eval_pred(db, def, b, row)?)
-        }
+        SequelPred::And(a, b) => Ok(eval_pred(db, def, a, row)? && eval_pred(db, def, b, row)?),
+        SequelPred::Or(a, b) => Ok(eval_pred(db, def, a, row)? || eval_pred(db, def, b, row)?),
         SequelPred::Not(a) => Ok(!eval_pred(db, def, a, row)?),
     }
 }

@@ -4,6 +4,7 @@
 //! converted program, run against the restructured database, produces a
 //! trace equal to the original program's trace against the source database.
 
+use dbpc_storage::AccessProfile;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -38,10 +39,24 @@ impl fmt::Display for TraceEvent {
 }
 
 /// An ordered sequence of observable events.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
+    /// Access-path counters for the run (rows scanned, index probes/hits,
+    /// preorder rebuilds). Diagnostic only: equality between traces
+    /// compares `events` alone, because the paper's criterion is observable
+    /// I/O — converted programs are *expected* to take different access
+    /// paths while producing identical output (§1.1, Fig. 4.1).
+    pub access: AccessProfile,
 }
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Trace) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     pub fn new() -> Trace {
@@ -133,8 +148,10 @@ impl Inputs {
     }
 
     pub fn with_file(mut self, name: &str, lines: &[&str]) -> Inputs {
-        self.files
-            .insert(name.to_string(), lines.iter().map(|s| s.to_string()).collect());
+        self.files.insert(
+            name.to_string(),
+            lines.iter().map(|s| s.to_string()).collect(),
+        );
         self
     }
 

@@ -48,11 +48,13 @@ pub fn network_schema_to_relational(schema: &NetworkSchema) -> RelationalSchema 
                 table
                     .columns
                     .push(ColumnDef::new(owner_column(&s.name), FieldType::Int(10)));
-                table.foreign_keys.push(dbpc_datamodel::relational::ForeignKey {
-                    columns: vec![owner_column(&s.name)],
-                    parent_table: owner.clone(),
-                    parent_columns: vec![DBKEY.to_string()],
-                });
+                table
+                    .foreign_keys
+                    .push(dbpc_datamodel::relational::ForeignKey {
+                        columns: vec![owner_column(&s.name)],
+                        parent_table: owner.clone(),
+                        parent_columns: vec![DBKEY.to_string()],
+                    });
             }
         }
         rel.tables.push(table);
@@ -74,8 +76,7 @@ pub fn network_db_to_relational(db: &NetworkDb) -> DbResult<RelationalDb> {
             .collect();
         for id in db.records_of_type(&r.name) {
             let rec = db.get(id)?;
-            let mut vals: Vec<(String, Value)> =
-                vec![(DBKEY.to_string(), Value::Int(id.0 as i64))];
+            let mut vals: Vec<(String, Value)> = vec![(DBKEY.to_string(), Value::Int(id.0 as i64))];
             for (i, f) in r.fields.iter().enumerate() {
                 if f.is_virtual() {
                     continue;
@@ -101,10 +102,7 @@ pub fn network_db_to_relational(db: &NetworkDb) -> DbResult<RelationalDb> {
 /// Reconstruct a network database from its relational encoding — the
 /// inverse mapping (Housel's requirement, and the bridge's reconstruction
 /// step).
-pub fn relational_db_to_network(
-    rel: &RelationalDb,
-    schema: &NetworkSchema,
-) -> DbResult<NetworkDb> {
+pub fn relational_db_to_network(rel: &RelationalDb, schema: &NetworkSchema) -> DbResult<NetworkDb> {
     let mut out = NetworkDb::new(schema.clone())?;
     let mut idmap: BTreeMap<i64, RecordId> = BTreeMap::new();
     // Owner types before member types.
@@ -203,10 +201,7 @@ pub fn network_schema_to_hier(schema: &NetworkSchema) -> DbResult<HierSchema> {
         if let Some(s) = owned.first() {
             parent.insert(
                 r.name.as_str(),
-                (
-                    s.owner.record_name().unwrap(),
-                    s.keys.first().cloned(),
-                ),
+                (s.owner.record_name().unwrap(), s.keys.first().cloned()),
             );
         }
     }
@@ -326,16 +321,14 @@ pub fn reorder_hier_children(
         reordered.push(seg.children.remove(idx));
     }
     seg.children = reordered;
-    out.validate().map_err(|e| DbError::constraint(e.to_string()))?;
+    out.validate()
+        .map_err(|e| DbError::constraint(e.to_string()))?;
     Ok(out)
 }
 
 /// Translate a hierarchical database to a reordered schema: same segment
 /// occurrences, new hierarchic sequence.
-pub fn translate_hier_reorder(
-    db: &HierDb,
-    new_schema: &HierSchema,
-) -> DbResult<HierDb> {
+pub fn translate_hier_reorder(db: &HierDb, new_schema: &HierSchema) -> DbResult<HierDb> {
     let mut out = HierDb::new(new_schema.clone())?;
     let mut idmap: BTreeMap<u64, u64> = BTreeMap::new();
     // Reinsert in the OLD preorder; the engine re-groups children by the
@@ -447,7 +440,10 @@ mod tests {
     fn hier_mapping_builds_forest() {
         let hier = network_schema_to_hier(&company_schema()).unwrap();
         assert_eq!(hier.hierarchic_order(), vec!["DIV", "EMP"]);
-        assert_eq!(hier.segment("EMP").unwrap().seq_field.as_deref(), Some("EMP-NAME"));
+        assert_eq!(
+            hier.segment("EMP").unwrap().seq_field.as_deref(),
+            Some("EMP-NAME")
+        );
     }
 
     #[test]

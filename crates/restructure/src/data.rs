@@ -229,8 +229,10 @@ fn translate_generic(
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> =
-                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let vref: Vec<(&str, Value)> = values
+                .iter()
+                .map(|(f, v)| (f.as_str(), v.clone()))
+                .collect();
             let cref: Vec<(&str, RecordId)> =
                 connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
             let new_id = out.store(&new_type, &vref, &cref)?;
@@ -286,8 +288,10 @@ fn translate_promote(
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> =
-                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let vref: Vec<(&str, Value)> = values
+                .iter()
+                .map(|(f, v)| (f.as_str(), v.clone()))
+                .collect();
             let cref: Vec<(&str, RecordId)> =
                 connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
             let new_id = out.store(rtype, &vref, &cref)?;
@@ -303,11 +307,7 @@ fn translate_promote(
             let v = db.field_value(member, field)?;
             let key = (owner, KeyTuple(vec![v.clone()]));
             if let std::collections::btree_map::Entry::Vacant(slot) = group_map.entry(key) {
-                let new_id = out.store(
-                    new_record,
-                    &[(field, v)],
-                    &[(upper_set, idmap[&owner])],
-                )?;
+                let new_id = out.store(new_record, &[(field, v)], &[(upper_set, idmap[&owner])])?;
                 slot.insert(new_id);
             }
         }
@@ -354,10 +354,11 @@ fn translate_promote(
                 }
             }
         }
-        let vref: Vec<(&str, Value)> =
-            values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
-        let cref: Vec<(&str, RecordId)> =
-            connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+        let vref: Vec<(&str, Value)> = values
+            .iter()
+            .map(|(f, v)| (f.as_str(), v.clone()))
+            .collect();
+        let cref: Vec<(&str, RecordId)> = connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
         let new_id = out.store(record, &vref, &cref)?;
         idmap.insert(old_id, new_id);
     }
@@ -408,8 +409,10 @@ fn translate_demote(
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> =
-                values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+            let vref: Vec<(&str, Value)> = values
+                .iter()
+                .map(|(f, v)| (f.as_str(), v.clone()))
+                .collect();
             let cref: Vec<(&str, RecordId)> =
                 connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
             let new_id = out.store(rtype, &vref, &cref)?;
@@ -453,10 +456,11 @@ fn translate_demote(
                 }
             }
         }
-        let vref: Vec<(&str, Value)> =
-            values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
-        let cref: Vec<(&str, RecordId)> =
-            connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+        let vref: Vec<(&str, Value)> = values
+            .iter()
+            .map(|(f, v)| (f.as_str(), v.clone()))
+            .collect();
+        let cref: Vec<(&str, RecordId)> = connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
         let new_id = out.store(record, &vref, &cref)?;
         idmap.insert(old_id, new_id);
     }
@@ -557,9 +561,7 @@ mod tests {
         let machinery = out
             .records_of_type("DIV")
             .into_iter()
-            .find(|&d| {
-                out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY")
-            })
+            .find(|&d| out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY"))
             .unwrap();
         let depts = out.members_of("DIV-DEPT", machinery).unwrap();
         assert_eq!(depts.len(), 2);
@@ -658,7 +660,9 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(out.field_value(out.records_of_type("EMP")[0], "AGE").is_err());
+        assert!(out
+            .field_value(out.records_of_type("EMP")[0], "AGE")
+            .is_err());
     }
 
     #[test]
@@ -675,9 +679,7 @@ mod tests {
         let machinery = out
             .records_of_type("DIV")
             .into_iter()
-            .find(|&d| {
-                out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY")
-            })
+            .find(|&d| out.field_value(d, "DIV-NAME").unwrap() == Value::str("MACHINERY"))
             .unwrap();
         let ages: Vec<Value> = out
             .members_of("DIV-EMP", machinery)

@@ -204,9 +204,11 @@ impl Transform {
                 if r.field(new).is_some() {
                     return Err(ModelError::duplicate("field", format!("{record}.{new}")));
                 }
-                let f = r.fields.iter_mut().find(|f| f.name == *old).ok_or_else(|| {
-                    ModelError::unknown("field", format!("{record}.{old}"))
-                })?;
+                let f = r
+                    .fields
+                    .iter_mut()
+                    .find(|f| f.name == *old)
+                    .ok_or_else(|| ModelError::unknown("field", format!("{record}.{old}")))?;
                 f.name = new.clone();
                 // Set keys referencing the field.
                 for set in &mut s.sets {
@@ -253,10 +255,7 @@ impl Transform {
                     .record_mut(record)
                     .ok_or_else(|| ModelError::unknown("record", record))?;
                 if r.field(field).is_some() {
-                    return Err(ModelError::duplicate(
-                        "field",
-                        format!("{record}.{field}"),
-                    ));
+                    return Err(ModelError::duplicate("field", format!("{record}.{field}")));
                 }
                 r.fields.push(FieldDef::new(field.clone(), ty.clone()));
             }
@@ -318,9 +317,7 @@ impl Transform {
                     .owner
                     .record_name()
                     .ok_or_else(|| {
-                        ModelError::invalid(format!(
-                            "cannot promote through system set {via_set}"
-                        ))
+                        ModelError::invalid(format!("cannot promote through system set {via_set}"))
                     })?
                     .to_string();
                 if s.record(new_record).is_some() {
@@ -366,10 +363,7 @@ impl Transform {
                 // virtual fields.
                 let r = s.record_mut(record).unwrap();
                 r.fields.retain(|f| {
-                    f.name != *field
-                        && f.virtual_via
-                            .as_ref()
-                            .is_none_or(|v| v.set != *via_set)
+                    f.name != *field && f.virtual_via.as_ref().is_none_or(|v| v.set != *via_set)
                 });
                 // Replace the set.
                 s.sets.retain(|st| st.name != *via_set);
@@ -425,9 +419,7 @@ impl Transform {
                     .clone();
                 let fdef = mid
                     .field(field)
-                    .ok_or_else(|| {
-                        ModelError::unknown("field", format!("{mid_record}.{field}"))
-                    })?
+                    .ok_or_else(|| ModelError::unknown("field", format!("{mid_record}.{field}")))?
                     .clone();
                 // Other record types must not reference the mid record.
                 for st in &s.sets {
@@ -446,8 +438,7 @@ impl Transform {
                 // fields the mid record carried (re-routed via the merged
                 // set).
                 let r = s.record_mut(record).unwrap();
-                r.fields
-                    .push(FieldDef::new(field.clone(), fdef.ty.clone()));
+                r.fields.push(FieldDef::new(field.clone(), fdef.ty.clone()));
                 let migrated: Vec<FieldDef> = mid
                     .fields
                     .iter()
@@ -481,18 +472,13 @@ impl Transform {
             }
             Transform::ChangeSetKeys { set, keys } => {
                 let member = {
-                    let sd = s
-                        .set(set)
-                        .ok_or_else(|| ModelError::unknown("set", set))?;
+                    let sd = s.set(set).ok_or_else(|| ModelError::unknown("set", set))?;
                     sd.member.clone()
                 };
                 let rec = s.record(&member).unwrap();
                 for k in keys {
                     if rec.field(k).is_none() {
-                        return Err(ModelError::unknown(
-                            "field",
-                            format!("{member}.{k}"),
-                        ));
+                        return Err(ModelError::unknown("field", format!("{member}.{k}")));
                     }
                 }
                 s.set_mut(set).unwrap().keys = keys.clone();
@@ -520,9 +506,7 @@ impl Transform {
                 let before = s.constraints.len();
                 s.constraints.retain(|x| x != c);
                 if s.constraints.len() == before {
-                    return Err(ModelError::invalid(format!(
-                        "constraint not declared: {c}"
-                    )));
+                    return Err(ModelError::invalid(format!("constraint not declared: {c}")));
                 }
             }
             Transform::DeleteWhere { record, field, .. } => {
@@ -869,7 +853,12 @@ mod tests {
         // Virtual source follows.
         let emp = s3.record("EMP").unwrap();
         assert_eq!(
-            emp.field("DIV-NAME").unwrap().virtual_via.as_ref().unwrap().source_field,
+            emp.field("DIV-NAME")
+                .unwrap()
+                .virtual_via
+                .as_ref()
+                .unwrap()
+                .source_field,
             "DNAME"
         );
     }
@@ -889,7 +878,12 @@ mod tests {
         .unwrap();
         let emp = s2.record("EMP").unwrap();
         assert_eq!(
-            emp.field("DIV-NAME").unwrap().virtual_via.as_ref().unwrap().set,
+            emp.field("DIV-NAME")
+                .unwrap()
+                .virtual_via
+                .as_ref()
+                .unwrap()
+                .set,
             "STAFF"
         );
         assert!(matches!(
@@ -989,14 +983,20 @@ mod tests {
             .unwrap();
         assert_eq!(s2.constraints.len(), 1);
         // Double add rejected.
-        assert!(Transform::AddConstraint(c.clone()).apply_schema(&s2).is_err());
-        let s3 = Transform::DropConstraint(c.clone()).apply_schema(&s2).unwrap();
+        assert!(Transform::AddConstraint(c.clone())
+            .apply_schema(&s2)
+            .is_err());
+        let s3 = Transform::DropConstraint(c.clone())
+            .apply_schema(&s2)
+            .unwrap();
         assert!(s3.constraints.is_empty());
         assert!(Transform::DropConstraint(c).apply_schema(&s3).is_err());
     }
 
     #[test]
     fn display_is_informative() {
-        assert!(fig_4_4_transform().to_string().contains("PROMOTE EMP.DEPT-NAME"));
+        assert!(fig_4_4_transform()
+            .to_string()
+            .contains("PROMOTE EMP.DEPT-NAME"));
     }
 }

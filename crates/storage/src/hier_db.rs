@@ -9,8 +9,10 @@
 //! this order.
 
 use crate::error::{DbError, DbResult};
+use crate::stats::AccessStats;
 use dbpc_datamodel::hierarchical::{HierSchema, SegmentDef};
 use dbpc_datamodel::value::Value;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// A stored segment occurrence.
@@ -25,6 +27,23 @@ pub struct SegmentInstance {
     pub children: Vec<u64>,
 }
 
+/// Cached hierarchic (preorder) sequence plus derived lookup structures.
+/// Rebuilt lazily after a structural mutation; every `GN`/`GNP` between
+/// mutations reuses it, making navigation amortized O(1) in rebuilds.
+#[derive(Debug, Clone)]
+struct PreorderCache {
+    /// The full database in hierarchic sequence.
+    order: Vec<u64>,
+    /// Segment id → index in `order`.
+    pos: BTreeMap<u64, usize>,
+    /// Segment type → ascending indices into `order` (for type-filtered
+    /// `GN`: the next occurrence is a binary search, not a forward scan).
+    by_type: BTreeMap<String, Vec<usize>>,
+    /// Segment id → subtree size including self (`GNP` bounds its search
+    /// to `pos[parent]+1 .. pos[parent]+subtree[parent]`).
+    subtree: BTreeMap<u64, usize>,
+}
+
 /// A hierarchical database instance.
 #[derive(Debug, Clone)]
 pub struct HierDb {
@@ -33,6 +52,15 @@ pub struct HierDb {
     /// Root occurrences in (root type rank, sequence, insertion) order.
     roots: Vec<u64>,
     next_id: u64,
+    /// Schema-derived: segment type → rank among its parent's child types
+    /// (or among the schema roots, for root types).
+    type_rank: BTreeMap<String, usize>,
+    /// Schema-derived: segment type → index of its sequence field.
+    seq_idx: BTreeMap<String, Option<usize>>,
+    /// Lazily (re)built preorder cache; `None` after a structural change.
+    cache: RefCell<Option<PreorderCache>>,
+    /// Access-path counters.
+    stats: AccessStats,
 }
 
 impl HierDb {
@@ -40,12 +68,93 @@ impl HierDb {
         schema
             .validate()
             .map_err(|e| DbError::constraint(e.to_string()))?;
+        let mut type_rank = BTreeMap::new();
+        let mut seq_idx = BTreeMap::new();
+        fn walk(
+            def: &SegmentDef,
+            rank: usize,
+            type_rank: &mut BTreeMap<String, usize>,
+            seq_idx: &mut BTreeMap<String, Option<usize>>,
+        ) {
+            type_rank.insert(def.name.clone(), rank);
+            seq_idx.insert(
+                def.name.clone(),
+                def.seq_field.as_ref().map(|f| def.field_index(f).unwrap()),
+            );
+            for (i, c) in def.children.iter().enumerate() {
+                walk(c, i, type_rank, seq_idx);
+            }
+        }
+        for (i, r) in schema.roots.iter().enumerate() {
+            walk(r, i, &mut type_rank, &mut seq_idx);
+        }
         Ok(HierDb {
             schema,
             segs: BTreeMap::new(),
             roots: Vec::new(),
             next_id: 1,
+            type_rank,
+            seq_idx,
+            cache: RefCell::new(None),
+            stats: AccessStats::default(),
         })
+    }
+
+    /// Access-path counters for this database.
+    pub fn access_stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Drop the preorder cache after a structural mutation.
+    fn invalidate_cache(&mut self) {
+        *self.cache.get_mut() = None;
+    }
+
+    fn build_cache(&self) -> PreorderCache {
+        let mut order = Vec::with_capacity(self.segs.len());
+        let mut subtree = BTreeMap::new();
+        fn walk(
+            db: &HierDb,
+            id: u64,
+            order: &mut Vec<u64>,
+            subtree: &mut BTreeMap<u64, usize>,
+        ) -> usize {
+            order.push(id);
+            let mut size = 1;
+            for &c in &db.segs[&id].children {
+                size += walk(db, c, order, subtree);
+            }
+            subtree.insert(id, size);
+            size
+        }
+        for &r in &self.roots {
+            walk(self, r, &mut order, &mut subtree);
+        }
+        let mut pos = BTreeMap::new();
+        let mut by_type: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, &id) in order.iter().enumerate() {
+            pos.insert(id, i);
+            by_type
+                .entry(self.segs[&id].seg_type.clone())
+                .or_default()
+                .push(i);
+        }
+        PreorderCache {
+            order,
+            pos,
+            by_type,
+            subtree,
+        }
+    }
+
+    /// Run `f` against the preorder cache, building it first if needed.
+    fn with_cache<R>(&self, f: impl FnOnce(&PreorderCache) -> R) -> R {
+        let mut slot = self.cache.borrow_mut();
+        if slot.is_none() {
+            self.stats.rebuilt_preorder();
+            *slot = Some(self.build_cache());
+        }
+        f(slot.as_ref().unwrap())
     }
 
     pub fn schema(&self) -> &HierSchema {
@@ -136,6 +245,7 @@ impl HierDb {
                 self.roots.insert(pos, id);
             }
         }
+        self.invalidate_cache();
         Ok(id)
     }
 
@@ -150,25 +260,16 @@ impl HierDb {
         row: &[Value],
     ) -> DbResult<usize> {
         let parent = self.get(pid)?;
-        let pdef = self.seg_def(&parent.seg_type)?;
-        let rank = pdef
-            .children
-            .iter()
-            .position(|c| c.name == seg_type)
-            .expect("validated parentage");
-        let seq_val = def
-            .seq_field
-            .as_ref()
-            .map(|f| row[def.field_index(f).unwrap()].clone());
+        // Ordinal maps precomputed at construction replace the former
+        // per-sibling `position()` scans over the schema's child lists.
+        let rank = self.type_rank[seg_type];
+        let seq_val = self.seq_idx[seg_type].map(|i| &row[i]);
+        debug_assert!(def.name == seg_type);
         let children = &parent.children;
         let mut pos = children.len();
         for (i, cid) in children.iter().enumerate() {
             let c = &self.segs[cid];
-            let crank = pdef
-                .children
-                .iter()
-                .position(|d| d.name == c.seg_type)
-                .unwrap();
+            let crank = self.type_rank[&c.seg_type];
             if crank < rank {
                 continue;
             }
@@ -178,11 +279,9 @@ impl HierDb {
             }
             // Same type: order by sequence field (stable: insertions of
             // equal keys stay in arrival order).
-            if let Some(sv) = &seq_val {
-                let cdef = self.seg_def(&c.seg_type).unwrap();
-                let cseq =
-                    c.values[cdef.field_index(cdef.seq_field.as_ref().unwrap()).unwrap()].clone();
-                if sv.total_cmp(&cseq) == std::cmp::Ordering::Less {
+            if let Some(sv) = seq_val {
+                let cseq = &c.values[self.seq_idx[&c.seg_type].unwrap()];
+                if sv.total_cmp(cseq) == std::cmp::Ordering::Less {
                     pos = i;
                     break;
                 }
@@ -192,25 +291,13 @@ impl HierDb {
     }
 
     fn root_position(&self, seg_type: &str, def: &SegmentDef, row: &[Value]) -> usize {
-        let rank = self
-            .schema
-            .roots
-            .iter()
-            .position(|r| r.name == seg_type)
-            .expect("validated root type");
-        let seq_val = def
-            .seq_field
-            .as_ref()
-            .map(|f| row[def.field_index(f).unwrap()].clone());
+        let rank = self.type_rank[seg_type];
+        let seq_val = self.seq_idx[seg_type].map(|i| &row[i]);
+        debug_assert!(def.name == seg_type);
         let mut pos = self.roots.len();
         for (i, rid) in self.roots.iter().enumerate() {
             let r = &self.segs[rid];
-            let rrank = self
-                .schema
-                .roots
-                .iter()
-                .position(|d| d.name == r.seg_type)
-                .unwrap();
+            let rrank = self.type_rank[&r.seg_type];
             if rrank < rank {
                 continue;
             }
@@ -218,11 +305,9 @@ impl HierDb {
                 pos = i;
                 break;
             }
-            if let Some(sv) = &seq_val {
-                let rdef = self.seg_def(&r.seg_type).unwrap();
-                let rseq =
-                    r.values[rdef.field_index(rdef.seq_field.as_ref().unwrap()).unwrap()].clone();
-                if sv.total_cmp(&rseq) == std::cmp::Ordering::Less {
+            if let Some(sv) = seq_val {
+                let rseq = &r.values[self.seq_idx[&r.seg_type].unwrap()];
+                if sv.total_cmp(rseq) == std::cmp::Ordering::Less {
                     pos = i;
                     break;
                 }
@@ -232,13 +317,69 @@ impl HierDb {
     }
 
     /// The full database in hierarchic (preorder) sequence — the order `GN`
-    /// traverses.
+    /// traverses. Served from the preorder cache; prefer
+    /// [`HierDb::next_in_preorder`] for stepwise navigation, which avoids
+    /// materializing the sequence.
     pub fn preorder(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.segs.len());
-        for &r in &self.roots {
-            self.preorder_into(r, &mut out);
-        }
-        out
+        self.with_cache(|c| c.order.clone())
+    }
+
+    /// Hierarchic successor: the first segment after `after` (or the first
+    /// segment of the database when `after` is `None`), optionally
+    /// restricted to `seg_type`. A stale `after` (deleted id) restarts from
+    /// the front, matching the historical linear-search behaviour.
+    ///
+    /// Amortized O(log n) against the cache: the position lookup is a map
+    /// probe and the type filter a binary search over that type's
+    /// occurrence positions.
+    pub fn next_in_preorder(&self, after: Option<u64>, seg_type: Option<&str>) -> Option<u64> {
+        self.with_cache(|c| {
+            let start = match after {
+                Some(p) => c.pos.get(&p).map_or(0, |&i| i + 1),
+                None => 0,
+            };
+            let hit = match seg_type {
+                None => c.order.get(start).copied(),
+                Some(t) => c.by_type.get(t).and_then(|positions| {
+                    let k = positions.partition_point(|&p| p < start);
+                    positions.get(k).map(|&p| c.order[p])
+                }),
+            };
+            self.stats.probed(hit.is_some());
+            hit
+        })
+    }
+
+    /// Hierarchic successor **within `root`'s subtree** (exclusive of
+    /// `root` itself): the `GNP` step. `after` semantics mirror
+    /// [`HierDb::next_in_preorder`] — `None`, `root` itself, or a stale id
+    /// start from the first descendant.
+    pub fn next_within(
+        &self,
+        root: u64,
+        after: Option<u64>,
+        seg_type: Option<&str>,
+    ) -> Option<u64> {
+        self.with_cache(|c| {
+            let rpos = *c.pos.get(&root)?;
+            let end = rpos + c.subtree[&root]; // exclusive
+            let start = match after {
+                Some(p) if p != root => match c.pos.get(&p) {
+                    Some(&i) if i > rpos && i < end => i + 1,
+                    _ => rpos + 1,
+                },
+                _ => rpos + 1,
+            };
+            let hit = match seg_type {
+                None => (start < end).then(|| c.order[start]),
+                Some(t) => c.by_type.get(t).and_then(|positions| {
+                    let k = positions.partition_point(|&p| p < start);
+                    positions.get(k).filter(|&&p| p < end).map(|&p| c.order[p])
+                }),
+            };
+            self.stats.probed(hit.is_some());
+            hit
+        })
     }
 
     fn preorder_into(&self, id: u64, out: &mut Vec<u64>) {
@@ -309,6 +450,9 @@ impl HierDb {
                     self.roots.insert(pos, id);
                 }
             }
+            // Only a reposition perturbs hierarchic order; plain value
+            // updates leave the cache valid.
+            self.invalidate_cache();
         }
         Ok(())
     }
@@ -332,15 +476,44 @@ impl HierDb {
         for d in &doomed {
             self.segs.remove(d);
         }
+        self.invalidate_cache();
         Ok(doomed.len())
     }
 
     /// All occurrences of a segment type in hierarchic order.
     pub fn occurrences_of(&self, seg_type: &str) -> Vec<u64> {
-        self.preorder()
-            .into_iter()
-            .filter(|id| self.segs[id].seg_type == seg_type)
-            .collect()
+        self.with_cache(|c| {
+            c.by_type
+                .get(seg_type)
+                .map(|positions| positions.iter().map(|&p| c.order[p]).collect())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Verify the preorder cache (when populated) against a from-scratch
+    /// rebuild. Returns a description of the first inconsistency found.
+    pub fn check_access_structures(&self) -> Result<(), String> {
+        let cached = self.cache.borrow();
+        let Some(c) = cached.as_ref() else {
+            return Ok(()); // nothing cached, nothing to diverge
+        };
+        let fresh = self.build_cache();
+        if c.order != fresh.order {
+            return Err(format!(
+                "preorder cache diverges: cached {:?} vs rebuilt {:?}",
+                c.order, fresh.order
+            ));
+        }
+        if c.pos != fresh.pos {
+            return Err("preorder position map diverges from rebuilt order".into());
+        }
+        if c.by_type != fresh.by_type {
+            return Err("preorder by-type map diverges from rebuilt order".into());
+        }
+        if c.subtree != fresh.subtree {
+            return Err("subtree-size map diverges from rebuilt order".into());
+        }
+        Ok(())
     }
 }
 
@@ -464,6 +637,61 @@ mod tests {
     }
 
     #[test]
+    fn stepwise_navigation_matches_preorder_without_rebuilds() {
+        let (mut db, d1, d2) = sample();
+        let e1 = db
+            .insert("EMP", &[("EMP-NAME", Value::str("A1"))], Some(d2))
+            .unwrap();
+        let e2 = db
+            .insert("EMP", &[("EMP-NAME", Value::str("M1"))], Some(d1))
+            .unwrap();
+        let p1 = db
+            .insert("PROJ", &[("PROJ-NAME", Value::str("P1"))], Some(d1))
+            .unwrap();
+        // Full walk via next_in_preorder equals the materialized preorder.
+        let expected = db.preorder();
+        assert_eq!(expected, vec![d2, e1, d1, e2, p1]);
+        let mut walked = Vec::new();
+        let mut cur = None;
+        while let Some(n) = db.next_in_preorder(cur, None) {
+            walked.push(n);
+            cur = Some(n);
+        }
+        assert_eq!(walked, expected);
+        // The whole walk reused one cache build (the preorder() call).
+        assert_eq!(db.access_stats().snapshot().preorder_rebuilds, 1);
+        // Type-filtered navigation.
+        assert_eq!(db.next_in_preorder(None, Some("EMP")), Some(e1));
+        assert_eq!(db.next_in_preorder(Some(e1), Some("EMP")), Some(e2));
+        assert_eq!(db.next_in_preorder(Some(e2), Some("EMP")), None);
+        // Parent-bounded navigation (GNP): stays inside d1's subtree.
+        assert_eq!(db.next_within(d1, None, None), Some(e2));
+        assert_eq!(db.next_within(d1, Some(e2), None), Some(p1));
+        assert_eq!(db.next_within(d1, Some(p1), None), None);
+        assert_eq!(db.next_within(d2, None, Some("PROJ")), None);
+        db.check_access_structures().unwrap();
+    }
+
+    #[test]
+    fn cache_invalidates_on_mutation_and_stays_consistent() {
+        let (mut db, d1, _) = sample();
+        let _ = db.preorder();
+        let a = db
+            .insert("EMP", &[("EMP-NAME", Value::str("ADAMS"))], Some(d1))
+            .unwrap();
+        let _ = db.preorder(); // rebuild #2 after insert
+        db.replace(a, &[("AGE", Value::Int(30))]).unwrap();
+        // Non-sequence replace keeps the cache.
+        assert_eq!(db.access_stats().snapshot().preorder_rebuilds, 2);
+        db.check_access_structures().unwrap();
+        db.replace(a, &[("EMP-NAME", Value::str("ZZ"))]).unwrap();
+        db.delete(a).unwrap();
+        let _ = db.preorder();
+        db.check_access_structures().unwrap();
+        assert_eq!(db.access_stats().snapshot().preorder_rebuilds, 3);
+    }
+
+    #[test]
     fn field_access_and_type_checks() {
         let (mut db, d1, _) = sample();
         let e = db
@@ -475,6 +703,8 @@ mod tests {
             .unwrap();
         assert_eq!(db.field_value(e, "AGE").unwrap(), Value::Int(40));
         assert!(db.field_value(e, "NOPE").is_err());
-        assert!(db.insert("EMP", &[("AGE", Value::str("old"))], Some(d1)).is_err());
+        assert!(db
+            .insert("EMP", &[("AGE", Value::str("old"))], Some(d1))
+            .is_err());
     }
 }

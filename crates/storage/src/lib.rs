@@ -23,9 +23,11 @@ pub mod hier_db;
 pub mod keys;
 pub mod network_db;
 pub mod relational_db;
+pub mod stats;
 
 pub use error::{DbError, DbResult, StatusCode};
 pub use hier_db::{HierDb, SegmentInstance};
 pub use keys::KeyTuple;
 pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
 pub use relational_db::{RelationalDb, RowId};
+pub use stats::{AccessProfile, AccessStats};

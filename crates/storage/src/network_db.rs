@@ -20,9 +20,11 @@
 
 use crate::error::{DbError, DbResult};
 use crate::keys::KeyTuple;
+use crate::stats::AccessStats;
 use dbpc_datamodel::constraint::Constraint;
 use dbpc_datamodel::network::{Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef};
 use dbpc_datamodel::value::Value;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Identifier of a stored record. `RecordId(0)` is the SYSTEM pseudo-owner.
@@ -42,12 +44,77 @@ pub struct StoredRecord {
     pub values: Vec<Value>,
 }
 
-/// Storage for one set type: per-owner ordered member lists plus the
-/// member→owner index.
+/// Ordering key of a member within a set occurrence: the declared set-key
+/// tuple, tie-broken by arrival sequence. Keyed sets sort by key alone
+/// (duplicates are rejected, so the sequence never decides between live
+/// members); keyless sets have an empty tuple and degrade to pure arrival
+/// (chronological) order — exactly the two orders §4.2 prescribes.
+type MemberOrd = (KeyTuple, u64);
+
+/// Index identity: (record type, CALC field names) — one index per probe shape.
+type CalcIndexKey = (String, Vec<String>);
+/// One maintained index: key tuple → ids of matching records, in storage order.
+type CalcIndex = BTreeMap<KeyTuple, Vec<u64>>;
+
+/// Storage for one set type: per-owner ordered member maps plus the
+/// member→owner and member→position indexes. Ordered maps make CONNECT,
+/// DISCONNECT, ERASE and MODIFY repositioning O(log members) where the
+/// former `Vec` representation paid an O(members) `retain` scan.
 #[derive(Debug, Clone, Default)]
 struct SetStore {
-    members: BTreeMap<u64, Vec<u64>>,
+    members: BTreeMap<u64, BTreeMap<MemberOrd, u64>>,
     owner_of: BTreeMap<u64, u64>,
+    /// member → its ordering key inside `members[owner_of[member]]`, so a
+    /// member can be unlinked without scanning its siblings.
+    ord_of: BTreeMap<u64, MemberOrd>,
+    next_seq: u64,
+}
+
+impl SetStore {
+    fn link(&mut self, owner: u64, member: u64, key: KeyTuple) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.members
+            .entry(owner)
+            .or_default()
+            .insert((key.clone(), seq), member);
+        self.ord_of.insert(member, (key, seq));
+        self.owner_of.insert(member, owner);
+    }
+
+    /// Unlink `member` from its occurrence; returns the former owner.
+    fn unlink(&mut self, member: u64) -> Option<u64> {
+        let owner = self.owner_of.remove(&member)?;
+        if let Some(ord) = self.ord_of.remove(&member) {
+            if let Some(occ) = self.members.get_mut(&owner) {
+                occ.remove(&ord);
+                if occ.is_empty() {
+                    self.members.remove(&owner);
+                }
+            }
+        }
+        Some(owner)
+    }
+
+    fn members_in_order(&self, owner: u64) -> Vec<u64> {
+        self.members
+            .get(&owner)
+            .map(|occ| occ.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn occurrence_len(&self, owner: u64) -> usize {
+        self.members.get(&owner).map(|occ| occ.len()).unwrap_or(0)
+    }
+
+    /// Does the occurrence under `owner` already hold `key`?
+    fn contains_key_under(&self, owner: u64, key: &KeyTuple) -> bool {
+        self.members.get(&owner).is_some_and(|occ| {
+            occ.range((key.clone(), 0)..=(key.clone(), u64::MAX))
+                .next()
+                .is_some()
+        })
+    }
 }
 
 /// An owner-coupled-set database instance.
@@ -56,7 +123,14 @@ pub struct NetworkDb {
     schema: NetworkSchema,
     records: BTreeMap<u64, StoredRecord>,
     sets: BTreeMap<String, SetStore>,
+    /// Record ids per record type, ascending (= creation order).
+    by_type: BTreeMap<String, Vec<u64>>,
+    /// Lazily-built calc-key indexes: (record type, stored-field list) →
+    /// key tuple → ids in creation order. Built on the first keyed FIND
+    /// over that field list, maintained through every later mutation.
+    calc_indexes: RefCell<BTreeMap<CalcIndexKey, CalcIndex>>,
     next_id: u64,
+    stats: AccessStats,
 }
 
 impl NetworkDb {
@@ -74,12 +148,20 @@ impl NetworkDb {
             schema,
             records: BTreeMap::new(),
             sets,
+            by_type: BTreeMap::new(),
+            calc_indexes: RefCell::new(BTreeMap::new()),
             next_id: 1,
+            stats: AccessStats::default(),
         })
     }
 
     pub fn schema(&self) -> &NetworkSchema {
         &self.schema
+    }
+
+    /// Access-path counters (records visited, calc-key probes).
+    pub fn access_stats(&self) -> &AccessStats {
+        &self.stats
     }
 
     pub fn record_count(&self) -> usize {
@@ -95,11 +177,66 @@ impl NetworkDb {
 
     /// All record ids of a type, in creation order (deterministic).
     pub fn records_of_type(&self, rtype: &str) -> Vec<RecordId> {
-        self.records
-            .values()
-            .filter(|r| r.rtype == rtype)
-            .map(|r| r.id)
-            .collect()
+        let ids = self
+            .by_type
+            .get(rtype)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        self.stats.scanned(ids.len() as u64);
+        ids.iter().map(|&i| RecordId(i)).collect()
+    }
+
+    /// Records of `rtype` whose stored fields `fields` equal `key`, via the
+    /// calc-key index (built lazily on first use, maintained thereafter).
+    /// Results come back in creation order — identical to filtering
+    /// [`records_of_type`](Self::records_of_type) — so a converted program
+    /// using keyed FIND observes the same sequence as a scanning one.
+    /// Returns `Ok(None)` when the field list is not indexable (unknown or
+    /// `VIRTUAL` fields: virtuals resolve through the owner and change on
+    /// CONNECT/DISCONNECT without the record itself being touched); the
+    /// caller falls back to a scan.
+    pub fn find_keyed(
+        &self,
+        rtype: &str,
+        fields: &[&str],
+        key: &[Value],
+    ) -> DbResult<Option<Vec<RecordId>>> {
+        if fields.is_empty() || fields.len() != key.len() {
+            return Ok(None);
+        }
+        let rt = self.record_type(rtype)?;
+        let mut idxs = Vec::with_capacity(fields.len());
+        for f in fields {
+            match rt.field_index(f) {
+                Some(i) if !rt.fields[i].is_virtual() => idxs.push(i),
+                _ => return Ok(None),
+            }
+        }
+        let index_key = (
+            rtype.to_string(),
+            fields.iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+        );
+        let mut indexes = self.calc_indexes.borrow_mut();
+        let index = indexes.entry(index_key).or_insert_with(|| {
+            let mut map: BTreeMap<KeyTuple, Vec<u64>> = BTreeMap::new();
+            for &id in self
+                .by_type
+                .get(rtype)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+            {
+                let rec = &self.records[&id];
+                let k = KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect());
+                map.entry(k).or_default().push(id);
+            }
+            map
+        });
+        let hit = index.get(&KeyTuple(key.to_vec()));
+        self.stats.probed(hit.is_some());
+        Ok(Some(
+            hit.map(|v| v.iter().map(|&i| RecordId(i)).collect())
+                .unwrap_or_default(),
+        ))
     }
 
     /// Members of a set occurrence, in set-key order.
@@ -108,11 +245,9 @@ impl NetworkDb {
             .sets
             .get(set)
             .ok_or_else(|| DbError::unknown("set", set))?;
-        Ok(store
-            .members
-            .get(&owner.0)
-            .map(|v| v.iter().map(|&i| RecordId(i)).collect())
-            .unwrap_or_default())
+        let ids = store.members_in_order(owner.0);
+        self.stats.scanned(ids.len() as u64);
+        Ok(ids.into_iter().map(RecordId).collect())
     }
 
     /// The owner of `member` in `set`, if connected.
@@ -220,8 +355,8 @@ impl NetworkDb {
                 continue;
             }
             let requested = planned.iter().any(|(s, _)| s.name == set.name);
-            let required = set.insertion == Insertion::Automatic
-                || self.has_existence_constraint(&set.name);
+            let required =
+                set.insertion == Insertion::Automatic || self.has_existence_constraint(&set.name);
             if required && !requested {
                 return Err(DbError::Membership(format!(
                     "set {} requires connection at STORE time (AUTOMATIC/EXISTENCE)",
@@ -255,6 +390,11 @@ impl NetworkDb {
                 values: row.clone(),
             },
         );
+        self.by_type
+            .entry(rtype.to_string())
+            .or_default()
+            .push(id.0);
+        self.index_add(rtype, &row, id.0);
         for set in &system_sets {
             self.insert_member(set, SYSTEM_OWNER, id, &rt, &row);
         }
@@ -323,18 +463,14 @@ impl NetworkDb {
             .get(&member.0)
             .ok_or_else(|| DbError::Membership(format!("record not connected in {set_name}")))?;
         if let Some(min) = self.cardinality_min(set_name) {
-            let count = store.members.get(&owner).map(|v| v.len()).unwrap_or(0);
+            let count = store.occurrence_len(owner);
             if (count as u32) <= min {
                 return Err(DbError::constraint(format!(
                     "cardinality minimum {min} on {set_name} would be violated"
                 )));
             }
         }
-        let store = self.sets.get_mut(set_name).unwrap();
-        store.owner_of.remove(&member.0);
-        if let Some(v) = store.members.get_mut(&owner) {
-            v.retain(|&m| m != member.0);
-        }
+        self.sets.get_mut(set_name).unwrap().unlink(member.0);
         Ok(())
     }
 
@@ -372,11 +508,7 @@ impl NetworkDb {
             .cloned()
             .collect();
         for set in &owned_sets {
-            let members: Vec<u64> = self.sets[&set.name]
-                .members
-                .get(&id.0)
-                .cloned()
-                .unwrap_or_default();
+            let members: Vec<u64> = self.sets[&set.name].members_in_order(id.0);
             if members.is_empty() {
                 continue;
             }
@@ -397,16 +529,20 @@ impl NetworkDb {
                 )));
             }
         }
-        // Remove from all sets in which it participates as member.
+        // Remove from all sets in which it participates as member. (Any
+        // occurrence it *owned* is empty by now: members were either erased
+        // above or their presence aborted the operation.)
         for store in self.sets.values_mut() {
-            if let Some(owner) = store.owner_of.remove(&id.0) {
-                if let Some(v) = store.members.get_mut(&owner) {
-                    v.retain(|&m| m != id.0);
-                }
-            }
+            store.unlink(id.0);
             store.members.remove(&id.0);
         }
-        self.records.remove(&id.0);
+        let rec = self.records.remove(&id.0).expect("record existed");
+        if let Some(ids) = self.by_type.get_mut(&rec.rtype) {
+            if let Ok(pos) = ids.binary_search(&id.0) {
+                ids.remove(pos);
+            }
+        }
+        self.index_remove(&rec.rtype, &rec.values, id.0);
         erased.push(id);
         Ok(())
     }
@@ -454,51 +590,35 @@ impl NetworkDb {
                 continue;
             }
             if let Some(&owner) = self.sets[&set.name].owner_of.get(&id.0) {
-                // Duplicate check against siblings.
-                let siblings = self.sets[&set.name].members.get(&owner).unwrap().clone();
-                for sib in &siblings {
-                    if *sib == id.0 {
-                        continue;
-                    }
-                    let sib_rec = &self.records[sib];
-                    if key_tuple(&rt, &sib_rec.values, &set.keys) == new_key {
-                        return Err(DbError::Duplicate {
-                            scope: format!("set {}", set.name),
-                            key: format!("{:?}", new_key.0),
-                        });
-                    }
+                // Duplicate check against siblings: a single ordered-map
+                // probe. The record itself cannot collide — its old key
+                // differs from `new_key`.
+                let dup = self.sets[&set.name].contains_key_under(owner, &new_key);
+                self.stats.probed(dup);
+                if dup {
+                    return Err(DbError::Duplicate {
+                        scope: format!("set {}", set.name),
+                        key: format!("{:?}", new_key.0),
+                    });
                 }
             }
         }
         // Commit the new values, then reposition.
         self.records.get_mut(&id.0).unwrap().values = new_row.clone();
+        self.index_update(&rec.rtype, &rec.values, &new_row, id.0);
         for set in &member_sets {
             if set.keys.is_empty() {
                 continue;
             }
-            let owner = match self.sets[&set.name].owner_of.get(&id.0) {
-                Some(&o) => o,
-                None => continue,
-            };
+            let old_key = key_tuple(&rt, &rec.values, &set.keys);
+            let new_key = key_tuple(&rt, &new_row, &set.keys);
+            if old_key == new_key {
+                continue;
+            }
             let store = self.sets.get_mut(&set.name).unwrap();
-            let v = store.members.get_mut(&owner).unwrap();
-            v.retain(|&m| m != id.0);
-            // Re-insert in key order.
-            let pos = {
-                let target = key_tuple(&rt, &new_row, &set.keys);
-                v.partition_point(|m| {
-                    let mrec = &self.records[m];
-                    let mrt = self.schema.record(&mrec.rtype).unwrap();
-                    key_tuple(mrt, &mrec.values, &set.keys) < target
-                })
-            };
-            self.sets
-                .get_mut(&set.name)
-                .unwrap()
-                .members
-                .get_mut(&owner)
-                .unwrap()
-                .insert(pos, id.0);
+            if let Some(owner) = store.unlink(id.0) {
+                store.link(owner, id.0, new_key);
+            }
         }
         Ok(())
     }
@@ -619,8 +739,8 @@ impl NetworkDb {
     }
 
     /// Can a record with values `row` be connected under `owner` in `set`?
-    /// Checks cardinality maxima and duplicate set keys (by binary search
-    /// over the key-ordered member list).
+    /// Checks cardinality maxima and duplicate set keys (one ordered-map
+    /// probe into the occurrence).
     fn check_connectable(
         &self,
         set: &SetDef,
@@ -628,14 +748,9 @@ impl NetworkDb {
         rt: &RecordTypeDef,
         row: &[Value],
     ) -> DbResult<()> {
-        static EMPTY: &[u64] = &[];
-        let existing: &[u64] = self.sets[&set.name]
-            .members
-            .get(&owner.0)
-            .map(Vec::as_slice)
-            .unwrap_or(EMPTY);
+        let store = &self.sets[&set.name];
         if let Some(max) = self.cardinality_max(&set.name) {
-            if existing.len() as u32 >= max {
+            if store.occurrence_len(owner.0) as u32 >= max {
                 return Err(DbError::constraint(format!(
                     "cardinality maximum {max} on {} reached",
                     set.name
@@ -644,8 +759,9 @@ impl NetworkDb {
         }
         if !set.keys.is_empty() {
             let key = key_tuple(rt, row, &set.keys);
-            let pos = existing.partition_point(|&m| self.member_key(m, &set.keys) < key);
-            if pos < existing.len() && self.member_key(existing[pos], &set.keys) == key {
+            let dup = store.contains_key_under(owner.0, &key);
+            self.stats.probed(dup);
+            if dup {
                 return Err(DbError::Duplicate {
                     scope: format!("set {}", set.name),
                     key: format!("{:?}", key.0),
@@ -655,8 +771,8 @@ impl NetworkDb {
         Ok(())
     }
 
-    /// Insert a member at its key-ordered position (append for keyless
-    /// sets).
+    /// Link a member into its occurrence; the ordered map places it at its
+    /// key position (keyed sets) or at the chronological end (keyless).
     fn insert_member(
         &mut self,
         set: &SetDef,
@@ -665,23 +781,144 @@ impl NetworkDb {
         rt: &RecordTypeDef,
         row: &[Value],
     ) {
-        let pos = {
-            static EMPTY: &[u64] = &[];
-            let existing: &[u64] = self.sets[&set.name]
-                .members
-                .get(&owner.0)
-                .map(Vec::as_slice)
-                .unwrap_or(EMPTY);
-            if set.keys.is_empty() {
-                existing.len()
-            } else {
-                let target = key_tuple(rt, row, &set.keys);
-                existing.partition_point(|&m| self.member_key(m, &set.keys) < target)
-            }
+        let key = if set.keys.is_empty() {
+            KeyTuple(Vec::new())
+        } else {
+            key_tuple(rt, row, &set.keys)
         };
-        let store = self.sets.get_mut(&set.name).unwrap();
-        store.members.entry(owner.0).or_default().insert(pos, member.0);
-        store.owner_of.insert(member.0, owner.0);
+        self.sets
+            .get_mut(&set.name)
+            .unwrap()
+            .link(owner.0, member.0, key);
+    }
+
+    // -- calc-key index maintenance ----------------------------------------
+
+    /// Key tuple of `row` for an indexed field list (stored fields only).
+    fn calc_key(schema: &NetworkSchema, rtype: &str, fields: &[String], row: &[Value]) -> KeyTuple {
+        let rt = schema.record(rtype).expect("indexed type exists");
+        KeyTuple(
+            fields
+                .iter()
+                .map(|f| row[rt.field_index(f).expect("indexed field exists")].clone())
+                .collect(),
+        )
+    }
+
+    fn index_add(&mut self, rtype: &str, row: &[Value], id: u64) {
+        let schema = &self.schema;
+        for ((rt_name, fields), map) in self.calc_indexes.get_mut().iter_mut() {
+            if rt_name != rtype {
+                continue;
+            }
+            let key = Self::calc_key(schema, rtype, fields, row);
+            let ids = map.entry(key).or_default();
+            let pos = ids.partition_point(|&m| m < id);
+            ids.insert(pos, id);
+        }
+    }
+
+    fn index_remove(&mut self, rtype: &str, row: &[Value], id: u64) {
+        let schema = &self.schema;
+        for ((rt_name, fields), map) in self.calc_indexes.get_mut().iter_mut() {
+            if rt_name != rtype {
+                continue;
+            }
+            let key = Self::calc_key(schema, rtype, fields, row);
+            if let Some(ids) = map.get_mut(&key) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn index_update(&mut self, rtype: &str, old_row: &[Value], new_row: &[Value], id: u64) {
+        self.index_remove(rtype, old_row, id);
+        self.index_add(rtype, new_row, id);
+    }
+
+    /// Verify every derived access structure against a from-scratch
+    /// rebuild: the per-type record lists, each set store's ordering and
+    /// reverse maps, and every materialized calc-key index. Used by the
+    /// storage-invariant property tests.
+    pub fn check_access_structures(&self) -> Result<(), String> {
+        // Per-type record lists ↔ the record heap.
+        let mut want_types: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for rec in self.records.values() {
+            want_types
+                .entry(rec.rtype.clone())
+                .or_default()
+                .push(rec.id.0);
+        }
+        for (rtype, ids) in &self.by_type {
+            let want = want_types.remove(rtype).unwrap_or_default();
+            if *ids != want {
+                return Err(format!("by_type[{rtype}] = {ids:?}, want {want:?}"));
+            }
+        }
+        if let Some((rtype, _)) = want_types.into_iter().next() {
+            return Err(format!("by_type missing entry for {rtype}"));
+        }
+
+        // Set stores: members ↔ owner_of ↔ ord_of, plus key correctness.
+        for (name, store) in &self.sets {
+            let set = self.schema.set(name).expect("set in schema");
+            let mut linked = 0usize;
+            for (&owner, occ) in &store.members {
+                if occ.is_empty() {
+                    return Err(format!("set {name}: empty occurrence kept for #{owner}"));
+                }
+                for (ord, &member) in occ {
+                    linked += 1;
+                    if store.owner_of.get(&member) != Some(&owner) {
+                        return Err(format!("set {name}: owner_of[#{member}] ≠ #{owner}"));
+                    }
+                    if store.ord_of.get(&member) != Some(ord) {
+                        return Err(format!("set {name}: ord_of[#{member}] stale"));
+                    }
+                    let want_key = if set.keys.is_empty() {
+                        KeyTuple(Vec::new())
+                    } else {
+                        self.member_key(member, &set.keys)
+                    };
+                    if ord.0 != want_key {
+                        return Err(format!(
+                            "set {name}: #{member} filed under {:?}, want {:?}",
+                            ord.0, want_key.0
+                        ));
+                    }
+                }
+            }
+            if store.owner_of.len() != linked || store.ord_of.len() != linked {
+                return Err(format!(
+                    "set {name}: {} owner_of / {} ord_of entries for {linked} links",
+                    store.owner_of.len(),
+                    store.ord_of.len()
+                ));
+            }
+        }
+
+        // Calc-key indexes ↔ a fresh rebuild over the record heap.
+        for ((rtype, fields), map) in self.calc_indexes.borrow().iter() {
+            let mut want: BTreeMap<KeyTuple, Vec<u64>> = BTreeMap::new();
+            for rec in self.records.values() {
+                if rec.rtype == *rtype {
+                    want.entry(Self::calc_key(&self.schema, rtype, fields, &rec.values))
+                        .or_default()
+                        .push(rec.id.0);
+                }
+            }
+            if *map != want {
+                return Err(format!(
+                    "calc index ({rtype}, {fields:?}) diverged from rebuild"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -900,12 +1137,8 @@ mod tests {
             .store("DIV", &[("DIV-NAME", Value::str("M"))], &[])
             .unwrap();
         for name in ["A", "B"] {
-            db.store(
-                "EMP",
-                &[("EMP-NAME", Value::str(name))],
-                &[("DIV-EMP", d)],
-            )
-            .unwrap();
+            db.store("EMP", &[("EMP-NAME", Value::str(name))], &[("DIV-EMP", d)])
+                .unwrap();
         }
         let err = db
             .store("EMP", &[("EMP-NAME", Value::str("C"))], &[("DIV-EMP", d)])
@@ -989,6 +1222,85 @@ mod tests {
             db.modify(e, &[("DIV-NAME", Value::str("HACK"))]),
             Err(DbError::VirtualWrite { .. })
         ));
+    }
+
+    #[test]
+    fn membership_maps_stay_consistent_through_mutations() {
+        let (mut db, mach, aero) = company_db();
+        let a = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("ADAMS"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        let b = db
+            .store(
+                "EMP",
+                &[("EMP-NAME", Value::str("BLAKE"))],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        db.check_access_structures().unwrap();
+        // Reposition under the same owner, then move divisions.
+        db.modify(a, &[("EMP-NAME", Value::str("CLARK"))]).unwrap();
+        assert_eq!(db.members_of("DIV-EMP", mach).unwrap(), vec![b, a]);
+        db.check_access_structures().unwrap();
+        db.disconnect("DIV-EMP", a).unwrap();
+        db.connect("DIV-EMP", aero, a).unwrap();
+        assert_eq!(db.members_of("DIV-EMP", mach).unwrap(), vec![b]);
+        assert_eq!(db.members_of("DIV-EMP", aero).unwrap(), vec![a]);
+        db.check_access_structures().unwrap();
+        db.erase(b, false).unwrap();
+        assert_eq!(db.members_of("DIV-EMP", mach).unwrap(), vec![]);
+        db.check_access_structures().unwrap();
+    }
+
+    #[test]
+    fn find_keyed_matches_scan_and_survives_mutations() {
+        let (mut db, mach, _) = company_db();
+        for name in ["JONES", "SMITH", "ADAMS"] {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(name)),
+                    ("DEPT-NAME", Value::str("SALES")),
+                ],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        }
+        let probe = |db: &NetworkDb, name: &str| {
+            db.find_keyed("EMP", &["EMP-NAME"], &[Value::str(name)])
+                .unwrap()
+                .expect("stored field is indexable")
+        };
+        let smith = probe(&db, "SMITH");
+        assert_eq!(smith.len(), 1);
+        // Index answers must equal the scan-and-filter answer, in order.
+        let scan: Vec<RecordId> = db
+            .records_of_type("EMP")
+            .into_iter()
+            .filter(|&id| db.field_value(id, "EMP-NAME").unwrap() == Value::str("SMITH"))
+            .collect();
+        assert_eq!(smith, scan);
+        let before = db.access_stats().snapshot();
+        assert!(before.index_probes > 0 && before.index_hits > 0);
+        db.check_access_structures().unwrap();
+        // The lazily-built index must track later mutations.
+        db.modify(smith[0], &[("EMP-NAME", Value::str("SMYTHE"))])
+            .unwrap();
+        assert!(probe(&db, "SMITH").is_empty());
+        assert_eq!(probe(&db, "SMYTHE"), smith);
+        db.erase(smith[0], false).unwrap();
+        assert!(probe(&db, "SMYTHE").is_empty());
+        db.check_access_structures().unwrap();
+        // Virtual fields are not indexable: caller must fall back to scan.
+        assert_eq!(
+            db.find_keyed("EMP", &["DIV-NAME"], &[Value::str("MACHINERY")])
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::keys::KeyTuple;
+use crate::stats::AccessStats;
 use dbpc_datamodel::relational::{RelationalSchema, TableDef};
 use dbpc_datamodel::value::Value;
 use std::collections::BTreeMap;
@@ -18,11 +19,54 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowId(pub u64);
 
+/// A maintained secondary index over one column set.
+///
+/// Because [`KeyTuple`]'s order is [`Value::total_cmp`] — the same relation
+/// `loose_eq` is defined by — a map probe matches exactly the rows a
+/// per-row `loose_eq` filter would (including `Int(1)`/`Float(1.0)`
+/// cross-type equality), so equality pushdown through this index is
+/// semantically identical to a full scan.
+#[derive(Debug, Clone)]
+struct SecondaryIndex {
+    /// Indexed columns, in index-key order.
+    cols: Vec<String>,
+    /// Positions of `cols` in the row layout.
+    idxs: Vec<usize>,
+    /// Key → row ids, ascending (= insertion/storage order).
+    map: BTreeMap<KeyTuple, Vec<u64>>,
+}
+
+impl SecondaryIndex {
+    fn key_of(&self, row: &[Value]) -> KeyTuple {
+        KeyTuple(self.idxs.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    fn add(&mut self, row: &[Value], id: u64) {
+        let ids = self.map.entry(self.key_of(row)).or_default();
+        let at = ids.partition_point(|&x| x < id);
+        ids.insert(at, id);
+    }
+
+    fn remove(&mut self, row: &[Value], id: u64) {
+        let key = self.key_of(row);
+        if let Some(ids) = self.map.get_mut(&key) {
+            if let Ok(at) = ids.binary_search(&id) {
+                ids.remove(at);
+            }
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Table {
     rows: BTreeMap<u64, Vec<Value>>,
     /// Primary-key index (only when the table declares a key).
     pk_index: BTreeMap<KeyTuple, u64>,
+    /// Maintained secondary indexes (created via `create_index`).
+    indexes: Vec<SecondaryIndex>,
 }
 
 /// A relational database instance.
@@ -34,6 +78,8 @@ pub struct RelationalDb {
     /// Enforce declared foreign keys on insert/delete. Off by default,
     /// mirroring 1979 systems.
     pub enforce_foreign_keys: bool,
+    /// Access-path counters (interior-mutable so read paths can count).
+    stats: AccessStats,
 }
 
 impl RelationalDb {
@@ -51,11 +97,59 @@ impl RelationalDb {
             tables,
             next_id: 1,
             enforce_foreign_keys: false,
+            stats: AccessStats::default(),
         })
     }
 
     pub fn schema(&self) -> &RelationalSchema {
         &self.schema
+    }
+
+    /// Access-path counters for this database.
+    pub fn access_stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Create (and backfill) a secondary index on `cols`. Idempotent for an
+    /// identical column list.
+    pub fn create_index(&mut self, table: &str, cols: &[&str]) -> DbResult<()> {
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
+        let mut idxs = Vec::with_capacity(cols.len());
+        for c in cols {
+            idxs.push(
+                def.column_index(c)
+                    .ok_or_else(|| DbError::unknown("column", format!("{table}.{c}")))?,
+            );
+        }
+        let t = self.tables.get_mut(table).unwrap();
+        if t.indexes.iter().any(|ix| ix.idxs == idxs) {
+            return Ok(());
+        }
+        let mut ix = SecondaryIndex {
+            cols: cols.iter().map(|c| c.to_string()).collect(),
+            idxs,
+            map: BTreeMap::new(),
+        };
+        for (&id, row) in &t.rows {
+            ix.add(row, id);
+        }
+        t.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Names of the indexed column sets of a table (index-key order).
+    pub fn index_column_sets(&self, table: &str) -> DbResult<Vec<Vec<String>>> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .indexes
+            .iter()
+            .map(|ix| ix.cols.clone())
+            .collect())
     }
 
     fn table_def(&self, name: &str) -> DbResult<&TableDef> {
@@ -97,21 +191,95 @@ impl RelationalDb {
             .ok_or_else(|| DbError::NotFound(format!("{table} row #{}", id.0)))
     }
 
-    /// All rows of a table in insertion order (cloned).
+    /// All rows of a table in insertion order (cloned). Prefer
+    /// [`RelationalDb::iter_rows`] on hot paths — this clones every cell.
     pub fn scan(&self, table: &str) -> DbResult<Vec<Vec<Value>>> {
-        Ok(self
+        let t = self
             .tables
             .get(table)
-            .ok_or_else(|| DbError::unknown("table", table))?
-            .rows
-            .values()
-            .cloned()
-            .collect())
+            .ok_or_else(|| DbError::unknown("table", table))?;
+        self.stats.scanned(t.rows.len() as u64);
+        Ok(t.rows.values().cloned().collect())
+    }
+
+    /// Borrowing cursor over a table in insertion (storage) order.
+    /// Each yielded row counts toward `rows_scanned`.
+    pub fn iter_rows(&self, table: &str) -> DbResult<impl Iterator<Item = (RowId, &[Value])> + '_> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
+        let stats = &self.stats;
+        Ok(t.rows.iter().map(move |(&id, row)| {
+            stats.scanned(1);
+            (RowId(id), row.as_slice())
+        }))
+    }
+
+    /// Equality-probe planner hook: given conjunctive `col = value` terms,
+    /// return candidate row ids **in storage order** via the primary-key
+    /// index or a secondary index, or `None` when no index covers the
+    /// terms (caller falls back to a scan).
+    ///
+    /// Candidates are a superset of the true matches restricted to the
+    /// probed columns; the caller must still apply its full predicate.
+    /// Unknown columns yield `None` so the scan path reports the error
+    /// exactly as before.
+    pub fn probe_eq(&self, table: &str, eqs: &[(String, Value)]) -> DbResult<Option<Vec<RowId>>> {
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
+        let t = &self.tables[table];
+        if eqs.is_empty() {
+            return Ok(None);
+        }
+        if eqs.iter().any(|(c, _)| def.column_index(c).is_none()) {
+            return Ok(None);
+        }
+        let bound =
+            |col: &str| -> Option<&Value> { eqs.iter().find(|(c, _)| c == col).map(|(_, v)| v) };
+        // Primary key first: a full binding is a point lookup.
+        if !def.primary_key.is_empty() {
+            if let Some(key) = def
+                .primary_key
+                .iter()
+                .map(|c| bound(c).cloned())
+                .collect::<Option<Vec<Value>>>()
+            {
+                let hit = t.pk_index.get(&KeyTuple(key));
+                self.stats.probed(hit.is_some());
+                return Ok(Some(hit.map(|&id| RowId(id)).into_iter().collect()));
+            }
+        }
+        // Any secondary index fully bound by the equality terms.
+        for ix in &t.indexes {
+            if let Some(key) = ix
+                .cols
+                .iter()
+                .map(|c| bound(c).cloned())
+                .collect::<Option<Vec<Value>>>()
+            {
+                let ids = ix.map.get(&KeyTuple(key));
+                self.stats.probed(ids.is_some());
+                return Ok(Some(
+                    ids.map(|v| v.iter().map(|&id| RowId(id)).collect())
+                        .unwrap_or_default(),
+                ));
+            }
+        }
+        Ok(None)
     }
 
     /// Insert a row given `(column, value)` pairs; omitted columns are null.
     pub fn insert(&mut self, table: &str, values: &[(&str, Value)]) -> DbResult<RowId> {
-        let def = self.table_def(table)?.clone();
+        // Borrow the definition from the schema field directly (no clone):
+        // the later mutation touches only the disjoint `tables`/`next_id`
+        // fields, so the borrows split.
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
         let mut row = vec![Value::Null; def.columns.len()];
         for (name, v) in values {
             let idx = def
@@ -126,7 +294,7 @@ impl RelationalDb {
             row[idx] = v.clone();
         }
         // Primary-key uniqueness.
-        let pk = self.pk_of(&def, &row);
+        let pk = pk_of_static(def, &row);
         if let Some(pk) = &pk {
             if self.tables[table].pk_index.contains_key(pk) {
                 return Err(DbError::Duplicate {
@@ -138,15 +306,18 @@ impl RelationalDb {
         // Foreign keys (optional enforcement).
         if self.enforce_foreign_keys {
             for fk in &def.foreign_keys {
-                let child: Vec<Value> = fk
+                let child: Vec<&Value> = fk
                     .columns
                     .iter()
-                    .map(|c| row[def.column_index(c).unwrap()].clone())
+                    .map(|c| &row[def.column_index(c).unwrap()])
                     .collect();
-                if child.iter().any(Value::is_null) {
+                if child.iter().any(|v| v.is_null()) {
                     continue; // null references are the §3.1 escape hatch
                 }
-                let parent = self.table_def(&fk.parent_table)?.clone();
+                let parent = self
+                    .schema
+                    .table(&fk.parent_table)
+                    .ok_or_else(|| DbError::unknown("table", &fk.parent_table))?;
                 let found = self.tables[&fk.parent_table].rows.values().any(|prow| {
                     fk.parent_columns
                         .iter()
@@ -166,6 +337,9 @@ impl RelationalDb {
         let id = self.next_id;
         self.next_id += 1;
         let t = self.tables.get_mut(table).unwrap();
+        for ix in &mut t.indexes {
+            ix.add(&row, id);
+        }
         t.rows.insert(id, row);
         if let Some(pk) = pk {
             t.pk_index.insert(pk, id);
@@ -178,18 +352,27 @@ impl RelationalDb {
     where
         F: Fn(&[Value]) -> bool,
     {
-        let def = self.table_def(table)?.clone();
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
         let doomed: Vec<u64> = self.tables[table]
             .rows
             .iter()
-            .filter(|(_, row)| pred(row))
+            .filter(|(_, row)| {
+                self.stats.scanned(1);
+                pred(row)
+            })
             .map(|(&id, _)| id)
             .collect();
         let t = self.tables.get_mut(table).unwrap();
         for id in &doomed {
             if let Some(row) = t.rows.remove(id) {
-                if let Some(pk) = pk_of_static(&def, &row) {
+                if let Some(pk) = pk_of_static(def, &row) {
                     t.pk_index.remove(&pk);
+                }
+                for ix in &mut t.indexes {
+                    ix.remove(&row, *id);
                 }
             }
         }
@@ -207,7 +390,10 @@ impl RelationalDb {
     where
         F: Fn(&[Value]) -> bool,
     {
-        let def = self.table_def(table)?.clone();
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
         let mut idxs = Vec::new();
         for (name, v) in assigns {
             let idx = def
@@ -224,7 +410,10 @@ impl RelationalDb {
         let targets: Vec<u64> = self.tables[table]
             .rows
             .iter()
-            .filter(|(_, row)| pred(row))
+            .filter(|(_, row)| {
+                self.stats.scanned(1);
+                pred(row)
+            })
             .map(|(&id, _)| id)
             .collect();
         let pk_cols_touched = def
@@ -239,11 +428,11 @@ impl RelationalDb {
         let mut new_keys: Vec<KeyTuple> = Vec::new();
         for id in &targets {
             let mut row = self.tables[table].rows[id].clone();
-            let old_pk = pk_of_static(&def, &row);
+            let old_pk = pk_of_static(def, &row);
             for (i, v) in &idxs {
                 row[*i] = v.clone();
             }
-            let new_pk = pk_of_static(&def, &row);
+            let new_pk = pk_of_static(def, &row);
             if pk_cols_touched {
                 if let Some(np) = &new_pk {
                     let conflict_outside = self.tables[table]
@@ -268,6 +457,14 @@ impl RelationalDb {
                     t.pk_index.remove(&op);
                 }
             }
+            if let Some(old) = t.rows.get(&id) {
+                for ix in &mut t.indexes {
+                    ix.remove(old, id);
+                }
+            }
+            for ix in &mut t.indexes {
+                ix.add(&row, id);
+            }
             t.rows.insert(id, row);
             if pk_cols_touched {
                 if let Some(np) = new_pk {
@@ -284,14 +481,44 @@ impl RelationalDb {
         if def.primary_key.is_empty() {
             return Ok(None);
         }
-        Ok(self.tables[table]
-            .pk_index
-            .get(&KeyTuple(key.to_vec()))
-            .map(|&id| RowId(id)))
+        let hit = self.tables[table].pk_index.get(&KeyTuple(key.to_vec()));
+        self.stats.probed(hit.is_some());
+        Ok(hit.map(|&id| RowId(id)))
     }
 
-    fn pk_of(&self, def: &TableDef, row: &[Value]) -> Option<KeyTuple> {
-        pk_of_static(def, row)
+    /// Verify every maintained access structure against a from-scratch
+    /// rebuild. Returns a description of the first inconsistency found.
+    pub fn check_access_structures(&self) -> Result<(), String> {
+        for (name, t) in &self.tables {
+            let def = self
+                .schema
+                .table(name)
+                .ok_or_else(|| format!("table {name} stored but not in schema"))?;
+            let mut fresh_pk = BTreeMap::new();
+            for (&id, row) in &t.rows {
+                if let Some(pk) = pk_of_static(def, row) {
+                    if fresh_pk.insert(pk.clone(), id).is_some() {
+                        return Err(format!("table {name}: duplicate pk {:?} in rows", pk.0));
+                    }
+                }
+            }
+            if fresh_pk != t.pk_index {
+                return Err(format!("table {name}: pk index diverges from rows"));
+            }
+            for ix in &t.indexes {
+                let mut fresh: BTreeMap<KeyTuple, Vec<u64>> = BTreeMap::new();
+                for (&id, row) in &t.rows {
+                    fresh.entry(ix.key_of(row)).or_default().push(id);
+                }
+                if fresh != ix.map {
+                    return Err(format!(
+                        "table {name}: secondary index on {:?} diverges from rows",
+                        ix.cols
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -455,6 +682,83 @@ mod tests {
             .find_by_key("COURSE", &[Value::str("C2")])
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn secondary_index_probe_matches_scan_and_stays_consistent() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.create_index("COURSE-OFFERING", &["S"]).unwrap();
+        for (cno, s) in [("C1", "F78"), ("C2", "F78"), ("C3", "S79")] {
+            db.insert(
+                "COURSE-OFFERING",
+                &[("CNO", Value::str(cno)), ("S", Value::str(s))],
+            )
+            .unwrap();
+        }
+        let hits = db
+            .probe_eq("COURSE-OFFERING", &[("S".to_string(), Value::str("F78"))])
+            .unwrap()
+            .expect("index covers the term");
+        let rows: Vec<&[Value]> = hits
+            .iter()
+            .map(|&id| db.row("COURSE-OFFERING", id).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        // Storage order: C1 inserted before C2.
+        assert_eq!(rows[0][0], Value::str("C1"));
+        assert_eq!(rows[1][0], Value::str("C2"));
+        db.check_access_structures().unwrap();
+
+        // Mutations keep the index consistent.
+        db.update_where(
+            "COURSE-OFFERING",
+            |r| r[0].loose_eq(&Value::str("C2")),
+            &[("S", Value::str("S79"))],
+        )
+        .unwrap();
+        db.delete_where("COURSE-OFFERING", |r| r[0].loose_eq(&Value::str("C1")))
+            .unwrap();
+        db.check_access_structures().unwrap();
+        let hits = db
+            .probe_eq("COURSE-OFFERING", &[("S".to_string(), Value::str("F78"))])
+            .unwrap()
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn probe_eq_uses_pk_and_counts() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C2"))]).unwrap();
+        let before = db.access_stats().snapshot();
+        let hits = db
+            .probe_eq("COURSE", &[("CNO".to_string(), Value::str("C2"))])
+            .unwrap()
+            .expect("pk fully bound");
+        assert_eq!(hits.len(), 1);
+        let after = db.access_stats().snapshot();
+        assert_eq!(after.index_probes, before.index_probes + 1);
+        assert_eq!(after.index_hits, before.index_hits + 1);
+        // Unknown column → planner declines, scan path will report it.
+        assert!(db
+            .probe_eq("COURSE", &[("NOPE".to_string(), Value::Int(1))])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn iter_rows_borrows_in_storage_order() {
+        let mut db = RelationalDb::new(school()).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C2"))]).unwrap();
+        db.insert("COURSE", &[("CNO", Value::str("C1"))]).unwrap();
+        let names: Vec<String> = db
+            .iter_rows("COURSE")
+            .unwrap()
+            .map(|(_, row)| row[0].to_string())
+            .collect();
+        assert_eq!(names, vec!["C2", "C1"]);
+        assert!(db.access_stats().snapshot().rows_scanned >= 2);
     }
 
     #[test]

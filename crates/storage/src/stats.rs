@@ -1,0 +1,98 @@
+//! Access-path counters.
+//!
+//! The paper's Optimizer box (Fig. 4.1) exists because converted programs'
+//! "execution-time variability" is dominated by access-path choice. These
+//! counters make the chosen path *observable*: tests and benches assert
+//! that an index probe actually engaged (or that the DL/I position cache
+//! was not rebuilt per call) instead of inferring it from wall time.
+//!
+//! [`AccessStats`] lives inside each storage engine and uses `Cell` so the
+//! read-only query paths (`&self`) can count; [`AccessProfile`] is the
+//! plain-data snapshot surfaced in `dbpc_engine::trace::Trace`.
+
+use std::cell::Cell;
+
+/// Interior-mutable counters owned by a storage engine.
+#[derive(Debug, Clone, Default)]
+pub struct AccessStats {
+    rows_scanned: Cell<u64>,
+    index_probes: Cell<u64>,
+    index_hits: Cell<u64>,
+    preorder_rebuilds: Cell<u64>,
+}
+
+impl AccessStats {
+    /// Count `n` rows (tuples, segments, or records) visited by a scan or
+    /// residual filter.
+    pub fn scanned(&self, n: u64) {
+        self.rows_scanned.set(self.rows_scanned.get() + n);
+    }
+
+    /// Count one index lookup (primary, secondary, calc-key, or position
+    /// map), and whether it produced at least one candidate.
+    pub fn probed(&self, hit: bool) {
+        self.index_probes.set(self.index_probes.get() + 1);
+        if hit {
+            self.index_hits.set(self.index_hits.get() + 1);
+        }
+    }
+
+    /// Count one full rebuild of the hierarchic preorder cache.
+    pub fn rebuilt_preorder(&self) {
+        self.preorder_rebuilds.set(self.preorder_rebuilds.get() + 1);
+    }
+
+    pub fn snapshot(&self) -> AccessProfile {
+        AccessProfile {
+            rows_scanned: self.rows_scanned.get(),
+            index_probes: self.index_probes.get(),
+            index_hits: self.index_hits.get(),
+            preorder_rebuilds: self.preorder_rebuilds.get(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.rows_scanned.set(0);
+        self.index_probes.set(0);
+        self.index_hits.set(0);
+        self.preorder_rebuilds.set(0);
+    }
+}
+
+/// Snapshot of [`AccessStats`] at a point in time (typically end of run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessProfile {
+    /// Rows/segments/records visited by scans and residual predicates.
+    pub rows_scanned: u64,
+    /// Index lookups attempted (pk, secondary, calc-key, position map).
+    pub index_probes: u64,
+    /// Index lookups that found at least one candidate.
+    pub index_hits: u64,
+    /// Full rebuilds of the hierarchic preorder cache.
+    pub preorder_rebuilds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = AccessStats::default();
+        s.scanned(5);
+        s.probed(true);
+        s.probed(false);
+        s.rebuilt_preorder();
+        assert_eq!(
+            s.snapshot(),
+            AccessProfile {
+                rows_scanned: 5,
+                index_probes: 2,
+                index_hits: 1,
+                preorder_rebuilds: 1,
+            }
+        );
+        s.reset();
+        assert_eq!(s.snapshot(), AccessProfile::default());
+    }
+}

@@ -27,7 +27,10 @@ fn main() {
 END PROGRAM;",
     )
     .unwrap();
-    println!("== Network program ==\n{}", dbpc::dml::host::print_program(&program));
+    println!(
+        "== Network program ==\n{}",
+        dbpc::dml::host::print_program(&program)
+    );
     let trace = run_host(&mut net, &program, Inputs::new()).unwrap();
     println!("network result:\n{trace}");
 
@@ -45,7 +48,10 @@ END PROGRAM;",
     for r in &rows {
         println!(
             "OUT   | {}",
-            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+            r.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
     assert_eq!(rows.len(), trace.terminal_lines().len());

@@ -77,8 +77,7 @@ fn main() {
     print!("{}", print_select(&query));
 
     // Regenerate the CODASYL form from the patterns.
-    let regenerated =
-        generate_dbtg_retrieval(seq, vec!["ENAME"], &catalog, "GETEMP").unwrap();
+    let regenerated = generate_dbtg_retrieval(seq, vec!["ENAME"], &catalog, "GETEMP").unwrap();
     println!("\n== Regenerated CODASYL form ==");
     print!("{}", print_dbtg(&regenerated));
 

@@ -56,7 +56,11 @@ END PROGRAM;",
     let t1 = run_host(&mut db1, report.program.as_ref().unwrap(), Inputs::new()).unwrap();
     println!(
         "rewriting  : {} (program rewritten at conversion time)",
-        if t1 == expected { "EQUIVALENT" } else { "DIVERGED" }
+        if t1 == expected {
+            "EQUIVALENT"
+        } else {
+            "DIVERGED"
+        }
     );
 
     // Strategy 2: DML emulation — the program text is untouched.
@@ -64,7 +68,11 @@ END PROGRAM;",
     let t2 = run_host(&mut emu, &program, Inputs::new()).unwrap();
     println!(
         "emulation  : {} (every DML call mapped at run time)",
-        if t2 == expected { "EQUIVALENT" } else { "DIVERGED" }
+        if t2 == expected {
+            "EQUIVALENT"
+        } else {
+            "DIVERGED"
+        }
     );
 
     // Strategy 3: bridge with differential write-back.
@@ -79,7 +87,11 @@ END PROGRAM;",
     .unwrap();
     println!(
         "bridge     : {} (reconstructed source, {} differential op(s) written back)",
-        if run.trace == expected { "EQUIVALENT" } else { "DIVERGED" },
+        if run.trace == expected {
+            "EQUIVALENT"
+        } else {
+            "DIVERGED"
+        },
         run.diff.len()
     );
 

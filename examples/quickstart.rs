@@ -48,7 +48,10 @@ END PROGRAM;",
     for w in &report.warnings {
         println!("warning  : {w}");
     }
-    println!("\n== Converted program ==\n{}", report.text.as_ref().unwrap());
+    println!(
+        "\n== Converted program ==\n{}",
+        report.text.as_ref().unwrap()
+    );
 
     // 5. Translate the data and check equivalence by execution.
     let target_db = restructuring.translate(&source_db).unwrap();

@@ -20,7 +20,10 @@ use dbpc::engine::Inputs;
 
 fn main() {
     println!("== Figure 3.1a (relational, compact notation) ==");
-    print!("{}", named::school_relational_schema().to_compact_notation());
+    print!(
+        "{}",
+        named::school_relational_schema().to_compact_notation()
+    );
 
     println!("\n== Figure 3.1b (CODASYL) ==");
     println!("{}", print_network_schema(&named::school_network_schema()));

@@ -1,0 +1,726 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no reachable registry, so this shim implements
+//! the exact surface the workspace's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), the [`strategy::Strategy`] trait
+//! with `prop_map`/`boxed`, integer-range / tuple / `Just` / `any::<T>()`
+//! strategies, regex-lite string strategies, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, weighted [`prop_oneof!`], and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline test shim:
+//! * generation is **deterministic** — each test derives its RNG seed from
+//!   the test name, so runs are reproducible without persistence files;
+//! * there is **no shrinking** — a failing case reports the generated
+//!   inputs verbatim instead of a minimized counterexample;
+//! * string strategies support the regex subset actually used here
+//!   (literals, escapes, `[...]` classes with ranges, `(...)` groups, and
+//!   `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers — no alternation).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` inside a test body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 source for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name: stable per test, distinct across
+            // tests, independent of execution order.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`. `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Drive `cases` iterations of one property. Each case returns the
+    /// Debug rendering of its generated inputs plus the body's result, so
+    /// failures report the concrete counterexample (unshrunk).
+    pub fn run_cases<F>(name: &str, config: ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let mut rng = TestRng::from_name(name);
+        for i in 0..config.cases {
+            let (inputs, result) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || case(&mut rng),
+            )) {
+                Ok(r) => r,
+                Err(payload) => {
+                    eprintln!(
+                            "proptest shim: test {name} panicked on case {i}/{} (deterministic seed; rerun reproduces it)",
+                            config.cases
+                        );
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            if let Err(e) = result {
+                panic!(
+                    "proptest shim: test {name} failed on case {i}/{}:\n{e}\ninputs: {inputs}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `new_value` draws a
+    /// fresh value directly and nothing shrinks.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.new_value(rng)))
+        }
+    }
+
+    /// Type-erased strategy (`Strategy::boxed`).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Regex-lite string strategy: a `&'static str` pattern is itself a
+    /// strategy producing matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    /// Weighted union over same-valued strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    pub fn union<T: Debug>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for `vec`.
+    pub trait IntoLenRange {
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl IntoLenRange for RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: IntoLenRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` one case in four, mirroring real proptest's default weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    pub struct Select<T>(Vec<T>);
+
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub(crate) mod string {
+    use super::test_runner::TestRng;
+
+    /// One quantified element of the pattern.
+    struct Piece {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<Piece>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (pieces, rest) = parse_seq(&chars, 0, pattern);
+        assert!(
+            rest == chars.len(),
+            "proptest shim: trailing garbage in string pattern {pattern:?}"
+        );
+        let mut out = String::new();
+        emit_seq(&pieces, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for p in pieces {
+            let span = (p.max - p.min + 1) as u64;
+            let n = p.min + rng.below(span) as u32;
+            for _ in 0..n {
+                match &p.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Node::Group(inner) => emit_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Parse a sequence of quantified atoms until end-of-input or `)`.
+    fn parse_seq(chars: &[char], mut i: usize, pattern: &str) -> (Vec<Piece>, usize) {
+        let mut pieces = Vec::new();
+        while i < chars.len() && chars[i] != ')' {
+            let node;
+            match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(chars, i + 1, pattern);
+                    node = Node::Class(set);
+                    i = next;
+                }
+                '(' => {
+                    let (inner, next) = parse_seq(chars, i + 1, pattern);
+                    assert!(
+                        next < chars.len() && chars[next] == ')',
+                        "proptest shim: unclosed group in pattern {pattern:?}"
+                    );
+                    node = Node::Group(inner);
+                    i = next + 1;
+                }
+                '\\' => {
+                    node = Node::Lit(unescape(chars[i + 1], pattern));
+                    i += 2;
+                }
+                '|' => panic!("proptest shim: alternation unsupported in pattern {pattern:?}"),
+                c => {
+                    node = Node::Lit(c);
+                    i += 1;
+                }
+            }
+            let (min, max, next) = parse_quant(chars, i, pattern);
+            i = next;
+            pieces.push(Piece { node, min, max });
+        }
+        (pieces, i)
+    }
+
+    /// Parse an optional quantifier following an atom.
+    fn parse_quant(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+        // Unbounded repetition is capped: test data, not regex semantics.
+        const CAP: u32 = 8;
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, CAP, i + 1),
+            Some('+') => (1, CAP, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("proptest shim: unclosed {{}} in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "proptest shim: bad quantifier in {pattern:?}");
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    /// Parse a `[...]` class body (no negation) into its member set.
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        assert!(
+            chars.get(i) != Some(&'^'),
+            "proptest shim: negated classes unsupported in {pattern:?}"
+        );
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 2;
+                unescape(chars[i - 1], pattern)
+            } else {
+                i += 1;
+                chars[i - 1]
+            };
+            // `a-z` range unless the `-` is the final char of the class.
+            if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                let hi = if chars[i + 1] == '\\' {
+                    i += 3;
+                    unescape(chars[i - 1], pattern)
+                } else {
+                    i += 2;
+                    chars[i - 1]
+                };
+                assert!(lo <= hi, "proptest shim: inverted range in {pattern:?}");
+                set.extend(lo..=hi);
+            } else {
+                set.push(lo);
+            }
+        }
+        assert!(
+            chars.get(i) == Some(&']'),
+            "proptest shim: unclosed class in {pattern:?}"
+        );
+        assert!(!set.is_empty(), "proptest shim: empty class in {pattern:?}");
+        (set, i + 1)
+    }
+
+    fn unescape(c: char, pattern: &str) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            '\\' | '-' | ']' | '[' | '(' | ')' | '{' | '}' | '|' | '?' | '*' | '+' | '.' => c,
+            other => panic!("proptest shim: unsupported escape \\{other} in {pattern:?}"),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of real proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(stringify!($name), __config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| -> $crate::test_runner::TestCaseResult { $body Ok(()) })();
+                (__inputs, __result)
+            });
+        }
+    )*};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides equal {:?}", a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_name("string_patterns_match_shape");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[A-Z][A-Z0-9]{0,6}(-[A-Z0-9]{1,4}){0,2}", &mut rng);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+            let printable = Strategy::new_value(&"[ -~\n]{0,200}", &mut rng);
+            assert!(printable
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n'));
+            assert!(printable.len() <= 200);
+        }
+    }
+
+    #[test]
+    fn oneof_and_collections_generate() {
+        let mut rng = TestRng::from_name("oneof_and_collections_generate");
+        let strat = prop_oneof![
+            3 => (0i64..10).prop_map(|n| n.to_string()),
+            1 => Just("X".to_string()),
+        ];
+        let lists = prop::collection::vec(strat, 0..5);
+        for _ in 0..100 {
+            let v = lists.new_value(&mut rng);
+            assert!(v.len() < 5);
+        }
+        let opt = prop::option::of(0u8..4);
+        let sel = prop::sample::select(vec![1, 2, 3]);
+        for _ in 0..50 {
+            let _ = opt.new_value(&mut rng);
+            assert!((1..=3).contains(&sel.new_value(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, asserts early-return.
+        #[test]
+        fn macro_roundtrip(a in 0u32..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a as i64 - 101, a as i64);
+        }
+    }
+}

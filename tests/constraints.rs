@@ -18,13 +18,11 @@ use dbpc::restructure::{Restructuring, Transform};
 #[test]
 fn procedural_to_declarative_preserves_behavior() {
     let schema = named::company_schema();
-    let restructuring = Restructuring::single(Transform::AddConstraint(
-        Constraint::Cardinality {
-            set: "DIV-EMP".into(),
-            min: 0,
-            max: Some(3),
-        },
-    ));
+    let restructuring = Restructuring::single(Transform::AddConstraint(Constraint::Cardinality {
+        set: "DIV-EMP".into(),
+        min: 0,
+        max: Some(3),
+    }));
     // The program enforces "at most 2 employees per division" itself.
     let program = parse_program(
         "PROGRAM HIRE;
@@ -91,11 +89,10 @@ fn declarative_to_procedural_cascade_compensation() {
     let schema = named::company_schema().with_constraint(Constraint::Characterizing {
         set: "DIV-EMP".into(),
     });
-    let restructuring = Restructuring::single(Transform::DropConstraint(
-        Constraint::Characterizing {
+    let restructuring =
+        Restructuring::single(Transform::DropConstraint(Constraint::Characterizing {
             set: "DIV-EMP".into(),
-        },
-    ));
+        }));
     let program = parse_program(
         "PROGRAM CLOSE-DIV;
   FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));

@@ -5,11 +5,12 @@
 
 use dbpc::datamodel::value::Value;
 use dbpc::dml::dbtg::{parse_dbtg, print_dbtg, DbtgProgram, DbtgStmt, DbtgUnit, StatusCond};
-use dbpc::dml::dli::{parse_dli, print_dli, DliProgram, DliStatus, DliStmt, DliUnit, PrintItem, Ssa};
+use dbpc::dml::dli::{
+    parse_dli, print_dli, DliProgram, DliStatus, DliStmt, DliUnit, PrintItem, Ssa,
+};
 use dbpc::dml::expr::{CmpOp, Expr};
 use dbpc::dml::sequel::{
-    parse_sequel_program, print_sequel_program, SelectQuery, SequelPred, SequelProgram,
-    SequelStmt,
+    parse_sequel_program, print_sequel_program, SelectQuery, SequelPred, SequelProgram, SequelStmt,
 };
 use proptest::prelude::*;
 
@@ -54,9 +55,8 @@ fn dbtg_stmt() -> impl Strategy<Value = DbtgStmt> {
         (ident(), prop::collection::vec(ident(), 0..3))
             .prop_map(|(record, using)| DbtgStmt::FindAny { record, using }),
         (ident(), ident()).prop_map(|(record, set)| DbtgStmt::FindFirst { record, set }),
-        (ident(), ident(), prop::collection::vec(ident(), 0..2)).prop_map(
-            |(record, set, using)| DbtgStmt::FindNext { record, set, using }
-        ),
+        (ident(), ident(), prop::collection::vec(ident(), 0..2))
+            .prop_map(|(record, set, using)| DbtgStmt::FindNext { record, set, using }),
         ident().prop_map(|set| DbtgStmt::FindOwner { set }),
         ident().prop_map(|record| DbtgStmt::Get { record }),
         (
@@ -120,10 +120,7 @@ fn dli_stmt() -> impl Strategy<Value = DliStmt> {
         prop::collection::vec(ssa(), 1..3).prop_map(|ssas| DliStmt::Gu { ssas }),
         prop::option::of(ident()).prop_map(|segment| DliStmt::Gn { segment }),
         prop::option::of(ident()).prop_map(|segment| DliStmt::Gnp { segment }),
-        (ident(), dli_assigns()).prop_map(|(segment, assigns)| DliStmt::Isrt {
-            segment,
-            assigns
-        }),
+        (ident(), dli_assigns()).prop_map(|(segment, assigns)| DliStmt::Isrt { segment, assigns }),
         Just(DliStmt::Dlet),
         dli_assigns().prop_map(|assigns| DliStmt::Repl { assigns }),
         prop::collection::vec(

@@ -86,14 +86,20 @@ fn figure_3_1b_constraint_semantics() {
     db.store(
         "COURSE-OFFERING",
         &[("OFF-ID", Value::str("SECOND"))],
-        &[("COURSES-OFFERING", course), ("SEMESTERS-OFFERING", sems[1])],
+        &[
+            ("COURSES-OFFERING", course),
+            ("SEMESTERS-OFFERING", sems[1]),
+        ],
     )
     .unwrap();
     assert!(db
         .store(
             "COURSE-OFFERING",
             &[("OFF-ID", Value::str("THIRD"))],
-            &[("COURSES-OFFERING", course), ("SEMESTERS-OFFERING", sems[1])],
+            &[
+                ("COURSES-OFFERING", course),
+                ("SEMESTERS-OFFERING", sems[1])
+            ],
         )
         .is_err());
 }

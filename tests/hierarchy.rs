@@ -9,28 +9,25 @@
 //! pin the intended segment types.
 
 use dbpc::corpus::named;
+use dbpc::datamodel::value::Value;
 use dbpc::dml::dli::parse_dli;
 use dbpc::engine::dli_exec::run_dli;
 use dbpc::engine::Inputs;
 use dbpc::restructure::crossmodel::{reorder_hier_children, translate_hier_reorder};
 use dbpc::storage::HierDb;
-use dbpc::datamodel::value::Value;
 
 /// Build a two-division hierarchy with EMP and PROJ children under DIV.
 fn company_hier() -> HierDb {
+    use dbpc::datamodel::hierarchical::HierSchema;
     use dbpc::datamodel::hierarchical::SegmentDef;
     use dbpc::datamodel::network::FieldDef;
     use dbpc::datamodel::types::FieldType;
-    use dbpc::datamodel::hierarchical::HierSchema;
     let schema = HierSchema::new("COMPANY").with_root(
         SegmentDef::new("DIV", vec![FieldDef::new("DIV-NAME", FieldType::Char(20))])
             .with_seq_field("DIV-NAME")
             .with_child(
-                SegmentDef::new(
-                    "EMP",
-                    vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
-                )
-                .with_seq_field("EMP-NAME"),
+                SegmentDef::new("EMP", vec![FieldDef::new("EMP-NAME", FieldType::Char(25))])
+                    .with_seq_field("EMP-NAME"),
             )
             .with_child(
                 SegmentDef::new(
@@ -107,8 +104,7 @@ fn qualified_program_survives_reordering() {
     let program = parse_dli(QUALIFIED).unwrap();
     let before = run_dli(&mut original, &program, Inputs::new()).unwrap();
 
-    let new_schema =
-        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let new_schema = reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
     let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
     let after = run_dli(&mut reordered, &program, Inputs::new()).unwrap();
     assert_eq!(before, after);
@@ -158,8 +154,7 @@ END PROGRAM.",
 END PROGRAM.",
     )
     .unwrap();
-    let new_schema =
-        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let new_schema = reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
     let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
     // Under both orders a child is reached, but it is a *different* child:
     // verify by printing its first field via the type-specific probes.
@@ -204,8 +199,7 @@ END PROGRAM.",
 #[test]
 fn insert_after_reordering_groups_correctly() {
     let original = company_hier();
-    let new_schema =
-        reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
+    let new_schema = reorder_hier_children(original.schema(), "DIV", &["PROJ", "EMP"]).unwrap();
     let mut reordered = translate_hier_reorder(&original, &new_schema).unwrap();
     let div = reordered.occurrences_of("DIV")[0];
     reordered

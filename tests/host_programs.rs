@@ -111,8 +111,7 @@ END PROGRAM;",
         .records_of_type("DIV")
         .into_iter()
         .find(|&d| {
-            db.field_value(d, "DIV-NAME").unwrap()
-                == dbpc::datamodel::value::Value::str("POOL")
+            db.field_value(d, "DIV-NAME").unwrap() == dbpc::datamodel::value::Value::str("POOL")
         })
         .unwrap();
     db.connect("DIV-EMP", pool, drifters[0]).unwrap();

@@ -215,15 +215,8 @@ fn bridge_matches_source_for_supported_classes() {
                 let mut src_db = named::company_db(4, 3, 6);
                 let tgt_db = restructuring.translate(&src_db).unwrap();
                 let expected = run_host(&mut src_db, &program, Inputs::new()).unwrap();
-                let run = run_bridged(
-                    tgt_db,
-                    &schema,
-                    &restructuring,
-                    &program,
-                    Inputs::new(),
-                    wb,
-                )
-                .unwrap();
+                let run = run_bridged(tgt_db, &schema, &restructuring, &program, Inputs::new(), wb)
+                    .unwrap();
                 assert_eq!(
                     expected, run.trace,
                     "bridge diverged: {pclass} under {tclass} ({wb:?})"
@@ -241,9 +234,9 @@ fn interactive_mode_dominates_automatic_mode() {
     use dbpc::corpus::harness::{success_rate_study, success_rate_study_interactive};
     let auto = success_rate_study(2, 11);
     let inter = success_rate_study_interactive(2, 11);
-    let sum = |s: &dbpc::corpus::harness::StudyResult, f: fn(&dbpc::corpus::harness::Cell) -> usize| -> usize {
-        s.rows.iter().map(|r| f(&r.aggregate())).sum()
-    };
+    let sum = |s: &dbpc::corpus::harness::StudyResult,
+               f: fn(&dbpc::corpus::harness::Cell) -> usize|
+     -> usize { s.rows.iter().map(|r| f(&r.aggregate())).sum() };
     let auto_ok = sum(&auto, |c| c.converted + c.converted_with_warnings);
     let inter_ok = sum(&inter, |c| c.converted + c.converted_with_warnings);
     assert!(inter_ok >= auto_ok);

@@ -102,7 +102,10 @@ END PROGRAM;",
     )
     .unwrap();
     assert_eq!(eq.level, EquivalenceLevel::Strict, "{:?}", eq.divergence);
-    assert_eq!(*eq.original_trace.terminal_lines().last().unwrap(), "TOTAL 1");
+    assert_eq!(
+        *eq.original_trace.terminal_lines().last().unwrap(),
+        "TOTAL 1"
+    );
 }
 
 #[test]

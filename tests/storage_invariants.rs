@@ -4,36 +4,58 @@
 //! adversarial workout.
 
 use dbpc::corpus::named;
-use dbpc::datamodel::network::SetOwner;
+use dbpc::datamodel::hierarchical::{HierSchema, SegmentDef};
+use dbpc::datamodel::network::{FieldDef, SetOwner};
+use dbpc::datamodel::relational::{ColumnDef, RelationalSchema, TableDef};
+use dbpc::datamodel::types::FieldType;
 use dbpc::datamodel::value::{cmp_tuple, Value};
-use dbpc::storage::{NetworkDb, RecordId, SYSTEM_OWNER};
+use dbpc::storage::{HierDb, NetworkDb, RecordId, RelationalDb, SYSTEM_OWNER};
 use proptest::prelude::*;
 
 /// One random mutation.
 #[derive(Debug, Clone)]
 enum Op {
-    StoreEmp { name_seed: u16, dept: u8, age: u8, div_pick: u8 },
-    StoreDiv { name_seed: u16 },
-    ModifyAge { pick: u8, age: u8 },
-    RenameEmp { pick: u8, name_seed: u16 },
-    EraseEmp { pick: u8 },
-    EraseDivCascade { pick: u8 },
-    Disconnect { pick: u8 },
+    StoreEmp {
+        name_seed: u16,
+        dept: u8,
+        age: u8,
+        div_pick: u8,
+    },
+    StoreDiv {
+        name_seed: u16,
+    },
+    ModifyAge {
+        pick: u8,
+        age: u8,
+    },
+    RenameEmp {
+        pick: u8,
+        name_seed: u16,
+    },
+    EraseEmp {
+        pick: u8,
+    },
+    EraseDivCascade {
+        pick: u8,
+    },
+    Disconnect {
+        pick: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(name_seed, dept, age, div_pick)| Op::StoreEmp {
+        (any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(name_seed, dept, age, div_pick)| Op::StoreEmp {
                 name_seed,
                 dept,
                 age,
                 div_pick
-            }),
+            }
+        ),
         any::<u16>().prop_map(|name_seed| Op::StoreDiv { name_seed }),
         (any::<u8>(), any::<u8>()).prop_map(|(pick, age)| Op::ModifyAge { pick, age }),
-        (any::<u8>(), any::<u16>())
-            .prop_map(|(pick, name_seed)| Op::RenameEmp { pick, name_seed }),
+        (any::<u8>(), any::<u16>()).prop_map(|(pick, name_seed)| Op::RenameEmp { pick, name_seed }),
         any::<u8>().prop_map(|pick| Op::EraseEmp { pick }),
         any::<u8>().prop_map(|pick| Op::EraseDivCascade { pick }),
         any::<u8>().prop_map(|pick| Op::Disconnect { pick }),
@@ -174,6 +196,236 @@ fn check_invariants(db: &NetworkDb) {
             db.resolved_values(id).unwrap();
         }
     }
+    // 6. Every derived access structure (per-type lists, set ordering and
+    // reverse maps, materialized calc-key indexes) matches a from-scratch
+    // rebuild.
+    db.check_access_structures().unwrap();
+    // 7. Calc-key probes agree with scan-and-filter, order included.
+    for d in 0..5u8 {
+        let want = Value::str(format!("D{d}"));
+        if let Some(hits) = db
+            .find_keyed("EMP", &["DEPT-NAME"], std::slice::from_ref(&want))
+            .unwrap()
+        {
+            let scan: Vec<RecordId> = db
+                .records_of_type("EMP")
+                .into_iter()
+                .filter(|&id| db.field_value(id, "DEPT-NAME").unwrap().loose_eq(&want))
+                .collect();
+            assert_eq!(hits, scan, "calc-key probe for D{d} diverged from scan");
+        }
+    }
+}
+
+// -- relational access structures -------------------------------------------
+
+/// One random relational mutation against table T(K pk, C indexed, A).
+#[derive(Debug, Clone)]
+enum RelOp {
+    Insert { k: u8, c: u8, a: u8 },
+    DeleteByC { c: u8 },
+    Reclass { k: u8, c: u8 },
+    Bump { k: u8, a: u8 },
+}
+
+fn rel_op_strategy() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(k, c, a)| RelOp::Insert { k, c, a }),
+        any::<u8>().prop_map(|c| RelOp::DeleteByC { c }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, c)| RelOp::Reclass { k, c }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, a)| RelOp::Bump { k, a }),
+    ]
+}
+
+fn rel_db() -> RelationalDb {
+    let schema = RelationalSchema::new("P").with_table(
+        TableDef::new(
+            "T",
+            vec![
+                ColumnDef::new("K", FieldType::Int(4)),
+                ColumnDef::new("C", FieldType::Char(4)),
+                ColumnDef::new("A", FieldType::Int(4)),
+            ],
+        )
+        .with_key(vec!["K"]),
+    );
+    let mut db = RelationalDb::new(schema).unwrap();
+    db.create_index("T", &["C"]).unwrap();
+    db
+}
+
+fn apply_rel(db: &mut RelationalDb, op: &RelOp) {
+    // Failures (duplicate keys, empty matches) are legitimate; the property
+    // is that the secondary index never drifts from the rows.
+    match op {
+        RelOp::Insert { k, c, a } => {
+            let _ = db.insert(
+                "T",
+                &[
+                    ("K", Value::Int((*k % 64) as i64)),
+                    ("C", Value::str(format!("C{}", c % 8))),
+                    ("A", Value::Int(*a as i64)),
+                ],
+            );
+        }
+        RelOp::DeleteByC { c } => {
+            let want = Value::str(format!("C{}", c % 8));
+            let _ = db.delete_where("T", |row| row[1].loose_eq(&want));
+        }
+        RelOp::Reclass { k, c } => {
+            let want = Value::Int((*k % 64) as i64);
+            let _ = db.update_where(
+                "T",
+                |row| row[0].loose_eq(&want),
+                &[("C", Value::str(format!("C{}", c % 8)))],
+            );
+        }
+        RelOp::Bump { k, a } => {
+            let want = Value::Int((*k % 64) as i64);
+            let _ = db.update_where(
+                "T",
+                |row| row[0].loose_eq(&want),
+                &[("A", Value::Int(*a as i64))],
+            );
+        }
+    }
+}
+
+fn check_rel(db: &RelationalDb) {
+    db.check_access_structures().unwrap();
+    // Index probes must agree with a full scan, in storage order.
+    for c in 0..8u8 {
+        let want = Value::str(format!("C{c}"));
+        let candidates = db
+            .probe_eq("T", &[("C".to_string(), want.clone())])
+            .unwrap()
+            .expect("C is indexed");
+        let probed: Vec<Vec<Value>> = candidates
+            .iter()
+            .map(|&id| db.row("T", id).unwrap().to_vec())
+            .filter(|r| r[1].loose_eq(&want))
+            .collect();
+        let scanned: Vec<Vec<Value>> = db
+            .iter_rows("T")
+            .unwrap()
+            .filter(|(_, r)| r[1].loose_eq(&want))
+            .map(|(_, r)| r.to_vec())
+            .collect();
+        assert_eq!(probed, scanned, "index probe for C{c} diverged from scan");
+    }
+}
+
+// -- hierarchic access structures --------------------------------------------
+
+/// One random hierarchic mutation against DIV → (EMP, PROJ).
+#[derive(Debug, Clone)]
+enum HierOp {
+    AddDiv { n: u16 },
+    AddEmp { pick: u8, n: u16 },
+    AddProj { pick: u8, n: u16 },
+    Rename { pick: u8, n: u16 },
+    Touch { pick: u8, a: u8 },
+    Delete { pick: u8 },
+}
+
+fn hier_op_strategy() -> impl Strategy<Value = HierOp> {
+    prop_oneof![
+        any::<u16>().prop_map(|n| HierOp::AddDiv { n }),
+        (any::<u8>(), any::<u16>()).prop_map(|(pick, n)| HierOp::AddEmp { pick, n }),
+        (any::<u8>(), any::<u16>()).prop_map(|(pick, n)| HierOp::AddProj { pick, n }),
+        (any::<u8>(), any::<u16>()).prop_map(|(pick, n)| HierOp::Rename { pick, n }),
+        (any::<u8>(), any::<u8>()).prop_map(|(pick, a)| HierOp::Touch { pick, a }),
+        any::<u8>().prop_map(|pick| HierOp::Delete { pick }),
+    ]
+}
+
+fn hier_seed() -> HierDb {
+    let schema = HierSchema::new("COMPANY").with_root(
+        SegmentDef::new("DIV", vec![FieldDef::new("DIV-NAME", FieldType::Char(20))])
+            .with_seq_field("DIV-NAME")
+            .with_child(
+                SegmentDef::new(
+                    "EMP",
+                    vec![
+                        FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                        FieldDef::new("AGE", FieldType::Int(2)),
+                    ],
+                )
+                .with_seq_field("EMP-NAME"),
+            )
+            .with_child(SegmentDef::new(
+                "PROJ",
+                vec![FieldDef::new("PROJ-NAME", FieldType::Char(10))],
+            )),
+    );
+    let mut db = HierDb::new(schema).unwrap();
+    db.insert("DIV", &[("DIV-NAME", Value::str("SEED"))], None)
+        .unwrap();
+    db
+}
+
+fn pick_id(ids: &[u64], k: u8) -> Option<u64> {
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids[k as usize % ids.len()])
+    }
+}
+
+fn apply_hier(db: &mut HierDb, op: &HierOp) {
+    match op {
+        HierOp::AddDiv { n } => {
+            let _ = db.insert("DIV", &[("DIV-NAME", Value::str(format!("V{n:05}")))], None);
+        }
+        HierOp::AddEmp { pick, n } => {
+            if let Some(div) = pick_id(&db.occurrences_of("DIV"), *pick) {
+                let _ = db.insert(
+                    "EMP",
+                    &[("EMP-NAME", Value::str(format!("E{n:05}")))],
+                    Some(div),
+                );
+            }
+        }
+        HierOp::AddProj { pick, n } => {
+            if let Some(div) = pick_id(&db.occurrences_of("DIV"), *pick) {
+                let _ = db.insert(
+                    "PROJ",
+                    &[("PROJ-NAME", Value::str(format!("P{n:04}")))],
+                    Some(div),
+                );
+            }
+        }
+        HierOp::Rename { pick, n } => {
+            // Seq-field replace: repositions the segment, invalidates cache.
+            if let Some(emp) = pick_id(&db.occurrences_of("EMP"), *pick) {
+                let _ = db.replace(emp, &[("EMP-NAME", Value::str(format!("R{n:05}")))]);
+            }
+        }
+        HierOp::Touch { pick, a } => {
+            // Non-seq replace: must keep the cache valid.
+            if let Some(emp) = pick_id(&db.occurrences_of("EMP"), *pick) {
+                let _ = db.replace(emp, &[("AGE", Value::Int(*a as i64 % 80))]);
+            }
+        }
+        HierOp::Delete { pick } => {
+            if let Some(id) = pick_id(&db.occurrences_of("EMP"), *pick) {
+                let _ = db.delete(id);
+            }
+        }
+    }
+}
+
+fn check_hier(db: &HierDb) {
+    let order = db.preorder();
+    db.check_access_structures().unwrap();
+    // Stepwise GN navigation reproduces the materialized sequence exactly.
+    let mut walked = Vec::new();
+    let mut cur = None;
+    while let Some(next) = db.next_in_preorder(cur, None) {
+        walked.push(next);
+        cur = Some(next);
+    }
+    assert_eq!(walked, order, "stepwise navigation diverged from preorder");
 }
 
 proptest! {
@@ -184,10 +436,46 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 0..120)
     ) {
         let mut db = named::company_db(3, 3, 5);
+        // Materialize a calc-key index up front, so the whole op sequence
+        // exercises its incremental maintenance rather than a fresh build.
+        db.find_keyed("EMP", &["DEPT-NAME"], &[Value::str("D0")]).unwrap();
         for op in &ops {
             apply(&mut db, op);
         }
         check_invariants(&db);
+    }
+
+    /// Secondary indexes stay consistent with the rows, and probes agree
+    /// with scans, under arbitrary insert/delete/update interleavings.
+    #[test]
+    fn relational_index_consistent_under_interleavings(
+        ops in prop::collection::vec(rel_op_strategy(), 0..120)
+    ) {
+        let mut db = rel_db();
+        for op in &ops {
+            apply_rel(&mut db, op);
+        }
+        check_rel(&db);
+    }
+
+    /// The preorder cache survives arbitrary mutation interleavings: it is
+    /// rebuilt lazily, kept across non-seq replaces, and always equal to a
+    /// from-scratch traversal.
+    #[test]
+    fn hierarchic_cache_consistent_under_interleavings(
+        ops in prop::collection::vec(hier_op_strategy(), 0..100)
+    ) {
+        let mut db = hier_seed();
+        for (i, op) in ops.iter().enumerate() {
+            apply_hier(&mut db, op);
+            // Periodically force the cache alive mid-sequence so later
+            // mutations must invalidate (not just lazily avoid) it.
+            if i % 7 == 0 {
+                let _ = db.preorder();
+                db.check_access_structures().unwrap();
+            }
+        }
+        check_hier(&db);
     }
 
     /// Translation preserves the invariants too (the rebuild goes through
