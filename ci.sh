@@ -18,4 +18,7 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> bench smoke (conversion throughput)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench conversion_throughput
+
 echo "CI OK"

@@ -1,0 +1,211 @@
+//! Memoized program analysis.
+//!
+//! The study corpus (dbpc-corpus) re-analyzes the *same* generated program
+//! once per restructuring class — the program seed depends only on
+//! `(study seed, sample, program class)`, so each program is converted
+//! against every transform row. Analysis ([`analyze_host`]) walks the whole
+//! program each time; this module memoizes it keyed by a hash of the
+//! program and of the schema it is analyzed against.
+//!
+//! The cache map is **process-wide**: a report is a deterministic function
+//! of its `(schema, program)` key, so which worker computes an entry first
+//! can never change what any other worker reads back — sharing is safe for
+//! determinism, and it keeps short-lived pool workers warm across study
+//! runs. The lock brackets only the lookup or insert, never an analysis.
+//! Hit/miss **counters** stay thread-local: harnesses snapshot them around
+//! a unit of work on the worker that does the work and aggregate the deltas
+//! into their (diagnostic-only, equality-excluded) profiles without any
+//! cross-thread attribution ambiguity.
+
+use crate::dataflow::{analyze_host, AnalysisReport};
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::host::Program;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::{DefaultHasher, Hasher};
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// Snapshot of this thread's cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas since `earlier` (for bracketing a unit of work).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// Cache key: `(schema fingerprint, program fingerprint)`.
+type FingerprintKey = (u64, u64);
+
+static CACHE: LazyLock<Mutex<HashMap<FingerprintKey, Arc<AnalysisReport>>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+thread_local! {
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// `fmt::Write` adapter that streams formatted output straight into a
+/// hasher, so fingerprinting never materializes the `Debug` string.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn debug_fingerprint(value: &dyn fmt::Debug) -> u64 {
+    let mut h = DefaultHasher::new();
+    write!(HashWriter(&mut h), "{value:?}").expect("hashing never fails");
+    h.finish()
+}
+
+/// Stable-within-a-process fingerprint of a program: a structural hash of
+/// the AST (the host AST derives `Hash`), an order of magnitude cheaper
+/// than formatting it. Collisions across a corpus of a few thousand
+/// programs are vanishingly unlikely at 64 bits; a collision would only
+/// mis-share an *analysis report*, which the execution-verification step
+/// of the study would surface as `verified_wrong`.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    std::hash::Hash::hash(program, &mut h);
+    h.finish()
+}
+
+/// Fingerprint of the schema side of the key. Schemas are much larger than
+/// programs, so batch callers should compute this **once** per batch and
+/// use [`analyze_host_memo_keyed`].
+pub fn schema_fingerprint(schema: &NetworkSchema) -> u64 {
+    debug_fingerprint(schema)
+}
+
+/// [`analyze_host`], memoized per `(schema, program)` fingerprint pair.
+/// Returns the report behind an `Arc` so a cache hit costs a refcount bump,
+/// not a deep clone of every hazard and field list.
+pub fn analyze_host_memo(program: &Program, schema: &NetworkSchema) -> Arc<AnalysisReport> {
+    analyze_host_memo_keyed(program, schema, schema_fingerprint(schema))
+}
+
+/// [`analyze_host_memo`] with the schema fingerprint precomputed by the
+/// caller (it must be `schema_fingerprint(schema)` for the same schema).
+pub fn analyze_host_memo_keyed(
+    program: &Program,
+    schema: &NetworkSchema,
+    schema_fp: u64,
+) -> Arc<AnalysisReport> {
+    let key = (schema_fp, program_fingerprint(program));
+    if let Some(report) = CACHE.lock().unwrap().get(&key).cloned() {
+        HITS.with(|h| h.set(h.get() + 1));
+        return report;
+    }
+    MISSES.with(|m| m.set(m.get() + 1));
+    let report = Arc::new(analyze_host(program, schema));
+    CACHE.lock().unwrap().insert(key, report.clone());
+    report
+}
+
+/// This thread's cumulative hit/miss counters.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.with(|h| h.get()),
+        misses: MISSES.with(|m| m.get()),
+    }
+}
+
+/// Drop the process-wide cache and zero this thread's counters (test/bench
+/// isolation). Concurrent users of the cache only get extra misses from
+/// this, never wrong reports.
+pub fn reset_cache() {
+    CACHE.lock().unwrap().clear();
+    HITS.with(|h| h.set(0));
+    MISSES.with(|m| m.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_dml::host::parse_program;
+
+    fn schema() -> NetworkSchema {
+        NetworkSchema::new("S")
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-EMP", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn program(age: i64) -> Program {
+        parse_program(&format!(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-EMP, EMP(AGE > {age}));
+  PRINT COUNT(E);
+END PROGRAM;"
+        ))
+        .unwrap()
+    }
+
+    // The cache map is shared process-wide and the test harness runs tests
+    // concurrently, so each test below uses (program, schema) keys no other
+    // test touches, and none calls `reset_cache` (which would race with a
+    // sibling's hit/miss bracketing).
+
+    #[test]
+    fn memoized_analysis_matches_direct_analysis() {
+        let s = schema();
+        let p = program(30);
+        let direct = analyze_host(&p, &s);
+        let memo = analyze_host_memo(&p, &s);
+        assert_eq!(direct.hazards, memo.hazards);
+        assert_eq!(direct.field_refs, memo.field_refs);
+        assert_eq!(direct.sets_used, memo.sets_used);
+        assert_eq!(direct.records_used, memo.records_used);
+        assert_eq!(direct.has_updates, memo.has_updates);
+    }
+
+    #[test]
+    fn repeated_analysis_hits_the_cache() {
+        let s = schema();
+        let p = program(40);
+        let before = cache_stats();
+        analyze_host_memo(&p, &s);
+        analyze_host_memo(&p, &s);
+        analyze_host_memo(&p, &s);
+        let delta = cache_stats().since(&before);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.hits, 2);
+    }
+
+    #[test]
+    fn distinct_programs_and_schemas_miss() {
+        let s = schema();
+        let before = cache_stats();
+        analyze_host_memo(&program(51), &s);
+        analyze_host_memo(&program(52), &s);
+        let renamed = NetworkSchema {
+            name: "S2".into(),
+            ..schema()
+        };
+        analyze_host_memo(&program(51), &renamed);
+        let delta = cache_stats().since(&before);
+        assert_eq!(delta.misses, 3);
+        assert_eq!(delta.hits, 0);
+    }
+}

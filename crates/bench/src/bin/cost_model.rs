@@ -29,6 +29,10 @@ fn main() {
     );
     let report = cost_model(&study, params);
     println!("{report}");
+    println!(
+        "(matrix computed on {} thread(s); DBPC_THREADS to override)\n",
+        study.profile.threads
+    );
 
     // Sensitivity: how do savings move with review cost?
     println!("sensitivity (review hours -> savings):");

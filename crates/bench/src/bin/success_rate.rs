@@ -21,6 +21,24 @@ fn main() {
     println!("== E2: success-rate study ({samples} samples per cell, seed {seed}) ==\n");
     println!("{study}");
 
+    let p = &study.profile;
+    println!(
+        "pipeline: {} thread(s) (DBPC_THREADS to override), {} cells, {} programs",
+        p.threads, p.cells_done, p.programs_generated
+    );
+    println!(
+        "          analysis cache {} hits / {} misses; {} db builds + {} clones; \
+         gen {:.1}ms conv {:.1}ms verify {:.1}ms",
+        p.analysis_cache_hits,
+        p.analysis_cache_misses,
+        p.db_builds,
+        p.db_clones,
+        p.generate_ns as f64 / 1e6,
+        p.convert_ns as f64 / 1e6,
+        p.verify_ns as f64 / 1e6
+    );
+    println!();
+
     println!("per program class (aggregated over transforms):");
     println!(
         "{:<18} {:>6} {:>6} {:>7} {:>8}",

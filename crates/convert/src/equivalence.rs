@@ -64,14 +64,69 @@ fn predicts_behavior_change(w: &Warning) -> bool {
 pub fn check_equivalence(
     mut source_db: NetworkDb,
     original: &Program,
+    target_db: NetworkDb,
+    converted: &Program,
+    inputs: &Inputs,
+    warnings: &[Warning],
+) -> Result<EquivalenceResult, RunError> {
+    let original_trace = source_trace(&mut source_db, original, inputs)?;
+    check_equivalence_against(original_trace, target_db, converted, inputs, warnings)
+}
+
+/// The ground-truth half of [`check_equivalence`]: the original program's
+/// observable trace on its working copy of the source database.
+///
+/// Split out so batch harnesses can run the original **once** per program
+/// and judge many conversions against the same trace — the trace depends
+/// only on `(source_db, original, inputs)`, not on any restructuring, so a
+/// memoized trace and a fresh one are interchangeable.
+pub fn source_trace(
+    source_db: &mut NetworkDb,
+    original: &Program,
+    inputs: &Inputs,
+) -> Result<Trace, RunError> {
+    run_host(source_db, original, inputs.clone())
+}
+
+/// The judgment half of [`check_equivalence`]: run the converted program
+/// and compare against an already-computed original trace.
+pub fn check_equivalence_against(
+    original_trace: Trace,
     mut target_db: NetworkDb,
     converted: &Program,
     inputs: &Inputs,
     warnings: &[Warning],
 ) -> Result<EquivalenceResult, RunError> {
-    let original_trace = run_host(&mut source_db, original, inputs.clone())?;
-    let converted_trace = run_host(&mut target_db, converted, inputs.clone())?;
-    let divergence = diff_traces(&original_trace, &converted_trace);
+    let (level, converted_trace, divergence) =
+        judge_equivalence(&original_trace, &mut target_db, converted, inputs, warnings)?;
+    Ok(EquivalenceResult {
+        level,
+        original_trace,
+        converted_trace,
+        divergence,
+    })
+}
+
+/// The comparison core behind every `check_equivalence_*` entry point: run
+/// the converted program on a **borrowed** database and judge its trace
+/// against a **borrowed** original trace. Nothing is consumed, so batch
+/// harnesses holding a memoized trace and a shared base database pay no
+/// per-program clone at all.
+///
+/// Any update the converted program performs is left in `target_db` — the
+/// caller owns that consequence; reserve the shared-database use for
+/// programs [`Program::mutates_database`] proves update-free. Returns the
+/// equivalence level, the converted program's trace, and the first
+/// divergence (when not strict).
+pub fn judge_equivalence(
+    original_trace: &Trace,
+    target_db: &mut NetworkDb,
+    converted: &Program,
+    inputs: &Inputs,
+    warnings: &[Warning],
+) -> Result<(EquivalenceLevel, Trace, Option<String>), RunError> {
+    let converted_trace = run_host(target_db, converted, inputs.clone())?;
+    let divergence = diff_traces(original_trace, &converted_trace);
     let level = match &divergence {
         None => EquivalenceLevel::Strict,
         Some(_) => {
@@ -82,12 +137,7 @@ pub fn check_equivalence(
             }
         }
     };
-    Ok(EquivalenceResult {
-        level,
-        original_trace,
-        converted_trace,
-        divergence,
-    })
+    Ok((level, converted_trace, divergence))
 }
 
 #[cfg(test)]

@@ -37,11 +37,19 @@ use dbpc_restructure::Restructuring;
 pub struct Supervisor {
     /// Run the optimizer after conversion (§5.4).
     pub optimize: bool,
+    /// Memoize program analysis per `(schema, program)` fingerprint
+    /// ([`dbpc_analyzer::cache`]). Batch pipelines meet the same program
+    /// under several restructurings; the cached report is identical to a
+    /// fresh one, so this only changes speed, never outcomes.
+    pub memoize_analysis: bool,
 }
 
 impl Default for Supervisor {
     fn default() -> Self {
-        Supervisor { optimize: true }
+        Supervisor {
+            optimize: true,
+            memoize_analysis: true,
+        }
     }
 }
 
@@ -51,7 +59,10 @@ impl Supervisor {
     }
 
     pub fn without_optimizer() -> Supervisor {
-        Supervisor { optimize: false }
+        Supervisor {
+            optimize: false,
+            ..Supervisor::default()
+        }
     }
 
     /// Convert one program under a restructuring, consulting `analyst` for
@@ -63,8 +74,55 @@ impl Supervisor {
         program: &Program,
         analyst: &mut dyn Analyst,
     ) -> ModelResult<ConversionReport> {
-        let mapping = Mapping::from_restructuring(source_schema, restructuring)?;
+        let mut reports = self.convert_batch(
+            source_schema,
+            restructuring,
+            std::slice::from_ref(program),
+            analyst,
+        )?;
+        Ok(reports.pop().expect("one report per program"))
+    }
 
+    /// Convert a batch of programs under one restructuring.
+    ///
+    /// The schema-level work — validating the triple and deriving the
+    /// per-step schema snapshots ([`Mapping::from_restructuring`]) — is done
+    /// once for the whole batch instead of once per program; it depends only
+    /// on `(source_schema, restructuring)`, so every program sees the exact
+    /// mapping a solo [`Supervisor::convert`] would have built. Per-program
+    /// verdicts are unchanged: the mapping is the only fallible step, so an
+    /// `Err` here is an `Err` for each program individually too.
+    pub fn convert_batch(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        programs: &[Program],
+        analyst: &mut dyn Analyst,
+    ) -> ModelResult<Vec<ConversionReport>> {
+        let mapping = Mapping::from_restructuring(source_schema, restructuring)?;
+        // The schema half of the memo key is batch-invariant; fingerprint
+        // it once here instead of once per program. Likewise the target
+        // access-path graph used by the alternate-path audit depends only on
+        // the target schema, so build it once for the whole batch.
+        let schema_fp = self
+            .memoize_analysis
+            .then(|| dbpc_analyzer::cache::schema_fingerprint(source_schema));
+        let apg = AccessPathGraph::new(&mapping.target);
+        Ok(programs
+            .iter()
+            .map(|p| self.convert_one(&mapping, &apg, source_schema, schema_fp, p, analyst))
+            .collect())
+    }
+
+    fn convert_one(
+        &self,
+        mapping: &Mapping,
+        apg: &AccessPathGraph,
+        source_schema: &NetworkSchema,
+        schema_fp: Option<u64>,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+    ) -> ConversionReport {
         let mut warnings: Vec<Warning> = Vec::new();
         let mut questions: Vec<(Question, Answer)> = Vec::new();
         let mut needs_manual = false;
@@ -72,7 +130,10 @@ impl Supervisor {
 
         // Program analysis: execution-time variability blocks automation
         // before any rewriting is attempted (§3.2).
-        let analysis = analyze_host(program, source_schema);
+        let analysis = match schema_fp {
+            Some(fp) => dbpc_analyzer::cache::analyze_host_memo_keyed(program, source_schema, fp),
+            None => std::sync::Arc::new(analyze_host(program, source_schema)),
+        };
         for h in &analysis.hazards {
             if let Hazard::RuntimeVariableVerb { .. } = h {
                 let q = Question::RuntimeVariability { hazard: h.clone() };
@@ -133,7 +194,7 @@ impl Supervisor {
         // pair is realized by more than one set in the target schema is
         // put to the analyst once.
         if !rejected {
-            for q in ambiguous_paths(&current, &mapping.target) {
+            for q in ambiguous_paths(&current, apg) {
                 let a = analyst.resolve(&q);
                 match a {
                     Answer::Proceed => {}
@@ -147,13 +208,13 @@ impl Supervisor {
         }
 
         if rejected {
-            return Ok(ConversionReport {
+            return ConversionReport {
                 verdict: Verdict::Rejected,
                 program: None,
                 text: None,
                 warnings,
                 questions,
-            });
+            };
         }
 
         if self.optimize {
@@ -170,21 +231,20 @@ impl Supervisor {
             Verdict::ConvertedWithWarnings
         };
         let text = crate::generator::generate_host(&current);
-        Ok(ConversionReport {
+        ConversionReport {
             verdict,
             program: Some(current),
             text: Some(text),
             warnings,
             questions,
-        })
+        }
     }
 }
 
 /// Find converted path hops with more than one minimal realization in the
-/// target schema.
-fn ambiguous_paths(program: &Program, target: &NetworkSchema) -> Vec<Question> {
+/// target schema, using its (batch-shared) access-path graph.
+fn ambiguous_paths(program: &Program, apg: &AccessPathGraph) -> Vec<Question> {
     use dbpc_dml::host::PathStart;
-    let apg = AccessPathGraph::new(target);
     let mut seen: Vec<(String, String)> = Vec::new();
     let mut questions = Vec::new();
     for find in program.finds() {
@@ -421,6 +481,90 @@ END PROGRAM;",
             .convert(&schema, &r, &p, &mut PermissiveAnalyst)
             .unwrap();
         assert!(ok.program.is_some());
+    }
+
+    #[test]
+    fn batch_conversion_matches_per_program_conversion() {
+        let programs: Vec<Program> = [
+            "PROGRAM P1;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+            "PROGRAM P2;
+  READ TERMINAL INTO V;
+  CALL DML V ON EMP;
+END PROGRAM;",
+            "PROGRAM P3;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP);
+  PRINT COUNT(E);
+END PROGRAM;",
+        ]
+        .iter()
+        .map(|s| parse_program(s).unwrap())
+        .collect();
+        let sup = Supervisor::new();
+        let batch = sup
+            .convert_batch(&company_schema(), &fig_4_4(), &programs, &mut AutoAnalyst)
+            .unwrap();
+        assert_eq!(batch.len(), programs.len());
+        for (p, batched) in programs.iter().zip(&batch) {
+            let solo = sup
+                .convert(&company_schema(), &fig_4_4(), p, &mut AutoAnalyst)
+                .unwrap();
+            assert_eq!(batched.verdict, solo.verdict);
+            assert_eq!(batched.text, solo.text);
+            assert_eq!(batched.warnings, solo.warnings);
+        }
+        // The mix exercises both outcomes.
+        assert!(batch.iter().any(|r| r.succeeded()));
+        assert!(batch.iter().any(|r| r.verdict == Verdict::Rejected));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = Supervisor::new()
+            .convert_batch(&company_schema(), &fig_4_4(), &[], &mut AutoAnalyst)
+            .unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn memoized_analysis_changes_speed_not_outcomes() {
+        // The cache map is process-wide and tests run concurrently: this
+        // program must be one no sibling test analyzes, so the exact
+        // hit/miss counts below stay deterministic.
+        let p = parse_program(
+            "PROGRAM P-MEMO;
+  READ TERMINAL INTO W;
+  CALL DML W ON DIV;
+END PROGRAM;",
+        )
+        .unwrap();
+        let memo = Supervisor::new(); // memoize_analysis: true
+        let fresh = Supervisor {
+            memoize_analysis: false,
+            ..Supervisor::default()
+        };
+        dbpc_analyzer::cache::reset_cache();
+        let before = dbpc_analyzer::cache::cache_stats();
+        let r_memo_1 = memo
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        let r_memo_2 = memo
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        let r_fresh = fresh
+            .convert(&company_schema(), &fig_4_4(), &p, &mut AutoAnalyst)
+            .unwrap();
+        let delta = dbpc_analyzer::cache::cache_stats().since(&before);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.hits, 1);
+        for r in [&r_memo_1, &r_memo_2, &r_fresh] {
+            assert_eq!(r.verdict, r_memo_1.verdict);
+            assert_eq!(r.questions, r_memo_1.questions);
+        }
     }
 
     #[test]

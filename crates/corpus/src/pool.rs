@@ -1,0 +1,134 @@
+//! A minimal scoped thread-pool for the study harnesses.
+//!
+//! The paper's framing is *fleet* conversion — "the several hundred
+//! programs a typical installation must convert" (§1) — so the batch
+//! pipeline around the engines is a hot path in its own right. This module
+//! supplies the only primitive the harnesses need: a deterministic parallel
+//! map over a fixed work partition.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are reassembled by item index, so the output
+//!    vector is identical at any thread count; the partition itself is a
+//!    fixed stride (worker `w` takes items `w, w+T, w+2T, …`), so *which
+//!    thread computes which item* is also a pure function of
+//!    `(len, threads)` — no work stealing, no racing on a shared queue.
+//! 2. **No new dependencies.** Built on [`std::thread::scope`] alone; no
+//!    registry crates, no additions to `shims/`.
+//! 3. **Graceful degradation.** `threads <= 1` (the default on single-core
+//!    hosts) runs inline on the calling thread with zero spawn overhead.
+
+use std::env;
+use std::thread;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "DBPC_THREADS";
+
+/// Parse a `DBPC_THREADS`-style override. `None`, empty, unparsable, or
+/// zero values all mean "no override".
+pub fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The worker count used when a harness is asked for "default" threading:
+/// `DBPC_THREADS` if set to a positive integer, otherwise the host's
+/// available parallelism (1 when that cannot be determined).
+pub fn default_threads() -> usize {
+    parse_threads(env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers.
+///
+/// `f` receives `(index, &item)` and must be pure with respect to the
+/// output's determinism guarantee: the returned vector holds `f(i,
+/// &items[i])` at position `i` regardless of thread count. A panic in any
+/// worker propagates to the caller.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let f = &f;
+    thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut produced = Vec::with_capacity(n / threads + 1);
+                    let mut i = w;
+                    while i < n {
+                        produced.push((i, f(i, &items[i])));
+                        i += threads;
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in workers {
+            for (i, u) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(u);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items: Vec<usize> = (0..20).collect();
+        let got = parallel_map(&items, 4, |i, &x| i == x);
+        assert!(got.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-1")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}

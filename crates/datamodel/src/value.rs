@@ -29,6 +29,26 @@ pub enum Value {
     Str(String),
 }
 
+impl std::hash::Hash for Value {
+    /// Manual because of `Float`: hashes the bit pattern, normalizing the
+    /// two zero representations so `0.0` and `-0.0` (equal under the derived
+    /// `PartialEq`) hash alike. NaN payloads hash distinctly, which is fine —
+    /// `Hash` only has to be consistent with equality, and derived equality
+    /// already compares NaNs bitwise-never-equal.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => {
+                let normalized = if *f == 0.0 { 0.0f64 } else { *f };
+                normalized.to_bits().hash(state);
+            }
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
 impl Value {
     /// String value from anything stringy.
     pub fn str(s: impl Into<String>) -> Self {

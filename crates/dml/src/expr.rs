@@ -19,7 +19,7 @@ use dbpc_datamodel::value::Value;
 use std::fmt;
 
 /// Binary arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -39,7 +39,7 @@ impl BinOp {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -89,7 +89,7 @@ impl CmpOp {
 }
 
 /// A scalar expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Expr {
     /// Literal value.
     Lit(Value),
@@ -171,7 +171,7 @@ impl fmt::Display for Expr {
 }
 
 /// A boolean expression over scalar comparisons.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum BoolExpr {
     Cmp { op: CmpOp, left: Expr, right: Expr },
     And(Box<BoolExpr>, Box<BoolExpr>),

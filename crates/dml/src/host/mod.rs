@@ -28,14 +28,14 @@ use crate::expr::{BoolExpr, Expr};
 use std::fmt;
 
 /// A complete host program.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Program {
     pub name: String,
     pub stmts: Vec<Stmt>,
 }
 
 /// Start of a `FIND` access path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum PathStart {
     /// Path enters through a SYSTEM-owned set.
     System,
@@ -45,7 +45,7 @@ pub enum PathStart {
 
 /// One qualified step of an access path: traverse `set` to reach `record`
 /// occurrences, keeping those satisfying `filter`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct PathStep {
     pub set: String,
     pub record: String,
@@ -68,7 +68,7 @@ impl PathStep {
 }
 
 /// The body of a `FIND(target: start, set, record(filter), …)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct FindSpec {
     /// Target record type — the type of the resulting collection.
     pub target: String,
@@ -77,7 +77,7 @@ pub struct FindSpec {
 }
 
 /// A retrieval expression: a plain `FIND` or a `SORT(…) ON (keys)` of one.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum FindExpr {
     Find(FindSpec),
     Sort {
@@ -150,7 +150,7 @@ impl fmt::Display for FindExpr {
 }
 
 /// Source of a `FOR EACH` iteration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum ForSource {
     /// Iterate a previously bound collection variable.
     Var(String),
@@ -159,14 +159,14 @@ pub enum ForSource {
 }
 
 /// A `CONNECT TO set OF ownervar` clause of STORE.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct ConnectTo {
     pub set: String,
     pub owner_var: String,
 }
 
 /// A host-language statement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Stmt {
     /// `LET v := expr;`
     Let { var: String, expr: Expr },
@@ -291,6 +291,28 @@ impl Program {
             } => f(q),
             _ => {}
         });
+    }
+
+    /// Whether any statement can modify the database: updates, structural
+    /// changes (CONNECT/DISCONNECT/DELETE), or a run-time-variable DML verb,
+    /// which must conservatively be assumed to update (§3.2). Purely
+    /// syntactic — no schema needed. A `false` answer guarantees executing
+    /// the program leaves the database's data unchanged, so harnesses may
+    /// run it against a shared database instead of a working copy.
+    pub fn mutates_database(&self) -> bool {
+        let mut mutates = false;
+        self.visit_stmts(&mut |s| {
+            mutates |= matches!(
+                s,
+                Stmt::Store { .. }
+                    | Stmt::Connect { .. }
+                    | Stmt::Disconnect { .. }
+                    | Stmt::Delete { .. }
+                    | Stmt::Modify { .. }
+                    | Stmt::CallDml { .. }
+            )
+        });
+        mutates
     }
 
     /// Collect all `FindExpr`s (immutable).

@@ -11,6 +11,15 @@
 //! the front door means a translation can fail exactly where a 1979 reload
 //! would have failed (duplicate keys, cardinality limits), rather than
 //! producing a silently inconsistent database.
+//!
+//! The rebuild is the unit of work of the batch-conversion pipeline (one
+//! translation per restructuring class, cloned per verified program), so
+//! the per-record path is kept allocation-lean: schema-level resolution —
+//! which old field feeds which target field, which target sets the type
+//! belongs to — is planned **once per record type** and the per-record loop
+//! only clones the values it stores. [`crate::stats`] counts the work so
+//! tests can assert translating an N-record database does O(record types)
+//! schema-level preparation, not O(N).
 
 use crate::transform::Transform;
 use dbpc_datamodel::network::{NetworkSchema, SetOwner};
@@ -34,6 +43,7 @@ pub fn translate(db: &NetworkDb, transform: &Transform) -> DbResult<NetworkDb> {
             // Schema unchanged: clone and erase matching occurrences
             // (cascading), the §5.2 information-losing subset.
             let mut out = db.clone();
+            crate::stats::count_schema_clone();
             let doomed: Vec<RecordId> = out
                 .records_of_type(record)
                 .into_iter()
@@ -148,6 +158,15 @@ impl NameMap {
     }
 }
 
+/// Where a stored target field's value comes from, resolved once per
+/// record type.
+enum FieldSrc<'a> {
+    /// Index into the source record's stored values.
+    Old(usize),
+    /// The `AddField` default.
+    Default(&'a Value),
+}
+
 fn translate_generic(
     db: &NetworkDb,
     target_schema: NetworkSchema,
@@ -162,62 +181,76 @@ fn translate_generic(
     }
 
     let mut out = NetworkDb::new(target_schema.clone())?;
+    crate::stats::count_schema_clone();
     let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
     let order = topo_order(db.schema())?;
 
     for old_type in &order {
-        let new_type = map.record(old_type).to_string();
-        let old_rt = db.schema().record(old_type).unwrap().clone();
+        let new_type = map.record(old_type);
+        let old_rt = db.schema().record(old_type).unwrap();
         let new_rt = target_schema
-            .record(&new_type)
-            .ok_or_else(|| DbError::unknown("record", &new_type))?
-            .clone();
-        for old_id in db.records_of_type(old_type) {
-            let old_rec = db.get(old_id)?;
-            // Stored values under the (possibly renamed/extended) fields.
-            let mut values: Vec<(String, Value)> = Vec::new();
-            for nf in &new_rt.fields {
-                if nf.is_virtual() {
-                    continue;
-                }
-                // Which old field supplies this new field?
-                let old_field = match transform {
-                    Transform::RenameField { record, old, new }
-                        if record == old_type && *new == nf.name =>
-                    {
-                        Some(old.clone())
-                    }
-                    Transform::AddField { record, field, .. }
-                        if record == old_type && *field == nf.name =>
-                    {
-                        None
-                    }
-                    _ => Some(nf.name.clone()),
-                };
-                match old_field {
-                    Some(of) => {
-                        if let Some(idx) = old_rt.field_index(&of) {
-                            if !old_rt.fields[idx].is_virtual() {
-                                values.push((nf.name.clone(), old_rec.values[idx].clone()));
-                            }
+            .record(new_type)
+            .ok_or_else(|| DbError::unknown("record", new_type))?;
+        crate::stats::count_type_prep();
+        // Field plan: which old field index (or transform default) supplies
+        // each stored target field — per type, so the per-record loop below
+        // only clones values.
+        let mut field_plan: Vec<(&str, FieldSrc)> = Vec::with_capacity(new_rt.fields.len());
+        for nf in &new_rt.fields {
+            if nf.is_virtual() {
+                continue;
+            }
+            match transform {
+                Transform::RenameField { record, old, new }
+                    if record == old_type && *new == nf.name =>
+                {
+                    if let Some(idx) = old_rt.field_index(old) {
+                        if !old_rt.fields[idx].is_virtual() {
+                            field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
                         }
                     }
-                    None => {
-                        if let Transform::AddField { default, .. } = transform {
-                            values.push((nf.name.clone(), default.clone()));
+                }
+                Transform::AddField {
+                    record,
+                    field,
+                    default,
+                    ..
+                } if record == old_type && *field == nf.name => {
+                    field_plan.push((nf.name.as_str(), FieldSrc::Default(default)));
+                }
+                _ => {
+                    if let Some(idx) = old_rt.field_index(&nf.name) {
+                        if !old_rt.fields[idx].is_virtual() {
+                            field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
                         }
                     }
                 }
             }
-            // Connections: one per record-owned target set the type belongs
-            // to, derived from the source membership.
-            let mut connects: Vec<(String, RecordId)> = Vec::new();
-            for ns in target_schema.sets_with_member(&new_type) {
-                if ns.is_system() {
-                    continue;
-                }
-                let old_set = map.set_rev(&ns.name).to_string();
-                if let Some(old_owner) = db.owner_in(&old_set, old_id)? {
+        }
+        // Set plan: record-owned target sets the type belongs to, paired
+        // with the source set supplying the membership.
+        let set_plan: Vec<(&str, &str)> = target_schema
+            .sets_with_member(new_type)
+            .into_iter()
+            .filter(|ns| !ns.is_system())
+            .map(|ns| (ns.name.as_str(), map.set_rev(&ns.name)))
+            .collect();
+
+        for old_id in db.records_of_type(old_type) {
+            let old_rec = db.get(old_id)?;
+            let values: Vec<(&str, Value)> = field_plan
+                .iter()
+                .map(|(name, src)| {
+                    let v = match src {
+                        FieldSrc::Old(idx) => old_rec.values[*idx].clone(),
+                        FieldSrc::Default(d) => (*d).clone(),
+                    };
+                    (*name, v)
+                })
+                .collect();
+            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(set_plan.len());
+            for (new_set, old_set) in &set_plan {
+                if let Some(old_owner) = db.owner_in(old_set, old_id)? {
                     if old_owner != SYSTEM_OWNER {
                         let new_owner = idmap.get(&old_owner).ok_or_else(|| {
                             DbError::constraint(format!(
@@ -225,17 +258,12 @@ fn translate_generic(
                                 old_owner.0
                             ))
                         })?;
-                        connects.push((ns.name.clone(), *new_owner));
+                        connects.push((*new_set, *new_owner));
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> = values
-                .iter()
-                .map(|(f, v)| (f.as_str(), v.clone()))
-                .collect();
-            let cref: Vec<(&str, RecordId)> =
-                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
-            let new_id = out.store(&new_type, &vref, &cref)?;
+            let new_id = out.store(new_type, &values, &connects)?;
+            crate::stats::count_record_stored();
             idmap.insert(old_id, new_id);
         }
     }
@@ -254,6 +282,7 @@ fn translate_promote(
     lower_set: &str,
 ) -> DbResult<NetworkDb> {
     let mut out = NetworkDb::new(target_schema.clone())?;
+    crate::stats::count_schema_clone();
     let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
     // Owner of the split set in the source schema.
     let via_owner_type = db
@@ -267,34 +296,38 @@ fn translate_promote(
     //    topological order (the new record type is synthesized in step 2).
     let order = topo_order(db.schema())?;
     for rtype in order.iter().filter(|r| *r != record) {
-        let rt = db.schema().record(rtype).unwrap().clone();
+        let rt = db.schema().record(rtype).unwrap();
+        crate::stats::count_type_prep();
+        let stored_fields: Vec<(usize, &str)> = rt
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_virtual())
+            .map(|(i, f)| (i, f.name.as_str()))
+            .collect();
+        let member_sets: Vec<&str> = db
+            .schema()
+            .sets_with_member(rtype)
+            .into_iter()
+            .filter(|s| !s.is_system() && s.name != via_set)
+            .map(|s| s.name.as_str())
+            .collect();
         for old_id in db.records_of_type(rtype) {
             let old_rec = db.get(old_id)?;
-            let values: Vec<(String, Value)> = rt
-                .fields
+            let values: Vec<(&str, Value)> = stored_fields
                 .iter()
-                .enumerate()
-                .filter(|(_, f)| !f.is_virtual())
-                .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+                .map(|(i, name)| (*name, old_rec.values[*i].clone()))
                 .collect();
-            let mut connects: Vec<(String, RecordId)> = Vec::new();
-            for s in db.schema().sets_with_member(rtype) {
-                if s.is_system() || s.name == via_set {
-                    continue;
-                }
-                if let Some(owner) = db.owner_in(&s.name, old_id)? {
+            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(member_sets.len());
+            for s in &member_sets {
+                if let Some(owner) = db.owner_in(s, old_id)? {
                     if owner != SYSTEM_OWNER {
-                        connects.push((s.name.clone(), idmap[&owner]));
+                        connects.push((*s, idmap[&owner]));
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> = values
-                .iter()
-                .map(|(f, v)| (f.as_str(), v.clone()))
-                .collect();
-            let cref: Vec<(&str, RecordId)> =
-                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
-            let new_id = out.store(rtype, &vref, &cref)?;
+            let new_id = out.store(rtype, &values, &connects)?;
+            crate::stats::count_record_stored();
             idmap.insert(old_id, new_id);
         }
     }
@@ -308,34 +341,47 @@ fn translate_promote(
             let key = (owner, KeyTuple(vec![v.clone()]));
             if let std::collections::btree_map::Entry::Vacant(slot) = group_map.entry(key) {
                 let new_id = out.store(new_record, &[(field, v)], &[(upper_set, idmap[&owner])])?;
+                crate::stats::count_record_stored();
                 slot.insert(new_id);
             }
         }
     }
 
     // 3. Copy the member records, re-homed under their group records.
-    let rt = db.schema().record(record).unwrap().clone();
+    let rt = db.schema().record(record).unwrap();
+    crate::stats::count_type_prep();
+    let promoted_idx = rt.field_index(field).unwrap();
+    let stored_fields: Vec<(usize, &str)> = rt
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_virtual() && f.name != field)
+        .map(|(i, f)| (i, f.name.as_str()))
+        .collect();
+    let other_sets: Vec<&str> = db
+        .schema()
+        .sets_with_member(record)
+        .into_iter()
+        .filter(|s| !s.is_system() && s.name != via_set)
+        .map(|s| s.name.as_str())
+        .collect();
     for old_id in db.records_of_type(record) {
         let old_rec = db.get(old_id)?;
-        let values: Vec<(String, Value)> = rt
-            .fields
+        let values: Vec<(&str, Value)> = stored_fields
             .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.is_virtual() && f.name != field)
-            .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+            .map(|(i, name)| (*name, old_rec.values[*i].clone()))
             .collect();
-        let mut connects: Vec<(String, RecordId)> = Vec::new();
+        let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(other_sets.len() + 1);
         match db.owner_in(via_set, old_id)? {
             Some(owner) => {
                 let v = db.field_value(old_id, field)?;
                 let group = group_map[&(owner, KeyTuple(vec![v]))];
-                connects.push((lower_set.to_string(), group));
+                connects.push((lower_set, group));
             }
             None => {
                 // Disconnected member: its promoted-field value has no group
                 // to live in; non-null values would be silently lost.
-                let idx = rt.field_index(field).unwrap();
-                if !old_rec.values[idx].is_null() {
+                if !old_rec.values[promoted_idx].is_null() {
                     return Err(DbError::constraint(format!(
                         "cannot promote {record}.{field}: record #{} is not \
                          connected in {via_set} but carries a value",
@@ -344,22 +390,15 @@ fn translate_promote(
                 }
             }
         }
-        for s in db.schema().sets_with_member(record) {
-            if s.is_system() || s.name == via_set {
-                continue;
-            }
-            if let Some(owner) = db.owner_in(&s.name, old_id)? {
+        for s in &other_sets {
+            if let Some(owner) = db.owner_in(s, old_id)? {
                 if owner != SYSTEM_OWNER {
-                    connects.push((s.name.clone(), idmap[&owner]));
+                    connects.push((*s, idmap[&owner]));
                 }
             }
         }
-        let vref: Vec<(&str, Value)> = values
-            .iter()
-            .map(|(f, v)| (f.as_str(), v.clone()))
-            .collect();
-        let cref: Vec<(&str, RecordId)> = connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
-        let new_id = out.store(record, &vref, &cref)?;
+        let new_id = out.store(record, &values, &connects)?;
+        crate::stats::count_record_stored();
         idmap.insert(old_id, new_id);
     }
     Ok(out)
@@ -377,6 +416,7 @@ fn translate_demote(
     merged_set: &str,
 ) -> DbResult<NetworkDb> {
     let mut out = NetworkDb::new(target_schema.clone())?;
+    crate::stats::count_schema_clone();
     let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
     let upper_set_name = db
         .schema()
@@ -388,80 +428,89 @@ fn translate_demote(
 
     let order = topo_order(db.schema())?;
     for rtype in order.iter().filter(|r| *r != mid_record && *r != record) {
-        let rt = db.schema().record(rtype).unwrap().clone();
+        let rt = db.schema().record(rtype).unwrap();
+        crate::stats::count_type_prep();
+        let stored_fields: Vec<(usize, &str)> = rt
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_virtual())
+            .map(|(i, f)| (i, f.name.as_str()))
+            .collect();
+        let member_sets: Vec<&str> = db
+            .schema()
+            .sets_with_member(rtype)
+            .into_iter()
+            .filter(|s| !s.is_system())
+            .map(|s| s.name.as_str())
+            .collect();
         for old_id in db.records_of_type(rtype) {
             let old_rec = db.get(old_id)?;
-            let values: Vec<(String, Value)> = rt
-                .fields
+            let values: Vec<(&str, Value)> = stored_fields
                 .iter()
-                .enumerate()
-                .filter(|(_, f)| !f.is_virtual())
-                .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+                .map(|(i, name)| (*name, old_rec.values[*i].clone()))
                 .collect();
-            let mut connects: Vec<(String, RecordId)> = Vec::new();
-            for s in db.schema().sets_with_member(rtype) {
-                if s.is_system() {
-                    continue;
-                }
-                if let Some(owner) = db.owner_in(&s.name, old_id)? {
+            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(member_sets.len());
+            for s in &member_sets {
+                if let Some(owner) = db.owner_in(s, old_id)? {
                     if owner != SYSTEM_OWNER {
-                        connects.push((s.name.clone(), idmap[&owner]));
+                        connects.push((*s, idmap[&owner]));
                     }
                 }
             }
-            let vref: Vec<(&str, Value)> = values
-                .iter()
-                .map(|(f, v)| (f.as_str(), v.clone()))
-                .collect();
-            let cref: Vec<(&str, RecordId)> =
-                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
-            let new_id = out.store(rtype, &vref, &cref)?;
+            let new_id = out.store(rtype, &values, &connects)?;
+            crate::stats::count_record_stored();
             idmap.insert(old_id, new_id);
         }
     }
 
     // Member records regain the demoted field; membership re-homes to the
     // grand-owner via the merged set.
-    let rt = db.schema().record(record).unwrap().clone();
+    let rt = db.schema().record(record).unwrap();
+    crate::stats::count_type_prep();
+    let stored_fields: Vec<(usize, &str)> = rt
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_virtual())
+        .map(|(i, f)| (i, f.name.as_str()))
+        .collect();
+    let other_sets: Vec<&str> = db
+        .schema()
+        .sets_with_member(record)
+        .into_iter()
+        .filter(|s| !s.is_system() && s.name != lower_set)
+        .map(|s| s.name.as_str())
+        .collect();
     for old_id in db.records_of_type(record) {
         let old_rec = db.get(old_id)?;
-        let mut values: Vec<(String, Value)> = rt
-            .fields
+        let mut values: Vec<(&str, Value)> = stored_fields
             .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.is_virtual())
-            .map(|(i, f)| (f.name.clone(), old_rec.values[i].clone()))
+            .map(|(i, name)| (*name, old_rec.values[*i].clone()))
             .collect();
-        let mut connects: Vec<(String, RecordId)> = Vec::new();
+        let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(other_sets.len() + 1);
         match db.owner_in(lower_set, old_id)? {
             Some(mid) => {
-                values.push((field.to_string(), db.field_value(mid, field)?));
+                values.push((field, db.field_value(mid, field)?));
                 if let Some(grand) = db.owner_in(&upper_set_name, mid)? {
                     if grand != SYSTEM_OWNER {
-                        connects.push((merged_set.to_string(), idmap[&grand]));
+                        connects.push((merged_set, idmap[&grand]));
                     }
                 }
             }
             None => {
-                values.push((field.to_string(), Value::Null));
+                values.push((field, Value::Null));
             }
         }
-        for s in db.schema().sets_with_member(record) {
-            if s.is_system() || s.name == lower_set {
-                continue;
-            }
-            if let Some(owner) = db.owner_in(&s.name, old_id)? {
+        for s in &other_sets {
+            if let Some(owner) = db.owner_in(s, old_id)? {
                 if owner != SYSTEM_OWNER {
-                    connects.push((s.name.clone(), idmap[&owner]));
+                    connects.push((*s, idmap[&owner]));
                 }
             }
         }
-        let vref: Vec<(&str, Value)> = values
-            .iter()
-            .map(|(f, v)| (f.as_str(), v.clone()))
-            .collect();
-        let cref: Vec<(&str, RecordId)> = connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
-        let new_id = out.store(record, &vref, &cref)?;
+        let new_id = out.store(record, &values, &connects)?;
+        crate::stats::count_record_stored();
         idmap.insert(old_id, new_id);
     }
     Ok(out)
@@ -725,5 +774,61 @@ mod tests {
         let div = order.iter().position(|r| r == "DIV").unwrap();
         let emp = order.iter().position(|r| r == "EMP").unwrap();
         assert!(div < emp);
+    }
+
+    fn sized_company_db(emps: usize) -> NetworkDb {
+        let mut db = NetworkDb::new(company_schema()).unwrap();
+        let mach = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        for i in 0..emps {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(format!("EMP-{i:05}"))),
+                    ("DEPT-NAME", Value::str("SALES")),
+                    ("AGE", Value::Int(20 + (i as i64 % 40))),
+                ],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// Clone audit: translating an N-record database does O(record types)
+    /// schema-level work — one target-schema clone and one translation plan
+    /// per record type — regardless of N. Only the per-record store count
+    /// scales with database size.
+    #[test]
+    fn translation_schema_work_is_o_record_types_not_o_n() {
+        let rename = Transform::RenameRecord {
+            old: "DIV".into(),
+            new: "DIVISION".into(),
+        };
+        let mut per_n = Vec::new();
+        for n in [8usize, 64] {
+            let src = sized_company_db(n);
+            let before = crate::stats::snapshot();
+            translate(&src, &rename).unwrap();
+            let work = crate::stats::snapshot().since(&before);
+            // One clone to seed the rebuilt target database; one plan per
+            // record type (DIV + EMP); one store per record (1 DIV + N EMPs).
+            assert_eq!(work.schema_clones, 1, "N = {n}");
+            assert_eq!(work.record_type_preps, 2, "N = {n}");
+            assert_eq!(work.records_stored, n as u64 + 1, "N = {n}");
+            per_n.push(work);
+        }
+        // Schema-level work identical at both sizes; record work scales.
+        assert_eq!(per_n[0].schema_clones, per_n[1].schema_clones);
+        assert_eq!(per_n[0].record_type_preps, per_n[1].record_type_preps);
+        assert!(per_n[1].records_stored > per_n[0].records_stored);
     }
 }

@@ -21,6 +21,7 @@
 pub mod crossmodel;
 pub mod data;
 pub mod sequence;
+pub mod stats;
 pub mod transform;
 
 pub use sequence::Restructuring;

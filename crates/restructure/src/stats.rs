@@ -1,0 +1,71 @@
+//! Translation-side work counters.
+//!
+//! Same contract as the storage engines' `AccessStats` (PR 1): the
+//! counters make the *work done* by a data translation observable —
+//! tests and benches assert that translating an N-record database performs
+//! O(record types) schema-level work, not O(N) — while staying strictly
+//! diagnostic: no translation result or comparison ever depends on them.
+//!
+//! Counters are thread-local so parallel study harnesses can bracket a
+//! unit of work per worker without locks or cross-thread noise.
+
+use std::cell::Cell;
+
+/// Snapshot of this thread's translation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationProfile {
+    /// Whole-schema (or whole-database) clones. One per translation: the
+    /// target schema moved into the rebuilt database (or, for `DeleteWhere`,
+    /// the single database clone that is then erased in place).
+    pub schema_clones: u64,
+    /// Per-record-type translation plans built (field-source resolution,
+    /// set-connection lookup). O(record types) per translation.
+    pub record_type_preps: u64,
+    /// Records rebuilt through the typed/constrained store path.
+    pub records_stored: u64,
+}
+
+impl TranslationProfile {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &TranslationProfile) -> TranslationProfile {
+        TranslationProfile {
+            schema_clones: self.schema_clones - earlier.schema_clones,
+            record_type_preps: self.record_type_preps - earlier.record_type_preps,
+            records_stored: self.records_stored - earlier.records_stored,
+        }
+    }
+}
+
+thread_local! {
+    static SCHEMA_CLONES: Cell<u64> = const { Cell::new(0) };
+    static TYPE_PREPS: Cell<u64> = const { Cell::new(0) };
+    static RECORDS_STORED: Cell<u64> = const { Cell::new(0) };
+}
+
+pub(crate) fn count_schema_clone() {
+    SCHEMA_CLONES.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_type_prep() {
+    TYPE_PREPS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_record_stored() {
+    RECORDS_STORED.with(|c| c.set(c.get() + 1));
+}
+
+/// This thread's cumulative counters.
+pub fn snapshot() -> TranslationProfile {
+    TranslationProfile {
+        schema_clones: SCHEMA_CLONES.with(|c| c.get()),
+        record_type_preps: TYPE_PREPS.with(|c| c.get()),
+        records_stored: RECORDS_STORED.with(|c| c.get()),
+    }
+}
+
+/// Zero this thread's counters (test/bench isolation).
+pub fn reset() {
+    SCHEMA_CLONES.with(|c| c.set(0));
+    TYPE_PREPS.with(|c| c.set(0));
+    RECORDS_STORED.with(|c| c.set(0));
+}
