@@ -12,6 +12,15 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The supervised conversion path must not panic out of library code: the
+# fallback ladder and the panic-safe pool are only as strong as the absence
+# of unwrap/expect beneath them. Scoped to the two crates' lib targets
+# (tests and benches may unwrap); --no-deps keeps the extra lints from
+# leaking into dependency crates.
+echo "==> cargo clippy (no unwrap/expect in convert + corpus libs)"
+cargo clippy -p dbpc-convert --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p dbpc-corpus --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -20,5 +29,8 @@ cargo test -q --workspace
 
 echo "==> bench smoke (conversion throughput)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench conversion_throughput
+
+echo "==> bench smoke (fault tolerance)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench fault_tolerance
 
 echo "CI OK"

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hasher};
-use std::sync::{Arc, LazyLock, Mutex};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard, PoisonError};
 
 /// Snapshot of this thread's cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,14 +106,22 @@ pub fn analyze_host_memo_keyed(
     schema_fp: u64,
 ) -> Arc<AnalysisReport> {
     let key = (schema_fp, program_fingerprint(program));
-    if let Some(report) = CACHE.lock().unwrap().get(&key).cloned() {
+    if let Some(report) = lock_cache().get(&key).cloned() {
         HITS.with(|h| h.set(h.get() + 1));
         return report;
     }
     MISSES.with(|m| m.set(m.get() + 1));
     let report = Arc::new(analyze_host(program, schema));
-    CACHE.lock().unwrap().insert(key, report.clone());
+    lock_cache().insert(key, report.clone());
     report
+}
+
+/// Lock the cache map, recovering from poisoning: the guard is never held
+/// across analysis (only map reads/writes), so a panicking thread cannot
+/// leave the map inconsistent — a poisoned lock just means some thread
+/// died elsewhere, and the supervised pipeline keeps running.
+fn lock_cache() -> MutexGuard<'static, HashMap<FingerprintKey, Arc<AnalysisReport>>> {
+    CACHE.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// This thread's cumulative hit/miss counters.
@@ -128,7 +136,7 @@ pub fn cache_stats() -> CacheStats {
 /// isolation). Concurrent users of the cache only get extra misses from
 /// this, never wrong reports.
 pub fn reset_cache() {
-    CACHE.lock().unwrap().clear();
+    lock_cache().clear();
     HITS.with(|h| h.set(0));
     MISSES.with(|m| m.set(0));
 }

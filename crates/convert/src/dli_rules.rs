@@ -105,7 +105,9 @@ fn infer_segment(units: &[DliUnit], i: usize, schema: &HierSchema) -> Option<Str
                 }
                 let mut candidates: Vec<String> = Vec::new();
                 for name in schema.hierarchic_order() {
-                    let seg = schema.segment(name).unwrap();
+                    let Some(seg) = schema.segment(name) else {
+                        continue;
+                    };
                     if fields.iter().all(|f| seg.field_index(f).is_some()) {
                         candidates.push(name.to_string());
                     }

@@ -50,7 +50,7 @@ impl EquivalenceResult {
 }
 
 /// Warnings that legitimately predict observable behavior change.
-fn predicts_behavior_change(w: &Warning) -> bool {
+pub(crate) fn predicts_behavior_change(w: &Warning) -> bool {
     matches!(
         w,
         Warning::InformationDeleted { .. }

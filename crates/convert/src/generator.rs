@@ -117,7 +117,9 @@ pub fn lower_sequence_to_sequel(
         output_cols: Vec<String>,
         catalog: &SemanticCatalog,
     ) -> Result<SelectQuery, String> {
-        let (last, rest) = steps.split_last().unwrap();
+        let Some((last, rest)) = steps.split_last() else {
+            return Err("empty access sequence".into());
+        };
         let mut preds: Vec<SequelPred> = Vec::new();
 
         // Link to the previous step, if any.
@@ -438,10 +440,10 @@ pub fn lower_find_to_sequel(
     let mut final_set = None;
     for step in &spec.steps {
         let mut preds: Vec<SequelPred> = Vec::new();
-        if prev.is_some() {
+        if let Some(sub) = prev.take() {
             preds.push(SequelPred::In {
                 column: owner_column(&step.set),
-                sub: Box::new(prev.take().unwrap()),
+                sub: Box::new(sub),
             });
         }
         if let Some(c) = &step.filter {

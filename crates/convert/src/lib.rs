@@ -34,7 +34,10 @@
 //!   listing B's access patterns).
 //! * [`supervisor`] — the conversion program manager: drives the pipeline,
 //!   consults the [`report::Analyst`], and assembles a
-//!   [`report::ConversionReport`].
+//!   [`report::ConversionReport`]. Its [`supervisor::fault`] submodule
+//!   injects deterministic faults for robustness studies, and
+//!   [`supervisor::ladder`] descends the paper's §2 strategy taxonomy
+//!   (rewriting → emulation → bridge → manual) when a stage fails.
 //! * [`dli_rules`] — Mehl & Wang's DL/I command substitution under
 //!   hierarchy reordering (ref 11).
 //! * [`equivalence`] — the §1.1 acceptance test (trace equality) and the
@@ -50,4 +53,6 @@ pub mod rules;
 pub mod supervisor;
 
 pub use report::{Analyst, Answer, AutoAnalyst, ConversionReport, Question, Verdict, Warning};
+pub use supervisor::fault::{FaultKind, FaultPlan};
+pub use supervisor::ladder::{run_ladder, LadderConfig, LadderOutcome, Rung, RungFailure, LADDER};
 pub use supervisor::Supervisor;

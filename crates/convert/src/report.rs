@@ -265,10 +265,14 @@ pub enum Verdict {
     NeedsManualWork,
     /// Conversion abandoned.
     Rejected,
+    /// The conversion pipeline itself crashed (panic caught at a
+    /// supervision boundary); no verdict about the program could be
+    /// reached. Distinct from [`Verdict::Rejected`], which is a judgment.
+    Poisoned,
 }
 
 /// The supervisor's complete account of one program conversion.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConversionReport {
     pub verdict: Verdict,
     /// The converted program, present unless rejected.
@@ -278,6 +282,12 @@ pub struct ConversionReport {
     pub warnings: Vec<Warning>,
     /// Questions raised, paired with the analyst's answers.
     pub questions: Vec<(Question, Answer)>,
+    /// Which §2 strategy rung produced this report. Plain (non-ladder)
+    /// conversion is always full rewriting.
+    pub rung: crate::supervisor::ladder::Rung,
+    /// Why each higher-preference rung failed, in descent order. Empty
+    /// when the first rung served.
+    pub fallbacks: Vec<crate::supervisor::ladder::RungFailure>,
 }
 
 impl ConversionReport {

@@ -469,15 +469,13 @@ impl<'a> Ctx<'a> {
             else {
                 return vec![s];
             };
-            if r != record || !connects.iter().any(|c| c.set == via_set) {
+            let Some(via_connect) = connects.iter().find(|c| c.set == via_set) else {
+                return vec![s];
+            };
+            if r != record {
                 return vec![s];
             }
-            let owner_var = connects
-                .iter()
-                .find(|c| c.set == via_set)
-                .unwrap()
-                .owner_var
-                .clone();
+            let owner_var = via_connect.owner_var.clone();
             // The grouping value: the promoted field's assigned expression,
             // or NULL when unassigned.
             let value_expr = assigns

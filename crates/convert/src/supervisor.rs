@@ -20,20 +20,34 @@
 //!    [`Verdict::NeedsManualWork`];
 //! 5. the **Optimizer** (optional) cleans up;
 //! 6. the **Program Generator** emits target text.
+//!
+//! Supervision proper lives in two submodules: [`fault`] injects
+//! deterministic, seeded failures at stage boundaries so robustness is
+//! testable, and [`ladder`] descends the paper's §2 strategy taxonomy
+//! (rewriting → emulation → bridge → manual) when a stage fails. The batch
+//! entry points below are panic-safe: a crash converting one program
+//! yields a [`Verdict::Poisoned`] report for that program, never a dead
+//! batch.
+
+pub mod fault;
+pub mod ladder;
 
 use crate::mapping::Mapping;
 use crate::optimizer::optimize;
 use crate::report::{Analyst, Answer, ConversionReport, Question, Verdict, Warning};
 use crate::rules::{convert_step, FreshNames};
+use crate::supervisor::fault::{panic_payload, FaultPlan};
+use crate::supervisor::ladder::{Rung, RungFailure};
 use dbpc_analyzer::apg::AccessPathGraph;
 use dbpc_analyzer::dataflow::{analyze_host, Hazard};
-use dbpc_datamodel::error::ModelResult;
+use dbpc_datamodel::error::{ModelError, ModelResult, PipelineError, PipelineResult, Stage};
 use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::host::Program;
 use dbpc_restructure::Restructuring;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of a conversion run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Supervisor {
     /// Run the optimizer after conversion (§5.4).
     pub optimize: bool,
@@ -42,6 +56,10 @@ pub struct Supervisor {
     /// under several restructurings; the cached report is identical to a
     /// fresh one, so this only changes speed, never outcomes.
     pub memoize_analysis: bool,
+    /// Fault-injection plan for robustness studies. The default
+    /// ([`FaultPlan::none`]) is idle and leaves every code path
+    /// byte-identical to an unsupervised run.
+    pub fault: FaultPlan,
 }
 
 impl Default for Supervisor {
@@ -49,6 +67,7 @@ impl Default for Supervisor {
         Supervisor {
             optimize: true,
             memoize_analysis: true,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -80,7 +99,40 @@ impl Supervisor {
             std::slice::from_ref(program),
             analyst,
         )?;
-        Ok(reports.pop().expect("one report per program"))
+        reports
+            .pop()
+            .ok_or_else(|| ModelError::invalid("batch conversion returned no report"))
+    }
+
+    /// One *supervised* conversion attempt, identified by a stable work-item
+    /// `key` and an `attempt` ordinal: the unit the fallback ladder retries.
+    /// The fault plan is consulted at every stage boundary; an injected
+    /// error surfaces as `Err`, an injected panic unwinds (the ladder's
+    /// `catch_unwind` catches it).
+    pub fn convert_attempt(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+        key: u64,
+        attempt: usize,
+    ) -> PipelineResult<ConversionReport> {
+        let mapping = Mapping::from_restructuring(source_schema, restructuring)?;
+        let schema_fp = self
+            .memoize_analysis
+            .then(|| dbpc_analyzer::cache::schema_fingerprint(source_schema));
+        let apg = AccessPathGraph::new(&mapping.target);
+        self.convert_one(
+            &mapping,
+            &apg,
+            source_schema,
+            schema_fp,
+            program,
+            analyst,
+            key,
+            attempt,
+        )
     }
 
     /// Convert a batch of programs under one restructuring.
@@ -99,6 +151,32 @@ impl Supervisor {
         programs: &[Program],
         analyst: &mut dyn Analyst,
     ) -> ModelResult<Vec<ConversionReport>> {
+        let keys: Vec<u64> = (0..programs.len() as u64).collect();
+        self.convert_batch_keyed(source_schema, restructuring, programs, &keys, analyst)
+    }
+
+    /// [`Supervisor::convert_batch`] with caller-chosen fault keys: study
+    /// harnesses key each program by its stable corpus coordinates, so a
+    /// `FaultPlan` hits the same program at any thread count or batch
+    /// split. Each program is converted under `catch_unwind`: a panic
+    /// yields a [`Verdict::Poisoned`] report and a pipeline error yields a
+    /// [`Verdict::Rejected`] report (with the error recorded in
+    /// `fallbacks`), so one bad program can never abort the batch.
+    pub fn convert_batch_keyed(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        programs: &[Program],
+        keys: &[u64],
+        analyst: &mut dyn Analyst,
+    ) -> ModelResult<Vec<ConversionReport>> {
+        if programs.len() != keys.len() {
+            return Err(ModelError::invalid(format!(
+                "batch of {} programs given {} fault keys",
+                programs.len(),
+                keys.len()
+            )));
+        }
         let mapping = Mapping::from_restructuring(source_schema, restructuring)?;
         // The schema half of the memo key is batch-invariant; fingerprint
         // it once here instead of once per program. Likewise the target
@@ -108,12 +186,26 @@ impl Supervisor {
             .memoize_analysis
             .then(|| dbpc_analyzer::cache::schema_fingerprint(source_schema));
         let apg = AccessPathGraph::new(&mapping.target);
-        Ok(programs
-            .iter()
-            .map(|p| self.convert_one(&mapping, &apg, source_schema, schema_fp, p, analyst))
-            .collect())
+        let mut reports = Vec::with_capacity(programs.len());
+        for (p, &key) in programs.iter().zip(keys) {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.convert_one(&mapping, &apg, source_schema, schema_fp, p, analyst, key, 0)
+            }));
+            reports.push(match attempt {
+                Ok(Ok(report)) => report,
+                Ok(Err(error)) => failure_report(Verdict::Rejected, error),
+                Err(payload) => failure_report(
+                    Verdict::Poisoned,
+                    PipelineError::Panic {
+                        detail: panic_payload(payload),
+                    },
+                ),
+            });
+        }
+        Ok(reports)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn convert_one(
         &self,
         mapping: &Mapping,
@@ -122,7 +214,9 @@ impl Supervisor {
         schema_fp: Option<u64>,
         program: &Program,
         analyst: &mut dyn Analyst,
-    ) -> ConversionReport {
+        key: u64,
+        attempt: usize,
+    ) -> PipelineResult<ConversionReport> {
         let mut warnings: Vec<Warning> = Vec::new();
         let mut questions: Vec<(Question, Answer)> = Vec::new();
         let mut needs_manual = false;
@@ -130,6 +224,7 @@ impl Supervisor {
 
         // Program analysis: execution-time variability blocks automation
         // before any rewriting is attempted (§3.2).
+        self.fault.trip(Stage::Analyzer, key, attempt)?;
         let analysis = match schema_fp {
             Some(fp) => dbpc_analyzer::cache::analyze_host_memo_keyed(program, source_schema, fp),
             None => std::sync::Arc::new(analyze_host(program, source_schema)),
@@ -147,6 +242,7 @@ impl Supervisor {
         }
 
         // Per-transform rewriting against the pre-step schema snapshots.
+        self.fault.trip(Stage::Converter, key, attempt)?;
         let mut current = program.clone();
         let mut fresh = FreshNames::default();
         if !rejected {
@@ -208,16 +304,19 @@ impl Supervisor {
         }
 
         if rejected {
-            return ConversionReport {
+            return Ok(ConversionReport {
                 verdict: Verdict::Rejected,
                 program: None,
                 text: None,
                 warnings,
                 questions,
-            };
+                rung: Rung::FullRewrite,
+                fallbacks: Vec::new(),
+            });
         }
 
         if self.optimize {
+            self.fault.trip(Stage::Optimizer, key, attempt)?;
             let (optimized, opt_warnings) = optimize(&current, &mapping.target);
             current = optimized;
             warnings.extend(opt_warnings);
@@ -230,14 +329,36 @@ impl Supervisor {
         } else {
             Verdict::ConvertedWithWarnings
         };
+        self.fault.trip(Stage::Generator, key, attempt)?;
         let text = crate::generator::generate_host(&current);
-        ConversionReport {
+        Ok(ConversionReport {
             verdict,
             program: Some(current),
             text: Some(text),
             warnings,
             questions,
-        }
+            rung: Rung::FullRewrite,
+            fallbacks: Vec::new(),
+        })
+    }
+}
+
+/// A batch slot's report when supervision, not judgment, ended the
+/// conversion: a typed pipeline error ([`Verdict::Rejected`]) or a caught
+/// panic ([`Verdict::Poisoned`]).
+fn failure_report(verdict: Verdict, error: PipelineError) -> ConversionReport {
+    ConversionReport {
+        verdict,
+        program: None,
+        text: None,
+        warnings: Vec::new(),
+        questions: Vec::new(),
+        rung: Rung::FullRewrite,
+        fallbacks: vec![RungFailure {
+            rung: Rung::FullRewrite,
+            attempts: 1,
+            error,
+        }],
     }
 }
 

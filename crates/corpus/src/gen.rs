@@ -191,7 +191,10 @@ END PROGRAM;"
 END PROGRAM;"
         ),
     };
-    parse_program(&src).expect("generated program parses")
+    // A corpus-generator invariant, not a recoverable condition: the
+    // templates above must parse. (panic! rather than expect so the
+    // unwrap/expect clippy gate covers this crate's fallible paths.)
+    parse_program(&src).unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"))
 }
 
 /// The restructuring classes of the study.
@@ -383,7 +386,9 @@ pub fn generate_schema(cfg: SchemaGenConfig, seed: u64) -> NetworkSchema {
             schema = schema.with_set(SetDef::system(format!("ALL-R{i}"), format!("R{i}"), vec![]));
             // System sets are keyed on the record's key field.
             let set_name = format!("ALL-R{i}");
-            schema.set_mut(&set_name).unwrap().keys = vec![format!("K{i}")];
+            if let Some(set) = schema.set_mut(&set_name) {
+                set.keys = vec![format!("K{i}")];
+            }
         } else {
             let owner = rng.random_range(0..i);
             schema = schema.with_set(SetDef::owned(
@@ -393,7 +398,9 @@ pub fn generate_schema(cfg: SchemaGenConfig, seed: u64) -> NetworkSchema {
                 vec![],
             ));
             let set_name = format!("S{owner}-{i}");
-            schema.set_mut(&set_name).unwrap().keys = vec![format!("K{i}")];
+            if let Some(set) = schema.set_mut(&set_name) {
+                set.keys = vec![format!("K{i}")];
+            }
         }
     }
     schema

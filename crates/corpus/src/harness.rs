@@ -19,7 +19,8 @@ use dbpc_convert::equivalence::{
     check_equivalence, judge_equivalence, source_trace, EquivalenceLevel,
 };
 use dbpc_convert::report::{Analyst, AutoAnalyst, ConversionReport, PermissiveAnalyst};
-use dbpc_convert::{Supervisor, Verdict};
+use dbpc_convert::{run_ladder, FaultPlan, LadderConfig, Rung, RungFailure, Supervisor, Verdict};
+use dbpc_datamodel::error::PipelineError;
 use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::host::Program;
 use dbpc_engine::{Inputs, Trace};
@@ -27,8 +28,16 @@ use dbpc_storage::NetworkDb;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::{Arc, LazyLock, Mutex};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Lock a harness memo map, recovering from poisoning: guards are never
+/// held across computation (only map lookups/inserts), so a worker that
+/// panicked elsewhere cannot have left the map inconsistent — supervised
+/// batches keep their memos working after a poisoned cell.
+fn lock_memo<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Corpus generation key: `(program class, program seed)`.
 type GenerationKey = (u64, u64);
@@ -69,6 +78,10 @@ pub struct Cell {
     /// Converted programs whose execution diverged unpredictably — a
     /// conversion-system bug if ever nonzero.
     pub verified_wrong: usize,
+    /// Programs whose conversion pipeline crashed (panic caught at a
+    /// supervision boundary) — the E2 failure column. A fault-free run
+    /// always has zero here.
+    pub poisoned: usize,
 }
 
 impl Cell {
@@ -99,6 +112,7 @@ impl StudyRow {
             agg.rejected += c.rejected;
             agg.verified_equivalent += c.verified_equivalent;
             agg.verified_wrong += c.verified_wrong;
+            agg.poisoned += c.poisoned;
         }
         agg
     }
@@ -225,19 +239,20 @@ impl fmt::Display for StudyResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7} {:>9}",
-            "transform", "auto", "warn", "manual", "reject", "auto%", "verified"
+            "{:<16} {:>6} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9}",
+            "transform", "auto", "warn", "manual", "reject", "fail", "auto%", "verified"
         )?;
         for row in &self.rows {
             let a = row.aggregate();
             writeln!(
                 f,
-                "{:<16} {:>6} {:>6} {:>6} {:>7} {:>6.1}% {:>5}/{:<3}",
+                "{:<16} {:>6} {:>6} {:>6} {:>7} {:>6} {:>6.1}% {:>5}/{:<3}",
                 row.transform.name(),
                 a.converted,
                 a.converted_with_warnings,
                 a.needs_manual,
                 a.rejected,
+                a.poisoned,
                 100.0 * a.auto_rate(),
                 a.verified_equivalent,
                 a.converted + a.converted_with_warnings,
@@ -274,7 +289,7 @@ pub fn success_rate_study_interactive(samples: usize, seed: u64) -> StudyResult 
 /// available parallelism). Every knob changes only *speed*: the matrix a
 /// config produces is identical across all of them, which
 /// `tests/parallel_determinism.rs` asserts.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Programs generated per (transform, program-class) cell.
     pub samples: usize,
@@ -294,6 +309,16 @@ pub struct StudyConfig {
     /// corpus generation (the program seed does not depend on the transform
     /// row).
     pub memoize_analysis: bool,
+    /// Fault-injection plan threaded into the supervisor (robustness
+    /// studies). The default is idle, leaving the pipeline byte-identical
+    /// to an unfaulted run.
+    pub fault_plan: FaultPlan,
+    /// Convert via the §2 strategy fallback ladder instead of plain
+    /// rewriting: failed or unverifiable rewrites degrade to emulation,
+    /// bridging, and finally manual work. Changes *outcomes* (it rescues
+    /// programs plain rewriting rejects), so it is off by default and the
+    /// default matrix stays byte-identical to the seed pipeline.
+    pub ladder: bool,
 }
 
 impl StudyConfig {
@@ -306,6 +331,8 @@ impl StudyConfig {
             threads: 0,
             reuse_databases: true,
             memoize_analysis: true,
+            fault_plan: FaultPlan::none(),
+            ladder: false,
         }
     }
 
@@ -338,6 +365,7 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
     let schema = crate::named::company_schema();
     let supervisor = Supervisor {
         memoize_analysis: config.memoize_analysis,
+        fault: config.fault_plan.clone(),
         ..Supervisor::default()
     };
 
@@ -345,7 +373,9 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
         .iter()
         .flat_map(|t| ProgramClass::ALL.iter().map(move |pc| (*t, *pc)))
         .collect();
-    let per_cell = pool::parallel_map(&units, threads, |_, &(t, pc)| {
+    // Panic-safe fan-out: a cell whose computation escapes every inner
+    // supervision boundary becomes an all-poisoned cell, not a dead batch.
+    let per_cell = pool::try_parallel_map(&units, threads, |_, &(t, pc)| {
         run_cell(&supervisor, &schema, config, t, pc)
     });
 
@@ -359,7 +389,19 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
     for t in TransformClass::ALL {
         let mut cells = Vec::new();
         for pc in ProgramClass::ALL {
-            let (cell, cell_profile) = results.next().expect("one result per cell");
+            let (cell, cell_profile) = match results.next() {
+                Some(Ok(r)) => r,
+                // A poisoned (or missing) cell: every sample is recorded in
+                // the failure column; siblings are untouched.
+                Some(Err(_)) | None => (
+                    Cell {
+                        total: config.samples,
+                        poisoned: config.samples,
+                        ..Cell::default()
+                    },
+                    StudyProfile::default(),
+                ),
+            };
             profile.absorb(&cell_profile);
             cells.push((*pc, cell));
         }
@@ -373,6 +415,14 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
         samples_per_cell: config.samples,
         profile,
     }
+}
+
+/// The fault key identifying sample `k` of cell `(t, pc)` to a
+/// [`FaultPlan`]: a pure function of the corpus coordinates, so a plan
+/// targets the same program at any thread count, in the matrix study and
+/// in [`ladder_reports`] alike.
+pub fn program_fault_key(t: TransformClass, pc: ProgramClass, k: usize) -> u64 {
+    ((t as u64) << 32) | ((pc as u64) << 16) | (k as u64 & 0xffff)
 }
 
 /// The corpus generation key for sample `k` of class `pc`: transform-row
@@ -408,17 +458,21 @@ fn run_cell(
             }
             // The seed is transform-independent: the same program recurs in
             // all 8 transform rows, so memoize generation alongside analysis.
-            if let Some(p) = GENERATED.lock().unwrap().get(&key).cloned() {
+            if let Some(p) = lock_memo(&GENERATED).get(&key).cloned() {
                 profile.generation_cache_hits += 1;
                 return p;
             }
             let p = generate_program(pc, key.1);
-            GENERATED.lock().unwrap().insert(key, p.clone());
+            lock_memo(&GENERATED).insert(key, p.clone());
             p
         })
         .collect();
     profile.programs_generated += programs.len() as u64;
     profile.generate_ns += started.elapsed().as_nanos() as u64;
+
+    if config.ladder {
+        return run_cell_ladder(supervisor, schema, config, t, pc, &programs, cell, profile);
+    }
 
     // Convert the cell as one batch: the schema mapping is derived once for
     // all samples. The mapping is the batch's only fallible step and
@@ -433,8 +487,11 @@ fn run_cell(
     } else {
         &mut auto
     };
+    let keys: Vec<u64> = (0..config.samples)
+        .map(|k| program_fault_key(t, pc, k))
+        .collect();
     let reports: Vec<ConversionReport> =
-        match supervisor.convert_batch(schema, &restructuring, &programs, analyst) {
+        match supervisor.convert_batch_keyed(schema, &restructuring, &programs, &keys, analyst) {
             Ok(reports) => reports,
             Err(_) => {
                 cell.total = programs.len();
@@ -466,12 +523,18 @@ fn run_cell(
             Verdict::ConvertedWithWarnings => cell.converted_with_warnings += 1,
             Verdict::NeedsManualWork => cell.needs_manual += 1,
             Verdict::Rejected => cell.rejected += 1,
+            Verdict::Poisoned => cell.poisoned += 1,
         }
         if !report.succeeded() {
             continue;
         }
         profile.programs_converted += 1;
-        let converted = report.program.as_ref().unwrap();
+        let Some(converted) = report.program.as_ref() else {
+            // A succeeded verdict always carries a program; treat the
+            // impossible as a verification failure rather than a panic.
+            cell.verified_wrong += 1;
+            continue;
+        };
         let eq: Result<EquivalenceLevel, _> = if config.reuse_databases {
             if bases.is_none() {
                 let src = company_db(4, 3, 8);
@@ -480,13 +543,16 @@ fn run_cell(
                 profile.translations += 1;
                 bases = Some((src, tgt));
             }
-            let (src_base, tgt_base) = bases.as_mut().unwrap();
+            let Some((src_base, tgt_base)) = bases.as_mut() else {
+                cell.verified_wrong += 1;
+                continue;
+            };
             let Some(tgt_base) = tgt_base.as_mut() else {
                 cell.verified_wrong += 1;
                 continue;
             };
             let key = generation_key(config.seed, k, pc);
-            let memoized = SOURCE_TRACES.lock().unwrap().get(&key).cloned();
+            let memoized = lock_memo(&SOURCE_TRACES).get(&key).cloned();
             let original_trace = match memoized {
                 Some(trace) => {
                     profile.source_trace_hits += 1;
@@ -506,7 +572,7 @@ fn run_cell(
                     };
                     run.map(|trace| {
                         let trace = Arc::new(trace);
-                        SOURCE_TRACES.lock().unwrap().insert(key, trace.clone());
+                        lock_memo(&SOURCE_TRACES).insert(key, trace.clone());
                         trace
                     })
                 }
@@ -545,6 +611,155 @@ fn run_cell(
     profile.verify_ns += started.elapsed().as_nanos() as u64;
     profile.cells_done += 1;
     (cell, profile)
+}
+
+/// The ladder variant of a cell: every program descends the §2 strategy
+/// ladder, so conversion and verification are one supervised step. Tallies
+/// the serving rung's verdict; `verified_equivalent` counts programs whose
+/// serving rung passed its equivalence check (the ladder only serves
+/// verified rungs, so a served program is a verified one).
+#[allow(clippy::too_many_arguments)]
+fn run_cell_ladder(
+    supervisor: &Supervisor,
+    schema: &NetworkSchema,
+    config: &StudyConfig,
+    t: TransformClass,
+    pc: ProgramClass,
+    programs: &[Program],
+    mut cell: Cell,
+    mut profile: StudyProfile,
+) -> (Cell, StudyProfile) {
+    let started = Instant::now();
+    let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
+    let src_base = company_db(4, 3, 8);
+    profile.db_builds += 1;
+    let restructuring = t.restructuring();
+    let ladder_cfg = LadderConfig::default();
+    for (k, program) in programs.iter().enumerate() {
+        cell.total += 1;
+        let key = program_fault_key(t, pc, k);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut auto = AutoAnalyst;
+            let mut perm = PermissiveAnalyst;
+            let analyst: &mut dyn Analyst = if config.permissive {
+                &mut perm
+            } else {
+                &mut auto
+            };
+            run_ladder(
+                supervisor,
+                &ladder_cfg,
+                schema,
+                &restructuring,
+                program,
+                key,
+                &src_base,
+                &inputs,
+                analyst,
+            )
+        }));
+        match outcome {
+            Ok(out) => {
+                match out.report.verdict {
+                    Verdict::Converted => cell.converted += 1,
+                    Verdict::ConvertedWithWarnings => cell.converted_with_warnings += 1,
+                    Verdict::NeedsManualWork => cell.needs_manual += 1,
+                    Verdict::Rejected => cell.rejected += 1,
+                    Verdict::Poisoned => cell.poisoned += 1,
+                }
+                if out.report.succeeded() {
+                    profile.programs_converted += 1;
+                }
+                profile.equivalence_runs += 1;
+                match out.level {
+                    Some(EquivalenceLevel::Strict | EquivalenceLevel::Warned) => {
+                        cell.verified_equivalent += 1
+                    }
+                    Some(EquivalenceLevel::NotEquivalent) => cell.verified_wrong += 1,
+                    None => {}
+                }
+            }
+            // run_ladder already supervises every rung; a panic escaping it
+            // (ground-truth setup, tallying) poisons only this program.
+            Err(_) => cell.poisoned += 1,
+        }
+    }
+    profile.verify_ns += started.elapsed().as_nanos() as u64;
+    profile.cells_done += 1;
+    (cell, profile)
+}
+
+/// Per-program ladder reports over the whole E2 corpus, in the fixed
+/// `(transform, program class, sample)` order — the unit the robustness
+/// acceptance test and the E15 rung-distribution figure compare. Parallel
+/// and panic-safe like the matrix study: a program whose descent escapes
+/// supervision yields a [`Verdict::Poisoned`] report in its slot.
+pub fn ladder_reports(config: &StudyConfig) -> Vec<ConversionReport> {
+    let threads = if config.threads == 0 {
+        pool::default_threads()
+    } else {
+        config.threads
+    };
+    let schema = crate::named::company_schema();
+    let supervisor = Supervisor {
+        memoize_analysis: config.memoize_analysis,
+        fault: config.fault_plan.clone(),
+        ..Supervisor::default()
+    };
+    let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
+    let ladder_cfg = LadderConfig::default();
+    let units: Vec<(TransformClass, ProgramClass, usize)> = TransformClass::ALL
+        .iter()
+        .flat_map(|t| {
+            ProgramClass::ALL
+                .iter()
+                .flat_map(move |pc| (0..config.samples).map(move |k| (*t, *pc, k)))
+        })
+        .collect();
+    pool::try_parallel_map(&units, threads, |_, &(t, pc, k)| {
+        let gen_key = generation_key(config.seed, k, pc);
+        let program = generate_program(pc, gen_key.1);
+        let restructuring = t.restructuring();
+        // NetworkDb keeps interior index caches (not Sync), so the small
+        // verification base is built per work item rather than shared.
+        let src_base = company_db(4, 3, 8);
+        let mut auto = AutoAnalyst;
+        let mut perm = PermissiveAnalyst;
+        let analyst: &mut dyn Analyst = if config.permissive {
+            &mut perm
+        } else {
+            &mut auto
+        };
+        run_ladder(
+            &supervisor,
+            &ladder_cfg,
+            &schema,
+            &restructuring,
+            &program,
+            program_fault_key(t, pc, k),
+            &src_base,
+            &inputs,
+            analyst,
+        )
+        .report
+    })
+    .into_iter()
+    .map(|r| {
+        r.unwrap_or_else(|p| ConversionReport {
+            verdict: Verdict::Poisoned,
+            program: None,
+            text: None,
+            warnings: Vec::new(),
+            questions: Vec::new(),
+            rung: Rung::FullRewrite,
+            fallbacks: vec![RungFailure {
+                rung: Rung::FullRewrite,
+                attempts: 1,
+                error: PipelineError::Panic { detail: p.payload },
+            }],
+        })
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -792,11 +1007,9 @@ pub fn strategy_coverage(samples: usize, seed: u64) -> Vec<(TransformClass, Cove
                 if let Ok(report) =
                     supervisor.convert(&schema, &restructuring, &program, &mut AutoAnalyst)
                 {
-                    if report.succeeded() {
+                    if let (true, Some(converted)) = (report.succeeded(), report.program.as_ref()) {
                         let mut db = tgt.clone();
-                        if let Ok(trace) =
-                            run_host(&mut db, report.program.as_ref().unwrap(), inputs.clone())
-                        {
+                        if let Ok(trace) = run_host(&mut db, converted, inputs.clone()) {
                             if trace == expected {
                                 cell.rewrite_ok += 1;
                             }

@@ -69,7 +69,8 @@ const DEPT_NAMES: &[&str] = &[
 /// `emps_per_div` employees spread over `depts_per_div` department values.
 /// Deterministic; employee names are globally unique.
 pub fn company_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -> NetworkDb {
-    let mut db = NetworkDb::new(company_schema()).expect("schema valid");
+    let mut db = NetworkDb::new(company_schema())
+        .unwrap_or_else(|e| panic!("company schema must be valid: {e}"));
     let mut emp_no = 0usize;
     for d in 0..divisions {
         let div = db
@@ -81,7 +82,7 @@ pub fn company_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -
                 ],
                 &[],
             )
-            .expect("store DIV");
+            .unwrap_or_else(|e| panic!("seed DIV row must store: {e}"));
         for e in 0..emps_per_div {
             let dept = DEPT_NAMES[e % depts_per_div.clamp(1, DEPT_NAMES.len())];
             db.store(
@@ -93,7 +94,7 @@ pub fn company_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -
                 ],
                 &[("DIV-EMP", div)],
             )
-            .expect("store EMP");
+            .unwrap_or_else(|e| panic!("seed EMP row must store: {e}"));
             emp_no += 1;
         }
     }

@@ -56,6 +56,117 @@ impl std::error::Error for ModelError {}
 /// Convenient result alias for this crate.
 pub type ModelResult<T> = Result<T, ModelError>;
 
+/// The stages of the conversion pipeline, as supervised by the Figure 4.1
+/// conversion program manager. Fault injection, fuel accounting, and the
+/// strategy fallback ladder all speak in these terms, so the enum lives in
+/// the base crate every pipeline layer already depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Program analysis (§3.2 hazard detection).
+    Analyzer,
+    /// Rule-based program rewriting (§4).
+    Converter,
+    /// Post-conversion cleanup (§5.4).
+    Optimizer,
+    /// Target program text emission.
+    Generator,
+    /// Data translation of the source database (§1, refs 3–7).
+    Translation,
+    /// Execution-equivalence checking (§1.1 / §5.2).
+    Verification,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Analyzer,
+        Stage::Converter,
+        Stage::Optimizer,
+        Stage::Generator,
+        Stage::Translation,
+        Stage::Verification,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Analyzer => "analyzer",
+            Stage::Converter => "converter",
+            Stage::Optimizer => "optimizer",
+            Stage::Generator => "generator",
+            Stage::Translation => "translation",
+            Stage::Verification => "verification",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The crate-spanning pipeline error: everything a supervision layer may
+/// need to report about a failed conversion attempt, regardless of which
+/// crate the failure originated in. Engine and storage errors are carried
+/// as rendered text to keep the dependency graph acyclic — the datamodel
+/// crate sits below both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A schema/mapping error (the conversion analyzer's domain).
+    Model(ModelError),
+    /// A pipeline stage failed with a typed runtime/storage error,
+    /// rendered to text.
+    Stage { stage: Stage, detail: String },
+    /// A deterministic fault injected by a `FaultPlan` (robustness
+    /// testing; never raised in production configurations).
+    Injected { stage: Stage, detail: String },
+    /// A panic caught at a supervision boundary; `detail` is the rendered
+    /// panic payload.
+    Panic { detail: String },
+    /// An execution exceeded its interpreter fuel (statement budget) —
+    /// the runaway-loop guard on supervised verification runs.
+    FuelExhausted { stage: Stage },
+}
+
+impl PipelineError {
+    /// A stage failure carrying a rendered error from another crate.
+    pub fn stage(stage: Stage, detail: impl fmt::Display) -> Self {
+        PipelineError::Stage {
+            stage,
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "{e}"),
+            PipelineError::Stage { stage, detail } => {
+                write!(f, "{stage} stage failed: {detail}")
+            }
+            PipelineError::Injected { stage, detail } => {
+                write!(f, "injected fault at {stage} stage: {detail}")
+            }
+            PipelineError::Panic { detail } => write!(f, "panic: {detail}"),
+            PipelineError::FuelExhausted { stage } => {
+                write!(f, "{stage} stage exhausted its interpreter fuel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ModelError> for PipelineError {
+    fn from(e: ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+/// Result alias for supervised pipeline operations.
+pub type PipelineResult<T> = Result<T, PipelineError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -213,6 +213,28 @@ pub fn run_host<D: NetworkOps>(db: &mut D, program: &Program, inputs: Inputs) ->
     Ok(trace)
 }
 
+/// Default interpreter fuel for supervised verification runs: generous for
+/// any legitimate corpus program, small enough that a runaway loop fails a
+/// fallback-ladder rung in milliseconds instead of hanging the batch.
+pub const DEFAULT_VERIFY_FUEL: usize = 250_000;
+
+/// Like [`run_host`] but with an explicit fuel (statement budget).
+/// Exceeding it returns [`RunError::StepLimit`](crate::error::RunError) —
+/// the supervision layer's guard against a looping generated program.
+pub fn run_host_with_fuel<D: NetworkOps>(
+    db: &mut D,
+    program: &Program,
+    inputs: Inputs,
+    fuel: usize,
+) -> RunResult<Trace> {
+    db.reset_access_stats();
+    let mut trace = HostInterpreter::new(db, inputs)
+        .with_step_limit(fuel)
+        .run(program)?;
+    trace.access = db.access_profile().unwrap_or_default();
+    Ok(trace)
+}
+
 impl<'d, D: NetworkOps> HostInterpreter<'d, D> {
     pub fn new(db: &'d mut D, inputs: Inputs) -> Self {
         HostInterpreter {

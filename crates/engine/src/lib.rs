@@ -34,5 +34,5 @@ pub mod sequel_exec;
 pub mod trace;
 
 pub use error::{RunError, RunResult};
-pub use host_exec::{HostInterpreter, RtVal};
+pub use host_exec::{HostInterpreter, RtVal, DEFAULT_VERIFY_FUEL};
 pub use trace::{diff_traces, Inputs, Trace, TraceEvent};

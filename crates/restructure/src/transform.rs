@@ -361,7 +361,9 @@ impl Transform {
                     .push(RecordTypeDef::new(new_record.clone(), new_fields));
                 // Member record loses the promoted field and the migrated
                 // virtual fields.
-                let r = s.record_mut(record).unwrap();
+                let r = s
+                    .record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
                 r.fields.retain(|f| {
                     f.name != *field && f.virtual_via.as_ref().is_none_or(|v| v.set != *via_set)
                 });
@@ -437,7 +439,9 @@ impl Transform {
                 // The member record regains the stored field, plus virtual
                 // fields the mid record carried (re-routed via the merged
                 // set).
-                let r = s.record_mut(record).unwrap();
+                let r = s
+                    .record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?;
                 r.fields.push(FieldDef::new(field.clone(), fdef.ty.clone()));
                 let migrated: Vec<FieldDef> = mid
                     .fields
@@ -453,7 +457,10 @@ impl Transform {
                         })
                     })
                     .collect();
-                s.record_mut(record).unwrap().fields.extend(migrated);
+                s.record_mut(record)
+                    .ok_or_else(|| ModelError::unknown("record", record))?
+                    .fields
+                    .extend(migrated);
                 // Remove the mid record and both sets; add the merged set.
                 s.records.retain(|r| r.name != *mid_record);
                 s.sets
@@ -475,13 +482,17 @@ impl Transform {
                     let sd = s.set(set).ok_or_else(|| ModelError::unknown("set", set))?;
                     sd.member.clone()
                 };
-                let rec = s.record(&member).unwrap();
+                let rec = s
+                    .record(&member)
+                    .ok_or_else(|| ModelError::unknown("record", &member))?;
                 for k in keys {
                     if rec.field(k).is_none() {
                         return Err(ModelError::unknown("field", format!("{member}.{k}")));
                     }
                 }
-                s.set_mut(set).unwrap().keys = keys.clone();
+                s.set_mut(set)
+                    .ok_or_else(|| ModelError::unknown("set", set))?
+                    .keys = keys.clone();
             }
             Transform::ChangeInsertion { set, insertion } => {
                 s.set_mut(set)
