@@ -14,10 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # The supervised conversion path must not panic out of library code: the
 # fallback ladder and the panic-safe pool are only as strong as the absence
-# of unwrap/expect beneath them. Scoped to the two crates' lib targets
-# (tests and benches may unwrap); --no-deps keeps the extra lints from
-# leaking into dependency crates.
-echo "==> cargo clippy (no unwrap/expect in convert + corpus libs)"
+# of unwrap/expect beneath them — and since the undo journal, so are the
+# storage engines and executors whose rollback those boundaries trigger.
+# Scoped to the crates' lib targets (tests and benches may unwrap);
+# --no-deps keeps the extra lints from leaking into dependency crates.
+echo "==> cargo clippy (no unwrap/expect in storage + engine + convert + corpus libs)"
+cargo clippy -p dbpc-storage --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p dbpc-engine --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo clippy -p dbpc-convert --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo clippy -p dbpc-corpus --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
@@ -32,5 +35,8 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench conversion_throughput
 
 echo "==> bench smoke (fault tolerance)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench fault_tolerance
+
+echo "==> bench smoke (recovery)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench recovery
 
 echo "CI OK"

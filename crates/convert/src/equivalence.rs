@@ -114,10 +114,10 @@ pub fn check_equivalence_against(
 /// per-program clone at all.
 ///
 /// Any update the converted program performs is left in `target_db` — the
-/// caller owns that consequence; reserve the shared-database use for
-/// programs [`Program::mutates_database`] proves update-free. Returns the
-/// equivalence level, the converted program's trace, and the first
-/// divergence (when not strict).
+/// caller owns that consequence; batch harnesses wrap the call in a
+/// savepoint and roll it back, which keeps a shared base pristine even for
+/// updating programs. Returns the equivalence level, the converted
+/// program's trace, and the first divergence (when not strict).
 pub fn judge_equivalence(
     original_trace: &Trace,
     target_db: &mut NetworkDb,

@@ -50,6 +50,11 @@ pub struct FaultPlan {
     /// Restrict probabilistic injection to these stages; `None` = all.
     pub stages: Option<Vec<Stage>>,
     targeted: Vec<Targeted>,
+    /// Simulated crashes inside data translation: `(key, batch)` pairs at
+    /// which a batched translation dies at a batch boundary. Unlike stage
+    /// faults these are *recoverable* — the pipeline resumes from the
+    /// translation checkpoint rather than failing the work item.
+    translation_crashes: Vec<(u64, usize)>,
 }
 
 impl Default for FaultPlan {
@@ -67,6 +72,7 @@ impl FaultPlan {
             panic_share: 0.0,
             stages: None,
             targeted: Vec::new(),
+            translation_crashes: Vec::new(),
         }
     }
 
@@ -78,6 +84,7 @@ impl FaultPlan {
             panic_share: 0.5,
             stages: None,
             targeted: Vec::new(),
+            translation_crashes: Vec::new(),
         }
     }
 
@@ -111,10 +118,23 @@ impl FaultPlan {
         self
     }
 
+    /// Add a simulated crash at batch boundary `batch` (zero-based) of
+    /// work item `key`'s data translation. Recovered by resuming from the
+    /// checkpoint, so results stay identical to the uncrashed run.
+    pub fn with_translation_crash(mut self, key: u64, batch: usize) -> FaultPlan {
+        self.translation_crashes.push((key, batch));
+        self
+    }
+
+    /// Does work item `key`'s translation crash at batch boundary `batch`?
+    pub fn translation_crash(&self, key: u64, batch: usize) -> bool {
+        self.translation_crashes.contains(&(key, batch))
+    }
+
     /// True when this plan can never inject anything — the fast path the
     /// production pipeline checks to stay byte-identical to unfaulted runs.
     pub fn is_idle(&self) -> bool {
-        self.probability <= 0.0 && self.targeted.is_empty()
+        self.probability <= 0.0 && self.targeted.is_empty() && self.translation_crashes.is_empty()
     }
 
     /// Decide whether `(stage, key)` faults on its `attempt`-th try

@@ -48,7 +48,7 @@ use dbpc_dml::host::Program;
 use dbpc_emulate::{run_bridged, Emulator, WriteBack};
 use dbpc_engine::host_exec::run_host_with_fuel;
 use dbpc_engine::{diff_traces, Inputs, RunError, Trace, DEFAULT_VERIFY_FUEL};
-use dbpc_restructure::Restructuring;
+use dbpc_restructure::{Restructuring, TRANSLATION_BATCH};
 use dbpc_storage::NetworkDb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -137,6 +137,14 @@ pub struct LadderOutcome {
 /// Convert `program` by descending the strategy ladder, verifying each
 /// rung's result against the source program's ground-truth trace on
 /// `source_db` under `inputs`.
+///
+/// The ground-truth run executes **in place** on `source_db` inside a
+/// savepoint that is rolled back afterwards, so mutating programs no
+/// longer force a deep copy of the base; in debug builds the descent
+/// asserts the base is bitwise-unchanged after the ground-truth run and
+/// after every failed rung attempt — the invariant that makes the retry
+/// budget sound (a rung retry must see the same base the first attempt
+/// saw).
 #[allow(clippy::too_many_arguments)]
 pub fn run_ladder(
     supervisor: &Supervisor,
@@ -145,17 +153,31 @@ pub fn run_ladder(
     restructuring: &Restructuring,
     program: &Program,
     key: u64,
-    source_db: &NetworkDb,
+    source_db: &mut NetworkDb,
     inputs: &Inputs,
     analyst: &mut dyn Analyst,
 ) -> LadderOutcome {
+    let base_fp = if cfg!(debug_assertions) {
+        source_db.fingerprint()
+    } else {
+        0
+    };
     // Ground truth once per descent: the source program's observable trace
-    // (§1.1), fuel-limited like every other supervised execution. If the
-    // source program itself cannot run, no automatic strategy can be
-    // verified — straight to manual.
-    let mut source_copy = source_db.clone();
-    let truth = match run_host_with_fuel(&mut source_copy, program, inputs.clone(), cfg.verify_fuel)
-    {
+    // (§1.1), fuel-limited like every other supervised execution, run in
+    // place and rolled back. If the source program itself cannot run, no
+    // automatic strategy can be verified — straight to manual.
+    let sp = source_db.begin_savepoint();
+    let truth_result =
+        run_host_with_fuel(&mut *source_db, program, inputs.clone(), cfg.verify_fuel);
+    source_db.rollback_to(sp);
+    if cfg!(debug_assertions) {
+        debug_assert_eq!(
+            source_db.fingerprint(),
+            base_fp,
+            "ground-truth run must leave the base unchanged"
+        );
+    }
+    let truth = match truth_result {
         Ok(t) => t,
         Err(e) => {
             return LadderOutcome {
@@ -189,12 +211,19 @@ pub fn run_ladder(
                     program,
                     key,
                     attempt,
-                    source_db,
+                    &*source_db,
                     &truth,
                     inputs,
                     &mut *analyst,
                 )
             }));
+            if cfg!(debug_assertions) {
+                debug_assert_eq!(
+                    source_db.fingerprint(),
+                    base_fp,
+                    "rung {rung} attempt {attempt} must leave the base unchanged"
+                );
+            }
             match outcome {
                 Ok(Ok((mut report, level))) => {
                     report.rung = rung;
@@ -333,7 +362,10 @@ fn attempt_rung(
 }
 
 /// Translate the source database for one rung attempt, under the
-/// translation-stage fault point.
+/// translation-stage fault point. Runs in bounded batches; a planned
+/// translation crash kills the run at a batch boundary and is recovered
+/// by resuming from the checkpoint — the result is identical to an
+/// uncrashed translation.
 fn translate(
     fault: &crate::supervisor::fault::FaultPlan,
     restructuring: &Restructuring,
@@ -343,7 +375,9 @@ fn translate(
 ) -> PipelineResult<NetworkDb> {
     fault.trip(Stage::Translation, key, attempt)?;
     restructuring
-        .translate(source_db)
+        .translate_checkpointed(source_db, TRANSLATION_BATCH, &mut |b| {
+            fault.translation_crash(key, b)
+        })
         .map_err(|e| PipelineError::stage(Stage::Translation, e))
 }
 

@@ -152,11 +152,13 @@ pub struct StudyProfile {
     pub source_trace_misses: u64,
     /// Verification databases built from scratch.
     pub db_builds: u64,
-    /// Verification databases cloned from a per-cell base.
+    /// Verification databases cloned from a per-cell base. Always zero
+    /// since the undo journal: kept so the clone audit can assert the
+    /// deep-copy path stayed deleted.
     pub db_clones: u64,
     /// Verification runs executed directly on a shared base database —
-    /// possible when [`Program::mutates_database`] proves the run cannot
-    /// change the data, so no working copy is needed at all.
+    /// every run since the undo journal: updating programs run inside a
+    /// savepoint that is rolled back, so no working copy is ever needed.
     pub db_shared_runs: u64,
     /// Data translations performed.
     pub translations: u64,
@@ -507,12 +509,13 @@ fn run_cell(
     profile.convert_ns += started.elapsed().as_nanos() as u64;
 
     // Execution verification for successful conversions. In reuse mode the
-    // cell's source database and its translation are built once; update-free
-    // programs (the bulk of the corpus) run directly against those shared
-    // bases, updating ones get a clone as a working copy. The ground-truth
-    // trace of the original program — which does not depend on the
-    // restructuring — is memoized process-wide, so a program recurring
-    // across transform rows executes once instead of eight times.
+    // cell's source database and its translation are built once; every
+    // program — updating or not — runs directly against those shared bases
+    // inside a savepoint that is rolled back afterwards, so no working
+    // copies are cloned at all. The ground-truth trace of the original
+    // program — which does not depend on the restructuring — is memoized
+    // process-wide, so a program recurring across transform rows executes
+    // once instead of eight times.
     let started = Instant::now();
     let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
     let mut bases: Option<(NetworkDb, Option<NetworkDb>)> = None;
@@ -560,16 +563,14 @@ fn run_cell(
                 }
                 None => {
                     profile.source_trace_misses += 1;
-                    // Update-free programs run straight on the shared base;
-                    // only updating ones need a working copy.
-                    let run = if program.mutates_database() {
-                        profile.db_clones += 1;
-                        let mut src = src_base.clone();
-                        source_trace(&mut src, program, &inputs)
-                    } else {
-                        profile.db_shared_runs += 1;
-                        source_trace(src_base, program, &inputs)
-                    };
+                    // Every program — updating or not — runs straight on
+                    // the shared base inside a savepoint that is rolled
+                    // back afterwards; the undo journal replaced the
+                    // working-copy clone entirely.
+                    profile.db_shared_runs += 1;
+                    let sp = src_base.begin_savepoint();
+                    let run = source_trace(src_base, program, &inputs);
+                    src_base.rollback_to(sp);
                     run.map(|trace| {
                         let trace = Arc::new(trace);
                         lock_memo(&SOURCE_TRACES).insert(key, trace.clone());
@@ -579,15 +580,11 @@ fn run_cell(
             };
             profile.equivalence_runs += 1;
             original_trace.and_then(|trace| {
-                if converted.mutates_database() {
-                    profile.db_clones += 1;
-                    let mut tgt = tgt_base.clone();
-                    judge_equivalence(&trace, &mut tgt, converted, &inputs, &report.warnings)
-                } else {
-                    profile.db_shared_runs += 1;
-                    judge_equivalence(&trace, tgt_base, converted, &inputs, &report.warnings)
-                }
-                .map(|(level, _, _)| level)
+                profile.db_shared_runs += 1;
+                let sp = tgt_base.begin_savepoint();
+                let out = judge_equivalence(&trace, tgt_base, converted, &inputs, &report.warnings);
+                tgt_base.rollback_to(sp);
+                out.map(|(level, _, _)| level)
             })
         } else {
             let src = company_db(4, 3, 8);
@@ -631,7 +628,7 @@ fn run_cell_ladder(
 ) -> (Cell, StudyProfile) {
     let started = Instant::now();
     let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
-    let src_base = company_db(4, 3, 8);
+    let mut src_base = company_db(4, 3, 8);
     profile.db_builds += 1;
     let restructuring = t.restructuring();
     let ladder_cfg = LadderConfig::default();
@@ -653,7 +650,7 @@ fn run_cell_ladder(
                 &restructuring,
                 program,
                 key,
-                &src_base,
+                &mut src_base,
                 &inputs,
                 analyst,
             )
@@ -722,7 +719,7 @@ pub fn ladder_reports(config: &StudyConfig) -> Vec<ConversionReport> {
         let restructuring = t.restructuring();
         // NetworkDb keeps interior index caches (not Sync), so the small
         // verification base is built per work item rather than shared.
-        let src_base = company_db(4, 3, 8);
+        let mut src_base = company_db(4, 3, 8);
         let mut auto = AutoAnalyst;
         let mut perm = PermissiveAnalyst;
         let analyst: &mut dyn Analyst = if config.permissive {
@@ -737,7 +734,7 @@ pub fn ladder_reports(config: &StudyConfig) -> Vec<ConversionReport> {
             &restructuring,
             &program,
             program_fault_key(t, pc, k),
-            &src_base,
+            &mut src_base,
             &inputs,
             analyst,
         )
@@ -920,12 +917,14 @@ mod tests {
         assert_eq!(baseline.profile.analysis_cache_misses, 0);
         assert_eq!(baseline.profile.generation_cache_hits, 0);
         // Database reuse: the tuned run builds/translates at most once per
-        // cell, runs update-free programs on the shared bases, and clones
-        // only for updating ones; the baseline rebuilds and re-translates
-        // for every program.
+        // cell and runs every program — updating or not — on the shared
+        // bases under a rolled-back savepoint, so the deep-copy path stays
+        // deleted; the baseline rebuilds and re-translates for every
+        // program.
         assert!(tuned.profile.db_builds <= cells);
+        assert_eq!(tuned.profile.db_clones, 0);
         assert_eq!(
-            tuned.profile.db_clones + tuned.profile.db_shared_runs,
+            tuned.profile.db_shared_runs,
             tuned.profile.equivalence_runs + tuned.profile.source_trace_misses
         );
         assert!(tuned.profile.db_shared_runs > 0);
@@ -975,10 +974,10 @@ pub fn strategy_coverage(samples: usize, seed: u64) -> Vec<(TransformClass, Cove
 
     let schema = crate::named::company_schema();
     let supervisor = Supervisor::new();
-    // The corpus database is transform-independent: build it once and clone
-    // per program (ground-truth execution mutates its copy). Each
+    // The corpus database is transform-independent: build it once and run
+    // every ground truth in place under a rolled-back savepoint. Each
     // transform's translation is likewise computed once per row.
-    let src_base = company_db(4, 3, 8);
+    let mut src_base = company_db(4, 3, 8);
     let mut rows = Vec::new();
     for t in TransformClass::ALL {
         let restructuring = t.restructuring();
@@ -997,9 +996,11 @@ pub fn strategy_coverage(samples: usize, seed: u64) -> Vec<(TransformClass, Cove
                 let Some(tgt) = &tgt_base else {
                     continue;
                 };
-                let mut src = src_base.clone();
                 let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
-                let Ok(expected) = run_host(&mut src, &program, inputs.clone()) else {
+                let sp = src_base.begin_savepoint();
+                let expected = run_host(&mut src_base, &program, inputs.clone());
+                src_base.rollback_to(sp);
+                let Ok(expected) = expected else {
                     continue;
                 };
 

@@ -20,7 +20,7 @@ use dbpc_datamodel::network::NetworkSchema;
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_engine::host_exec::NetworkOps;
 use dbpc_restructure::{Restructuring, Transform};
-use dbpc_storage::{DbError, DbResult, NetworkDb, RecordId};
+use dbpc_storage::{DbError, DbResult, NetworkDb, RecordId, Savepoint};
 
 /// Per-transform call-mapping behavior.
 #[derive(Debug, Clone)]
@@ -651,6 +651,30 @@ impl NetworkOps for Emulator {
                 )),
                 _ => inner.disconnect(set, member),
             },
+        }
+    }
+
+    // Layers are stateless call mappings; atomicity lives in the base
+    // store, so savepoints pass straight through the stack.
+
+    fn begin_savepoint(&mut self) -> Savepoint {
+        match self {
+            Emulator::Base(db) => db.begin_savepoint(),
+            Emulator::Layer { inner, .. } => inner.begin_savepoint(),
+        }
+    }
+
+    fn rollback_to(&mut self, sp: Savepoint) {
+        match self {
+            Emulator::Base(db) => db.rollback_to(sp),
+            Emulator::Layer { inner, .. } => inner.rollback_to(sp),
+        }
+    }
+
+    fn commit_savepoint(&mut self, sp: Savepoint) {
+        match self {
+            Emulator::Base(db) => db.commit(sp),
+            Emulator::Layer { inner, .. } => inner.commit_savepoint(sp),
         }
     }
 }

@@ -42,11 +42,31 @@ pub struct DbtgMachine<'d> {
 
 /// Run a DBTG program against a network database; returns the trace,
 /// carrying the run's access-path counters.
+///
+/// The run is atomic: a typed error, fuel exhaustion, or a panic
+/// (re-raised after cleanup) rolls the database back to its pre-run state.
 pub fn run_dbtg(db: &mut NetworkDb, program: &DbtgProgram, inputs: Inputs) -> RunResult<Trace> {
     db.access_stats().reset();
-    let mut trace = DbtgMachine::new(db, inputs).run(program)?;
-    trace.access = db.access_stats().snapshot();
-    Ok(trace)
+    let sp = db.begin_savepoint();
+    let db_ref = &mut *db;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        DbtgMachine::new(db_ref, inputs).run(program)
+    }));
+    match outcome {
+        Ok(Ok(mut trace)) => {
+            db.commit(sp);
+            trace.access = db.access_stats().snapshot();
+            Ok(trace)
+        }
+        Ok(Err(e)) => {
+            db.rollback_to(sp);
+            Err(e)
+        }
+        Err(payload) => {
+            db.rollback_to(sp);
+            std::panic::resume_unwind(payload)
+        }
+    }
 }
 
 impl<'d> DbtgMachine<'d> {
@@ -293,7 +313,10 @@ impl<'d> DbtgMachine<'d> {
                     self.status = StatusCode::NoCurrency;
                     return Ok(());
                 };
-                let rt = self.db.schema().record(record).unwrap().clone();
+                let Some(rt) = self.db.schema().record(record).cloned() else {
+                    self.status = DbError::unknown("record", record).status();
+                    return Ok(());
+                };
                 let mut assigns: Vec<(String, Value)> = Vec::new();
                 for f in &rt.fields {
                     if f.is_virtual() {

@@ -20,8 +20,11 @@ use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_dml::expr::{BinOp, BoolExpr, Expr};
 use dbpc_dml::host::{FindExpr, FindSpec, ForSource, PathStart, Program, Stmt};
-use dbpc_storage::{AccessProfile, DbError, DbResult, NetworkDb, RecordId, SYSTEM_OWNER};
+use dbpc_storage::{
+    AccessProfile, DbError, DbResult, NetworkDb, RecordId, Savepoint, SYSTEM_OWNER,
+};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The owner-coupled-set DML surface the interpreter drives.
 ///
@@ -87,6 +90,22 @@ pub trait NetworkOps {
 
     /// Zero the layer's access-path counters before a run.
     fn reset_access_stats(&mut self) {}
+
+    // -- transaction hooks -------------------------------------------------
+    //
+    // Every program run executes inside a savepoint: the interpreter
+    // commits on completion and rolls back on a typed error, fuel
+    // exhaustion, or a panic unwinding through it. Layers must forward
+    // these to the underlying store so a failed run leaves the base
+    // bitwise-unchanged — the property the supervision ladder's retry
+    // budget depends on.
+
+    /// Open a savepoint on the underlying store.
+    fn begin_savepoint(&mut self) -> Savepoint;
+    /// Undo everything since `sp` (and close it).
+    fn rollback_to(&mut self, sp: Savepoint);
+    /// Keep everything since `sp` (and close it).
+    fn commit_savepoint(&mut self, sp: Savepoint);
 }
 
 impl NetworkOps for NetworkDb {
@@ -168,6 +187,18 @@ impl NetworkOps for NetworkDb {
     fn reset_access_stats(&mut self) {
         self.access_stats().reset();
     }
+
+    fn begin_savepoint(&mut self) -> Savepoint {
+        NetworkDb::begin_savepoint(self)
+    }
+
+    fn rollback_to(&mut self, sp: Savepoint) {
+        NetworkDb::rollback_to(self, sp);
+    }
+
+    fn commit_savepoint(&mut self, sp: Savepoint) {
+        NetworkDb::commit(self, sp);
+    }
 }
 
 /// A runtime value: a scalar or a record collection. `FOR EACH` loop
@@ -206,11 +237,12 @@ pub struct HostInterpreter<'d, D: NetworkOps> {
 
 /// Run `program` against `db` with scripted `inputs`; returns the trace,
 /// carrying the ops layer's access-path counters when it keeps any.
+///
+/// The run is atomic: it executes inside a savepoint that commits only
+/// when the program completes. A typed error, fuel exhaustion, or a panic
+/// (re-raised after cleanup) rolls the store back to its pre-run state.
 pub fn run_host<D: NetworkOps>(db: &mut D, program: &Program, inputs: Inputs) -> RunResult<Trace> {
-    db.reset_access_stats();
-    let mut trace = HostInterpreter::new(db, inputs).run(program)?;
-    trace.access = db.access_profile().unwrap_or_default();
-    Ok(trace)
+    run_host_guarded(db, program, inputs, None)
 }
 
 /// Default interpreter fuel for supervised verification runs: generous for
@@ -220,19 +252,48 @@ pub const DEFAULT_VERIFY_FUEL: usize = 250_000;
 
 /// Like [`run_host`] but with an explicit fuel (statement budget).
 /// Exceeding it returns [`RunError::StepLimit`](crate::error::RunError) —
-/// the supervision layer's guard against a looping generated program.
+/// the supervision layer's guard against a looping generated program —
+/// after rolling back whatever the partial run had already mutated.
 pub fn run_host_with_fuel<D: NetworkOps>(
     db: &mut D,
     program: &Program,
     inputs: Inputs,
     fuel: usize,
 ) -> RunResult<Trace> {
+    run_host_guarded(db, program, inputs, Some(fuel))
+}
+
+fn run_host_guarded<D: NetworkOps>(
+    db: &mut D,
+    program: &Program,
+    inputs: Inputs,
+    fuel: Option<usize>,
+) -> RunResult<Trace> {
     db.reset_access_stats();
-    let mut trace = HostInterpreter::new(db, inputs)
-        .with_step_limit(fuel)
-        .run(program)?;
-    trace.access = db.access_profile().unwrap_or_default();
-    Ok(trace)
+    let sp = db.begin_savepoint();
+    let db_ref = &mut *db;
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut interp = HostInterpreter::new(db_ref, inputs);
+        if let Some(f) = fuel {
+            interp = interp.with_step_limit(f);
+        }
+        interp.run(program)
+    }));
+    match outcome {
+        Ok(Ok(mut trace)) => {
+            db.commit_savepoint(sp);
+            trace.access = db.access_profile().unwrap_or_default();
+            Ok(trace)
+        }
+        Ok(Err(e)) => {
+            db.rollback_to(sp);
+            Err(e)
+        }
+        Err(payload) => {
+            db.rollback_to(sp);
+            resume_unwind(payload)
+        }
+    }
 }
 
 impl<'d, D: NetworkOps> HostInterpreter<'d, D> {

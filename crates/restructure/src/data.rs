@@ -28,78 +28,368 @@ use dbpc_storage::keys::KeyTuple;
 use dbpc_storage::{DbError, DbResult, NetworkDb, RecordId, SYSTEM_OWNER};
 use std::collections::BTreeMap;
 
+/// Default batch size for checkpointed translation: small enough that a
+/// simulated crash loses bounded work, large enough that checkpoint
+/// bookkeeping is noise against per-record store cost.
+pub const TRANSLATION_BATCH: usize = 32;
+
+/// A resumable position inside a translation, captured at a batch
+/// boundary. Holds the partially-built output plus the cursors needed to
+/// continue: which phase of the rebuild plan was running, how far into
+/// its record list it got, and a fingerprint of the *source* database so
+/// a checkpoint cannot be resumed against different data.
+pub struct TranslationCheckpoint {
+    source_fingerprint: u64,
+    phase: usize,
+    offset: usize,
+    batches_done: usize,
+    out: NetworkDb,
+    idmap: BTreeMap<RecordId, RecordId>,
+    group_map: BTreeMap<(RecordId, KeyTuple), RecordId>,
+}
+
+impl TranslationCheckpoint {
+    /// How many full batches completed before the crash.
+    pub fn batches_done(&self) -> usize {
+        self.batches_done
+    }
+
+    /// The rebuild-plan cursor: (phase index, offset within the phase).
+    pub fn position(&self) -> (usize, usize) {
+        (self.phase, self.offset)
+    }
+}
+
+/// Outcome of a batched translation: either the finished database or a
+/// checkpoint captured at the batch boundary where the crash plan fired.
+pub enum BatchedOutcome {
+    Complete(NetworkDb),
+    Crashed(TranslationCheckpoint),
+}
+
 /// Translate `db` across `transform`, producing the restructured database.
 pub fn translate(db: &NetworkDb, transform: &Transform) -> DbResult<NetworkDb> {
+    match translate_batched(db, transform, usize::MAX, &mut |_| false)? {
+        BatchedOutcome::Complete(out) => Ok(out),
+        BatchedOutcome::Crashed(_) => Err(DbError::constraint(
+            "translation crashed without a crash plan",
+        )),
+    }
+}
+
+/// Translate in bounded batches, consulting `crash` at every batch
+/// boundary (with the zero-based batch index). When `crash` returns true
+/// the run stops *as a crash would*: the partial output and cursors come
+/// back as a [`TranslationCheckpoint`] for [`resume_translation`].
+///
+/// With a `crash` that never fires this is exactly [`translate`] — both
+/// run the same phase plan, so a crashed-and-resumed translation is
+/// byte-identical to a one-shot one, including the work counted by
+/// [`crate::stats`] (per-type preparation is re-derived but only
+/// *counted* when a phase is entered at offset zero).
+pub fn translate_batched(
+    db: &NetworkDb,
+    transform: &Transform,
+    batch: usize,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<BatchedOutcome> {
     let target_schema = transform
         .apply_schema(db.schema())
         .map_err(|e| DbError::constraint(e.to_string()))?;
+    let phases = plan_phases(db.schema(), transform)?;
+    let out = match transform {
+        // Schema unchanged: the §5.2 information-losing subset starts from
+        // a clone and erases, rather than rebuilding.
+        Transform::DeleteWhere { .. } => db.clone(),
+        _ => NetworkDb::new(target_schema.clone())?,
+    };
+    crate::stats::count_schema_clone();
+    let mut st = RunState {
+        out,
+        idmap: BTreeMap::new(),
+        group_map: BTreeMap::new(),
+        batch: batch.max(1),
+        in_batch: 0,
+        batches_done: 0,
+    };
+    match run_phases(db, transform, &target_schema, &phases, 0, 0, &mut st, crash)? {
+        None => Ok(BatchedOutcome::Complete(st.out)),
+        Some((phase, offset)) => Ok(BatchedOutcome::Crashed(TranslationCheckpoint {
+            source_fingerprint: db.fingerprint(),
+            phase,
+            offset,
+            batches_done: st.batches_done,
+            out: st.out,
+            idmap: st.idmap,
+            group_map: st.group_map,
+        })),
+    }
+}
+
+/// Continue a crashed translation from its checkpoint, running to
+/// completion. The result is byte-identical to the uncrashed translation.
+/// Fails if `db` is not the database the checkpoint was captured against.
+pub fn resume_translation(
+    db: &NetworkDb,
+    transform: &Transform,
+    ckpt: TranslationCheckpoint,
+) -> DbResult<NetworkDb> {
+    if ckpt.source_fingerprint != db.fingerprint() {
+        return Err(DbError::constraint(
+            "translation checkpoint does not match the source database",
+        ));
+    }
+    let target_schema = transform
+        .apply_schema(db.schema())
+        .map_err(|e| DbError::constraint(e.to_string()))?;
+    let phases = plan_phases(db.schema(), transform)?;
+    let mut st = RunState {
+        out: ckpt.out,
+        idmap: ckpt.idmap,
+        group_map: ckpt.group_map,
+        batch: usize::MAX,
+        in_batch: 0,
+        batches_done: ckpt.batches_done,
+    };
+    match run_phases(
+        db,
+        transform,
+        &target_schema,
+        &phases,
+        ckpt.phase,
+        ckpt.offset,
+        &mut st,
+        &mut |_| false,
+    )? {
+        None => Ok(st.out),
+        Some(_) => Err(DbError::constraint("resumed translation crashed again")),
+    }
+}
+
+/// One step of the rebuild plan. Every phase iterates a record list that
+/// is derived from the (immutable) *source* database, so a (phase,
+/// offset) cursor identifies the same position before and after a crash.
+#[derive(Clone)]
+enum Phase {
+    /// Generic rebuild of one record type with name/field mapping.
+    CopyMapped { rtype: String },
+    /// Plain copy of one record type (promote/demote's unaffected types),
+    /// optionally skipping membership in the set being split.
+    CopyPlain {
+        rtype: String,
+        skip_set: Option<String>,
+    },
+    /// Promote step 2: one new-record occurrence per distinct promoted
+    /// value per owner.
+    PromoteGroups,
+    /// Promote step 3: the split set's members, re-homed under groups.
+    PromoteMembers,
+    /// Demote: members regain the demoted field, re-homed to grand-owners.
+    DemoteMembers,
+    /// DeleteWhere: cascade-erase matching occurrences from the clone.
+    Erase,
+}
+
+fn plan_phases(schema: &NetworkSchema, transform: &Transform) -> DbResult<Vec<Phase>> {
     match transform {
-        Transform::DeleteWhere {
-            record,
-            field,
-            op,
-            value,
+        Transform::DeleteWhere { .. } => Ok(vec![Phase::Erase]),
+        Transform::PromoteFieldToOwner {
+            record, via_set, ..
         } => {
-            // Schema unchanged: clone and erase matching occurrences
-            // (cascading), the §5.2 information-losing subset.
-            let mut out = db.clone();
-            crate::stats::count_schema_clone();
-            let doomed: Vec<RecordId> = out
-                .records_of_type(record)
+            let mut phases: Vec<Phase> = topo_order(schema)?
                 .into_iter()
-                .filter(|&id| {
-                    out.field_value(id, field)
-                        .map(|v| op.eval(&v, value))
-                        .unwrap_or(false)
+                .filter(|r| r != record)
+                .map(|rtype| Phase::CopyPlain {
+                    rtype,
+                    skip_set: Some(via_set.clone()),
                 })
                 .collect();
-            for id in doomed {
-                // May already be gone through a cascade.
-                match out.erase(id, true) {
-                    Ok(_) | Err(DbError::NotFound(_)) => {}
-                    Err(e) => return Err(e),
+            phases.push(Phase::PromoteGroups);
+            phases.push(Phase::PromoteMembers);
+            Ok(phases)
+        }
+        Transform::DemoteOwnerToField {
+            mid_record, record, ..
+        } => {
+            let mut phases: Vec<Phase> = topo_order(schema)?
+                .into_iter()
+                .filter(|r| r != mid_record && r != record)
+                .map(|rtype| Phase::CopyPlain {
+                    rtype,
+                    skip_set: None,
+                })
+                .collect();
+            phases.push(Phase::DemoteMembers);
+            Ok(phases)
+        }
+        _ => Ok(topo_order(schema)?
+            .into_iter()
+            .map(|rtype| Phase::CopyMapped { rtype })
+            .collect()),
+    }
+}
+
+/// Mutable translation state threaded through the phases; exactly what a
+/// checkpoint must capture.
+struct RunState {
+    out: NetworkDb,
+    idmap: BTreeMap<RecordId, RecordId>,
+    group_map: BTreeMap<(RecordId, KeyTuple), RecordId>,
+    batch: usize,
+    in_batch: usize,
+    batches_done: usize,
+}
+
+impl RunState {
+    /// Count one unit of work; at a batch boundary, ask the crash plan
+    /// whether to die here.
+    fn tick(&mut self, crash: &mut dyn FnMut(usize) -> bool) -> bool {
+        self.in_batch += 1;
+        if self.in_batch >= self.batch {
+            self.in_batch = 0;
+            let b = self.batches_done;
+            self.batches_done += 1;
+            return crash(b);
+        }
+        false
+    }
+}
+
+/// Execute the plan from (start_phase, start_offset). Returns the crash
+/// cursor, or `None` on completion.
+#[allow(clippy::too_many_arguments)]
+fn run_phases(
+    db: &NetworkDb,
+    transform: &Transform,
+    target_schema: &NetworkSchema,
+    phases: &[Phase],
+    start_phase: usize,
+    start_offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<(usize, usize)>> {
+    for (p, phase) in phases.iter().enumerate().skip(start_phase) {
+        let offset = if p == start_phase { start_offset } else { 0 };
+        let crashed_at = match phase {
+            Phase::CopyMapped { rtype } => {
+                phase_copy_mapped(db, transform, target_schema, rtype, offset, st, crash)?
+            }
+            Phase::CopyPlain { rtype, skip_set } => {
+                phase_copy_plain(db, rtype, skip_set.as_deref(), offset, st, crash)?
+            }
+            Phase::PromoteGroups => phase_promote_groups(db, transform, offset, st, crash)?,
+            Phase::PromoteMembers => phase_promote_members(db, transform, offset, st, crash)?,
+            Phase::DemoteMembers => phase_demote_members(db, transform, offset, st, crash)?,
+            Phase::Erase => phase_erase(db, transform, offset, st, crash)?,
+        };
+        if let Some(off) = crashed_at {
+            return Ok(Some((p, off)));
+        }
+    }
+    Ok(None)
+}
+
+fn phase_copy_mapped(
+    db: &NetworkDb,
+    transform: &Transform,
+    target_schema: &NetworkSchema,
+    old_type: &str,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let mut map = NameMap::identity();
+    if let Transform::RenameRecord { old, new } = transform {
+        map.record.insert(old.clone(), new.clone());
+    }
+    if let Transform::RenameSet { old, new } = transform {
+        map.set.insert(old.clone(), new.clone());
+    }
+    let new_type = map.record(old_type);
+    let old_rt = db
+        .schema()
+        .record(old_type)
+        .ok_or_else(|| DbError::unknown("record", old_type))?;
+    let new_rt = target_schema
+        .record(new_type)
+        .ok_or_else(|| DbError::unknown("record", new_type))?;
+    if offset == 0 {
+        crate::stats::count_type_prep();
+    }
+    // Field plan: which old field index (or transform default) supplies
+    // each stored target field — per type, so the per-record loop below
+    // only clones values.
+    let mut field_plan: Vec<(&str, FieldSrc)> = Vec::with_capacity(new_rt.fields.len());
+    for nf in &new_rt.fields {
+        if nf.is_virtual() {
+            continue;
+        }
+        match transform {
+            Transform::RenameField { record, old, new }
+                if record == old_type && *new == nf.name =>
+            {
+                if let Some(idx) = old_rt.field_index(old) {
+                    if !old_rt.fields[idx].is_virtual() {
+                        field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
+                    }
                 }
             }
-            Ok(out)
+            Transform::AddField {
+                record,
+                field,
+                default,
+                ..
+            } if record == old_type && *field == nf.name => {
+                field_plan.push((nf.name.as_str(), FieldSrc::Default(default)));
+            }
+            _ => {
+                if let Some(idx) = old_rt.field_index(&nf.name) {
+                    if !old_rt.fields[idx].is_virtual() {
+                        field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
+                    }
+                }
+            }
         }
-        Transform::PromoteFieldToOwner {
-            record,
-            field,
-            via_set,
-            new_record,
-            upper_set,
-            lower_set,
-        } => translate_promote(
-            db,
-            target_schema,
-            record,
-            field,
-            via_set,
-            new_record,
-            upper_set,
-            lower_set,
-        ),
-        Transform::DemoteOwnerToField {
-            mid_record,
-            field,
-            upper_set,
-            lower_set,
-            record,
-            merged_set,
-        } => translate_demote(
-            db,
-            target_schema,
-            mid_record,
-            field,
-            upper_set,
-            lower_set,
-            record,
-            merged_set,
-        ),
-        // Structure-preserving transforms share the generic rebuild with a
-        // per-record mapping.
-        other => translate_generic(db, target_schema, other),
     }
+    // Set plan: record-owned target sets the type belongs to, paired
+    // with the source set supplying the membership.
+    let set_plan: Vec<(&str, &str)> = target_schema
+        .sets_with_member(new_type)
+        .into_iter()
+        .filter(|ns| !ns.is_system())
+        .map(|ns| (ns.name.as_str(), map.set_rev(&ns.name)))
+        .collect();
+
+    let items = db.records_of_type(old_type);
+    for (i, &old_id) in items.iter().enumerate().skip(offset) {
+        let old_rec = db.get(old_id)?;
+        let values: Vec<(&str, Value)> = field_plan
+            .iter()
+            .map(|(name, src)| {
+                let v = match src {
+                    FieldSrc::Old(idx) => old_rec.values[*idx].clone(),
+                    FieldSrc::Default(d) => (*d).clone(),
+                };
+                (*name, v)
+            })
+            .collect();
+        let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(set_plan.len());
+        for (new_set, old_set) in &set_plan {
+            if let Some(old_owner) = db.owner_in(old_set, old_id)? {
+                if old_owner != SYSTEM_OWNER {
+                    let new_owner = translated_owner(&st.idmap, old_set, old_owner)?;
+                    connects.push((*new_set, new_owner));
+                }
+            }
+        }
+        let new_id = st.out.store(new_type, &values, &connects)?;
+        crate::stats::count_record_stored();
+        st.idmap.insert(old_id, new_id);
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
+    }
+    Ok(None)
 }
 
 /// Record types ordered so that set owners precede their members.
@@ -167,123 +457,92 @@ enum FieldSrc<'a> {
     Default(&'a Value),
 }
 
-fn translate_generic(
-    db: &NetworkDb,
-    target_schema: NetworkSchema,
-    transform: &Transform,
-) -> DbResult<NetworkDb> {
-    let mut map = NameMap::identity();
-    if let Transform::RenameRecord { old, new } = transform {
-        map.record.insert(old.clone(), new.clone());
-    }
-    if let Transform::RenameSet { old, new } = transform {
-        map.set.insert(old.clone(), new.clone());
-    }
-
-    let mut out = NetworkDb::new(target_schema.clone())?;
-    crate::stats::count_schema_clone();
-    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
-    let order = topo_order(db.schema())?;
-
-    for old_type in &order {
-        let new_type = map.record(old_type);
-        let old_rt = db.schema().record(old_type).unwrap();
-        let new_rt = target_schema
-            .record(new_type)
-            .ok_or_else(|| DbError::unknown("record", new_type))?;
-        crate::stats::count_type_prep();
-        // Field plan: which old field index (or transform default) supplies
-        // each stored target field — per type, so the per-record loop below
-        // only clones values.
-        let mut field_plan: Vec<(&str, FieldSrc)> = Vec::with_capacity(new_rt.fields.len());
-        for nf in &new_rt.fields {
-            if nf.is_virtual() {
-                continue;
-            }
-            match transform {
-                Transform::RenameField { record, old, new }
-                    if record == old_type && *new == nf.name =>
-                {
-                    if let Some(idx) = old_rt.field_index(old) {
-                        if !old_rt.fields[idx].is_virtual() {
-                            field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
-                        }
-                    }
-                }
-                Transform::AddField {
-                    record,
-                    field,
-                    default,
-                    ..
-                } if record == old_type && *field == nf.name => {
-                    field_plan.push((nf.name.as_str(), FieldSrc::Default(default)));
-                }
-                _ => {
-                    if let Some(idx) = old_rt.field_index(&nf.name) {
-                        if !old_rt.fields[idx].is_virtual() {
-                            field_plan.push((nf.name.as_str(), FieldSrc::Old(idx)));
-                        }
-                    }
-                }
-            }
-        }
-        // Set plan: record-owned target sets the type belongs to, paired
-        // with the source set supplying the membership.
-        let set_plan: Vec<(&str, &str)> = target_schema
-            .sets_with_member(new_type)
-            .into_iter()
-            .filter(|ns| !ns.is_system())
-            .map(|ns| (ns.name.as_str(), map.set_rev(&ns.name)))
-            .collect();
-
-        for old_id in db.records_of_type(old_type) {
-            let old_rec = db.get(old_id)?;
-            let values: Vec<(&str, Value)> = field_plan
-                .iter()
-                .map(|(name, src)| {
-                    let v = match src {
-                        FieldSrc::Old(idx) => old_rec.values[*idx].clone(),
-                        FieldSrc::Default(d) => (*d).clone(),
-                    };
-                    (*name, v)
-                })
-                .collect();
-            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(set_plan.len());
-            for (new_set, old_set) in &set_plan {
-                if let Some(old_owner) = db.owner_in(old_set, old_id)? {
-                    if old_owner != SYSTEM_OWNER {
-                        let new_owner = idmap.get(&old_owner).ok_or_else(|| {
-                            DbError::constraint(format!(
-                                "owner #{} of set {old_set} not yet translated",
-                                old_owner.0
-                            ))
-                        })?;
-                        connects.push((*new_set, *new_owner));
-                    }
-                }
-            }
-            let new_id = out.store(new_type, &values, &connects)?;
-            crate::stats::count_record_stored();
-            idmap.insert(old_id, new_id);
-        }
-    }
-    Ok(out)
+/// Look up the already-translated id of `old_owner` (owners precede
+/// members in every phase plan).
+fn translated_owner(
+    idmap: &BTreeMap<RecordId, RecordId>,
+    set: &str,
+    old_owner: RecordId,
+) -> DbResult<RecordId> {
+    idmap.get(&old_owner).copied().ok_or_else(|| {
+        DbError::constraint(format!(
+            "owner #{} of set {set} not yet translated",
+            old_owner.0
+        ))
+    })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn translate_promote(
+fn phase_copy_plain(
     db: &NetworkDb,
-    target_schema: NetworkSchema,
-    record: &str,
-    field: &str,
-    via_set: &str,
-    new_record: &str,
-    upper_set: &str,
-    lower_set: &str,
-) -> DbResult<NetworkDb> {
-    let mut out = NetworkDb::new(target_schema.clone())?;
-    crate::stats::count_schema_clone();
-    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
+    rtype: &str,
+    skip_set: Option<&str>,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let rt = db
+        .schema()
+        .record(rtype)
+        .ok_or_else(|| DbError::unknown("record", rtype))?;
+    if offset == 0 {
+        crate::stats::count_type_prep();
+    }
+    let stored_fields: Vec<(usize, &str)> = rt
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_virtual())
+        .map(|(i, f)| (i, f.name.as_str()))
+        .collect();
+    let member_sets: Vec<&str> = db
+        .schema()
+        .sets_with_member(rtype)
+        .into_iter()
+        .filter(|s| !s.is_system() && Some(s.name.as_str()) != skip_set)
+        .map(|s| s.name.as_str())
+        .collect();
+    let items = db.records_of_type(rtype);
+    for (i, &old_id) in items.iter().enumerate().skip(offset) {
+        let old_rec = db.get(old_id)?;
+        let values: Vec<(&str, Value)> = stored_fields
+            .iter()
+            .map(|(i, name)| (*name, old_rec.values[*i].clone()))
+            .collect();
+        let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(member_sets.len());
+        for s in &member_sets {
+            if let Some(owner) = db.owner_in(s, old_id)? {
+                if owner != SYSTEM_OWNER {
+                    connects.push((*s, translated_owner(&st.idmap, s, owner)?));
+                }
+            }
+        }
+        let new_id = st.out.store(rtype, &values, &connects)?;
+        crate::stats::count_record_stored();
+        st.idmap.insert(old_id, new_id);
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
+    }
+    Ok(None)
+}
+
+fn phase_promote_groups(
+    db: &NetworkDb,
+    transform: &Transform,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let Transform::PromoteFieldToOwner {
+        field,
+        via_set,
+        new_record,
+        upper_set,
+        ..
+    } = transform
+    else {
+        return Err(DbError::constraint("group phase outside a promote"));
+    };
     // Owner of the split set in the source schema.
     let via_owner_type = db
         .schema()
@@ -291,81 +550,77 @@ fn translate_promote(
         .and_then(|s| s.owner.record_name())
         .ok_or_else(|| DbError::unknown("set", via_set))?
         .to_string();
-
-    // 1. Copy every record type except the member of the split set, in
-    //    topological order (the new record type is synthesized in step 2).
-    let order = topo_order(db.schema())?;
-    for rtype in order.iter().filter(|r| *r != record) {
-        let rt = db.schema().record(rtype).unwrap();
-        crate::stats::count_type_prep();
-        let stored_fields: Vec<(usize, &str)> = rt
-            .fields
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.is_virtual())
-            .map(|(i, f)| (i, f.name.as_str()))
-            .collect();
-        let member_sets: Vec<&str> = db
-            .schema()
-            .sets_with_member(rtype)
-            .into_iter()
-            .filter(|s| !s.is_system() && s.name != via_set)
-            .map(|s| s.name.as_str())
-            .collect();
-        for old_id in db.records_of_type(rtype) {
-            let old_rec = db.get(old_id)?;
-            let values: Vec<(&str, Value)> = stored_fields
-                .iter()
-                .map(|(i, name)| (*name, old_rec.values[*i].clone()))
-                .collect();
-            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(member_sets.len());
-            for s in &member_sets {
-                if let Some(owner) = db.owner_in(s, old_id)? {
-                    if owner != SYSTEM_OWNER {
-                        connects.push((*s, idmap[&owner]));
-                    }
-                }
-            }
-            let new_id = out.store(rtype, &values, &connects)?;
-            crate::stats::count_record_stored();
-            idmap.insert(old_id, new_id);
-        }
-    }
-
-    // 2. For each owner occurrence, create one new-record occurrence per
-    //    distinct promoted-field value among its members.
-    let mut group_map: BTreeMap<(RecordId, KeyTuple), RecordId> = BTreeMap::new();
+    // For each owner occurrence, one new-record occurrence per distinct
+    // promoted-field value among its members. The work list is the
+    // (owner, member) pairs, flattened in set order — derived from the
+    // immutable source, so the offset survives a crash.
+    let mut pairs: Vec<(RecordId, RecordId)> = Vec::new();
     for owner in db.records_of_type(&via_owner_type) {
         for member in db.members_of(via_set, owner)? {
-            let v = db.field_value(member, field)?;
-            let key = (owner, KeyTuple(vec![v.clone()]));
-            if let std::collections::btree_map::Entry::Vacant(slot) = group_map.entry(key) {
-                let new_id = out.store(new_record, &[(field, v)], &[(upper_set, idmap[&owner])])?;
-                crate::stats::count_record_stored();
-                slot.insert(new_id);
-            }
+            pairs.push((owner, member));
         }
     }
+    for (i, &(owner, member)) in pairs.iter().enumerate().skip(offset) {
+        let v = db.field_value(member, field)?;
+        let key = (owner, KeyTuple(vec![v.clone()]));
+        if let std::collections::btree_map::Entry::Vacant(slot) = st.group_map.entry(key) {
+            let new_owner = translated_owner(&st.idmap, via_set, owner)?;
+            let new_id = st
+                .out
+                .store(new_record, &[(field, v)], &[(upper_set, new_owner)])?;
+            crate::stats::count_record_stored();
+            slot.insert(new_id);
+        }
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
+    }
+    Ok(None)
+}
 
-    // 3. Copy the member records, re-homed under their group records.
-    let rt = db.schema().record(record).unwrap();
-    crate::stats::count_type_prep();
-    let promoted_idx = rt.field_index(field).unwrap();
+fn phase_promote_members(
+    db: &NetworkDb,
+    transform: &Transform,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let Transform::PromoteFieldToOwner {
+        record,
+        field,
+        via_set,
+        lower_set,
+        ..
+    } = transform
+    else {
+        return Err(DbError::constraint("member phase outside a promote"));
+    };
+    let rt = db
+        .schema()
+        .record(record)
+        .ok_or_else(|| DbError::unknown("record", record))?;
+    if offset == 0 {
+        crate::stats::count_type_prep();
+    }
+    let promoted_idx = rt
+        .field_index(field)
+        .ok_or_else(|| DbError::unknown("field", field))?;
     let stored_fields: Vec<(usize, &str)> = rt
         .fields
         .iter()
         .enumerate()
-        .filter(|(_, f)| !f.is_virtual() && f.name != field)
+        .filter(|(_, f)| !f.is_virtual() && f.name != *field)
         .map(|(i, f)| (i, f.name.as_str()))
         .collect();
     let other_sets: Vec<&str> = db
         .schema()
         .sets_with_member(record)
         .into_iter()
-        .filter(|s| !s.is_system() && s.name != via_set)
+        .filter(|s| !s.is_system() && s.name != *via_set)
         .map(|s| s.name.as_str())
         .collect();
-    for old_id in db.records_of_type(record) {
+    let items = db.records_of_type(record);
+    for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let values: Vec<(&str, Value)> = stored_fields
             .iter()
@@ -375,7 +630,11 @@ fn translate_promote(
         match db.owner_in(via_set, old_id)? {
             Some(owner) => {
                 let v = db.field_value(old_id, field)?;
-                let group = group_map[&(owner, KeyTuple(vec![v]))];
+                let group = st
+                    .group_map
+                    .get(&(owner, KeyTuple(vec![v])))
+                    .copied()
+                    .ok_or_else(|| DbError::constraint("promoted group not materialized"))?;
                 connects.push((lower_set, group));
             }
             None => {
@@ -393,31 +652,38 @@ fn translate_promote(
         for s in &other_sets {
             if let Some(owner) = db.owner_in(s, old_id)? {
                 if owner != SYSTEM_OWNER {
-                    connects.push((*s, idmap[&owner]));
+                    connects.push((*s, translated_owner(&st.idmap, s, owner)?));
                 }
             }
         }
-        let new_id = out.store(record, &values, &connects)?;
+        let new_id = st.out.store(record, &values, &connects)?;
         crate::stats::count_record_stored();
-        idmap.insert(old_id, new_id);
+        st.idmap.insert(old_id, new_id);
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
     }
-    Ok(out)
+    Ok(None)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn translate_demote(
+fn phase_demote_members(
     db: &NetworkDb,
-    target_schema: NetworkSchema,
-    mid_record: &str,
-    field: &str,
-    _upper_set: &str,
-    lower_set: &str,
-    record: &str,
-    merged_set: &str,
-) -> DbResult<NetworkDb> {
-    let mut out = NetworkDb::new(target_schema.clone())?;
-    crate::stats::count_schema_clone();
-    let mut idmap: BTreeMap<RecordId, RecordId> = BTreeMap::new();
+    transform: &Transform,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let Transform::DemoteOwnerToField {
+        mid_record,
+        field,
+        lower_set,
+        record,
+        merged_set,
+        ..
+    } = transform
+    else {
+        return Err(DbError::constraint("demote phase outside a demote"));
+    };
     let upper_set_name = db
         .schema()
         .sets_with_member(mid_record)
@@ -425,49 +691,15 @@ fn translate_demote(
         .map(|s| s.name.clone())
         .next()
         .ok_or_else(|| DbError::unknown("set", "upper set"))?;
-
-    let order = topo_order(db.schema())?;
-    for rtype in order.iter().filter(|r| *r != mid_record && *r != record) {
-        let rt = db.schema().record(rtype).unwrap();
-        crate::stats::count_type_prep();
-        let stored_fields: Vec<(usize, &str)> = rt
-            .fields
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.is_virtual())
-            .map(|(i, f)| (i, f.name.as_str()))
-            .collect();
-        let member_sets: Vec<&str> = db
-            .schema()
-            .sets_with_member(rtype)
-            .into_iter()
-            .filter(|s| !s.is_system())
-            .map(|s| s.name.as_str())
-            .collect();
-        for old_id in db.records_of_type(rtype) {
-            let old_rec = db.get(old_id)?;
-            let values: Vec<(&str, Value)> = stored_fields
-                .iter()
-                .map(|(i, name)| (*name, old_rec.values[*i].clone()))
-                .collect();
-            let mut connects: Vec<(&str, RecordId)> = Vec::with_capacity(member_sets.len());
-            for s in &member_sets {
-                if let Some(owner) = db.owner_in(s, old_id)? {
-                    if owner != SYSTEM_OWNER {
-                        connects.push((*s, idmap[&owner]));
-                    }
-                }
-            }
-            let new_id = out.store(rtype, &values, &connects)?;
-            crate::stats::count_record_stored();
-            idmap.insert(old_id, new_id);
-        }
-    }
-
     // Member records regain the demoted field; membership re-homes to the
     // grand-owner via the merged set.
-    let rt = db.schema().record(record).unwrap();
-    crate::stats::count_type_prep();
+    let rt = db
+        .schema()
+        .record(record)
+        .ok_or_else(|| DbError::unknown("record", record))?;
+    if offset == 0 {
+        crate::stats::count_type_prep();
+    }
     let stored_fields: Vec<(usize, &str)> = rt
         .fields
         .iter()
@@ -479,10 +711,11 @@ fn translate_demote(
         .schema()
         .sets_with_member(record)
         .into_iter()
-        .filter(|s| !s.is_system() && s.name != lower_set)
+        .filter(|s| !s.is_system() && s.name != *lower_set)
         .map(|s| s.name.as_str())
         .collect();
-    for old_id in db.records_of_type(record) {
+    let items = db.records_of_type(record);
+    for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let mut values: Vec<(&str, Value)> = stored_fields
             .iter()
@@ -494,7 +727,8 @@ fn translate_demote(
                 values.push((field, db.field_value(mid, field)?));
                 if let Some(grand) = db.owner_in(&upper_set_name, mid)? {
                     if grand != SYSTEM_OWNER {
-                        connects.push((merged_set, idmap[&grand]));
+                        connects
+                            .push((merged_set, translated_owner(&st.idmap, merged_set, grand)?));
                     }
                 }
             }
@@ -505,15 +739,59 @@ fn translate_demote(
         for s in &other_sets {
             if let Some(owner) = db.owner_in(s, old_id)? {
                 if owner != SYSTEM_OWNER {
-                    connects.push((*s, idmap[&owner]));
+                    connects.push((*s, translated_owner(&st.idmap, s, owner)?));
                 }
             }
         }
-        let new_id = out.store(record, &values, &connects)?;
+        let new_id = st.out.store(record, &values, &connects)?;
         crate::stats::count_record_stored();
-        idmap.insert(old_id, new_id);
+        st.idmap.insert(old_id, new_id);
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
     }
-    Ok(out)
+    Ok(None)
+}
+
+fn phase_erase(
+    db: &NetworkDb,
+    transform: &Transform,
+    offset: usize,
+    st: &mut RunState,
+    crash: &mut dyn FnMut(usize) -> bool,
+) -> DbResult<Option<usize>> {
+    let Transform::DeleteWhere {
+        record,
+        field,
+        op,
+        value,
+    } = transform
+    else {
+        return Err(DbError::constraint("erase phase outside a delete-where"));
+    };
+    // The doomed list is derived from the *source* database (which the
+    // output starts as a clone of), so it is identical before and after
+    // a crash even though the output clone is partially erased.
+    let doomed: Vec<RecordId> = db
+        .records_of_type(record)
+        .into_iter()
+        .filter(|&id| {
+            db.field_value(id, field)
+                .map(|v| op.eval(&v, value))
+                .unwrap_or(false)
+        })
+        .collect();
+    for (i, &id) in doomed.iter().enumerate().skip(offset) {
+        // May already be gone through a cascade.
+        match st.out.erase(id, true) {
+            Ok(_) | Err(DbError::NotFound(_)) => {}
+            Err(e) => return Err(e),
+        }
+        if st.tick(crash) {
+            return Ok(Some(i + 1));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -801,6 +1079,72 @@ mod tests {
             .unwrap();
         }
         db
+    }
+
+    /// Crash at every batch boundary of a promote; each resumed run must
+    /// equal the one-shot translation bit for bit, stats included.
+    #[test]
+    fn crash_and_resume_matches_one_shot_at_every_boundary() {
+        let src = company_db();
+        let t = fig_4_4();
+        let before = crate::stats::snapshot();
+        let oneshot = translate(&src, &t).unwrap();
+        let oneshot_work = crate::stats::snapshot().since(&before);
+        let mut k = 0usize;
+        loop {
+            let mut fired = false;
+            let outcome = translate_batched(&src, &t, 2, &mut |b| {
+                if b == k {
+                    fired = true;
+                }
+                b == k
+            })
+            .unwrap();
+            let ckpt = match outcome {
+                BatchedOutcome::Complete(out) => {
+                    assert!(!fired, "complete run must not have crashed");
+                    assert_eq!(out.fingerprint(), oneshot.fingerprint());
+                    break;
+                }
+                BatchedOutcome::Crashed(c) => c,
+            };
+            let before = crate::stats::snapshot();
+            let resumed = resume_translation(&src, &t, ckpt).unwrap();
+            let _ = crate::stats::snapshot().since(&before);
+            assert_eq!(
+                resumed.fingerprint(),
+                oneshot.fingerprint(),
+                "crash at batch {k} diverged"
+            );
+            resumed.check_access_structures().unwrap();
+            k += 1;
+        }
+        assert!(k > 0, "batch=2 must produce at least one boundary");
+        // Crashed-and-resumed work equals one-shot work: re-running the
+        // whole matrix under crashes must not change the audit counters.
+        let before = crate::stats::snapshot();
+        let outcome = translate_batched(&src, &t, 2, &mut |b| b == 0).unwrap();
+        if let BatchedOutcome::Crashed(c) = outcome {
+            let _ = resume_translation(&src, &t, c).unwrap();
+        }
+        let crashed_work = crate::stats::snapshot().since(&before);
+        assert_eq!(crashed_work, oneshot_work);
+    }
+
+    /// A checkpoint refuses to resume against a different source.
+    #[test]
+    fn resume_rejects_mismatched_source() {
+        let src = company_db();
+        let t = fig_4_4();
+        let BatchedOutcome::Crashed(ckpt) =
+            translate_batched(&src, &t, 1, &mut |b| b == 0).unwrap()
+        else {
+            panic!("expected a crash at the first boundary");
+        };
+        let mut other = company_db();
+        let id = other.records_of_type("EMP")[0];
+        other.erase(id, true).unwrap();
+        assert!(resume_translation(&other, &t, ckpt).is_err());
     }
 
     /// Clone audit: translating an N-record database does O(record types)

@@ -52,6 +52,30 @@ impl Restructuring {
         Ok(d)
     }
 
+    /// Like [`Restructuring::translate`], but each transform's rebuild
+    /// runs in bounded batches with `crash` consulted at every batch
+    /// boundary (zero-based index, per transform). A crash is recovered
+    /// by resuming from the captured checkpoint, so the result — data and
+    /// translation-work statistics alike — is identical to the uncrashed
+    /// run.
+    pub fn translate_checkpointed(
+        &self,
+        db: &NetworkDb,
+        batch: usize,
+        crash: &mut dyn FnMut(usize) -> bool,
+    ) -> DbResult<NetworkDb> {
+        let mut d = db.clone();
+        for t in &self.transforms {
+            d = match crate::data::translate_batched(&d, t, batch, crash)? {
+                crate::data::BatchedOutcome::Complete(out) => out,
+                crate::data::BatchedOutcome::Crashed(ckpt) => {
+                    crate::data::resume_translation(&d, t, ckpt)?
+                }
+            };
+        }
+        Ok(d)
+    }
+
     /// The inverse sequence (reversed inverses), if every step has one.
     pub fn inverse(&self) -> Option<Restructuring> {
         let mut inv = Vec::with_capacity(self.transforms.len());

@@ -10,10 +10,12 @@
 
 use crate::error::{DbError, DbResult};
 use crate::stats::AccessStats;
+use crate::txn::{Savepoint, UndoLog};
 use dbpc_datamodel::hierarchical::{HierSchema, SegmentDef};
 use dbpc_datamodel::value::Value;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
 /// A stored segment occurrence.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +46,42 @@ struct PreorderCache {
     subtree: BTreeMap<u64, usize>,
 }
 
+/// Physical inverse of one hierarchic mutation, journaled while a
+/// savepoint is open. The preorder cache is not journaled: rollback
+/// restores the segment forest and rebuilds (or drops) the cache to
+/// match the state the savepoint captured.
+#[derive(Debug, Clone)]
+enum HierUndo {
+    /// Undo an `ISRT`: remove the segment and its sibling-list entry.
+    Insert { id: u64 },
+    /// Undo a `REPL`: restore the previous values; when the replace
+    /// repositioned the segment, restore the exact sibling list too.
+    Replace {
+        id: u64,
+        values: Vec<Value>,
+        parent: Option<u64>,
+        siblings: Option<Vec<u64>>,
+    },
+    /// Undo a `DLET`: reinstate the whole subtree (captured in preorder)
+    /// and re-link the top segment at its original sibling position.
+    Delete {
+        id: u64,
+        parent: Option<u64>,
+        pos: usize,
+        subtree: Vec<SegmentInstance>,
+    },
+}
+
+/// Per-savepoint metadata: the id allocator, and whether the preorder
+/// cache was populated (so rollback can restore cache warmth exactly —
+/// a later run must see the same rebuild count it would have seen had
+/// the rolled-back suffix never executed).
+#[derive(Debug, Clone)]
+struct HierMark {
+    next_id: u64,
+    cache_was_valid: bool,
+}
+
 /// A hierarchical database instance.
 #[derive(Debug, Clone)]
 pub struct HierDb {
@@ -61,6 +99,8 @@ pub struct HierDb {
     cache: RefCell<Option<PreorderCache>>,
     /// Access-path counters.
     stats: AccessStats,
+    /// Undo journal (see [`crate::txn`]).
+    journal: UndoLog<HierUndo, HierMark>,
 }
 
 impl HierDb {
@@ -79,7 +119,7 @@ impl HierDb {
             type_rank.insert(def.name.clone(), rank);
             seq_idx.insert(
                 def.name.clone(),
-                def.seq_field.as_ref().map(|f| def.field_index(f).unwrap()),
+                def.seq_field.as_ref().and_then(|f| def.field_index(f)),
             );
             for (i, c) in def.children.iter().enumerate() {
                 walk(c, i, type_rank, seq_idx);
@@ -97,7 +137,125 @@ impl HierDb {
             seq_idx,
             cache: RefCell::new(None),
             stats: AccessStats::default(),
+            journal: UndoLog::default(),
         })
+    }
+
+    /// Open a savepoint. Until it is rolled back or committed, every
+    /// mutation journals its inverse. Savepoints nest.
+    pub fn begin_savepoint(&mut self) -> Savepoint {
+        self.journal.begin(HierMark {
+            next_id: self.next_id,
+            cache_was_valid: self.cache.borrow().is_some(),
+        })
+    }
+
+    /// Restore the database to its state at `begin_savepoint`: the
+    /// segment forest, sibling orders, the id allocator, and the preorder
+    /// cache's warmth. Savepoints opened after `sp` are discarded; a
+    /// stale handle is a no-op.
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        if let Some((ops, mark)) = self.journal.rollback(sp) {
+            let structural = !ops.is_empty();
+            for op in ops {
+                self.apply_undo(op);
+            }
+            self.next_id = mark.next_id;
+            if structural {
+                // Re-warm (or drop) the cache to match the savepoint:
+                // the run being undone must not change how many rebuilds
+                // a *later* run observes. The rebuild here is silent —
+                // it is cache restoration, not navigation work.
+                self.invalidate_cache();
+                if mark.cache_was_valid {
+                    *self.cache.get_mut() = Some(self.build_cache());
+                }
+            }
+        }
+    }
+
+    /// Keep everything done since `sp` and close it (plus any savepoint
+    /// nested inside it). A stale handle is a no-op.
+    pub fn commit(&mut self, sp: Savepoint) {
+        self.journal.commit(sp);
+    }
+
+    fn apply_undo(&mut self, op: HierUndo) {
+        match op {
+            HierUndo::Insert { id } => {
+                if let Some(inst) = self.segs.remove(&id) {
+                    match inst.parent {
+                        Some(pid) => {
+                            if let Some(p) = self.segs.get_mut(&pid) {
+                                p.children.retain(|&c| c != id);
+                            }
+                        }
+                        None => self.roots.retain(|&r| r != id),
+                    }
+                }
+            }
+            HierUndo::Replace {
+                id,
+                values,
+                parent,
+                siblings,
+            } => {
+                if let Some(s) = self.segs.get_mut(&id) {
+                    s.values = values;
+                }
+                if let Some(sibs) = siblings {
+                    match parent {
+                        Some(pid) => {
+                            if let Some(p) = self.segs.get_mut(&pid) {
+                                p.children = sibs;
+                            }
+                        }
+                        None => self.roots = sibs,
+                    }
+                }
+            }
+            HierUndo::Delete {
+                id,
+                parent,
+                pos,
+                subtree,
+            } => {
+                for inst in subtree {
+                    self.segs.insert(inst.id, inst);
+                }
+                match parent {
+                    Some(pid) => {
+                        if let Some(p) = self.segs.get_mut(&pid) {
+                            let at = pos.min(p.children.len());
+                            p.children.insert(at, id);
+                        }
+                    }
+                    None => {
+                        let at = pos.min(self.roots.len());
+                        self.roots.insert(at, id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic digest of the full logical state: the segment
+    /// forest (values, parentage, sibling order), root order, and the id
+    /// allocator. The preorder cache is excluded — it is derived, and
+    /// verified by [`HierDb::check_access_structures`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.next_id.hash(&mut h);
+        self.roots.hash(&mut h);
+        self.segs.len().hash(&mut h);
+        for (id, inst) in &self.segs {
+            id.hash(&mut h);
+            inst.seg_type.hash(&mut h);
+            inst.values.hash(&mut h);
+            inst.parent.hash(&mut h);
+            inst.children.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Access-path counters for this database.
@@ -154,7 +312,11 @@ impl HierDb {
             self.stats.rebuilt_preorder();
             *slot = Some(self.build_cache());
         }
-        f(slot.as_ref().unwrap())
+        match slot.as_ref() {
+            Some(c) => f(c),
+            // Unreachable: the slot was filled just above.
+            None => f(&self.build_cache()),
+        }
     }
 
     pub fn schema(&self) -> &HierSchema {
@@ -234,17 +396,23 @@ impl HierDb {
             parent,
             children: Vec::new(),
         };
-        self.segs.insert(id, inst);
         match parent {
             Some(pid) => {
+                // Position first (it only scans existing siblings), then
+                // store and link.
                 let pos = self.child_position(pid, seg_type, &def, &row)?;
-                self.segs.get_mut(&pid).unwrap().children.insert(pos, id);
+                self.segs.insert(id, inst);
+                if let Some(p) = self.segs.get_mut(&pid) {
+                    p.children.insert(pos, id);
+                }
             }
             None => {
                 let pos = self.root_position(seg_type, &def, &row);
+                self.segs.insert(id, inst);
                 self.roots.insert(pos, id);
             }
         }
+        self.journal.record_with(|| HierUndo::Insert { id });
         self.invalidate_cache();
         Ok(id)
     }
@@ -279,8 +447,10 @@ impl HierDb {
             }
             // Same type: order by sequence field (stable: insertions of
             // equal keys stay in arrival order).
-            if let Some(sv) = seq_val {
-                let cseq = &c.values[self.seq_idx[&c.seg_type].unwrap()];
+            if let (Some(sv), Some(ci)) =
+                (seq_val, self.seq_idx.get(&c.seg_type).copied().flatten())
+            {
+                let cseq = &c.values[ci];
                 if sv.total_cmp(cseq) == std::cmp::Ordering::Less {
                     pos = i;
                     break;
@@ -305,8 +475,10 @@ impl HierDb {
                 pos = i;
                 break;
             }
-            if let Some(sv) = seq_val {
-                let rseq = &r.values[self.seq_idx[&r.seg_type].unwrap()];
+            if let (Some(sv), Some(ri)) =
+                (seq_val, self.seq_idx.get(&r.seg_type).copied().flatten())
+            {
+                let rseq = &r.values[ri];
                 if sv.total_cmp(rseq) == std::cmp::Ordering::Less {
                     pos = i;
                     break;
@@ -428,21 +600,39 @@ impl HierDb {
             }
             row[idx] = v.clone();
         }
-        let seq_changed = def.seq_field.as_ref().is_some_and(|f| {
-            let i = def.field_index(f).unwrap();
-            !inst.values[i].loose_eq(&row[i])
-        });
-        self.segs.get_mut(&id).unwrap().values = row.clone();
+        let seq_changed = def
+            .seq_field
+            .as_ref()
+            .and_then(|f| def.field_index(f))
+            .is_some_and(|i| !inst.values[i].loose_eq(&row[i]));
+        // Journal the pre-image (and, for a reposition, the exact sibling
+        // list) before mutating anything.
+        let old_siblings = if self.journal.active() && seq_changed {
+            Some(match inst.parent {
+                Some(pid) => self
+                    .segs
+                    .get(&pid)
+                    .map(|p| p.children.clone())
+                    .unwrap_or_default(),
+                None => self.roots.clone(),
+            })
+        } else {
+            None
+        };
+        let Some(seg) = self.segs.get_mut(&id) else {
+            return Err(DbError::NotFound(format!("segment #{id}")));
+        };
+        seg.values = row.clone();
         if seq_changed {
             match inst.parent {
                 Some(pid) => {
-                    self.segs
-                        .get_mut(&pid)
-                        .unwrap()
-                        .children
-                        .retain(|&c| c != id);
+                    if let Some(p) = self.segs.get_mut(&pid) {
+                        p.children.retain(|&c| c != id);
+                    }
                     let pos = self.child_position(pid, &inst.seg_type, &def, &row)?;
-                    self.segs.get_mut(&pid).unwrap().children.insert(pos, id);
+                    if let Some(p) = self.segs.get_mut(&pid) {
+                        p.children.insert(pos, id);
+                    }
                 }
                 None => {
                     self.roots.retain(|&r| r != id);
@@ -454,6 +644,12 @@ impl HierDb {
             // updates leave the cache valid.
             self.invalidate_cache();
         }
+        self.journal.record_with(|| HierUndo::Replace {
+            id,
+            values: inst.values.clone(),
+            parent: inst.parent,
+            siblings: old_siblings,
+        });
         Ok(())
     }
 
@@ -462,20 +658,43 @@ impl HierDb {
     /// hierarchical form). Returns the number of segments deleted.
     pub fn delete(&mut self, id: u64) -> DbResult<usize> {
         let inst = self.get(id)?.clone();
-        match inst.parent {
+        let pos = match inst.parent {
             Some(pid) => self
                 .segs
-                .get_mut(&pid)
-                .unwrap()
-                .children
-                .retain(|&c| c != id),
+                .get(&pid)
+                .and_then(|p| p.children.iter().position(|&c| c == id)),
+            None => self.roots.iter().position(|&r| r == id),
+        }
+        .unwrap_or(usize::MAX);
+        match inst.parent {
+            Some(pid) => {
+                if let Some(p) = self.segs.get_mut(&pid) {
+                    p.children.retain(|&c| c != id);
+                }
+            }
             None => self.roots.retain(|&r| r != id),
         }
         let mut doomed = Vec::new();
         self.preorder_into(id, &mut doomed);
+        // Snapshot the subtree (in preorder, children lists intact) for
+        // the undo journal before tearing it down.
+        let subtree: Vec<SegmentInstance> = if self.journal.active() {
+            doomed
+                .iter()
+                .filter_map(|d| self.segs.get(d).cloned())
+                .collect()
+        } else {
+            Vec::new()
+        };
         for d in &doomed {
             self.segs.remove(d);
         }
+        self.journal.record_with(|| HierUndo::Delete {
+            id,
+            parent: inst.parent,
+            pos,
+            subtree,
+        });
         self.invalidate_cache();
         Ok(doomed.len())
     }

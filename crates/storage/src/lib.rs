@@ -24,6 +24,7 @@ pub mod keys;
 pub mod network_db;
 pub mod relational_db;
 pub mod stats;
+pub mod txn;
 
 pub use error::{DbError, DbResult, StatusCode};
 pub use hier_db::{HierDb, SegmentInstance};
@@ -31,3 +32,4 @@ pub use keys::KeyTuple;
 pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
 pub use relational_db::{RelationalDb, RowId};
 pub use stats::{AccessProfile, AccessStats};
+pub use txn::Savepoint;

@@ -21,11 +21,13 @@
 use crate::error::{DbError, DbResult};
 use crate::keys::KeyTuple;
 use crate::stats::AccessStats;
+use crate::txn::{Savepoint, UndoLog};
 use dbpc_datamodel::constraint::Constraint;
 use dbpc_datamodel::network::{Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef};
 use dbpc_datamodel::value::Value;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a stored record. `RecordId(0)` is the SYSTEM pseudo-owner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,6 +117,55 @@ impl SetStore {
                 .is_some()
         })
     }
+
+    /// Reinstate a link at its **original** ordering key (undo path only:
+    /// unlike [`SetStore::link`] no new arrival sequence is drawn, so the
+    /// member returns to exactly the position it held).
+    fn relink_at(&mut self, owner: u64, member: u64, ord: MemberOrd) {
+        self.members
+            .entry(owner)
+            .or_default()
+            .insert(ord.clone(), member);
+        self.owner_of.insert(member, owner);
+        self.ord_of.insert(member, ord);
+    }
+}
+
+/// Physical inverse of one network mutation, journaled while a savepoint
+/// is open. Set-store maps, `by_type` lists, and any materialized
+/// calc-key index are maintained through the undo application, so a
+/// rollback leaves every derived structure consistent.
+#[derive(Debug, Clone)]
+enum NetUndo {
+    /// Undo a STORE: remove the record and its automatic/planned links.
+    Store { id: u64 },
+    /// Undo a CONNECT (or the link half of a MODIFY reposition).
+    Link { set: String, member: u64 },
+    /// Undo a DISCONNECT (or the unlink half of a MODIFY reposition):
+    /// reinstate the link at its original ordering key.
+    Unlink {
+        set: String,
+        owner: u64,
+        member: u64,
+        ord: MemberOrd,
+    },
+    /// Undo the value half of a MODIFY: restore the previous row image.
+    Values { id: u64, values: Vec<Value> },
+    /// Undo one record's removal inside an ERASE cascade: reinstate the
+    /// record and every set link it held as a member.
+    Erase {
+        rec: StoredRecord,
+        links: Vec<(String, u64, MemberOrd)>,
+    },
+}
+
+/// Per-savepoint metadata: the id allocator plus each set's arrival
+/// counter (links drawn during the rolled-back suffix must not leave
+/// gaps that would change later chronological ordering).
+#[derive(Debug, Clone)]
+struct NetMark {
+    next_id: u64,
+    next_seqs: Vec<(String, u64)>,
 }
 
 /// An owner-coupled-set database instance.
@@ -131,6 +182,8 @@ pub struct NetworkDb {
     calc_indexes: RefCell<BTreeMap<CalcIndexKey, CalcIndex>>,
     next_id: u64,
     stats: AccessStats,
+    /// Undo journal (see [`crate::txn`]).
+    journal: UndoLog<NetUndo, NetMark>,
 }
 
 impl NetworkDb {
@@ -152,7 +205,137 @@ impl NetworkDb {
             calc_indexes: RefCell::new(BTreeMap::new()),
             next_id: 1,
             stats: AccessStats::default(),
+            journal: UndoLog::default(),
         })
+    }
+
+    /// Open a savepoint. Until it is rolled back or committed, every
+    /// mutation journals its inverse. Savepoints nest.
+    pub fn begin_savepoint(&mut self) -> Savepoint {
+        self.journal.begin(NetMark {
+            next_id: self.next_id,
+            next_seqs: self
+                .sets
+                .iter()
+                .map(|(name, st)| (name.clone(), st.next_seq))
+                .collect(),
+        })
+    }
+
+    /// Restore the database to its state at `begin_savepoint`: records,
+    /// every set occurrence (including member order and arrival
+    /// sequences), `by_type` lists, materialized calc-key indexes, and
+    /// the id allocator. Savepoints opened after `sp` are discarded; a
+    /// stale handle is a no-op.
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        if let Some((ops, mark)) = self.journal.rollback(sp) {
+            for op in ops {
+                self.apply_undo(op);
+            }
+            self.next_id = mark.next_id;
+            for (name, seq) in mark.next_seqs {
+                if let Some(st) = self.sets.get_mut(&name) {
+                    st.next_seq = seq;
+                }
+            }
+        }
+    }
+
+    /// Keep everything done since `sp` and close it (plus any savepoint
+    /// nested inside it). A stale handle is a no-op.
+    pub fn commit(&mut self, sp: Savepoint) {
+        self.journal.commit(sp);
+    }
+
+    fn apply_undo(&mut self, op: NetUndo) {
+        match op {
+            NetUndo::Store { id } => {
+                // Mirror of `erase_inner`'s teardown: any link made *after*
+                // the store was journaled separately and is already undone
+                // (LIFO), so what remains are the store-time connections.
+                for store in self.sets.values_mut() {
+                    store.unlink(id);
+                    store.members.remove(&id);
+                }
+                if let Some(rec) = self.records.remove(&id) {
+                    if let Some(ids) = self.by_type.get_mut(&rec.rtype) {
+                        if let Ok(pos) = ids.binary_search(&id) {
+                            ids.remove(pos);
+                        }
+                    }
+                    self.index_remove(&rec.rtype, &rec.values, id);
+                }
+            }
+            NetUndo::Link { set, member } => {
+                if let Some(store) = self.sets.get_mut(&set) {
+                    store.unlink(member);
+                }
+            }
+            NetUndo::Unlink {
+                set,
+                owner,
+                member,
+                ord,
+            } => {
+                if let Some(store) = self.sets.get_mut(&set) {
+                    store.relink_at(owner, member, ord);
+                }
+            }
+            NetUndo::Values { id, values } => {
+                let Some(rec) = self.records.get(&id) else {
+                    return;
+                };
+                let rtype = rec.rtype.clone();
+                let current = rec.values.clone();
+                if let Some(r) = self.records.get_mut(&id) {
+                    r.values = values.clone();
+                }
+                self.index_update(&rtype, &current, &values, id);
+            }
+            NetUndo::Erase { rec, links } => {
+                let id = rec.id.0;
+                let ids = self.by_type.entry(rec.rtype.clone()).or_default();
+                let pos = ids.partition_point(|&m| m < id);
+                ids.insert(pos, id);
+                self.index_add(&rec.rtype, &rec.values, id);
+                self.records.insert(id, rec);
+                for (set, owner, ord) in links {
+                    if let Some(store) = self.sets.get_mut(&set) {
+                        store.relink_at(owner, id, ord);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic digest of the full logical state: records, every
+    /// set's link structure (owners, member order, arrival sequences and
+    /// counter), and the id allocator. Derived structures (`by_type`
+    /// lists, calc-key indexes) are excluded — they are a function of the
+    /// records, verified by [`NetworkDb::check_access_structures`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.next_id.hash(&mut h);
+        self.records.len().hash(&mut h);
+        for (id, rec) in &self.records {
+            id.hash(&mut h);
+            rec.rtype.hash(&mut h);
+            rec.values.hash(&mut h);
+        }
+        for (name, store) in &self.sets {
+            name.hash(&mut h);
+            store.next_seq.hash(&mut h);
+            store.members.len().hash(&mut h);
+            for (owner, occ) in &store.members {
+                owner.hash(&mut h);
+                for ((key, seq), member) in occ {
+                    key.0.hash(&mut h);
+                    seq.hash(&mut h);
+                    member.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
     }
 
     pub fn schema(&self) -> &NetworkSchema {
@@ -401,6 +584,9 @@ impl NetworkDb {
         for (set, owner) in &planned {
             self.insert_member(set, *owner, id, &rt, &row);
         }
+        // One op covers the record and its store-time links; the undo
+        // tears them all down, mirroring an erase.
+        self.journal.record_with(|| NetUndo::Store { id: id.0 });
         Ok(id)
     }
 
@@ -434,6 +620,10 @@ impl NetworkDb {
         let rt = self.record_type(&mem_rec.rtype)?.clone();
         self.check_connectable(&set, owner, &rt, &mem_rec.values)?;
         self.insert_member(&set, owner, member, &rt, &mem_rec.values);
+        self.journal.record_with(|| NetUndo::Link {
+            set: set_name.to_string(),
+            member: member.0,
+        });
         Ok(())
     }
 
@@ -457,7 +647,9 @@ impl NetworkDb {
                 "EXISTENCE ON {set_name} forbids disconnect"
             )));
         }
-        let store = self.sets.get(set_name).unwrap();
+        let Some(store) = self.sets.get(set_name) else {
+            return Err(DbError::unknown("set", set_name));
+        };
         let owner = *store
             .owner_of
             .get(&member.0)
@@ -470,7 +662,19 @@ impl NetworkDb {
                 )));
             }
         }
-        self.sets.get_mut(set_name).unwrap().unlink(member.0);
+        let Some(store) = self.sets.get_mut(set_name) else {
+            return Err(DbError::unknown("set", set_name));
+        };
+        let ord = store.ord_of.get(&member.0).cloned();
+        store.unlink(member.0);
+        if let Some(ord) = ord {
+            self.journal.record_with(|| NetUndo::Unlink {
+                set: set_name.to_string(),
+                owner,
+                member: member.0,
+                ord,
+            });
+        }
         Ok(())
     }
 
@@ -529,6 +733,20 @@ impl NetworkDb {
                 )));
             }
         }
+        // Snapshot this record's member links for the undo journal before
+        // tearing them down.
+        let links: Vec<(String, u64, MemberOrd)> = if self.journal.active() {
+            self.sets
+                .iter()
+                .filter_map(|(name, st)| {
+                    let owner = *st.owner_of.get(&id.0)?;
+                    let ord = st.ord_of.get(&id.0)?.clone();
+                    Some((name.clone(), owner, ord))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Remove from all sets in which it participates as member. (Any
         // occurrence it *owned* is empty by now: members were either erased
         // above or their presence aborted the operation.)
@@ -536,13 +754,16 @@ impl NetworkDb {
             store.unlink(id.0);
             store.members.remove(&id.0);
         }
-        let rec = self.records.remove(&id.0).expect("record existed");
+        let Some(rec) = self.records.remove(&id.0) else {
+            return Err(DbError::NotFound(format!("record #{}", id.0)));
+        };
         if let Some(ids) = self.by_type.get_mut(&rec.rtype) {
             if let Ok(pos) = ids.binary_search(&id.0) {
                 ids.remove(pos);
             }
         }
         self.index_remove(&rec.rtype, &rec.values, id.0);
+        self.journal.record_with(|| NetUndo::Erase { rec, links });
         erased.push(id);
         Ok(())
     }
@@ -604,8 +825,15 @@ impl NetworkDb {
             }
         }
         // Commit the new values, then reposition.
-        self.records.get_mut(&id.0).unwrap().values = new_row.clone();
+        let Some(target) = self.records.get_mut(&id.0) else {
+            return Err(DbError::NotFound(format!("record #{}", id.0)));
+        };
+        target.values = new_row.clone();
         self.index_update(&rec.rtype, &rec.values, &new_row, id.0);
+        self.journal.record_with(|| NetUndo::Values {
+            id: id.0,
+            values: rec.values.clone(),
+        });
         for set in &member_sets {
             if set.keys.is_empty() {
                 continue;
@@ -615,9 +843,26 @@ impl NetworkDb {
             if old_key == new_key {
                 continue;
             }
-            let store = self.sets.get_mut(&set.name).unwrap();
+            let Some(store) = self.sets.get_mut(&set.name) else {
+                continue;
+            };
+            let old_ord = store.ord_of.get(&id.0).cloned();
             if let Some(owner) = store.unlink(id.0) {
                 store.link(owner, id.0, new_key);
+                if let Some(ord) = old_ord {
+                    // LIFO: undo the relink first, then restore the old
+                    // position — journal the pair in operation order.
+                    self.journal.record_with(|| NetUndo::Unlink {
+                        set: set.name.clone(),
+                        owner,
+                        member: id.0,
+                        ord,
+                    });
+                    self.journal.record_with(|| NetUndo::Link {
+                        set: set.name.clone(),
+                        member: id.0,
+                    });
+                }
             }
         }
         Ok(())
@@ -674,7 +919,9 @@ impl NetworkDb {
         for c in &self.schema.constraints {
             match c {
                 Constraint::NotNull { record, field } if record == rtype => {
-                    let idx = rt.field_index(field).unwrap();
+                    let Some(idx) = rt.field_index(field) else {
+                        continue;
+                    };
                     if row[idx].is_null() {
                         return Err(DbError::constraint(format!("NOT NULL {record}.{field}")));
                     }
@@ -685,7 +932,9 @@ impl NetworkDb {
                     low,
                     high,
                 } if record == rtype => {
-                    let idx = rt.field_index(field).unwrap();
+                    let Some(idx) = rt.field_index(field) else {
+                        continue;
+                    };
                     let v = &row[idx];
                     if v.is_null() {
                         continue;
@@ -707,7 +956,7 @@ impl NetworkDb {
                 }
                 Constraint::Unique { record, fields } if record == rtype => {
                     let idxs: Vec<usize> =
-                        fields.iter().map(|f| rt.field_index(f).unwrap()).collect();
+                        fields.iter().filter_map(|f| rt.field_index(f)).collect();
                     let key: Vec<&Value> = idxs.iter().map(|&i| &row[i]).collect();
                     for other in self.records.values() {
                         if other.rtype != rtype || Some(other.id) == exclude {
@@ -734,8 +983,10 @@ impl NetworkDb {
     /// Key tuple of a member already stored in the database.
     fn member_key(&self, member: u64, keys: &[String]) -> KeyTuple {
         let mrec = &self.records[&member];
-        let mrt = self.schema.record(&mrec.rtype).unwrap();
-        key_tuple(mrt, &mrec.values, keys)
+        match self.schema.record(&mrec.rtype) {
+            Some(mrt) => key_tuple(mrt, &mrec.values, keys),
+            None => KeyTuple(Vec::new()),
+        }
     }
 
     /// Can a record with values `row` be connected under `owner` in `set`?
@@ -786,21 +1037,29 @@ impl NetworkDb {
         } else {
             key_tuple(rt, row, &set.keys)
         };
-        self.sets
-            .get_mut(&set.name)
-            .unwrap()
-            .link(owner.0, member.0, key);
+        if let Some(store) = self.sets.get_mut(&set.name) {
+            store.link(owner.0, member.0, key);
+        }
     }
 
     // -- calc-key index maintenance ----------------------------------------
 
     /// Key tuple of `row` for an indexed field list (stored fields only).
+    /// Index creation guarantees the type and fields exist; the fallbacks
+    /// keep this total for the unwrap-free lib gate.
     fn calc_key(schema: &NetworkSchema, rtype: &str, fields: &[String], row: &[Value]) -> KeyTuple {
-        let rt = schema.record(rtype).expect("indexed type exists");
+        let Some(rt) = schema.record(rtype) else {
+            return KeyTuple(Vec::new());
+        };
         KeyTuple(
             fields
                 .iter()
-                .map(|f| row[rt.field_index(f).expect("indexed field exists")].clone())
+                .map(|f| {
+                    rt.field_index(f)
+                        .and_then(|i| row.get(i))
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                })
                 .collect(),
         )
     }
@@ -866,7 +1125,9 @@ impl NetworkDb {
 
         // Set stores: members ↔ owner_of ↔ ord_of, plus key correctness.
         for (name, store) in &self.sets {
-            let set = self.schema.set(name).expect("set in schema");
+            let Some(set) = self.schema.set(name) else {
+                return Err(format!("set {name} stored but not in schema"));
+            };
             let mut linked = 0usize;
             for (&owner, occ) in &store.members {
                 if occ.is_empty() {
@@ -925,7 +1186,12 @@ impl NetworkDb {
 fn key_tuple(rt: &RecordTypeDef, row: &[Value], keys: &[String]) -> KeyTuple {
     KeyTuple(
         keys.iter()
-            .map(|k| row[rt.field_index(k).unwrap()].clone())
+            .map(|k| {
+                rt.field_index(k)
+                    .and_then(|i| row.get(i))
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
             .collect(),
     )
 }

@@ -11,9 +11,11 @@
 use crate::error::{DbError, DbResult};
 use crate::keys::KeyTuple;
 use crate::stats::AccessStats;
+use crate::txn::{Savepoint, UndoLog};
 use dbpc_datamodel::relational::{RelationalSchema, TableDef};
 use dbpc_datamodel::value::Value;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a stored row (stable across deletes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,6 +71,28 @@ struct Table {
     indexes: Vec<SecondaryIndex>,
 }
 
+/// Physical inverse of one relational mutation, journaled while a
+/// savepoint is open. Index maintenance (pk + secondary) is replayed by
+/// the undo application itself, so rollback restores the derived
+/// structures along with the rows.
+#[derive(Debug, Clone)]
+enum RelUndo {
+    /// Undo an insert: remove the row again.
+    Insert { table: String, id: u64 },
+    /// Undo a delete: reinstate the removed row.
+    Delete {
+        table: String,
+        id: u64,
+        row: Vec<Value>,
+    },
+    /// Undo an update: restore the previous row image.
+    Update {
+        table: String,
+        id: u64,
+        row: Vec<Value>,
+    },
+}
+
 /// A relational database instance.
 #[derive(Debug, Clone)]
 pub struct RelationalDb {
@@ -80,6 +104,8 @@ pub struct RelationalDb {
     pub enforce_foreign_keys: bool,
     /// Access-path counters (interior-mutable so read paths can count).
     stats: AccessStats,
+    /// Undo journal; metadata per savepoint is the `next_id` watermark.
+    journal: UndoLog<RelUndo, u64>,
 }
 
 impl RelationalDb {
@@ -98,7 +124,109 @@ impl RelationalDb {
             next_id: 1,
             enforce_foreign_keys: false,
             stats: AccessStats::default(),
+            journal: UndoLog::default(),
         })
+    }
+
+    /// Open a savepoint. Until it is rolled back or committed, every
+    /// mutation journals its inverse. Savepoints nest.
+    pub fn begin_savepoint(&mut self) -> Savepoint {
+        self.journal.begin(self.next_id)
+    }
+
+    /// Restore the database to its state at `begin_savepoint`, including
+    /// the pk/secondary indexes and the row-id allocator. Savepoints
+    /// opened after `sp` are discarded; a stale handle is a no-op.
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        if let Some((ops, next_id)) = self.journal.rollback(sp) {
+            for op in ops {
+                self.apply_undo(op);
+            }
+            self.next_id = next_id;
+        }
+    }
+
+    /// Keep everything done since `sp` and close it (plus any savepoint
+    /// nested inside it). A stale handle is a no-op.
+    pub fn commit(&mut self, sp: Savepoint) {
+        self.journal.commit(sp);
+    }
+
+    fn apply_undo(&mut self, op: RelUndo) {
+        // Undo ops are applied newest-first and were journaled against
+        // the exact state they now revert; missing rows/tables below can
+        // only mean a stale handle was misused, and are skipped rather
+        // than compounded.
+        match op {
+            RelUndo::Insert { table, id } => {
+                let def = self.schema.table(&table);
+                if let Some(t) = self.tables.get_mut(&table) {
+                    if let Some(row) = t.rows.remove(&id) {
+                        if let Some(pk) = def.and_then(|d| pk_of_static(d, &row)) {
+                            t.pk_index.remove(&pk);
+                        }
+                        for ix in &mut t.indexes {
+                            ix.remove(&row, id);
+                        }
+                    }
+                }
+            }
+            RelUndo::Delete { table, id, row } => {
+                let pk = self
+                    .schema
+                    .table(&table)
+                    .and_then(|d| pk_of_static(d, &row));
+                if let Some(t) = self.tables.get_mut(&table) {
+                    for ix in &mut t.indexes {
+                        ix.add(&row, id);
+                    }
+                    if let Some(pk) = pk {
+                        t.pk_index.insert(pk, id);
+                    }
+                    t.rows.insert(id, row);
+                }
+            }
+            RelUndo::Update { table, id, row } => {
+                let def = self.schema.table(&table);
+                let old_pk = def.and_then(|d| pk_of_static(d, &row));
+                if let Some(t) = self.tables.get_mut(&table) {
+                    if let Some(cur) = t.rows.get(&id).cloned() {
+                        if let Some(pk) = def.and_then(|d| pk_of_static(d, &cur)) {
+                            t.pk_index.remove(&pk);
+                        }
+                        for ix in &mut t.indexes {
+                            ix.remove(&cur, id);
+                        }
+                    }
+                    for ix in &mut t.indexes {
+                        ix.add(&row, id);
+                    }
+                    if let Some(pk) = old_pk {
+                        t.pk_index.insert(pk, id);
+                    }
+                    t.rows.insert(id, row);
+                }
+            }
+        }
+    }
+
+    /// Deterministic digest of the full logical state: rows, the id
+    /// allocator, and the fk-enforcement flag. Derived structures (pk and
+    /// secondary indexes) are excluded — they are a function of the rows,
+    /// verified separately by [`RelationalDb::check_access_structures`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.next_id.hash(&mut h);
+        self.enforce_foreign_keys.hash(&mut h);
+        for (name, t) in &self.tables {
+            name.hash(&mut h);
+            t.rows.len().hash(&mut h);
+            for (id, row) in &t.rows {
+                id.hash(&mut h);
+                row.hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     pub fn schema(&self) -> &RelationalSchema {
@@ -124,7 +252,9 @@ impl RelationalDb {
                     .ok_or_else(|| DbError::unknown("column", format!("{table}.{c}")))?,
             );
         }
-        let t = self.tables.get_mut(table).unwrap();
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(DbError::unknown("table", table));
+        };
         if t.indexes.iter().any(|ix| ix.idxs == idxs) {
             return Ok(());
         }
@@ -309,7 +439,7 @@ impl RelationalDb {
                 let child: Vec<&Value> = fk
                     .columns
                     .iter()
-                    .map(|c| &row[def.column_index(c).unwrap()])
+                    .filter_map(|c| def.column_index(c).map(|i| &row[i]))
                     .collect();
                 if child.iter().any(|v| v.is_null()) {
                     continue; // null references are the §3.1 escape hatch
@@ -319,10 +449,11 @@ impl RelationalDb {
                     .table(&fk.parent_table)
                     .ok_or_else(|| DbError::unknown("table", &fk.parent_table))?;
                 let found = self.tables[&fk.parent_table].rows.values().any(|prow| {
-                    fk.parent_columns
-                        .iter()
-                        .zip(&child)
-                        .all(|(pc, cv)| prow[parent.column_index(pc).unwrap()].loose_eq(cv))
+                    fk.parent_columns.iter().zip(&child).all(|(pc, cv)| {
+                        parent
+                            .column_index(pc)
+                            .is_some_and(|i| prow[i].loose_eq(cv))
+                    })
                 });
                 if !found {
                     return Err(DbError::constraint(format!(
@@ -336,7 +467,9 @@ impl RelationalDb {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let t = self.tables.get_mut(table).unwrap();
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(DbError::unknown("table", table));
+        };
         for ix in &mut t.indexes {
             ix.add(&row, id);
         }
@@ -344,6 +477,10 @@ impl RelationalDb {
         if let Some(pk) = pk {
             t.pk_index.insert(pk, id);
         }
+        self.journal.record_with(|| RelUndo::Insert {
+            table: table.to_string(),
+            id,
+        });
         Ok(RowId(id))
     }
 
@@ -365,7 +502,9 @@ impl RelationalDb {
             })
             .map(|(&id, _)| id)
             .collect();
-        let t = self.tables.get_mut(table).unwrap();
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(DbError::unknown("table", table));
+        };
         for id in &doomed {
             if let Some(row) = t.rows.remove(id) {
                 if let Some(pk) = pk_of_static(def, &row) {
@@ -374,6 +513,11 @@ impl RelationalDb {
                 for ix in &mut t.indexes {
                     ix.remove(&row, *id);
                 }
+                self.journal.record_with(|| RelUndo::Delete {
+                    table: table.to_string(),
+                    id: *id,
+                    row,
+                });
             }
         }
         Ok(doomed.len())
@@ -450,13 +594,20 @@ impl RelationalDb {
             }
             planned.push((*id, row, old_pk, new_pk));
         }
-        let t = self.tables.get_mut(table).unwrap();
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(DbError::unknown("table", table));
+        };
         for (id, row, old_pk, new_pk) in planned {
             if pk_cols_touched {
                 if let Some(op) = old_pk {
                     t.pk_index.remove(&op);
                 }
             }
+            let undo = if self.journal.active() {
+                t.rows.get(&id).cloned()
+            } else {
+                None
+            };
             if let Some(old) = t.rows.get(&id) {
                 for ix in &mut t.indexes {
                     ix.remove(old, id);
@@ -470,6 +621,13 @@ impl RelationalDb {
                 if let Some(np) = new_pk {
                     t.pk_index.insert(np, id);
                 }
+            }
+            if let Some(old) = undo {
+                self.journal.record_with(|| RelUndo::Update {
+                    table: table.to_string(),
+                    id,
+                    row: old,
+                });
             }
         }
         Ok(targets.len())
@@ -529,8 +687,8 @@ fn pk_of_static(def: &TableDef, row: &[Value]) -> Option<KeyTuple> {
     Some(KeyTuple(
         def.primary_key
             .iter()
-            .map(|k| row[def.column_index(k).unwrap()].clone())
-            .collect(),
+            .map(|k| def.column_index(k).and_then(|i| row.get(i)).cloned())
+            .collect::<Option<Vec<Value>>>()?,
     ))
 }
 

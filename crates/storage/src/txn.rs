@@ -1,0 +1,170 @@
+//! Savepoint bookkeeping shared by the three storage engines.
+//!
+//! Each engine keeps an in-memory **undo journal**: while at least one
+//! savepoint is open, every mutating operation pushes the physical
+//! inverse of what it just did. `rollback` hands the ops back newest
+//! first, so applying them in order restores the exact pre-savepoint
+//! state — including derived access structures, which the engines
+//! maintain through the same inverse operations they use going forward.
+//!
+//! Journaling is entirely passive when no savepoint is open (one branch
+//! per mutation), so programs that never ask for atomicity pay nothing.
+//! This is the §2 "execution-time variability" answer at the storage
+//! layer: a supervised run that dies mid-mutation (panic, typed error,
+//! injected fault, fuel exhaustion) can be rolled back instead of
+//! poisoning the shared base it ran on.
+//!
+//! `Meta` carries the engine-specific scalars a rollback must restore
+//! besides the journaled ops themselves — id allocators and per-set
+//! arrival counters — snapshotted when the savepoint opens.
+
+/// Handle to an open savepoint, returned by an engine's
+/// `begin_savepoint`. Handles are plain indexes into the savepoint
+/// stack: rolling back or committing a savepoint invalidates every
+/// handle opened after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint(pub(crate) usize);
+
+/// An engine's undo journal: inverse ops plus a stack of savepoint
+/// marks. `Op` is the engine's inverse-operation enum; `Meta` the
+/// scalar state snapshotted per savepoint.
+#[derive(Debug, Clone)]
+pub(crate) struct UndoLog<Op, Meta> {
+    ops: Vec<Op>,
+    marks: Vec<(usize, Meta)>,
+}
+
+// Manual impl: the derived one would demand `Op: Default + Meta: Default`.
+impl<Op, Meta> Default for UndoLog<Op, Meta> {
+    fn default() -> Self {
+        UndoLog {
+            ops: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+}
+
+impl<Op, Meta> UndoLog<Op, Meta> {
+    /// Is any savepoint open? Mutations journal only when this is true.
+    pub(crate) fn active(&self) -> bool {
+        !self.marks.is_empty()
+    }
+
+    /// Journal one inverse op, built lazily so the inactive path does no
+    /// allocation.
+    pub(crate) fn record_with(&mut self, f: impl FnOnce() -> Op) {
+        if self.active() {
+            self.ops.push(f());
+        }
+    }
+
+    /// Open a savepoint, snapshotting `meta`.
+    pub(crate) fn begin(&mut self, meta: Meta) -> Savepoint {
+        self.marks.push((self.ops.len(), meta));
+        Savepoint(self.marks.len() - 1)
+    }
+
+    /// Close `sp` and every savepoint opened after it, returning the ops
+    /// journaled since `sp` **newest first** (ready for LIFO application)
+    /// together with `sp`'s metadata snapshot. `None` for a stale handle.
+    pub(crate) fn rollback(&mut self, sp: Savepoint) -> Option<(Vec<Op>, Meta)> {
+        if sp.0 >= self.marks.len() {
+            return None;
+        }
+        self.marks.truncate(sp.0 + 1);
+        let (mark, meta) = self.marks.pop()?;
+        let mut tail = self.ops.split_off(mark);
+        tail.reverse();
+        Some((tail, meta))
+    }
+
+    /// Commit `sp` (and implicitly everything nested inside it): its ops
+    /// are kept for any *enclosing* savepoint, or discarded when `sp` was
+    /// outermost. A stale handle is a no-op.
+    pub(crate) fn commit(&mut self, sp: Savepoint) {
+        if sp.0 >= self.marks.len() {
+            return;
+        }
+        self.marks.truncate(sp.0);
+        if self.marks.is_empty() {
+            self.ops.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_log_records_nothing() {
+        let mut log: UndoLog<u32, ()> = UndoLog::default();
+        assert!(!log.active());
+        log.record_with(|| panic!("must not be built"));
+        let sp = log.begin(());
+        assert!(log.active());
+        log.record_with(|| 1);
+        log.commit(sp);
+        assert!(!log.active());
+        log.record_with(|| panic!("must not be built"));
+    }
+
+    #[test]
+    fn rollback_returns_ops_newest_first_with_meta() {
+        let mut log: UndoLog<u32, u64> = UndoLog::default();
+        let sp = log.begin(7);
+        log.record_with(|| 1);
+        log.record_with(|| 2);
+        log.record_with(|| 3);
+        assert_eq!(log.rollback(sp), Some((vec![3, 2, 1], 7)));
+        assert!(!log.active());
+        assert_eq!(log.rollback(sp), None, "handle is stale after rollback");
+    }
+
+    #[test]
+    fn nested_savepoints_partition_the_journal() {
+        let mut log: UndoLog<u32, u64> = UndoLog::default();
+        let outer = log.begin(10);
+        log.record_with(|| 1);
+        let inner = log.begin(20);
+        log.record_with(|| 2);
+        assert_eq!(log.rollback(inner), Some((vec![2], 20)));
+        assert!(log.active(), "outer savepoint still open");
+        log.record_with(|| 3);
+        assert_eq!(log.rollback(outer), Some((vec![3, 1], 10)));
+    }
+
+    #[test]
+    fn committing_an_inner_savepoint_keeps_ops_for_the_outer() {
+        let mut log: UndoLog<u32, u64> = UndoLog::default();
+        let outer = log.begin(1);
+        let inner = log.begin(2);
+        log.record_with(|| 9);
+        log.commit(inner);
+        assert!(log.active());
+        assert_eq!(log.rollback(outer), Some((vec![9], 1)));
+    }
+
+    #[test]
+    fn committing_outermost_clears_the_journal() {
+        let mut log: UndoLog<u32, u64> = UndoLog::default();
+        let outer = log.begin(1);
+        log.record_with(|| 9);
+        log.commit(outer);
+        assert!(!log.active());
+        let sp = log.begin(2);
+        assert_eq!(log.rollback(sp), Some((Vec::new(), 2)));
+    }
+
+    #[test]
+    fn rollback_of_outer_discards_inner_marks() {
+        let mut log: UndoLog<u32, u64> = UndoLog::default();
+        let outer = log.begin(1);
+        log.record_with(|| 1);
+        let inner = log.begin(2);
+        log.record_with(|| 2);
+        assert_eq!(log.rollback(outer), Some((vec![2, 1], 1)));
+        assert_eq!(log.rollback(inner), None);
+        assert_eq!(log.commit(inner), ());
+    }
+}

@@ -50,6 +50,7 @@ fn descend(plan: FaultPlan) -> dbpc::convert::LadderOutcome {
         fault: plan,
         ..Supervisor::default()
     };
+    let mut db = named::company_db(4, 3, 8);
     run_ladder(
         &supervisor,
         &LadderConfig::default(),
@@ -57,7 +58,7 @@ fn descend(plan: FaultPlan) -> dbpc::convert::LadderOutcome {
         &named::fig_4_4_restructuring(),
         &clean_program(),
         KEY,
-        &named::company_db(4, 3, 8),
+        &mut db,
         &Inputs::new(),
         &mut AutoAnalyst,
     )
