@@ -39,4 +39,16 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench fault_tolerance
 echo "==> bench smoke (recovery)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench recovery
 
+echo "==> bench smoke (observability)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench observability
+
+# The obs export path end to end: run the E2 study with DBPC_OBS_JSON set,
+# then validate the exported RunReport with the in-repo schema checker
+# (parse, logical-clock nesting, byte-identical round trip).
+echo "==> obs smoke (export E2 run report, validate schema)"
+obs_json="$(mktemp /tmp/obs_e2.XXXXXX.json)"
+DBPC_OBS_JSON="$obs_json" cargo run -q --release -p dbpc-bench --bin success_rate -- 2 1979 >/dev/null
+cargo run -q --release -p dbpc-bench --bin obs_check -- "$obs_json"
+rm -f "$obs_json"
+
 echo "CI OK"

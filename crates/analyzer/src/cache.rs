@@ -12,20 +12,30 @@
 //! can never change what any other worker reads back — sharing is safe for
 //! determinism, and it keeps short-lived pool workers warm across study
 //! runs. The lock brackets only the lookup or insert, never an analysis.
-//! Hit/miss **counters** stay thread-local: harnesses snapshot them around
-//! a unit of work on the worker that does the work and aggregate the deltas
-//! into their (diagnostic-only, equality-excluded) profiles without any
-//! cross-thread attribution ambiguity.
+//! Hit/miss **counters** live in the thread-local `dbpc-obs` metric sheet
+//! (PR 5; previously private `Cell`s that were never merged across pool
+//! workers): harnesses snapshot them around a unit of work on the worker
+//! that does the work, and the per-item deltas merge into the study's
+//! registry. They are `racy`-kind metrics — the hit/miss *split* depends
+//! on cross-worker interleaving — but `hits + misses == lookups` holds at
+//! any thread count, and `analyzer.cache_lookups` is a plain deterministic
+//! counter.
 
 use crate::dataflow::{analyze_host, AnalysisReport};
 use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::host::Program;
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hasher};
 use std::sync::{Arc, LazyLock, Mutex, MutexGuard, PoisonError};
+
+/// Metric name for memo-cache hits (racy: split depends on interleaving).
+pub const CACHE_HITS: &str = "analyzer.cache_hits";
+/// Metric name for memo-cache misses (racy, ditto).
+pub const CACHE_MISSES: &str = "analyzer.cache_misses";
+/// Metric name for total memo lookups (deterministic: one per call).
+pub const CACHE_LOOKUPS: &str = "analyzer.cache_lookups";
 
 /// Snapshot of this thread's cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +52,14 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
         }
     }
+
+    /// Read the `analyzer.*` cache counters out of a merged metrics frame.
+    pub fn from_frame(frame: &dbpc_obs::MetricsFrame) -> CacheStats {
+        CacheStats {
+            hits: frame.counter(CACHE_HITS),
+            misses: frame.counter(CACHE_MISSES),
+        }
+    }
 }
 
 /// Cache key: `(schema fingerprint, program fingerprint)`.
@@ -49,11 +67,6 @@ type FingerprintKey = (u64, u64);
 
 static CACHE: LazyLock<Mutex<HashMap<FingerprintKey, Arc<AnalysisReport>>>> =
     LazyLock::new(|| Mutex::new(HashMap::new()));
-
-thread_local! {
-    static HITS: Cell<u64> = const { Cell::new(0) };
-    static MISSES: Cell<u64> = const { Cell::new(0) };
-}
 
 /// `fmt::Write` adapter that streams formatted output straight into a
 /// hasher, so fingerprinting never materializes the `Debug` string.
@@ -106,11 +119,12 @@ pub fn analyze_host_memo_keyed(
     schema_fp: u64,
 ) -> Arc<AnalysisReport> {
     let key = (schema_fp, program_fingerprint(program));
+    dbpc_obs::count(CACHE_LOOKUPS, 1);
     if let Some(report) = lock_cache().get(&key).cloned() {
-        HITS.with(|h| h.set(h.get() + 1));
+        dbpc_obs::racy(CACHE_HITS, 1);
         return report;
     }
-    MISSES.with(|m| m.set(m.get() + 1));
+    dbpc_obs::racy(CACHE_MISSES, 1);
     let report = Arc::new(analyze_host(program, schema));
     lock_cache().insert(key, report.clone());
     report
@@ -126,10 +140,7 @@ fn lock_cache() -> MutexGuard<'static, HashMap<FingerprintKey, Arc<AnalysisRepor
 
 /// This thread's cumulative hit/miss counters.
 pub fn cache_stats() -> CacheStats {
-    CacheStats {
-        hits: HITS.with(|h| h.get()),
-        misses: MISSES.with(|m| m.get()),
-    }
+    CacheStats::from_frame(&dbpc_obs::local_snapshot())
 }
 
 /// Drop the process-wide cache and zero this thread's counters (test/bench
@@ -137,8 +148,9 @@ pub fn cache_stats() -> CacheStats {
 /// this, never wrong reports.
 pub fn reset_cache() {
     lock_cache().clear();
-    HITS.with(|h| h.set(0));
-    MISSES.with(|m| m.set(0));
+    dbpc_obs::local_remove(CACHE_HITS);
+    dbpc_obs::local_remove(CACHE_MISSES);
+    dbpc_obs::local_remove(CACHE_LOOKUPS);
 }
 
 #[cfg(test)]

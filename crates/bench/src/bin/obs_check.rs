@@ -1,0 +1,51 @@
+//! Schema checker for exported `RunReport` JSON — the CI obs smoke gate.
+//!
+//! ```sh
+//! DBPC_OBS_JSON=/tmp/obs_e2.json cargo run -p dbpc-bench --bin success_rate -- 2 1979
+//! cargo run -p dbpc-bench --bin obs_check -- /tmp/obs_e2.json
+//! ```
+//!
+//! Validates with the in-repo checker (`dbpc_obs::report::validate_json`):
+//! the document parses, every span tree respects the logical clock, every
+//! metric kind is known, and re-serialization reproduces the file
+//! byte-for-byte. Exits non-zero (with the reason on stderr) on any
+//! violation, so a malformed export fails the pipeline instead of shipping.
+
+use dbpc_obs::report::validate_json;
+use dbpc_obs::RunReport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_check <run-report.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_json(&text) {
+        eprintln!("obs_check: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // validate_json already parsed it; parse again for the summary line.
+    match RunReport::from_json(&text) {
+        Ok(report) => {
+            println!(
+                "obs_check: {path}: ok ({} span roots, {} nodes, {} metrics, label {:?})",
+                report.spans.len(),
+                report.node_count(),
+                report.metrics.len(),
+                report.label
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

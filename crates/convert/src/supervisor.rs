@@ -205,8 +205,86 @@ impl Supervisor {
         Ok(reports)
     }
 
+    /// [`Supervisor::convert`] with structured observability: the returned
+    /// report's `run_report` carries the span tree (every `Stage` boundary
+    /// under one logical clock) and the metrics recorded while converting.
+    pub fn convert_traced(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+    ) -> ModelResult<ConversionReport> {
+        let before = dbpc_obs::local_snapshot();
+        let (outcome, cap) = dbpc_obs::capture("convert", || {
+            self.convert(source_schema, restructuring, program, analyst)
+        });
+        let delta = dbpc_obs::local_snapshot().since(&before);
+        let mut registry = dbpc_obs::MetricsRegistry::new();
+        registry.absorb(&delta);
+        let mut report = outcome?;
+        report.run_report = Some(Box::new(dbpc_obs::RunReport::assemble(
+            "convert",
+            vec![cap],
+            registry,
+        )));
+        Ok(report)
+    }
+
+    /// [`Supervisor::convert_batch`] with structured observability: returns
+    /// the per-program reports plus one batch-level [`dbpc_obs::RunReport`]
+    /// whose span forest covers every program in order under one clock.
+    pub fn convert_batch_traced(
+        &self,
+        source_schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        programs: &[Program],
+        analyst: &mut dyn Analyst,
+    ) -> ModelResult<(Vec<ConversionReport>, dbpc_obs::RunReport)> {
+        let before = dbpc_obs::local_snapshot();
+        let (outcome, cap) = dbpc_obs::capture("convert-batch", || {
+            self.convert_batch(source_schema, restructuring, programs, analyst)
+        });
+        let delta = dbpc_obs::local_snapshot().since(&before);
+        let mut registry = dbpc_obs::MetricsRegistry::new();
+        registry.absorb(&delta);
+        registry.observe("convert.batch_size", programs.len() as u64);
+        let report = dbpc_obs::RunReport::assemble("convert-batch", vec![cap], registry);
+        Ok((outcome?, report))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn convert_one(
+        &self,
+        mapping: &Mapping,
+        apg: &AccessPathGraph,
+        source_schema: &NetworkSchema,
+        schema_fp: Option<u64>,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+        key: u64,
+        attempt: usize,
+    ) -> PipelineResult<ConversionReport> {
+        dbpc_obs::span_with(
+            "convert.program",
+            &[("key", &key.to_string()), ("attempt", &attempt.to_string())],
+            || {
+                self.convert_one_inner(
+                    mapping,
+                    apg,
+                    source_schema,
+                    schema_fp,
+                    program,
+                    analyst,
+                    key,
+                    attempt,
+                )
+            },
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn convert_one_inner(
         &self,
         mapping: &Mapping,
         apg: &AccessPathGraph,
@@ -224,86 +302,96 @@ impl Supervisor {
 
         // Program analysis: execution-time variability blocks automation
         // before any rewriting is attempted (§3.2).
-        self.fault.trip(Stage::Analyzer, key, attempt)?;
-        let analysis = match schema_fp {
-            Some(fp) => dbpc_analyzer::cache::analyze_host_memo_keyed(program, source_schema, fp),
-            None => std::sync::Arc::new(analyze_host(program, source_schema)),
-        };
-        for h in &analysis.hazards {
-            if let Hazard::RuntimeVariableVerb { .. } = h {
-                let q = Question::RuntimeVariability { hazard: h.clone() };
-                let a = analyst.resolve(&q);
-                match a {
-                    Answer::Proceed => needs_manual = true,
-                    Answer::Reject => rejected = true,
+        dbpc_obs::span(Stage::Analyzer.span_name(), || -> PipelineResult<()> {
+            self.fault.trip(Stage::Analyzer, key, attempt)?;
+            dbpc_obs::count("convert.programs_analyzed", 1);
+            let analysis = match schema_fp {
+                Some(fp) => {
+                    dbpc_analyzer::cache::analyze_host_memo_keyed(program, source_schema, fp)
                 }
-                questions.push((q, a));
-            }
-        }
-
-        // Per-transform rewriting against the pre-step schema snapshots.
-        self.fault.trip(Stage::Converter, key, attempt)?;
-        let mut current = program.clone();
-        let mut fresh = FreshNames::default();
-        if !rejected {
-            for (i, t) in mapping.restructuring.transforms.iter().enumerate() {
-                let outcome = convert_step(&current, &mapping.snapshots[i], t, &mut fresh);
-                current = outcome.program;
-                warnings.extend(outcome.warnings);
-                for q in outcome.questions {
+                None => std::sync::Arc::new(analyze_host(program, source_schema)),
+            };
+            for h in &analysis.hazards {
+                if let Hazard::RuntimeVariableVerb { .. } = h {
+                    let q = Question::RuntimeVariability { hazard: h.clone() };
                     let a = analyst.resolve(&q);
                     match a {
-                        Answer::Proceed => {
-                            // §5.2: an approved integrity tightening is a
-                            // *desired* behavior change ("the application
-                            // requirements have changed"), not unfinished
-                            // work — record it as a predicted change.
-                            if let Question::InsertionTightened { record, set } = &q {
-                                warnings.push(Warning::IntegrityTightened {
-                                    detail: format!(
-                                        "STORE {record} now requires membership in {set}                                          (behavior change approved by analyst)"
-                                    ),
-                                });
-                            } else if let Question::RetentionTightened { set } = &q {
-                                warnings.push(Warning::IntegrityTightened {
-                                    detail: format!(
-                                        "DISCONNECT from {set} now forbidden                                          (behavior change approved by analyst)"
-                                    ),
-                                });
-                            } else {
-                                needs_manual = true;
-                            }
-                        }
+                        Answer::Proceed => needs_manual = true,
                         Answer::Reject => rejected = true,
                     }
                     questions.push((q, a));
                 }
-                if rejected {
-                    break;
-                }
             }
-        }
+            Ok(())
+        })?;
 
-        // Alternate-path audit: "if … multiple data paths can be found to
-        // carry out an access then these issues can be resolved
-        // interactively" (§4). Each converted hop whose (source, target)
-        // pair is realized by more than one set in the target schema is
-        // put to the analyst once.
-        if !rejected {
-            for q in ambiguous_paths(&current, apg) {
-                let a = analyst.resolve(&q);
-                match a {
-                    Answer::Proceed => {}
-                    Answer::Reject => rejected = true,
-                }
-                questions.push((q, a));
-                if rejected {
-                    break;
+        // Per-transform rewriting against the pre-step schema snapshots.
+        let mut current = program.clone();
+        let mut fresh = FreshNames::default();
+        dbpc_obs::span(Stage::Converter.span_name(), || -> PipelineResult<()> {
+            self.fault.trip(Stage::Converter, key, attempt)?;
+            if !rejected {
+                for (i, t) in mapping.restructuring.transforms.iter().enumerate() {
+                    let outcome = convert_step(&current, &mapping.snapshots[i], t, &mut fresh);
+                    current = outcome.program;
+                    warnings.extend(outcome.warnings);
+                    for q in outcome.questions {
+                        let a = analyst.resolve(&q);
+                        match a {
+                            Answer::Proceed => {
+                                // §5.2: an approved integrity tightening is a
+                                // *desired* behavior change ("the application
+                                // requirements have changed"), not unfinished
+                                // work — record it as a predicted change.
+                                if let Question::InsertionTightened { record, set } = &q {
+                                    warnings.push(Warning::IntegrityTightened {
+                                        detail: format!(
+                                            "STORE {record} now requires membership in {set}                                          (behavior change approved by analyst)"
+                                        ),
+                                    });
+                                } else if let Question::RetentionTightened { set } = &q {
+                                    warnings.push(Warning::IntegrityTightened {
+                                        detail: format!(
+                                            "DISCONNECT from {set} now forbidden                                          (behavior change approved by analyst)"
+                                        ),
+                                    });
+                                } else {
+                                    needs_manual = true;
+                                }
+                            }
+                            Answer::Reject => rejected = true,
+                        }
+                        questions.push((q, a));
+                    }
+                    if rejected {
+                        break;
+                    }
                 }
             }
-        }
+
+            // Alternate-path audit: "if … multiple data paths can be found to
+            // carry out an access then these issues can be resolved
+            // interactively" (§4). Each converted hop whose (source, target)
+            // pair is realized by more than one set in the target schema is
+            // put to the analyst once.
+            if !rejected {
+                for q in ambiguous_paths(&current, apg) {
+                    let a = analyst.resolve(&q);
+                    match a {
+                        Answer::Proceed => {}
+                        Answer::Reject => rejected = true,
+                    }
+                    questions.push((q, a));
+                    if rejected {
+                        break;
+                    }
+                }
+            }
+            Ok(())
+        })?;
 
         if rejected {
+            dbpc_obs::count("convert.rejections", 1);
             return Ok(ConversionReport {
                 verdict: Verdict::Rejected,
                 program: None,
@@ -312,14 +400,18 @@ impl Supervisor {
                 questions,
                 rung: Rung::FullRewrite,
                 fallbacks: Vec::new(),
+                run_report: None,
             });
         }
 
         if self.optimize {
-            self.fault.trip(Stage::Optimizer, key, attempt)?;
-            let (optimized, opt_warnings) = optimize(&current, &mapping.target);
-            current = optimized;
-            warnings.extend(opt_warnings);
+            dbpc_obs::span(Stage::Optimizer.span_name(), || -> PipelineResult<()> {
+                self.fault.trip(Stage::Optimizer, key, attempt)?;
+                let (optimized, opt_warnings) = optimize(&current, &mapping.target);
+                current = optimized;
+                warnings.extend(opt_warnings);
+                Ok(())
+            })?;
         }
 
         let verdict = if needs_manual {
@@ -329,8 +421,14 @@ impl Supervisor {
         } else {
             Verdict::ConvertedWithWarnings
         };
-        self.fault.trip(Stage::Generator, key, attempt)?;
-        let text = crate::generator::generate_host(&current);
+        let text = dbpc_obs::span(
+            Stage::Generator.span_name(),
+            || -> PipelineResult<String> {
+                self.fault.trip(Stage::Generator, key, attempt)?;
+                Ok(crate::generator::generate_host(&current))
+            },
+        )?;
+        dbpc_obs::count("convert.programs_converted", 1);
         Ok(ConversionReport {
             verdict,
             program: Some(current),
@@ -339,6 +437,7 @@ impl Supervisor {
             questions,
             rung: Rung::FullRewrite,
             fallbacks: Vec::new(),
+            run_report: None,
         })
     }
 }
@@ -359,6 +458,7 @@ fn failure_report(verdict: Verdict, error: PipelineError) -> ConversionReport {
             attempts: 1,
             error,
         }],
+        run_report: None,
     }
 }
 

@@ -201,22 +201,29 @@ pub fn run_ladder(
             let attempt = attempts;
             attempts += 1;
             total_attempts += 1;
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                attempt_rung(
-                    supervisor,
-                    cfg,
-                    rung,
-                    source_schema,
-                    restructuring,
-                    program,
-                    key,
-                    attempt,
-                    &*source_db,
-                    &truth,
-                    inputs,
-                    &mut *analyst,
-                )
-            }));
+            dbpc_obs::count("ladder.rung_attempts", 1);
+            let outcome = dbpc_obs::span_with(
+                format!("rung.{}", rung.name()),
+                &[("attempt", &attempt.to_string())],
+                || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        attempt_rung(
+                            supervisor,
+                            cfg,
+                            rung,
+                            source_schema,
+                            restructuring,
+                            program,
+                            key,
+                            attempt,
+                            &*source_db,
+                            &truth,
+                            inputs,
+                            &mut *analyst,
+                        )
+                    }))
+                },
+            );
             if cfg!(debug_assertions) {
                 debug_assert_eq!(
                     source_db.fingerprint(),
@@ -305,54 +312,62 @@ fn attempt_rung(
                 ));
             };
             let mut target = translate(fault, restructuring, source_db, key, attempt)?;
-            fault.trip(Stage::Verification, key, attempt)?;
-            let trace = run_host_with_fuel(&mut target, converted, inputs.clone(), cfg.verify_fuel)
-                .map_err(|e| run_error(Stage::Verification, e))?;
-            match diff_traces(truth, &trace) {
-                None => Ok((report, EquivalenceLevel::Strict)),
-                Some(_) if report.warnings.iter().any(predicts_behavior_change) => {
-                    Ok((report, EquivalenceLevel::Warned))
+            let level = dbpc_obs::span(Stage::Verification.span_name(), || {
+                fault.trip(Stage::Verification, key, attempt)?;
+                let trace =
+                    run_host_with_fuel(&mut target, converted, inputs.clone(), cfg.verify_fuel)
+                        .map_err(|e| run_error(Stage::Verification, e))?;
+                match diff_traces(truth, &trace) {
+                    None => Ok(EquivalenceLevel::Strict),
+                    Some(_) if report.warnings.iter().any(predicts_behavior_change) => {
+                        Ok(EquivalenceLevel::Warned)
+                    }
+                    Some(d) => Err(PipelineError::stage(
+                        Stage::Verification,
+                        format!("trace divergence: {d}"),
+                    )),
                 }
-                Some(d) => Err(PipelineError::stage(
-                    Stage::Verification,
-                    format!("trace divergence: {d}"),
-                )),
-            }
+            })?;
+            Ok((report, level))
         }
         Rung::Emulation => {
             let target = translate(fault, restructuring, source_db, key, attempt)?;
             let mut emu = Emulator::over(target, source_schema, restructuring)
                 .map_err(|e| PipelineError::stage(Stage::Converter, format!("emulation: {e}")))?;
-            fault.trip(Stage::Verification, key, attempt)?;
-            let trace = run_host_with_fuel(&mut emu, program, inputs.clone(), cfg.verify_fuel)
-                .map_err(|e| run_error(Stage::Verification, e))?;
-            match diff_traces(truth, &trace) {
-                None => Ok((strategy_report(), EquivalenceLevel::Strict)),
-                Some(d) => Err(PipelineError::stage(
-                    Stage::Verification,
-                    format!("emulation trace divergence: {d}"),
-                )),
-            }
+            dbpc_obs::span(Stage::Verification.span_name(), || {
+                fault.trip(Stage::Verification, key, attempt)?;
+                let trace = run_host_with_fuel(&mut emu, program, inputs.clone(), cfg.verify_fuel)
+                    .map_err(|e| run_error(Stage::Verification, e))?;
+                match diff_traces(truth, &trace) {
+                    None => Ok((strategy_report(), EquivalenceLevel::Strict)),
+                    Some(d) => Err(PipelineError::stage(
+                        Stage::Verification,
+                        format!("emulation trace divergence: {d}"),
+                    )),
+                }
+            })
         }
         Rung::Bridge => {
             let target = translate(fault, restructuring, source_db, key, attempt)?;
-            fault.trip(Stage::Verification, key, attempt)?;
-            let run = run_bridged(
-                target,
-                source_schema,
-                restructuring,
-                program,
-                inputs.clone(),
-                WriteBack::Differential,
-            )
-            .map_err(|e| run_error(Stage::Converter, e))?;
-            match diff_traces(truth, &run.trace) {
-                None => Ok((strategy_report(), EquivalenceLevel::Strict)),
-                Some(d) => Err(PipelineError::stage(
-                    Stage::Verification,
-                    format!("bridge trace divergence: {d}"),
-                )),
-            }
+            dbpc_obs::span(Stage::Verification.span_name(), || {
+                fault.trip(Stage::Verification, key, attempt)?;
+                let run = run_bridged(
+                    target,
+                    source_schema,
+                    restructuring,
+                    program,
+                    inputs.clone(),
+                    WriteBack::Differential,
+                )
+                .map_err(|e| run_error(Stage::Converter, e))?;
+                match diff_traces(truth, &run.trace) {
+                    None => Ok((strategy_report(), EquivalenceLevel::Strict)),
+                    Some(d) => Err(PipelineError::stage(
+                        Stage::Verification,
+                        format!("bridge trace divergence: {d}"),
+                    )),
+                }
+            })
         }
         Rung::Manual => Err(PipelineError::stage(
             Stage::Converter,
@@ -373,12 +388,14 @@ fn translate(
     key: u64,
     attempt: usize,
 ) -> PipelineResult<NetworkDb> {
-    fault.trip(Stage::Translation, key, attempt)?;
-    restructuring
-        .translate_checkpointed(source_db, TRANSLATION_BATCH, &mut |b| {
-            fault.translation_crash(key, b)
-        })
-        .map_err(|e| PipelineError::stage(Stage::Translation, e))
+    dbpc_obs::span(Stage::Translation.span_name(), || {
+        fault.trip(Stage::Translation, key, attempt)?;
+        restructuring
+            .translate_checkpointed(source_db, TRANSLATION_BATCH, &mut |b| {
+                fault.translation_crash(key, b)
+            })
+            .map_err(|e| PipelineError::stage(Stage::Translation, e))
+    })
 }
 
 /// Report for a verified strategy rung (emulation/bridge): the *original*
@@ -392,6 +409,7 @@ fn strategy_report() -> ConversionReport {
         questions: Vec::new(),
         rung: Rung::FullRewrite, // overwritten by the caller
         fallbacks: Vec::new(),
+        run_report: None,
     }
 }
 
@@ -405,6 +423,7 @@ fn manual_report(fallbacks: Vec<RungFailure>) -> ConversionReport {
         questions: Vec::new(),
         rung: Rung::Manual,
         fallbacks,
+        run_report: None,
     }
 }
 

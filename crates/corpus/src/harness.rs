@@ -24,12 +24,35 @@ use dbpc_datamodel::error::PipelineError;
 use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::host::Program;
 use dbpc_engine::{Inputs, Trace};
+use dbpc_obs::{MetricsFrame, MetricsRegistry, RunReport};
 use dbpc_storage::NetworkDb;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::{Arc, LazyLock, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+// Study-level metric names (the `study.*` slice of the merged frame; see
+// DESIGN.md for the old-field → metric-name migration table). Counters are
+// thread-count invariant; `Racy` names are shared-memo hit/miss splits and
+// scheduling-dependent run counts; `Time` names are wall-clock.
+pub const CELLS_DONE: &str = "study.cells_done";
+pub const PROGRAMS_GENERATED: &str = "study.programs_generated";
+pub const GENERATION_CACHE_HITS: &str = "study.generation_cache_hits";
+pub const PROGRAMS_CONVERTED: &str = "study.programs_converted";
+pub const EQUIVALENCE_RUNS: &str = "study.equivalence_runs";
+pub const SOURCE_TRACE_HITS: &str = "study.source_trace_hits";
+pub const SOURCE_TRACE_MISSES: &str = "study.source_trace_misses";
+pub const DB_BUILDS: &str = "study.db_builds";
+pub const DB_CLONES: &str = "study.db_clones";
+pub const DB_SHARED_RUNS: &str = "study.db_shared_runs";
+pub const TRANSLATIONS: &str = "study.translations";
+pub const GENERATE_NS: &str = "study.generate_ns";
+pub const CONVERT_NS: &str = "study.convert_ns";
+pub const VERIFY_NS: &str = "study.verify_ns";
+/// Worker-thread gauge; the `host.` prefix keeps machine shape out of
+/// deterministic comparisons.
+pub const HOST_THREADS: &str = "host.threads";
 
 /// Lock a harness memo map, recovering from poisoning: guards are never
 /// held across computation (only map lookups/inserts), so a worker that
@@ -121,6 +144,13 @@ impl StudyRow {
 /// Diagnostic profile of one study run: work counters and per-stage
 /// wall-clock, aggregated across the pool's workers.
 ///
+/// Since the `dbpc-obs` migration this is a *view* over the run's merged
+/// [`MetricsFrame`] ([`StudyProfile::from_frame`]), kept so benches and
+/// regression tests read named fields instead of string-keyed metrics. The
+/// recording itself goes through the ambient `dbpc_obs` sheet; the harness
+/// brackets each cell, ships the delta frame back from the worker, and
+/// merges in cell-index order.
+///
 /// Same contract as the storage engines' `AccessProfile`: the profile makes
 /// the pipeline's *work* observable for benches and regression tests, but it
 /// is never part of a result comparison — [`StudyResult`]'s `PartialEq` and
@@ -171,23 +201,29 @@ pub struct StudyProfile {
 }
 
 impl StudyProfile {
-    fn absorb(&mut self, other: &StudyProfile) {
-        self.cells_done += other.cells_done;
-        self.programs_generated += other.programs_generated;
-        self.generation_cache_hits += other.generation_cache_hits;
-        self.programs_converted += other.programs_converted;
-        self.equivalence_runs += other.equivalence_runs;
-        self.analysis_cache_hits += other.analysis_cache_hits;
-        self.analysis_cache_misses += other.analysis_cache_misses;
-        self.source_trace_hits += other.source_trace_hits;
-        self.source_trace_misses += other.source_trace_misses;
-        self.db_builds += other.db_builds;
-        self.db_clones += other.db_clones;
-        self.db_shared_runs += other.db_shared_runs;
-        self.translations += other.translations;
-        self.generate_ns += other.generate_ns;
-        self.convert_ns += other.convert_ns;
-        self.verify_ns += other.verify_ns;
+    /// Project a merged metrics frame onto the named-field profile. The
+    /// analysis-cache fields read the `dbpc_analyzer::cache` metric names;
+    /// everything else reads the `study.*` names above.
+    pub fn from_frame(frame: &MetricsFrame) -> StudyProfile {
+        StudyProfile {
+            threads: frame.gauge(HOST_THREADS).max(0) as usize,
+            cells_done: frame.counter(CELLS_DONE),
+            programs_generated: frame.counter(PROGRAMS_GENERATED),
+            generation_cache_hits: frame.counter(GENERATION_CACHE_HITS),
+            programs_converted: frame.counter(PROGRAMS_CONVERTED),
+            equivalence_runs: frame.counter(EQUIVALENCE_RUNS),
+            analysis_cache_hits: frame.counter(dbpc_analyzer::cache::CACHE_HITS),
+            analysis_cache_misses: frame.counter(dbpc_analyzer::cache::CACHE_MISSES),
+            source_trace_hits: frame.counter(SOURCE_TRACE_HITS),
+            source_trace_misses: frame.counter(SOURCE_TRACE_MISSES),
+            db_builds: frame.counter(DB_BUILDS),
+            db_clones: frame.counter(DB_CLONES),
+            db_shared_runs: frame.counter(DB_SHARED_RUNS),
+            translations: frame.counter(TRANSLATIONS),
+            generate_ns: frame.time_ns(GENERATE_NS),
+            convert_ns: frame.time_ns(CONVERT_NS),
+            verify_ns: frame.time_ns(VERIFY_NS),
+        }
     }
 }
 
@@ -200,8 +236,14 @@ impl StudyProfile {
 pub struct StudyResult {
     pub rows: Vec<StudyRow>,
     pub samples_per_cell: usize,
-    /// Work counters and stage timings (diagnostic only).
+    /// Work counters and stage timings (diagnostic only; a view over
+    /// `report.metrics`).
     pub profile: StudyProfile,
+    /// Structured observability for the run: per-cell span trees under one
+    /// renumbered logical clock, plus the full merged metrics frame.
+    /// Diagnostic like `profile` — excluded from equality — and exported
+    /// as JSON when `DBPC_OBS_JSON` names a path.
+    pub report: RunReport,
 }
 
 impl PartialEq for StudyResult {
@@ -377,34 +419,48 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
         .collect();
     // Panic-safe fan-out: a cell whose computation escapes every inner
     // supervision boundary becomes an all-poisoned cell, not a dead batch.
+    // Each cell runs under its own `dbpc_obs::capture` (so every span the
+    // pipeline opens lands in the cell's tree) and brackets the worker's
+    // ambient metric sheet, shipping the per-cell delta frame back with the
+    // result for the index-ordered merge below.
     let per_cell = pool::try_parallel_map(&units, threads, |_, &(t, pc)| {
-        run_cell(&supervisor, &schema, config, t, pc)
+        let before = dbpc_obs::local_snapshot();
+        let label = format!("cell.{}.{}", t.name(), pc.name());
+        let (cell, capture) =
+            dbpc_obs::capture(&label, || run_cell(&supervisor, &schema, config, t, pc));
+        let delta = dbpc_obs::local_snapshot().since(&before);
+        (cell, capture, delta)
     });
 
-    // Reassemble in the fixed transform × program-class order.
-    let mut profile = StudyProfile {
-        threads,
-        ..StudyProfile::default()
-    };
+    // Reassemble in the fixed transform × program-class order. Captures and
+    // metric shards merge in the same cell-index order as the matrix, so
+    // the assembled report is a pure function of the work list.
+    let mut registry = MetricsRegistry::new();
+    let mut captures = Vec::new();
     let mut results = per_cell.into_iter();
     let mut rows = Vec::new();
     for t in TransformClass::ALL {
         let mut cells = Vec::new();
         for pc in ProgramClass::ALL {
-            let (cell, cell_profile) = match results.next() {
-                Some(Ok(r)) => r,
+            let cell = match results.next() {
+                Some(Ok((cell, capture, delta))) => {
+                    registry.absorb(&delta);
+                    captures.push(capture);
+                    cell
+                }
                 // A poisoned (or missing) cell: every sample is recorded in
-                // the failure column; siblings are untouched.
-                Some(Err(_)) | None => (
+                // the failure column; siblings are untouched. Its capture
+                // died with the worker's unwind, so an empty placeholder
+                // keeps the capture list aligned with the cell list.
+                Some(Err(_)) | None => {
+                    captures.push(dbpc_obs::Capture::default());
                     Cell {
                         total: config.samples,
                         poisoned: config.samples,
                         ..Cell::default()
-                    },
-                    StudyProfile::default(),
-                ),
+                    }
+                }
             };
-            profile.absorb(&cell_profile);
             cells.push((*pc, cell));
         }
         rows.push(StudyRow {
@@ -412,10 +468,32 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
             cells,
         });
     }
+    registry.set_gauge(HOST_THREADS, threads as i64);
+    let report = RunReport::assemble("success-rate-study", captures, registry);
+    let profile = StudyProfile::from_frame(&report.metrics);
+    export_report_if_requested(&report);
     StudyResult {
         rows,
         samples_per_cell: config.samples,
         profile,
+        report,
+    }
+}
+
+/// Write a run report to the path named by `DBPC_OBS_JSON`, when set. A
+/// write failure is reported on stderr but never fails the study — the
+/// export is an observer, not a participant.
+fn export_report_if_requested(report: &RunReport) {
+    let Ok(path) = std::env::var("DBPC_OBS_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut text = report.to_json();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("DBPC_OBS_JSON: cannot write {path}: {e}");
     }
 }
 
@@ -440,15 +518,17 @@ fn generation_key(seed: u64, k: usize, pc: ProgramClass) -> GenerationKey {
 }
 
 /// One (transform, program-class) cell: generate, batch-convert, verify.
+/// Work counters go to the worker's ambient `dbpc_obs` sheet (the caller
+/// brackets the cell and ships the delta frame); spans land in the caller's
+/// per-cell capture.
 fn run_cell(
     supervisor: &Supervisor,
     schema: &NetworkSchema,
     config: &StudyConfig,
     t: TransformClass,
     pc: ProgramClass,
-) -> (Cell, StudyProfile) {
+) -> Cell {
     let mut cell = Cell::default();
-    let mut profile = StudyProfile::default();
     let restructuring = t.restructuring();
 
     let started = Instant::now();
@@ -460,8 +540,10 @@ fn run_cell(
             }
             // The seed is transform-independent: the same program recurs in
             // all 8 transform rows, so memoize generation alongside analysis.
+            // Which worker fills the shared memo depends on scheduling, so
+            // the hit count is `Racy`.
             if let Some(p) = lock_memo(&GENERATED).get(&key).cloned() {
-                profile.generation_cache_hits += 1;
+                dbpc_obs::racy(GENERATION_CACHE_HITS, 1);
                 return p;
             }
             let p = generate_program(pc, key.1);
@@ -469,19 +551,19 @@ fn run_cell(
             p
         })
         .collect();
-    profile.programs_generated += programs.len() as u64;
-    profile.generate_ns += started.elapsed().as_nanos() as u64;
+    dbpc_obs::count(PROGRAMS_GENERATED, programs.len() as u64);
+    dbpc_obs::time(GENERATE_NS, started.elapsed().as_nanos() as u64);
 
     if config.ladder {
-        return run_cell_ladder(supervisor, schema, config, t, pc, &programs, cell, profile);
+        return run_cell_ladder(supervisor, schema, config, t, pc, &programs, cell);
     }
 
     // Convert the cell as one batch: the schema mapping is derived once for
     // all samples. The mapping is the batch's only fallible step and
     // depends only on (schema, restructuring), so a batch error is exactly
-    // a per-program rejection of every sample.
+    // a per-program rejection of every sample. Analysis-cache hits/misses
+    // are recorded by `dbpc_analyzer::cache` into the same ambient sheet.
     let started = Instant::now();
-    let cache_before = dbpc_analyzer::cache::cache_stats();
     let mut auto = AutoAnalyst;
     let mut perm = PermissiveAnalyst;
     let analyst: &mut dyn Analyst = if config.permissive {
@@ -498,15 +580,12 @@ fn run_cell(
             Err(_) => {
                 cell.total = programs.len();
                 cell.rejected = programs.len();
-                profile.convert_ns += started.elapsed().as_nanos() as u64;
-                profile.cells_done += 1;
-                return (cell, profile);
+                dbpc_obs::time(CONVERT_NS, started.elapsed().as_nanos() as u64);
+                dbpc_obs::count(CELLS_DONE, 1);
+                return cell;
             }
         };
-    let cache_delta = dbpc_analyzer::cache::cache_stats().since(&cache_before);
-    profile.analysis_cache_hits += cache_delta.hits;
-    profile.analysis_cache_misses += cache_delta.misses;
-    profile.convert_ns += started.elapsed().as_nanos() as u64;
+    dbpc_obs::time(CONVERT_NS, started.elapsed().as_nanos() as u64);
 
     // Execution verification for successful conversions. In reuse mode the
     // cell's source database and its translation are built once; every
@@ -531,7 +610,7 @@ fn run_cell(
         if !report.succeeded() {
             continue;
         }
-        profile.programs_converted += 1;
+        dbpc_obs::count(PROGRAMS_CONVERTED, 1);
         let Some(converted) = report.program.as_ref() else {
             // A succeeded verdict always carries a program; treat the
             // impossible as a verification failure rather than a panic.
@@ -541,9 +620,9 @@ fn run_cell(
         let eq: Result<EquivalenceLevel, _> = if config.reuse_databases {
             if bases.is_none() {
                 let src = company_db(4, 3, 8);
-                profile.db_builds += 1;
+                dbpc_obs::count(DB_BUILDS, 1);
                 let tgt = restructuring.translate(&src).ok();
-                profile.translations += 1;
+                dbpc_obs::count(TRANSLATIONS, 1);
                 bases = Some((src, tgt));
             }
             let Some((src_base, tgt_base)) = bases.as_mut() else {
@@ -558,19 +637,25 @@ fn run_cell(
             let memoized = lock_memo(&SOURCE_TRACES).get(&key).cloned();
             let original_trace = match memoized {
                 Some(trace) => {
-                    profile.source_trace_hits += 1;
+                    dbpc_obs::racy(SOURCE_TRACE_HITS, 1);
                     Ok(trace)
                 }
                 None => {
-                    profile.source_trace_misses += 1;
+                    dbpc_obs::racy(SOURCE_TRACE_MISSES, 1);
                     // Every program — updating or not — runs straight on
                     // the shared base inside a savepoint that is rolled
                     // back afterwards; the undo journal replaced the
-                    // working-copy clone entirely.
-                    profile.db_shared_runs += 1;
-                    let sp = src_base.begin_savepoint();
-                    let run = source_trace(src_base, program, &inputs);
-                    src_base.rollback_to(sp);
+                    // working-copy clone entirely. Which worker fills the
+                    // process-wide memo depends on scheduling, so the run
+                    // is `quiet`: its spans and storage counters would
+                    // otherwise make the trace thread-count dependent.
+                    dbpc_obs::racy(DB_SHARED_RUNS, 1);
+                    let run = dbpc_obs::quiet(|| {
+                        let sp = src_base.begin_savepoint();
+                        let run = source_trace(src_base, program, &inputs);
+                        src_base.rollback_to(sp);
+                        run
+                    });
                     run.map(|trace| {
                         let trace = Arc::new(trace);
                         lock_memo(&SOURCE_TRACES).insert(key, trace.clone());
@@ -578,9 +663,9 @@ fn run_cell(
                     })
                 }
             };
-            profile.equivalence_runs += 1;
+            dbpc_obs::count(EQUIVALENCE_RUNS, 1);
             original_trace.and_then(|trace| {
-                profile.db_shared_runs += 1;
+                dbpc_obs::racy(DB_SHARED_RUNS, 1);
                 let sp = tgt_base.begin_savepoint();
                 let out = judge_equivalence(&trace, tgt_base, converted, &inputs, &report.warnings);
                 tgt_base.rollback_to(sp);
@@ -588,13 +673,13 @@ fn run_cell(
             })
         } else {
             let src = company_db(4, 3, 8);
-            profile.db_builds += 1;
-            profile.translations += 1;
+            dbpc_obs::count(DB_BUILDS, 1);
+            dbpc_obs::count(TRANSLATIONS, 1);
             let Ok(tgt) = restructuring.translate(&src) else {
                 cell.verified_wrong += 1;
                 continue;
             };
-            profile.equivalence_runs += 1;
+            dbpc_obs::count(EQUIVALENCE_RUNS, 1);
             check_equivalence(src, program, tgt, converted, &inputs, &report.warnings)
                 .map(|eq| eq.level)
         };
@@ -605,9 +690,9 @@ fn run_cell(
             Ok(EquivalenceLevel::NotEquivalent) | Err(_) => cell.verified_wrong += 1,
         }
     }
-    profile.verify_ns += started.elapsed().as_nanos() as u64;
-    profile.cells_done += 1;
-    (cell, profile)
+    dbpc_obs::time(VERIFY_NS, started.elapsed().as_nanos() as u64);
+    dbpc_obs::count(CELLS_DONE, 1);
+    cell
 }
 
 /// The ladder variant of a cell: every program descends the §2 strategy
@@ -615,7 +700,6 @@ fn run_cell(
 /// the serving rung's verdict; `verified_equivalent` counts programs whose
 /// serving rung passed its equivalence check (the ladder only serves
 /// verified rungs, so a served program is a verified one).
-#[allow(clippy::too_many_arguments)]
 fn run_cell_ladder(
     supervisor: &Supervisor,
     schema: &NetworkSchema,
@@ -624,12 +708,11 @@ fn run_cell_ladder(
     pc: ProgramClass,
     programs: &[Program],
     mut cell: Cell,
-    mut profile: StudyProfile,
-) -> (Cell, StudyProfile) {
+) -> Cell {
     let started = Instant::now();
     let inputs = Inputs::new().with_terminal(&["RETRIEVE"]);
     let mut src_base = company_db(4, 3, 8);
-    profile.db_builds += 1;
+    dbpc_obs::count(DB_BUILDS, 1);
     let restructuring = t.restructuring();
     let ladder_cfg = LadderConfig::default();
     for (k, program) in programs.iter().enumerate() {
@@ -665,9 +748,9 @@ fn run_cell_ladder(
                     Verdict::Poisoned => cell.poisoned += 1,
                 }
                 if out.report.succeeded() {
-                    profile.programs_converted += 1;
+                    dbpc_obs::count(PROGRAMS_CONVERTED, 1);
                 }
-                profile.equivalence_runs += 1;
+                dbpc_obs::count(EQUIVALENCE_RUNS, 1);
                 match out.level {
                     Some(EquivalenceLevel::Strict | EquivalenceLevel::Warned) => {
                         cell.verified_equivalent += 1
@@ -681,9 +764,9 @@ fn run_cell_ladder(
             Err(_) => cell.poisoned += 1,
         }
     }
-    profile.verify_ns += started.elapsed().as_nanos() as u64;
-    profile.cells_done += 1;
-    (cell, profile)
+    dbpc_obs::time(VERIFY_NS, started.elapsed().as_nanos() as u64);
+    dbpc_obs::count(CELLS_DONE, 1);
+    cell
 }
 
 /// Per-program ladder reports over the whole E2 corpus, in the fixed
@@ -754,6 +837,7 @@ pub fn ladder_reports(config: &StudyConfig) -> Vec<ConversionReport> {
                 attempts: 1,
                 error: PipelineError::Panic { detail: p.payload },
             }],
+            run_report: None,
         })
     })
     .collect()

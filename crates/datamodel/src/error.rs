@@ -97,6 +97,20 @@ impl Stage {
             Stage::Verification => "verification",
         }
     }
+
+    /// The `dbpc-obs` span name for this stage boundary (`stage.<name>`).
+    /// One canonical mapping, so trace consumers can match spans to the
+    /// Figure 4.1 boxes without string assembly at every call site.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Stage::Analyzer => "stage.analyzer",
+            Stage::Converter => "stage.converter",
+            Stage::Optimizer => "stage.optimizer",
+            Stage::Generator => "stage.generator",
+            Stage::Translation => "stage.translation",
+            Stage::Verification => "stage.verification",
+        }
+    }
 }
 
 impl fmt::Display for Stage {

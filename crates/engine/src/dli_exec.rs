@@ -33,27 +33,32 @@ pub struct DliMachine<'d> {
 /// The run is atomic: a typed error, fuel exhaustion, or a panic
 /// (re-raised after cleanup) rolls the database back to its pre-run state.
 pub fn run_dli(db: &mut HierDb, program: &DliProgram, _inputs: Inputs) -> RunResult<Trace> {
-    db.access_stats().reset();
-    let sp = db.begin_savepoint();
-    let db_ref = &mut *db;
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        DliMachine::new(db_ref).run(program)
-    }));
-    match outcome {
-        Ok(Ok(mut trace)) => {
-            db.commit(sp);
-            trace.access = db.access_stats().snapshot();
-            Ok(trace)
+    dbpc_obs::span("engine.dli", || {
+        db.access_stats().reset();
+        let sp = db.begin_savepoint();
+        let db_ref = &mut *db;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            DliMachine::new(db_ref).run(program)
+        }));
+        match outcome {
+            Ok(Ok(mut trace)) => {
+                db.commit(sp);
+                trace.access = db.access_stats().snapshot();
+                trace.access.absorb_into_obs();
+                Ok(trace)
+            }
+            Ok(Err(e)) => {
+                db.access_stats().snapshot().absorb_into_obs();
+                db.rollback_to(sp);
+                Err(e)
+            }
+            Err(payload) => {
+                db.access_stats().snapshot().absorb_into_obs();
+                db.rollback_to(sp);
+                std::panic::resume_unwind(payload)
+            }
         }
-        Ok(Err(e)) => {
-            db.rollback_to(sp);
-            Err(e)
-        }
-        Err(payload) => {
-            db.rollback_to(sp);
-            std::panic::resume_unwind(payload)
-        }
-    }
+    })
 }
 
 impl<'d> DliMachine<'d> {

@@ -269,31 +269,42 @@ fn run_host_guarded<D: NetworkOps>(
     inputs: Inputs,
     fuel: Option<usize>,
 ) -> RunResult<Trace> {
-    db.reset_access_stats();
-    let sp = db.begin_savepoint();
-    let db_ref = &mut *db;
-    let outcome = catch_unwind(AssertUnwindSafe(move || {
-        let mut interp = HostInterpreter::new(db_ref, inputs);
-        if let Some(f) = fuel {
-            interp = interp.with_step_limit(f);
+    dbpc_obs::span("engine.host", || {
+        db.reset_access_stats();
+        let sp = db.begin_savepoint();
+        let db_ref = &mut *db;
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let mut interp = HostInterpreter::new(db_ref, inputs);
+            if let Some(f) = fuel {
+                interp = interp.with_step_limit(f);
+            }
+            interp.run(program)
+        }));
+        // The run's access-path work flows into the ambient obs sheet on
+        // every exit path — observability is append-only even when the
+        // savepoint below rolls the data back.
+        let absorb = |db: &D| {
+            db.access_profile().unwrap_or_default().absorb_into_obs();
+        };
+        match outcome {
+            Ok(Ok(mut trace)) => {
+                db.commit_savepoint(sp);
+                trace.access = db.access_profile().unwrap_or_default();
+                absorb(db);
+                Ok(trace)
+            }
+            Ok(Err(e)) => {
+                absorb(db);
+                db.rollback_to(sp);
+                Err(e)
+            }
+            Err(payload) => {
+                absorb(db);
+                db.rollback_to(sp);
+                resume_unwind(payload)
+            }
         }
-        interp.run(program)
-    }));
-    match outcome {
-        Ok(Ok(mut trace)) => {
-            db.commit_savepoint(sp);
-            trace.access = db.access_profile().unwrap_or_default();
-            Ok(trace)
-        }
-        Ok(Err(e)) => {
-            db.rollback_to(sp);
-            Err(e)
-        }
-        Err(payload) => {
-            db.rollback_to(sp);
-            resume_unwind(payload)
-        }
-    }
+    })
 }
 
 impl<'d, D: NetworkOps> HostInterpreter<'d, D> {

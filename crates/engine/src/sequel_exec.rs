@@ -27,27 +27,32 @@ pub fn run_sequel(
     program: &SequelProgram,
     inputs: Inputs,
 ) -> RunResult<Trace> {
-    db.access_stats().reset();
-    let sp = db.begin_savepoint();
-    let db_ref = &mut *db;
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        run_sequel_inner(db_ref, program, inputs)
-    }));
-    match outcome {
-        Ok(Ok(mut trace)) => {
-            db.commit(sp);
-            trace.access = db.access_stats().snapshot();
-            Ok(trace)
+    dbpc_obs::span("engine.sequel", || {
+        db.access_stats().reset();
+        let sp = db.begin_savepoint();
+        let db_ref = &mut *db;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            run_sequel_inner(db_ref, program, inputs)
+        }));
+        match outcome {
+            Ok(Ok(mut trace)) => {
+                db.commit(sp);
+                trace.access = db.access_stats().snapshot();
+                trace.access.absorb_into_obs();
+                Ok(trace)
+            }
+            Ok(Err(e)) => {
+                db.access_stats().snapshot().absorb_into_obs();
+                db.rollback_to(sp);
+                Err(e)
+            }
+            Err(payload) => {
+                db.access_stats().snapshot().absorb_into_obs();
+                db.rollback_to(sp);
+                std::panic::resume_unwind(payload)
+            }
         }
-        Ok(Err(e)) => {
-            db.rollback_to(sp);
-            Err(e)
-        }
-        Err(payload) => {
-            db.rollback_to(sp);
-            std::panic::resume_unwind(payload)
-        }
-    }
+    })
 }
 
 fn run_sequel_inner(

@@ -1,0 +1,649 @@
+//! Typed metrics: per-thread sharded recording, deterministic merge.
+//!
+//! Recording sites call the free functions ([`count`], [`racy`], [`gauge`],
+//! [`time`]) with `&'static str` metric names; values accumulate in a
+//! thread-local sheet. Harnesses bracket a unit of work with
+//! [`local_snapshot`] and [`MetricsFrame::since`], ship the delta back from
+//! the worker that did the work, and merge the per-item frames in item
+//! order into a [`MetricsRegistry`] — the same index-ordered reassembly the
+//! thread pool already uses for results, so the merged frame is a pure
+//! function of the work list, not of scheduling.
+//!
+//! ## Determinism contract
+//!
+//! Every value is kind-tagged, and the kind decides whether it takes part
+//! in deterministic comparisons ([`MetricsFrame::deterministic`]):
+//!
+//! | kind               | merged value at any thread count | in `deterministic()` |
+//! |--------------------|----------------------------------|----------------------|
+//! | [`Counter`]        | identical                        | yes                  |
+//! | [`Gauge`]          | identical                        | yes                  |
+//! | [`Hist`]ogram      | identical                        | yes                  |
+//! | [`Racy`]           | interleaving-dependent           | no                   |
+//! | [`Time`]           | wall-clock                       | no                   |
+//!
+//! `Racy` exists because process-wide memo caches are shared across pool
+//! workers: *which* worker scores a hit — and whether two workers briefly
+//! double-compute the same entry — depends on interleaving, so hit/miss
+//! splits are honest but not reproducible. Names prefixed `host.` (machine
+//! shape: thread counts, parallelism) are likewise excluded whatever their
+//! kind.
+//!
+//! [`Counter`]: MetricValue::Counter
+//! [`Gauge`]: MetricValue::Gauge
+//! [`Hist`]: MetricValue::Hist
+//! [`Racy`]: MetricValue::Racy
+//! [`Time`]: MetricValue::Time
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide recording switch (benchmarks measure the recording premium
+/// by flipping it off). Checked with a relaxed load on every record call.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable all metric and span recording process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Is recording enabled?
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// A fixed-bucket summary of observed values: count/sum/min/max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Hist {
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric value, kind-tagged (see module docs for the determinism
+/// contract per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotone work counter; thread-count invariant.
+    Counter(u64),
+    /// Monotone counter whose value depends on cross-worker interleaving
+    /// (shared-memo hit/miss splits).
+    Racy(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(i64),
+    /// Accumulated wall-clock nanoseconds.
+    Time(u64),
+    /// Distribution summary of observed values.
+    Hist(Hist),
+}
+
+impl MetricValue {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Racy(_) => "racy",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Time(_) => "time",
+            MetricValue::Hist(_) => "hist",
+        }
+    }
+
+    /// Does this kind take part in deterministic comparisons?
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, MetricValue::Racy(_) | MetricValue::Time(_))
+    }
+
+    /// The scalar magnitude (hist → count), for quick assertions.
+    pub fn magnitude(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Racy(v) | MetricValue::Time(v) => *v,
+            MetricValue::Gauge(v) => *v as u64,
+            MetricValue::Hist(h) => h.count,
+        }
+    }
+}
+
+/// An immutable snapshot (or merge) of named metrics, ordered by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsFrame {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsFrame {
+    pub fn new() -> MetricsFrame {
+        MetricsFrame::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Counter or racy-counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) | Some(MetricValue::Racy(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Accumulated time in nanoseconds by name (0 when absent).
+    pub fn time_ns(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Time(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram by name (empty when absent).
+    pub fn hist(&self, name: &str) -> Hist {
+        match self.entries.get(name) {
+            Some(MetricValue::Hist(h)) => *h,
+            _ => Hist::default(),
+        }
+    }
+
+    /// Insert or overwrite an entry.
+    pub fn set(&mut self, name: impl Into<String>, value: MetricValue) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Record one observation into a named histogram.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(MetricValue::Hist(Hist::default()))
+        {
+            MetricValue::Hist(h) => h.observe(v),
+            other => {
+                let mut h = Hist::default();
+                h.observe(v);
+                *other = MetricValue::Hist(h);
+            }
+        }
+    }
+
+    /// Merge `other` into `self`: counters/racy/time add, gauges take
+    /// `other`'s value, histograms merge. Commutative for every additive
+    /// kind; callers nevertheless merge shards in item-index order so the
+    /// whole pipeline has one canonical merge order.
+    pub fn merge(&mut self, other: &MetricsFrame) {
+        for (name, v) in &other.entries {
+            match (self.entries.get_mut(name), v) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Racy(a)), MetricValue::Racy(b)) => *a += b,
+                (Some(MetricValue::Time(a)), MetricValue::Time(b)) => *a += b,
+                (Some(MetricValue::Hist(a)), MetricValue::Hist(b)) => a.merge(b),
+                (Some(slot), other_v) => *slot = *other_v,
+                (None, other_v) => {
+                    self.entries.insert(name.clone(), *other_v);
+                }
+            }
+        }
+    }
+
+    /// Deltas since `earlier`: additive kinds subtract (saturating), gauges
+    /// and histograms take `self`'s value. The bracketing idiom:
+    /// `let before = local_snapshot(); … ; let d = local_snapshot().since(&before);`
+    pub fn since(&self, earlier: &MetricsFrame) -> MetricsFrame {
+        let mut out = MetricsFrame::new();
+        for (name, v) in &self.entries {
+            let delta = match (v, earlier.entries.get(name)) {
+                (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(a.saturating_sub(*b))
+                }
+                (MetricValue::Racy(a), Some(MetricValue::Racy(b))) => {
+                    MetricValue::Racy(a.saturating_sub(*b))
+                }
+                (MetricValue::Time(a), Some(MetricValue::Time(b))) => {
+                    MetricValue::Time(a.saturating_sub(*b))
+                }
+                (v, _) => *v,
+            };
+            out.entries.insert(name.clone(), delta);
+        }
+        out
+    }
+
+    /// The deterministic projection: drops `Racy` and `Time` entries and
+    /// any name under the `host.` prefix. Two runs of the same work list
+    /// must produce equal deterministic frames at any thread count.
+    pub fn deterministic(&self) -> MetricsFrame {
+        MetricsFrame {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(name, v)| v.is_deterministic() && !name.starts_with("host."))
+                .map(|(name, v)| (name.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Is every additive entry of `self` >= the matching entry of
+    /// `earlier`? (Monotonicity within a run; gauges exempt.)
+    pub fn monotone_since(&self, earlier: &MetricsFrame) -> bool {
+        earlier.entries.iter().all(|(name, before)| {
+            let after = self.entries.get(name);
+            match (before, after) {
+                (MetricValue::Counter(b), Some(MetricValue::Counter(a)))
+                | (MetricValue::Racy(b), Some(MetricValue::Racy(a)))
+                | (MetricValue::Time(b), Some(MetricValue::Time(a))) => a >= b,
+                (MetricValue::Hist(b), Some(MetricValue::Hist(a))) => {
+                    a.count >= b.count && a.sum >= b.sum
+                }
+                (MetricValue::Gauge(_), _) => true,
+                // An entry vanished (or changed kind): not monotone.
+                _ => false,
+            }
+        })
+    }
+}
+
+impl fmt::Display for MetricsFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.entries {
+            match v {
+                MetricValue::Hist(h) => writeln!(
+                    f,
+                    "  {name:<40} {:>8} count={} sum={} min={} max={}",
+                    v.kind(),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max
+                )?,
+                MetricValue::Gauge(g) => writeln!(f, "  {name:<40} {:>8} {g}", v.kind())?,
+                MetricValue::Counter(c) | MetricValue::Racy(c) | MetricValue::Time(c) => {
+                    writeln!(f, "  {name:<40} {:>8} {c}", v.kind())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The merge point for per-worker / per-item metric shards. Thin by
+/// design: its value is the *discipline* — shards absorbed in item-index
+/// order, study-level gauges and histograms recorded once at assembly —
+/// plus the shard count for sanity checks.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    merged: MetricsFrame,
+    shards: usize,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Absorb one shard (a per-item or per-worker delta frame). Callers
+    /// MUST absorb in item-index order — the registry records arrival
+    /// order as the canonical merge order.
+    pub fn absorb(&mut self, shard: &MetricsFrame) {
+        self.merged.merge(shard);
+        self.shards += 1;
+    }
+
+    /// Record a registry-level observation (per-item sizes, attempts…).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.merged.observe(name, v);
+    }
+
+    /// Record a registry-level gauge (thread counts, config shape).
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        self.merged.set(name, MetricValue::Gauge(v));
+    }
+
+    /// Shards absorbed so far.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn frame(&self) -> &MetricsFrame {
+        &self.merged
+    }
+
+    pub fn into_frame(self) -> MetricsFrame {
+        self.merged
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local ambient sheet
+// ---------------------------------------------------------------------------
+
+/// Fast thread-local accumulator: static-name keys, no string allocation
+/// on the record path.
+#[derive(Debug, Clone, Copy)]
+enum LocalVal {
+    Counter(u64),
+    Racy(u64),
+    Gauge(i64),
+    Time(u64),
+}
+
+/// One open-addressed slot: the name's address (its identity on the record
+/// path), the name itself (for snapshots), and the running value.
+type Slot = Option<(usize, &'static str, LocalVal)>;
+
+const SLOTS: usize = 256;
+
+/// The per-thread sheet. Record calls are the hottest instrumented path in
+/// the workspace (every counter bump on every translated record and engine
+/// run lands here), so the table is keyed by the *address* of the
+/// `&'static str` name — one multiply-hash and a pointer compare instead
+/// of ordered string comparisons over dotted names with long shared
+/// prefixes. Rust may give the same literal a different address in
+/// different codegen units, so [`Sheet::merge_into`] merges slots by name;
+/// the address is an identity only within one call site's lifetime.
+struct Sheet {
+    slots: [Slot; SLOTS],
+    /// Spill map in case a pathological workload exceeds the table
+    /// (≈40 names exist today; correctness must not depend on that).
+    overflow: BTreeMap<&'static str, LocalVal>,
+}
+
+fn slot_index(key: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) & (SLOTS - 1)
+}
+
+impl Sheet {
+    /// Find-or-insert by name address; `add` folds into an existing value.
+    fn upsert(&mut self, name: &'static str, make: LocalVal, add: impl FnOnce(&mut LocalVal)) {
+        let key = name.as_ptr() as usize;
+        let mut i = slot_index(key);
+        for _ in 0..SLOTS {
+            let slot = &mut self.slots[i];
+            match slot {
+                Some((k, _, v)) if *k == key => {
+                    add(v);
+                    return;
+                }
+                None => {
+                    *slot = Some((key, name, make));
+                    return;
+                }
+                Some(_) => i = (i + 1) & (SLOTS - 1),
+            }
+        }
+        match self.overflow.get_mut(name) {
+            Some(v) => add(v),
+            None => {
+                self.overflow.insert(name, make);
+            }
+        }
+    }
+
+    /// Merge every live entry into a name-keyed map. Two slots can carry
+    /// the same name under different addresses (cross-codegen-unit literal
+    /// duplication): accumulating kinds add, gauges keep the later slot.
+    fn merge_into(&self, out: &mut BTreeMap<&'static str, LocalVal>) {
+        let live = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|(_, name, v)| (*name, *v))
+            .chain(self.overflow.iter().map(|(n, v)| (*n, *v)));
+        for (name, v) in live {
+            match (out.get_mut(name), v) {
+                (Some(LocalVal::Counter(a)), LocalVal::Counter(b)) => *a += b,
+                (Some(LocalVal::Racy(a)), LocalVal::Racy(b)) => *a += b,
+                (Some(LocalVal::Time(a)), LocalVal::Time(b)) => *a += b,
+                (Some(slot), v) => *slot = v,
+                (None, v) => {
+                    out.insert(name, v);
+                }
+            }
+        }
+    }
+
+    /// Drop every entry named `name`, rebuilding the probe sequences that
+    /// plain slot-clearing would break.
+    fn remove(&mut self, name: &str) {
+        self.overflow.remove(name);
+        if !self.slots.iter().flatten().any(|(_, n, _)| *n == name) {
+            return;
+        }
+        let keep: Vec<(usize, &'static str, LocalVal)> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|(_, n, _)| *n != name)
+            .copied()
+            .collect();
+        self.slots = [None; SLOTS];
+        for (key, n, v) in keep {
+            let mut i = slot_index(key);
+            while self.slots[i].is_some() {
+                i = (i + 1) & (SLOTS - 1);
+            }
+            self.slots[i] = Some((key, n, v));
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Sheet> = const {
+        RefCell::new(Sheet {
+            slots: [None; SLOTS],
+            overflow: BTreeMap::new(),
+        })
+    };
+}
+
+fn local_add(name: &'static str, make: LocalVal, add: impl FnOnce(&mut LocalVal)) {
+    if !recording() || crate::span::is_quiet() {
+        return;
+    }
+    LOCAL.with(|l| l.borrow_mut().upsert(name, make, add));
+}
+
+/// Add `n` to this thread's deterministic counter `name`.
+pub fn count(name: &'static str, n: u64) {
+    local_add(name, LocalVal::Counter(n), |v| {
+        if let LocalVal::Counter(c) = v {
+            *c += n;
+        }
+    });
+}
+
+/// Add `n` to this thread's interleaving-dependent counter `name`
+/// (shared-memo hit/miss splits; excluded from deterministic frames).
+pub fn racy(name: &'static str, n: u64) {
+    local_add(name, LocalVal::Racy(n), |v| {
+        if let LocalVal::Racy(c) = v {
+            *c += n;
+        }
+    });
+}
+
+/// Set this thread's gauge `name`.
+pub fn gauge(name: &'static str, value: i64) {
+    local_add(name, LocalVal::Gauge(value), |v| {
+        *v = LocalVal::Gauge(value)
+    });
+}
+
+/// Add `ns` wall-clock nanoseconds to this thread's time metric `name`.
+pub fn time(name: &'static str, ns: u64) {
+    local_add(name, LocalVal::Time(ns), |v| {
+        if let LocalVal::Time(t) = v {
+            *t += ns;
+        }
+    });
+}
+
+/// Snapshot this thread's ambient sheet as a [`MetricsFrame`].
+pub fn local_snapshot() -> MetricsFrame {
+    let mut merged: BTreeMap<&'static str, LocalVal> = BTreeMap::new();
+    LOCAL.with(|l| l.borrow().merge_into(&mut merged));
+    let mut out = MetricsFrame::new();
+    for (name, v) in merged {
+        let mv = match v {
+            LocalVal::Counter(c) => MetricValue::Counter(c),
+            LocalVal::Racy(c) => MetricValue::Racy(c),
+            LocalVal::Gauge(g) => MetricValue::Gauge(g),
+            LocalVal::Time(t) => MetricValue::Time(t),
+        };
+        out.set(name, mv);
+    }
+    out
+}
+
+/// Remove one entry from this thread's ambient sheet (test/bench isolation
+/// for subsystems with an explicit `reset`, e.g. the analysis cache).
+pub fn local_remove(name: &str) {
+    LOCAL.with(|l| {
+        l.borrow_mut().remove(name);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_bracket() {
+        let before = local_snapshot();
+        count("test.metrics.alpha", 2);
+        count("test.metrics.alpha", 3);
+        racy("test.metrics.beta", 1);
+        time("test.metrics.ns", 40);
+        let delta = local_snapshot().since(&before);
+        assert_eq!(delta.counter("test.metrics.alpha"), 5);
+        assert_eq!(delta.counter("test.metrics.beta"), 1);
+        assert_eq!(delta.time_ns("test.metrics.ns"), 40);
+    }
+
+    #[test]
+    fn merge_adds_and_since_subtracts() {
+        let mut a = MetricsFrame::new();
+        a.set("c", MetricValue::Counter(2));
+        a.set("g", MetricValue::Gauge(7));
+        let mut b = MetricsFrame::new();
+        b.set("c", MetricValue::Counter(5));
+        b.set("g", MetricValue::Gauge(9));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter("c"), 7);
+        assert_eq!(m.gauge("g"), 9);
+        let d = m.since(&a);
+        assert_eq!(d.counter("c"), 5);
+        assert_eq!(d.gauge("g"), 9);
+    }
+
+    #[test]
+    fn deterministic_projection_drops_racy_time_and_host() {
+        let mut f = MetricsFrame::new();
+        f.set("work.done", MetricValue::Counter(4));
+        f.set("cache.hits", MetricValue::Racy(2));
+        f.set("stage.ns", MetricValue::Time(99));
+        f.set("host.threads", MetricValue::Gauge(8));
+        let d = f.deterministic();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.counter("work.done"), 4);
+    }
+
+    #[test]
+    fn histogram_observes_and_merges() {
+        let mut h = Hist::default();
+        h.observe(3);
+        h.observe(9);
+        let mut h2 = Hist::default();
+        h2.observe(1);
+        h.merge(&h2);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 13);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 9);
+        assert!((h.mean() - 13.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_merges_shards_in_order() {
+        let mut r = MetricsRegistry::new();
+        let mut s1 = MetricsFrame::new();
+        s1.set("x", MetricValue::Counter(1));
+        let mut s2 = MetricsFrame::new();
+        s2.set("x", MetricValue::Counter(2));
+        r.absorb(&s1);
+        r.absorb(&s2);
+        r.observe("sizes", 5);
+        r.set_gauge("host.threads", 4);
+        assert_eq!(r.shards(), 2);
+        assert_eq!(r.frame().counter("x"), 3);
+        assert_eq!(r.frame().hist("sizes").count, 1);
+        assert_eq!(r.frame().gauge("host.threads"), 4);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut a = MetricsFrame::new();
+        a.set("c", MetricValue::Counter(2));
+        let mut b = MetricsFrame::new();
+        b.set("c", MetricValue::Counter(5));
+        assert!(b.monotone_since(&a));
+        assert!(!a.monotone_since(&b));
+    }
+}

@@ -1,0 +1,491 @@
+//! Structured spans and events under a deterministic logical clock.
+//!
+//! A *capture* is one recorded unit of work (a program conversion, one
+//! study cell). Inside a capture, [`span`] brackets nested stages and
+//! [`event`] marks instants; both are stamped with monotonically
+//! increasing per-capture sequence numbers — the logical clock. Wall-clock
+//! time is recorded only when `DBPC_OBS_WALL=1` and is excluded from
+//! equality, so two runs of the same work produce byte-identical trees on
+//! any machine at any thread count.
+//!
+//! Captures are thread-local and scoped: the pool runs each work item's
+//! capture on whichever worker picks the item up, and the harness merges
+//! the finished trees in item-index order (renumbering the clocks into one
+//! global sequence via [`SpanNode::renumber`]) — the same index-ordered
+//! reassembly that makes result order deterministic makes trace order
+//! deterministic.
+//!
+//! Outside any capture (or with recording disabled) every call here is a
+//! cheap no-op, so instrumented code pays nothing on untraced paths.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Span or instantaneous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    Span,
+    Event,
+}
+
+/// One node in a captured trace tree.
+///
+/// `wall_ns` (duration for spans, offset-from-capture-start for events) is
+/// intentionally **excluded from `PartialEq`**: it is populated only under
+/// `DBPC_OBS_WALL=1` and never takes part in determinism checks.
+#[derive(Debug, Clone, Eq)]
+pub struct SpanNode {
+    pub kind: SpanKind,
+    pub name: String,
+    /// Ordered key/value attributes, in the order they were attached.
+    pub attrs: Vec<(String, String)>,
+    /// Logical-clock tick at open (and the only tick, for events).
+    pub seq_open: u64,
+    /// Logical-clock tick at close; equals `seq_open` for events.
+    pub seq_close: u64,
+    /// Optional wall-clock nanoseconds; excluded from equality.
+    pub wall_ns: Option<u64>,
+    pub children: Vec<SpanNode>,
+}
+
+impl PartialEq for SpanNode {
+    fn eq(&self, other: &SpanNode) -> bool {
+        self.kind == other.kind
+            && self.name == other.name
+            && self.attrs == other.attrs
+            && self.seq_open == other.seq_open
+            && self.seq_close == other.seq_close
+            && self.children == other.children
+    }
+}
+
+impl SpanNode {
+    /// Total nodes in this subtree (self included).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::node_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first preorder walk.
+    pub fn walk(&self, f: &mut impl FnMut(&SpanNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Shift every sequence number in this subtree by `offset`, returning
+    /// the highest tick seen. Used when merging per-item captures into one
+    /// global clock in item-index order.
+    pub fn renumber(&mut self, offset: u64) -> u64 {
+        self.seq_open += offset;
+        self.seq_close += offset;
+        let mut max = self.seq_close;
+        for c in &mut self.children {
+            max = max.max(c.renumber(offset));
+        }
+        max
+    }
+
+    /// Strip wall-clock data from the subtree (deterministic projection).
+    pub fn strip_wall(&mut self) {
+        self.wall_ns = None;
+        for c in &mut self.children {
+            c.strip_wall();
+        }
+    }
+
+    /// Does the subtree's clock respect span nesting? Each node must open
+    /// no earlier than its parent, close no later, and siblings must be
+    /// strictly ordered by the clock.
+    pub fn well_formed(&self) -> bool {
+        if self.seq_close < self.seq_open {
+            return false;
+        }
+        if self.kind == SpanKind::Event && self.seq_close != self.seq_open {
+            return false;
+        }
+        let mut prev_close = self.seq_open;
+        for c in &self.children {
+            if c.seq_open <= prev_close || c.seq_close >= self.seq_close || !c.well_formed() {
+                return false;
+            }
+            prev_close = c.seq_close;
+        }
+        true
+    }
+}
+
+/// A finished capture: the root spans recorded on one thread for one unit
+/// of work, plus the number of clock ticks consumed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Capture {
+    pub spans: Vec<SpanNode>,
+    /// One past the highest sequence number issued in this capture.
+    pub ticks: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local recorder
+// ---------------------------------------------------------------------------
+
+struct OpenSpan {
+    node: SpanNode,
+    started: Option<Instant>,
+}
+
+struct Recorder {
+    /// Stack of currently-open spans; `stack[0]` is the capture root.
+    stack: Vec<OpenSpan>,
+    next_seq: u64,
+    epoch: Option<Instant>,
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+    static QUIET: Cell<u32> = const { Cell::new(0) };
+}
+
+fn wall_enabled() -> bool {
+    static WALL: OnceLock<bool> = OnceLock::new();
+    *WALL.get_or_init(|| {
+        std::env::var("DBPC_OBS_WALL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Is span/metric recording suppressed on this thread (inside [`quiet`])?
+pub(crate) fn is_quiet() -> bool {
+    QUIET.with(|q| q.get() > 0)
+}
+
+/// Is a capture active on this thread (and recording enabled)?
+pub fn in_capture() -> bool {
+    crate::metrics::recording() && !is_quiet() && RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Run `f` with all span, event, **and ambient metric** recording
+/// suppressed on this thread. Used around work that only exists to warm
+/// shared memo caches: whether it runs at all depends on cross-worker
+/// interleaving, so letting it record would leak thread-count
+/// nondeterminism into otherwise-deterministic traces.
+pub fn quiet<T>(f: impl FnOnce() -> T) -> T {
+    QUIET.with(|q| q.set(q.get() + 1));
+    struct Undo;
+    impl Drop for Undo {
+        fn drop(&mut self) {
+            QUIET.with(|q| q.set(q.get() - 1));
+        }
+    }
+    let _undo = Undo;
+    f()
+}
+
+/// Record `f`'s spans under a fresh capture whose root span is `label`.
+/// Returns `f`'s result and the finished capture. Panic-safe: the
+/// recorder is dismantled even if `f` unwinds (the partial capture is
+/// discarded with it).
+pub fn capture<T>(label: &str, f: impl FnOnce() -> T) -> (T, Capture) {
+    // Nested captures would silently steal the outer capture's spans;
+    // record the inner work into the outer capture instead.
+    if RECORDER.with(|r| r.borrow().is_some()) {
+        let out = span(String::from(label), f);
+        return (out, Capture::default());
+    }
+    let epoch = wall_enabled().then(Instant::now);
+    RECORDER.with(|r| {
+        *r.borrow_mut() = Some(Recorder {
+            stack: vec![OpenSpan {
+                node: SpanNode {
+                    kind: SpanKind::Span,
+                    name: label.to_string(),
+                    attrs: Vec::new(),
+                    seq_open: 0,
+                    seq_close: 0,
+                    wall_ns: None,
+                    children: Vec::new(),
+                },
+                started: epoch,
+            }],
+            next_seq: 1,
+            epoch,
+        });
+    });
+    struct Teardown;
+    impl Drop for Teardown {
+        fn drop(&mut self) {
+            RECORDER.with(|r| *r.borrow_mut() = None);
+        }
+    }
+    let teardown = Teardown;
+    let out = f();
+    let capture = RECORDER.with(|r| {
+        let mut rec = match r.borrow_mut().take() {
+            Some(rec) => rec,
+            None => return Capture::default(),
+        };
+        // Close any spans left open by non-unwinding early exits.
+        while rec.stack.len() > 1 {
+            close_top(&mut rec);
+        }
+        let mut root = match rec.stack.pop() {
+            Some(open) => open.node,
+            None => return Capture::default(),
+        };
+        root.seq_close = rec.next_seq;
+        if let Some(epoch) = rec.epoch {
+            root.wall_ns = Some(epoch.elapsed().as_nanos() as u64);
+        }
+        Capture {
+            ticks: rec.next_seq + 1,
+            spans: vec![root],
+        }
+    });
+    std::mem::forget(teardown);
+    (out, capture)
+}
+
+fn close_top(rec: &mut Recorder) {
+    if rec.stack.len() <= 1 {
+        return;
+    }
+    if let Some(mut open) = rec.stack.pop() {
+        open.node.seq_close = rec.next_seq;
+        rec.next_seq += 1;
+        if let Some(started) = open.started {
+            open.node.wall_ns = Some(started.elapsed().as_nanos() as u64);
+        }
+        if let Some(parent) = rec.stack.last_mut() {
+            parent.node.children.push(open.node);
+        }
+    }
+}
+
+/// Guard that closes the innermost open span on drop — unwind-safe, so a
+/// panicking stage still leaves a well-formed (closed) span behind for the
+/// supervisor's post-mortem.
+struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            RECORDER.with(|r| {
+                if let Some(rec) = r.borrow_mut().as_mut() {
+                    close_top(rec);
+                }
+            });
+        }
+    }
+}
+
+fn open_span(name: &str, attrs: &[(&str, &str)]) -> SpanGuard {
+    // One TLS access for both the are-we-recording check and the push:
+    // this path runs at every stage boundary of every conversion.
+    if !crate::metrics::recording() || is_quiet() {
+        return SpanGuard { active: false };
+    }
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let Some(rec) = r.as_mut() else {
+            return SpanGuard { active: false };
+        };
+        let seq = rec.next_seq;
+        rec.next_seq += 1;
+        rec.stack.push(OpenSpan {
+            node: SpanNode {
+                kind: SpanKind::Span,
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                seq_open: seq,
+                seq_close: seq,
+                wall_ns: None,
+                children: Vec::new(),
+            },
+            started: rec.epoch.map(|_| Instant::now()),
+        });
+        SpanGuard { active: true }
+    })
+}
+
+/// Run `f` inside a span named `name`. No-op outside a capture.
+pub fn span<T>(name: impl AsRef<str>, f: impl FnOnce() -> T) -> T {
+    let _guard = open_span(name.as_ref(), &[]);
+    f()
+}
+
+/// Run `f` inside a span named `name` carrying ordered attributes.
+pub fn span_with<T>(name: impl AsRef<str>, attrs: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
+    let _guard = open_span(name.as_ref(), attrs);
+    f()
+}
+
+/// Record an instantaneous event. No-op outside a capture.
+pub fn event(name: impl AsRef<str>) {
+    event_with(name, &[]);
+}
+
+/// Record an instantaneous event carrying ordered attributes.
+pub fn event_with(name: impl AsRef<str>, attrs: &[(&str, &str)]) {
+    if !crate::metrics::recording() || is_quiet() {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            let seq = rec.next_seq;
+            rec.next_seq += 1;
+            let wall = rec.epoch.map(|epoch| epoch.elapsed().as_nanos() as u64);
+            if let Some(parent) = rec.stack.last_mut() {
+                parent.node.children.push(SpanNode {
+                    kind: SpanKind::Event,
+                    name: name.as_ref().to_string(),
+                    attrs: attrs
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                    seq_open: seq,
+                    seq_close: seq,
+                    wall_ns: wall,
+                    children: Vec::new(),
+                });
+            }
+        }
+    });
+}
+
+impl fmt::Display for SpanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_node(self, f, 0)
+    }
+}
+
+/// Render one node (and subtree) with indentation — shared by the Display
+/// impl and RunReport's tree output.
+pub(crate) fn fmt_node(node: &SpanNode, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    match node.kind {
+        SpanKind::Span => write!(f, "▸ {} [{}..{}]", node.name, node.seq_open, node.seq_close)?,
+        SpanKind::Event => write!(f, "· {} [{}]", node.name, node.seq_open)?,
+    }
+    for (k, v) in &node.attrs {
+        write!(f, " {k}={v}")?;
+    }
+    writeln!(f)?;
+    for c in &node.children {
+        fmt_node(c, f, depth + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_builds_nested_tree_with_logical_clock() {
+        let ((), cap) = capture("root", || {
+            span("outer", || {
+                event("tick");
+                span("inner", || {});
+            });
+            event("done");
+        });
+        assert_eq!(cap.spans.len(), 1);
+        let root = &cap.spans[0];
+        assert_eq!(root.name, "root");
+        assert!(root.well_formed(), "tree:\n{root}");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "outer");
+        assert_eq!(root.children[0].children.len(), 2);
+        assert_eq!(root.children[1].kind, SpanKind::Event);
+        // Logical clock is dense and monotone: root opens at 0.
+        assert_eq!(root.seq_open, 0);
+        assert_eq!(root.children[0].seq_open, 1);
+    }
+
+    #[test]
+    fn trees_are_equal_ignoring_wall_time() {
+        let build = || {
+            capture("r", || {
+                span_with("s", &[("k", "v")], || event("e"));
+            })
+            .1
+        };
+        let mut a = build();
+        let b = build();
+        a.spans[0].wall_ns = Some(123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiet_suppresses_spans_and_events() {
+        let ((), cap) = capture("root", || {
+            quiet(|| {
+                span("hidden", || event("also-hidden"));
+            });
+            event("visible");
+        });
+        let root = &cap.spans[0];
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "visible");
+    }
+
+    #[test]
+    fn span_outside_capture_is_noop() {
+        assert!(!in_capture());
+        let v = span("nothing", || 7);
+        assert_eq!(v, 7);
+        event("nothing-either");
+    }
+
+    #[test]
+    fn panicking_span_still_closes() {
+        let ((), cap) = capture("root", || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                span("doomed", || panic!("boom"));
+            }));
+            assert!(r.is_err());
+            event("after");
+        });
+        let root = &cap.spans[0];
+        assert!(root.well_formed(), "tree:\n{root}");
+        assert_eq!(root.children[0].name, "doomed");
+        assert!(root.children[0].seq_close > root.children[0].seq_open);
+        assert_eq!(root.children[1].name, "after");
+    }
+
+    #[test]
+    fn renumber_shifts_whole_subtree() {
+        let ((), cap) = capture("root", || span("s", || event("e")));
+        let mut root = cap.spans[0].clone();
+        let max = root.renumber(10);
+        assert_eq!(root.seq_open, 10);
+        assert!(root.well_formed());
+        assert_eq!(max, root.seq_close);
+    }
+
+    #[test]
+    fn nested_capture_folds_into_outer() {
+        let ((), outer) = capture("outer", || {
+            let ((), inner) = capture("inner", || event("e"));
+            // Inner capture is folded into the outer tree, not returned.
+            assert!(inner.spans.is_empty());
+        });
+        let root = &outer.spans[0];
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "inner");
+        assert_eq!(root.children[0].children[0].name, "e");
+    }
+}

@@ -249,6 +249,8 @@ impl RunState {
             self.in_batch = 0;
             let b = self.batches_done;
             self.batches_done += 1;
+            dbpc_obs::count("restructure.translation_batches", 1);
+            dbpc_obs::event_with("translation.batch", &[("index", &b.to_string())]);
             return crash(b);
         }
         false
@@ -361,6 +363,7 @@ fn phase_copy_mapped(
         .collect();
 
     let items = db.records_of_type(old_type);
+    let mut stored = crate::stats::StoredTally::new();
     for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let values: Vec<(&str, Value)> = field_plan
@@ -383,7 +386,7 @@ fn phase_copy_mapped(
             }
         }
         let new_id = st.out.store(new_type, &values, &connects)?;
-        crate::stats::count_record_stored();
+        stored.bump();
         st.idmap.insert(old_id, new_id);
         if st.tick(crash) {
             return Ok(Some(i + 1));
@@ -502,6 +505,7 @@ fn phase_copy_plain(
         .map(|s| s.name.as_str())
         .collect();
     let items = db.records_of_type(rtype);
+    let mut stored = crate::stats::StoredTally::new();
     for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let values: Vec<(&str, Value)> = stored_fields
@@ -517,7 +521,7 @@ fn phase_copy_plain(
             }
         }
         let new_id = st.out.store(rtype, &values, &connects)?;
-        crate::stats::count_record_stored();
+        stored.bump();
         st.idmap.insert(old_id, new_id);
         if st.tick(crash) {
             return Ok(Some(i + 1));
@@ -560,6 +564,7 @@ fn phase_promote_groups(
             pairs.push((owner, member));
         }
     }
+    let mut stored = crate::stats::StoredTally::new();
     for (i, &(owner, member)) in pairs.iter().enumerate().skip(offset) {
         let v = db.field_value(member, field)?;
         let key = (owner, KeyTuple(vec![v.clone()]));
@@ -568,7 +573,7 @@ fn phase_promote_groups(
             let new_id = st
                 .out
                 .store(new_record, &[(field, v)], &[(upper_set, new_owner)])?;
-            crate::stats::count_record_stored();
+            stored.bump();
             slot.insert(new_id);
         }
         if st.tick(crash) {
@@ -620,6 +625,7 @@ fn phase_promote_members(
         .map(|s| s.name.as_str())
         .collect();
     let items = db.records_of_type(record);
+    let mut stored = crate::stats::StoredTally::new();
     for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let values: Vec<(&str, Value)> = stored_fields
@@ -657,7 +663,7 @@ fn phase_promote_members(
             }
         }
         let new_id = st.out.store(record, &values, &connects)?;
-        crate::stats::count_record_stored();
+        stored.bump();
         st.idmap.insert(old_id, new_id);
         if st.tick(crash) {
             return Ok(Some(i + 1));
@@ -715,6 +721,7 @@ fn phase_demote_members(
         .map(|s| s.name.as_str())
         .collect();
     let items = db.records_of_type(record);
+    let mut stored = crate::stats::StoredTally::new();
     for (i, &old_id) in items.iter().enumerate().skip(offset) {
         let old_rec = db.get(old_id)?;
         let mut values: Vec<(&str, Value)> = stored_fields
@@ -744,7 +751,7 @@ fn phase_demote_members(
             }
         }
         let new_id = st.out.store(record, &values, &connects)?;
-        crate::stats::count_record_stored();
+        stored.bump();
         st.idmap.insert(old_id, new_id);
         if st.tick(crash) {
             return Ok(Some(i + 1));

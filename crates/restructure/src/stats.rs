@@ -1,4 +1,4 @@
-//! Translation-side work counters.
+//! Translation-side work counters, recorded through `dbpc-obs`.
 //!
 //! Same contract as the storage engines' `AccessStats` (PR 1): the
 //! counters make the *work done* by a data translation observable —
@@ -6,10 +6,20 @@
 //! O(record types) schema-level work, not O(N) — while staying strictly
 //! diagnostic: no translation result or comparison ever depends on them.
 //!
-//! Counters are thread-local so parallel study harnesses can bracket a
-//! unit of work per worker without locks or cross-thread noise.
+//! Since PR 5 the counters live in the ambient `dbpc-obs` metric sheet
+//! (thread-local, so parallel study harnesses can bracket a unit of work
+//! per worker without locks) under the `restructure.*` names; this module
+//! keeps [`TranslationProfile`] as a thin typed view over that sheet for
+//! existing call sites.
 
-use std::cell::Cell;
+pub use dbpc_obs::MetricsFrame;
+
+/// Metric name for whole-schema clones (see [`TranslationProfile`]).
+pub const SCHEMA_CLONES: &str = "restructure.schema_clones";
+/// Metric name for per-record-type translation plans built.
+pub const RECORD_TYPE_PREPS: &str = "restructure.record_type_preps";
+/// Metric name for records rebuilt through the typed store path.
+pub const RECORDS_STORED: &str = "restructure.records_stored";
 
 /// Snapshot of this thread's translation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,38 +44,59 @@ impl TranslationProfile {
             records_stored: self.records_stored - earlier.records_stored,
         }
     }
-}
 
-thread_local! {
-    static SCHEMA_CLONES: Cell<u64> = const { Cell::new(0) };
-    static TYPE_PREPS: Cell<u64> = const { Cell::new(0) };
-    static RECORDS_STORED: Cell<u64> = const { Cell::new(0) };
+    /// Read the `restructure.*` counters out of a merged metrics frame.
+    pub fn from_frame(frame: &MetricsFrame) -> TranslationProfile {
+        TranslationProfile {
+            schema_clones: frame.counter(SCHEMA_CLONES),
+            record_type_preps: frame.counter(RECORD_TYPE_PREPS),
+            records_stored: frame.counter(RECORDS_STORED),
+        }
+    }
 }
 
 pub(crate) fn count_schema_clone() {
-    SCHEMA_CLONES.with(|c| c.set(c.get() + 1));
+    dbpc_obs::count(SCHEMA_CLONES, 1);
 }
 
 pub(crate) fn count_type_prep() {
-    TYPE_PREPS.with(|c| c.set(c.get() + 1));
+    dbpc_obs::count(RECORD_TYPE_PREPS, 1);
 }
 
-pub(crate) fn count_record_stored() {
-    RECORDS_STORED.with(|c| c.set(c.get() + 1));
+/// Batches per-record `records_stored` increments into one ambient-sheet
+/// write, flushed on drop. The per-record translation loops are the hottest
+/// instrumented path in the workspace (thousands of records per study cell);
+/// counting each store individually would dominate the recording premium.
+/// Drop-flushing keeps totals exact on every exit: completion, simulated
+/// crash, and `?` error returns alike.
+pub(crate) struct StoredTally(u64);
+
+impl StoredTally {
+    pub(crate) fn new() -> StoredTally {
+        StoredTally(0)
+    }
+
+    pub(crate) fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl Drop for StoredTally {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            dbpc_obs::count(RECORDS_STORED, self.0);
+        }
+    }
 }
 
 /// This thread's cumulative counters.
 pub fn snapshot() -> TranslationProfile {
-    TranslationProfile {
-        schema_clones: SCHEMA_CLONES.with(|c| c.get()),
-        record_type_preps: TYPE_PREPS.with(|c| c.get()),
-        records_stored: RECORDS_STORED.with(|c| c.get()),
-    }
+    TranslationProfile::from_frame(&dbpc_obs::local_snapshot())
 }
 
 /// Zero this thread's counters (test/bench isolation).
 pub fn reset() {
-    SCHEMA_CLONES.with(|c| c.set(0));
-    TYPE_PREPS.with(|c| c.set(0));
-    RECORDS_STORED.with(|c| c.set(0));
+    dbpc_obs::local_remove(SCHEMA_CLONES);
+    dbpc_obs::local_remove(RECORD_TYPE_PREPS);
+    dbpc_obs::local_remove(RECORDS_STORED);
 }

@@ -9,8 +9,29 @@
 //! [`AccessStats`] lives inside each storage engine and uses `Cell` so the
 //! read-only query paths (`&self`) can count; [`AccessProfile`] is the
 //! plain-data snapshot surfaced in `dbpc_engine::trace::Trace`.
+//!
+//! Since PR 5 these counters also flow into the unified `dbpc-obs`
+//! metrics sheet under the `storage.*` names below. The engines keep
+//! their `Cell`s — query inner loops are far too hot for a map lookup
+//! per scanned row — and the executors absorb each run's delta into the
+//! ambient sheet once, post-run, via [`AccessProfile::absorb_into_obs`].
 
 use std::cell::Cell;
+
+/// Metric name for rows/segments/records visited by scans.
+pub const ROWS_SCANNED: &str = "storage.rows_scanned";
+/// Metric name for index lookups attempted.
+pub const INDEX_PROBES: &str = "storage.index_probes";
+/// Metric name for index lookups that found a candidate.
+pub const INDEX_HITS: &str = "storage.index_hits";
+/// Metric name for full hierarchic preorder-cache rebuilds.
+pub const PREORDER_REBUILDS: &str = "storage.preorder_rebuilds";
+/// Metric name for savepoints opened (see `txn.rs`).
+pub const SAVEPOINTS_BEGUN: &str = "storage.savepoints_begun";
+/// Metric name for savepoints rolled back.
+pub const SAVEPOINTS_ROLLED_BACK: &str = "storage.savepoints_rolled_back";
+/// Metric name for savepoints committed.
+pub const SAVEPOINTS_COMMITTED: &str = "storage.savepoints_committed";
 
 /// Interior-mutable counters owned by a storage engine.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +91,27 @@ pub struct AccessProfile {
     pub index_hits: u64,
     /// Full rebuilds of the hierarchic preorder cache.
     pub preorder_rebuilds: u64,
+}
+
+impl AccessProfile {
+    /// Push this profile (typically one run's delta) into the ambient
+    /// `dbpc-obs` metric sheet under the `storage.*` counter names.
+    pub fn absorb_into_obs(&self) {
+        dbpc_obs::count(ROWS_SCANNED, self.rows_scanned);
+        dbpc_obs::count(INDEX_PROBES, self.index_probes);
+        dbpc_obs::count(INDEX_HITS, self.index_hits);
+        dbpc_obs::count(PREORDER_REBUILDS, self.preorder_rebuilds);
+    }
+
+    /// Read the `storage.*` access counters out of a merged metrics frame.
+    pub fn from_frame(frame: &dbpc_obs::MetricsFrame) -> AccessProfile {
+        AccessProfile {
+            rows_scanned: frame.counter(ROWS_SCANNED),
+            index_probes: frame.counter(INDEX_PROBES),
+            index_hits: frame.counter(INDEX_HITS),
+            preorder_rebuilds: frame.counter(PREORDER_REBUILDS),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@
 //! besides the journaled ops themselves — id allocators and per-set
 //! arrival counters — snapshotted when the savepoint opens.
 
+use crate::stats;
+
 /// Handle to an open savepoint, returned by an engine's
 /// `begin_savepoint`. Handles are plain indexes into the savepoint
 /// stack: rolling back or committing a savepoint invalidates every
@@ -61,6 +63,8 @@ impl<Op, Meta> UndoLog<Op, Meta> {
     /// Open a savepoint, snapshotting `meta`.
     pub(crate) fn begin(&mut self, meta: Meta) -> Savepoint {
         self.marks.push((self.ops.len(), meta));
+        dbpc_obs::count(stats::SAVEPOINTS_BEGUN, 1);
+        dbpc_obs::event("storage.savepoint.begin");
         Savepoint(self.marks.len() - 1)
     }
 
@@ -75,6 +79,8 @@ impl<Op, Meta> UndoLog<Op, Meta> {
         let (mark, meta) = self.marks.pop()?;
         let mut tail = self.ops.split_off(mark);
         tail.reverse();
+        dbpc_obs::count(stats::SAVEPOINTS_ROLLED_BACK, 1);
+        dbpc_obs::event("storage.savepoint.rollback");
         Some((tail, meta))
     }
 
@@ -89,6 +95,8 @@ impl<Op, Meta> UndoLog<Op, Meta> {
         if self.marks.is_empty() {
             self.ops.clear();
         }
+        dbpc_obs::count(stats::SAVEPOINTS_COMMITTED, 1);
+        dbpc_obs::event("storage.savepoint.commit");
     }
 }
 

@@ -52,5 +52,6 @@ pub use dbpc_datamodel as datamodel;
 pub use dbpc_dml as dml;
 pub use dbpc_emulate as emulate;
 pub use dbpc_engine as engine;
+pub use dbpc_obs as obs;
 pub use dbpc_restructure as restructure;
 pub use dbpc_storage as storage;
