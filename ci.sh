@@ -42,6 +42,9 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench recovery
 echo "==> bench smoke (observability)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench observability
 
+echo "==> bench smoke (planner)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench planner
+
 # The obs export path end to end: run the E2 study with DBPC_OBS_JSON set,
 # then validate the exported RunReport with the in-repo schema checker
 # (parse, logical-clock nesting, byte-identical round trip).

@@ -18,22 +18,96 @@
 //! 3. **Dead-retrieval elimination** — `FIND v := …` whose variable is never
 //!    subsequently read (often exposed by pass 2) is removed; retrievals
 //!    have no side effects.
+//! 4. **Plan advice** (statistics in hand only) — each FIND path is priced
+//!    from a [`StatCatalog`] of the source database (record-type
+//!    cardinality × per-set fan-out); paths estimated to visit more than
+//!    [`PLAN_ADVICE_THRESHOLD`] records earn an advisory
+//!    [`Warning::PlanAdvice`]. Advice never alters the program or the
+//!    verdict — under §1.1 the access path is free to change, so this
+//!    pass only surfaces where the §5.4 "inefficient after conversion"
+//!    risk is concentrated.
 
 use crate::report::Warning;
 use dbpc_analyzer::integrity::detect_procedural;
 use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::expr::Expr;
 use dbpc_dml::host::{FindExpr, ForSource, PathStart, Program, Stmt};
+use dbpc_storage::StatCatalog;
 use std::collections::BTreeSet;
 
-/// Optimize a converted program against the target schema.
+/// Estimated records visited by one FIND above which the optimizer files
+/// advisory [`Warning::PlanAdvice`]. Small enough to catch genuinely
+/// broad traversals, large enough that the paper's figure-sized databases
+/// never trigger it (their reports stay byte-identical).
+pub const PLAN_ADVICE_THRESHOLD: u64 = 256;
+
+/// Optimize a converted program against the target schema (no statistics:
+/// passes 1–3 only).
 pub fn optimize(program: &Program, target_schema: &NetworkSchema) -> (Program, Vec<Warning>) {
+    optimize_with_stats(program, target_schema, None)
+}
+
+/// Optimize with an optional statistics catalog; when present, pass 4
+/// prices every FIND path and files advisory plan warnings.
+pub fn optimize_with_stats(
+    program: &Program,
+    target_schema: &NetworkSchema,
+    stats: Option<&StatCatalog>,
+) -> (Program, Vec<Warning>) {
     let mut p = program.clone();
     let mut warnings = Vec::new();
     remove_redundant_sorts(&mut p, target_schema, &mut warnings);
     remove_redundant_checks(&mut p, target_schema, &mut warnings);
     remove_dead_finds(&mut p, &mut warnings);
+    if let Some(stats) = stats {
+        advise_plans(&p, stats, &mut warnings);
+    }
     (p, warnings)
+}
+
+/// Pass 4: price each FIND path from the catalog and warn on estimated
+/// visit counts above [`PLAN_ADVICE_THRESHOLD`].
+fn advise_plans(p: &Program, stats: &StatCatalog, warnings: &mut Vec<Warning>) {
+    let mut advice = Vec::new();
+    let mut visit = |q: &FindExpr| {
+        let spec = q.spec();
+        let PathStart::System = spec.start else {
+            // Collection starts visit an already-materialized set whose
+            // size the optimizer cannot bound statically.
+            return;
+        };
+        let Some((first, rest)) = spec.steps.split_first() else {
+            return;
+        };
+        // The first step walks every member of a system-owned set: its
+        // record type's full cardinality. Each owner-coupled step after
+        // it multiplies by that set's average fan-out.
+        let mut est = stats.cardinality_of(&first.record).unwrap_or(0);
+        for step in rest {
+            est = est.saturating_mul(stats.avg_fanout(&step.set).max(1));
+        }
+        if est > PLAN_ADVICE_THRESHOLD {
+            advice.push(Warning::PlanAdvice {
+                detail: format!(
+                    "FIND over {} visits ~{} records ({} path steps); \
+                     consider a keyed entry point",
+                    first.record,
+                    est,
+                    spec.steps.len()
+                ),
+            });
+        }
+    };
+    // Walk every FIND in the program, including FOR EACH sources.
+    p.visit_stmts(&mut |s| match s {
+        Stmt::Find { query, .. } => visit(query),
+        Stmt::ForEach {
+            source: ForSource::Query(q),
+            ..
+        } => visit(q),
+        _ => {}
+    });
+    warnings.extend(advice);
 }
 
 /// Pass 1: unwrap `SORT` whose keys equal the final set's declared keys.

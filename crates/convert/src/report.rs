@@ -152,6 +152,22 @@ pub enum Warning {
     IntegrityLoosened {
         detail: String,
     },
+    /// Purely advisory access-path note from the statistics-driven
+    /// planner (§5.4 optimizer): e.g. a FIND that will scan a large
+    /// record type with no usable key. Never affects the verdict — the
+    /// access path is free to change under the §1.1 equivalence
+    /// criterion.
+    PlanAdvice {
+        detail: String,
+    },
+}
+
+impl Warning {
+    /// Advisory warnings report optimization opportunities, not behavior
+    /// differences; they never demote a conversion's verdict.
+    pub fn is_advisory(&self) -> bool {
+        matches!(self, Warning::PlanAdvice { .. })
+    }
 }
 
 impl fmt::Display for Warning {
@@ -180,6 +196,9 @@ impl fmt::Display for Warning {
             }
             Warning::IntegrityLoosened { detail } => {
                 write!(f, "integrity loosened: {detail}")
+            }
+            Warning::PlanAdvice { detail } => {
+                write!(f, "plan advice: {detail}")
             }
         }
     }

@@ -33,7 +33,6 @@ pub mod fault;
 pub mod ladder;
 
 use crate::mapping::Mapping;
-use crate::optimizer::optimize;
 use crate::report::{Analyst, Answer, ConversionReport, Question, Verdict, Warning};
 use crate::rules::{convert_step, FreshNames};
 use crate::supervisor::fault::{panic_payload, FaultPlan};
@@ -60,6 +59,11 @@ pub struct Supervisor {
     /// ([`FaultPlan::none`]) is idle and leaves every code path
     /// byte-identical to an unsupervised run.
     pub fault: FaultPlan,
+    /// Statistics of the source database, when the caller has them (the
+    /// fallback ladder snapshots a [`StatCatalog`] before converting).
+    /// Feeds the optimizer's advisory plan pass; `None` (the default)
+    /// leaves the optimizer byte-identical to the stats-blind pipeline.
+    pub plan_stats: Option<dbpc_storage::StatCatalog>,
 }
 
 impl Default for Supervisor {
@@ -68,6 +72,7 @@ impl Default for Supervisor {
             optimize: true,
             memoize_analysis: true,
             fault: FaultPlan::none(),
+            plan_stats: None,
         }
     }
 }
@@ -407,16 +412,22 @@ impl Supervisor {
         if self.optimize {
             dbpc_obs::span(Stage::Optimizer.span_name(), || -> PipelineResult<()> {
                 self.fault.trip(Stage::Optimizer, key, attempt)?;
-                let (optimized, opt_warnings) = optimize(&current, &mapping.target);
+                let (optimized, opt_warnings) = crate::optimizer::optimize_with_stats(
+                    &current,
+                    &mapping.target,
+                    self.plan_stats.as_ref(),
+                );
                 current = optimized;
                 warnings.extend(opt_warnings);
                 Ok(())
             })?;
         }
 
+        // Advisory warnings (plan advice) report access-path opportunities,
+        // not behavior differences: they never demote the verdict.
         let verdict = if needs_manual {
             Verdict::NeedsManualWork
-        } else if warnings.is_empty() {
+        } else if warnings.iter().all(Warning::is_advisory) {
             Verdict::Converted
         } else {
             Verdict::ConvertedWithWarnings

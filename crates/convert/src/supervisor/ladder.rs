@@ -49,7 +49,7 @@ use dbpc_emulate::{run_bridged, Emulator, WriteBack};
 use dbpc_engine::host_exec::run_host_with_fuel;
 use dbpc_engine::{diff_traces, Inputs, RunError, Trace, DEFAULT_VERIFY_FUEL};
 use dbpc_restructure::{Restructuring, TRANSLATION_BATCH};
-use dbpc_storage::NetworkDb;
+use dbpc_storage::{NetworkDb, StatCatalog};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A rung of the §2 strategy ladder, in descent order.
@@ -192,9 +192,16 @@ pub fn run_ladder(
         }
     };
 
+    // Statistics consult: snapshot the source catalog once per descent.
+    // It prices the strategy rungs against each other (emulation's
+    // per-statement overhead vs the bridge's per-record reconstruction)
+    // and feeds the rewrite rungs' advisory optimizer pass.
+    let stats = StatCatalog::of_network(source_db);
+    let order = rank_rungs(&stats, program);
+
     let mut fallbacks: Vec<RungFailure> = Vec::new();
     let mut total_attempts = 0usize;
-    for rung in LADDER {
+    for rung in order {
         let mut attempts = 0usize;
         let mut last_err = PipelineError::stage(Stage::Converter, "rung not attempted");
         while attempts <= cfg.retries {
@@ -217,6 +224,7 @@ pub fn run_ladder(
                             key,
                             attempt,
                             &*source_db,
+                            &stats,
                             &truth,
                             inputs,
                             &mut *analyst,
@@ -273,6 +281,48 @@ pub fn run_ladder(
     }
 }
 
+/// Order the automatic rungs for one descent from catalog statistics.
+///
+/// The two rewriting rungs always lead — a verified rewrite is the §2
+/// gold standard. Between the strategy rungs the catalog prices what each
+/// pays per run: emulation re-evaluates every DML operation against the
+/// source structure (≈ 4·log₂R work per statement for its per-call
+/// re-sorting), while a bridge reconstructs the source database and
+/// writes back differentially (≈ 2R + P). Emulation stays first unless
+/// its estimate exceeds **twice** the bridge's — a deliberate hysteresis
+/// band, since emulation needs no invertibility precondition.
+fn rank_rungs(stats: &StatCatalog, program: &Program) -> [Rung; 4] {
+    let records = stats.total_records().max(1);
+    let mut stmts = 0u64;
+    program.visit_stmts(&mut |_| stmts += 1);
+    let stmts = stmts.max(1);
+    let log2r = u64::from(64 - records.leading_zeros()); // ⌈log₂(R+1)⌉
+    let est_emulation = stmts * 4 * log2r;
+    let est_bridge = 2 * records + stmts;
+    let swap = est_emulation > 2 * est_bridge;
+    dbpc_obs::count("ladder.plan_consults", 1);
+    if dbpc_obs::in_capture() {
+        dbpc_obs::event_with(
+            "ladder.plan",
+            &[
+                ("est_emulation", &est_emulation.to_string()),
+                ("est_bridge", &est_bridge.to_string()),
+                ("first_strategy", if swap { "bridge" } else { "emulation" }),
+            ],
+        );
+    }
+    if swap {
+        [
+            Rung::FullRewrite,
+            Rung::RewriteNoOptimizer,
+            Rung::Bridge,
+            Rung::Emulation,
+        ]
+    } else {
+        LADDER
+    }
+}
+
 /// One attempt at one rung. Errors are rung-local: the caller decides
 /// whether to retry or descend.
 #[allow(clippy::too_many_arguments)]
@@ -286,6 +336,7 @@ fn attempt_rung(
     key: u64,
     attempt: usize,
     source_db: &NetworkDb,
+    stats: &StatCatalog,
     truth: &Trace,
     inputs: &Inputs,
     analyst: &mut dyn Analyst,
@@ -295,6 +346,7 @@ fn attempt_rung(
         Rung::FullRewrite | Rung::RewriteNoOptimizer => {
             let sup = Supervisor {
                 optimize: rung == Rung::FullRewrite,
+                plan_stats: Some(stats.clone()),
                 ..supervisor.clone()
             };
             let report =
@@ -432,5 +484,44 @@ fn run_error(stage: Stage, e: RunError) -> PipelineError {
     match e {
         RunError::StepLimit => PipelineError::FuelExhausted { stage },
         other => PipelineError::stage(stage, other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_dml::host::parse_program;
+    use dbpc_storage::statcat::TypeStats;
+
+    fn catalog(records: u64) -> StatCatalog {
+        StatCatalog {
+            types: vec![TypeStats {
+                name: "R".into(),
+                cardinality: records,
+            }],
+            ..StatCatalog::default()
+        }
+    }
+
+    fn program(prints: usize) -> dbpc_dml::host::Program {
+        let body: String = (0..prints).map(|i| format!("  PRINT {i};\n")).collect();
+        parse_program(&format!("PROGRAM P;\n{body}END PROGRAM;")).unwrap()
+    }
+
+    #[test]
+    fn small_program_on_large_db_keeps_emulation_first() {
+        // Emulation's log-factor beats the bridge's full reconstruction.
+        let order = rank_rungs(&catalog(10_000), &program(2));
+        assert_eq!(order, LADDER);
+    }
+
+    #[test]
+    fn large_program_on_small_db_promotes_bridge() {
+        // 100 statements × 4·log₂(4) ≫ 2·(2·4 + 100): reconstructing a
+        // 4-record base is cheaper than emulating every statement.
+        let order = rank_rungs(&catalog(4), &program(100));
+        assert_eq!(order[2], Rung::Bridge);
+        assert_eq!(order[3], Rung::Emulation);
+        assert_eq!(&order[..2], &LADDER[..2], "rewrite rungs always lead");
     }
 }

@@ -25,7 +25,7 @@ use dbpc_datamodel::network::NetworkSchema;
 use dbpc_dml::host::Program;
 use dbpc_engine::{Inputs, Trace};
 use dbpc_obs::{MetricsFrame, MetricsRegistry, RunReport};
-use dbpc_storage::NetworkDb;
+use dbpc_storage::{NetworkDb, StatCatalog};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -468,6 +468,11 @@ pub fn success_rate_study_config(config: &StudyConfig) -> StudyResult {
             cells,
         });
     }
+    // Planner inputs: publish the canonical source database's statistics
+    // catalog (a pure function of the fixture), so the deterministic
+    // RunReport JSON shows the cardinalities and fan-outs the cost-based
+    // planner and ladder consult priced plans from.
+    StatCatalog::of_network(&company_db(4, 3, 8)).publish(&mut registry);
     registry.set_gauge(HOST_THREADS, threads as i64);
     let report = RunReport::assemble("success-rate-study", captures, registry);
     let profile = StudyProfile::from_frame(&report.metrics);

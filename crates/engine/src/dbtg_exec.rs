@@ -10,6 +10,7 @@
 //! currency)" is about exactly this state.
 
 use crate::error::{RunError, RunResult};
+use crate::scan::{planner, AccessPath, PlanChoice, ProbeStats, Scan, Select, TableScan};
 use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::Value;
 use dbpc_dml::dbtg::{DbtgProgram, DbtgStmt, DbtgUnit, StatusCond};
@@ -151,22 +152,14 @@ impl<'d> DbtgMachine<'d> {
             }
             DbtgStmt::FindAny { record, using } => {
                 // CALC-key access: when every USING field has a UWA value,
-                // probe the calc-key index instead of scanning the type.
-                // The candidates are exact matches in creation order, so
-                // the first one is the record the scan would have found;
-                // `matches_uwa` still vets each candidate (virtual fields
-                // and type quirks fall back to scan below).
-                let probed = self.keyed_candidates(record, using)?;
-                let hit = match probed {
-                    Some(ids) => ids
-                        .into_iter()
-                        .find(|&id| self.matches_uwa(id, record, using)),
-                    None => self
-                        .db
-                        .records_of_type(record)
-                        .into_iter()
-                        .find(|&id| self.matches_uwa(id, record, using)),
-                };
+                // the planner prices a calc-key index probe against a
+                // type scan from the type's cardinality and the index's
+                // distinct-key count. Probe candidates are exact matches
+                // in creation order, so the first one is the record the
+                // scan would have found; `matches_uwa` still vets each
+                // candidate (virtual fields and type quirks fall back to
+                // scan via the stats mirror returning `None`).
+                let hit = self.find_any_hit(record, using)?;
                 match hit {
                     Some(id) => self.establish_currency(id),
                     None => self.status = StatusCode::NotFound,
@@ -213,10 +206,21 @@ impl<'d> DbtgMachine<'d> {
                         None => 0,
                     },
                 };
-                let hit = members[start..]
-                    .iter()
-                    .copied()
-                    .find(|&id| self.matches_uwa_allow_missing(id, record, using));
+                // Single-path plan: set members are only reachable by
+                // walking the occurrence, priced at the set's average
+                // fan-out so est-vs-actual error is visible in metrics.
+                let (occ, links) = self.db.set_fanout(set)?;
+                let choice = PlanChoice {
+                    path: AccessPath::FullScan,
+                    est_cost: if occ > 0 { links.div_ceil(occ) } else { 0 },
+                };
+                let rest = members[start..].to_vec();
+                let actual = rest.len() as u64;
+                let mut pipe = Select::new(TableScan::new(rest.into_iter()), |&id| {
+                    Ok(self.matches_uwa_allow_missing(id, record, using))
+                });
+                let hit = pipe.first()?;
+                planner::finish("dbtg.find_next", choice, actual);
                 match hit {
                     Some(id) => self.establish_currency(id),
                     None => self.status = StatusCode::EndOfSet,
@@ -463,6 +467,51 @@ impl<'d> DbtgMachine<'d> {
         self.current_of_type.retain(|_, &mut v| v != id);
         self.current_of_set
             .retain(|_, c| c.owner != id && c.member != Some(id));
+    }
+
+    /// Resolve FIND ANY to a record id (or None = NOT FOUND) through the
+    /// Scan layer: the planner prices calc-key probe vs type scan and the
+    /// chosen candidate list streams through a [`Select`] applying the
+    /// full `matches_uwa` vet, so plan choice never changes the outcome.
+    fn find_any_hit(&self, record: &str, using: &[String]) -> RunResult<Option<RecordId>> {
+        let probe = self.keyed_probe_stats(record, using)?;
+        let choice = planner::choose(self.db.type_cardinality(record), probe);
+        let ids = match choice.path {
+            AccessPath::IndexProbe => self.keyed_candidates(record, using)?.unwrap_or_default(),
+            AccessPath::FullScan => self.db.records_of_type(record),
+        };
+        let actual = ids.len() as u64;
+        let mut pipe = Select::new(TableScan::new(ids.into_iter()), |&id| {
+            Ok(self.matches_uwa(id, record, using))
+        });
+        let hit = pipe.first()?;
+        planner::finish("dbtg.find_any", choice, actual);
+        Ok(hit)
+    }
+
+    /// Non-counting mirror of [`Self::keyed_candidates`]' probe-ability
+    /// test, yielding the calc-key index's distinct-key count for the
+    /// planner. `Ok(None)` exactly when `keyed_candidates` would decline
+    /// to probe, so `PlanMode::AlwaysProbe` reproduces the pre-planner
+    /// heuristic verbatim.
+    fn keyed_probe_stats(&self, record: &str, using: &[String]) -> RunResult<Option<ProbeStats>> {
+        if using.is_empty() {
+            return Ok(None);
+        }
+        for f in using {
+            if !self.uwa.contains_key(&(record.to_string(), f.clone())) {
+                return Ok(None);
+            }
+        }
+        let fields: Vec<&str> = using.iter().map(String::as_str).collect();
+        let distinct = self
+            .db
+            .keyed_distinct(record, &fields)
+            .map_err(RunError::Db)?;
+        Ok(distinct.map(|distinct_keys| ProbeStats {
+            distinct_keys,
+            unique: false,
+        }))
     }
 
     /// Candidate ids for a keyed FIND ANY via the calc-key index.

@@ -9,6 +9,7 @@
 //! observable.
 
 use crate::error::{RunError, RunResult};
+use crate::scan::{planner, AccessPath, PlanChoice, Scan, Select, TableScan};
 use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::Value;
 use dbpc_dml::dli::{DliProgram, DliStatus, DliStmt, DliUnit, PrintItem, Ssa};
@@ -243,24 +244,34 @@ impl<'d> DliMachine<'d> {
     }
 
     /// First occurrence (hierarchic order) matching an SSA path.
+    ///
+    /// Routed through the Scan layer: top-level occurrences of the first
+    /// SSA's segment type stream through a [`Select`] applying the SSA
+    /// qualifier. Hierarchic stores expose no secondary index, so this is
+    /// a single-path plan priced at the segment type's cardinality —
+    /// recorded so est-vs-actual error shows up in planner metrics.
     fn search_path(&self, ssas: &[Ssa]) -> RunResult<Option<u64>> {
         let Some((first, rest)) = ssas.split_first() else {
             return Ok(None);
         };
-        // Candidate top-level occurrences of the first SSA's segment type.
-        let candidates: Vec<u64> = self
-            .db
-            .occurrences_of(&first.segment)
-            .into_iter()
-            .filter(|&id| self.ssa_matches(id, first))
-            .collect();
-        for c in candidates {
-            match self.search_below(c, rest)? {
-                Some(hit) => return Ok(Some(hit)),
-                None => continue,
+        let choice = PlanChoice {
+            path: AccessPath::FullScan,
+            est_cost: self.db.type_cardinality(&first.segment),
+        };
+        let occurrences = self.db.occurrences_of(&first.segment);
+        let actual = occurrences.len() as u64;
+        let mut candidates = Select::new(TableScan::new(occurrences.into_iter()), |&id| {
+            Ok(self.ssa_matches(id, first))
+        });
+        let mut hit = None;
+        while let Some(c) = candidates.next()? {
+            if let Some(h) = self.search_below(c, rest)? {
+                hit = Some(h);
+                break;
             }
         }
-        Ok(None)
+        planner::finish("dli.search_path", choice, actual);
+        Ok(hit)
     }
 
     fn search_below(&self, under: u64, ssas: &[Ssa]) -> RunResult<Option<u64>> {

@@ -16,6 +16,7 @@
 //! up in the equivalence check, exactly as §3.1 requires.
 
 use crate::error::{RunError, RunResult};
+use crate::scan::{planner, AccessPath, PlanChoice, Project, Scan, Select, TableScan};
 use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_dml::expr::{BinOp, BoolExpr, Expr};
@@ -81,6 +82,13 @@ pub trait NetworkOps {
         _key: &[Value],
     ) -> DbResult<Option<Vec<RecordId>>> {
         Ok(None)
+    }
+
+    /// Cardinality of a record type, for planner cost estimates.
+    /// `None` = the layer keeps no statistics (emulation/bridge): plans
+    /// are priced from the candidate list alone.
+    fn type_cardinality_stat(&self, _rtype: &str) -> Option<u64> {
+        None
     }
 
     /// Snapshot of the layer's access-path counters, if it keeps any.
@@ -178,6 +186,10 @@ impl NetworkOps for NetworkDb {
         key: &[Value],
     ) -> DbResult<Option<Vec<RecordId>>> {
         NetworkDb::find_keyed(self, rtype, fields, key)
+    }
+
+    fn type_cardinality_stat(&self, rtype: &str) -> Option<u64> {
+        Some(NetworkDb::type_cardinality(self, rtype))
     }
 
     fn access_profile(&self) -> Option<AccessProfile> {
@@ -497,16 +509,32 @@ impl<'d, D: NetworkOps> HostInterpreter<'d, D> {
                     // The §3.2 pathology: the same statement is a read or a
                     // destructive update depending on a run-time value.
                     "RETRIEVE" => {
+                        // Single-path plan (creation-order type scan),
+                        // streamed through the Scan layer: fetch resolved
+                        // values, project to a terminal line.
                         let ids = self.db.records_of_type(record)?;
-                        for id in ids {
-                            let vals = self.db.resolved_values(id)?;
-                            let line = vals
-                                .iter()
-                                .map(|v| v.to_string())
-                                .collect::<Vec<_>>()
-                                .join(" ");
+                        let actual = ids.len() as u64;
+                        let choice = PlanChoice {
+                            path: AccessPath::FullScan,
+                            est_cost: self.db.type_cardinality_stat(record).unwrap_or(actual),
+                        };
+                        let db = &self.db;
+                        let mut lines = Project::new(
+                            Project::new(TableScan::new(ids.into_iter()), |id| {
+                                db.resolved_values(id).map_err(RunError::Db)
+                            }),
+                            |vals: Vec<Value>| {
+                                Ok(vals
+                                    .iter()
+                                    .map(|v| v.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(" "))
+                            },
+                        );
+                        while let Some(line) = lines.next()? {
                             self.trace.push(TraceEvent::TerminalOut(line));
                         }
+                        planner::finish("host.retrieve", choice, actual);
                     }
                     "ERASE" => {
                         let ids = self.db.records_of_type(record)?;
@@ -642,17 +670,23 @@ impl<'d, D: NetworkOps> HostInterpreter<'d, D> {
         let Some(f) = filter else {
             return Ok(ids);
         };
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            // Unqualified names in a path filter resolve to fields of the
-            // step's record type, falling back to host variables. `rtype` is
-            // used for the membership test so that renamed/moved fields are
-            // resolved against the right schema.
-            let _ = rtype;
-            if self.eval_bool(f, Some(id))? {
-                out.push(id);
-            }
-        }
+        // Unqualified names in a path filter resolve to fields of the
+        // step's record type, falling back to host variables. `rtype` is
+        // used for the membership test so that renamed/moved fields are
+        // resolved against the right schema.
+        let _ = rtype;
+        // Single-path plan: the members of a set occurrence are only
+        // reachable by walking it, so the estimate is the candidate count.
+        let actual = ids.len() as u64;
+        let choice = PlanChoice {
+            path: AccessPath::FullScan,
+            est_cost: actual,
+        };
+        let mut pipe = Select::new(TableScan::new(ids.into_iter()), |&id| {
+            self.eval_bool(f, Some(id))
+        });
+        let out = pipe.collect_vec()?;
+        planner::finish("host.filter", choice, actual);
         Ok(out)
     }
 

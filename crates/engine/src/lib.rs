@@ -30,6 +30,7 @@ pub mod dbtg_exec;
 pub mod dli_exec;
 pub mod error;
 pub mod host_exec;
+pub mod scan;
 pub mod sequel_exec;
 pub mod trace;
 

@@ -9,6 +9,7 @@
 //! must manage.
 
 use crate::error::{RunError, RunResult};
+use crate::scan::{planner, AccessPath, IndexScan, ProbeStats, Scan, Select, TableScan};
 use crate::trace::{Inputs, Trace, TraceEvent};
 use dbpc_datamodel::value::{cmp_tuple, Value};
 use dbpc_dml::sequel::{SelectQuery, SequelPred, SequelProgram, SequelStmt};
@@ -188,13 +189,16 @@ fn compile_pred_inner(
 
 /// Evaluate a `SELECT` to projected rows.
 ///
-/// Access path: top-level conjunctive `col = const` terms are pushed down
-/// to [`RelationalDb::probe_eq`] (primary key or secondary index). The
-/// candidates come back in storage order and the **full** predicate is
-/// re-evaluated on each one, so the probe changes row visits, never
-/// results — contradictory or duplicated equality terms included. Without
-/// a usable index the table is read through the borrowing row cursor;
-/// rows are cloned only once the predicate admits them.
+/// Access path: top-level conjunctive `col = const` terms are offered to
+/// the planner, which prices an index probe ([`RelationalDb::probe_eq`],
+/// primary key or secondary index) against a full scan from the table's
+/// cardinality and the index's distinct-key count, then builds the
+/// corresponding [`Scan`] pipeline. Probe candidates come back in storage
+/// order and the **full** predicate is re-evaluated on each one, so plan
+/// choice changes row visits, never results — contradictory or duplicated
+/// equality terms included. On the scan path the table is read through
+/// the borrowing row cursor; rows are cloned only once the predicate
+/// admits them.
 pub fn eval_select(db: &RelationalDb, q: &SelectQuery) -> RunResult<Vec<Vec<Value>>> {
     let def = db
         .schema()
@@ -203,37 +207,49 @@ pub fn eval_select(db: &RelationalDb, q: &SelectQuery) -> RunResult<Vec<Vec<Valu
 
     let mut eqs: Vec<(String, Value)> = Vec::new();
     collect_eq_terms(q.where_.as_ref(), &mut eqs);
-    let candidates = if eqs.is_empty() {
+    let probe = if eqs.is_empty() {
         None
     } else {
-        db.probe_eq(&q.table, &eqs)?
+        db.probe_eq_stats(&q.table, &eqs)?
+            .map(|(distinct_keys, unique)| ProbeStats {
+                distinct_keys,
+                unique,
+            })
     };
+    let choice = planner::choose(db.table_cardinality(&q.table)?, probe);
 
     // Pre-evaluate IN subqueries once (they are uncorrelated in this
     // sublanguage, matching the paper's usage).
     let mut kept: Vec<Vec<Value>> = Vec::new();
-    match candidates {
-        Some(ids) => {
-            for id in ids {
+    let pred = |row: &[Value]| match &q.where_ {
+        None => Ok(true),
+        Some(p) => eval_pred(db, def, p, row),
+    };
+    match choice.path {
+        AccessPath::IndexProbe => {
+            let ids = db.probe_eq(&q.table, &eqs)?.unwrap_or_default();
+            let actual = ids.len() as u64;
+            let fetch = |id| {
                 let row = db.row(&q.table, id)?;
                 db.access_stats().scanned(1);
-                if match &q.where_ {
-                    None => true,
-                    Some(p) => eval_pred(db, def, p, row)?,
-                } {
-                    kept.push(row.to_vec());
-                }
+                Ok(row)
+            };
+            let mut pipe = Select::new(IndexScan::new(ids, fetch), |row: &&[Value]| pred(row));
+            while let Some(row) = pipe.next()? {
+                kept.push(row.to_vec());
             }
+            planner::finish("sequel.select", choice, actual);
         }
-        None => {
-            for (_, row) in db.iter_rows(&q.table)? {
-                if match &q.where_ {
-                    None => true,
-                    Some(p) => eval_pred(db, def, p, row)?,
-                } {
-                    kept.push(row.to_vec());
-                }
+        AccessPath::FullScan => {
+            let before = db.access_stats().snapshot().rows_scanned;
+            let mut pipe = Select::new(TableScan::new(db.iter_rows(&q.table)?), |(_, row)| {
+                pred(row)
+            });
+            while let Some((_, row)) = pipe.next()? {
+                kept.push(row.to_vec());
             }
+            let actual = db.access_stats().snapshot().rows_scanned - before;
+            planner::finish("sequel.select", choice, actual);
         }
     }
 

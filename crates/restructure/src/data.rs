@@ -113,7 +113,10 @@ pub fn translate_batched(
         batches_done: 0,
     };
     match run_phases(db, transform, &target_schema, &phases, 0, 0, &mut st, crash)? {
-        None => Ok(BatchedOutcome::Complete(st.out)),
+        None => {
+            refresh_stats(&st.out);
+            Ok(BatchedOutcome::Complete(st.out))
+        }
         Some((phase, offset)) => Ok(BatchedOutcome::Crashed(TranslationCheckpoint {
             source_fingerprint: db.fingerprint(),
             phase,
@@ -161,8 +164,30 @@ pub fn resume_translation(
         &mut st,
         &mut |_| false,
     )? {
-        None => Ok(st.out),
+        None => {
+            refresh_stats(&st.out);
+            Ok(st.out)
+        }
         Some(_) => Err(DbError::constraint("resumed translation crashed again")),
+    }
+}
+
+/// Snapshot the translated database's statistics catalog so the planner
+/// starts from fresh cardinalities, and record the refresh. Runs at every
+/// translation completion — one-shot or crash-resumed — so both paths
+/// report identical statistics (the catalog is a pure function of the
+/// output database).
+fn refresh_stats(out: &NetworkDb) {
+    let catalog = dbpc_storage::StatCatalog::of_network(out);
+    dbpc_obs::count("stats.refreshes", 1);
+    if dbpc_obs::in_capture() {
+        dbpc_obs::event_with(
+            "stats.refresh",
+            &[
+                ("records", &catalog.total_records().to_string()),
+                ("links", &catalog.total_links().to_string()),
+            ],
+        );
     }
 }
 

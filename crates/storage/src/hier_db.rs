@@ -699,6 +699,29 @@ impl HierDb {
         Ok(doomed.len())
     }
 
+    /// Every segment type the schema declares, in hierarchic definition
+    /// order (root-first preorder rank).
+    pub fn segment_types(&self) -> Vec<String> {
+        let mut names: Vec<(&usize, &String)> =
+            self.type_rank.iter().map(|(n, r)| (r, n)).collect();
+        names.sort();
+        names.into_iter().map(|(_, n)| n.clone()).collect()
+    }
+
+    /// Current occurrence count of a segment type. Non-counting and
+    /// cache-neutral: reads the preorder cache when it happens to be warm,
+    /// otherwise counts segments directly — it never forces (or tallies) a
+    /// preorder rebuild, so planning is invisible to `preorder_rebuilds`.
+    pub fn type_cardinality(&self, seg_type: &str) -> u64 {
+        if let Some(c) = self.cache.borrow().as_ref() {
+            return c.by_type.get(seg_type).map_or(0, |v| v.len() as u64);
+        }
+        self.segs
+            .values()
+            .filter(|s| s.seg_type == seg_type)
+            .count() as u64
+    }
+
     /// All occurrences of a segment type in hierarchic order.
     pub fn occurrences_of(&self, seg_type: &str) -> Vec<u64> {
         self.with_cache(|c| {

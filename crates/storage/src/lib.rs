@@ -23,6 +23,7 @@ pub mod hier_db;
 pub mod keys;
 pub mod network_db;
 pub mod relational_db;
+pub mod statcat;
 pub mod stats;
 pub mod txn;
 
@@ -31,5 +32,6 @@ pub use hier_db::{HierDb, SegmentInstance};
 pub use keys::KeyTuple;
 pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
 pub use relational_db::{RelationalDb, RowId};
+pub use statcat::{IndexStats, SetStats, StatCatalog, TableStats, TypeStats};
 pub use stats::{AccessProfile, AccessStats};
 pub use txn::Savepoint;

@@ -422,6 +422,63 @@ impl NetworkDb {
         ))
     }
 
+    /// Current record count of a type. Non-counting: a statistics read,
+    /// not a data access.
+    pub fn type_cardinality(&self, rtype: &str) -> u64 {
+        self.by_type.get(rtype).map_or(0, |ids| ids.len() as u64)
+    }
+
+    /// Statistics twin of [`NetworkDb::find_keyed`]: is this field list
+    /// calc-indexable, and with how many distinct key tuples? Builds the
+    /// lazy index exactly as a keyed FIND would (so the answer reflects
+    /// live state) but **never counts a probe** — the planner consults
+    /// this before deciding probe vs scan. `Ok(None)` mirrors
+    /// `find_keyed`'s not-indexable cases (unknown or `VIRTUAL` fields).
+    pub fn keyed_distinct(&self, rtype: &str, fields: &[&str]) -> DbResult<Option<u64>> {
+        if fields.is_empty() {
+            return Ok(None);
+        }
+        let rt = self.record_type(rtype)?;
+        let mut idxs = Vec::with_capacity(fields.len());
+        for f in fields {
+            match rt.field_index(f) {
+                Some(i) if !rt.fields[i].is_virtual() => idxs.push(i),
+                _ => return Ok(None),
+            }
+        }
+        let index_key = (
+            rtype.to_string(),
+            fields.iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+        );
+        let mut indexes = self.calc_indexes.borrow_mut();
+        let index = indexes.entry(index_key).or_insert_with(|| {
+            let mut map: BTreeMap<KeyTuple, Vec<u64>> = BTreeMap::new();
+            for &id in self
+                .by_type
+                .get(rtype)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+            {
+                let rec = &self.records[&id];
+                let k = KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect());
+                map.entry(k).or_default().push(id);
+            }
+            map
+        });
+        Ok(Some(index.len() as u64))
+    }
+
+    /// `(occurrences with members, total member links)` of a set — the
+    /// planner's fan-out statistic. Non-counting.
+    pub fn set_fanout(&self, set: &str) -> DbResult<(u64, u64)> {
+        let store = self
+            .sets
+            .get(set)
+            .ok_or_else(|| DbError::unknown("set", set))?;
+        let occupied = store.members.values().filter(|occ| !occ.is_empty()).count();
+        Ok((occupied as u64, store.owner_of.len() as u64))
+    }
+
     /// Members of a set occurrence, in set-key order.
     pub fn members_of(&self, set: &str, owner: RecordId) -> DbResult<Vec<RecordId>> {
         let store = self

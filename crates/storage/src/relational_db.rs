@@ -401,6 +401,61 @@ impl RelationalDb {
         Ok(None)
     }
 
+    /// Current row count of a table. Non-counting: a statistics read, not
+    /// a data access.
+    pub fn table_cardinality(&self, table: &str) -> DbResult<u64> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .rows
+            .len() as u64)
+    }
+
+    /// `(columns, distinct key count)` for each maintained secondary index
+    /// of a table, in creation order. Non-counting.
+    pub fn secondary_index_stats(&self, table: &str) -> DbResult<Vec<(Vec<String>, u64)>> {
+        Ok(self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::unknown("table", table))?
+            .indexes
+            .iter()
+            .map(|ix| (ix.cols.clone(), ix.map.len() as u64))
+            .collect())
+    }
+
+    /// Statistics twin of [`RelationalDb::probe_eq`]: would the same
+    /// equality terms be answerable by an index, and with how many distinct
+    /// keys? Mirrors `probe_eq`'s index selection (primary key first, then
+    /// the first fully-bound secondary) but **never counts a probe** — the
+    /// planner consults this before deciding whether to probe at all.
+    /// Returns `(distinct_keys, unique)`.
+    pub fn probe_eq_stats(
+        &self,
+        table: &str,
+        eqs: &[(String, Value)],
+    ) -> DbResult<Option<(u64, bool)>> {
+        let def = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::unknown("table", table))?;
+        let t = &self.tables[table];
+        if eqs.is_empty() || eqs.iter().any(|(c, _)| def.column_index(c).is_none()) {
+            return Ok(None);
+        }
+        let bound = |col: &str| eqs.iter().any(|(c, _)| c == col);
+        if !def.primary_key.is_empty() && def.primary_key.iter().all(|c| bound(c)) {
+            return Ok(Some((t.pk_index.len() as u64, true)));
+        }
+        for ix in &t.indexes {
+            if ix.cols.iter().all(|c| bound(c)) {
+                return Ok(Some((ix.map.len() as u64, false)));
+            }
+        }
+        Ok(None)
+    }
+
     /// Insert a row given `(column, value)` pairs; omitted columns are null.
     pub fn insert(&mut self, table: &str, values: &[(&str, Value)]) -> DbResult<RowId> {
         // Borrow the definition from the schema field directly (no clone):

@@ -1,0 +1,333 @@
+//! The statistics catalog behind cost-based access-path selection.
+//!
+//! [`StatCatalog`] is a *derived, deterministic view* over the access
+//! structures the engines already maintain incrementally — relational row
+//! maps and secondary indexes, network `by_type` lists, calc-key indexes
+//! and per-set member maps, hierarchic segment stores — snapshotted into
+//! plain numbers a planner can price plans with: per-table/per-type
+//! cardinality, per-index distinct-key counts, per-set fan-out.
+//!
+//! Because every underlying structure is maintained through the undo
+//! journal (PR 4), the catalog is **transactional by construction**: a
+//! `rollback_to` restores the structures, so a catalog taken after the
+//! rollback equals one taken before the savepoint opened. That invariant
+//! is what lets the planner consult statistics inside the atomic executor
+//! wrappers without any stats-specific undo logic; it is pinned by
+//! `tests/stat_catalog.rs` with [`StatCatalog::fingerprint`] checks.
+//!
+//! All snapshot accessors used here are **non-counting**: building a
+//! catalog never bumps `rows_scanned`/`index_probes`, so planning is
+//! invisible to the access profiles the PR 1 regression tests assert on.
+
+use crate::{HierDb, NetworkDb, RelationalDb};
+use std::hash::{Hash, Hasher};
+
+/// Distinct-key statistics for one index (primary or secondary).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexStats {
+    /// Indexed column/field list, in index order.
+    pub cols: Vec<String>,
+    /// Number of distinct key tuples currently in the index.
+    pub distinct_keys: u64,
+    /// Whether a key identifies at most one row (primary keys).
+    pub unique: bool,
+}
+
+/// Statistics for one relational table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableStats {
+    pub name: String,
+    pub cardinality: u64,
+    /// Primary key first (when declared), then secondary indexes in
+    /// creation order.
+    pub indexes: Vec<IndexStats>,
+}
+
+/// Statistics for one network record type or hierarchic segment type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeStats {
+    pub name: String,
+    pub cardinality: u64,
+}
+
+/// Fan-out statistics for one owner-coupled set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetStats {
+    pub name: String,
+    /// Owner occurrences that currently have at least one member.
+    pub occurrences: u64,
+    /// Member links (= connected members) across all occurrences.
+    pub links: u64,
+}
+
+/// A deterministic snapshot of the statistics relevant to plan choice for
+/// one database instance. Exactly one of the three sections is non-empty,
+/// matching the data model the catalog was taken from.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct StatCatalog {
+    pub tables: Vec<TableStats>,
+    pub types: Vec<TypeStats>,
+    pub sets: Vec<SetStats>,
+}
+
+impl StatCatalog {
+    /// Snapshot a relational database: per-table cardinality plus
+    /// distinct-key counts for the primary key and every secondary index.
+    pub fn of_relational(db: &RelationalDb) -> StatCatalog {
+        let mut tables = Vec::new();
+        for def in &db.schema().tables {
+            let cardinality = db.table_cardinality(&def.name).unwrap_or(0);
+            let mut indexes = Vec::new();
+            if !def.primary_key.is_empty() {
+                indexes.push(IndexStats {
+                    cols: def.primary_key.clone(),
+                    // Primary-key tuples are unique: distinct = cardinality.
+                    distinct_keys: cardinality,
+                    unique: true,
+                });
+            }
+            for (cols, distinct_keys) in db.secondary_index_stats(&def.name).unwrap_or_default() {
+                indexes.push(IndexStats {
+                    cols,
+                    distinct_keys,
+                    unique: false,
+                });
+            }
+            tables.push(TableStats {
+                name: def.name.clone(),
+                cardinality,
+                indexes,
+            });
+        }
+        StatCatalog {
+            tables,
+            ..StatCatalog::default()
+        }
+    }
+
+    /// Snapshot a network database: per-record-type cardinality plus
+    /// per-set occurrence and link counts (fan-out = links/occurrences).
+    pub fn of_network(db: &NetworkDb) -> StatCatalog {
+        let types = db
+            .schema()
+            .records
+            .iter()
+            .map(|r| TypeStats {
+                name: r.name.clone(),
+                cardinality: db.type_cardinality(&r.name),
+            })
+            .collect();
+        let sets = db
+            .schema()
+            .sets
+            .iter()
+            .map(|s| {
+                let (occurrences, links) = db.set_fanout(&s.name).unwrap_or((0, 0));
+                SetStats {
+                    name: s.name.clone(),
+                    occurrences,
+                    links,
+                }
+            })
+            .collect();
+        StatCatalog {
+            types,
+            sets,
+            ..StatCatalog::default()
+        }
+    }
+
+    /// Snapshot a hierarchic database: per-segment-type cardinality.
+    pub fn of_hier(db: &HierDb) -> StatCatalog {
+        let types = db
+            .segment_types()
+            .into_iter()
+            .map(|name| {
+                let cardinality = db.type_cardinality(&name);
+                TypeStats { name, cardinality }
+            })
+            .collect();
+        StatCatalog {
+            types,
+            ..StatCatalog::default()
+        }
+    }
+
+    /// Total records/rows/segments across the catalog.
+    pub fn total_records(&self) -> u64 {
+        let t: u64 = self.tables.iter().map(|t| t.cardinality).sum();
+        let y: u64 = self.types.iter().map(|t| t.cardinality).sum();
+        t + y
+    }
+
+    /// Total set links (network catalogs only; 0 otherwise).
+    pub fn total_links(&self) -> u64 {
+        self.sets.iter().map(|s| s.links).sum()
+    }
+
+    /// Cardinality of a named table/type, if present.
+    pub fn cardinality_of(&self, name: &str) -> Option<u64> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.cardinality)
+            .or_else(|| {
+                self.types
+                    .iter()
+                    .find(|t| t.name == name)
+                    .map(|t| t.cardinality)
+            })
+    }
+
+    /// Average members per occurrence of a set, rounded up; 1 when the set
+    /// is empty (a harmless floor for cost formulas).
+    pub fn avg_fanout(&self, set: &str) -> u64 {
+        match self.sets.iter().find(|s| s.name == set) {
+            Some(s) if s.occurrences > 0 => s.links.div_ceil(s.occurrences).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Deterministic digest of the whole catalog, for savepoint/rollback
+    /// regression checks.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Publish the catalog into a metrics registry as gauges, so a
+    /// `RunReport`'s deterministic JSON shows the planner's inputs:
+    /// `stats.table.<T>.cardinality`, `stats.index.<T>.<cols>.distinct`,
+    /// `stats.type.<T>.cardinality`, `stats.set.<S>.{occurrences,links}`.
+    pub fn publish(&self, registry: &mut dbpc_obs::MetricsRegistry) {
+        for t in &self.tables {
+            registry.set_gauge(
+                &format!("stats.table.{}.cardinality", t.name),
+                t.cardinality as i64,
+            );
+            for ix in &t.indexes {
+                registry.set_gauge(
+                    &format!("stats.index.{}.{}.distinct", t.name, ix.cols.join("+")),
+                    ix.distinct_keys as i64,
+                );
+            }
+        }
+        for t in &self.types {
+            registry.set_gauge(
+                &format!("stats.type.{}.cardinality", t.name),
+                t.cardinality as i64,
+            );
+        }
+        for s in &self.sets {
+            registry.set_gauge(
+                &format!("stats.set.{}.occurrences", s.name),
+                s.occurrences as i64,
+            );
+            registry.set_gauge(&format!("stats.set.{}.links", s.name), s.links as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, NetworkSchema, RecordTypeDef, SetDef};
+    use dbpc_datamodel::relational::{ColumnDef, RelationalSchema, TableDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_datamodel::value::Value;
+
+    fn rel_db() -> RelationalDb {
+        let schema = RelationalSchema::new("S").with_table(
+            TableDef::new(
+                "PART",
+                vec![
+                    ColumnDef::new("P#", FieldType::Int(6)),
+                    ColumnDef::new("CLASS", FieldType::Char(4)),
+                ],
+            )
+            .with_key(vec!["P#"]),
+        );
+        let mut db = RelationalDb::new(schema).unwrap();
+        db.create_index("PART", &["CLASS"]).unwrap();
+        for i in 0..30 {
+            db.insert(
+                "PART",
+                &[
+                    ("P#", Value::Int(i)),
+                    ("CLASS", Value::str(format!("C{}", i % 3))),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn relational_catalog_reports_cardinality_and_distincts() {
+        let db = rel_db();
+        let cat = StatCatalog::of_relational(&db);
+        assert_eq!(cat.cardinality_of("PART"), Some(30));
+        let part = &cat.tables[0];
+        assert_eq!(part.indexes.len(), 2);
+        assert!(part.indexes[0].unique);
+        assert_eq!(part.indexes[0].distinct_keys, 30);
+        assert_eq!(part.indexes[1].cols, vec!["CLASS".to_string()]);
+        assert_eq!(part.indexes[1].distinct_keys, 3);
+    }
+
+    #[test]
+    fn catalog_is_a_pure_function_of_state() {
+        let db = rel_db();
+        assert_eq!(
+            StatCatalog::of_relational(&db).fingerprint(),
+            StatCatalog::of_relational(&db).fingerprint()
+        );
+    }
+
+    #[test]
+    fn network_catalog_reports_types_and_fanout() {
+        let schema = NetworkSchema::new("N")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![FieldDef::new("DIV-NAME", FieldType::Char(20))],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![FieldDef::new("EMP-NAME", FieldType::Char(25))],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]));
+        let mut db = NetworkDb::new(schema).unwrap();
+        let d1 = db
+            .store("DIV", &[("DIV-NAME", Value::str("A"))], &[])
+            .unwrap();
+        let d2 = db
+            .store("DIV", &[("DIV-NAME", Value::str("B"))], &[])
+            .unwrap();
+        for (n, d) in [("X", d1), ("Y", d1), ("Z", d2)] {
+            db.store("EMP", &[("EMP-NAME", Value::str(n))], &[("DIV-EMP", d)])
+                .unwrap();
+        }
+        let cat = StatCatalog::of_network(&db);
+        assert_eq!(cat.cardinality_of("DIV"), Some(2));
+        assert_eq!(cat.cardinality_of("EMP"), Some(3));
+        let div_emp = cat.sets.iter().find(|s| s.name == "DIV-EMP").unwrap();
+        assert_eq!(div_emp.occurrences, 2);
+        assert_eq!(div_emp.links, 3);
+        assert_eq!(cat.avg_fanout("DIV-EMP"), 2); // ceil(3/2)
+        assert_eq!(cat.total_records(), 5);
+        assert_eq!(cat.total_links(), 5); // ALL-DIV (2) + DIV-EMP (3)
+    }
+
+    #[test]
+    fn publish_exposes_gauges() {
+        let db = rel_db();
+        let cat = StatCatalog::of_relational(&db);
+        let mut registry = dbpc_obs::MetricsRegistry::new();
+        cat.publish(&mut registry);
+        let frame = registry.into_frame();
+        assert_eq!(frame.gauge("stats.table.PART.cardinality"), 30);
+        assert_eq!(frame.gauge("stats.index.PART.CLASS.distinct"), 3);
+    }
+}
