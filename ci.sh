@@ -16,6 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # fallback ladder and the panic-safe pool are only as strong as the absence
 # of unwrap/expect beneath them — and since the undo journal, so are the
 # storage engines and executors whose rollback those boundaries trigger.
+# The lock table (dbpc-storage) and the conversion service (dbpc-convert)
+# sit under the same gates: both crates' lib targets are covered below.
 # Scoped to the crates' lib targets (tests and benches may unwrap);
 # --no-deps keeps the extra lints from leaking into dependency crates.
 echo "==> cargo clippy (no unwrap/expect in storage + engine + convert + corpus libs)"
@@ -44,6 +46,9 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench observability
 
 echo "==> bench smoke (planner)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench planner
+
+echo "==> bench smoke (service load)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench service_load
 
 # The obs export path end to end: run the E2 study with DBPC_OBS_JSON set,
 # then validate the exported RunReport with the in-repo schema checker

@@ -42,6 +42,10 @@
 //!   hierarchy reordering (ref 11).
 //! * [`equivalence`] — the §1.1 acceptance test (trace equality) and the
 //!   §5.2 levels of "successful conversion".
+//! * [`service`] — the long-running conversion service: sessions submit
+//!   jobs against shared, concurrency-managed engine contexts through a
+//!   bounded admission queue; update-free verifications overlap under
+//!   shared locks while mutating ones serialize per record type.
 
 pub mod dli_rules;
 pub mod equivalence;
@@ -50,9 +54,13 @@ pub mod mapping;
 pub mod optimizer;
 pub mod report;
 pub mod rules;
+pub mod service;
 pub mod supervisor;
 
 pub use report::{Analyst, Answer, AutoAnalyst, ConversionReport, Question, Verdict, Warning};
+pub use service::{
+    ConversionService, CtxId, JobOutcome, ServiceBuilder, ServiceConfig, Session, Ticket,
+};
 pub use supervisor::fault::{FaultKind, FaultPlan};
 pub use supervisor::ladder::{run_ladder, LadderConfig, LadderOutcome, Rung, RungFailure, LADDER};
 pub use supervisor::Supervisor;

@@ -1,0 +1,1155 @@
+//! The long-running conversion service: sessions, admission control, and
+//! concurrency-managed verification over shared engines.
+//!
+//! The batch pipeline (PR 2) parallelizes one *batch* by striding its index
+//! space; this module replaces that shape with the ROADMAP's north star — a
+//! service that accepts conversion jobs continuously and runs them against
+//! shared engine state under real concurrency control:
+//!
+//! * **Contexts** ([`ServiceBuilder::register_context`]) hoist everything
+//!   that depends only on `(schema, restructuring, source database)`: the
+//!   validated [`Mapping`], the target [`AccessPathGraph`], the schema
+//!   fingerprint, the translated target database, and a replica pool for
+//!   each side. Queued jobs replay that state instead of rebuilding it —
+//!   on this corpus the per-job pipeline spends most of its time there,
+//!   which is what the `BENCH_service_load` amortization figure measures.
+//! * **Admission control**: a bounded FIFO queue. [`Session::submit`]
+//!   blocks while the queue is full — backpressure, not unbounded memory —
+//!   and [`Ticket::wait`] parks until the job's worker publishes its
+//!   [`JobOutcome`]. Queue-depth high-water and backpressure-wait gauges
+//!   land in the shutdown [`RunReport`].
+//! * **Concurrency control**: every verification declares a lock set over
+//!   the *logical* databases it touches ([`LockRes`] at engine and
+//!   record-type granularity, source and target side namespaced apart) and
+//!   acquires it through the shared [`LockTable`] in sorted order.
+//!   Update-free programs (`Program::mutates_database` == false on both
+//!   sides) take only shared locks — the read-read fast path — while a
+//!   `STORE` takes an exclusive lock on just the stored record type, and
+//!   variable-addressed mutations (MODIFY/DELETE/CONNECT/DISCONNECT) fall
+//!   back to an exclusive engine lock. A wait that times out surfaces as
+//!   [`PipelineError::LockTimeout`]; the job retries (the conflicting
+//!   session usually finishes first) and, with the retry budget spent,
+//!   degrades to [`Verdict::NeedsManualWork`] with the timeout recorded in
+//!   `fallbacks` — the same degradation discipline as the §2 strategy
+//!   ladder.
+//!
+//! **Engine replicas, not literal sharing.** `NetworkDb` keeps interior
+//! access-structure caches (`RefCell` calc-key indexes), so one instance
+//! cannot be referenced from two threads. Each context therefore keeps a
+//! small checkout/checkin pool of replicas of its base. This is sound
+//! *because of* the concurrency manager and the undo journal: every run —
+//! ground truth and verification alike — executes inside a savepoint that
+//! is rolled back, so every replica stays byte-identical to the base
+//! (debug builds assert the fingerprint at every checkin), and the lock
+//! table enforces exactly the schedule that would make literal sharing
+//! correct — readers overlap, conflicting writers serialize per record
+//! type. Concurrency changes *when* a job runs, never *what* it produces:
+//! [`ServiceBuilder::run_serial`] executes the same jobs inline through the
+//! same code path, and `tests/service_equivalence.rs` asserts the outcomes
+//! are byte-identical.
+//!
+//! Determinism: a job's `(report, level)` is a pure function of
+//! `(context, program, fault key)` — the fault plan is keyed, the truth
+//! memo caches a pure function of the program, and rollback restores every
+//! replica — so seeded [`FaultPlan`][crate::FaultPlan] runs are identical
+//! at any worker count. Scheduling-dependent observations (queue depth,
+//! lock waits, memo hit/miss splits) are recorded as `Racy`/`Time` metrics
+//! or shutdown gauges, which `dbpc-obs` excludes from deterministic
+//! comparisons.
+
+use crate::equivalence::{judge_equivalence, source_trace, EquivalenceLevel};
+use crate::mapping::Mapping;
+use crate::report::{Analyst, AutoAnalyst, ConversionReport, PermissiveAnalyst, Verdict};
+use crate::supervisor::fault::panic_payload;
+use crate::supervisor::ladder::{retryable, RungFailure};
+use crate::supervisor::{failure_report, Supervisor};
+use dbpc_analyzer::apg::AccessPathGraph;
+use dbpc_datamodel::error::{ModelError, PipelineError, PipelineResult, Stage};
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_dml::host::{Program, Stmt};
+use dbpc_engine::{Inputs, Trace};
+use dbpc_obs::{Capture, MetricsFrame, MetricsRegistry, RunReport};
+use dbpc_restructure::Restructuring;
+use dbpc_storage::locks::{ConcurrencyMgr, LockError, LockKind, LockRes, LockTable};
+use dbpc_storage::{pool, NetworkDb};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Metric: jobs executed (deterministic work count).
+pub const SERVICE_JOBS: &str = "service.jobs";
+/// Metric: jobs whose whole lock set was shared — the read-read fast path.
+pub const SERVICE_READ_ONLY_JOBS: &str = "service.jobs_read_only";
+/// Metric: wall-clock a job spent queued before a worker picked it up.
+pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
+/// Metric: wall-clock a job spent executing.
+pub const SERVICE_EXEC_NS: &str = "service.exec_ns";
+/// Metric: ground-truth trace memo hits (scheduling-dependent split).
+pub const SERVICE_TRUTH_HITS: &str = "service.truth_hits";
+/// Metric: ground-truth trace memo misses — actual source executions.
+pub const SERVICE_TRUTH_MISSES: &str = "service.truth_misses";
+/// Shutdown gauge: worker threads the service ran with.
+pub const SERVICE_WORKERS: &str = "service.workers";
+/// Shutdown gauge: registered contexts.
+pub const SERVICE_CONTEXTS: &str = "service.contexts";
+/// Shutdown gauge: admission-queue high-water mark.
+pub const SERVICE_QUEUE_DEPTH_MAX: &str = "service.queue_depth_max";
+/// Shutdown gauge: submits that had to block on a full queue.
+pub const SERVICE_BACKPRESSURE_WAITS: &str = "service.backpressure_waits";
+
+/// Recover a mutex guard from poisoning. Every service critical section is
+/// a plain container operation (queue push/pop, pool checkout, memo
+/// lookup), so the protected state is consistent whenever the guard is
+/// released — even by a panicking worker, whose job the supervision layer
+/// has already turned into a poisoned report.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of a [`ConversionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` (the default) means `DBPC_THREADS` or the
+    /// machine's available parallelism ([`pool::default_threads`]) — the
+    /// same resolution every batch harness uses.
+    pub workers: usize,
+    /// Admission-queue bound: [`Session::submit`] blocks at this depth.
+    pub queue_capacity: usize,
+    /// How long a lock request waits before the table declares a timeout —
+    /// the SimpleDB-style deadlock-resolution budget.
+    pub lock_timeout: Duration,
+    /// Verification retries after a lock timeout or an injected
+    /// (retryable) verification fault.
+    pub lock_retries: usize,
+    /// Approve analyst questions instead of rejecting them.
+    pub permissive: bool,
+    /// The conversion pipeline configuration, fault plan included.
+    pub supervisor: Supervisor,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 64,
+            lock_timeout: Duration::from_secs(5),
+            lock_retries: 1,
+            permissive: false,
+            supervisor: Supervisor::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The worker count this configuration resolves to: the explicit
+    /// setting, or `DBPC_THREADS` / machine parallelism when `0`.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            pool::default_threads()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Identifies a registered conversion context to [`Session::submit`].
+pub type CtxId = usize;
+
+/// A replica pool over one logical database: checkout hands a worker its
+/// own `NetworkDb` instance (the type's interior caches are not `Sync`),
+/// checkin returns it. Sound because every run is rolled back — replicas
+/// never diverge from the base, which debug builds assert by fingerprint.
+struct EnginePool {
+    inner: Mutex<PoolState>,
+    /// Fingerprint of the base; every checkin must still match it.
+    base_fp: u64,
+    /// Bound on retained spares (the worker count — more can never be
+    /// checked out at once).
+    cap: usize,
+}
+
+struct PoolState {
+    base: NetworkDb,
+    spares: Vec<NetworkDb>,
+}
+
+impl EnginePool {
+    fn new(base: NetworkDb, cap: usize) -> EnginePool {
+        EnginePool {
+            base_fp: base.fingerprint(),
+            inner: Mutex::new(PoolState {
+                base,
+                spares: Vec::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    fn checkout(&self) -> NetworkDb {
+        let mut st = lock(&self.inner);
+        st.spares.pop().unwrap_or_else(|| st.base.clone())
+    }
+
+    fn checkin(&self, db: NetworkDb) {
+        debug_assert_eq!(
+            db.fingerprint(),
+            self.base_fp,
+            "engine replica diverged from its base: a verification escaped its savepoint"
+        );
+        let mut st = lock(&self.inner);
+        if st.spares.len() < self.cap {
+            st.spares.push(db);
+        }
+    }
+}
+
+/// Everything hoisted once per `(schema, restructuring, source database)`.
+struct Context {
+    schema: NetworkSchema,
+    mapping: Mapping,
+    schema_fp: Option<u64>,
+    inputs: Inputs,
+    source: EnginePool,
+    target: EnginePool,
+    /// Ground-truth traces keyed by structural program hash: a pure
+    /// function of the key (fixed source base, fixed inputs), so whichever
+    /// worker fills an entry first, every reader sees the same trace.
+    truth: Mutex<HashMap<u64, Arc<Trace>>>,
+    /// Lock namespace of the source side; the target side is `+ 1`.
+    space_source: u32,
+}
+
+impl Context {
+    fn space_target(&self) -> u32 {
+        self.space_source + 1
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    seq: u64,
+    session: u64,
+    ctx: CtxId,
+    program: Program,
+    key: u64,
+    queued_at: Instant,
+    slot: Arc<Slot>,
+}
+
+/// The published result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Admission order (service-wide, monotone).
+    pub seq: u64,
+    pub report: ConversionReport,
+    /// Equivalence level when verification ran to completion; `None` for
+    /// unconverted, unverifiable, or poisoned jobs.
+    pub level: Option<EquivalenceLevel>,
+    /// Wall-clock spent queued (admission to dequeue).
+    pub queue_ns: u64,
+    /// Wall-clock spent executing.
+    pub exec_ns: u64,
+}
+
+/// One-shot rendezvous between a worker and a waiting [`Ticket`].
+struct Slot {
+    state: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, outcome: JobOutcome) {
+        *lock(&self.state) = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one submitted job; [`Ticket::wait`] blocks until its worker
+/// publishes the outcome.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    pub fn wait(self) -> JobOutcome {
+        let mut st = lock(&self.slot.state);
+        loop {
+            if let Some(outcome) = st.take() {
+                return outcome;
+            }
+            st = self
+                .slot
+                .ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The bounded admission queue (see module docs).
+struct Queue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth_max: AtomicUsize,
+    backpressure_waits: AtomicU64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth_max: AtomicUsize::new(0),
+            backpressure_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocking admission: waits while the queue is at capacity. `Err`
+    /// returns the job when the queue has been closed.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut st = lock(&self.state);
+        while st.jobs.len() >= self.capacity && !st.closed {
+            self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.closed {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        self.depth_max.fetch_max(st.jobs.len(), Ordering::Relaxed);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Worker side: next job, or `None` once the queue is closed *and*
+    /// drained — shutdown completes every admitted job.
+    fn pop(&self) -> Option<Job> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Per-job observability shard: `(seq, span tree, metrics delta)`, merged
+/// in admission order at shutdown so the assembled report is a pure
+/// function of the job sequence.
+type ObsShard = (u64, Capture, MetricsFrame);
+
+struct ServiceInner {
+    config: ServiceConfig,
+    contexts: Vec<Arc<Context>>,
+    lock_table: LockTable,
+    queue: Queue,
+    sink: Mutex<Vec<ObsShard>>,
+}
+
+/// Builds a [`ConversionService`]: register contexts, then [`start`]
+/// workers — or run the same jobs inline with [`run_serial`] for a
+/// reference result.
+///
+/// [`start`]: ServiceBuilder::start
+/// [`run_serial`]: ServiceBuilder::run_serial
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    contexts: Vec<Arc<Context>>,
+}
+
+impl ServiceBuilder {
+    pub fn new(config: ServiceConfig) -> ServiceBuilder {
+        ServiceBuilder {
+            config,
+            contexts: Vec::new(),
+        }
+    }
+
+    /// Hoist one `(schema, restructuring, source database)` triple into a
+    /// reusable context: validate the mapping, build the access-path
+    /// graph, translate the source once, and seed both replica pools.
+    pub fn register_context(
+        &mut self,
+        schema: &NetworkSchema,
+        restructuring: &Restructuring,
+        source: NetworkDb,
+        inputs: Inputs,
+    ) -> PipelineResult<CtxId> {
+        let mapping = Mapping::from_restructuring(schema, restructuring)?;
+        let schema_fp = self
+            .config
+            .supervisor
+            .memoize_analysis
+            .then(|| dbpc_analyzer::cache::schema_fingerprint(schema));
+        let target = restructuring
+            .translate(&source)
+            .map_err(|e| PipelineError::stage(Stage::Translation, e))?;
+        let cap = self.config.resolved_workers();
+        let id = self.contexts.len();
+        let space_source = u32::try_from(id)
+            .ok()
+            .and_then(|id| id.checked_mul(2))
+            .ok_or_else(|| ModelError::invalid("context id exceeds the lock namespace"))?;
+        self.contexts.push(Arc::new(Context {
+            schema: schema.clone(),
+            mapping,
+            schema_fp,
+            inputs,
+            source: EnginePool::new(source, cap),
+            target: EnginePool::new(target, cap),
+            truth: Mutex::new(HashMap::new()),
+            space_source,
+        }));
+        Ok(id)
+    }
+
+    /// Spawn the worker pool and open the service for sessions.
+    pub fn start(self) -> ConversionService {
+        let workers = self.config.resolved_workers();
+        let inner = Arc::new(ServiceInner {
+            queue: Queue::new(self.config.queue_capacity),
+            config: self.config,
+            contexts: self.contexts,
+            lock_table: LockTable::new(),
+            sink: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dbpc-service-{w}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .filter_map(|h| h.ok())
+            .collect();
+        ConversionService {
+            inner,
+            workers: handles,
+            next_seq: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+        }
+    }
+
+    /// The serial reference: execute `jobs` inline, in order, through the
+    /// *same* per-job code path the workers run (locks included, against a
+    /// private uncontended table). The service's acceptance bar is that a
+    /// concurrent run's `(report, level)` pairs are byte-identical to this.
+    pub fn run_serial(&self, jobs: &[(CtxId, Program, u64)]) -> PipelineResult<Vec<JobOutcome>> {
+        let table = LockTable::new();
+        let mut out = Vec::with_capacity(jobs.len());
+        for (seq, (ctx_id, program, key)) in jobs.iter().enumerate() {
+            let ctx = self
+                .contexts
+                .get(*ctx_id)
+                .ok_or_else(|| ModelError::invalid(format!("unknown context {ctx_id}")))?;
+            let (report, level) = run_guarded(&self.config, &table, ctx, program, *key);
+            out.push(JobOutcome {
+                seq: seq as u64,
+                report,
+                level,
+                queue_ns: 0,
+                exec_ns: 0,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// The running service (see module docs). Obtain with
+/// [`ServiceBuilder::start`]; drive with [`ConversionService::session`];
+/// finish with [`ConversionService::shutdown`], which drains every
+/// admitted job and returns the run's assembled [`RunReport`].
+pub struct ConversionService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+    next_session: AtomicU64,
+}
+
+impl ConversionService {
+    /// Open a session: a named submission stream. Sessions are cheap
+    /// handles; jobs from all sessions share the queue, the lock table,
+    /// and the contexts.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            service: self,
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of registered contexts.
+    pub fn contexts(&self) -> usize {
+        self.inner.contexts.len()
+    }
+
+    /// Close admission, drain the queue, join the workers, and assemble
+    /// the run's observability: per-job span trees merged in admission
+    /// order, per-job metric deltas absorbed in the same order, and the
+    /// service-level gauges.
+    pub fn shutdown(mut self) -> RunReport {
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let mut shards = std::mem::take(&mut *lock(&self.inner.sink));
+        shards.sort_by_key(|(seq, _, _)| *seq);
+        let mut registry = MetricsRegistry::new();
+        let mut captures = Vec::with_capacity(shards.len());
+        for (_, cap, delta) in shards {
+            registry.absorb(&delta);
+            captures.push(cap);
+        }
+        registry.set_gauge(SERVICE_WORKERS, self.inner.config.resolved_workers() as i64);
+        registry.set_gauge(SERVICE_CONTEXTS, self.inner.contexts.len() as i64);
+        registry.set_gauge(
+            SERVICE_QUEUE_DEPTH_MAX,
+            self.inner.queue.depth_max.load(Ordering::Relaxed) as i64,
+        );
+        registry.set_gauge(
+            SERVICE_BACKPRESSURE_WAITS,
+            self.inner.queue.backpressure_waits.load(Ordering::Relaxed) as i64,
+        );
+        RunReport::assemble("conversion-service", captures, registry)
+    }
+}
+
+impl Drop for ConversionService {
+    fn drop(&mut self) {
+        // A service dropped without `shutdown` still drains and joins:
+        // every admitted job completes and every ticket resolves.
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A submission stream on a running service.
+pub struct Session<'s> {
+    service: &'s ConversionService,
+    id: u64,
+}
+
+impl Session<'_> {
+    /// Submit one program for conversion + verification under context
+    /// `ctx`. `key` is the job's fault/identity key (the `FaultPlan`
+    /// coordinate). Blocks while the admission queue is full.
+    pub fn submit(&self, ctx: CtxId, program: Program, key: u64) -> PipelineResult<Ticket> {
+        if ctx >= self.service.inner.contexts.len() {
+            return Err(ModelError::invalid(format!("unknown context {ctx}")).into());
+        }
+        let slot = Slot::new();
+        let job = Job {
+            seq: self.service.next_seq.fetch_add(1, Ordering::Relaxed),
+            session: self.id,
+            ctx,
+            program,
+            key,
+            queued_at: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.service
+            .inner
+            .queue
+            .push(job)
+            .map_err(|_| ModelError::invalid("service is shutting down"))?;
+        Ok(Ticket { slot })
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    while let Some(job) = inner.queue.pop() {
+        let queue_ns = job.queued_at.elapsed().as_nanos() as u64;
+        let Some(ctx) = inner.contexts.get(job.ctx) else {
+            // Unreachable (submit validates), but a lost slot must not
+            // wedge a ticket.
+            job.slot.fill(JobOutcome {
+                seq: job.seq,
+                report: failure_report(
+                    Verdict::Rejected,
+                    ModelError::invalid(format!("unknown context {}", job.ctx)).into(),
+                ),
+                level: None,
+                queue_ns,
+                exec_ns: 0,
+            });
+            continue;
+        };
+        let before = dbpc_obs::local_snapshot();
+        let label = format!("session{}.job{}", job.session, job.seq);
+        let started = Instant::now();
+        let ((report, level), cap) = dbpc_obs::capture(&label, || {
+            dbpc_obs::count(SERVICE_JOBS, 1);
+            run_guarded(&inner.config, &inner.lock_table, ctx, &job.program, job.key)
+        });
+        let exec_ns = started.elapsed().as_nanos() as u64;
+        dbpc_obs::time(SERVICE_EXEC_NS, exec_ns);
+        dbpc_obs::time(SERVICE_QUEUE_WAIT_NS, queue_ns);
+        let delta = dbpc_obs::local_snapshot().since(&before);
+        lock(&inner.sink).push((job.seq, cap, delta));
+        job.slot.fill(JobOutcome {
+            seq: job.seq,
+            report,
+            level,
+            queue_ns,
+            exec_ns,
+        });
+    }
+}
+
+/// One job under the panic boundary: a crash anywhere in conversion or
+/// verification yields a poisoned report for *this* job (locks released by
+/// the concurrency manager's unwind, replicas dropped), never a dead
+/// worker.
+fn run_guarded(
+    config: &ServiceConfig,
+    table: &LockTable,
+    ctx: &Context,
+    program: &Program,
+    key: u64,
+) -> (ConversionReport, Option<EquivalenceLevel>) {
+    catch_unwind(AssertUnwindSafe(|| {
+        execute_job(config, table, ctx, program, key)
+    }))
+    .unwrap_or_else(|payload| {
+        (
+            failure_report(
+                Verdict::Poisoned,
+                PipelineError::Panic {
+                    detail: panic_payload(payload),
+                },
+            ),
+            None,
+        )
+    })
+}
+
+/// Convert + verify one program against its context. Pure in
+/// `(context, program, key)` — see the module docs' determinism contract.
+fn execute_job(
+    config: &ServiceConfig,
+    table: &LockTable,
+    ctx: &Context,
+    program: &Program,
+    key: u64,
+) -> (ConversionReport, Option<EquivalenceLevel>) {
+    let mut auto = AutoAnalyst;
+    let mut perm = PermissiveAnalyst;
+    let analyst: &mut dyn Analyst = if config.permissive {
+        &mut perm
+    } else {
+        &mut auto
+    };
+    // The graph is a zero-cost view over the target schema; building it
+    // per job keeps the context free of self-references.
+    let apg = AccessPathGraph::new(&ctx.mapping.target);
+    let report = match config.supervisor.convert_prepared(
+        &ctx.mapping,
+        &apg,
+        &ctx.schema,
+        ctx.schema_fp,
+        program,
+        analyst,
+        key,
+        0,
+    ) {
+        Ok(report) => report,
+        Err(e) => return (failure_report(Verdict::Rejected, e), None),
+    };
+    if !report.succeeded() {
+        return (report, None);
+    }
+    let Some(converted) = report.program.clone() else {
+        return (report, None);
+    };
+
+    let locks = lock_set(ctx, program, &converted);
+    if locks.values().all(|k| *k == LockKind::Shared) {
+        dbpc_obs::count(SERVICE_READ_ONLY_JOBS, 1);
+    }
+    let mut attempt = 0usize;
+    loop {
+        let mut mgr = ConcurrencyMgr::new(table);
+        let failure = match mgr.acquire(&locks, config.lock_timeout) {
+            Err(LockError::Timeout { resource }) => Some(PipelineError::LockTimeout {
+                resource: resource.to_string(),
+            }),
+            // The verification-stage fault hook, tripped under the locks so
+            // an injected verification failure exercises release + retry.
+            Ok(()) => config
+                .supervisor
+                .fault
+                .trip(Stage::Verification, key, attempt)
+                .err(),
+        };
+        if let Some(error) = failure {
+            drop(mgr);
+            attempt += 1;
+            if retryable(&error) && attempt <= config.lock_retries {
+                continue;
+            }
+            return (demote(report, attempt, error), None);
+        }
+        let outcome = verify(ctx, program, &converted, &report);
+        drop(mgr);
+        return match outcome {
+            Ok(level) => (report, Some(level)),
+            Err(error) => (demote(report, attempt + 1, error), None),
+        };
+    }
+}
+
+/// A conversion whose verification could not complete is not served as a
+/// success: the verdict degrades to [`Verdict::NeedsManualWork`] with the
+/// terminal error on the fallback record — the same discipline the §2
+/// strategy ladder applies to an unverifiable rung.
+fn demote(mut report: ConversionReport, attempts: usize, error: PipelineError) -> ConversionReport {
+    let rung = report.rung;
+    report.verdict = Verdict::NeedsManualWork;
+    report.fallbacks.push(RungFailure {
+        rung,
+        attempts,
+        error,
+    });
+    report
+}
+
+/// Run one verification under the already-held lock set: memoized ground
+/// truth on a source replica, then the converted program on a target
+/// replica, both inside rolled-back savepoints.
+fn verify(
+    ctx: &Context,
+    original: &Program,
+    converted: &Program,
+    report: &ConversionReport,
+) -> Result<EquivalenceLevel, PipelineError> {
+    let truth = truth_trace(ctx, original)?;
+    let mut tgt = ctx.target.checkout();
+    let sp = tgt.begin_savepoint();
+    let outcome = judge_equivalence(&truth, &mut tgt, converted, &ctx.inputs, &report.warnings);
+    tgt.rollback_to(sp);
+    ctx.target.checkin(tgt);
+    let (level, _, _) = outcome.map_err(|e| PipelineError::stage(Stage::Verification, e))?;
+    Ok(level)
+}
+
+/// The memoized ground-truth trace of `original` on the context's source
+/// base. Which worker fills an entry depends on scheduling, so the split
+/// is `Racy` and the miss run is `quiet` — its spans and counters would
+/// otherwise make job captures worker-count dependent.
+fn truth_trace(ctx: &Context, original: &Program) -> Result<Arc<Trace>, PipelineError> {
+    let mut h = DefaultHasher::new();
+    original.hash(&mut h);
+    let key = h.finish();
+    if let Some(trace) = lock(&ctx.truth).get(&key).cloned() {
+        dbpc_obs::racy(SERVICE_TRUTH_HITS, 1);
+        return Ok(trace);
+    }
+    dbpc_obs::racy(SERVICE_TRUTH_MISSES, 1);
+    let mut src = ctx.source.checkout();
+    let run = dbpc_obs::quiet(|| {
+        let sp = src.begin_savepoint();
+        let run = source_trace(&mut src, original, &ctx.inputs);
+        src.rollback_to(sp);
+        run
+    });
+    ctx.source.checkin(src);
+    let trace = Arc::new(run.map_err(|e| PipelineError::stage(Stage::Verification, e))?);
+    lock(&ctx.truth).insert(key, Arc::clone(&trace));
+    Ok(trace)
+}
+
+/// The lock set of one verification: source side for the ground-truth run,
+/// target side for the converted run, acquired together (sorted order) so
+/// a job never holds one side while waiting on the other.
+fn lock_set(ctx: &Context, original: &Program, converted: &Program) -> BTreeMap<LockRes, LockKind> {
+    let mut set = BTreeMap::new();
+    side_locks(&mut set, ctx.space_source, original);
+    side_locks(&mut set, ctx.space_target(), converted);
+    set
+}
+
+/// One side's locks. Granularity: a shared engine lock always (readers of
+/// disjoint record types overlap; an engine-level writer excludes all);
+/// shared record-type locks on every type a path reads; an exclusive
+/// record-type lock for a `STORE` (statically-known type) and for `CALL
+/// DML` (type known, verb conservatively a write, per §3.2); an exclusive
+/// *engine* lock for variable-addressed mutations (MODIFY / DELETE /
+/// CONNECT / DISCONNECT), whose record type would need dataflow to pin.
+fn side_locks(set: &mut BTreeMap<LockRes, LockKind>, space: u32, program: &Program) {
+    fn want(set: &mut BTreeMap<LockRes, LockKind>, res: LockRes, kind: LockKind) {
+        let cur = set.entry(res).or_insert(kind);
+        if kind == LockKind::Exclusive {
+            *cur = LockKind::Exclusive;
+        }
+    }
+    want(set, LockRes::engine(space), LockKind::Shared);
+    for find in program.finds() {
+        let spec = find.spec();
+        want(
+            set,
+            LockRes::record_type(space, spec.target.clone()),
+            LockKind::Shared,
+        );
+        for step in &spec.steps {
+            want(
+                set,
+                LockRes::record_type(space, step.record.clone()),
+                LockKind::Shared,
+            );
+        }
+    }
+    let mut engine_exclusive = false;
+    program.visit_stmts(&mut |s| match s {
+        Stmt::Store { record, .. } | Stmt::CallDml { record, .. } => {
+            want(
+                set,
+                LockRes::record_type(space, record.clone()),
+                LockKind::Exclusive,
+            );
+        }
+        Stmt::Modify { .. }
+        | Stmt::Delete { .. }
+        | Stmt::Connect { .. }
+        | Stmt::Disconnect { .. } => {
+            engine_exclusive = true;
+        }
+        _ => {}
+    });
+    if engine_exclusive {
+        want(set, LockRes::engine(space), LockKind::Exclusive);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+    use dbpc_datamodel::value::Value;
+    use dbpc_dml::host::parse_program;
+    use dbpc_restructure::Transform;
+    use dbpc_storage::locks::{LOCKS_EXCLUSIVE, LOCKS_SHARED};
+
+    fn company_schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("DEPT-NAME", FieldType::Char(5)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn company_db() -> NetworkDb {
+        let mut db = NetworkDb::new(company_schema()).unwrap();
+        let mach = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        for (name, dept, age) in [("JONES", "SALES", 34), ("ADAMS", "SALES", 28)] {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(name)),
+                    ("DEPT-NAME", Value::str(dept)),
+                    ("AGE", Value::Int(age)),
+                ],
+                &[("DIV-EMP", mach)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn fig_4_4() -> Restructuring {
+        Restructuring::single(Transform::PromoteFieldToOwner {
+            record: "EMP".into(),
+            field: "DEPT-NAME".into(),
+            via_set: "DIV-EMP".into(),
+            new_record: "DEPT".into(),
+            upper_set: "DIV-DEPT".into(),
+            lower_set: "DEPT-EMP".into(),
+        })
+    }
+
+    fn read_only_program() -> Program {
+        parse_program(
+            "PROGRAM P;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap()
+    }
+
+    fn store_program() -> Program {
+        parse_program(
+            "PROGRAM P;
+  FIND D := FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'));
+  STORE EMP (EMP-NAME := 'NEWMAN', DEPT-NAME := 'SALES', AGE := 21) CONNECT TO DIV-EMP OF D;
+  FIND E := FIND(EMP: D, DIV-EMP, EMP(DEPT-NAME = 'SALES'));
+  PRINT COUNT(E);
+END PROGRAM;",
+        )
+        .unwrap()
+    }
+
+    fn builder(config: ServiceConfig) -> (ServiceBuilder, CtxId) {
+        let mut b = ServiceBuilder::new(config);
+        let ctx = b
+            .register_context(
+                &company_schema(),
+                &fig_4_4(),
+                company_db(),
+                Inputs::new().with_terminal(&["RETRIEVE"]),
+            )
+            .unwrap();
+        (b, ctx)
+    }
+
+    #[test]
+    fn read_only_lock_set_is_all_shared() {
+        let (b, ctx) = builder(ServiceConfig::default());
+        let p = read_only_program();
+        let set = lock_set(&b.contexts[ctx], &p, &p);
+        assert!(!set.is_empty());
+        assert!(set.values().all(|k| *k == LockKind::Shared), "{set:?}");
+    }
+
+    #[test]
+    fn store_locks_exactly_its_record_type() {
+        let (b, ctx) = builder(ServiceConfig::default());
+        let p = store_program();
+        let set = lock_set(&b.contexts[ctx], &p, &p);
+        let space = b.contexts[ctx].space_source;
+        assert_eq!(
+            set.get(&LockRes::record_type(space, "EMP")),
+            Some(&LockKind::Exclusive)
+        );
+        // The engine lock stays shared: a STORE serializes per record
+        // type, not per engine.
+        assert_eq!(set.get(&LockRes::engine(space)), Some(&LockKind::Shared));
+        assert_eq!(
+            set.get(&LockRes::record_type(space, "DIV")),
+            Some(&LockKind::Shared)
+        );
+    }
+
+    /// Satellite 1: the read-read fast path takes zero exclusive locks —
+    /// asserted on the service's own metrics, end to end.
+    #[test]
+    fn fast_path_takes_zero_exclusive_locks() {
+        let (b, ctx) = builder(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let svc = b.start();
+        let session = svc.session();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|k| session.submit(ctx, read_only_program(), k).unwrap())
+            .collect();
+        for t in tickets {
+            let out = t.wait();
+            assert_eq!(
+                out.level,
+                Some(EquivalenceLevel::Strict),
+                "{:?}",
+                out.report
+            );
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.metrics.counter(LOCKS_EXCLUSIVE), 0);
+        assert!(report.metrics.counter(LOCKS_SHARED) > 0);
+        assert_eq!(report.metrics.counter(SERVICE_READ_ONLY_JOBS), 6);
+        assert_eq!(report.metrics.counter(SERVICE_JOBS), 6);
+    }
+
+    #[test]
+    fn mutating_job_takes_exclusive_locks_and_verifies() {
+        let (b, ctx) = builder(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let svc = b.start();
+        let session = svc.session();
+        let t = session.submit(ctx, store_program(), 0).unwrap();
+        let out = t.wait();
+        assert_eq!(
+            out.level,
+            Some(EquivalenceLevel::Strict),
+            "{:?}",
+            out.report
+        );
+        let report = svc.shutdown();
+        assert!(report.metrics.counter(LOCKS_EXCLUSIVE) > 0);
+        assert_eq!(report.metrics.counter(SERVICE_READ_ONLY_JOBS), 0);
+    }
+
+    /// A verification that cannot get its locks degrades to
+    /// needs-manual-work with the timeout on the fallback record — it is
+    /// never served as a success.
+    #[test]
+    fn lock_timeout_demotes_to_needs_manual_work() {
+        let (b, ctx) = builder(ServiceConfig {
+            lock_timeout: Duration::from_millis(30),
+            lock_retries: 1,
+            ..ServiceConfig::default()
+        });
+        let table = LockTable::new();
+        let context = &b.contexts[ctx];
+        // A foreign session holds the target-side EMP record type
+        // exclusively for the whole test.
+        let blocked = LockRes::record_type(context.space_target(), "EMP");
+        table.x_lock(&blocked, Duration::from_secs(1)).unwrap();
+        let (report, level) = execute_job(&b.config, &table, context, &read_only_program(), 0);
+        assert_eq!(report.verdict, Verdict::NeedsManualWork);
+        assert_eq!(level, None);
+        assert!(
+            matches!(
+                report.fallbacks.last(),
+                Some(RungFailure {
+                    error: PipelineError::LockTimeout { .. },
+                    attempts: 2,
+                    ..
+                })
+            ),
+            "{:?}",
+            report.fallbacks
+        );
+        table.unlock(&blocked, LockKind::Exclusive);
+        // With the lock released, the same job verifies cleanly.
+        let (report, level) = execute_job(&b.config, &table, context, &read_only_program(), 0);
+        assert!(report.succeeded());
+        assert_eq!(level, Some(EquivalenceLevel::Strict));
+    }
+
+    /// Admission control: a capacity-1 queue still completes every job,
+    /// and the backpressure gauge records the submits that had to wait.
+    #[test]
+    fn bounded_queue_applies_backpressure_without_losing_jobs() {
+        let (b, ctx) = builder(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let svc = b.start();
+        let session = svc.session();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|k| session.submit(ctx, read_only_program(), k).unwrap())
+            .collect();
+        let outcomes: Vec<JobOutcome> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(outcomes.len(), 8);
+        for out in &outcomes {
+            assert_eq!(out.level, Some(EquivalenceLevel::Strict));
+        }
+        let report = svc.shutdown();
+        assert!(report.metrics.gauge(SERVICE_QUEUE_DEPTH_MAX) <= 1);
+        assert_eq!(report.metrics.counter(SERVICE_JOBS), 8);
+    }
+
+    /// Concurrent mixed sessions produce outcomes byte-identical to the
+    /// serial reference (the full interleaving study lives in
+    /// `tests/service_equivalence.rs`).
+    #[test]
+    fn concurrent_outcomes_match_serial_reference() {
+        let jobs: Vec<(CtxId, Program, u64)> = (0..10u64)
+            .map(|k| {
+                let p = if k % 3 == 0 {
+                    store_program()
+                } else {
+                    read_only_program()
+                };
+                (0, p, k)
+            })
+            .collect();
+        let (b, ctx) = builder(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(ctx, 0);
+        let serial = b.run_serial(&jobs).unwrap();
+        let svc = b.start();
+        let session = svc.session();
+        let tickets: Vec<Ticket> = jobs
+            .iter()
+            .map(|(c, p, k)| session.submit(*c, p.clone(), *k).unwrap())
+            .collect();
+        let concurrent: Vec<JobOutcome> = tickets.into_iter().map(Ticket::wait).collect();
+        drop(svc);
+        for (s, c) in serial.iter().zip(&concurrent) {
+            assert_eq!(s.report, c.report);
+            assert_eq!(s.level, c.level);
+        }
+    }
+
+    #[test]
+    fn submit_rejects_unknown_context() {
+        let (b, _) = builder(ServiceConfig::default());
+        let svc = b.start();
+        let session = svc.session();
+        assert!(session.submit(99, read_only_program(), 0).is_err());
+    }
+}

@@ -140,6 +140,37 @@ impl Supervisor {
         )
     }
 
+    /// One supervised conversion attempt against *pre-built* schema-level
+    /// state: the conversion service hoists the [`Mapping`], the target
+    /// [`AccessPathGraph`], and the schema fingerprint once per registered
+    /// context and replays them for every queued job, exactly as
+    /// [`Supervisor::convert_batch_keyed`] hoists them per batch. Outcomes
+    /// are identical to [`Supervisor::convert_attempt`]; only the
+    /// per-job setup cost differs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn convert_prepared(
+        &self,
+        mapping: &Mapping,
+        apg: &AccessPathGraph,
+        source_schema: &NetworkSchema,
+        schema_fp: Option<u64>,
+        program: &Program,
+        analyst: &mut dyn Analyst,
+        key: u64,
+        attempt: usize,
+    ) -> PipelineResult<ConversionReport> {
+        self.convert_one(
+            mapping,
+            apg,
+            source_schema,
+            schema_fp,
+            program,
+            analyst,
+            key,
+            attempt,
+        )
+    }
+
     /// Convert a batch of programs under one restructuring.
     ///
     /// The schema-level work — validating the triple and deriving the
@@ -456,7 +487,7 @@ impl Supervisor {
 /// A batch slot's report when supervision, not judgment, ended the
 /// conversion: a typed pipeline error ([`Verdict::Rejected`]) or a caught
 /// panic ([`Verdict::Poisoned`]).
-fn failure_report(verdict: Verdict, error: PipelineError) -> ConversionReport {
+pub(crate) fn failure_report(verdict: Verdict, error: PipelineError) -> ConversionReport {
     ConversionReport {
         verdict,
         program: None,

@@ -250,11 +250,9 @@ pub fn run_ladder(
                     };
                 }
                 Ok(Err(e)) => {
-                    // Only injected faults are worth a retry: everything
-                    // else in this pipeline is deterministic.
-                    let retryable = matches!(e, PipelineError::Injected { .. });
+                    let retry = retryable(&e);
                     last_err = e;
-                    if !retryable {
+                    if !retry {
                         break;
                     }
                 }
@@ -279,6 +277,18 @@ pub fn run_ladder(
         level: None,
         attempts: total_attempts,
     }
+}
+
+/// Whether a failed attempt is worth spending retry budget on. Injected
+/// faults model transient infrastructure failures, and a lock-table
+/// timeout is scheduling luck (the conflicting session usually finishes
+/// before the retry) — everything else in this pipeline is deterministic,
+/// so retrying would only reproduce the same error.
+pub(crate) fn retryable(e: &PipelineError) -> bool {
+    matches!(
+        e,
+        PipelineError::Injected { .. } | PipelineError::LockTimeout { .. }
+    )
 }
 
 /// Order the automatic rungs for one descent from catalog statistics.

@@ -19,9 +19,12 @@
 //! * [`pool`] — the deterministic scoped thread-pool the study harness
 //!   runs on: a fixed strided work partition plus index-ordered
 //!   reassembly makes every study result byte-identical at any thread
-//!   count (`DBPC_THREADS` selects the width).
+//!   count (`DBPC_THREADS` selects the width). The implementation now
+//!   lives in `dbpc_storage::pool` so the conversion service (which the
+//!   corpus crate depends on, not the reverse) can share it; this
+//!   re-export keeps the historical `dbpc_corpus::pool` path working.
 
 pub mod gen;
 pub mod harness;
 pub mod named;
-pub mod pool;
+pub use dbpc_storage::pool;

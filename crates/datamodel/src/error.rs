@@ -140,6 +140,12 @@ pub enum PipelineError {
     /// An execution exceeded its interpreter fuel (statement budget) —
     /// the runaway-loop guard on supervised verification runs.
     FuelExhausted { stage: Stage },
+    /// A concurrency-control wait expired: the conversion service's lock
+    /// table resolves deadlocks by bounded waits (SimpleDB-style), and an
+    /// expired wait surfaces here so the fallback ladder can retry or
+    /// degrade the job instead of wedging it. `resource` is the rendered
+    /// lock resource (engine or record type) that could not be acquired.
+    LockTimeout { resource: String },
 }
 
 impl PipelineError {
@@ -165,6 +171,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Panic { detail } => write!(f, "panic: {detail}"),
             PipelineError::FuelExhausted { stage } => {
                 write!(f, "{stage} stage exhausted its interpreter fuel")
+            }
+            PipelineError::LockTimeout { resource } => {
+                write!(f, "lock request timed out on {resource}")
             }
         }
     }

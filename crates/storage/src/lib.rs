@@ -21,7 +21,9 @@
 pub mod error;
 pub mod hier_db;
 pub mod keys;
+pub mod locks;
 pub mod network_db;
+pub mod pool;
 pub mod relational_db;
 pub mod statcat;
 pub mod stats;
@@ -30,6 +32,7 @@ pub mod txn;
 pub use error::{DbError, DbResult, StatusCode};
 pub use hier_db::{HierDb, SegmentInstance};
 pub use keys::KeyTuple;
+pub use locks::{ConcurrencyMgr, LockError, LockKind, LockRes, LockTable, LockUnit};
 pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
 pub use relational_db::{RelationalDb, RowId};
 pub use statcat::{IndexStats, SetStats, StatCatalog, TableStats, TypeStats};

@@ -1,0 +1,511 @@
+//! Lock table and concurrency manager for the conversion service.
+//!
+//! The 1979 framework assumes one conversion at a time; a long-running
+//! service does not. This module supplies the concurrency-control half of
+//! that jump, modeled on SimpleDB's `tx/{lock_table,concurrency_mgr}`
+//! design (the ROADMAP's named exemplar):
+//!
+//! * [`LockTable`] — one shared table mapping a [`LockRes`] (an engine, or
+//!   one record type within an engine) to its grant state: `n` shared
+//!   holders, or one exclusive holder. Requests that conflict **wait with a
+//!   timeout** on a condition variable; expiry is the deadlock-resolution
+//!   policy, exactly as in SimpleDB — no waits-for graph, just a bounded
+//!   wait and a typed [`LockError::Timeout`] the caller converts into a
+//!   retry or a degradation (`PipelineError::LockTimeout` feeds the
+//!   conversion fallback ladder).
+//! * [`ConcurrencyMgr`] — the per-session view. It remembers which locks
+//!   the session holds so re-requests are free, upgrades shared → exclusive
+//!   in place, acquires whole lock *sets* in sorted [`LockRes`] order
+//!   (ordered acquisition cannot deadlock, which the unit tests assert),
+//!   and releases everything on drop.
+//!
+//! Lock *kinds* follow the service's two-mode workload: update-free
+//! verification runs take [`LockKind::Shared`] and overlap freely — the
+//! read-read fast path — while mutating verifications take
+//! [`LockKind::Exclusive`] on the record types they write (plus a shared
+//! engine-level lock) and therefore serialize only against conflicting
+//! work, never against disjoint record types.
+//!
+//! Instrumentation: grants are counted into the ambient `dbpc-obs` sheet
+//! under [`LOCKS_SHARED`] / [`LOCKS_EXCLUSIVE`] / [`LOCKS_UPGRADES`]
+//! (deterministic work counters), while [`LOCKS_WAITS`] / [`LOCKS_TIMEOUTS`]
+//! are `Racy` (whether a request blocks depends on scheduling) and
+//! [`LOCKS_WAIT_NS`] is wall-clock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Metric: shared locks granted.
+pub const LOCKS_SHARED: &str = "locks.shared";
+/// Metric: exclusive locks granted (upgrades included).
+pub const LOCKS_EXCLUSIVE: &str = "locks.exclusive";
+/// Metric: shared→exclusive upgrades granted.
+pub const LOCKS_UPGRADES: &str = "locks.upgrades";
+/// Metric: requests that had to block (scheduling-dependent).
+pub const LOCKS_WAITS: &str = "locks.waits";
+/// Metric: requests that timed out (scheduling-dependent).
+pub const LOCKS_TIMEOUTS: &str = "locks.timeouts";
+/// Metric: wall-clock nanoseconds spent blocked on the lock table.
+pub const LOCKS_WAIT_NS: &str = "locks.wait_ns";
+
+/// A lockable resource: a whole engine, or one record type within it.
+///
+/// `space` namespaces the table so one [`LockTable`] can serve many engines
+/// (the conversion service uses one space per context × side). The derived
+/// `Ord` is the canonical acquisition order: engine-level locks sort before
+/// the record types of the same space, so hierarchical (engine + type)
+/// lock sets acquire coarse-to-fine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockRes {
+    /// Caller-chosen namespace (engine identity).
+    pub space: u32,
+    /// The unit within the namespace.
+    pub unit: LockUnit,
+}
+
+/// Granularity of a lock within one space.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockUnit {
+    /// The whole engine.
+    Engine,
+    /// One record type (relational table / hierarchic segment analogues
+    /// use the same namespace).
+    RecordType(String),
+}
+
+impl LockRes {
+    pub fn engine(space: u32) -> LockRes {
+        LockRes {
+            space,
+            unit: LockUnit::Engine,
+        }
+    }
+
+    pub fn record_type(space: u32, name: impl Into<String>) -> LockRes {
+        LockRes {
+            space,
+            unit: LockUnit::RecordType(name.into()),
+        }
+    }
+}
+
+impl fmt::Display for LockRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.unit {
+            LockUnit::Engine => write!(f, "engine#{}", self.space),
+            LockUnit::RecordType(n) => write!(f, "engine#{}/{n}", self.space),
+        }
+    }
+}
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    Shared,
+    Exclusive,
+}
+
+/// Why a lock request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The request waited out its budget — the deadlock-resolution signal.
+    Timeout { resource: LockRes },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout { resource } => {
+                write!(f, "lock request timed out on {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Grant state of one resource: SimpleDB's integer convention, split into
+/// named fields. `writer` excludes everything; otherwise `readers` shared
+/// holders coexist.
+#[derive(Debug, Default, Clone, Copy)]
+struct Grant {
+    readers: usize,
+    writer: bool,
+}
+
+impl Grant {
+    fn idle(&self) -> bool {
+        self.readers == 0 && !self.writer
+    }
+}
+
+/// The shared lock table (see module docs).
+#[derive(Debug, Default)]
+pub struct LockTable {
+    grants: Mutex<HashMap<LockRes, Grant>>,
+    released: Condvar,
+}
+
+/// Recover the grant map from a poisoned mutex: the table's invariants are
+/// maintained only while the guard is held, and every critical section is a
+/// plain field update, so the state is consistent whenever the guard is
+/// released — even by unwinding.
+fn lock_grants(table: &LockTable) -> MutexGuard<'_, HashMap<LockRes, Grant>> {
+    table.grants.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl LockTable {
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Acquire a shared lock, waiting up to `timeout` for the writer (if
+    /// any) to release.
+    pub fn s_lock(&self, res: &LockRes, timeout: Duration) -> Result<(), LockError> {
+        self.wait_for(res, timeout, |g| !g.writer, |g| g.readers += 1)?;
+        dbpc_obs::count(LOCKS_SHARED, 1);
+        Ok(())
+    }
+
+    /// Acquire an exclusive lock, waiting up to `timeout` for every other
+    /// holder to release.
+    pub fn x_lock(&self, res: &LockRes, timeout: Duration) -> Result<(), LockError> {
+        self.wait_for(res, timeout, |g| g.idle(), |g| g.writer = true)?;
+        dbpc_obs::count(LOCKS_EXCLUSIVE, 1);
+        Ok(())
+    }
+
+    /// Upgrade a shared lock the caller already holds to exclusive,
+    /// waiting up to `timeout` for the *other* readers to drain. On
+    /// timeout the shared lock is still held.
+    pub fn upgrade(&self, res: &LockRes, timeout: Duration) -> Result<(), LockError> {
+        self.wait_for(
+            res,
+            timeout,
+            |g| g.readers == 1 && !g.writer,
+            |g| {
+                g.readers = 0;
+                g.writer = true;
+            },
+        )?;
+        dbpc_obs::count(LOCKS_UPGRADES, 1);
+        dbpc_obs::count(LOCKS_EXCLUSIVE, 1);
+        Ok(())
+    }
+
+    /// Release one lock of `kind` on `res` and wake all waiters.
+    pub fn unlock(&self, res: &LockRes, kind: LockKind) {
+        let mut grants = lock_grants(self);
+        if let Some(g) = grants.get_mut(res) {
+            match kind {
+                LockKind::Shared => g.readers = g.readers.saturating_sub(1),
+                LockKind::Exclusive => g.writer = false,
+            }
+            if g.idle() {
+                grants.remove(res);
+            }
+        }
+        drop(grants);
+        self.released.notify_all();
+    }
+
+    /// Core wait loop: block until `ready` holds for the resource's grant,
+    /// then apply `take`; give up after `timeout`.
+    fn wait_for(
+        &self,
+        res: &LockRes,
+        timeout: Duration,
+        ready: impl Fn(&Grant) -> bool,
+        take: impl FnOnce(&mut Grant),
+    ) -> Result<(), LockError> {
+        let mut grants = lock_grants(self);
+        if !ready(grants.entry(res.clone()).or_default()) {
+            dbpc_obs::racy(LOCKS_WAITS, 1);
+            let started = Instant::now();
+            let deadline = started + timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    dbpc_obs::racy(LOCKS_TIMEOUTS, 1);
+                    dbpc_obs::time(LOCKS_WAIT_NS, started.elapsed().as_nanos() as u64);
+                    // Leave an untouched default entry tidy.
+                    if let Some(g) = grants.get(res) {
+                        if g.idle() {
+                            grants.remove(res);
+                        }
+                    }
+                    return Err(LockError::Timeout {
+                        resource: res.clone(),
+                    });
+                }
+                let (g, _) = self
+                    .released
+                    .wait_timeout(grants, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                grants = g;
+                if ready(grants.entry(res.clone()).or_default()) {
+                    break;
+                }
+            }
+            dbpc_obs::time(LOCKS_WAIT_NS, started.elapsed().as_nanos() as u64);
+        }
+        take(grants.entry(res.clone()).or_default());
+        Ok(())
+    }
+
+    /// Diagnostic: number of resources currently held (any mode).
+    pub fn held_resources(&self) -> usize {
+        lock_grants(self).len()
+    }
+}
+
+/// The per-session lock view (see module docs): tracks held locks, makes
+/// re-requests idempotent, upgrades in place, and releases everything on
+/// [`ConcurrencyMgr::release_all`] or drop.
+#[derive(Debug)]
+pub struct ConcurrencyMgr<'a> {
+    table: &'a LockTable,
+    held: BTreeMap<LockRes, LockKind>,
+}
+
+impl<'a> ConcurrencyMgr<'a> {
+    pub fn new(table: &'a LockTable) -> ConcurrencyMgr<'a> {
+        ConcurrencyMgr {
+            table,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Acquire a shared lock (no-op if already held in either mode).
+    pub fn s_lock(&mut self, res: &LockRes, timeout: Duration) -> Result<(), LockError> {
+        if self.held.contains_key(res) {
+            return Ok(());
+        }
+        self.table.s_lock(res, timeout)?;
+        self.held.insert(res.clone(), LockKind::Shared);
+        Ok(())
+    }
+
+    /// Acquire an exclusive lock; upgrades in place when a shared lock on
+    /// the same resource is already held.
+    pub fn x_lock(&mut self, res: &LockRes, timeout: Duration) -> Result<(), LockError> {
+        match self.held.get(res) {
+            Some(LockKind::Exclusive) => Ok(()),
+            Some(LockKind::Shared) => {
+                self.table.upgrade(res, timeout)?;
+                self.held.insert(res.clone(), LockKind::Exclusive);
+                Ok(())
+            }
+            None => {
+                self.table.x_lock(res, timeout)?;
+                self.held.insert(res.clone(), LockKind::Exclusive);
+                Ok(())
+            }
+        }
+    }
+
+    /// Acquire a whole lock set in sorted [`LockRes`] order (exclusive
+    /// wins when a resource appears in both sets). Ordered acquisition
+    /// across all sessions is deadlock-free by construction; a timeout
+    /// releases everything this call acquired before returning, so the
+    /// caller can retry or degrade with no residue.
+    pub fn acquire(
+        &mut self,
+        lock_set: &BTreeMap<LockRes, LockKind>,
+        timeout: Duration,
+    ) -> Result<(), LockError> {
+        for (res, kind) in lock_set {
+            let outcome = match kind {
+                LockKind::Shared => self.s_lock(res, timeout),
+                LockKind::Exclusive => self.x_lock(res, timeout),
+            };
+            if let Err(e) = outcome {
+                self.release_all();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release every held lock.
+    pub fn release_all(&mut self) {
+        for (res, kind) in std::mem::take(&mut self.held) {
+            self.table.unlock(&res, kind);
+        }
+    }
+
+    /// Locks currently held by this session.
+    pub fn held(&self) -> &BTreeMap<LockRes, LockKind> {
+        &self.held
+    }
+}
+
+impl Drop for ConcurrencyMgr<'_> {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    const LONG: Duration = Duration::from_secs(5);
+    const SHORT: Duration = Duration::from_millis(40);
+
+    fn emp(space: u32) -> LockRes {
+        LockRes::record_type(space, "EMP")
+    }
+
+    #[test]
+    fn shared_locks_overlap() {
+        let table = LockTable::new();
+        let r = emp(0);
+        table.s_lock(&r, LONG).unwrap();
+        table.s_lock(&r, LONG).unwrap();
+        table.unlock(&r, LockKind::Shared);
+        table.unlock(&r, LockKind::Shared);
+        assert_eq!(table.held_resources(), 0);
+    }
+
+    #[test]
+    fn exclusive_excludes_and_times_out() {
+        let table = LockTable::new();
+        let r = emp(0);
+        table.x_lock(&r, LONG).unwrap();
+        assert_eq!(
+            table.s_lock(&r, SHORT),
+            Err(LockError::Timeout {
+                resource: r.clone()
+            })
+        );
+        assert_eq!(
+            table.x_lock(&r, SHORT),
+            Err(LockError::Timeout {
+                resource: r.clone()
+            })
+        );
+        table.unlock(&r, LockKind::Exclusive);
+        table.s_lock(&r, LONG).unwrap();
+        table.unlock(&r, LockKind::Shared);
+    }
+
+    #[test]
+    fn blocked_writer_proceeds_when_readers_drain() {
+        let table = Arc::new(LockTable::new());
+        let r = emp(0);
+        table.s_lock(&r, LONG).unwrap();
+        let t2 = Arc::clone(&table);
+        let r2 = r.clone();
+        let writer = thread::spawn(move || t2.x_lock(&r2, LONG));
+        thread::sleep(Duration::from_millis(20));
+        table.unlock(&r, LockKind::Shared);
+        writer.join().unwrap().unwrap();
+        table.unlock(&r, LockKind::Exclusive);
+        assert_eq!(table.held_resources(), 0);
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers_then_wins() {
+        let table = Arc::new(LockTable::new());
+        let r = emp(0);
+        let mut mgr = ConcurrencyMgr::new(&table);
+        mgr.s_lock(&r, LONG).unwrap();
+        // A sibling reader blocks the upgrade …
+        table.s_lock(&r, LONG).unwrap();
+        assert_eq!(
+            mgr.x_lock(&r, SHORT),
+            Err(LockError::Timeout {
+                resource: r.clone()
+            })
+        );
+        // … and the shared lock survives the failed upgrade.
+        assert_eq!(mgr.held().get(&r), Some(&LockKind::Shared));
+        // Once the sibling releases, the upgrade succeeds in place.
+        table.unlock(&r, LockKind::Shared);
+        mgr.x_lock(&r, LONG).unwrap();
+        assert_eq!(mgr.held().get(&r), Some(&LockKind::Exclusive));
+        // Now exclusive: a third party cannot share.
+        assert!(table.s_lock(&r, SHORT).is_err());
+        mgr.release_all();
+        assert_eq!(table.held_resources(), 0);
+    }
+
+    #[test]
+    fn timeout_releases_partial_lock_set() {
+        let table = LockTable::new();
+        let a = LockRes::record_type(0, "A");
+        let b = LockRes::record_type(0, "B");
+        table.x_lock(&b, LONG).unwrap();
+        let mut mgr = ConcurrencyMgr::new(&table);
+        let mut want = BTreeMap::new();
+        want.insert(a.clone(), LockKind::Exclusive);
+        want.insert(b.clone(), LockKind::Exclusive);
+        let err = mgr.acquire(&want, SHORT).unwrap_err();
+        assert_eq!(err, LockError::Timeout { resource: b });
+        // The partial grant on A was rolled back.
+        assert!(mgr.held().is_empty());
+        table.x_lock(&a, SHORT).unwrap();
+    }
+
+    /// Two sessions acquiring overlapping lock sets in sorted order never
+    /// deadlock, whatever the interleaving: the classic A→B vs B→A cycle
+    /// cannot form because both sessions request A first.
+    #[test]
+    fn ordered_acquisition_cannot_deadlock() {
+        let table = Arc::new(LockTable::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for w in 0..4u32 {
+            let table = Arc::clone(&table);
+            let done = Arc::clone(&done);
+            workers.push(thread::spawn(move || {
+                // Worker w wants {A, B, C} exclusively, discovered in a
+                // worker-specific (unsorted) order; `acquire` sorts.
+                let names = ["A", "B", "C"];
+                for round in 0..20 {
+                    let mut want = BTreeMap::new();
+                    for i in 0..names.len() {
+                        let name = names[(w as usize + i + round) % names.len()];
+                        want.insert(LockRes::record_type(0, name), LockKind::Exclusive);
+                    }
+                    let mut mgr = ConcurrencyMgr::new(&table);
+                    mgr.acquire(&want, Duration::from_secs(10)).unwrap();
+                    mgr.release_all();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in workers {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert_eq!(table.held_resources(), 0);
+    }
+
+    #[test]
+    fn engine_lock_sorts_before_record_types() {
+        let e = LockRes::engine(3);
+        let t = LockRes::record_type(3, "AAA");
+        assert!(e < t, "coarse-to-fine acquisition order");
+        assert!(LockRes::engine(2) < e, "spaces order first");
+    }
+
+    #[test]
+    fn rerequests_are_idempotent() {
+        let table = LockTable::new();
+        let r = emp(0);
+        let mut mgr = ConcurrencyMgr::new(&table);
+        mgr.s_lock(&r, LONG).unwrap();
+        mgr.s_lock(&r, LONG).unwrap();
+        mgr.x_lock(&r, LONG).unwrap();
+        mgr.x_lock(&r, LONG).unwrap();
+        drop(mgr); // release-on-drop
+        assert_eq!(table.held_resources(), 0);
+    }
+}

@@ -1,4 +1,5 @@
-//! A minimal scoped thread-pool for the study harnesses.
+//! A minimal scoped thread-pool for the study harnesses and the
+//! conversion service.
 //!
 //! The paper's framing is *fleet* conversion — "the several hundred
 //! programs a typical installation must convert" (§1) — so the batch

@@ -9,12 +9,16 @@
 //! optimizations, never behavior changes.
 
 use dbpc::convert::report::AutoAnalyst;
-use dbpc::convert::Supervisor;
+use dbpc::convert::service::{CtxId, JobOutcome, ServiceBuilder, ServiceConfig, Ticket};
+use dbpc::convert::{FaultPlan, Supervisor};
+use dbpc::corpus::gen::{generate_program, ProgramClass};
 use dbpc::corpus::harness::{
     cost_model, success_rate_study_config, CostParams, StudyConfig, StudyMatrix,
 };
 use dbpc::corpus::named;
 use dbpc::dml::host::parse_program;
+use dbpc::engine::Inputs;
+use dbpc::storage::pool;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -108,4 +112,82 @@ END PROGRAM;",
         .text
         .unwrap()
         .contains("DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)"));
+}
+
+/// The conversion service resolves `workers: 0` exactly like the study
+/// harness resolves `threads: 0`: `DBPC_THREADS` if set to a positive
+/// integer, otherwise machine parallelism — one knob for every parallel
+/// surface in the repo.
+#[test]
+fn service_worker_resolution_follows_dbpc_threads() {
+    assert_eq!(
+        ServiceConfig::default().resolved_workers(),
+        pool::default_threads()
+    );
+    assert_eq!(
+        ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        }
+        .resolved_workers(),
+        3
+    );
+    // The env hook's contract (parse only; the variable itself belongs to
+    // the environment, not this test): unset, empty, junk, and zero all
+    // mean "no override".
+    assert_eq!(pool::parse_threads(Some("5")), Some(5));
+    assert_eq!(pool::parse_threads(Some(" 8 ")), Some(8));
+    assert_eq!(pool::parse_threads(Some("0")), None);
+    assert_eq!(pool::parse_threads(Some("")), None);
+    assert_eq!(pool::parse_threads(Some("many")), None);
+    assert_eq!(pool::parse_threads(None), None);
+}
+
+/// A seeded fault plan hits the same jobs with the same faults whatever
+/// the service's worker count: outcomes at 1, 2, and 8 workers are
+/// byte-identical (faults are a function of `(stage, key, attempt)`, and
+/// keys travel with jobs, not with workers).
+#[test]
+fn seeded_fault_service_runs_are_identical_across_worker_counts() {
+    let jobs: Vec<(CtxId, dbpc::dml::host::Program, u64)> = (0..12u64)
+        .map(|k| {
+            let class = ProgramClass::ALL[(k as usize) % ProgramClass::ALL.len()];
+            (0usize, generate_program(class, 1900 + k), k)
+        })
+        .collect();
+    let config = |workers| ServiceConfig {
+        workers,
+        supervisor: Supervisor {
+            fault: FaultPlan::seeded(0x1979, 0.35),
+            ..Supervisor::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let runs: Vec<Vec<JobOutcome>> = THREAD_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut b = ServiceBuilder::new(config(workers));
+            b.register_context(
+                &named::company_schema(),
+                &named::fig_4_4_restructuring(),
+                named::company_db(2, 2, 5),
+                Inputs::new().with_terminal(&["RETRIEVE"]),
+            )
+            .unwrap();
+            let svc = b.start();
+            let session = svc.session();
+            let tickets: Vec<Ticket> = jobs
+                .iter()
+                .map(|(c, p, k)| session.submit(*c, p.clone(), *k).unwrap())
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect()
+        })
+        .collect();
+    let reference = &runs[0];
+    for run in &runs[1..] {
+        for (a, b) in reference.iter().zip(run) {
+            assert_eq!(a.report, b.report, "report differs across worker counts");
+            assert_eq!(a.level, b.level, "level differs across worker counts");
+        }
+    }
 }
