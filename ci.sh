@@ -50,6 +50,9 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench planner
 echo "==> bench smoke (service load)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench service_load
 
+echo "==> bench smoke (durability)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench durability
+
 # The obs export path end to end: run the E2 study with DBPC_OBS_JSON set,
 # then validate the exported RunReport with the in-repo schema checker
 # (parse, logical-clock nesting, byte-identical round trip).

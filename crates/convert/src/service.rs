@@ -71,11 +71,12 @@ use dbpc_engine::{Inputs, Trace};
 use dbpc_obs::{Capture, MetricsFrame, MetricsRegistry, RunReport};
 use dbpc_restructure::Restructuring;
 use dbpc_storage::locks::{ConcurrencyMgr, LockError, LockKind, LockRes, LockTable};
-use dbpc_storage::{pool, NetworkDb};
+use dbpc_storage::{pool, DurableNetworkDb, DurableOptions, NetworkDb};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -101,6 +102,9 @@ pub const SERVICE_CONTEXTS: &str = "service.contexts";
 pub const SERVICE_QUEUE_DEPTH_MAX: &str = "service.queue_depth_max";
 /// Shutdown gauge: submits that had to block on a full queue.
 pub const SERVICE_BACKPRESSURE_WAITS: &str = "service.backpressure_waits";
+/// Shutdown gauge (durable services only): contexts whose translated
+/// target was recovered from the durable store instead of re-translated.
+pub const SERVICE_CONTEXTS_RECOVERED: &str = "service.contexts_recovered";
 
 /// Recover a mutex guard from poisoning. Every service critical section is
 /// a plain container operation (queue push/pop, pool checkout, memo
@@ -130,6 +134,13 @@ pub struct ServiceConfig {
     pub permissive: bool,
     /// The conversion pipeline configuration, fault plan included.
     pub supervisor: Supervisor,
+    /// When set, [`ServiceBuilder::register_context`] keeps each context's
+    /// translated target database in a [`DurableNetworkDb`] under this
+    /// directory, keyed by `(source fingerprint, schema + restructuring
+    /// hash)`. A service restarted over the same root recovers the
+    /// translation from disk — snapshot plus write-ahead log — instead of
+    /// re-running it; [`SERVICE_CONTEXTS_RECOVERED`] counts the hits.
+    pub durable_root: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +152,7 @@ impl Default for ServiceConfig {
             lock_retries: 1,
             permissive: false,
             supervisor: Supervisor::default(),
+            durable_root: None,
         }
     }
 }
@@ -384,9 +396,56 @@ type ObsShard = (u64, Capture, MetricsFrame);
 struct ServiceInner {
     config: ServiceConfig,
     contexts: Vec<Arc<Context>>,
+    contexts_recovered: u64,
     lock_table: LockTable,
     queue: Queue,
     sink: Mutex<Vec<ObsShard>>,
+}
+
+/// Open (or seed) the durable store for one context's translated target.
+///
+/// The directory key pins the full input: the source database fingerprint
+/// and a hash of the target schema + restructuring, with the same pair
+/// stamped into the store's metadata and re-verified on recovery. A
+/// directory that fails to open (corrupt, or written under an older key
+/// scheme) is wiped and re-seeded — the source database is authoritative,
+/// the store is only a cache of the translation.
+fn durable_target(
+    root: &Path,
+    target_schema: &NetworkSchema,
+    restructuring: &Restructuring,
+    source: &NetworkDb,
+) -> PipelineResult<(NetworkDb, bool)> {
+    let source_fp = source.fingerprint();
+    let mut h = DefaultHasher::new();
+    format!("{target_schema:?}").hash(&mut h);
+    format!("{restructuring:?}").hash(&mut h);
+    let rest_fp = h.finish();
+    let dir = root.join(format!("ctx-{source_fp:016x}-{rest_fp:016x}"));
+    let mut meta = Vec::with_capacity(16);
+    meta.extend_from_slice(&source_fp.to_le_bytes());
+    meta.extend_from_slice(&rest_fp.to_le_bytes());
+    let open =
+        |dir: &Path| DurableNetworkDb::open(dir, target_schema.clone(), DurableOptions::default());
+    let mut durable = match open(&dir) {
+        Ok(d) => d,
+        Err(_) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            open(&dir).map_err(durable_err)?
+        }
+    };
+    if durable.generation() > 0 && durable.meta() == meta.as_slice() {
+        return Ok((durable.engine().clone(), true));
+    }
+    let target = restructuring
+        .translate(source)
+        .map_err(|e| PipelineError::stage(Stage::Translation, e))?;
+    durable.import(&target, &meta).map_err(durable_err)?;
+    Ok((target, false))
+}
+
+fn durable_err(e: dbpc_storage::DiskError) -> PipelineError {
+    ModelError::invalid(format!("durable context store: {e}")).into()
 }
 
 /// Builds a [`ConversionService`]: register contexts, then [`start`]
@@ -398,6 +457,7 @@ struct ServiceInner {
 pub struct ServiceBuilder {
     config: ServiceConfig,
     contexts: Vec<Arc<Context>>,
+    contexts_recovered: u64,
 }
 
 impl ServiceBuilder {
@@ -405,6 +465,7 @@ impl ServiceBuilder {
         ServiceBuilder {
             config,
             contexts: Vec::new(),
+            contexts_recovered: 0,
         }
     }
 
@@ -424,9 +485,19 @@ impl ServiceBuilder {
             .supervisor
             .memoize_analysis
             .then(|| dbpc_analyzer::cache::schema_fingerprint(schema));
-        let target = restructuring
-            .translate(&source)
-            .map_err(|e| PipelineError::stage(Stage::Translation, e))?;
+        let target = match self.config.durable_root.clone() {
+            None => restructuring
+                .translate(&source)
+                .map_err(|e| PipelineError::stage(Stage::Translation, e))?,
+            Some(root) => {
+                let (target, recovered) =
+                    durable_target(&root, &mapping.target, restructuring, &source)?;
+                if recovered {
+                    self.contexts_recovered += 1;
+                }
+                target
+            }
+        };
         let cap = self.config.resolved_workers();
         let id = self.contexts.len();
         let space_source = u32::try_from(id)
@@ -453,6 +524,7 @@ impl ServiceBuilder {
             queue: Queue::new(self.config.queue_capacity),
             config: self.config,
             contexts: self.contexts,
+            contexts_recovered: self.contexts_recovered,
             lock_table: LockTable::new(),
             sink: Mutex::new(Vec::new()),
         });
@@ -471,6 +543,13 @@ impl ServiceBuilder {
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
         }
+    }
+
+    /// Contexts whose translated target was recovered from the durable
+    /// store rather than re-translated (always `0` without
+    /// [`ServiceConfig::durable_root`]).
+    pub fn contexts_recovered(&self) -> u64 {
+        self.contexts_recovered
     }
 
     /// The serial reference: execute `jobs` inline, in order, through the
@@ -542,6 +621,12 @@ impl ConversionService {
             registry.absorb(&delta);
             captures.push(cap);
         }
+        // Lock-wait telemetry is aggregated on the table itself (not the
+        // ambient per-thread sheets — see `dbpc_storage::locks`), so the
+        // run total is published exactly once, here.
+        let mut waits = MetricsFrame::new();
+        self.inner.lock_table.wait_stats().publish(&mut waits);
+        registry.absorb(&waits);
         registry.set_gauge(SERVICE_WORKERS, self.inner.config.resolved_workers() as i64);
         registry.set_gauge(SERVICE_CONTEXTS, self.inner.contexts.len() as i64);
         registry.set_gauge(
@@ -552,6 +637,14 @@ impl ConversionService {
             SERVICE_BACKPRESSURE_WAITS,
             self.inner.queue.backpressure_waits.load(Ordering::Relaxed) as i64,
         );
+        // Only durable services carry the recovery gauge, so reports from
+        // purely in-memory runs keep their pre-durability bytes.
+        if self.inner.config.durable_root.is_some() {
+            registry.set_gauge(
+                SERVICE_CONTEXTS_RECOVERED,
+                self.inner.contexts_recovered as i64,
+            );
+        }
         RunReport::assemble("conversion-service", captures, registry)
     }
 }
@@ -1143,6 +1236,39 @@ END PROGRAM;",
             assert_eq!(s.report, c.report);
             assert_eq!(s.level, c.level);
         }
+    }
+
+    /// Durable contexts: the first builder seeds the store (translate +
+    /// import + checkpoint); a second builder over the same root recovers
+    /// the translated target from disk — same pool base fingerprint, no
+    /// re-translation — and its shutdown report carries the recovery
+    /// gauge.
+    #[test]
+    fn durable_root_recovers_contexts_across_builders() {
+        let tmp = dbpc_storage::TempDir::new("svc-durable").unwrap();
+        let config = || ServiceConfig {
+            durable_root: Some(tmp.path().to_path_buf()),
+            ..ServiceConfig::default()
+        };
+        let (b1, ctx) = builder(config());
+        assert_eq!(b1.contexts_recovered(), 0);
+        let seeded_fp = b1.contexts[ctx].target.base_fp;
+        drop(b1);
+
+        let (b2, ctx) = builder(config());
+        assert_eq!(b2.contexts_recovered(), 1);
+        assert_eq!(b2.contexts[ctx].target.base_fp, seeded_fp);
+        let svc = b2.start();
+        let session = svc.session();
+        let out = session.submit(ctx, read_only_program(), 0).unwrap().wait();
+        assert_eq!(
+            out.level,
+            Some(EquivalenceLevel::Strict),
+            "{:?}",
+            out.report
+        );
+        let report = svc.shutdown();
+        assert_eq!(report.metrics.gauge(SERVICE_CONTEXTS_RECOVERED), 1);
     }
 
     #[test]

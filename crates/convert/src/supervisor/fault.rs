@@ -10,6 +10,7 @@
 //! through the default panic hook).
 
 use dbpc_datamodel::error::{PipelineError, PipelineResult, Stage};
+use dbpc_storage::disk::DiskFaultPlan;
 
 /// The shape of an injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,11 @@ pub struct FaultPlan {
     /// faults these are *recoverable* — the pipeline resumes from the
     /// translation checkpoint rather than failing the work item.
     translation_crashes: Vec<(u64, usize)>,
+    /// Deterministic disk faults (torn page writes, short writes, fsync
+    /// failures) for the durable components a run drives — handed to
+    /// [`FileMgr`][dbpc_storage::disk::FileMgr] construction wherever the
+    /// pipeline opens a journal or durable store.
+    disk: Option<DiskFaultPlan>,
 }
 
 impl Default for FaultPlan {
@@ -73,6 +79,7 @@ impl FaultPlan {
             stages: None,
             targeted: Vec::new(),
             translation_crashes: Vec::new(),
+            disk: None,
         }
     }
 
@@ -85,6 +92,7 @@ impl FaultPlan {
             stages: None,
             targeted: Vec::new(),
             translation_crashes: Vec::new(),
+            disk: None,
         }
     }
 
@@ -131,10 +139,27 @@ impl FaultPlan {
         self.translation_crashes.contains(&(key, batch))
     }
 
+    /// Attach deterministic disk faults — the storage layer's seeded
+    /// torn-write / short-write / fsync-failure plan — to this pipeline
+    /// plan, so one `FaultPlan` value configures a whole run's failure
+    /// model, in-memory stages and durable I/O alike.
+    pub fn with_disk_faults(mut self, disk: DiskFaultPlan) -> FaultPlan {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The disk-fault plan for durable components, if any.
+    pub fn disk_faults(&self) -> Option<&DiskFaultPlan> {
+        self.disk.as_ref()
+    }
+
     /// True when this plan can never inject anything — the fast path the
     /// production pipeline checks to stay byte-identical to unfaulted runs.
     pub fn is_idle(&self) -> bool {
-        self.probability <= 0.0 && self.targeted.is_empty() && self.translation_crashes.is_empty()
+        self.probability <= 0.0
+            && self.targeted.is_empty()
+            && self.translation_crashes.is_empty()
+            && self.disk.as_ref().is_none_or(DiskFaultPlan::is_empty)
     }
 
     /// Decide whether `(stage, key)` faults on its `attempt`-th try
@@ -300,6 +325,21 @@ mod tests {
         let payload = caught.unwrap_err();
         let msg = payload.downcast_ref::<String>().unwrap();
         assert!(msg.contains("injected panic at analyzer stage"));
+    }
+
+    #[test]
+    fn disk_faults_ride_the_plan_and_wake_it_from_idle() {
+        use dbpc_storage::disk::DiskFault;
+        let disk = DiskFaultPlan::default().with_fault_at(3, DiskFault::FsyncFail);
+        let plan = FaultPlan::none().with_disk_faults(disk.clone());
+        assert!(!plan.is_idle());
+        assert_eq!(plan.disk_faults(), Some(&disk));
+        // An *empty* disk plan keeps the overall plan idle.
+        assert!(FaultPlan::none()
+            .with_disk_faults(DiskFaultPlan::default())
+            .is_idle());
+        // Stage decisions are untouched by the disk component.
+        assert_eq!(plan.decide(Stage::Converter, 3, 0), None);
     }
 
     #[test]

@@ -58,6 +58,66 @@ impl TranslationCheckpoint {
     pub fn position(&self) -> (usize, usize) {
         (self.phase, self.offset)
     }
+
+    /// Reassemble a checkpoint from recovered state — the durable journal
+    /// (`crate::durable`) rebuilds these parts from its write-ahead log and
+    /// re-enters the translator exactly where [`resume_translation`] would.
+    pub(crate) fn from_parts(
+        source_fingerprint: u64,
+        phase: usize,
+        offset: usize,
+        batches_done: usize,
+        out: NetworkDb,
+        idmap: BTreeMap<RecordId, RecordId>,
+        group_map: BTreeMap<(RecordId, KeyTuple), RecordId>,
+    ) -> TranslationCheckpoint {
+        TranslationCheckpoint {
+            source_fingerprint,
+            phase,
+            offset,
+            batches_done,
+            out,
+            idmap,
+            group_map,
+        }
+    }
+}
+
+/// Observer of translation batch boundaries. The durable translator
+/// (`crate::durable`) implements this to append one write-ahead-log record
+/// per boundary; the in-memory paths use [`NoJournal`]. The hook runs
+/// *before* the crash plan is consulted, so a run killed at boundary `b`
+/// has already made batch `b` durable — the contract the restart-recovery
+/// experiment (E20) exercises.
+pub(crate) trait TranslationJournal {
+    /// One finished batch: the cursor that a resume would restart from and
+    /// a view of the translation state at this boundary.
+    fn on_batch(
+        &mut self,
+        phase: usize,
+        offset: usize,
+        batches_done: usize,
+        out: &NetworkDb,
+        idmap: &BTreeMap<RecordId, RecordId>,
+        group_map: &BTreeMap<(RecordId, KeyTuple), RecordId>,
+    ) -> DbResult<()>;
+}
+
+/// The no-op journal of the purely in-memory translation paths.
+pub(crate) struct NoJournal;
+
+impl TranslationJournal for NoJournal {
+    fn on_batch(
+        &mut self,
+        _phase: usize,
+        _offset: usize,
+        _batches_done: usize,
+        _out: &NetworkDb,
+        _idmap: &BTreeMap<RecordId, RecordId>,
+        _group_map: &BTreeMap<(RecordId, KeyTuple), RecordId>,
+    ) -> DbResult<()> {
+        Ok(())
+    }
 }
 
 /// Outcome of a batched translation: either the finished database or a
@@ -93,6 +153,18 @@ pub fn translate_batched(
     batch: usize,
     crash: &mut dyn FnMut(usize) -> bool,
 ) -> DbResult<BatchedOutcome> {
+    translate_journaled(db, transform, batch, crash, &mut NoJournal)
+}
+
+/// [`translate_batched`] with a batch-boundary journal — the durable
+/// translator's entry point.
+pub(crate) fn translate_journaled(
+    db: &NetworkDb,
+    transform: &Transform,
+    batch: usize,
+    crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
+) -> DbResult<BatchedOutcome> {
     let target_schema = transform
         .apply_schema(db.schema())
         .map_err(|e| DbError::constraint(e.to_string()))?;
@@ -111,8 +183,19 @@ pub fn translate_batched(
         batch: batch.max(1),
         in_batch: 0,
         batches_done: 0,
+        cur_phase: 0,
     };
-    match run_phases(db, transform, &target_schema, &phases, 0, 0, &mut st, crash)? {
+    match run_phases(
+        db,
+        transform,
+        &target_schema,
+        &phases,
+        0,
+        0,
+        &mut st,
+        crash,
+        journal,
+    )? {
         None => {
             refresh_stats(&st.out);
             Ok(BatchedOutcome::Complete(st.out))
@@ -137,6 +220,30 @@ pub fn resume_translation(
     transform: &Transform,
     ckpt: TranslationCheckpoint,
 ) -> DbResult<NetworkDb> {
+    match resume_journaled(
+        db,
+        transform,
+        ckpt,
+        usize::MAX,
+        &mut |_| false,
+        &mut NoJournal,
+    )? {
+        BatchedOutcome::Complete(out) => Ok(out),
+        BatchedOutcome::Crashed(_) => Err(DbError::constraint("resumed translation crashed again")),
+    }
+}
+
+/// [`resume_translation`] with live batching, a crash plan, and a journal:
+/// the resumed run keeps journaling its boundaries, so a durable
+/// translation can crash and recover any number of times.
+pub(crate) fn resume_journaled(
+    db: &NetworkDb,
+    transform: &Transform,
+    ckpt: TranslationCheckpoint,
+    batch: usize,
+    crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
+) -> DbResult<BatchedOutcome> {
     if ckpt.source_fingerprint != db.fingerprint() {
         return Err(DbError::constraint(
             "translation checkpoint does not match the source database",
@@ -150,9 +257,10 @@ pub fn resume_translation(
         out: ckpt.out,
         idmap: ckpt.idmap,
         group_map: ckpt.group_map,
-        batch: usize::MAX,
+        batch: batch.max(1),
         in_batch: 0,
         batches_done: ckpt.batches_done,
+        cur_phase: ckpt.phase,
     };
     match run_phases(
         db,
@@ -162,13 +270,22 @@ pub fn resume_translation(
         ckpt.phase,
         ckpt.offset,
         &mut st,
-        &mut |_| false,
+        crash,
+        journal,
     )? {
         None => {
             refresh_stats(&st.out);
-            Ok(st.out)
+            Ok(BatchedOutcome::Complete(st.out))
         }
-        Some(_) => Err(DbError::constraint("resumed translation crashed again")),
+        Some((phase, offset)) => Ok(BatchedOutcome::Crashed(TranslationCheckpoint {
+            source_fingerprint: db.fingerprint(),
+            phase,
+            offset,
+            batches_done: st.batches_done,
+            out: st.out,
+            idmap: st.idmap,
+            group_map: st.group_map,
+        })),
     }
 }
 
@@ -177,7 +294,7 @@ pub fn resume_translation(
 /// translation completion — one-shot or crash-resumed — so both paths
 /// report identical statistics (the catalog is a pure function of the
 /// output database).
-fn refresh_stats(out: &NetworkDb) {
+pub(crate) fn refresh_stats(out: &NetworkDb) {
     let catalog = dbpc_storage::StatCatalog::of_network(out);
     dbpc_obs::count("stats.refreshes", 1);
     if dbpc_obs::in_capture() {
@@ -263,12 +380,22 @@ struct RunState {
     batch: usize,
     in_batch: usize,
     batches_done: usize,
+    /// Index of the phase currently executing — the phase component of the
+    /// cursor a journal record must carry.
+    cur_phase: usize,
 }
 
 impl RunState {
-    /// Count one unit of work; at a batch boundary, ask the crash plan
-    /// whether to die here.
-    fn tick(&mut self, crash: &mut dyn FnMut(usize) -> bool) -> bool {
+    /// Count one unit of work. At a batch boundary the journal records the
+    /// cursor (`done` = offset a resume would restart from) *first*, then
+    /// the crash plan is asked whether to die here — so a run killed at
+    /// boundary `b` has already made batch `b` durable.
+    fn tick(
+        &mut self,
+        done: usize,
+        crash: &mut dyn FnMut(usize) -> bool,
+        journal: &mut dyn TranslationJournal,
+    ) -> DbResult<bool> {
         self.in_batch += 1;
         if self.in_batch >= self.batch {
             self.in_batch = 0;
@@ -276,9 +403,17 @@ impl RunState {
             self.batches_done += 1;
             dbpc_obs::count("restructure.translation_batches", 1);
             dbpc_obs::event_with("translation.batch", &[("index", &b.to_string())]);
-            return crash(b);
+            journal.on_batch(
+                self.cur_phase,
+                done,
+                self.batches_done,
+                &self.out,
+                &self.idmap,
+                &self.group_map,
+            )?;
+            return Ok(crash(b));
         }
-        false
+        Ok(false)
     }
 }
 
@@ -294,20 +429,35 @@ fn run_phases(
     start_offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<(usize, usize)>> {
     for (p, phase) in phases.iter().enumerate().skip(start_phase) {
         let offset = if p == start_phase { start_offset } else { 0 };
+        st.cur_phase = p;
         let crashed_at = match phase {
-            Phase::CopyMapped { rtype } => {
-                phase_copy_mapped(db, transform, target_schema, rtype, offset, st, crash)?
-            }
+            Phase::CopyMapped { rtype } => phase_copy_mapped(
+                db,
+                transform,
+                target_schema,
+                rtype,
+                offset,
+                st,
+                crash,
+                journal,
+            )?,
             Phase::CopyPlain { rtype, skip_set } => {
-                phase_copy_plain(db, rtype, skip_set.as_deref(), offset, st, crash)?
+                phase_copy_plain(db, rtype, skip_set.as_deref(), offset, st, crash, journal)?
             }
-            Phase::PromoteGroups => phase_promote_groups(db, transform, offset, st, crash)?,
-            Phase::PromoteMembers => phase_promote_members(db, transform, offset, st, crash)?,
-            Phase::DemoteMembers => phase_demote_members(db, transform, offset, st, crash)?,
-            Phase::Erase => phase_erase(db, transform, offset, st, crash)?,
+            Phase::PromoteGroups => {
+                phase_promote_groups(db, transform, offset, st, crash, journal)?
+            }
+            Phase::PromoteMembers => {
+                phase_promote_members(db, transform, offset, st, crash, journal)?
+            }
+            Phase::DemoteMembers => {
+                phase_demote_members(db, transform, offset, st, crash, journal)?
+            }
+            Phase::Erase => phase_erase(db, transform, offset, st, crash, journal)?,
         };
         if let Some(off) = crashed_at {
             return Ok(Some((p, off)));
@@ -316,6 +466,7 @@ fn run_phases(
     Ok(None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn phase_copy_mapped(
     db: &NetworkDb,
     transform: &Transform,
@@ -324,6 +475,7 @@ fn phase_copy_mapped(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let mut map = NameMap::identity();
     if let Transform::RenameRecord { old, new } = transform {
@@ -413,7 +565,7 @@ fn phase_copy_mapped(
         let new_id = st.out.store(new_type, &values, &connects)?;
         stored.bump();
         st.idmap.insert(old_id, new_id);
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }
@@ -507,6 +659,7 @@ fn phase_copy_plain(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let rt = db
         .schema()
@@ -548,7 +701,7 @@ fn phase_copy_plain(
         let new_id = st.out.store(rtype, &values, &connects)?;
         stored.bump();
         st.idmap.insert(old_id, new_id);
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }
@@ -561,6 +714,7 @@ fn phase_promote_groups(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let Transform::PromoteFieldToOwner {
         field,
@@ -601,7 +755,7 @@ fn phase_promote_groups(
             stored.bump();
             slot.insert(new_id);
         }
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }
@@ -614,6 +768,7 @@ fn phase_promote_members(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let Transform::PromoteFieldToOwner {
         record,
@@ -690,7 +845,7 @@ fn phase_promote_members(
         let new_id = st.out.store(record, &values, &connects)?;
         stored.bump();
         st.idmap.insert(old_id, new_id);
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }
@@ -703,6 +858,7 @@ fn phase_demote_members(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let Transform::DemoteOwnerToField {
         mid_record,
@@ -778,11 +934,31 @@ fn phase_demote_members(
         let new_id = st.out.store(record, &values, &connects)?;
         stored.bump();
         st.idmap.insert(old_id, new_id);
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }
     Ok(None)
+}
+
+/// The records a `DeleteWhere` dooms, in source order — derived from the
+/// immutable source database, so the durable journal can re-derive the
+/// same list at recovery and replay erase batches by cursor range alone.
+pub(crate) fn erase_victims(
+    db: &NetworkDb,
+    record: &str,
+    field: &str,
+    op: &dbpc_dml::expr::CmpOp,
+    value: &Value,
+) -> Vec<RecordId> {
+    db.records_of_type(record)
+        .into_iter()
+        .filter(|&id| {
+            db.field_value(id, field)
+                .map(|v| op.eval(&v, value))
+                .unwrap_or(false)
+        })
+        .collect()
 }
 
 fn phase_erase(
@@ -791,6 +967,7 @@ fn phase_erase(
     offset: usize,
     st: &mut RunState,
     crash: &mut dyn FnMut(usize) -> bool,
+    journal: &mut dyn TranslationJournal,
 ) -> DbResult<Option<usize>> {
     let Transform::DeleteWhere {
         record,
@@ -804,22 +981,14 @@ fn phase_erase(
     // The doomed list is derived from the *source* database (which the
     // output starts as a clone of), so it is identical before and after
     // a crash even though the output clone is partially erased.
-    let doomed: Vec<RecordId> = db
-        .records_of_type(record)
-        .into_iter()
-        .filter(|&id| {
-            db.field_value(id, field)
-                .map(|v| op.eval(&v, value))
-                .unwrap_or(false)
-        })
-        .collect();
+    let doomed = erase_victims(db, record, field, op, value);
     for (i, &id) in doomed.iter().enumerate().skip(offset) {
         // May already be gone through a cascade.
         match st.out.erase(id, true) {
             Ok(_) | Err(DbError::NotFound(_)) => {}
             Err(e) => return Err(e),
         }
-        if st.tick(crash) {
+        if st.tick(i + 1, crash, journal)? {
             return Ok(Some(i + 1));
         }
     }

@@ -20,6 +20,7 @@
 
 pub mod crossmodel;
 pub mod data;
+pub mod durable;
 pub mod sequence;
 pub mod stats;
 pub mod transform;
@@ -27,5 +28,6 @@ pub mod transform;
 pub use data::{
     resume_translation, translate_batched, BatchedOutcome, TranslationCheckpoint, TRANSLATION_BATCH,
 };
+pub use durable::{translate_durable, DurableOutcome, DurableTranslationOptions};
 pub use sequence::Restructuring;
 pub use transform::Transform;

@@ -1,0 +1,297 @@
+//! Pinning buffer manager with clock replacement.
+//!
+//! A fixed pool of page frames mediates all data-page I/O (the snapshot
+//! reader/writer in [`super::durable`] goes through it). Clients pin a
+//! block — faulting it in from the file manager on a miss — mutate the
+//! frame image, mark it dirty with the LSN of the log record describing
+//! the change, and unpin. Eviction uses the clock (second-chance)
+//! algorithm over unpinned frames only; a pool where every frame is
+//! pinned aborts with [`DiskError::BufferAbort`] rather than evicting
+//! under someone's feet.
+//!
+//! **WAL discipline.** Flushing a dirty frame first calls
+//! [`LogMgr::flush_before`] with the frame's recorded LSN, so a data page
+//! can never reach disk ahead of the log records that explain it.
+//!
+//! Counters: `buffer.pins`, `buffer.hits`, `buffer.evictions`,
+//! `buffer.flushes`.
+
+use super::file::{BlockId, FileMgr, Page};
+use super::log::{LogMgr, Lsn};
+use super::{DiskError, DiskResult};
+use std::sync::Arc;
+
+/// Metric: pin requests served.
+pub const BUFFER_PINS: &str = "buffer.pins";
+/// Metric: pin requests satisfied without disk I/O.
+pub const BUFFER_HITS: &str = "buffer.hits";
+/// Metric: frames evicted to make room.
+pub const BUFFER_EVICTIONS: &str = "buffer.evictions";
+/// Metric: dirty frames written back.
+pub const BUFFER_FLUSHES: &str = "buffer.flushes";
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    blk: Option<BlockId>,
+    pins: u32,
+    dirty: bool,
+    /// LSN of the newest log record describing this frame's contents.
+    lsn: Lsn,
+    /// Clock reference bit: second chance before eviction.
+    referenced: bool,
+}
+
+/// Handle to a pinned frame, by pool index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId(usize);
+
+/// A fixed pool of page frames over one [`FileMgr`].
+#[derive(Debug)]
+pub struct BufferMgr {
+    fm: Arc<FileMgr>,
+    frames: Vec<Frame>,
+    hand: usize,
+}
+
+impl BufferMgr {
+    /// Create a pool of `capacity` frames (at least 1).
+    pub fn new(fm: Arc<FileMgr>, capacity: usize) -> DiskResult<BufferMgr> {
+        if capacity == 0 {
+            return Err(DiskError::Config("buffer pool capacity 0".to_string()));
+        }
+        let ps = fm.page_size();
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: Page::new(ps),
+                blk: None,
+                pins: 0,
+                dirty: false,
+                lsn: 0,
+                referenced: false,
+            })
+            .collect();
+        Ok(BufferMgr {
+            fm,
+            frames,
+            hand: 0,
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames currently pinned at least once.
+    pub fn pinned(&self) -> usize {
+        self.frames.iter().filter(|f| f.pins > 0).count()
+    }
+
+    /// Pin `blk` into a frame, reading it from disk on a miss. Evicting a
+    /// victim flushes it first (honoring WAL order via `log`). Fails with
+    /// [`DiskError::BufferAbort`] when every frame is pinned.
+    pub fn pin(&mut self, blk: &BlockId, log: Option<&mut LogMgr>) -> DiskResult<FrameId> {
+        dbpc_obs::count(BUFFER_PINS, 1);
+        if let Some(i) = self.frames.iter().position(|f| f.blk.as_ref() == Some(blk)) {
+            dbpc_obs::count(BUFFER_HITS, 1);
+            self.frames[i].pins += 1;
+            self.frames[i].referenced = true;
+            return Ok(FrameId(i));
+        }
+        let i = self.victim()?;
+        if self.frames[i].blk.is_some() {
+            dbpc_obs::count(BUFFER_EVICTIONS, 1);
+        }
+        self.flush_frame(i, log)?;
+        let frame = &mut self.frames[i];
+        self.fm.read(blk, &mut frame.page)?;
+        frame.blk = Some(blk.clone());
+        frame.pins = 1;
+        frame.dirty = false;
+        frame.lsn = 0;
+        frame.referenced = true;
+        Ok(FrameId(i))
+    }
+
+    /// Clock sweep for an unpinned victim frame.
+    fn victim(&mut self) -> DiskResult<usize> {
+        // First preference: a frame never used at all.
+        if let Some(i) = self.frames.iter().position(|f| f.blk.is_none()) {
+            return Ok(i);
+        }
+        // Two full sweeps: the first clears reference bits, the second
+        // must then find any unpinned frame if one exists.
+        for _ in 0..self.frames.len() * 2 {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let f = &mut self.frames[i];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            return Ok(i);
+        }
+        Err(DiskError::BufferAbort {
+            capacity: self.frames.len(),
+        })
+    }
+
+    fn check(&self, id: FrameId) -> DiskResult<()> {
+        match self.frames.get(id.0) {
+            Some(f) if f.pins > 0 => Ok(()),
+            _ => Err(DiskError::Config(format!("frame {} not pinned", id.0))),
+        }
+    }
+
+    /// Read the pinned frame's page image.
+    pub fn page(&self, id: FrameId) -> DiskResult<&Page> {
+        self.check(id)?;
+        Ok(&self.frames[id.0].page)
+    }
+
+    /// Mutate the pinned frame's page image. The caller must follow up
+    /// with [`BufferMgr::mark_dirty`] for the change to ever be written.
+    pub fn page_mut(&mut self, id: FrameId) -> DiskResult<&mut Page> {
+        self.check(id)?;
+        Ok(&mut self.frames[id.0].page)
+    }
+
+    /// Record that the frame was modified, described by log record `lsn`
+    /// (0 for changes outside the log, e.g. snapshot bulk writes that are
+    /// fenced by a manifest instead).
+    pub fn mark_dirty(&mut self, id: FrameId, lsn: Lsn) -> DiskResult<()> {
+        self.check(id)?;
+        let f = &mut self.frames[id.0];
+        f.dirty = true;
+        f.lsn = f.lsn.max(lsn);
+        Ok(())
+    }
+
+    /// Release one pin. Unpinning an unpinned frame is an error.
+    pub fn unpin(&mut self, id: FrameId) -> DiskResult<()> {
+        self.check(id)?;
+        self.frames[id.0].pins -= 1;
+        Ok(())
+    }
+
+    fn flush_frame(&mut self, i: usize, log: Option<&mut LogMgr>) -> DiskResult<()> {
+        let (dirty, lsn) = (self.frames[i].dirty, self.frames[i].lsn);
+        if !dirty {
+            return Ok(());
+        }
+        if let Some(log) = log {
+            log.flush_before(lsn)?;
+        } else if lsn > 0 {
+            return Err(DiskError::Config(
+                "flushing a logged page without a log manager".to_string(),
+            ));
+        }
+        let blk = self.frames[i]
+            .blk
+            .clone()
+            .ok_or_else(|| DiskError::Config("dirty frame with no block".to_string()))?;
+        self.fm.write(&blk, &self.frames[i].page)?;
+        self.frames[i].dirty = false;
+        dbpc_obs::count(BUFFER_FLUSHES, 1);
+        Ok(())
+    }
+
+    /// Write back every dirty frame (honoring WAL order), leaving pins
+    /// untouched. Does not fsync — the caller owns the sync boundary.
+    pub fn flush_all(&mut self, mut log: Option<&mut LogMgr>) -> DiskResult<()> {
+        for i in 0..self.frames.len() {
+            self.flush_frame(i, log.as_deref_mut())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tempdir::TempDir;
+    use super::*;
+
+    fn setup(cap: usize) -> (TempDir, BufferMgr) {
+        let dir = TempDir::new("buffer").unwrap();
+        let fm = Arc::new(FileMgr::new(dir.path(), 128).unwrap());
+        let bm = BufferMgr::new(fm, cap).unwrap();
+        (dir, bm)
+    }
+
+    #[test]
+    fn pin_mutate_flush_round_trips() {
+        let (_dir, mut bm) = setup(2);
+        let blk = BlockId::new("data", 0);
+        let id = bm.pin(&blk, None).unwrap();
+        bm.page_mut(id).unwrap().write_at(0, b"buffered").unwrap();
+        bm.mark_dirty(id, 0).unwrap();
+        bm.unpin(id).unwrap();
+        bm.flush_all(None).unwrap();
+
+        // Force the frame out, then re-pin: bytes must come back from disk.
+        for n in 1..=2 {
+            let id = bm.pin(&BlockId::new("data", n), None).unwrap();
+            bm.unpin(id).unwrap();
+        }
+        let id = bm.pin(&blk, None).unwrap();
+        assert_eq!(bm.page(id).unwrap().read_at(0, 8).unwrap(), b"buffered");
+        bm.unpin(id).unwrap();
+    }
+
+    #[test]
+    fn fully_pinned_pool_aborts_instead_of_evicting() {
+        let (_dir, mut bm) = setup(2);
+        let a = bm.pin(&BlockId::new("data", 0), None).unwrap();
+        let _b = bm.pin(&BlockId::new("data", 1), None).unwrap();
+        let err = bm.pin(&BlockId::new("data", 2), None).unwrap_err();
+        assert!(matches!(err, DiskError::BufferAbort { capacity: 2 }));
+        bm.unpin(a).unwrap();
+        // Now there is a victim.
+        bm.pin(&BlockId::new("data", 2), None).unwrap();
+    }
+
+    #[test]
+    fn eviction_writes_dirty_victim_back() {
+        let (_dir, mut bm) = setup(1);
+        let blk0 = BlockId::new("data", 0);
+        let id = bm.pin(&blk0, None).unwrap();
+        bm.page_mut(id).unwrap().write_at(0, b"victim").unwrap();
+        bm.mark_dirty(id, 0).unwrap();
+        bm.unpin(id).unwrap();
+
+        // Pinning another block evicts frame 0, flushing it.
+        let id = bm.pin(&BlockId::new("data", 1), None).unwrap();
+        bm.unpin(id).unwrap();
+        let id = bm.pin(&blk0, None).unwrap();
+        assert_eq!(bm.page(id).unwrap().read_at(0, 6).unwrap(), b"victim");
+        bm.unpin(id).unwrap();
+    }
+
+    #[test]
+    fn stale_frame_ids_are_rejected() {
+        let (_dir, mut bm) = setup(1);
+        let id = bm.pin(&BlockId::new("data", 0), None).unwrap();
+        bm.unpin(id).unwrap();
+        assert!(bm.page(id).is_err());
+        assert!(bm.unpin(id).is_err());
+        assert!(bm.mark_dirty(id, 0).is_err());
+    }
+
+    #[test]
+    fn repinning_counts_nested_pins() {
+        let (_dir, mut bm) = setup(2);
+        let blk = BlockId::new("data", 0);
+        let a = bm.pin(&blk, None).unwrap();
+        let b = bm.pin(&blk, None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(bm.pinned(), 1);
+        bm.unpin(a).unwrap();
+        // Still pinned once: not evictable.
+        assert_eq!(bm.pinned(), 1);
+        bm.unpin(b).unwrap();
+        assert_eq!(bm.pinned(), 0);
+    }
+}

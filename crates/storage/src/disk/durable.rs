@@ -1,0 +1,986 @@
+//! [`DurableNetworkDb`] — a [`NetworkDb`] whose commits survive process
+//! death.
+//!
+//! ## Design: logical redo logging over the undo journal
+//!
+//! `txn.rs` already gives exact in-memory rollback, so the WAL only has
+//! to make *commits* durable. Every mutation applies to the in-memory
+//! engine immediately (keeping reads fast and rollback the existing
+//! undo-journal path) and stages a **logical redo record** — the
+//! arguments of the front-door call (`store`/`connect`/`disconnect`/
+//! `erase`/`modify`). When the **outermost** savepoint commits, the
+//! staged records plus a commit marker are appended to the WAL and
+//! flushed; that flush is the commit boundary. Rolling back discards the
+//! staged records along with the in-memory changes. Mutations outside
+//! any savepoint auto-commit one record at a time.
+//!
+//! Replaying committed calls through the same front door reproduces the
+//! engine state *exactly* — ids come from a sequential allocator, set
+//! positions from declared keys plus arrival order, and
+//! [`NetworkDb::fingerprint`] hashes nothing but functions of that call
+//! history — so a fresh process recovers a byte-identical fingerprint,
+//! and the [`StatCatalog`](crate::StatCatalog) fingerprint (a pure
+//! function of the state) comes along for free.
+//!
+//! ## Checkpoints and generations
+//!
+//! Replay cost grows with the log, so [`DurableNetworkDb::checkpoint`]
+//! serializes the committed state ([`NetworkDb::state_bytes`]) into a
+//! paged snapshot written through the pinning [`BufferMgr`] (honoring
+//! flush-before-write against the old log), starts an empty WAL for the
+//! new generation, and flips a two-slot ping-pong manifest. The manifest
+//! write is the atomic switch: a crash anywhere during checkpointing
+//! leaves either the old generation (manifest not yet flipped) or the
+//! new one (flipped), both complete.
+//!
+//! ## Failure semantics
+//!
+//! A failed commit flush (real I/O error or injected fault) leaves the
+//! in-memory engine ahead of the durable state, so the handle **wedges**:
+//! every later operation fails until the process reopens the directory,
+//! which recovers the last durably committed state — the same thing a
+//! `kill -9` at that moment would have produced. Dropping the handle
+//! without committing loses exactly the uncommitted tail, nothing more.
+
+use super::buffer::BufferMgr;
+use super::codec::{fnv64, ByteReader, ByteWriter};
+use super::faults::DiskFaultPlan;
+use super::file::{BlockId, FileMgr, Page, DEFAULT_PAGE_SIZE};
+use super::log::{LogMgr, Lsn};
+use super::{DiskError, DiskResult};
+use crate::network_db::{NetworkDb, RecordId};
+use crate::statcat::StatCatalog;
+use crate::txn::Savepoint;
+use dbpc_datamodel::network::NetworkSchema;
+use dbpc_datamodel::value::Value;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How a commit's WAL flush reaches stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` on every commit: durable against power loss.
+    #[default]
+    Data,
+    /// Write to the OS page cache on every commit, no `fsync`: durable
+    /// against process death (`kill -9`), not power loss. This is the
+    /// crash model of the E20 recovery matrix and roughly two orders of
+    /// magnitude cheaper per small commit on ext4.
+    Os,
+}
+
+/// Tuning knobs for opening a durable database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableOptions {
+    pub page_size: usize,
+    /// Buffer-pool frames used by snapshot I/O.
+    pub buffers: usize,
+    pub sync: SyncPolicy,
+    pub faults: Option<DiskFaultPlan>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            page_size: DEFAULT_PAGE_SIZE,
+            buffers: 8,
+            sync: SyncPolicy::Data,
+            faults: None,
+        }
+    }
+}
+
+const MANIFEST: &str = "MANIFEST";
+const MAN_MAGIC: u64 = u64::from_le_bytes(*b"DBPCMAN1");
+const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DBPCSNP1");
+const WAL_MAGIC: u64 = u64::from_le_bytes(*b"DBPCWAL1");
+
+const TAG_HEADER: u8 = 1;
+const TAG_OP: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+const OP_STORE: u8 = 1;
+const OP_CONNECT: u8 = 2;
+const OP_DISCONNECT: u8 = 3;
+const OP_ERASE: u8 = 4;
+const OP_MODIFY: u8 = 5;
+
+fn wal_file(gen: u64) -> String {
+    format!("wal_{gen:06}.log")
+}
+
+fn snap_file(gen: u64) -> String {
+    format!("snap_{gen:06}.pages")
+}
+
+/// Structural digest of a schema, stamped into snapshot and WAL headers
+/// so an image can never be replayed under the wrong schema.
+pub fn schema_fingerprint(schema: &NetworkSchema) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{schema:?}").hash(&mut h);
+    h.finish()
+}
+
+/// A durably persisted owner-coupled-set database. See the module docs
+/// for the logging design.
+#[derive(Debug)]
+pub struct DurableNetworkDb {
+    fm: Arc<FileMgr>,
+    buffers: BufferMgr,
+    log: LogMgr,
+    db: NetworkDb,
+    gen: u64,
+    meta: Vec<u8>,
+    schema_fp: u64,
+    sync: SyncPolicy,
+    /// Redo records staged by the open transaction, encoded back to back
+    /// in one flat buffer whose allocation survives across commits.
+    pending: Vec<u8>,
+    /// End offset in `pending` of each staged record.
+    ends: Vec<usize>,
+    /// Open savepoints with the staged-record count at their creation.
+    marks: Vec<(Savepoint, usize)>,
+    wedged: bool,
+}
+
+impl DurableNetworkDb {
+    /// Open (or create) the database under `root`, recovering the last
+    /// committed state: manifest → snapshot → WAL replay of committed
+    /// transactions. Recovery is idempotent — opening twice yields the
+    /// same fingerprint as opening once.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        schema: NetworkSchema,
+        opts: DurableOptions,
+    ) -> DiskResult<DurableNetworkDb> {
+        let fm = Arc::new(FileMgr::new(root, opts.page_size)?.with_faults(opts.faults.clone()));
+        let mut buffers = BufferMgr::new(fm.clone(), opts.buffers)?;
+        let schema_fp = schema_fingerprint(&schema);
+        let gen = read_manifest(&fm)?;
+        let (mut db, meta) = if gen > 0 {
+            load_snapshot(&fm, &mut buffers, gen, schema, schema_fp)?
+        } else {
+            (
+                NetworkDb::new(schema).map_err(DiskError::Engine)?,
+                Vec::new(),
+            )
+        };
+        let (mut log, records) = LogMgr::open(fm.clone(), wal_file(gen))?;
+        replay(&mut db, &records, schema_fp)?;
+        if records.is_empty() {
+            log.append(&header_record(schema_fp))?;
+            flush_policy(&mut log, SyncPolicy::Data)?;
+        }
+        Ok(DurableNetworkDb {
+            fm,
+            buffers,
+            log,
+            db,
+            gen,
+            meta,
+            schema_fp,
+            sync: opts.sync,
+            pending: Vec::new(),
+            ends: Vec::new(),
+            marks: Vec::new(),
+            wedged: false,
+        })
+    }
+
+    /// The in-memory engine, for reads. Mutations must go through this
+    /// wrapper or they will not be logged.
+    pub fn engine(&self) -> &NetworkDb {
+        &self.db
+    }
+
+    /// Engine fingerprint of the current in-memory state.
+    pub fn fingerprint(&self) -> u64 {
+        self.db.fingerprint()
+    }
+
+    /// Fingerprint of the derived statistics catalogue.
+    pub fn stat_fingerprint(&self) -> u64 {
+        StatCatalog::of_network(&self.db).fingerprint()
+    }
+
+    /// Application metadata stored with the latest snapshot.
+    pub fn meta(&self) -> &[u8] {
+        &self.meta
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// LSN of the newest WAL record in the current generation.
+    pub fn wal_lsn(&self) -> Lsn {
+        self.log.last_lsn()
+    }
+
+    /// True once a failed commit flush has wedged the handle (reopen the
+    /// directory to recover the durable state).
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+
+    fn ready(&self) -> DiskResult<()> {
+        if self.wedged {
+            return Err(DiskError::State(
+                "handle wedged by a failed commit flush; reopen to recover".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// See [`NetworkDb::begin_savepoint`].
+    pub fn begin_savepoint(&mut self) -> Savepoint {
+        let sp = self.db.begin_savepoint();
+        self.marks.push((sp, self.ends.len()));
+        sp
+    }
+
+    /// See [`NetworkDb::rollback_to`]; also discards the staged redo
+    /// records of the rolled-back suffix.
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        self.db.rollback_to(sp);
+        if let Some(pos) = self.marks.iter().position(|&(s, _)| s == sp) {
+            self.ends.truncate(self.marks[pos].1);
+            self.pending
+                .truncate(self.ends.last().copied().unwrap_or(0));
+            self.marks.truncate(pos);
+        }
+    }
+
+    /// See [`NetworkDb::commit`]. Committing the outermost savepoint is
+    /// the durability point: staged records plus a commit marker are
+    /// appended and flushed per the [`SyncPolicy`].
+    pub fn commit(&mut self, sp: Savepoint) -> DiskResult<()> {
+        self.ready()?;
+        self.db.commit(sp);
+        if let Some(pos) = self.marks.iter().position(|&(s, _)| s == sp) {
+            self.marks.truncate(pos);
+        }
+        if self.marks.is_empty() {
+            self.commit_pending()?;
+        }
+        Ok(())
+    }
+
+    fn commit_pending(&mut self) -> DiskResult<()> {
+        if self.ends.is_empty() {
+            return Ok(());
+        }
+        let result = (|| {
+            let mut start = 0usize;
+            for &end in &self.ends {
+                self.log.append(&self.pending[start..end])?;
+                start = end;
+            }
+            self.log.append(&[TAG_COMMIT])?;
+            flush_policy(&mut self.log, self.sync)
+        })();
+        match result {
+            Ok(()) => {
+                self.pending.clear();
+                self.ends.clear();
+                Ok(())
+            }
+            Err(e) => {
+                // The in-memory engine is now ahead of the durable state;
+                // refuse everything further so the divergence cannot grow.
+                self.wedged = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Borrow the staged-record buffer for in-place encoding of one more
+    /// record; [`Self::seal_op`] takes it back and marks the record end.
+    fn begin_op(&mut self) -> ByteWriter {
+        let mut w = ByteWriter::over(std::mem::take(&mut self.pending));
+        w.put_u8(TAG_OP);
+        w
+    }
+
+    fn seal_op(&mut self, w: ByteWriter) -> DiskResult<()> {
+        self.pending = w.into_bytes();
+        self.ends.push(self.pending.len());
+        if self.marks.is_empty() {
+            self.commit_pending()?;
+        }
+        Ok(())
+    }
+
+    /// See [`NetworkDb::store`].
+    pub fn store(
+        &mut self,
+        rtype: &str,
+        values: &[(&str, Value)],
+        connects: &[(&str, RecordId)],
+    ) -> DiskResult<RecordId> {
+        self.ready()?;
+        let id = self
+            .db
+            .store(rtype, values, connects)
+            .map_err(DiskError::Engine)?;
+        let mut w = self.begin_op();
+        w.put_u8(OP_STORE);
+        w.put_str(rtype);
+        w.put_u32(values.len() as u32);
+        for (name, v) in values {
+            w.put_str(name);
+            w.put_value(v);
+        }
+        w.put_u32(connects.len() as u32);
+        for (set, owner) in connects {
+            w.put_str(set);
+            w.put_u64(owner.0);
+        }
+        self.seal_op(w)?;
+        Ok(id)
+    }
+
+    /// See [`NetworkDb::connect`].
+    pub fn connect(&mut self, set: &str, owner: RecordId, member: RecordId) -> DiskResult<()> {
+        self.ready()?;
+        self.db
+            .connect(set, owner, member)
+            .map_err(DiskError::Engine)?;
+        let mut w = self.begin_op();
+        w.put_u8(OP_CONNECT);
+        w.put_str(set);
+        w.put_u64(owner.0);
+        w.put_u64(member.0);
+        self.seal_op(w)
+    }
+
+    /// See [`NetworkDb::disconnect`].
+    pub fn disconnect(&mut self, set: &str, member: RecordId) -> DiskResult<()> {
+        self.ready()?;
+        self.db.disconnect(set, member).map_err(DiskError::Engine)?;
+        let mut w = self.begin_op();
+        w.put_u8(OP_DISCONNECT);
+        w.put_str(set);
+        w.put_u64(member.0);
+        self.seal_op(w)
+    }
+
+    /// See [`NetworkDb::erase`].
+    pub fn erase(&mut self, id: RecordId, cascade: bool) -> DiskResult<Vec<RecordId>> {
+        self.ready()?;
+        let erased = self.db.erase(id, cascade).map_err(DiskError::Engine)?;
+        let mut w = self.begin_op();
+        w.put_u8(OP_ERASE);
+        w.put_u64(id.0);
+        w.put_u8(u8::from(cascade));
+        self.seal_op(w)?;
+        Ok(erased)
+    }
+
+    /// See [`NetworkDb::modify`].
+    pub fn modify(&mut self, id: RecordId, assigns: &[(&str, Value)]) -> DiskResult<()> {
+        self.ready()?;
+        self.db.modify(id, assigns).map_err(DiskError::Engine)?;
+        let mut w = self.begin_op();
+        w.put_u8(OP_MODIFY);
+        w.put_u64(id.0);
+        w.put_u32(assigns.len() as u32);
+        for (name, v) in assigns {
+            w.put_str(name);
+            w.put_value(v);
+        }
+        self.seal_op(w)
+    }
+
+    /// Force the WAL to stable storage regardless of the sync policy.
+    pub fn sync(&mut self) -> DiskResult<()> {
+        self.ready()?;
+        self.log.flush()
+    }
+
+    /// Snapshot the committed state into a new generation and truncate
+    /// the WAL. Must be called outside any savepoint. Crashing anywhere
+    /// inside recovers either the old or the new generation, complete.
+    pub fn checkpoint(&mut self, meta: &[u8]) -> DiskResult<()> {
+        self.ready()?;
+        if !self.marks.is_empty() {
+            return Err(DiskError::State(
+                "checkpoint inside an open savepoint".to_string(),
+            ));
+        }
+        let result = self.checkpoint_inner(meta);
+        if result.is_err() {
+            self.wedged = true;
+        }
+        result
+    }
+
+    fn checkpoint_inner(&mut self, meta: &[u8]) -> DiskResult<()> {
+        let next = self.gen + 1;
+        // Clear leftovers a crashed earlier checkpoint may have written;
+        // the manifest still points at the current generation, so these
+        // files are garbage by definition.
+        self.fm.remove(&snap_file(next))?;
+        self.fm.remove(&wal_file(next))?;
+
+        write_snapshot(
+            &self.fm,
+            &mut self.buffers,
+            &mut self.log,
+            next,
+            self.schema_fp,
+            meta,
+            &self.db,
+        )?;
+        let (mut new_log, recs) = LogMgr::open(self.fm.clone(), wal_file(next))?;
+        if !recs.is_empty() {
+            return Err(DiskError::Corrupt(format!(
+                "fresh WAL {} already holds {} records",
+                wal_file(next),
+                recs.len()
+            )));
+        }
+        new_log.append(&header_record(self.schema_fp))?;
+        new_log.flush()?;
+        write_manifest(&self.fm, next)?;
+
+        let old = self.gen;
+        self.log = new_log;
+        self.gen = next;
+        self.meta = meta.to_vec();
+        // Retire the previous generation (gen 0 has a WAL but no snapshot).
+        self.fm.remove(&wal_file(old))?;
+        if old > 0 {
+            self.fm.remove(&snap_file(old))?;
+        }
+        Ok(())
+    }
+
+    /// Replace the (empty or stale) contents with a full copy of `db` and
+    /// checkpoint it — how the conversion service persists a freshly
+    /// translated target database. The schema must match the one the
+    /// handle was opened with.
+    pub fn import(&mut self, db: &NetworkDb, meta: &[u8]) -> DiskResult<()> {
+        self.ready()?;
+        if !self.marks.is_empty() {
+            return Err(DiskError::State(
+                "import inside an open savepoint".to_string(),
+            ));
+        }
+        if schema_fingerprint(db.schema()) != self.schema_fp {
+            return Err(DiskError::State(
+                "import schema differs from the opened schema".to_string(),
+            ));
+        }
+        self.db = db.clone();
+        self.checkpoint(meta)
+    }
+}
+
+fn header_record(schema_fp: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_HEADER);
+    w.put_u64(WAL_MAGIC);
+    w.put_u64(schema_fp);
+    w.into_bytes()
+}
+
+fn flush_policy(log: &mut LogMgr, sync: SyncPolicy) -> DiskResult<()> {
+    match sync {
+        SyncPolicy::Data => log.flush(),
+        SyncPolicy::Os => log.flush_os(),
+    }
+}
+
+/// Replay the committed transactions of a recovered WAL onto `db`.
+/// Uncommitted trailing ops (no commit marker) are discarded — they were
+/// never durable.
+fn replay(db: &mut NetworkDb, records: &[(Lsn, Vec<u8>)], schema_fp: u64) -> DiskResult<u64> {
+    let mut committed = 0u64;
+    let mut staged: Vec<&[u8]> = Vec::new();
+    for (i, (lsn, rec)) in records.iter().enumerate() {
+        let mut r = ByteReader::new(rec);
+        let tag = r.get_u8("wal record tag")?;
+        if i == 0 {
+            if tag != TAG_HEADER {
+                return Err(DiskError::Corrupt(
+                    "WAL does not start with a header".to_string(),
+                ));
+            }
+            if r.get_u64("wal magic")? != WAL_MAGIC {
+                return Err(DiskError::Corrupt("bad WAL magic".to_string()));
+            }
+            if r.get_u64("wal schema fingerprint")? != schema_fp {
+                return Err(DiskError::Corrupt(
+                    "WAL was written under a different schema".to_string(),
+                ));
+            }
+            continue;
+        }
+        match tag {
+            TAG_OP => staged.push(&rec[1..]),
+            TAG_COMMIT => {
+                for op in staged.drain(..) {
+                    apply_op(db, op)?;
+                }
+                committed += 1;
+            }
+            TAG_HEADER => {
+                return Err(DiskError::Corrupt(format!(
+                    "header record mid-log at lsn {lsn}"
+                )))
+            }
+            t => {
+                return Err(DiskError::Corrupt(format!(
+                    "unknown WAL tag {t} at lsn {lsn}"
+                )))
+            }
+        }
+    }
+    Ok(committed)
+}
+
+fn apply_op(db: &mut NetworkDb, op: &[u8]) -> DiskResult<()> {
+    let mut r = ByteReader::new(op);
+    let engine = |e: crate::error::DbError| {
+        DiskError::Corrupt(format!("replay of committed op rejected: {e}"))
+    };
+    match r.get_u8("op tag")? {
+        OP_STORE => {
+            let rtype = r.get_str("store rtype")?;
+            let n_values = r.get_u32("store value count")?;
+            let mut values = Vec::with_capacity(n_values as usize);
+            for _ in 0..n_values {
+                values.push((r.get_str("store field")?, r.get_value("store value")?));
+            }
+            let n_connects = r.get_u32("store connect count")?;
+            let mut connects = Vec::with_capacity(n_connects as usize);
+            for _ in 0..n_connects {
+                connects.push((r.get_str("store set")?, RecordId(r.get_u64("store owner")?)));
+            }
+            let value_refs: Vec<(&str, Value)> = values
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            let connect_refs: Vec<(&str, RecordId)> =
+                connects.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            db.store(&rtype, &value_refs, &connect_refs)
+                .map(|_| ())
+                .map_err(engine)
+        }
+        OP_CONNECT => {
+            let set = r.get_str("connect set")?;
+            let owner = RecordId(r.get_u64("connect owner")?);
+            let member = RecordId(r.get_u64("connect member")?);
+            db.connect(&set, owner, member).map_err(engine)
+        }
+        OP_DISCONNECT => {
+            let set = r.get_str("disconnect set")?;
+            let member = RecordId(r.get_u64("disconnect member")?);
+            db.disconnect(&set, member).map_err(engine)
+        }
+        OP_ERASE => {
+            let id = RecordId(r.get_u64("erase id")?);
+            let cascade = r.get_u8("erase cascade")? != 0;
+            db.erase(id, cascade).map(|_| ()).map_err(engine)
+        }
+        OP_MODIFY => {
+            let id = RecordId(r.get_u64("modify id")?);
+            let n = r.get_u32("modify assign count")?;
+            let mut assigns = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                assigns.push((r.get_str("modify field")?, r.get_value("modify value")?));
+            }
+            let assign_refs: Vec<(&str, Value)> = assigns
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            db.modify(id, &assign_refs).map_err(engine)
+        }
+        t => Err(DiskError::Corrupt(format!("unknown op tag {t}"))),
+    }
+}
+
+fn read_manifest(fm: &FileMgr) -> DiskResult<u64> {
+    if !fm.exists(MANIFEST) {
+        return Ok(0);
+    }
+    let mut best = 0u64;
+    let mut page = Page::new(fm.page_size());
+    for slot in 0..2u64 {
+        fm.read(&BlockId::new(MANIFEST, slot), &mut page)?;
+        let bytes = page.as_slice();
+        let mut r = ByteReader::new(bytes);
+        let (Ok(magic), Ok(gen), Ok(sum)) = (
+            r.get_u64("manifest magic"),
+            r.get_u64("manifest gen"),
+            r.get_u64("manifest checksum"),
+        ) else {
+            continue;
+        };
+        if magic == MAN_MAGIC && sum == fnv64(&bytes[..16]) && gen > best {
+            best = gen;
+        }
+    }
+    Ok(best)
+}
+
+fn write_manifest(fm: &FileMgr, gen: u64) -> DiskResult<()> {
+    let mut w = ByteWriter::new();
+    w.put_u64(MAN_MAGIC);
+    w.put_u64(gen);
+    let head = w.into_bytes();
+    let mut page = Page::new(fm.page_size());
+    page.write_at(0, &head)?;
+    page.write_at(16, &fnv64(&head).to_le_bytes())?;
+    fm.write(&BlockId::new(MANIFEST, gen % 2), &page)?;
+    fm.sync(MANIFEST)
+}
+
+/// Snapshot layout: block 0 is a header
+/// `[magic][schema_fp][meta_len][body_len][fnv64(body)]`; the body
+/// (`meta ++ state_bytes`) fills blocks 1.. in page-sized chunks.
+fn write_snapshot(
+    fm: &Arc<FileMgr>,
+    buffers: &mut BufferMgr,
+    log: &mut LogMgr,
+    gen: u64,
+    schema_fp: u64,
+    meta: &[u8],
+    db: &NetworkDb,
+) -> DiskResult<()> {
+    let file = snap_file(gen);
+    let ps = fm.page_size();
+    let state = db.state_bytes();
+    let mut body = Vec::with_capacity(meta.len() + state.len());
+    body.extend_from_slice(meta);
+    body.extend_from_slice(&state);
+
+    let mut w = ByteWriter::new();
+    w.put_u64(SNAP_MAGIC);
+    w.put_u64(schema_fp);
+    w.put_u64(meta.len() as u64);
+    w.put_u64(body.len() as u64);
+    w.put_u64(fnv64(&body));
+    let header = w.into_bytes();
+
+    // All pages go through the buffer pool; `mark_dirty` carries the
+    // current end of the (old) WAL so flushing respects write-ahead
+    // order, and the pool's flush_all + file sync make the image durable
+    // before the manifest can point at it.
+    let lsn = log.last_lsn();
+    let put =
+        |buffers: &mut BufferMgr, log: &mut LogMgr, num: u64, chunk: &[u8]| -> DiskResult<()> {
+            let id = buffers.pin(&BlockId::new(file.clone(), num), Some(log))?;
+            let page = buffers.page_mut(id)?;
+            page.zero();
+            page.write_at(0, chunk)?;
+            buffers.mark_dirty(id, lsn)?;
+            buffers.unpin(id)
+        };
+    put(buffers, log, 0, &header)?;
+    for (i, chunk) in body.chunks(ps).enumerate() {
+        put(buffers, log, i as u64 + 1, chunk)?;
+    }
+    buffers.flush_all(Some(log))?;
+    fm.sync(&file)
+}
+
+fn load_snapshot(
+    fm: &Arc<FileMgr>,
+    buffers: &mut BufferMgr,
+    gen: u64,
+    schema: NetworkSchema,
+    schema_fp: u64,
+) -> DiskResult<(NetworkDb, Vec<u8>)> {
+    let file = snap_file(gen);
+    let ps = fm.page_size();
+    let id = buffers.pin(&BlockId::new(file.clone(), 0), None)?;
+    let (magic, fp, meta_len, body_len, sum) = {
+        let mut r = ByteReader::new(buffers.page(id)?.as_slice());
+        (
+            r.get_u64("snapshot magic")?,
+            r.get_u64("snapshot schema fingerprint")?,
+            r.get_u64("snapshot meta length")? as usize,
+            r.get_u64("snapshot body length")? as usize,
+            r.get_u64("snapshot checksum")?,
+        )
+    };
+    buffers.unpin(id)?;
+    if magic != SNAP_MAGIC {
+        return Err(DiskError::Corrupt(format!("{file}: bad snapshot magic")));
+    }
+    if fp != schema_fp {
+        return Err(DiskError::Corrupt(format!(
+            "{file}: snapshot written under a different schema"
+        )));
+    }
+    if meta_len > body_len {
+        return Err(DiskError::Corrupt(format!(
+            "{file}: meta length exceeds body"
+        )));
+    }
+    let mut body = Vec::with_capacity(body_len);
+    let blocks = body_len.div_ceil(ps);
+    for b in 0..blocks {
+        let id = buffers.pin(&BlockId::new(file.clone(), b as u64 + 1), None)?;
+        let take = ps.min(body_len - body.len());
+        body.extend_from_slice(&buffers.page(id)?.as_slice()[..take]);
+        buffers.unpin(id)?;
+    }
+    if fnv64(&body) != sum {
+        return Err(DiskError::Corrupt(format!(
+            "{file}: snapshot checksum mismatch"
+        )));
+    }
+    let db = NetworkDb::from_state_bytes(schema, &body[meta_len..])
+        .map_err(|e| DiskError::Corrupt(format!("{file}: {e}")))?;
+    Ok((db, body[..meta_len].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tempdir::TempDir;
+    use super::*;
+    use dbpc_datamodel::network::{FieldDef, RecordTypeDef, SetDef};
+    use dbpc_datamodel::types::FieldType;
+
+    fn schema() -> NetworkSchema {
+        NetworkSchema::new("COMPANY-NAME")
+            .with_record(RecordTypeDef::new(
+                "DIV",
+                vec![
+                    FieldDef::new("DIV-NAME", FieldType::Char(20)),
+                    FieldDef::new("DIV-LOC", FieldType::Char(10)),
+                ],
+            ))
+            .with_record(RecordTypeDef::new(
+                "EMP",
+                vec![
+                    FieldDef::new("EMP-NAME", FieldType::Char(25)),
+                    FieldDef::new("AGE", FieldType::Int(2)),
+                ],
+            ))
+            .with_set(SetDef::system("ALL-DIV", "DIV", vec!["DIV-NAME"]))
+            .with_set(SetDef::owned("DIV-EMP", "DIV", "EMP", vec!["EMP-NAME"]))
+    }
+
+    fn opts_small() -> DurableOptions {
+        DurableOptions {
+            page_size: 256,
+            buffers: 4,
+            ..DurableOptions::default()
+        }
+    }
+
+    fn seed_commit(db: &mut DurableNetworkDb) -> RecordId {
+        let sp = db.begin_savepoint();
+        let div = db
+            .store(
+                "DIV",
+                &[
+                    ("DIV-NAME", Value::str("MACHINERY")),
+                    ("DIV-LOC", Value::str("DETROIT")),
+                ],
+                &[],
+            )
+            .unwrap();
+        for e in 0..3 {
+            db.store(
+                "EMP",
+                &[
+                    ("EMP-NAME", Value::str(format!("EMP-{e}"))),
+                    ("AGE", Value::Int(30 + e)),
+                ],
+                &[("DIV-EMP", div)],
+            )
+            .unwrap();
+        }
+        db.commit(sp).unwrap();
+        div
+    }
+
+    #[test]
+    fn committed_state_survives_reopen_with_identical_fingerprints() {
+        let dir = TempDir::new("durable-reopen").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        seed_commit(&mut db);
+        let (fp, sfp) = (db.fingerprint(), db.stat_fingerprint());
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), fp);
+        assert_eq!(db.stat_fingerprint(), sfp);
+        assert_eq!(db.engine().record_count(), 4);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_lost_rolled_back_ops_never_logged() {
+        let dir = TempDir::new("durable-uncommitted").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        seed_commit(&mut db);
+        let fp = db.fingerprint();
+
+        // Rolled back: never reaches the log.
+        let sp = db.begin_savepoint();
+        db.store(
+            "DIV",
+            &[("DIV-NAME", Value::str("ROLLED")), ("DIV-LOC", Value::Null)],
+            &[],
+        )
+        .unwrap();
+        db.rollback_to(sp);
+        assert_eq!(db.fingerprint(), fp);
+
+        // Committed-in-memory-only (kill before flush): open txn dropped.
+        let sp = db.begin_savepoint();
+        db.store(
+            "DIV",
+            &[("DIV-NAME", Value::str("DOOMED")), ("DIV-LOC", Value::Null)],
+            &[],
+        )
+        .unwrap();
+        let _ = sp; // dropped without commit = killed mid-transaction
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), fp);
+    }
+
+    #[test]
+    fn nested_savepoints_log_only_the_outermost_commit() {
+        let dir = TempDir::new("durable-nested").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        let outer = db.begin_savepoint();
+        let div = db
+            .store(
+                "DIV",
+                &[("DIV-NAME", Value::str("M")), ("DIV-LOC", Value::Null)],
+                &[],
+            )
+            .unwrap();
+        let inner = db.begin_savepoint();
+        db.store(
+            "EMP",
+            &[("EMP-NAME", Value::str("GONE")), ("AGE", Value::Int(1))],
+            &[("DIV-EMP", div)],
+        )
+        .unwrap();
+        db.rollback_to(inner);
+        db.store(
+            "EMP",
+            &[("EMP-NAME", Value::str("KEPT")), ("AGE", Value::Int(2))],
+            &[("DIV-EMP", div)],
+        )
+        .unwrap();
+        db.commit(outer).unwrap();
+        let fp = db.fingerprint();
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), fp);
+        assert_eq!(db.engine().record_count(), 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopens_from_snapshot() {
+        let dir = TempDir::new("durable-checkpoint").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        let div = seed_commit(&mut db);
+        db.checkpoint(b"after-seed").unwrap();
+        assert_eq!(db.generation(), 1);
+        // Post-checkpoint commits land in the new WAL.
+        let sp = db.begin_savepoint();
+        db.modify(
+            db.engine().records_of_type("EMP")[0],
+            &[("AGE", Value::Int(99))],
+        )
+        .unwrap();
+        db.erase(div, true).unwrap();
+        db.commit(sp).unwrap();
+        let fp = db.fingerprint();
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), fp);
+        assert_eq!(db.meta(), b"after-seed");
+        assert_eq!(db.generation(), 1);
+        // Old generation files are gone.
+        assert!(!db.fm.exists(&wal_file(0)));
+    }
+
+    #[test]
+    fn import_persists_a_full_copy() {
+        let dir = TempDir::new("durable-import").unwrap();
+        let mut source = NetworkDb::new(schema()).unwrap();
+        source
+            .store(
+                "DIV",
+                &[("DIV-NAME", Value::str("A")), ("DIV-LOC", Value::Null)],
+                &[],
+            )
+            .unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        db.import(&source, b"ctx-meta").unwrap();
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), source.fingerprint());
+        assert_eq!(db.meta(), b"ctx-meta");
+    }
+
+    #[test]
+    fn failed_commit_flush_wedges_and_reopen_recovers_last_commit() {
+        let dir = TempDir::new("durable-wedge").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        seed_commit(&mut db);
+        let fp = db.fingerprint();
+        drop(db);
+
+        // Reopen with an fsync fault timed to hit the next commit's flush:
+        // open issues no writes/syncs on a clean dir (replay only), so the
+        // first sync op after open belongs to the doomed commit.
+        let mut opts = opts_small();
+        opts.faults = Some(DiskFaultPlan::seeded(1, 1.0));
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts).unwrap();
+        let sp = db.begin_savepoint();
+        db.store(
+            "DIV",
+            &[("DIV-NAME", Value::str("X")), ("DIV-LOC", Value::Null)],
+            &[],
+        )
+        .unwrap();
+        let err = db.commit(sp).unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        assert!(db.wedged());
+        // Everything further is refused.
+        assert!(matches!(
+            db.store(
+                "DIV",
+                &[("DIV-NAME", Value::str("Y")), ("DIV-LOC", Value::Null)],
+                &[]
+            ),
+            Err(DiskError::State(_))
+        ));
+        drop(db);
+
+        let db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        assert_eq!(db.fingerprint(), fp, "recovered to last durable commit");
+    }
+
+    #[test]
+    fn schema_mismatch_is_detected_on_open() {
+        let dir = TempDir::new("durable-schema").unwrap();
+        let mut db = DurableNetworkDb::open(dir.path(), schema(), opts_small()).unwrap();
+        seed_commit(&mut db);
+        drop(db);
+
+        let other = NetworkSchema::new("OTHER").with_record(RecordTypeDef::new(
+            "T",
+            vec![FieldDef::new("F", FieldType::Int(4))],
+        ));
+        let err = DurableNetworkDb::open(dir.path(), other, opts_small()).unwrap_err();
+        assert!(matches!(err, DiskError::Corrupt(_)), "{err}");
+    }
+}

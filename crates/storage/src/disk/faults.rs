@@ -1,0 +1,170 @@
+//! Deterministic seeded disk-fault injection.
+//!
+//! The PR 3 supervisor proved out the pattern: a fault plan is a *pure
+//! function* of `(seed, op_index)`, so a failing run can be replayed
+//! bit-for-bit by re-running with the same seed. This module extends the
+//! idea to the physical layer. [`FileMgr`](super::file::FileMgr) numbers
+//! every write and sync it performs; before touching the file it asks the
+//! plan [`DiskFaultPlan::decide`] whether this op fails, and how:
+//!
+//! * [`DiskFault::TornWrite`] — only the first half of the page reaches
+//!   the platter before the "power cut";
+//! * [`DiskFault::ShortWrite`] — only the first quarter does;
+//! * [`DiskFault::FsyncFail`] — the sync call fails and nothing is
+//!   guaranteed durable.
+//!
+//! In every case the op also reports an error, so the caller knows the
+//! commit did not land — the interesting question, answered by the
+//! recovery tests, is whether the *bytes left behind* can confuse a fresh
+//! process into recovering the wrong state.
+
+use super::file::DiskOp;
+
+/// What kind of failure to inject into a physical disk operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Half the page is written, then the operation errors.
+    TornWrite,
+    /// A quarter of the page is written, then the operation errors.
+    ShortWrite,
+    /// The sync is skipped entirely and reported as failed.
+    FsyncFail,
+}
+
+impl DiskFault {
+    /// Whether this fault kind can apply to the given physical op.
+    fn applies_to(self, op: DiskOp) -> bool {
+        match self {
+            DiskFault::TornWrite | DiskFault::ShortWrite => op == DiskOp::Write,
+            DiskFault::FsyncFail => op == DiskOp::Sync,
+        }
+    }
+}
+
+/// A deterministic schedule of disk faults.
+///
+/// `decide(op_index, op)` is pure: two `FileMgr`s driven through the same
+/// op sequence with the same plan fail at exactly the same points. Faults
+/// come from two sources, checked in order:
+///
+/// 1. **Targeted** faults pin a specific fault to a specific op index —
+///    the recovery matrix uses these to hit every WAL boundary exactly.
+/// 2. **Seeded** faults fire with probability `probability` per op, the
+///    fault kind chosen by a second hash — load tests use these to
+///    scatter failures without hand-picking indexes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiskFaultPlan {
+    seed: u64,
+    probability: f64,
+    targeted: Vec<(u64, DiskFault)>,
+}
+
+impl DiskFaultPlan {
+    /// A plan that fires on a `probability` fraction of ops, deterministically
+    /// derived from `seed`.
+    pub fn seeded(seed: u64, probability: f64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            probability: probability.clamp(0.0, 1.0),
+            targeted: Vec::new(),
+        }
+    }
+
+    /// Pin `fault` to the op with physical index `op_index`. Targeted faults
+    /// only fire if the fault kind matches the op kind (a `FsyncFail` aimed
+    /// at a write index is inert).
+    pub fn with_fault_at(mut self, op_index: u64, fault: DiskFault) -> DiskFaultPlan {
+        self.targeted.push((op_index, fault));
+        self
+    }
+
+    /// True if the plan can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.probability == 0.0 && self.targeted.is_empty()
+    }
+
+    /// Decide the fate of physical op number `op_index` of kind `op`.
+    pub fn decide(&self, op_index: u64, op: DiskOp) -> Option<DiskFault> {
+        for &(at, fault) in &self.targeted {
+            if at == op_index && fault.applies_to(op) {
+                return Some(fault);
+            }
+        }
+        if self.probability > 0.0 && unit_hash(self.seed, op_index) < self.probability {
+            let fault = match op {
+                DiskOp::Sync => DiskFault::FsyncFail,
+                DiskOp::Write => {
+                    if unit_hash(self.seed ^ 0x9e37_79b9, op_index) < 0.5 {
+                        DiskFault::TornWrite
+                    } else {
+                        DiskFault::ShortWrite
+                    }
+                }
+            };
+            return Some(fault);
+        }
+        None
+    }
+}
+
+/// SplitMix64-derived uniform draw in `[0, 1)` — same construction as the
+/// supervisor's `FaultPlan`, so seeds behave consistently across layers.
+fn unit_hash(seed: u64, index: u64) -> f64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_faults_fire_only_at_their_index_and_kind() {
+        let plan = DiskFaultPlan::default()
+            .with_fault_at(3, DiskFault::TornWrite)
+            .with_fault_at(5, DiskFault::FsyncFail);
+        assert_eq!(plan.decide(3, DiskOp::Write), Some(DiskFault::TornWrite));
+        assert_eq!(plan.decide(3, DiskOp::Sync), None);
+        assert_eq!(plan.decide(5, DiskOp::Sync), Some(DiskFault::FsyncFail));
+        assert_eq!(plan.decide(5, DiskOp::Write), None);
+        assert_eq!(plan.decide(4, DiskOp::Write), None);
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_roughly_calibrated() {
+        let plan = DiskFaultPlan::seeded(42, 0.2);
+        let again = DiskFaultPlan::seeded(42, 0.2);
+        let mut hits = 0;
+        for i in 0..10_000u64 {
+            let a = plan.decide(i, DiskOp::Write);
+            assert_eq!(a, again.decide(i, DiskOp::Write));
+            if a.is_some() {
+                hits += 1;
+            }
+        }
+        assert!((1_500..2_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn sync_ops_only_draw_fsync_failures() {
+        let plan = DiskFaultPlan::seeded(7, 0.5);
+        for i in 0..1_000u64 {
+            if let Some(f) = plan.decide(i, DiskOp::Sync) {
+                assert_eq!(f, DiskFault::FsyncFail);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = DiskFaultPlan::default();
+        assert!(plan.is_empty());
+        for i in 0..100u64 {
+            assert_eq!(plan.decide(i, DiskOp::Write), None);
+            assert_eq!(plan.decide(i, DiskOp::Sync), None);
+        }
+    }
+}

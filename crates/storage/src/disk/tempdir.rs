@@ -1,0 +1,100 @@
+//! Self-cleaning scratch directories for disk tests and benches.
+//!
+//! Every test that touches real files creates its database under a
+//! [`TempDir`], which removes the whole tree when dropped. Uniqueness
+//! comes from the process id plus a process-local counter, so parallel
+//! test threads and the cross-process recovery matrix never collide.
+//! All paths live under a single well-known parent
+//! (`$TMPDIR/dbpc-tmp/`), which lets the hygiene guard test assert that
+//! a suite leaves nothing behind.
+
+use super::{DiskError, DiskResult};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Well-known parent for all dbpc scratch directories.
+pub fn scratch_root() -> PathBuf {
+    std::env::temp_dir().join("dbpc-tmp")
+}
+
+/// A uniquely named directory removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl TempDir {
+    /// Create `$TMPDIR/dbpc-tmp/<pid>-<n>-<label>`.
+    pub fn new(label: &str) -> DiskResult<TempDir> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let clean: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(48)
+            .collect();
+        let path = scratch_root().join(format!("{}-{n}-{clean}", std::process::id()));
+        std::fs::create_dir_all(&path).map_err(|e| DiskError::Io {
+            op: "create tempdir",
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(TempDir { path, armed: true })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarm cleanup and hand back the path — for handing a directory to
+    /// a child process that outlives this handle.
+    pub fn keep(mut self) -> PathBuf {
+        self.armed = false;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if self.armed {
+            // Best effort: a failed cleanup should never panic a test's
+            // unwind path; the hygiene guard test will catch leftovers.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_unique_created_and_removed_on_drop() {
+        let a = TempDir::new("alpha").unwrap();
+        let b = TempDir::new("alpha").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("x.bin"), b"payload").unwrap();
+        let gone = a.path().to_path_buf();
+        drop(a);
+        assert!(!gone.exists());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn keep_disarms_cleanup() {
+        let d = TempDir::new("kept").unwrap();
+        let path = d.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let d = TempDir::new("we/ird label!").unwrap();
+        let name = d.path().file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.ends_with("we-ird-label-"), "{name}");
+    }
+}

@@ -18,6 +18,7 @@
 //! original programs are compared by their I/O traces, so the engines never
 //! let a hash-map ordering reach an observable result.
 
+pub mod disk;
 pub mod error;
 pub mod hier_db;
 pub mod keys;
@@ -29,10 +30,14 @@ pub mod statcat;
 pub mod stats;
 pub mod txn;
 
+pub use disk::{
+    BufferMgr, DiskError, DiskFault, DiskFaultPlan, DiskResult, DurableNetworkDb, DurableOptions,
+    FileMgr, LogMgr, SyncPolicy, TempDir,
+};
 pub use error::{DbError, DbResult, StatusCode};
 pub use hier_db::{HierDb, SegmentInstance};
 pub use keys::KeyTuple;
-pub use locks::{ConcurrencyMgr, LockError, LockKind, LockRes, LockTable, LockUnit};
+pub use locks::{ConcurrencyMgr, LockError, LockKind, LockRes, LockTable, LockUnit, WaitStats};
 pub use network_db::{NetworkDb, RecordId, StoredRecord, SYSTEM_OWNER};
 pub use relational_db::{RelationalDb, RowId};
 pub use statcat::{IndexStats, SetStats, StatCatalog, TableStats, TypeStats};

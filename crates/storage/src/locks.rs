@@ -28,12 +28,20 @@
 //!
 //! Instrumentation: grants are counted into the ambient `dbpc-obs` sheet
 //! under [`LOCKS_SHARED`] / [`LOCKS_EXCLUSIVE`] / [`LOCKS_UPGRADES`]
-//! (deterministic work counters), while [`LOCKS_WAITS`] / [`LOCKS_TIMEOUTS`]
-//! are `Racy` (whether a request blocks depends on scheduling) and
-//! [`LOCKS_WAIT_NS`] is wall-clock.
+//! (deterministic work counters). Wait telemetry — [`LOCKS_WAITS`] /
+//! [`LOCKS_TIMEOUTS`] / [`LOCKS_WAIT_NS`] — is scheduling-dependent, so it
+//! deliberately does **not** touch the ambient sheet: earlier revisions
+//! recorded it into whichever worker's thread-local sheet happened to
+//! block (some while still holding the table mutex), which made per-job
+//! metric deltas vary across worker counts. Instead the table aggregates
+//! waits into process-wide atomics ([`LockTable::wait_stats`]) and the
+//! service publishes one [`WaitStats::publish`] frame at shutdown — same
+//! metric names, same `Racy`/`Time` kinds, one deterministic merge point.
 
+use dbpc_obs::metrics::{MetricValue, MetricsFrame};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -141,11 +149,43 @@ impl Grant {
     }
 }
 
+/// Aggregated wait telemetry of one [`LockTable`] (see
+/// [`LockTable::wait_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaitStats {
+    /// Requests that had to block.
+    pub waits: u64,
+    /// Requests that waited out their budget.
+    pub timeouts: u64,
+    /// Total wall-clock nanoseconds spent blocked.
+    pub wait_ns: u64,
+}
+
+impl WaitStats {
+    /// Write the stats into `frame` under the `locks.*` names with their
+    /// documented kinds (`Racy` counts, `Time` nanoseconds). Zero stats
+    /// add no entries, keeping wait-free runs' reports unchanged.
+    pub fn publish(&self, frame: &mut MetricsFrame) {
+        if self.waits > 0 {
+            frame.set(LOCKS_WAITS, MetricValue::Racy(self.waits));
+        }
+        if self.timeouts > 0 {
+            frame.set(LOCKS_TIMEOUTS, MetricValue::Racy(self.timeouts));
+        }
+        if self.wait_ns > 0 {
+            frame.set(LOCKS_WAIT_NS, MetricValue::Time(self.wait_ns));
+        }
+    }
+}
+
 /// The shared lock table (see module docs).
 #[derive(Debug, Default)]
 pub struct LockTable {
     grants: Mutex<HashMap<LockRes, Grant>>,
     released: Condvar,
+    waits: AtomicU64,
+    timeouts: AtomicU64,
+    wait_ns: AtomicU64,
 }
 
 /// Recover the grant map from a poisoned mutex: the table's invariants are
@@ -222,20 +262,24 @@ impl LockTable {
     ) -> Result<(), LockError> {
         let mut grants = lock_grants(self);
         if !ready(grants.entry(res.clone()).or_default()) {
-            dbpc_obs::racy(LOCKS_WAITS, 1);
+            self.waits.fetch_add(1, Ordering::Relaxed);
             let started = Instant::now();
             let deadline = started + timeout;
             loop {
                 let now = Instant::now();
                 if now >= deadline {
-                    dbpc_obs::racy(LOCKS_TIMEOUTS, 1);
-                    dbpc_obs::time(LOCKS_WAIT_NS, started.elapsed().as_nanos() as u64);
                     // Leave an untouched default entry tidy.
                     if let Some(g) = grants.get(res) {
                         if g.idle() {
                             grants.remove(res);
                         }
                     }
+                    // Record only after the table mutex is released: wait
+                    // accounting must never extend the critical section.
+                    drop(grants);
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.wait_ns
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     return Err(LockError::Timeout {
                         resource: res.clone(),
                     });
@@ -249,10 +293,25 @@ impl LockTable {
                     break;
                 }
             }
-            dbpc_obs::time(LOCKS_WAIT_NS, started.elapsed().as_nanos() as u64);
+            take(grants.entry(res.clone()).or_default());
+            drop(grants);
+            self.wait_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return Ok(());
         }
         take(grants.entry(res.clone()).or_default());
         Ok(())
+    }
+
+    /// Aggregated wait telemetry since the table was created. Reading is
+    /// wait-free; the counters are process-wide, so a report built from
+    /// them is independent of which worker thread happened to block.
+    pub fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            waits: self.waits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Diagnostic: number of resources currently held (any mode).
@@ -494,6 +553,59 @@ mod tests {
         let t = LockRes::record_type(3, "AAA");
         assert!(e < t, "coarse-to-fine acquisition order");
         assert!(LockRes::engine(2) < e, "spaces order first");
+    }
+
+    /// Wait telemetry aggregates in the table's atomics, not in whichever
+    /// worker's thread-local metrics sheet happened to block — the fix for
+    /// worker-count-dependent RunReports.
+    #[test]
+    fn wait_telemetry_stays_out_of_the_ambient_sheet() {
+        let before = dbpc_obs::local_snapshot();
+        let table = Arc::new(LockTable::new());
+        let r = emp(0);
+        table.x_lock(&r, LONG).unwrap();
+        assert_eq!(table.wait_stats(), WaitStats::default());
+
+        // A timeout and a successful blocked wait, both on this thread.
+        assert!(table.s_lock(&r, SHORT).is_err());
+        let t2 = Arc::clone(&table);
+        let r2 = r.clone();
+        let unlocker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            t2.unlock(&r2, LockKind::Exclusive);
+        });
+        table.s_lock(&r, LONG).unwrap();
+        unlocker.join().unwrap();
+        table.unlock(&r, LockKind::Shared);
+
+        let stats = table.wait_stats();
+        assert_eq!(stats.waits, 2);
+        assert_eq!(stats.timeouts, 1);
+        assert!(stats.wait_ns > 0);
+
+        // Nothing leaked into the ambient sheet (grant counters may have).
+        let delta = dbpc_obs::local_snapshot().since(&before);
+        for name in [LOCKS_WAITS, LOCKS_TIMEOUTS, LOCKS_WAIT_NS] {
+            assert!(delta.get(name).is_none(), "{name} leaked into the sheet");
+        }
+
+        // Publishing produces the documented names and kinds.
+        let mut frame = MetricsFrame::new();
+        stats.publish(&mut frame);
+        assert_eq!(frame.counter(LOCKS_WAITS), 2);
+        assert_eq!(frame.counter(LOCKS_TIMEOUTS), 1);
+        assert_eq!(frame.time_ns(LOCKS_WAIT_NS), stats.wait_ns);
+        assert!(frame
+            .get(LOCKS_WAITS)
+            .is_some_and(|v| !v.is_deterministic()));
+    }
+
+    #[test]
+    fn zero_wait_stats_publish_nothing() {
+        let stats = WaitStats::default();
+        let mut frame = MetricsFrame::new();
+        stats.publish(&mut frame);
+        assert_eq!(frame, MetricsFrame::new());
     }
 
     #[test]

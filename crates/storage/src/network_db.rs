@@ -36,6 +36,11 @@ pub struct RecordId(pub u64);
 /// Owner id used for occurrences of system-owned sets.
 pub const SYSTEM_OWNER: RecordId = RecordId(0);
 
+/// Leading magic of a serialized state image ("DBPCNET1" in LE bytes);
+/// versioned so a future layout change fails loudly instead of decoding
+/// garbage.
+const STATE_MAGIC: u64 = u64::from_le_bytes(*b"DBPCNET1");
+
 /// A stored record occurrence. `values` is parallel to the record type's
 /// full field list; virtual-field slots hold `Null` and are resolved on
 /// read.
@@ -336,6 +341,135 @@ impl NetworkDb {
             }
         }
         h.finish()
+    }
+
+    /// Serialize the full logical state — the exact inputs of
+    /// [`NetworkDb::fingerprint`]: the id allocator, every record, and
+    /// every set's link structure including arrival sequences. Derived
+    /// structures (`by_type`, calc-key indexes) are rebuilt on load. Used
+    /// by the disk layer's snapshot checkpoints; the layout lives here
+    /// because it reads private fields.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        use crate::disk::codec::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.put_u64(STATE_MAGIC);
+        w.put_u64(self.next_id);
+        w.put_u64(self.records.len() as u64);
+        for (id, rec) in &self.records {
+            w.put_u64(*id);
+            w.put_str(&rec.rtype);
+            w.put_u32(rec.values.len() as u32);
+            for v in &rec.values {
+                w.put_value(v);
+            }
+        }
+        w.put_u64(self.sets.len() as u64);
+        for (name, store) in &self.sets {
+            w.put_str(name);
+            w.put_u64(store.next_seq);
+            w.put_u64(store.members.len() as u64);
+            for (owner, occ) in &store.members {
+                w.put_u64(*owner);
+                w.put_u64(occ.len() as u64);
+                for ((key, seq), member) in occ {
+                    w.put_u32(key.0.len() as u32);
+                    for v in &key.0 {
+                        w.put_value(v);
+                    }
+                    w.put_u64(*seq);
+                    w.put_u64(*member);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild a database from [`NetworkDb::state_bytes`] output. The
+    /// schema must be the one the bytes were produced under (set names
+    /// are cross-checked). Every derived structure — `by_type` lists,
+    /// member→owner and member→position indexes — is reconstructed and
+    /// validated with [`NetworkDb::check_access_structures`]; calc-key
+    /// indexes rebuild lazily. The result's `fingerprint()` equals the
+    /// source's by construction.
+    pub fn from_state_bytes(schema: NetworkSchema, bytes: &[u8]) -> DbResult<NetworkDb> {
+        use crate::disk::codec::ByteReader;
+        fn decode<T>(r: Result<T, crate::disk::codec::CodecError>) -> DbResult<T> {
+            r.map_err(|e| DbError::constraint(format!("state image: {e}")))
+        }
+        let mut db = NetworkDb::new(schema)?;
+        let mut r = ByteReader::new(bytes);
+        if decode(r.get_u64("state magic"))? != STATE_MAGIC {
+            return Err(DbError::constraint("state image: bad magic".to_string()));
+        }
+        db.next_id = decode(r.get_u64("next_id"))?;
+        let n_records = decode(r.get_u64("record count"))?;
+        for _ in 0..n_records {
+            let id = decode(r.get_u64("record id"))?;
+            let rtype = decode(r.get_str("record type"))?;
+            let n_values = decode(r.get_u32("value count"))?;
+            let mut values = Vec::with_capacity(n_values as usize);
+            for _ in 0..n_values {
+                values.push(decode(r.get_value("field value"))?);
+            }
+            db.by_type.entry(rtype.clone()).or_default().push(id);
+            db.records.insert(
+                id,
+                StoredRecord {
+                    id: RecordId(id),
+                    rtype,
+                    values,
+                },
+            );
+        }
+        let n_sets = decode(r.get_u64("set count"))?;
+        for _ in 0..n_sets {
+            let name = decode(r.get_str("set name"))?;
+            let next_seq = decode(r.get_u64("set next_seq"))?;
+            let n_owners = decode(r.get_u64("owner count"))?;
+            let store = db.sets.get_mut(&name).ok_or_else(|| {
+                DbError::constraint(format!("state image: set {name} not in schema"))
+            })?;
+            store.next_seq = next_seq;
+            for _ in 0..n_owners {
+                let owner = decode(r.get_u64("owner id"))?;
+                let n_members = decode(r.get_u64("member count"))?;
+                for _ in 0..n_members {
+                    let n_key = decode(r.get_u32("key arity"))?;
+                    let mut key = Vec::with_capacity(n_key as usize);
+                    for _ in 0..n_key {
+                        key.push(decode(r.get_value("key value"))?);
+                    }
+                    let seq = decode(r.get_u64("arrival seq"))?;
+                    let member = decode(r.get_u64("member id"))?;
+                    let ord = (KeyTuple(key), seq);
+                    store
+                        .members
+                        .entry(owner)
+                        .or_default()
+                        .insert(ord.clone(), member);
+                    store.owner_of.insert(member, owner);
+                    store.ord_of.insert(member, ord);
+                }
+            }
+        }
+        if !r.is_empty() {
+            return Err(DbError::constraint(format!(
+                "state image: {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        // `by_type` was filled in BTreeMap (ascending-id) order, which is
+        // creation order; the audit cross-checks everything anyway.
+        db.check_access_structures()
+            .map_err(|e| DbError::constraint(format!("state image: {e}")))?;
+        Ok(db)
+    }
+
+    /// Records with id strictly greater than `after`, ascending. Lets the
+    /// durable-translation journal diff "what did this batch store"
+    /// without holding references across the batch.
+    pub fn records_above(&self, after: RecordId) -> impl Iterator<Item = &StoredRecord> {
+        self.records.range(after.0 + 1..).map(|(_, rec)| rec)
     }
 
     pub fn schema(&self) -> &NetworkSchema {
