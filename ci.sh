@@ -16,8 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # fallback ladder and the panic-safe pool are only as strong as the absence
 # of unwrap/expect beneath them — and since the undo journal, so are the
 # storage engines and executors whose rollback those boundaries trigger.
-# The lock table (dbpc-storage) and the conversion service (dbpc-convert)
-# sit under the same gates: both crates' lib targets are covered below.
+# The lock table (dbpc-storage) and the conversion service with its job
+# journal and crash recovery (dbpc-convert: service.rs + journal.rs) sit
+# under the same gates: both crates' lib targets are covered below.
 # Scoped to the crates' lib targets (tests and benches may unwrap);
 # --no-deps keeps the extra lints from leaking into dependency crates.
 echo "==> cargo clippy (no unwrap/expect in storage + engine + convert + corpus libs)"
@@ -52,6 +53,16 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench service_load
 
 echo "==> bench smoke (durability)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench durability
+
+echo "==> bench smoke (service recovery)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench service_recovery
+
+# The E21 chaos matrix runs inside the workspace test step too, but it is
+# the crash-safety acceptance gate, so it gets a named step: a failure
+# here means a killed service no longer replays to a byte-identical
+# report.
+echo "==> E21 smoke (service crash-replay chaos matrix)"
+cargo test -q --test service_crash
 
 # The obs export path end to end: run the E2 study with DBPC_OBS_JSON set,
 # then validate the exported RunReport with the in-repo schema checker

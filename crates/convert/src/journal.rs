@@ -1,0 +1,488 @@
+//! Durable job journal for the conversion service.
+//!
+//! PR 7's service keeps admitted jobs in worker-queue RAM; PR 8's WAL
+//! substrate persists engine state but not the *work list*. This module
+//! closes that seam: every admitted job and every published result is
+//! journaled through [`dbpc_storage::LogMgr`] so a service restarted over
+//! the same durable root can replay exactly the jobs that were admitted
+//! but not completed — and assemble a shutdown [`RunReport`] byte-identical
+//! (in its deterministic projection) to the uninterrupted run.
+//!
+//! ## Record format
+//!
+//! The journal is one checksummed WAL (`jobs.wal`, `[len][fnv64][payload]`
+//! framing from [`LogMgr`]); each payload is a tag byte plus
+//! [`ByteWriter`]-encoded fields:
+//!
+//! | tag | record | fields |
+//! |-----|--------|--------|
+//! | 1 | `ADMIT` | seq, session, ctx, key, fnv64(text), program text |
+//! | 2 | `DONE`  | seq, observability shard as byte-stable JSON |
+//! | 3 | `SHED`  | seq |
+//!
+//! The program rides as dialect text ([`print_program`], round-trip proven
+//! by `tests/dialect_roundtrip.rs`) with its own fingerprint, so a replayed
+//! job re-parses to the very program that was admitted. A `DONE` payload is
+//! the job's *observability shard* — span capture plus metrics delta
+//! ([`dbpc_obs::report::shard_to_json`]) — which is all the shutdown report
+//! assembly needs; the job outcome itself is deliberately not persisted,
+//! because a replayed job recomputes it as a pure function of
+//! `(context, program, key)` (the service's determinism contract).
+//!
+//! ## Durability schedule
+//!
+//! `ADMIT` is append + fsync — admission is the contract the client can
+//! rely on after a crash. `DONE`/`SHED` are append-only (staged into the
+//! WAL tail, full pages written eagerly) and made durable by the next
+//! [`JobJournal::finalize`] — shutdown, drop, or an explicit flush. A kill
+//! between a result's append and the final flush loses at most the staged
+//! tail of results, and the matching jobs simply replay — idempotent, and
+//! cheaper than an fsync per completion (the `BENCH_durability` fsync
+//! floor, documented in EXPERIMENTS.md §K).
+//!
+//! ## Failure semantics
+//!
+//! The journal *wedges* on the first surfaced disk error (torn write,
+//! short write, failed fsync — injectable via [`DiskFaultPlan`]): every
+//! later operation is a no-op and the error count is reported at shutdown.
+//! A wedged journal never takes the service down — jobs still run and
+//! tickets still resolve; the un-journaled suffix is indistinguishable
+//! from never-admitted work after a restart, which the E21 driver treats
+//! exactly like the unsubmitted tail (resubmission), preserving the
+//! `admitted = completed ∪ replayed` invariant.
+//!
+//! [`RunReport`]: dbpc_obs::RunReport
+
+use dbpc_datamodel::error::{ModelError, PipelineResult};
+use dbpc_dml::host::{parse_program, print_program, Program};
+use dbpc_obs::report::{shard_from_json, shard_to_json};
+use dbpc_obs::{Capture, MetricsFrame};
+use dbpc_storage::disk::codec::{fnv64, ByteReader, ByteWriter};
+use dbpc_storage::disk::{DiskFaultPlan, FileMgr, LogMgr, DEFAULT_PAGE_SIZE};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+const TAG_ADMIT: u8 = 1;
+const TAG_DONE: u8 = 2;
+const TAG_SHED: u8 = 3;
+
+/// The WAL file name under the journal directory.
+const JOURNAL_FILE: &str = "jobs.wal";
+
+/// A journal boundary the crash matrix can kill at. `Staged` events fire
+/// after the record is appended to the in-memory WAL tail (lost by a
+/// kill); `Durable` events fire after the corresponding flush returned
+/// (survives a kill). See `src/bin/service_crash.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    AdmitStaged,
+    AdmitDurable,
+    DoneStaged,
+    ShedStaged,
+    Finalized,
+}
+
+/// Test hook fired at every journal boundary with a process-wide monotone
+/// boundary index. The E21 driver installs one that calls
+/// `std::process::exit` at a chosen index; production configurations leave
+/// it `None`.
+#[derive(Clone)]
+pub struct BoundaryHook(Arc<dyn Fn(JournalEvent, u64) + Send + Sync>);
+
+impl BoundaryHook {
+    pub fn new(f: impl Fn(JournalEvent, u64) + Send + Sync + 'static) -> BoundaryHook {
+        BoundaryHook(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for BoundaryHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoundaryHook(..)")
+    }
+}
+
+/// One admitted-but-incomplete job recovered from the journal: the
+/// service re-enqueues it (original seq and session preserved, so its
+/// capture label — and therefore the assembled span forest — matches the
+/// uninterrupted run byte for byte).
+#[derive(Debug, Clone)]
+pub struct RecoveredJob {
+    pub seq: u64,
+    pub session: u64,
+    pub ctx: usize,
+    pub key: u64,
+    pub program: Program,
+}
+
+/// Everything a recovery scan found, partitioned for the service.
+#[derive(Debug, Default)]
+pub struct JournalScan {
+    /// Admitted, neither completed nor shed — the replay set, seq order.
+    pub pending: Vec<RecoveredJob>,
+    /// Completed jobs' observability shards, seq order.
+    pub results: Vec<(u64, Capture, MetricsFrame)>,
+    /// Seqs that were shed (admission policy or bounded drain).
+    pub shed: Vec<u64>,
+    /// Intact `ADMIT` records found.
+    pub admitted: u64,
+    /// One past the highest journaled seq — the restarted service's next
+    /// admission number, so post-crash submissions continue the sequence.
+    pub next_seq: u64,
+    /// Records whose payload failed to decode (never produced by this
+    /// writer; counted, skipped, reported at shutdown).
+    pub decode_errors: u64,
+}
+
+/// The durable job journal (see module docs). One per service, behind the
+/// service's own mutex; every method is infallible by design — failures
+/// wedge the journal instead of surfacing, per the module contract.
+pub struct JobJournal {
+    log: LogMgr,
+    hook: Option<BoundaryHook>,
+    boundary: u64,
+    errors: u64,
+    wedged: bool,
+}
+
+impl fmt::Debug for JobJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobJournal")
+            .field("boundary", &self.boundary)
+            .field("errors", &self.errors)
+            .field("wedged", &self.wedged)
+            .finish()
+    }
+}
+
+impl JobJournal {
+    /// Open (creating if absent) the journal under `dir`, running the WAL
+    /// recovery scan and partitioning its records. `faults` threads the
+    /// seeded disk-fault plan into the journal's own file manager — the
+    /// E21 torn/short/fsync cells.
+    pub fn open(
+        dir: &Path,
+        faults: Option<DiskFaultPlan>,
+        hook: Option<BoundaryHook>,
+    ) -> PipelineResult<(JobJournal, JournalScan)> {
+        // Quiet: the journal's own disk traffic is crash-safety
+        // bookkeeping, not job work. Letting its `wal.*`/`disk.*`
+        // counters hit the ambient sheet would leak journal activity —
+        // which varies with scheduling, crash position, and wedges —
+        // into per-job shards and break the byte-identity contract.
+        let (log, records) = dbpc_obs::quiet(|| {
+            let fm = FileMgr::new(dir, DEFAULT_PAGE_SIZE)
+                .map_err(journal_err)?
+                .with_faults(faults);
+            LogMgr::open(Arc::new(fm), JOURNAL_FILE).map_err(journal_err)
+        })?;
+
+        let mut admits: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
+        let mut dones: BTreeMap<u64, (Capture, MetricsFrame)> = BTreeMap::new();
+        let mut shed: BTreeSet<u64> = BTreeSet::new();
+        let mut next_seq = 0u64;
+        let mut decode_errors = 0u64;
+        for (_, payload) in &records {
+            match decode(payload) {
+                Ok(Record::Admit(job)) => {
+                    next_seq = next_seq.max(job.seq + 1);
+                    admits.insert(job.seq, job);
+                }
+                Ok(Record::Done(seq, cap, frame)) => {
+                    next_seq = next_seq.max(seq + 1);
+                    // Last-wins: a replayed job's second DONE supersedes.
+                    dones.insert(seq, (cap, frame));
+                }
+                Ok(Record::Shed(seq)) => {
+                    next_seq = next_seq.max(seq + 1);
+                    shed.insert(seq);
+                }
+                Err(_) => decode_errors += 1,
+            }
+        }
+        let admitted = admits.len() as u64;
+        let pending = admits
+            .into_values()
+            .filter(|j| !dones.contains_key(&j.seq) && !shed.contains(&j.seq))
+            .collect();
+        let results = dones
+            .into_iter()
+            .map(|(seq, (cap, frame))| (seq, cap, frame))
+            .collect();
+        Ok((
+            JobJournal {
+                log,
+                hook,
+                boundary: 0,
+                errors: 0,
+                wedged: false,
+            },
+            JournalScan {
+                pending,
+                results,
+                shed: shed.into_iter().collect(),
+                admitted,
+                next_seq,
+                decode_errors,
+            },
+        ))
+    }
+
+    /// Journal one admission, durably (append + fsync): after this
+    /// returns un-wedged, a restart will either find the job's result or
+    /// replay it.
+    pub fn admit(&mut self, seq: u64, session: u64, ctx: usize, key: u64, program: &Program) {
+        let text = print_program(program);
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_ADMIT);
+        w.put_u64(seq);
+        w.put_u64(session);
+        w.put_u64(ctx as u64);
+        w.put_u64(key);
+        w.put_u64(fnv64(text.as_bytes()));
+        w.put_str(&text);
+        self.write(w.into_bytes(), JournalEvent::AdmitStaged, true);
+        self.fire(JournalEvent::AdmitDurable);
+    }
+
+    /// Journal one completed job's observability shard. Append-only: made
+    /// durable by the next [`JobJournal::finalize`] (or a page-boundary
+    /// eager write); a kill before then just means the job replays.
+    pub fn done(&mut self, seq: u64, capture: &Capture, delta: &MetricsFrame) {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_DONE);
+        w.put_u64(seq);
+        w.put_str(&shard_to_json(capture, delta));
+        self.write(w.into_bytes(), JournalEvent::DoneStaged, false);
+    }
+
+    /// Journal one shed seq (admission rejection, eviction, or drain
+    /// expiry) so recovery never replays a job the client was told failed.
+    pub fn shed(&mut self, seq: u64) {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_SHED);
+        w.put_u64(seq);
+        self.write(w.into_bytes(), JournalEvent::ShedStaged, false);
+    }
+
+    /// Flush the staged tail durably (append + fsync). Called by service
+    /// shutdown *and* by `Drop` — a service dropped without `shutdown`
+    /// must not lose completed results that were only staged.
+    pub fn finalize(&mut self) {
+        if self.wedged {
+            return;
+        }
+        if dbpc_obs::quiet(|| self.log.flush()).is_err() {
+            self.wedge();
+            return;
+        }
+        self.fire(JournalEvent::Finalized);
+    }
+
+    /// Disk errors surfaced so far (the journal wedges on the first).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Has a disk error wedged the journal?
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+
+    fn write(&mut self, payload: Vec<u8>, staged: JournalEvent, sync: bool) {
+        if self.wedged {
+            return;
+        }
+        if dbpc_obs::quiet(|| self.log.append(&payload)).is_err() {
+            self.wedge();
+            return;
+        }
+        self.fire(staged);
+        if sync && dbpc_obs::quiet(|| self.log.flush()).is_err() {
+            self.wedge();
+        }
+    }
+
+    fn wedge(&mut self) {
+        self.errors += 1;
+        self.wedged = true;
+    }
+
+    fn fire(&mut self, event: JournalEvent) {
+        if self.wedged {
+            return;
+        }
+        let index = self.boundary;
+        self.boundary += 1;
+        if let Some(hook) = &self.hook {
+            (hook.0)(event, index);
+        }
+    }
+}
+
+enum Record {
+    Admit(RecoveredJob),
+    Done(u64, Capture, MetricsFrame),
+    Shed(u64),
+}
+
+fn decode(payload: &[u8]) -> Result<Record, String> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.get_u8("journal tag").map_err(|e| e.to_string())?;
+    match tag {
+        TAG_ADMIT => {
+            let seq = r.get_u64("admit seq").map_err(|e| e.to_string())?;
+            let session = r.get_u64("admit session").map_err(|e| e.to_string())?;
+            let ctx = r.get_u64("admit ctx").map_err(|e| e.to_string())? as usize;
+            let key = r.get_u64("admit key").map_err(|e| e.to_string())?;
+            let text_fp = r.get_u64("admit text fp").map_err(|e| e.to_string())?;
+            let text = r.get_str("admit program").map_err(|e| e.to_string())?;
+            if fnv64(text.as_bytes()) != text_fp {
+                return Err("admit program fingerprint mismatch".to_string());
+            }
+            let program =
+                parse_program(&text).map_err(|e| format!("admit program re-parse: {e}"))?;
+            Ok(Record::Admit(RecoveredJob {
+                seq,
+                session,
+                ctx,
+                key,
+                program,
+            }))
+        }
+        TAG_DONE => {
+            let seq = r.get_u64("done seq").map_err(|e| e.to_string())?;
+            let json = r.get_str("done shard").map_err(|e| e.to_string())?;
+            let (cap, frame) = shard_from_json(&json)?;
+            Ok(Record::Done(seq, cap, frame))
+        }
+        TAG_SHED => {
+            let seq = r.get_u64("shed seq").map_err(|e| e.to_string())?;
+            Ok(Record::Shed(seq))
+        }
+        other => Err(format!("unknown journal tag {other}")),
+    }
+}
+
+fn journal_err(e: dbpc_storage::disk::DiskError) -> dbpc_datamodel::error::PipelineError {
+    ModelError::invalid(format!("job journal: {e}")).into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpc_obs::metrics::MetricValue;
+    use dbpc_storage::disk::{DiskFault, TempDir};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn program() -> Program {
+        dbpc_dml::host::parse_program(
+            "PROGRAM J;
+  FIND E := FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30));
+  FOR EACH R IN E DO
+    PRINT R.EMP-NAME;
+  END FOR;
+END PROGRAM;",
+        )
+        .unwrap()
+    }
+
+    fn shard() -> (Capture, MetricsFrame) {
+        let ((), cap) = dbpc_obs::capture("session0.job1", || {
+            dbpc_obs::event("unit");
+        });
+        let mut frame = MetricsFrame::new();
+        frame.set("service.jobs", MetricValue::Counter(1));
+        (cap, frame)
+    }
+
+    #[test]
+    fn admit_done_shed_round_trip_across_reopen() {
+        let dir = TempDir::new("journal-roundtrip").unwrap();
+        let (mut j, scan) = JobJournal::open(dir.path(), None, None).unwrap();
+        assert_eq!(scan.admitted, 0);
+        assert_eq!(scan.next_seq, 0);
+        let p = program();
+        j.admit(0, 0, 0, 7, &p);
+        j.admit(1, 0, 0, 8, &p);
+        j.admit(2, 1, 0, 9, &p);
+        let (cap, frame) = shard();
+        j.done(0, &cap, &frame);
+        j.shed(2);
+        j.finalize();
+        drop(j);
+
+        let (_, scan) = JobJournal::open(dir.path(), None, None).unwrap();
+        assert_eq!(scan.admitted, 3);
+        assert_eq!(scan.next_seq, 3);
+        assert_eq!(scan.shed, vec![2]);
+        assert_eq!(scan.decode_errors, 0);
+        // Exactly job 1 is pending: 0 completed, 2 shed.
+        assert_eq!(scan.pending.len(), 1);
+        let pending = &scan.pending[0];
+        assert_eq!((pending.seq, pending.session, pending.key), (1, 0, 8));
+        assert_eq!(pending.program, p);
+        // The completed shard round-trips byte-identically.
+        assert_eq!(scan.results.len(), 1);
+        let (seq, cap2, frame2) = &scan.results[0];
+        assert_eq!(*seq, 0);
+        assert_eq!(cap2, &cap);
+        assert_eq!(frame2, &frame);
+    }
+
+    #[test]
+    fn staged_done_is_lost_without_finalize_but_admit_survives() {
+        let dir = TempDir::new("journal-staged").unwrap();
+        let (mut j, _) = JobJournal::open(dir.path(), None, None).unwrap();
+        j.admit(0, 0, 0, 1, &program());
+        let (cap, frame) = shard();
+        j.done(0, &cap, &frame);
+        drop(j); // kill: no finalize
+
+        let (_, scan) = JobJournal::open(dir.path(), None, None).unwrap();
+        // The fsync'd admit survived; the staged-only done did not — the
+        // job replays, which is the idempotent-recovery contract.
+        assert_eq!(scan.admitted, 1);
+        assert_eq!(scan.results.len(), 0);
+        assert_eq!(scan.pending.len(), 1);
+    }
+
+    #[test]
+    fn disk_fault_wedges_instead_of_erroring() {
+        let dir = TempDir::new("journal-wedge").unwrap();
+        // FsyncFail is inert on read/write ops, so targeting the first
+        // few indices hits exactly the admit's fsync wherever it lands.
+        let plan = (0..8).fold(DiskFaultPlan::default(), |p, i| {
+            p.with_fault_at(i, DiskFault::FsyncFail)
+        });
+        let (mut j, _) = JobJournal::open(dir.path(), Some(plan), None).unwrap();
+        assert!(!j.wedged());
+        j.admit(0, 0, 0, 1, &program());
+        assert!(j.wedged(), "failed fsync must wedge the journal");
+        assert_eq!(j.errors(), 1);
+        // Wedged journal: every later op is a silent no-op.
+        let (cap, frame) = shard();
+        j.done(0, &cap, &frame);
+        j.shed(1);
+        j.finalize();
+        assert_eq!(j.errors(), 1);
+    }
+
+    #[test]
+    fn boundary_hook_sees_monotone_indices() {
+        let dir = TempDir::new("journal-hook").unwrap();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let hook = BoundaryHook::new(move |_, index| {
+            assert_eq!(index, seen2.fetch_add(1, Ordering::SeqCst));
+        });
+        let (mut j, _) = JobJournal::open(dir.path(), None, Some(hook)).unwrap();
+        j.admit(0, 0, 0, 1, &program());
+        let (cap, frame) = shard();
+        j.done(0, &cap, &frame);
+        j.finalize();
+        // admit staged + admit durable + done staged + finalized
+        assert_eq!(seen.load(Ordering::SeqCst), 4);
+    }
+}

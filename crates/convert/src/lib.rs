@@ -46,10 +46,14 @@
 //!   jobs against shared, concurrency-managed engine contexts through a
 //!   bounded admission queue; update-free verifications overlap under
 //!   shared locks while mutating ones serialize per record type.
+//! * [`journal`] — the durable job journal backing the service's
+//!   crash-safety contract: admitted jobs and published results ride a
+//!   checksummed WAL, and a restart replays exactly the incomplete set.
 
 pub mod dli_rules;
 pub mod equivalence;
 pub mod generator;
+pub mod journal;
 pub mod mapping;
 pub mod optimizer;
 pub mod report;
@@ -57,9 +61,11 @@ pub mod rules;
 pub mod service;
 pub mod supervisor;
 
+pub use journal::{BoundaryHook, JobJournal, JournalEvent, JournalScan, RecoveredJob};
 pub use report::{Analyst, Answer, AutoAnalyst, ConversionReport, Question, Verdict, Warning};
 pub use service::{
-    ConversionService, CtxId, JobOutcome, ServiceBuilder, ServiceConfig, Session, Ticket,
+    AdmissionPolicy, BreakerConfig, ConversionService, CtxId, JobOutcome, RecoveryStats,
+    RetryPolicy, ServiceBuilder, ServiceConfig, Session, Ticket,
 };
 pub use supervisor::fault::{FaultKind, FaultPlan};
 pub use supervisor::ladder::{run_ladder, LadderConfig, LadderOutcome, Rung, RungFailure, LADDER};

@@ -90,38 +90,13 @@ impl RunReport {
 
     /// Serialize to compact, byte-stable JSON.
     pub fn to_json(&self) -> String {
-        let mut metrics = Vec::new();
-        for (name, v) in self.metrics.iter() {
-            let mut m = vec![
-                ("name".to_string(), Json::Str(name.to_string())),
-                ("kind".to_string(), Json::Str(v.kind().to_string())),
-            ];
-            match v {
-                MetricValue::Counter(n) | MetricValue::Racy(n) | MetricValue::Time(n) => {
-                    m.push(("value".to_string(), Json::Int(*n as i64)));
-                }
-                MetricValue::Gauge(g) => m.push(("value".to_string(), Json::Int(*g))),
-                MetricValue::Hist(h) => {
-                    m.push((
-                        "value".to_string(),
-                        Json::Obj(vec![
-                            ("count".to_string(), Json::Int(h.count as i64)),
-                            ("sum".to_string(), Json::Int(h.sum as i64)),
-                            ("min".to_string(), Json::Int(h.min as i64)),
-                            ("max".to_string(), Json::Int(h.max as i64)),
-                        ]),
-                    ));
-                }
-            }
-            metrics.push(Json::Obj(m));
-        }
         let doc = Json::Obj(vec![
             ("label".to_string(), Json::Str(self.label.clone())),
             (
                 "spans".to_string(),
                 Json::Arr(self.spans.iter().map(span_to_json).collect()),
             ),
-            ("metrics".to_string(), Json::Arr(metrics)),
+            ("metrics".to_string(), metrics_to_json(&self.metrics)),
         ]);
         doc.to_string()
     }
@@ -141,42 +116,109 @@ impl RunReport {
             .iter()
             .map(span_from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        let mut metrics = MetricsFrame::new();
-        for m in doc
-            .get("metrics")
-            .and_then(Json::as_arr)
-            .ok_or("missing array field `metrics`")?
-        {
-            let name = m
-                .get("name")
-                .and_then(Json::as_str)
-                .ok_or("metric missing `name`")?;
-            let kind = m
-                .get("kind")
-                .and_then(Json::as_str)
-                .ok_or("metric missing `kind`")?;
-            let value = m.get("value").ok_or("metric missing `value`")?;
-            let mv = match kind {
-                "counter" => MetricValue::Counter(int_field(value)? as u64),
-                "racy" => MetricValue::Racy(int_field(value)? as u64),
-                "time" => MetricValue::Time(int_field(value)? as u64),
-                "gauge" => MetricValue::Gauge(int_field(value)?),
-                "hist" => MetricValue::Hist(Hist {
-                    count: obj_int(value, "count")? as u64,
-                    sum: obj_int(value, "sum")? as u64,
-                    min: obj_int(value, "min")? as u64,
-                    max: obj_int(value, "max")? as u64,
-                }),
-                other => return Err(format!("unknown metric kind {other:?}")),
-            };
-            metrics.set(name, mv);
-        }
+        let metrics =
+            metrics_from_json(doc.get("metrics").ok_or("missing array field `metrics`")?)?;
         Ok(RunReport {
             label,
             spans,
             metrics,
         })
     }
+}
+
+/// Serialize one observability shard — a [`Capture`] plus the metrics
+/// delta frame recorded alongside it — to compact, byte-stable JSON.
+/// This is the durable-journal wire form for a single job's observed
+/// work: the service journals each completed job's shard so a recovered
+/// process can assemble the same [`RunReport`] without re-executing.
+pub fn shard_to_json(capture: &Capture, frame: &MetricsFrame) -> String {
+    Json::Obj(vec![
+        ("ticks".to_string(), Json::Int(capture.ticks as i64)),
+        (
+            "spans".to_string(),
+            Json::Arr(capture.spans.iter().map(span_to_json).collect()),
+        ),
+        ("metrics".to_string(), metrics_to_json(frame)),
+    ])
+    .to_string()
+}
+
+/// Parse a shard previously produced by [`shard_to_json`]. Inverts it
+/// exactly: `shard_to_json(&cap, &frame)` round-trips byte-identically.
+pub fn shard_from_json(text: &str) -> Result<(Capture, MetricsFrame), String> {
+    let doc = json::parse(text)?;
+    let ticks = doc
+        .get("ticks")
+        .and_then(Json::as_int)
+        .ok_or("shard missing integer `ticks`")? as u64;
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("shard missing array `spans`")?
+        .iter()
+        .map(span_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let metrics = metrics_from_json(doc.get("metrics").ok_or("shard missing `metrics`")?)?;
+    Ok((Capture { spans, ticks }, metrics))
+}
+
+fn metrics_to_json(frame: &MetricsFrame) -> Json {
+    let mut metrics = Vec::new();
+    for (name, v) in frame.iter() {
+        let mut m = vec![
+            ("name".to_string(), Json::Str(name.to_string())),
+            ("kind".to_string(), Json::Str(v.kind().to_string())),
+        ];
+        match v {
+            MetricValue::Counter(n) | MetricValue::Racy(n) | MetricValue::Time(n) => {
+                m.push(("value".to_string(), Json::Int(*n as i64)));
+            }
+            MetricValue::Gauge(g) => m.push(("value".to_string(), Json::Int(*g))),
+            MetricValue::Hist(h) => {
+                m.push((
+                    "value".to_string(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::Int(h.count as i64)),
+                        ("sum".to_string(), Json::Int(h.sum as i64)),
+                        ("min".to_string(), Json::Int(h.min as i64)),
+                        ("max".to_string(), Json::Int(h.max as i64)),
+                    ]),
+                ));
+            }
+        }
+        metrics.push(Json::Obj(m));
+    }
+    Json::Arr(metrics)
+}
+
+fn metrics_from_json(v: &Json) -> Result<MetricsFrame, String> {
+    let mut metrics = MetricsFrame::new();
+    for m in v.as_arr().ok_or("`metrics` must be an array")? {
+        let name = m
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("metric missing `name`")?;
+        let kind = m
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("metric missing `kind`")?;
+        let value = m.get("value").ok_or("metric missing `value`")?;
+        let mv = match kind {
+            "counter" => MetricValue::Counter(int_field(value)? as u64),
+            "racy" => MetricValue::Racy(int_field(value)? as u64),
+            "time" => MetricValue::Time(int_field(value)? as u64),
+            "gauge" => MetricValue::Gauge(int_field(value)?),
+            "hist" => MetricValue::Hist(Hist {
+                count: obj_int(value, "count")? as u64,
+                sum: obj_int(value, "sum")? as u64,
+                min: obj_int(value, "min")? as u64,
+                max: obj_int(value, "max")? as u64,
+            }),
+            other => return Err(format!("unknown metric kind {other:?}")),
+        };
+        metrics.set(name, mv);
+    }
+    Ok(metrics)
 }
 
 fn int_field(v: &Json) -> Result<i64, String> {
@@ -350,6 +392,25 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.to_json(), text);
         validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn shard_json_round_trips_exactly() {
+        let ((), cap) = capture("job", || {
+            crate::span::span_with("stage.converter", &[("key", "7")], || {
+                crate::span::event("rewrite");
+            });
+        });
+        let mut frame = MetricsFrame::new();
+        frame.set("jobs.converted", MetricValue::Counter(1));
+        frame.set("locks.waits", MetricValue::Racy(2));
+        frame.set("host.threads", MetricValue::Gauge(4));
+        let text = shard_to_json(&cap, &frame);
+        let (cap2, frame2) = shard_from_json(&text).unwrap();
+        assert_eq!(cap2, cap);
+        assert_eq!(frame2, frame);
+        assert_eq!(shard_to_json(&cap2, &frame2), text);
+        assert!(shard_from_json("{}").is_err());
     }
 
     #[test]

@@ -410,6 +410,7 @@ impl Drop for ConcurrencyMgr<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::thread;
@@ -619,5 +620,81 @@ mod tests {
         mgr.x_lock(&r, LONG).unwrap();
         drop(mgr); // release-on-drop
         assert_eq!(table.held_resources(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The classic upgrade deadlock, model-checked: N sessions all
+        /// hold the same shared lock (plus a random spread of extra
+        /// shared resources) and race to upgrade it. Unbounded waits
+        /// would deadlock — every upgrader waits for the *other*
+        /// readers to drain — so the bounded-wait table must instead
+        /// resolve every race within its timeout: every thread
+        /// finishes, upgraded critical sections never overlap, a
+        /// timed-out session's `release_all` lets a rival drain and
+        /// win, and once everyone exits the table is empty and still
+        /// serviceable.
+        #[test]
+        fn concurrent_upgrade_races_resolve_within_their_timeouts(
+            threads in 2usize..5,
+            timeouts in prop::collection::vec(5u64..40, 4usize),
+            extras in 0u32..3,
+        ) {
+            let table = Arc::new(LockTable::new());
+            let barrier = Arc::new(std::sync::Barrier::new(threads));
+            let writers = Arc::new(AtomicUsize::new(0));
+            let winners = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let table = Arc::clone(&table);
+                    let barrier = Arc::clone(&barrier);
+                    let writers = Arc::clone(&writers);
+                    let winners = Arc::clone(&winners);
+                    let timeout = Duration::from_millis(timeouts[i % timeouts.len()]);
+                    thread::spawn(move || {
+                        let mut mgr = ConcurrencyMgr::new(&table);
+                        let mut set = BTreeMap::new();
+                        set.insert(emp(0), LockKind::Shared);
+                        for e in 0..extras {
+                            set.insert(
+                                LockRes::record_type(1 + e, "DEPT"),
+                                LockKind::Shared,
+                            );
+                        }
+                        mgr.acquire(&set, LONG).unwrap();
+                        barrier.wait();
+                        match mgr.x_lock(&emp(0), timeout) {
+                            Ok(()) => {
+                                assert_eq!(
+                                    writers.fetch_add(1, Ordering::SeqCst),
+                                    0,
+                                    "two sessions inside an upgraded section"
+                                );
+                                thread::sleep(Duration::from_millis(1));
+                                writers.fetch_sub(1, Ordering::SeqCst);
+                                winners.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(LockError::Timeout { .. }) => {
+                                // The service's ladder discipline: a
+                                // timeout releases the whole lock set so
+                                // a rival's upgrade can drain.
+                                mgr.release_all();
+                                assert!(mgr.held().is_empty());
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("upgrade race must not deadlock or panic");
+            }
+            prop_assert_eq!(table.held_resources(), 0);
+            // Still serviceable: a fresh exclusive acquires instantly.
+            table.x_lock(&emp(0), SHORT).unwrap();
+            table.unlock(&emp(0), LockKind::Exclusive);
+            prop_assert_eq!(table.held_resources(), 0);
+            prop_assert!(winners.load(Ordering::SeqCst) <= threads);
+        }
     }
 }

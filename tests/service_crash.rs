@@ -1,0 +1,241 @@
+//! Experiment E21: crash-safe conversion service — the chaos matrix.
+//!
+//! E20 proved the storage substrate recovers across processes; this
+//! matrix proves the *service* does. A child process
+//! (`src/bin/service_crash.rs`) drives a fixed 8-job workload through a
+//! durable [`ConversionService`] and is killed for real —
+//! `std::process::exit(9)` fired from inside the job journal's boundary
+//! hook, no unwinding, no `Drop` — at **every** journal boundary a
+//! clean run crosses, at 1, 2, and 8 workers. A fresh process then
+//! reopens the same root, resubmits exactly the admissions the journal
+//! lost (always a suffix: the submitter is single-threaded and admits
+//! are fsynced), and must assemble a deterministic report whose
+//! fingerprint is byte-identical to an uninterrupted run's.
+//!
+//! The kill sweep is then crossed with the deterministic disk-fault
+//! injector aimed at the journal's own file manager (torn writes, short
+//! writes, failed fsyncs): a faulted journal *wedges* — the service
+//! stays available, later jobs simply lose durability — so those cells
+//! may finish without ever reaching the kill boundary (exit 0), and
+//! recovery must still converge on the clean fingerprint. A final cell
+//! family layers seeded transient verification faults (the
+//! deterministic stand-in for lock-timeout retries — both exercise the
+//! same release-locks-and-retry path) on top of the kill sweep.
+//!
+//! Invariants asserted per cell, in the notation of the issue:
+//! **admitted = completed ∪ replayed** (`admitted == results + replayed`
+//! from the recovery accounting, with the resubmitted suffix covering
+//! the rest of the workload) and the recovered deterministic report
+//! fingerprint equals the clean run's at every worker count.
+
+use dbpc::storage::{pool, TempDir};
+use std::path::Path;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_service_crash");
+const EXIT_KILLED: i32 = 9;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {BIN} {args:?}: {e}"))
+}
+
+/// Parse a report line of whitespace-separated fields, the first hex
+/// (the deterministic fingerprint), the rest decimal.
+fn parse_line(line: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (i, field) in line.split_whitespace().enumerate() {
+        let radix = if i == 0 { 16 } else { 10 };
+        out.push(
+            u64::from_str_radix(field, radix)
+                .unwrap_or_else(|e| panic!("bad report line {line:?}: {e}")),
+        );
+    }
+    out
+}
+
+/// Run the harness expecting a clean exit; parse its report line.
+fn run_ok(args: &[&str]) -> Vec<u64> {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "{args:?} failed ({:?}): {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    parse_line(&String::from_utf8_lossy(&out.stdout))
+}
+
+/// Run the harness expecting the deliberate kill.
+fn run_dies(args: &[&str]) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_KILLED),
+        "{args:?} exited {:?}, wanted {EXIT_KILLED}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+/// One uninterrupted run: `(fingerprint, boundaries, jobs)`.
+fn clean(workers: usize, cell: &str, tag: &str) -> (u64, u64, u64) {
+    let dir = TempDir::new(&format!("e21-clean-{tag}-{workers}")).unwrap();
+    let r = run_ok(&["clean", path_str(dir.path()), &workers.to_string(), cell]);
+    (r[0], r[1], r[2])
+}
+
+/// Kill at `boundary` under `cell`, then recover fault-free (positional
+/// journal-disk faults would re-fire on replay I/O) unless the cell is a
+/// pipeline fault, which is part of the workload's semantics and must be
+/// present in the recovery run too. Asserts the recovery accounting
+/// invariant and returns the recovered fingerprint.
+fn kill_and_recover(workers: usize, boundary: u64, cell: &str, tag: &str) -> u64 {
+    let dir = TempDir::new(&format!("e21-{tag}-{workers}-{boundary}")).unwrap();
+    let root = path_str(dir.path());
+    let w = workers.to_string();
+    let b = boundary.to_string();
+    let kill_args = ["kill", root, &w, &b, cell];
+    if cell.contains(':') {
+        // Disk-fault cells: the journal may wedge before the kill
+        // boundary ever fires, in which case the run completes (the
+        // service stays available on a wedged journal by design).
+        let out = run(&kill_args);
+        match out.status.code() {
+            Some(0) | Some(EXIT_KILLED) => {}
+            code => panic!(
+                "{kill_args:?} exited {code:?}, wanted 0 or {EXIT_KILLED}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        }
+    } else {
+        run_dies(&kill_args);
+    }
+    let recover_cell = if cell.contains(':') { "none" } else { cell };
+    let r = run_ok(&["recover", root, &w, recover_cell]);
+    let (fp, admitted, results, replayed, resubmitted) = (r[0], r[1], r[2], r[3], r[4]);
+    assert_eq!(
+        admitted,
+        results + replayed,
+        "{tag} w={workers} b={boundary}: journaled admissions must partition \
+         into recovered results and replayed jobs"
+    );
+    assert_eq!(
+        admitted + resubmitted,
+        8,
+        "{tag} w={workers} b={boundary}: lost admissions must be exactly the \
+         workload suffix"
+    );
+    fp
+}
+
+/// Kill the service at every journal boundary an uninterrupted run
+/// crosses, at every worker count; recovery must land on the clean
+/// fingerprint every time — and the clean fingerprint itself must not
+/// move across worker counts.
+#[test]
+fn killed_at_every_journal_boundary_recovers_byte_identical_report() {
+    let (clean_fp, boundaries, jobs) = clean(1, "none", "ref");
+    assert_eq!(jobs, 8, "clean run must complete the whole workload");
+    assert!(
+        boundaries > 16,
+        "8 admits (2 events each) + 8 dones + finalize should cross >16 \
+         boundaries, saw {boundaries}"
+    );
+    for workers in WORKER_COUNTS {
+        let (fp, b, j) = clean(workers, "none", "ref");
+        assert_eq!(
+            (fp, b, j),
+            (clean_fp, boundaries, jobs),
+            "clean run drifted at {workers} workers"
+        );
+    }
+    let cells: Vec<(usize, u64)> = WORKER_COUNTS
+        .iter()
+        .flat_map(|&w| (0..boundaries).map(move |b| (w, b)))
+        .collect();
+    let fps = pool::parallel_map(&cells, 8, |_, &(workers, boundary)| {
+        kill_and_recover(workers, boundary, "none", "kill")
+    });
+    for ((workers, boundary), fp) in cells.iter().zip(fps) {
+        assert_eq!(
+            fp, clean_fp,
+            "recovered report drifted: kill at boundary {boundary}, {workers} workers"
+        );
+    }
+}
+
+/// Cross the kill sweep with journal-disk faults: whether the injected
+/// torn/short/fsync fault wedges the journal before the kill fires or
+/// the kill lands first, a fresh process must still recover to the clean
+/// fingerprint. Wedging trades durability (more resubmission) for
+/// availability — never correctness.
+#[test]
+fn journal_disk_faults_wedge_without_breaking_recovery() {
+    let (clean_fp, boundaries, _) = clean(2, "none", "fault-ref");
+    let mut cells: Vec<(usize, String, u64)> = Vec::new();
+    for kind in ["torn", "short", "fsync"] {
+        for at in (0..24).step_by(3) {
+            // Sweep the kill position alongside the fault position so
+            // wedge-before-kill and kill-before-wedge both occur.
+            let boundary = (at * 7 + 3) % boundaries;
+            cells.push((2, format!("{kind}:{at}"), boundary));
+        }
+    }
+    for &workers in &[1usize, 8] {
+        cells.push((workers, "torn:2".into(), 5));
+        cells.push((workers, "short:5".into(), 9));
+        cells.push((workers, "fsync:4".into(), 13));
+    }
+    let fps = pool::parallel_map(&cells, 8, |_, (workers, cell, boundary)| {
+        kill_and_recover(*workers, *boundary, cell, "fault")
+    });
+    for ((workers, cell, boundary), fp) in cells.iter().zip(fps) {
+        assert_eq!(
+            fp, clean_fp,
+            "recovered report drifted: cell {cell}, kill at {boundary}, \
+             {workers} workers"
+        );
+    }
+}
+
+/// Layer seeded transient verification faults (the deterministic
+/// lock-timeout stand-in: same release-locks-and-retry path, same
+/// deterministic backoff schedule) over the kill sweep. The pipe cell
+/// has its own clean fingerprint — retried and demoted jobs are part of
+/// its deterministic outcome — which must also be worker-count
+/// invariant and crash invariant.
+#[test]
+fn pipeline_faults_and_retries_survive_crash_recovery() {
+    let (pipe_fp, boundaries, jobs) = clean(1, "pipe", "pipe-ref");
+    assert_eq!(jobs, 8);
+    let (none_fp, ..) = clean(1, "none", "pipe-ref");
+    assert_ne!(
+        pipe_fp, none_fp,
+        "seeded verification faults should change some job outcomes"
+    );
+    for workers in WORKER_COUNTS {
+        let (fp, ..) = clean(workers, "pipe", "pipe-ref");
+        assert_eq!(fp, pipe_fp, "pipe cell drifted at {workers} workers");
+    }
+    let cells: Vec<(usize, u64)> = WORKER_COUNTS
+        .iter()
+        .flat_map(|&w| (0..boundaries).step_by(4).map(move |b| (w, b)))
+        .collect();
+    let fps = pool::parallel_map(&cells, 8, |_, &(workers, boundary)| {
+        kill_and_recover(workers, boundary, "pipe", "pipe")
+    });
+    for ((workers, boundary), fp) in cells.iter().zip(fps) {
+        assert_eq!(
+            fp, pipe_fp,
+            "pipe recovery drifted: kill at boundary {boundary}, {workers} workers"
+        );
+    }
+}

@@ -11,7 +11,9 @@
 
 use dbpc::convert::equivalence::EquivalenceLevel;
 use dbpc::convert::report::Verdict;
-use dbpc::convert::service::{CtxId, JobOutcome, ServiceBuilder, ServiceConfig, Ticket};
+use dbpc::convert::service::{
+    CtxId, JobOutcome, RetryPolicy, ServiceBuilder, ServiceConfig, Ticket,
+};
 use dbpc::convert::{FaultPlan, Supervisor};
 use dbpc::corpus::gen::{generate_program, ProgramClass, TransformClass};
 use dbpc::corpus::named;
@@ -266,7 +268,10 @@ fn pathological_timeout_budget_degrades_but_completes() {
     let config = ServiceConfig {
         workers: 1,
         lock_timeout: Duration::from_millis(0),
-        lock_retries: 0,
+        retry: RetryPolicy {
+            retries: 0,
+            ..RetryPolicy::default()
+        },
         ..ServiceConfig::default()
     };
     let jobs = mixed_jobs(8, 555);
