@@ -57,6 +57,9 @@ DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench durability
 echo "==> bench smoke (service recovery)"
 DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench service_recovery
 
+echo "==> bench smoke (E22 out-of-core scale)"
+DBPC_BENCH_SMOKE=1 cargo bench -p dbpc-bench --bench scale
+
 # The E21 chaos matrix runs inside the workspace test step too, but it is
 # the crash-safety acceptance gate, so it gets a named step: a failure
 # here means a killed service no longer replays to a byte-identical

@@ -139,6 +139,18 @@ pub const SERVICE_RESULTS_RECOVERED: &str = "service.results_recovered";
 /// Racy shutdown stat: journal disk/decode errors (the journal wedges on
 /// the first disk error; the service stays available).
 pub const SERVICE_JOURNAL_ERRORS: &str = "service.journal_errors";
+/// Racy shutdown stat (heap-backed contexts only): heap pages across every
+/// context engine that lives out of core. Whether a context is heap-backed
+/// depends on the recovery path taken (a recovered durable target is paged,
+/// a freshly translated one is in RAM), so like the other crash-dependent
+/// stats these ride as `Racy` — visible in the full shutdown report,
+/// excluded from deterministic projections.
+pub const SERVICE_HEAP_PAGES: &str = "heap.pages";
+/// Racy shutdown stat: live records across heap-backed context engines.
+pub const SERVICE_HEAP_RECORDS: &str = "heap.records";
+/// Racy shutdown stat: pages-weighted fill factor (percent) across
+/// heap-backed context engines.
+pub const SERVICE_HEAP_FILL_PCT: &str = "heap.fill_pct";
 
 /// Recover a mutex guard from poisoning. Every service critical section is
 /// a plain container operation (queue push/pop, pool checkout, memo
@@ -402,6 +414,11 @@ impl EnginePool {
     fn checkout(&self) -> NetworkDb {
         let mut st = lock(&self.inner);
         st.spares.pop().unwrap_or_else(|| st.base.clone())
+    }
+
+    /// Heap statistics of the pool's base engine (`None` in-memory).
+    fn heap_stats(&self) -> Option<dbpc_storage::disk::HeapStats> {
+        lock(&self.inner).base.heap_stats()
     }
 
     fn checkin(&self, db: NetworkDb) {
@@ -1133,6 +1150,27 @@ fn assemble(inner: &ServiceInner) -> RunReport {
             SERVICE_CONTEXTS_RECOVERED,
             MetricValue::Racy(inner.contexts_recovered),
         );
+    }
+    // Physical footprint of out-of-core context engines, summed across
+    // every heap-backed pool. Zero-suppressed: all-in-RAM runs keep their
+    // report bytes, and heap-backed presence is recovery-path-dependent
+    // (hence Racy, like the other crash-dependent stats above).
+    let heap = inner
+        .contexts
+        .iter()
+        .flat_map(|ctx| [ctx.source.heap_stats(), ctx.target.heap_stats()])
+        .flatten()
+        .fold((0u64, 0u64, 0u64), |(pages, records, fill_x_pages), st| {
+            (
+                pages + st.pages,
+                records + st.records,
+                fill_x_pages + st.fill_pct * st.pages,
+            )
+        });
+    if heap.0 > 0 {
+        stats.set(SERVICE_HEAP_PAGES, MetricValue::Racy(heap.0));
+        stats.set(SERVICE_HEAP_RECORDS, MetricValue::Racy(heap.1));
+        stats.set(SERVICE_HEAP_FILL_PCT, MetricValue::Racy(heap.2 / heap.0));
     }
     registry.absorb(&stats);
     registry.set_gauge(SERVICE_WORKERS, inner.config.resolved_workers() as i64);

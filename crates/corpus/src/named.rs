@@ -71,6 +71,20 @@ const DEPT_NAMES: &[&str] = &[
 pub fn company_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -> NetworkDb {
     let mut db = NetworkDb::new(company_schema())
         .unwrap_or_else(|e| panic!("company schema must be valid: {e}"));
+    fill_company_db(&mut db, divisions, depts_per_div, emps_per_div);
+    db
+}
+
+/// Store the deterministic company corpus into `db`, which must be an
+/// empty database over [`company_schema`] — in-memory or **paged**; the
+/// E22 scale bench streams million-record corpora through this into a
+/// heap-backed engine whose pool is far smaller than the data.
+pub fn fill_company_db(
+    db: &mut NetworkDb,
+    divisions: usize,
+    depts_per_div: usize,
+    emps_per_div: usize,
+) {
     let mut emp_no = 0usize;
     for d in 0..divisions {
         let div = db
@@ -98,7 +112,6 @@ pub fn company_db(divisions: usize, depts_per_div: usize, emps_per_div: usize) -
             emp_no += 1;
         }
     }
-    db
 }
 
 // ---------------------------------------------------------------------------

@@ -173,7 +173,10 @@ pub(crate) fn translate_journaled(
         // Schema unchanged: the §5.2 information-losing subset starts from
         // a clone and erases, rather than rebuilding.
         Transform::DeleteWhere { .. } => db.clone(),
-        _ => NetworkDb::new(target_schema.clone())?,
+        // `fresh_like` keeps the target on the source's backend: a paged
+        // (out-of-core) source translates into a paged target, so the
+        // translation's footprint stays bounded by the two buffer pools.
+        _ => db.fresh_like(target_schema.clone())?,
     };
     crate::stats::count_schema_clone();
     let mut st = RunState {

@@ -242,10 +242,7 @@ fn erase_extent(db: &NetworkDb, transform: &Transform) -> u64 {
 }
 
 fn max_id(out: &NetworkDb) -> u64 {
-    out.records_above(RecordId(0))
-        .map(|r| r.id.0)
-        .last()
-        .unwrap_or(0)
+    out.max_record_id().map(|r| r.0).unwrap_or(0)
 }
 
 /// The journaling side: one appended + flushed record per batch boundary.
@@ -270,7 +267,7 @@ impl WalJournal {
         idmap: &BTreeMap<RecordId, RecordId>,
         group_map: &BTreeMap<(RecordId, KeyTuple), RecordId>,
     ) -> DbResult<()> {
-        let stores: Vec<&StoredRecord> = out.records_above(RecordId(self.last_max)).collect();
+        let stores: Vec<StoredRecord> = out.records_above(RecordId(self.last_max));
         let mut w = ByteWriter::new();
         w.put_u8(tag);
         w.put_u64(phase as u64);

@@ -21,7 +21,10 @@ use super::log::{LogMgr, Lsn};
 use super::{DiskError, DiskResult};
 use std::sync::Arc;
 
-/// Metric: pin requests served.
+/// Metric: pin requests served. Like every physical-I/O metric in the
+/// disk layer this is recorded in the racy class — cache hit rates and
+/// page placement depend on pool state and worker scheduling, so these
+/// totals are real but not thread-count invariant.
 pub const BUFFER_PINS: &str = "buffer.pins";
 /// Metric: pin requests satisfied without disk I/O.
 pub const BUFFER_HITS: &str = "buffer.hits";
@@ -47,11 +50,21 @@ struct Frame {
 pub struct FrameId(usize);
 
 /// A fixed pool of page frames over one [`FileMgr`].
+///
+/// In **no-steal** mode ([`BufferMgr::set_no_steal`]) dirty frames are
+/// never eviction victims: the pool grows one frame at a time instead,
+/// and [`BufferMgr::trim`] shrinks it back to the base capacity once the
+/// dirty set has been checkpointed. This is what keeps the on-disk image
+/// of a durable heap exactly at its last checkpoint between checkpoints.
 #[derive(Debug)]
 pub struct BufferMgr {
     fm: Arc<FileMgr>,
     frames: Vec<Frame>,
     hand: usize,
+    /// Capacity requested at construction; `trim` shrinks back to it.
+    base_capacity: usize,
+    /// Never evict dirty frames; grow the pool instead.
+    no_steal: bool,
 }
 
 impl BufferMgr {
@@ -75,6 +88,8 @@ impl BufferMgr {
             fm,
             frames,
             hand: 0,
+            base_capacity: capacity,
+            no_steal: false,
         })
     }
 
@@ -82,25 +97,69 @@ impl BufferMgr {
         self.frames.len()
     }
 
+    /// Page size of the underlying file manager.
+    pub fn page_size(&self) -> usize {
+        self.fm.page_size()
+    }
+
+    /// The file manager this pool reads and writes through.
+    pub fn file_mgr(&self) -> &Arc<FileMgr> {
+        &self.fm
+    }
+
     /// Number of frames currently pinned at least once.
     pub fn pinned(&self) -> usize {
         self.frames.iter().filter(|f| f.pins > 0).count()
+    }
+
+    /// Enable/disable no-steal replacement: with it on, dirty frames are
+    /// never evicted — the pool grows by one frame when no clean victim
+    /// exists, so un-checkpointed changes can only live in RAM.
+    pub fn set_no_steal(&mut self, on: bool) {
+        self.no_steal = on;
+    }
+
+    /// Blocks currently held in dirty frames, in block order.
+    pub fn dirty_blocks(&self) -> Vec<BlockId> {
+        let mut blks: Vec<BlockId> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .filter_map(|f| f.blk.clone())
+            .collect();
+        blks.sort();
+        blks
+    }
+
+    /// Drop clean, unpinned frames until the pool is back at its base
+    /// capacity (a no-op while it is not above it). Outstanding
+    /// [`FrameId`]s are invalidated, so callers only trim at quiescent
+    /// points — after a checkpoint, with nothing pinned.
+    pub fn trim(&mut self) {
+        let mut i = self.frames.len();
+        while self.frames.len() > self.base_capacity && i > 0 {
+            i -= 1;
+            if self.frames[i].pins == 0 && !self.frames[i].dirty {
+                self.frames.remove(i);
+            }
+        }
+        self.hand = 0;
     }
 
     /// Pin `blk` into a frame, reading it from disk on a miss. Evicting a
     /// victim flushes it first (honoring WAL order via `log`). Fails with
     /// [`DiskError::BufferAbort`] when every frame is pinned.
     pub fn pin(&mut self, blk: &BlockId, log: Option<&mut LogMgr>) -> DiskResult<FrameId> {
-        dbpc_obs::count(BUFFER_PINS, 1);
+        dbpc_obs::racy(BUFFER_PINS, 1);
         if let Some(i) = self.frames.iter().position(|f| f.blk.as_ref() == Some(blk)) {
-            dbpc_obs::count(BUFFER_HITS, 1);
+            dbpc_obs::racy(BUFFER_HITS, 1);
             self.frames[i].pins += 1;
             self.frames[i].referenced = true;
             return Ok(FrameId(i));
         }
         let i = self.victim()?;
         if self.frames[i].blk.is_some() {
-            dbpc_obs::count(BUFFER_EVICTIONS, 1);
+            dbpc_obs::racy(BUFFER_EVICTIONS, 1);
         }
         self.flush_frame(i, log)?;
         let frame = &mut self.frames[i];
@@ -113,19 +172,21 @@ impl BufferMgr {
         Ok(FrameId(i))
     }
 
-    /// Clock sweep for an unpinned victim frame.
+    /// Clock sweep for an unpinned victim frame. In no-steal mode dirty
+    /// frames are also skipped, and an exhausted sweep grows the pool by
+    /// one frame instead of aborting.
     fn victim(&mut self) -> DiskResult<usize> {
         // First preference: a frame never used at all.
         if let Some(i) = self.frames.iter().position(|f| f.blk.is_none()) {
             return Ok(i);
         }
         // Two full sweeps: the first clears reference bits, the second
-        // must then find any unpinned frame if one exists.
+        // must then find any eligible frame if one exists.
         for _ in 0..self.frames.len() * 2 {
             let i = self.hand;
             self.hand = (self.hand + 1) % self.frames.len();
             let f = &mut self.frames[i];
-            if f.pins > 0 {
+            if f.pins > 0 || (self.no_steal && f.dirty) {
                 continue;
             }
             if f.referenced {
@@ -133,6 +194,17 @@ impl BufferMgr {
                 continue;
             }
             return Ok(i);
+        }
+        if self.no_steal {
+            self.frames.push(Frame {
+                page: Page::new(self.fm.page_size()),
+                blk: None,
+                pins: 0,
+                dirty: false,
+                lsn: 0,
+                referenced: false,
+            });
+            return Ok(self.frames.len() - 1);
         }
         Err(DiskError::BufferAbort {
             capacity: self.frames.len(),
@@ -195,7 +267,7 @@ impl BufferMgr {
             .ok_or_else(|| DiskError::Config("dirty frame with no block".to_string()))?;
         self.fm.write(&blk, &self.frames[i].page)?;
         self.frames[i].dirty = false;
-        dbpc_obs::count(BUFFER_FLUSHES, 1);
+        dbpc_obs::racy(BUFFER_FLUSHES, 1);
         Ok(())
     }
 

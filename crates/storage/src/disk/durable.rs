@@ -22,16 +22,37 @@
 //! and the [`StatCatalog`](crate::StatCatalog) fingerprint (a pure
 //! function of the state) comes along for free.
 //!
-//! ## Checkpoints and generations
+//! ## Out-of-core records, page-granular checkpoints
 //!
-//! Replay cost grows with the log, so [`DurableNetworkDb::checkpoint`]
-//! serializes the committed state ([`NetworkDb::state_bytes`]) into a
-//! paged snapshot written through the pinning [`BufferMgr`] (honoring
-//! flush-before-write against the old log), starts an empty WAL for the
-//! new generation, and flips a two-slot ping-pong manifest. The manifest
-//! write is the atomic switch: a crash anywhere during checkpointing
-//! leaves either the old generation (manifest not yet flipped) or the
-//! new one (flipped), both complete.
+//! The engine inside is **paged**: records live in a slotted heap file
+//! (`heap.dat`) under a capped [`BufferMgr`](super::buffer::BufferMgr)
+//! pool, so database size is bounded by disk, not RAM. Between
+//! checkpoints the pool runs **no-steal** — dirty pages are never
+//! evicted to disk (the pool grows instead), so the on-disk heap image
+//! stays exactly the last checkpoint's state and WAL replay from it is
+//! always correct.
+//!
+//! [`DurableNetworkDb::checkpoint`] is therefore *page-granular*: its
+//! I/O is proportional to the pages dirtied since the last checkpoint,
+//! not to database size. The protocol:
+//!
+//! 1. refresh lazily-synced set-link payloads ([`NetworkDb::sync_links`]);
+//! 2. write the **old on-disk image** of every dirty block into a
+//!    pre-image undo log (`ckpt.undo`) and fsync it;
+//! 3. flush the dirty heap pages in place and sync `heap.dat`;
+//! 4. start an empty WAL for the next generation;
+//! 5. persist the allocator state (`next_id`, per-set arrival counters)
+//!    plus application metadata in a per-generation blob;
+//! 6. flip the two-slot ping-pong manifest — the atomic switch;
+//! 7. retire the old generation's WAL/blob and the undo log.
+//!
+//! A crash before step 6 leaves the manifest on the old generation;
+//! recovery finds `ckpt.undo` prepared for a *newer* generation, rolls
+//! every recorded pre-image back (and re-zeroes blocks past the old
+//! end-of-file), and the old generation is intact. A crash after step 6
+//! finds the undo log prepared for the *current* generation and simply
+//! discards it. Recovery rebuilds all in-RAM indexes by scanning the
+//! heap ([`NetworkDb::recover_paged`]) and replaying the WAL.
 //!
 //! ## Failure semantics
 //!
@@ -42,7 +63,6 @@
 //! `kill -9` at that moment would have produced. Dropping the handle
 //! without committing loses exactly the uncommitted tail, nothing more.
 
-use super::buffer::BufferMgr;
 use super::codec::{fnv64, ByteReader, ByteWriter};
 use super::faults::DiskFaultPlan;
 use super::file::{BlockId, FileMgr, Page, DEFAULT_PAGE_SIZE};
@@ -74,7 +94,9 @@ pub enum SyncPolicy {
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurableOptions {
     pub page_size: usize,
-    /// Buffer-pool frames used by snapshot I/O.
+    /// Base capacity of the heap's buffer pool, in frames. Clean pages
+    /// are bounded by this; dirty pages may grow past it between
+    /// checkpoints (no-steal) and are trimmed back afterwards.
     pub buffers: usize,
     pub sync: SyncPolicy,
     pub faults: Option<DiskFaultPlan>,
@@ -92,8 +114,14 @@ impl Default for DurableOptions {
 }
 
 const MANIFEST: &str = "MANIFEST";
+/// The heap file holding every record, shared across generations; only
+/// the pages dirtied since the last checkpoint are rewritten.
+const HEAP: &str = "heap.dat";
+/// Pre-image undo log protecting in-place heap flushes (see module docs).
+const UNDO: &str = "ckpt.undo";
 const MAN_MAGIC: u64 = u64::from_le_bytes(*b"DBPCMAN1");
-const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DBPCSNP1");
+const META_MAGIC: u64 = u64::from_le_bytes(*b"DBPCMET1");
+const UNDO_MAGIC: u64 = u64::from_le_bytes(*b"DBPCUND1");
 const WAL_MAGIC: u64 = u64::from_le_bytes(*b"DBPCWAL1");
 
 const TAG_HEADER: u8 = 1;
@@ -110,8 +138,8 @@ fn wal_file(gen: u64) -> String {
     format!("wal_{gen:06}.log")
 }
 
-fn snap_file(gen: u64) -> String {
-    format!("snap_{gen:06}.pages")
+fn meta_file(gen: u64) -> String {
+    format!("meta_{gen:06}.blob")
 }
 
 /// Structural digest of a schema, stamped into snapshot and WAL headers
@@ -127,9 +155,10 @@ pub fn schema_fingerprint(schema: &NetworkSchema) -> u64 {
 #[derive(Debug)]
 pub struct DurableNetworkDb {
     fm: Arc<FileMgr>,
-    buffers: BufferMgr,
     log: LogMgr,
     db: NetworkDb,
+    /// Base heap-pool capacity, remembered for the import rebuild path.
+    pool: usize,
     gen: u64,
     meta: Vec<u8>,
     schema_fp: u64,
@@ -146,26 +175,38 @@ pub struct DurableNetworkDb {
 
 impl DurableNetworkDb {
     /// Open (or create) the database under `root`, recovering the last
-    /// committed state: manifest → snapshot → WAL replay of committed
-    /// transactions. Recovery is idempotent — opening twice yields the
-    /// same fingerprint as opening once.
+    /// committed state: manifest → torn-checkpoint rollback → heap scan →
+    /// WAL replay of committed transactions. Recovery is idempotent —
+    /// opening twice yields the same fingerprint as opening once.
     pub fn open(
         root: impl Into<PathBuf>,
         schema: NetworkSchema,
         opts: DurableOptions,
     ) -> DiskResult<DurableNetworkDb> {
         let fm = Arc::new(FileMgr::new(root, opts.page_size)?.with_faults(opts.faults.clone()));
-        let mut buffers = BufferMgr::new(fm.clone(), opts.buffers)?;
         let schema_fp = schema_fingerprint(&schema);
         let gen = read_manifest(&fm)?;
-        let (mut db, meta) = if gen > 0 {
-            load_snapshot(&fm, &mut buffers, gen, schema, schema_fp)?
+        rollback_torn_checkpoint(&fm, gen)?;
+        let (next_id, next_seqs, meta) = if gen > 0 {
+            read_meta_blob(&fm, gen, schema_fp)?
         } else {
-            (
-                NetworkDb::new(schema).map_err(DiskError::Engine)?,
-                Vec::new(),
-            )
+            (1, Vec::new(), Vec::new())
         };
+        let mut db = NetworkDb::recover_paged(
+            schema,
+            Arc::clone(&fm),
+            HEAP,
+            opts.buffers,
+            next_id,
+            &next_seqs,
+        )
+        .map_err(|e| DiskError::Corrupt(format!("heap recovery: {e}")))?;
+        // From here on, dirty heap pages must never reach disk outside a
+        // checkpoint: the on-disk heap image *is* the last checkpoint.
+        // This must precede WAL replay — replayed ops dirty pages too.
+        if let Some(bm) = db.heap_buffer() {
+            bm.set_no_steal(true);
+        }
         let (mut log, records) = LogMgr::open(fm.clone(), wal_file(gen))?;
         replay(&mut db, &records, schema_fp)?;
         if records.is_empty() {
@@ -174,9 +215,9 @@ impl DurableNetworkDb {
         }
         Ok(DurableNetworkDb {
             fm,
-            buffers,
             log,
             db,
+            pool: opts.buffers,
             gen,
             meta,
             schema_fp,
@@ -211,6 +252,15 @@ impl DurableNetworkDb {
 
     pub fn generation(&self) -> u64 {
         self.gen
+    }
+
+    /// Total disk operations (reads, writes, syncs) issued through this
+    /// engine's [`FileMgr`] since open. The checkpoint-cost regression
+    /// test diffs this around [`DurableNetworkDb::checkpoint`] to pin
+    /// the page-granular contract: checkpoint I/O is proportional to
+    /// the number of *dirty* pages, not to database size.
+    pub fn disk_ops(&self) -> u64 {
+        self.fm.op_count()
     }
 
     /// LSN of the newest WAL record in the current generation.
@@ -409,30 +459,43 @@ impl DurableNetworkDb {
                 "checkpoint inside an open savepoint".to_string(),
             ));
         }
-        let result = self.checkpoint_inner(meta);
+        let result = self.checkpoint_inner(meta, false);
         if result.is_err() {
             self.wedged = true;
         }
         result
     }
 
-    fn checkpoint_inner(&mut self, meta: &[u8]) -> DiskResult<()> {
+    fn checkpoint_inner(&mut self, meta: &[u8], undo_prepared: bool) -> DiskResult<()> {
         let next = self.gen + 1;
         // Clear leftovers a crashed earlier checkpoint may have written;
         // the manifest still points at the current generation, so these
-        // files are garbage by definition.
-        self.fm.remove(&snap_file(next))?;
+        // files are garbage by definition (pre-images in UNDO were already
+        // rolled back by open()).
+        self.fm.remove(&meta_file(next))?;
         self.fm.remove(&wal_file(next))?;
 
-        write_snapshot(
-            &self.fm,
-            &mut self.buffers,
-            &mut self.log,
-            next,
-            self.schema_fp,
-            meta,
-            &self.db,
-        )?;
+        // 1. Materialise lazily-deferred link rewrites so the dirty-page
+        //    set below is the complete committed delta.
+        self.db.sync_links().map_err(DiskError::Engine)?;
+
+        // 2. Log pre-images of exactly the pages about to change, so a
+        //    crash mid-flush can restore the current generation's heap.
+        if !undo_prepared {
+            let dirty: Vec<u64> = match self.db.heap_buffer() {
+                Some(bm) => bm.dirty_blocks().iter().map(|b| b.num).collect(),
+                None => Vec::new(),
+            };
+            prepare_undo(&self.fm, next, &dirty)?;
+        }
+
+        // 3. Flush those pages in place and make the heap file durable.
+        //    Checkpoint I/O is therefore proportional to the number of
+        //    dirty pages, not to the database size.
+        self.db.flush_heap().map_err(DiskError::Engine)?;
+        self.fm.sync(HEAP)?;
+
+        // 4. Fresh WAL for the new generation.
         let (mut new_log, recs) = LogMgr::open(self.fm.clone(), wal_file(next))?;
         if !recs.is_empty() {
             return Err(DiskError::Corrupt(format!(
@@ -443,16 +506,27 @@ impl DurableNetworkDb {
         }
         new_log.append(&header_record(self.schema_fp))?;
         new_log.flush()?;
+
+        // 5. Sidecar with the allocator state and caller metadata.
+        write_meta_blob(&self.fm, next, self.schema_fp, &self.db, meta)?;
+
+        // 6. Atomically flip the manifest to the new generation.
         write_manifest(&self.fm, next)?;
 
         let old = self.gen;
         self.log = new_log;
         self.gen = next;
         self.meta = meta.to_vec();
-        // Retire the previous generation (gen 0 has a WAL but no snapshot).
+        // 7. Retire the previous generation: its undo log, WAL, and meta
+        //    sidecar (gen 0 has a WAL but no sidecar). Shrink the pool
+        //    back to its base capacity now that nothing is dirty.
+        self.fm.remove(UNDO)?;
         self.fm.remove(&wal_file(old))?;
         if old > 0 {
-            self.fm.remove(&snap_file(old))?;
+            self.fm.remove(&meta_file(old))?;
+        }
+        if let Some(bm) = self.db.heap_buffer() {
+            bm.trim();
         }
         Ok(())
     }
@@ -473,8 +547,42 @@ impl DurableNetworkDb {
                 "import schema differs from the opened schema".to_string(),
             ));
         }
-        self.db = db.clone();
-        self.checkpoint(meta)
+        let result = self.import_inner(db, meta);
+        if result.is_err() {
+            self.wedged = true;
+        }
+        result
+    }
+
+    /// Import rewrites the whole heap file in place, so the undo log must
+    /// cover every old page up front: pre-image all of them, zero them so
+    /// no stale slotted page survives at an offset the rebuild does not
+    /// overwrite, rebuild straight into the heap (eviction during the
+    /// build is safe — every flushed page is covered by a pre-image or by
+    /// the tail-zeroing rule in [`rollback_torn_checkpoint`]), then run
+    /// the ordinary checkpoint with the undo already prepared.
+    fn import_inner(&mut self, db: &NetworkDb, meta: &[u8]) -> DiskResult<()> {
+        let next = self.gen + 1;
+        let old_blocks = self.fm.block_count(HEAP)?;
+        prepare_undo(&self.fm, next, &(0..old_blocks).collect::<Vec<u64>>())?;
+        let zero = Page::new(self.fm.page_size());
+        for b in 0..old_blocks {
+            self.fm.write(&BlockId::new(HEAP, b), &zero)?;
+        }
+        let state = db.state_bytes();
+        let mut rebuilt = NetworkDb::from_state_bytes_paged(
+            db.schema().clone(),
+            &state,
+            Arc::clone(&self.fm),
+            HEAP,
+            self.pool,
+        )
+        .map_err(DiskError::Engine)?;
+        if let Some(bm) = rebuilt.heap_buffer() {
+            bm.set_no_steal(true);
+        }
+        self.db = rebuilt;
+        self.checkpoint_inner(meta, true)
     }
 }
 
@@ -638,105 +746,141 @@ fn write_manifest(fm: &FileMgr, gen: u64) -> DiskResult<()> {
     fm.sync(MANIFEST)
 }
 
-/// Snapshot layout: block 0 is a header
-/// `[magic][schema_fp][meta_len][body_len][fnv64(body)]`; the body
-/// (`meta ++ state_bytes`) fills blocks 1.. in page-sized chunks.
-fn write_snapshot(
-    fm: &Arc<FileMgr>,
-    buffers: &mut BufferMgr,
-    log: &mut LogMgr,
-    gen: u64,
-    schema_fp: u64,
-    meta: &[u8],
-    db: &NetworkDb,
-) -> DiskResult<()> {
-    let file = snap_file(gen);
-    let ps = fm.page_size();
-    let state = db.state_bytes();
-    let mut body = Vec::with_capacity(meta.len() + state.len());
-    body.extend_from_slice(meta);
-    body.extend_from_slice(&state);
-
+/// Write pre-images of `blocks` (heap block numbers) into the undo log,
+/// then fsync it. Layout: record 0 is a header
+/// `[UNDO_MAGIC][prepared_gen][old_block_count]`; each following record
+/// is `[u64 block][raw page bytes]`. Blocks at or past the current end
+/// of the heap file have no pre-image — rollback restores them by
+/// zeroing everything from `old_block_count` to the (possibly grown)
+/// end of file. The undo log reuses the WAL's checksummed record
+/// framing, so a torn undo write is indistinguishable from an absent
+/// one and recovery can discard it wholesale.
+fn prepare_undo(fm: &Arc<FileMgr>, prepared_gen: u64, blocks: &[u64]) -> DiskResult<()> {
+    fm.remove(UNDO)?;
+    let old_blocks = fm.block_count(HEAP)?;
+    let (mut log, _) = LogMgr::open(fm.clone(), UNDO)?;
     let mut w = ByteWriter::new();
-    w.put_u64(SNAP_MAGIC);
-    w.put_u64(schema_fp);
-    w.put_u64(meta.len() as u64);
-    w.put_u64(body.len() as u64);
-    w.put_u64(fnv64(&body));
-    let header = w.into_bytes();
-
-    // All pages go through the buffer pool; `mark_dirty` carries the
-    // current end of the (old) WAL so flushing respects write-ahead
-    // order, and the pool's flush_all + file sync make the image durable
-    // before the manifest can point at it.
-    let lsn = log.last_lsn();
-    let put =
-        |buffers: &mut BufferMgr, log: &mut LogMgr, num: u64, chunk: &[u8]| -> DiskResult<()> {
-            let id = buffers.pin(&BlockId::new(file.clone(), num), Some(log))?;
-            let page = buffers.page_mut(id)?;
-            page.zero();
-            page.write_at(0, chunk)?;
-            buffers.mark_dirty(id, lsn)?;
-            buffers.unpin(id)
-        };
-    put(buffers, log, 0, &header)?;
-    for (i, chunk) in body.chunks(ps).enumerate() {
-        put(buffers, log, i as u64 + 1, chunk)?;
+    w.put_u64(UNDO_MAGIC);
+    w.put_u64(prepared_gen);
+    w.put_u64(old_blocks);
+    log.append(&w.into_bytes())?;
+    let mut page = Page::new(fm.page_size());
+    for &num in blocks {
+        if num >= old_blocks {
+            continue; // tail-zeroing covers pages past the old EOF
+        }
+        fm.read(&BlockId::new(HEAP, num), &mut page)?;
+        let mut rec = Vec::with_capacity(8 + page.size());
+        rec.extend_from_slice(&num.to_le_bytes());
+        rec.extend_from_slice(page.as_slice());
+        log.append(&rec)?;
     }
-    buffers.flush_all(Some(log))?;
-    fm.sync(&file)
+    log.flush()
 }
 
-fn load_snapshot(
+/// Undo a checkpoint that crashed after pre-images were durable but
+/// before the manifest flipped: restore every logged page and zero the
+/// heap-file tail past the old end. If the manifest did flip (or the
+/// undo header never made it to disk), the pre-images are stale and are
+/// simply discarded. Idempotent — crashing inside rollback and running
+/// it again restores the same bytes.
+fn rollback_torn_checkpoint(fm: &Arc<FileMgr>, manifest_gen: u64) -> DiskResult<()> {
+    if !fm.exists(UNDO) {
+        return Ok(());
+    }
+    let (_, records) = LogMgr::open(fm.clone(), UNDO)?;
+    if let Some((_, header)) = records.first() {
+        let mut r = ByteReader::new(header);
+        if r.get_u64("undo magic")? != UNDO_MAGIC {
+            return Err(DiskError::Corrupt("bad undo-log magic".to_string()));
+        }
+        let prepared_gen = r.get_u64("undo prepared gen")?;
+        let old_blocks = r.get_u64("undo old block count")?;
+        if prepared_gen > manifest_gen {
+            let ps = fm.page_size();
+            let mut page = Page::new(ps);
+            for (_, rec) in &records[1..] {
+                if rec.len() != 8 + ps {
+                    return Err(DiskError::Corrupt(format!(
+                        "undo pre-image of {} bytes against page size {ps}",
+                        rec.len()
+                    )));
+                }
+                let num = u64::from_le_bytes(rec[..8].try_into().unwrap_or_default());
+                page.as_mut_slice().copy_from_slice(&rec[8..]);
+                fm.write(&BlockId::new(HEAP, num), &page)?;
+            }
+            let current = fm.block_count(HEAP)?;
+            if current > old_blocks {
+                let zero = Page::new(ps);
+                for b in old_blocks..current {
+                    fm.write(&BlockId::new(HEAP, b), &zero)?;
+                }
+            }
+            fm.sync(HEAP)?;
+        }
+    }
+    fm.remove(UNDO)
+}
+
+/// Persist the per-generation sidecar: one checksummed record holding
+/// `[META_MAGIC][schema_fp][next record id][set seq table][meta bytes]`
+/// — everything a reopen needs that is not reconstructible from the
+/// heap pages themselves (erased-record ids must never be reused, and
+/// caller metadata is opaque).
+fn write_meta_blob(
     fm: &Arc<FileMgr>,
-    buffers: &mut BufferMgr,
     gen: u64,
-    schema: NetworkSchema,
     schema_fp: u64,
-) -> DiskResult<(NetworkDb, Vec<u8>)> {
-    let file = snap_file(gen);
-    let ps = fm.page_size();
-    let id = buffers.pin(&BlockId::new(file.clone(), 0), None)?;
-    let (magic, fp, meta_len, body_len, sum) = {
-        let mut r = ByteReader::new(buffers.page(id)?.as_slice());
-        (
-            r.get_u64("snapshot magic")?,
-            r.get_u64("snapshot schema fingerprint")?,
-            r.get_u64("snapshot meta length")? as usize,
-            r.get_u64("snapshot body length")? as usize,
-            r.get_u64("snapshot checksum")?,
-        )
+    db: &NetworkDb,
+    meta: &[u8],
+) -> DiskResult<()> {
+    let (next_id, seqs) = db.allocator_state();
+    let mut w = ByteWriter::new();
+    w.put_u64(META_MAGIC);
+    w.put_u64(schema_fp);
+    w.put_u64(next_id);
+    w.put_u32(seqs.len() as u32);
+    for (set, seq) in &seqs {
+        w.put_str(set);
+        w.put_u64(*seq);
+    }
+    w.put_bytes(meta);
+    let (mut log, _) = LogMgr::open(fm.clone(), meta_file(gen))?;
+    log.append(&w.into_bytes())?;
+    log.flush()
+}
+
+#[allow(clippy::type_complexity)]
+fn read_meta_blob(
+    fm: &Arc<FileMgr>,
+    gen: u64,
+    schema_fp: u64,
+) -> DiskResult<(u64, Vec<(String, u64)>, Vec<u8>)> {
+    let file = meta_file(gen);
+    let (_, records) = LogMgr::open(fm.clone(), file.clone())?;
+    let Some((_, rec)) = records.first() else {
+        return Err(DiskError::Corrupt(format!("{file}: empty meta sidecar")));
     };
-    buffers.unpin(id)?;
-    if magic != SNAP_MAGIC {
-        return Err(DiskError::Corrupt(format!("{file}: bad snapshot magic")));
+    let mut r = ByteReader::new(rec);
+    if r.get_u64("meta magic")? != META_MAGIC {
+        return Err(DiskError::Corrupt(format!("{file}: bad meta magic")));
     }
-    if fp != schema_fp {
+    if r.get_u64("meta schema fingerprint")? != schema_fp {
         return Err(DiskError::Corrupt(format!(
-            "{file}: snapshot written under a different schema"
+            "{file}: database was written under a different schema"
         )));
     }
-    if meta_len > body_len {
-        return Err(DiskError::Corrupt(format!(
-            "{file}: meta length exceeds body"
-        )));
+    let next_id = r.get_u64("meta next id")?;
+    let n = r.get_u32("meta seq count")?;
+    let mut seqs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let set = r.get_str("meta set name")?;
+        let seq = r.get_u64("meta set seq")?;
+        seqs.push((set, seq));
     }
-    let mut body = Vec::with_capacity(body_len);
-    let blocks = body_len.div_ceil(ps);
-    for b in 0..blocks {
-        let id = buffers.pin(&BlockId::new(file.clone(), b as u64 + 1), None)?;
-        let take = ps.min(body_len - body.len());
-        body.extend_from_slice(&buffers.page(id)?.as_slice()[..take]);
-        buffers.unpin(id)?;
-    }
-    if fnv64(&body) != sum {
-        return Err(DiskError::Corrupt(format!(
-            "{file}: snapshot checksum mismatch"
-        )));
-    }
-    let db = NetworkDb::from_state_bytes(schema, &body[meta_len..])
-        .map_err(|e| DiskError::Corrupt(format!("{file}: {e}")))?;
-    Ok((db, body[..meta_len].to_vec()))
+    let meta = r.get_bytes("meta payload")?.to_vec();
+    Ok((next_id, seqs, meta))
 }
 
 #[cfg(test)]

@@ -229,7 +229,7 @@ impl FileMgr {
             }
             Ok(())
         })?;
-        dbpc_obs::count(DISK_READS, 1);
+        dbpc_obs::racy(DISK_READS, 1);
         Ok(())
     }
 
@@ -260,7 +260,7 @@ impl FileMgr {
         self.with_file(&blk.file, "write", |file| {
             file.write_all_at(&page.as_slice()[..prefix], off)
         })?;
-        dbpc_obs::count(DISK_WRITES, 1);
+        dbpc_obs::racy(DISK_WRITES, 1);
         match fault {
             Some(f @ (DiskFault::TornWrite | DiskFault::ShortWrite)) => {
                 Err(DiskError::Injected { fault: f, op_index })
@@ -278,7 +278,7 @@ impl FileMgr {
             .faults
             .as_ref()
             .and_then(|p| p.decide(op_index, DiskOp::Sync));
-        dbpc_obs::count(DISK_SYNCS, 1);
+        dbpc_obs::racy(DISK_SYNCS, 1);
         if let Some(f) = fault {
             return Err(DiskError::Injected { fault: f, op_index });
         }

@@ -117,7 +117,7 @@ impl LogMgr {
             records.push((records.len() as Lsn + 1, payload.to_vec()));
             pos = start + len;
         }
-        dbpc_obs::count(WAL_RECOVERED, records.len() as u64);
+        dbpc_obs::racy(WAL_RECOVERED, records.len() as u64);
 
         let last = records.len() as Lsn;
         let mut mgr = LogMgr {
@@ -142,7 +142,7 @@ impl LogMgr {
         if torn {
             // Cleansing write: persist the zeroed tail so the torn bytes
             // can never be re-read, making a second recovery a no-op.
-            dbpc_obs::count(WAL_TRUNCATIONS, 1);
+            dbpc_obs::racy(WAL_TRUNCATIONS, 1);
             mgr.fm.write(&mgr.blk, &mgr.page)?;
             mgr.fm.sync(&mgr.blk.file)?;
         }
@@ -185,8 +185,8 @@ impl LogMgr {
         }
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        dbpc_obs::count(WAL_APPENDS, 1);
-        dbpc_obs::count(WAL_BYTES, (REC_HEADER + payload.len()) as u64);
+        dbpc_obs::racy(WAL_APPENDS, 1);
+        dbpc_obs::racy(WAL_BYTES, (REC_HEADER + payload.len()) as u64);
         Ok(lsn)
     }
 
@@ -201,7 +201,7 @@ impl LogMgr {
             self.needs_sync = false;
         }
         self.last_flushed = self.next_lsn - 1;
-        dbpc_obs::count(WAL_FLUSHES, 1);
+        dbpc_obs::racy(WAL_FLUSHES, 1);
         Ok(())
     }
 

@@ -32,6 +32,7 @@ pub mod codec;
 pub mod durable;
 pub mod faults;
 pub mod file;
+pub mod heap;
 pub mod log;
 pub mod tempdir;
 
@@ -41,6 +42,7 @@ pub use faults::{DiskFault, DiskFaultPlan};
 pub use file::{
     BlockId, DiskOp, FileMgr, Page, DEFAULT_PAGE_SIZE, DISK_READS, DISK_SYNCS, DISK_WRITES,
 };
+pub use heap::{HeapFile, HeapId, HeapStats};
 pub use log::{LogMgr, Lsn, WAL_APPENDS, WAL_BYTES, WAL_FLUSHES, WAL_RECOVERED, WAL_TRUNCATIONS};
 pub use tempdir::TempDir;
 

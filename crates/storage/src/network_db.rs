@@ -18,6 +18,9 @@
 //!   domain) is enforced on every mutation, so moving a constraint between
 //!   program logic and the schema is observable.
 
+use crate::disk::file::FileMgr;
+use crate::disk::heap::{HeapFile, HeapId, HeapStats};
+use crate::disk::tempdir::TempDir;
 use crate::error::{DbError, DbResult};
 use crate::keys::KeyTuple;
 use crate::stats::AccessStats;
@@ -26,8 +29,9 @@ use dbpc_datamodel::constraint::Constraint;
 use dbpc_datamodel::network::{Insertion, NetworkSchema, RecordTypeDef, Retention, SetDef};
 use dbpc_datamodel::value::Value;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Identifier of a stored record. `RecordId(0)` is the SYSTEM pseudo-owner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -173,11 +177,165 @@ struct NetMark {
     next_seqs: Vec<(String, u64)>,
 }
 
+/// Magic leading every heap record payload; versioned with the codec.
+const REC_MAGIC: u8 = 0x52; // 'R'
+
+/// One record's set memberships as persisted in its heap payload:
+/// `(set name, owner id, arrival seq)`. The ordering key is re-derived
+/// from the record's values and the schema's `SET KEYS` on recovery.
+type PersistedLinks = Vec<(String, u64, u64)>;
+
+/// Where the records themselves live.
+///
+/// `Mem` is the original representation: every [`StoredRecord`] in a
+/// `BTreeMap`, bounded by RAM. `Heap` pages records through a slotted
+/// [`HeapFile`] under a capped buffer pool, so database size is bounded
+/// by disk; all derived structures (set stores, `by_type` lists,
+/// calc-key indexes) stay in RAM as indexes over record ids, and the
+/// id → [`HeapId`] directory is the one structure that grows with the
+/// record count (two words per record).
+enum Backend {
+    Mem(BTreeMap<u64, StoredRecord>),
+    Heap(Box<HeapBackend>),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Mem(m) => write!(f, "Mem({} records)", m.len()),
+            Backend::Heap(h) => write!(f, "Heap({} records)", h.dir.len()),
+        }
+    }
+}
+
+/// Heap-resident record storage (see [`Backend::Heap`]).
+struct HeapBackend {
+    /// Scratch directory keeping an anonymous paged database alive;
+    /// `None` when the heap lives in a caller-owned directory (the
+    /// durable engine's).
+    scratch: Option<TempDir>,
+    fm: Arc<FileMgr>,
+    /// Base pool capacity, remembered for `fresh_like` and `clone`.
+    pool: usize,
+    heap: RefCell<HeapFile>,
+    /// Logical record id → physical slot, ascending (= creation) order.
+    dir: BTreeMap<u64, HeapId>,
+    /// Record types by id — kept in RAM so type dispatch, `by_type`
+    /// bookkeeping, and erase paths never fault a page in.
+    rtypes: BTreeMap<u64, String>,
+    /// Records whose set links changed since the last `sync_links`
+    /// (payload link sections are refreshed lazily, at checkpoints).
+    link_dirty: BTreeSet<u64>,
+}
+
+impl HeapBackend {
+    /// Run `f` over the heap, translating disk errors. The `RefCell` is
+    /// only held inside this call, so callers may re-enter `NetworkDb`
+    /// read APIs afterwards.
+    fn with_heap<T>(
+        &self,
+        f: impl FnOnce(&mut HeapFile) -> crate::disk::DiskResult<T>,
+    ) -> DbResult<T> {
+        f(&mut self.heap.borrow_mut()).map_err(|e| DbError::constraint(format!("heap: {e}")))
+    }
+
+    fn fetch(&self, id: u64) -> Option<StoredRecord> {
+        let hid = *self.dir.get(&id)?;
+        let bytes = self
+            .with_heap(|h| h.get(hid))
+            .unwrap_or_else(|e| panic!("heap record #{id} unreadable: {e}"));
+        let (rec, _) =
+            decode_record(&bytes).unwrap_or_else(|e| panic!("heap record #{id} undecodable: {e}"));
+        Some(rec)
+    }
+
+    /// Current physical statistics of the heap file.
+    fn stats(&self) -> HeapStats {
+        self.heap.borrow().stats()
+    }
+}
+
+/// Serialize one record (plus its set memberships) into a heap payload:
+/// `[magic][id][rtype][values][links]`, all little-endian via the disk
+/// codec. The ordering key inside each set is *not* persisted — it is a
+/// function of the values and the schema's `SET KEYS`, re-derived on
+/// recovery — but the arrival sequence is, because it is allocator state.
+fn encode_record(rec: &StoredRecord, links: &[(String, u64, u64)]) -> Vec<u8> {
+    use crate::disk::codec::ByteWriter;
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_MAGIC);
+    w.put_u64(rec.id.0);
+    w.put_str(&rec.rtype);
+    w.put_u32(rec.values.len() as u32);
+    for v in &rec.values {
+        w.put_value(v);
+    }
+    w.put_u32(links.len() as u32);
+    for (set, owner, seq) in links {
+        w.put_str(set);
+        w.put_u64(*owner);
+        w.put_u64(*seq);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_record`]; total (typed errors, no panics) because
+/// recovery feeds it bytes a crash may have damaged.
+fn decode_record(bytes: &[u8]) -> Result<(StoredRecord, PersistedLinks), String> {
+    use crate::disk::codec::ByteReader;
+    fn ctx<T>(r: Result<T, crate::disk::codec::CodecError>) -> Result<T, String> {
+        r.map_err(|e| e.to_string())
+    }
+    let mut r = ByteReader::new(bytes);
+    let magic = ctx(r.get_u8("record magic"))?;
+    if magic != REC_MAGIC {
+        return Err(format!("bad record magic 0x{magic:02X}"));
+    }
+    let id = ctx(r.get_u64("record id"))?;
+    let rtype = ctx(r.get_str("record type"))?;
+    let n_values = ctx(r.get_u32("value count"))?;
+    let mut values = Vec::with_capacity(n_values as usize);
+    for _ in 0..n_values {
+        values.push(ctx(r.get_value("field value"))?);
+    }
+    let n_links = ctx(r.get_u32("link count"))?;
+    let mut links = Vec::with_capacity(n_links as usize);
+    for _ in 0..n_links {
+        let set = ctx(r.get_str("link set"))?;
+        let owner = ctx(r.get_u64("link owner"))?;
+        let seq = ctx(r.get_u64("link seq"))?;
+        links.push((set, owner, seq));
+    }
+    if !r.is_empty() {
+        return Err(format!("{} trailing bytes", r.remaining()));
+    }
+    Ok((
+        StoredRecord {
+            id: RecordId(id),
+            rtype,
+            values,
+        },
+        links,
+    ))
+}
+
+/// A record's current set memberships `(set, owner, arrival seq)`, read
+/// from the RAM set stores — the persisted form of its links.
+fn persisted_links_of(sets: &BTreeMap<String, SetStore>, id: u64) -> PersistedLinks {
+    sets.iter()
+        .filter_map(|(name, st)| {
+            let owner = *st.owner_of.get(&id)?;
+            let (_, seq) = st.ord_of.get(&id)?;
+            Some((name.clone(), owner, *seq))
+        })
+        .collect()
+}
+
 /// An owner-coupled-set database instance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NetworkDb {
     schema: NetworkSchema,
-    records: BTreeMap<u64, StoredRecord>,
+    records: Backend,
     sets: BTreeMap<String, SetStore>,
     /// Record ids per record type, ascending (= creation order).
     by_type: BTreeMap<String, Vec<u64>>,
@@ -191,9 +349,181 @@ pub struct NetworkDb {
     journal: UndoLog<NetUndo, NetMark>,
 }
 
+impl Clone for NetworkDb {
+    /// Mem databases clone structurally. Heap databases clone
+    /// *physically*: a fresh scratch heap is populated record by record,
+    /// preserving every logical id (and therefore the fingerprint).
+    /// Panics on disk errors — `Clone` has no error channel, and a
+    /// failing scratch volume is not a recoverable condition here.
+    fn clone(&self) -> NetworkDb {
+        let records = match &self.records {
+            Backend::Mem(m) => Backend::Mem(m.clone()),
+            Backend::Heap(h) => {
+                let mut fresh = HeapBackend::scratch(h.fm.page_size(), h.pool)
+                    .unwrap_or_else(|e| panic!("cloning paged db: {e}"));
+                for (&id, &hid) in &h.dir {
+                    let bytes = h
+                        .with_heap(|heap| heap.get(hid))
+                        .unwrap_or_else(|e| panic!("cloning record #{id}: {e}"));
+                    let nid = fresh
+                        .with_heap(|heap| heap.insert(&bytes))
+                        .unwrap_or_else(|e| panic!("cloning record #{id}: {e}"));
+                    fresh.dir.insert(id, nid);
+                }
+                fresh.rtypes = h.rtypes.clone();
+                fresh.link_dirty = h.link_dirty.clone();
+                Backend::Heap(Box::new(fresh))
+            }
+        };
+        NetworkDb {
+            schema: self.schema.clone(),
+            records,
+            sets: self.sets.clone(),
+            by_type: self.by_type.clone(),
+            calc_indexes: self.calc_indexes.clone(),
+            next_id: self.next_id,
+            stats: self.stats.clone(),
+            journal: self.journal.clone(),
+        }
+    }
+}
+
+impl HeapBackend {
+    /// A heap backend over its own self-cleaning scratch directory.
+    fn scratch(page_size: usize, pool: usize) -> DbResult<HeapBackend> {
+        let dir = TempDir::new("paged-netdb")
+            .map_err(|e| DbError::constraint(format!("heap scratch: {e}")))?;
+        let fm = Arc::new(
+            FileMgr::new(dir.path(), page_size)
+                .map_err(|e| DbError::constraint(format!("heap scratch: {e}")))?,
+        );
+        let mut hb = HeapBackend::on(fm, "heap.dat", pool)?;
+        hb.scratch = Some(dir);
+        Ok(hb)
+    }
+
+    /// A heap backend over a caller-owned file manager (durable engine).
+    fn on(fm: Arc<FileMgr>, file: &str, pool: usize) -> DbResult<HeapBackend> {
+        let heap = HeapFile::open(Arc::clone(&fm), file, pool)
+            .map_err(|e| DbError::constraint(format!("heap open: {e}")))?;
+        Ok(HeapBackend {
+            scratch: None,
+            fm,
+            pool,
+            heap: RefCell::new(heap),
+            dir: BTreeMap::new(),
+            rtypes: BTreeMap::new(),
+            link_dirty: BTreeSet::new(),
+        })
+    }
+}
+
 impl NetworkDb {
     /// Create an empty database for a (validated) schema.
     pub fn new(schema: NetworkSchema) -> DbResult<NetworkDb> {
+        NetworkDb::with_backend(schema, Backend::Mem(BTreeMap::new()))
+    }
+
+    /// Create an empty **paged** database: records live in a slotted heap
+    /// file under a buffer pool of `pool` frames of `page_size` bytes, in
+    /// a self-cleaning scratch directory. Database size is bounded by
+    /// disk; RAM holds the pool plus O(records) index entries.
+    pub fn new_paged(schema: NetworkSchema, page_size: usize, pool: usize) -> DbResult<NetworkDb> {
+        let hb = HeapBackend::scratch(page_size, pool)?;
+        NetworkDb::with_backend(schema, Backend::Heap(Box::new(hb)))
+    }
+
+    /// Create an empty paged database whose heap file lives in a
+    /// caller-owned [`FileMgr`] (the durable engine shares its directory
+    /// with the WAL and manifest). The heap file must be empty or absent.
+    pub fn paged_on(
+        schema: NetworkSchema,
+        fm: Arc<FileMgr>,
+        file: &str,
+        pool: usize,
+    ) -> DbResult<NetworkDb> {
+        let hb = HeapBackend::on(fm, file, pool)?;
+        if hb.stats().pages > 0 {
+            return Err(DbError::constraint(format!(
+                "paged_on: heap file {file} is not empty"
+            )));
+        }
+        NetworkDb::with_backend(schema, Backend::Heap(Box::new(hb)))
+    }
+
+    /// Reopen a paged database from an existing heap file: scan every
+    /// live payload, rebuild the id directory, `by_type` lists, and all
+    /// set stores from the persisted `(set, owner, seq)` links (ordering
+    /// keys re-derived from values + schema keys). The caller supplies
+    /// the allocator state the scan cannot know — `next_id` and each
+    /// set's arrival counter — from its own durable metadata.
+    pub fn recover_paged(
+        schema: NetworkSchema,
+        fm: Arc<FileMgr>,
+        file: &str,
+        pool: usize,
+        next_id: u64,
+        next_seqs: &[(String, u64)],
+    ) -> DbResult<NetworkDb> {
+        let hb = HeapBackend::on(fm, file, pool)?;
+        let mut db = NetworkDb::with_backend(schema, Backend::Heap(Box::new(hb)))?;
+        // Collect (id → payload parts) in one heap pass, ascending
+        // physical order; then rebuild RAM structures in id order.
+        let mut decoded: BTreeMap<u64, (StoredRecord, PersistedLinks, HeapId)> = BTreeMap::new();
+        {
+            let Backend::Heap(h) = &db.records else {
+                return Err(DbError::constraint("recover_paged: not a heap backend"));
+            };
+            h.with_heap(|heap| {
+                heap.for_each(&mut |hid, bytes| {
+                    let (rec, links) = decode_record(&bytes).map_err(|e| {
+                        crate::disk::DiskError::Corrupt(format!("heap record at {hid}: {e}"))
+                    })?;
+                    decoded.insert(rec.id.0, (rec, links, hid));
+                    Ok(())
+                })
+            })?;
+        }
+        for (id, (rec, links, hid)) in decoded {
+            let Backend::Heap(h) = &mut db.records else {
+                return Err(DbError::constraint("recover_paged: not a heap backend"));
+            };
+            h.dir.insert(id, hid);
+            h.rtypes.insert(id, rec.rtype.clone());
+            db.by_type.entry(rec.rtype.clone()).or_default().push(id);
+            let rt = db
+                .schema
+                .record(&rec.rtype)
+                .ok_or_else(|| DbError::unknown("record", &rec.rtype))?;
+            for (set_name, owner, seq) in links {
+                let set = db
+                    .schema
+                    .set(&set_name)
+                    .ok_or_else(|| DbError::unknown("set", &set_name))?;
+                let key = if set.keys.is_empty() {
+                    KeyTuple(Vec::new())
+                } else {
+                    key_tuple(rt, &rec.values, &set.keys)
+                };
+                let store = db
+                    .sets
+                    .get_mut(&set_name)
+                    .ok_or_else(|| DbError::unknown("set", &set_name))?;
+                store.relink_at(owner, id, (key, seq));
+            }
+        }
+        db.next_id = next_id;
+        for (name, seq) in next_seqs {
+            if let Some(st) = db.sets.get_mut(name) {
+                st.next_seq = *seq;
+            }
+        }
+        db.check_access_structures()
+            .map_err(|e| DbError::constraint(format!("heap recovery: {e}")))?;
+        Ok(db)
+    }
+
+    fn with_backend(schema: NetworkSchema, records: Backend) -> DbResult<NetworkDb> {
         schema
             .validate()
             .map_err(|e| DbError::constraint(e.to_string()))?;
@@ -204,7 +534,7 @@ impl NetworkDb {
             .collect();
         Ok(NetworkDb {
             schema,
-            records: BTreeMap::new(),
+            records,
             sets,
             by_type: BTreeMap::new(),
             calc_indexes: RefCell::new(BTreeMap::new()),
@@ -212,6 +542,220 @@ impl NetworkDb {
             stats: AccessStats::default(),
             journal: UndoLog::default(),
         })
+    }
+
+    /// An empty database under `schema` on the **same backend kind** as
+    /// `self` (and, for paged databases, the same page size and pool):
+    /// translation outputs inherit their source's storage discipline, so
+    /// an out-of-core source translates into an out-of-core target.
+    pub fn fresh_like(&self, schema: NetworkSchema) -> DbResult<NetworkDb> {
+        match &self.records {
+            Backend::Mem(_) => NetworkDb::new(schema),
+            Backend::Heap(h) => NetworkDb::new_paged(schema, h.fm.page_size(), h.pool),
+        }
+    }
+
+    /// Whether records are paged through a heap file (vs RAM-resident).
+    pub fn is_paged(&self) -> bool {
+        matches!(self.records, Backend::Heap(_))
+    }
+
+    /// Physical heap statistics (`None` for in-memory databases).
+    pub fn heap_stats(&self) -> Option<HeapStats> {
+        match &self.records {
+            Backend::Mem(_) => None,
+            Backend::Heap(h) => Some(h.stats()),
+        }
+    }
+
+    /// Publish `heap.*` physical gauges (and nothing for Mem databases)
+    /// into the ambient metrics sheet for RunReport assembly.
+    pub fn publish_heap_gauges(&self) {
+        if let Some(st) = self.heap_stats() {
+            dbpc_obs::gauge("heap.pages", st.pages as i64);
+            dbpc_obs::gauge("heap.records", st.records as i64);
+            dbpc_obs::gauge("heap.fill_pct", st.fill_pct as i64);
+        }
+    }
+
+    // -- backend accessors -------------------------------------------------
+
+    /// Run `f` over the record, if it exists. Clone-free in Mem mode; in
+    /// Heap mode the payload is decoded first and the heap borrow is
+    /// released before `f` runs, so `f` may re-enter read APIs.
+    fn with_rec<T>(&self, id: u64, f: impl FnOnce(&StoredRecord) -> T) -> Option<T> {
+        match &self.records {
+            Backend::Mem(m) => m.get(&id).map(f),
+            Backend::Heap(h) => h.fetch(id).as_ref().map(f),
+        }
+    }
+
+    /// Visit every record in ascending-id (= creation) order.
+    fn for_each_rec(&self, f: &mut dyn FnMut(&StoredRecord)) {
+        match &self.records {
+            Backend::Mem(m) => {
+                for rec in m.values() {
+                    f(rec);
+                }
+            }
+            Backend::Heap(h) => {
+                for &id in h.dir.keys().collect::<Vec<_>>() {
+                    if let Some(rec) = h.fetch(id) {
+                        f(&rec);
+                    }
+                }
+            }
+        }
+    }
+
+    fn backend_contains(&self, id: u64) -> bool {
+        match &self.records {
+            Backend::Mem(m) => m.contains_key(&id),
+            Backend::Heap(h) => h.dir.contains_key(&id),
+        }
+    }
+
+    /// Insert a freshly created record (store / undo-of-erase).
+    fn backend_insert(&mut self, rec: StoredRecord) {
+        match &mut self.records {
+            Backend::Mem(m) => {
+                m.insert(rec.id.0, rec);
+            }
+            Backend::Heap(h) => {
+                let id = rec.id.0;
+                let bytes = encode_record(&rec, &[]);
+                let hid = h
+                    .with_heap(|heap| heap.insert(&bytes))
+                    .unwrap_or_else(|e| panic!("heap insert #{id}: {e}"));
+                h.dir.insert(id, hid);
+                h.rtypes.insert(id, rec.rtype);
+                h.link_dirty.insert(id);
+            }
+        }
+    }
+
+    /// Remove a record (erase / undo-of-store), returning it.
+    fn backend_remove(&mut self, id: u64) -> Option<StoredRecord> {
+        match &mut self.records {
+            Backend::Mem(m) => m.remove(&id),
+            Backend::Heap(h) => {
+                let rec = h.fetch(id)?;
+                let hid = h.dir.remove(&id)?;
+                h.rtypes.remove(&id);
+                h.link_dirty.remove(&id);
+                h.with_heap(|heap| heap.erase(hid))
+                    .unwrap_or_else(|e| panic!("heap erase #{id}: {e}"));
+                Some(rec)
+            }
+        }
+    }
+
+    /// Overwrite a record's values (modify / undo-of-modify). Returns
+    /// false if the record does not exist.
+    fn backend_set_values(&mut self, id: u64, values: Vec<Value>) -> bool {
+        match &mut self.records {
+            Backend::Mem(m) => match m.get_mut(&id) {
+                Some(rec) => {
+                    rec.values = values;
+                    true
+                }
+                None => false,
+            },
+            Backend::Heap(h) => {
+                let Some(mut rec) = h.fetch(id) else {
+                    return false;
+                };
+                rec.values = values;
+                // Values rewrite resyncs the link section too (it is
+                // being re-encoded anyway), so drop any pending marker.
+                let links = persisted_links_of(&self.sets, id);
+                let bytes = encode_record(&rec, &links);
+                let hid = h.dir[&id];
+                let new_hid = h
+                    .with_heap(|heap| heap.update(hid, &bytes))
+                    .unwrap_or_else(|e| panic!("heap update #{id}: {e}"));
+                h.dir.insert(id, new_hid);
+                h.link_dirty.remove(&id);
+                true
+            }
+        }
+    }
+
+    /// Record that `id`'s set links changed; its heap payload is
+    /// refreshed lazily by [`NetworkDb::sync_links`]. No-op in Mem mode.
+    fn touch_links(&mut self, id: u64) {
+        if let Backend::Heap(h) = &mut self.records {
+            if h.dir.contains_key(&id) {
+                h.link_dirty.insert(id);
+            }
+        }
+    }
+
+    /// Rewrite the heap payload of every record whose set links changed
+    /// since the last sync, bringing persisted links in line with the
+    /// RAM set stores. Called by checkpoints before flushing pages; a
+    /// no-op for Mem databases and when nothing changed.
+    pub fn sync_links(&mut self) -> DbResult<()> {
+        let Backend::Heap(h) = &mut self.records else {
+            return Ok(());
+        };
+        let pending: Vec<u64> = h.link_dirty.iter().copied().collect();
+        for id in pending {
+            let Some(mut rec) = h.fetch(id) else {
+                h.link_dirty.remove(&id);
+                continue;
+            };
+            let links = persisted_links_of(&self.sets, id);
+            rec.id = RecordId(id);
+            let bytes = encode_record(&rec, &links);
+            let hid = h.dir[&id];
+            let new_hid = h
+                .with_heap(|heap| heap.update(hid, &bytes))
+                .map_err(|e| DbError::constraint(format!("link sync #{id}: {e}")))?;
+            h.dir.insert(id, new_hid);
+            h.link_dirty.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty heap page to disk (no-op for Mem). Does not
+    /// fsync — the caller owns the sync boundary.
+    pub fn flush_heap(&mut self) -> DbResult<()> {
+        match &mut self.records {
+            Backend::Mem(_) => Ok(()),
+            Backend::Heap(h) => h.with_heap(|heap| heap.flush()),
+        }
+    }
+
+    /// Mutable access to the heap's buffer pool (durable checkpoint
+    /// protocol: no-steal policy, dirty-block enumeration, trim).
+    pub(crate) fn heap_buffer(&mut self) -> Option<&mut crate::disk::BufferMgr> {
+        match &mut self.records {
+            Backend::Mem(_) => None,
+            Backend::Heap(h) => Some(h.heap.get_mut().buffer()),
+        }
+    }
+
+    /// Allocator state a physical scan cannot reconstruct: the next
+    /// record id and every set's arrival-sequence counter. The durable
+    /// engine persists this beside the heap at each checkpoint and hands
+    /// it back to [`NetworkDb::recover_paged`].
+    pub fn allocator_state(&self) -> (u64, Vec<(String, u64)>) {
+        (
+            self.next_id,
+            self.sets
+                .iter()
+                .map(|(name, st)| (name.clone(), st.next_seq))
+                .collect(),
+        )
+    }
+
+    /// Largest allocated record id, if any record exists.
+    pub fn max_record_id(&self) -> Option<RecordId> {
+        match &self.records {
+            Backend::Mem(m) => m.keys().next_back().map(|&i| RecordId(i)),
+            Backend::Heap(h) => h.dir.keys().next_back().map(|&i| RecordId(i)),
+        }
     }
 
     /// Open a savepoint. Until it is rolled back or committed, every
@@ -262,7 +806,7 @@ impl NetworkDb {
                     store.unlink(id);
                     store.members.remove(&id);
                 }
-                if let Some(rec) = self.records.remove(&id) {
+                if let Some(rec) = self.backend_remove(id) {
                     if let Some(ids) = self.by_type.get_mut(&rec.rtype) {
                         if let Ok(pos) = ids.binary_search(&id) {
                             ids.remove(pos);
@@ -275,6 +819,7 @@ impl NetworkDb {
                 if let Some(store) = self.sets.get_mut(&set) {
                     store.unlink(member);
                 }
+                self.touch_links(member);
             }
             NetUndo::Unlink {
                 set,
@@ -285,16 +830,15 @@ impl NetworkDb {
                 if let Some(store) = self.sets.get_mut(&set) {
                     store.relink_at(owner, member, ord);
                 }
+                self.touch_links(member);
             }
             NetUndo::Values { id, values } => {
-                let Some(rec) = self.records.get(&id) else {
+                let Some((rtype, current)) =
+                    self.with_rec(id, |r| (r.rtype.clone(), r.values.clone()))
+                else {
                     return;
                 };
-                let rtype = rec.rtype.clone();
-                let current = rec.values.clone();
-                if let Some(r) = self.records.get_mut(&id) {
-                    r.values = values.clone();
-                }
+                self.backend_set_values(id, values.clone());
                 self.index_update(&rtype, &current, &values, id);
             }
             NetUndo::Erase { rec, links } => {
@@ -303,7 +847,7 @@ impl NetworkDb {
                 let pos = ids.partition_point(|&m| m < id);
                 ids.insert(pos, id);
                 self.index_add(&rec.rtype, &rec.values, id);
-                self.records.insert(id, rec);
+                self.backend_insert(rec);
                 for (set, owner, ord) in links {
                     if let Some(store) = self.sets.get_mut(&set) {
                         store.relink_at(owner, id, ord);
@@ -321,12 +865,12 @@ impl NetworkDb {
     pub fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.next_id.hash(&mut h);
-        self.records.len().hash(&mut h);
-        for (id, rec) in &self.records {
-            id.hash(&mut h);
+        self.record_count().hash(&mut h);
+        self.for_each_rec(&mut |rec| {
+            rec.id.0.hash(&mut h);
             rec.rtype.hash(&mut h);
             rec.values.hash(&mut h);
-        }
+        });
         for (name, store) in &self.sets {
             name.hash(&mut h);
             store.next_seq.hash(&mut h);
@@ -354,15 +898,15 @@ impl NetworkDb {
         let mut w = ByteWriter::new();
         w.put_u64(STATE_MAGIC);
         w.put_u64(self.next_id);
-        w.put_u64(self.records.len() as u64);
-        for (id, rec) in &self.records {
-            w.put_u64(*id);
+        w.put_u64(self.record_count() as u64);
+        self.for_each_rec(&mut |rec| {
+            w.put_u64(rec.id.0);
             w.put_str(&rec.rtype);
             w.put_u32(rec.values.len() as u32);
             for v in &rec.values {
                 w.put_value(v);
             }
-        }
+        });
         w.put_u64(self.sets.len() as u64);
         for (name, store) in &self.sets {
             w.put_str(name);
@@ -392,11 +936,47 @@ impl NetworkDb {
     /// indexes rebuild lazily. The result's `fingerprint()` equals the
     /// source's by construction.
     pub fn from_state_bytes(schema: NetworkSchema, bytes: &[u8]) -> DbResult<NetworkDb> {
+        let db = NetworkDb::new(schema)?;
+        Self::load_state_into(db, bytes)
+    }
+
+    /// [`NetworkDb::from_state_bytes`], but into a **paged** database over
+    /// a caller-owned heap file, which must hold no live records (virgin
+    /// pages from a zeroed-out predecessor are fine). The durable engine's
+    /// import path uses this to rebuild a full copy out of core.
+    pub fn from_state_bytes_paged(
+        schema: NetworkSchema,
+        bytes: &[u8],
+        fm: Arc<FileMgr>,
+        file: &str,
+        pool: usize,
+    ) -> DbResult<NetworkDb> {
+        let hb = HeapBackend::on(fm, file, pool)?;
+        if hb.stats().records > 0 {
+            return Err(DbError::constraint(format!(
+                "from_state_bytes_paged: heap file {file} holds records"
+            )));
+        }
+        let db = NetworkDb::with_backend(schema, Backend::Heap(Box::new(hb)))?;
+        Self::load_state_into(db, bytes)
+    }
+
+    /// Copy this database into a **paged** twin over a self-cleaning
+    /// scratch heap file: same schema, same records, same allocator
+    /// state; `fingerprint()` equal by construction. The twin's working
+    /// set is bounded by `pool` frames of `page_size` bytes regardless
+    /// of how large the source is.
+    pub fn to_paged(&self, page_size: usize, pool: usize) -> DbResult<NetworkDb> {
+        let hb = HeapBackend::scratch(page_size, pool)?;
+        let db = NetworkDb::with_backend(self.schema.clone(), Backend::Heap(Box::new(hb)))?;
+        Self::load_state_into(db, &self.state_bytes())
+    }
+
+    fn load_state_into(mut db: NetworkDb, bytes: &[u8]) -> DbResult<NetworkDb> {
         use crate::disk::codec::ByteReader;
         fn decode<T>(r: Result<T, crate::disk::codec::CodecError>) -> DbResult<T> {
             r.map_err(|e| DbError::constraint(format!("state image: {e}")))
         }
-        let mut db = NetworkDb::new(schema)?;
         let mut r = ByteReader::new(bytes);
         if decode(r.get_u64("state magic"))? != STATE_MAGIC {
             return Err(DbError::constraint("state image: bad magic".to_string()));
@@ -412,14 +992,11 @@ impl NetworkDb {
                 values.push(decode(r.get_value("field value"))?);
             }
             db.by_type.entry(rtype.clone()).or_default().push(id);
-            db.records.insert(
-                id,
-                StoredRecord {
-                    id: RecordId(id),
-                    rtype,
-                    values,
-                },
-            );
+            db.backend_insert(StoredRecord {
+                id: RecordId(id),
+                rtype,
+                values,
+            });
         }
         let n_sets = decode(r.get_u64("set count"))?;
         for _ in 0..n_sets {
@@ -467,9 +1044,16 @@ impl NetworkDb {
 
     /// Records with id strictly greater than `after`, ascending. Lets the
     /// durable-translation journal diff "what did this batch store"
-    /// without holding references across the batch.
-    pub fn records_above(&self, after: RecordId) -> impl Iterator<Item = &StoredRecord> {
-        self.records.range(after.0 + 1..).map(|(_, rec)| rec)
+    /// without holding references across the batch. Returned by value:
+    /// paged backends materialize each record from its heap page.
+    pub fn records_above(&self, after: RecordId) -> Vec<StoredRecord> {
+        match &self.records {
+            Backend::Mem(m) => m.range(after.0 + 1..).map(|(_, rec)| rec.clone()).collect(),
+            Backend::Heap(h) => {
+                let ids: Vec<u64> = h.dir.range(after.0 + 1..).map(|(&id, _)| id).collect();
+                ids.into_iter().filter_map(|id| h.fetch(id)).collect()
+            }
+        }
     }
 
     pub fn schema(&self) -> &NetworkSchema {
@@ -482,14 +1066,21 @@ impl NetworkDb {
     }
 
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        match &self.records {
+            Backend::Mem(m) => m.len(),
+            Backend::Heap(h) => h.dir.len(),
+        }
     }
 
-    /// Fetch a record.
-    pub fn get(&self, id: RecordId) -> DbResult<&StoredRecord> {
-        self.records
-            .get(&id.0)
-            .ok_or_else(|| DbError::NotFound(format!("record #{}", id.0)))
+    /// Fetch a record. Returned by value: a paged backend materializes
+    /// the record from its heap page (which may fault the page in), so
+    /// there is no reference into the store to hold across evictions.
+    pub fn get(&self, id: RecordId) -> DbResult<StoredRecord> {
+        match &self.records {
+            Backend::Mem(m) => m.get(&id.0).cloned(),
+            Backend::Heap(h) => h.fetch(id.0),
+        }
+        .ok_or_else(|| DbError::NotFound(format!("record #{}", id.0)))
     }
 
     /// All record ids of a type, in creation order (deterministic).
@@ -542,8 +1133,11 @@ impl NetworkDb {
                 .map(Vec::as_slice)
                 .unwrap_or_default()
             {
-                let rec = &self.records[&id];
-                let k = KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect());
+                let Some(k) = self.with_rec(id, |rec| {
+                    KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect())
+                }) else {
+                    panic!("by_type lists record #{id} missing from the store");
+                };
                 map.entry(k).or_default().push(id);
             }
             map
@@ -593,8 +1187,11 @@ impl NetworkDb {
                 .map(Vec::as_slice)
                 .unwrap_or_default()
             {
-                let rec = &self.records[&id];
-                let k = KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect());
+                let Some(k) = self.with_rec(id, |rec| {
+                    KeyTuple(idxs.iter().map(|&i| rec.values[i].clone()).collect())
+                }) else {
+                    panic!("by_type lists record #{id} missing from the store");
+                };
                 map.entry(k).or_default().push(id);
             }
             map
@@ -637,17 +1234,32 @@ impl NetworkDb {
     /// field of a disconnected member reads as `Null` (the "null instructor"
     /// device of §3.1).
     pub fn field_value(&self, id: RecordId, field: &str) -> DbResult<Value> {
-        let rec = self.get(id)?;
-        let rt = self.record_type(&rec.rtype)?;
-        let idx = rt
-            .field_index(field)
-            .ok_or_else(|| DbError::unknown("field", format!("{}.{}", rec.rtype, field)))?;
-        let fdef = &rt.fields[idx];
-        match &fdef.virtual_via {
-            None => Ok(rec.values[idx].clone()),
-            Some(v) => match self.owner_in(&v.set, id)? {
+        // Resolve in two steps so the virtual-field recursion runs after
+        // the record access completes (no store borrow held across it).
+        enum Fetched {
+            Plain(Value),
+            Virtual { set: String, source: String },
+        }
+        let step = self
+            .with_rec(id.0, |rec| -> DbResult<Fetched> {
+                let rt = self.record_type(&rec.rtype)?;
+                let idx = rt
+                    .field_index(field)
+                    .ok_or_else(|| DbError::unknown("field", format!("{}.{}", rec.rtype, field)))?;
+                match &rt.fields[idx].virtual_via {
+                    None => Ok(Fetched::Plain(rec.values[idx].clone())),
+                    Some(v) => Ok(Fetched::Virtual {
+                        set: v.set.clone(),
+                        source: v.source_field.clone(),
+                    }),
+                }
+            })
+            .ok_or_else(|| DbError::NotFound(format!("record #{}", id.0)))??;
+        match step {
+            Fetched::Plain(v) => Ok(v),
+            Fetched::Virtual { set, source } => match self.owner_in(&set, id)? {
                 None => Ok(Value::Null),
-                Some(owner) => self.field_value(owner, &v.source_field),
+                Some(owner) => self.field_value(owner, &source),
             },
         }
     }
@@ -756,14 +1368,11 @@ impl NetworkDb {
 
         let id = RecordId(self.next_id);
         self.next_id += 1;
-        self.records.insert(
-            id.0,
-            StoredRecord {
-                id,
-                rtype: rtype.to_string(),
-                values: row.clone(),
-            },
-        );
+        self.backend_insert(StoredRecord {
+            id,
+            rtype: rtype.to_string(),
+            values: row.clone(),
+        });
         self.by_type
             .entry(rtype.to_string())
             .or_default()
@@ -788,7 +1397,7 @@ impl NetworkDb {
             .set(set_name)
             .ok_or_else(|| DbError::unknown("set", set_name))?
             .clone();
-        let mem_rec = self.get(member)?.clone();
+        let mem_rec = self.get(member)?;
         if set.member != mem_rec.rtype {
             return Err(DbError::Membership(format!(
                 "record type {} is not the member of set {set_name}",
@@ -811,6 +1420,7 @@ impl NetworkDb {
         let rt = self.record_type(&mem_rec.rtype)?.clone();
         self.check_connectable(&set, owner, &rt, &mem_rec.values)?;
         self.insert_member(&set, owner, member, &rt, &mem_rec.values);
+        self.touch_links(member.0);
         self.journal.record_with(|| NetUndo::Link {
             set: set_name.to_string(),
             member: member.0,
@@ -858,6 +1468,7 @@ impl NetworkDb {
         };
         let ord = store.ord_of.get(&member.0).cloned();
         store.unlink(member.0);
+        self.touch_links(member.0);
         if let Some(ord) = ord {
             self.journal.record_with(|| NetUndo::Unlink {
                 set: set_name.to_string(),
@@ -912,7 +1523,7 @@ impl NetworkDb {
                 for m in members {
                     // A member may already have been erased through another
                     // path in a diamond-shaped cascade.
-                    if self.records.contains_key(&m) {
+                    if self.backend_contains(m) {
                         self.erase_inner(RecordId(m), cascade, erased)?;
                     }
                 }
@@ -945,7 +1556,7 @@ impl NetworkDb {
             store.unlink(id.0);
             store.members.remove(&id.0);
         }
-        let Some(rec) = self.records.remove(&id.0) else {
+        let Some(rec) = self.backend_remove(id.0) else {
             return Err(DbError::NotFound(format!("record #{}", id.0)));
         };
         if let Some(ids) = self.by_type.get_mut(&rec.rtype) {
@@ -962,7 +1573,7 @@ impl NetworkDb {
     /// Modify stored fields of a record (`MODIFY`). Re-sorts the record
     /// within any set occurrence whose keys it changes.
     pub fn modify(&mut self, id: RecordId, assigns: &[(&str, Value)]) -> DbResult<()> {
-        let rec = self.get(id)?.clone();
+        let rec = self.get(id)?;
         let rt = self.record_type(&rec.rtype)?.clone();
         let mut new_row = rec.values.clone();
         for (name, v) in assigns {
@@ -1016,10 +1627,9 @@ impl NetworkDb {
             }
         }
         // Commit the new values, then reposition.
-        let Some(target) = self.records.get_mut(&id.0) else {
+        if !self.backend_set_values(id.0, new_row.clone()) {
             return Err(DbError::NotFound(format!("record #{}", id.0)));
-        };
-        target.values = new_row.clone();
+        }
         self.index_update(&rec.rtype, &rec.values, &new_row, id.0);
         self.journal.record_with(|| NetUndo::Values {
             id: id.0,
@@ -1055,6 +1665,9 @@ impl NetworkDb {
                     });
                 }
             }
+            // Repositioning drew a fresh arrival sequence; the persisted
+            // link section is refreshed at the next sync.
+            self.touch_links(id.0);
         }
         Ok(())
     }
@@ -1149,15 +1762,26 @@ impl NetworkDb {
                     let idxs: Vec<usize> =
                         fields.iter().filter_map(|f| rt.field_index(f)).collect();
                     let key: Vec<&Value> = idxs.iter().map(|&i| &row[i]).collect();
-                    for other in self.records.values() {
-                        if other.rtype != rtype || Some(other.id) == exclude {
+                    // Scan only this type's records (via `by_type`), not
+                    // the whole store — on a paged backend the full scan
+                    // would fault every record's page in.
+                    let ids = self
+                        .by_type
+                        .get(rtype)
+                        .map(Vec::as_slice)
+                        .unwrap_or_default();
+                    for &oid in ids {
+                        if Some(RecordId(oid)) == exclude {
                             continue;
                         }
-                        if idxs
-                            .iter()
-                            .zip(&key)
-                            .all(|(&i, k)| other.values[i].loose_eq(k))
-                        {
+                        let dup = self
+                            .with_rec(oid, |other| {
+                                idxs.iter()
+                                    .zip(&key)
+                                    .all(|(&i, k)| other.values[i].loose_eq(k))
+                            })
+                            .unwrap_or(false);
+                        if dup {
                             return Err(DbError::Duplicate {
                                 scope: format!("record {record}"),
                                 key: fields.join(","),
@@ -1173,11 +1797,11 @@ impl NetworkDb {
 
     /// Key tuple of a member already stored in the database.
     fn member_key(&self, member: u64, keys: &[String]) -> KeyTuple {
-        let mrec = &self.records[&member];
-        match self.schema.record(&mrec.rtype) {
+        self.with_rec(member, |mrec| match self.schema.record(&mrec.rtype) {
             Some(mrt) => key_tuple(mrt, &mrec.values, keys),
             None => KeyTuple(Vec::new()),
-        }
+        })
+        .unwrap_or_else(|| panic!("member #{member} missing from the record store"))
     }
 
     /// Can a record with values `row` be connected under `owner` in `set`?
@@ -1296,14 +1920,14 @@ impl NetworkDb {
     /// reverse maps, and every materialized calc-key index. Used by the
     /// storage-invariant property tests.
     pub fn check_access_structures(&self) -> Result<(), String> {
-        // Per-type record lists ↔ the record heap.
+        // Per-type record lists ↔ the record store.
         let mut want_types: BTreeMap<String, Vec<u64>> = BTreeMap::new();
-        for rec in self.records.values() {
+        self.for_each_rec(&mut |rec| {
             want_types
                 .entry(rec.rtype.clone())
                 .or_default()
                 .push(rec.id.0);
-        }
+        });
         for (rtype, ids) in &self.by_type {
             let want = want_types.remove(rtype).unwrap_or_default();
             if *ids != want {
@@ -1357,13 +1981,13 @@ impl NetworkDb {
         // Calc-key indexes ↔ a fresh rebuild over the record heap.
         for ((rtype, fields), map) in self.calc_indexes.borrow().iter() {
             let mut want: BTreeMap<KeyTuple, Vec<u64>> = BTreeMap::new();
-            for rec in self.records.values() {
+            self.for_each_rec(&mut |rec| {
                 if rec.rtype == *rtype {
                     want.entry(Self::calc_key(&self.schema, rtype, fields, &rec.values))
                         .or_default()
                         .push(rec.id.0);
                 }
-            }
+            });
             if *map != want {
                 return Err(format!(
                     "calc index ({rtype}, {fields:?}) diverged from rebuild"

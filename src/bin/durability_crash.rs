@@ -10,7 +10,13 @@
 //! * `engine <root> <ops> <kill_after|none>` — drive a deterministic
 //!   churn workload through [`DurableNetworkDb`] (one commit per op),
 //!   exiting with code 9 right after commit `kill_after`;
-//! * `probe <root>` — open the directory and print what recovered;
+//! * `ckpt <root> <ops> <torn|short|fsync:<op>>` — same churn with a
+//!   positional disk fault armed on the engine's file manager and tiny
+//!   pages, so the sweep crosses every heap page-flush and checkpoint
+//!   boundary; on fault the acknowledged-commit count is printed and
+//!   the process exits 3 without cleanup;
+//! * `probe <root> [small]` — open the directory and print what
+//!   recovered (`small` matches the `ckpt` writer's 256-byte pages);
 //! * `expect <ops>` — replay the same churn prefix on a plain in-memory
 //!   [`NetworkDb`] and print the fingerprints recovery must hit;
 //! * `translate <root> <kill_at|none> [torn|short|fsync:<op>]` — run
@@ -157,6 +163,90 @@ fn durable_opts() -> DurableOptions {
     }
 }
 
+/// A durable engine whose churn stops dead — report-and-exit, no
+/// cleanup — the moment an injected disk fault surfaces. Ops the engine
+/// acknowledged before the fault are printed so the parent knows which
+/// committed prefix recovery must reproduce.
+struct FaultingDb {
+    db: DurableNetworkDb,
+    acked: usize,
+}
+
+fn bail_faulted(acked: usize) -> ! {
+    println!("{acked}");
+    exit(EXIT_FAULT);
+}
+
+impl Mutator for FaultingDb {
+    fn store(
+        &mut self,
+        rtype: &str,
+        values: &[(&str, Value)],
+        connects: &[(&str, RecordId)],
+    ) -> RecordId {
+        match DurableNetworkDb::store(&mut self.db, rtype, values, connects) {
+            Ok(id) => {
+                self.acked += 1;
+                id
+            }
+            Err(_) => bail_faulted(self.acked),
+        }
+    }
+    fn modify(&mut self, id: RecordId, assigns: &[(&str, Value)]) {
+        match DurableNetworkDb::modify(&mut self.db, id, assigns) {
+            Ok(()) => self.acked += 1,
+            Err(_) => bail_faulted(self.acked),
+        }
+    }
+    fn erase(&mut self, id: RecordId, cascade: bool) {
+        match DurableNetworkDb::erase(&mut self.db, id, cascade) {
+            Ok(_) => self.acked += 1,
+            Err(_) => bail_faulted(self.acked),
+        }
+    }
+    fn age_of(&self, id: RecordId) -> i64 {
+        match self.db.engine().field_value(id, "AGE").unwrap() {
+            Value::Int(a) => a,
+            other => panic!("AGE is not an int: {other:?}"),
+        }
+    }
+    fn checkpoint(&mut self) {
+        // A checkpoint crash is the interesting cell: pre-image, heap
+        // page flush, WAL roll, and manifest flip boundaries all live
+        // inside this call now that records are heap-resident.
+        if DurableNetworkDb::checkpoint(&mut self.db, b"e20").is_err() {
+            bail_faulted(self.acked);
+        }
+    }
+}
+
+/// `ckpt` mode: churn with a positional disk fault armed on the
+/// engine's own file manager. Tiny pages and a tiny pool maximise the
+/// number of per-page physical ops a checkpoint performs, so the fault
+/// index sweep lands on every page-flush and checkpoint boundary. If
+/// the fault never fires the run must finish byte-identical to a
+/// fault-free one (inert cell, exit 0).
+fn run_engine_fault(root: &Path, ops: usize, plan: DiskFaultPlan) {
+    let opts = DurableOptions {
+        page_size: 256,
+        buffers: 4,
+        faults: Some(plan),
+        ..durable_opts()
+    };
+    let db = match DurableNetworkDb::open(root, named::company_schema(), opts) {
+        Ok(db) => db,
+        // Fault during open/recovery: nothing was ever acknowledged.
+        Err(_) => bail_faulted(0),
+    };
+    let mut f = FaultingDb { db, acked: 0 };
+    churn_ops(&mut f, ops, &mut |_| {});
+    print_state(
+        f.db.fingerprint(),
+        f.db.stat_fingerprint(),
+        f.db.generation(),
+    );
+}
+
 fn print_state(fp: u64, stat: u64, n: u64) {
     println!("{fp:016x} {stat:016x} {n}");
 }
@@ -172,8 +262,19 @@ fn run_engine(root: &Path, ops: usize, kill_after: Option<usize>) {
     print_state(db.fingerprint(), db.stat_fingerprint(), db.generation());
 }
 
-fn run_probe(root: &Path) {
-    let db = DurableNetworkDb::open(root, named::company_schema(), durable_opts()).unwrap();
+fn run_probe(root: &Path, small: bool) {
+    let opts = if small {
+        // Match the `ckpt` writer's geometry: page size is a property
+        // of the on-disk files, not a per-open choice.
+        DurableOptions {
+            page_size: 256,
+            buffers: 4,
+            ..durable_opts()
+        }
+    } else {
+        durable_opts()
+    };
+    let db = DurableNetworkDb::open(root, named::company_schema(), opts).unwrap();
     print_state(db.fingerprint(), db.stat_fingerprint(), db.generation());
 }
 
@@ -235,7 +336,8 @@ fn run_translate(root: &Path, kill_at: Option<usize>, fault: Option<DiskFaultPla
 fn usage() -> ! {
     eprintln!(
         "usage: durability_crash engine <root> <ops> <kill_after|none>\n\
-         \x20      durability_crash probe <root>\n\
+         \x20      durability_crash ckpt <root> <ops> <torn|short|fsync:<op>>\n\
+         \x20      durability_crash probe <root> [small]\n\
          \x20      durability_crash expect <ops>\n\
          \x20      durability_crash translate <root> <kill_at|none> [torn|short|fsync:<op>]"
     );
@@ -257,7 +359,16 @@ fn main() {
             let ops = args[3].parse().unwrap_or_else(|_| usage());
             run_engine(Path::new(&args[2]), ops, parse_kill(&args[4]));
         }
-        Some("probe") if args.len() == 3 => run_probe(Path::new(&args[2])),
+        Some("ckpt") if args.len() == 5 => {
+            let ops = args[3].parse().unwrap_or_else(|_| usage());
+            run_engine_fault(Path::new(&args[2]), ops, parse_fault(&args[4]));
+        }
+        Some("probe") if args.len() == 3 || args.len() == 4 => {
+            run_probe(
+                Path::new(&args[2]),
+                args.get(3).map(String::as_str) == Some("small"),
+            );
+        }
         Some("expect") if args.len() == 3 => {
             run_expect(args[2].parse().unwrap_or_else(|_| usage()));
         }

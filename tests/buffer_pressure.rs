@@ -1,0 +1,87 @@
+//! Buffer-pressure equivalence: the paged engine is *transparent*.
+//!
+//! The out-of-core record store must never be observable through the
+//! query interface: running the study's program slice (the same
+//! generated classes behind the E2 success-rate matrix and the E9 cost
+//! model) against a heap-backed database produces byte-identical traces
+//! whether the buffer pool holds 4 frames or comfortably fits the whole
+//! database — and identical to the all-in-RAM engine. The tiny pool is
+//! genuinely under pressure (pages ≫ frames), so every scan and every
+//! mutation below crosses eviction and page-reload paths.
+
+use dbpc::corpus::gen::{generate_program, ProgramClass};
+use dbpc::corpus::named;
+use dbpc::engine::host_exec::run_host;
+use dbpc::engine::Inputs;
+
+const PAGE: usize = 256;
+
+/// (label, pool frames): far below, near, and far above the data size.
+const POOLS: &[(&str, usize)] = &[("tiny", 4), ("medium", 32), ("ample", 4096)];
+
+fn inputs() -> Inputs {
+    Inputs::new().with_terminal(&["RETRIEVE"])
+}
+
+/// The full program slice, applied *sequentially* to one database so
+/// mutating classes (StoreEmp, ModifyAge, …) accumulate: later programs
+/// read state earlier ones wrote through the eviction path.
+fn slice() -> Vec<(ProgramClass, u64)> {
+    let mut progs = Vec::new();
+    for seed in 0..4u64 {
+        for &class in ProgramClass::ALL {
+            progs.push((class, seed));
+        }
+    }
+    progs
+}
+
+#[test]
+fn program_slice_traces_are_pool_size_invariant() {
+    let mem_src = named::company_db(4, 3, 25);
+
+    // Reference: the in-memory engine runs the whole slice.
+    let mut mem = mem_src.clone();
+    let mut expected = Vec::new();
+    for &(class, seed) in &slice() {
+        let p = generate_program(class, seed);
+        expected.push(run_host(&mut mem, &p, inputs()).unwrap());
+    }
+
+    for &(label, pool) in POOLS {
+        let mut db = mem_src.to_paged(PAGE, pool).unwrap();
+        assert!(db.is_paged());
+        assert_eq!(
+            db.fingerprint(),
+            mem_src.fingerprint(),
+            "{label}: paged twin drifted before any program ran"
+        );
+        for (i, &(class, seed)) in slice().iter().enumerate() {
+            let p = generate_program(class, seed);
+            let trace = run_host(&mut db, &p, inputs()).unwrap();
+            assert_eq!(
+                trace, expected[i],
+                "{label} pool ({pool} frames): trace for {class} seed {seed} drifted"
+            );
+        }
+        assert_eq!(
+            db.fingerprint(),
+            mem.fingerprint(),
+            "{label} pool ({pool} frames): final state drifted after the slice"
+        );
+    }
+}
+
+/// The tiny pool really is under pressure: the seeded database spans
+/// several times more heap pages than the pool has frames, so the
+/// equivalence above exercised eviction, not residence.
+#[test]
+fn tiny_pool_is_actually_under_pressure() {
+    let db = named::company_db(4, 3, 25).to_paged(PAGE, 4).unwrap();
+    let stats = db.heap_stats().expect("paged database has heap stats");
+    assert!(
+        stats.pages >= 16,
+        "seed data spans only {} pages — grow the corpus so pool=4 evicts",
+        stats.pages
+    );
+}

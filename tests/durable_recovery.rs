@@ -186,6 +186,93 @@ fn translation_killed_at_every_wal_boundary_recovers_byte_identical() {
     assert_eq!((fp, stat, replayed), (want_fp, want_stat, 0));
 }
 
+/// Crash the heap-backed engine *inside* its checkpoints: with 256-byte
+/// pages and a 4-frame pool, a positional torn write, short write, or
+/// failed fsync lands on undo pre-image writes, heap page flushes, WAL
+/// rolls, and manifest flips. Wherever the fault fires the child dies
+/// with no cleanup after printing how many commits it had acknowledged;
+/// a fault-free probe must recover exactly that committed prefix —
+/// engine and statistics fingerprints both — and the whole matrix must
+/// not move across 1, 2, and 8 worker threads.
+#[test]
+fn heap_checkpoint_faults_recover_the_acknowledged_prefix() {
+    const OPS: usize = 16;
+    // Committed-prefix reference fingerprints, indexed by commit count.
+    let expect: Vec<(u64, u64)> = (0..=OPS)
+        .map(|k| {
+            let (fp, stat, _) = run_ok(&["expect", &k.to_string()]);
+            (fp, stat)
+        })
+        .collect();
+    let cells: Vec<(String, u64)> = ["torn", "short", "fsync"]
+        .iter()
+        .flat_map(|kind| (1..60).step_by(4).map(move |op| (kind.to_string(), op)))
+        .collect();
+    let run_cell = |(kind, op): &(String, u64)| {
+        let spec = format!("{kind}:{op}");
+        let dir = TempDir::new(&format!("e20-ckpt-{kind}-{op}")).unwrap();
+        let root = path_str(dir.path());
+        let out = run(&["ckpt", root, &OPS.to_string(), &spec]);
+        match out.status.code() {
+            // The fault fired mid-I/O and the child died with no cleanup.
+            // Recovery must land on a committed prefix — never a torn or
+            // invented state. A failed fsync corrupts no bytes (and any
+            // flushed heap page is rolled back from its pre-image), so
+            // those cells must recover *exactly* the acknowledged
+            // prefix; a torn/short write may additionally have damaged
+            // acknowledged WAL records sharing the tail page, so there
+            // the bar is prefix integrity, not prefix completeness.
+            Some(EXIT_FAULT) => {
+                let acked: usize = String::from_utf8_lossy(&out.stdout)
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{spec}: bad acked count: {e}"));
+                let (fp, stat, _) = run_ok(&["probe", root, "small"]);
+                if kind == "fsync" {
+                    assert_eq!(
+                        (fp, stat),
+                        expect[acked],
+                        "{spec}: recovery drifted from the {acked}-commit prefix"
+                    );
+                } else {
+                    // One commit was in flight when the write tore; its
+                    // outcome is legitimately unknown (fully logged →
+                    // replayed, truncated → dropped), so the prefix may
+                    // extend one past the acknowledged count.
+                    assert!(
+                        expect[..=(acked + 1).min(OPS)].contains(&(fp, stat)),
+                        "{spec}: recovered state is not a committed prefix \
+                         (acked {acked})"
+                    );
+                }
+                (fp, stat, true)
+            }
+            // Inert cell: the fault index was never reached — the run
+            // must already be byte-identical to the in-memory replay.
+            Some(0) => {
+                let line = String::from_utf8_lossy(&out.stdout);
+                let fp = u64::from_str_radix(line.split_whitespace().next().unwrap(), 16).unwrap();
+                assert_eq!(fp, expect[OPS].0, "{spec}: inert fault changed the outcome");
+                (fp, expect[OPS].1, false)
+            }
+            code => panic!(
+                "{spec}: unexpected exit {code:?}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        }
+    };
+    let reference: Vec<(u64, u64, bool)> = cells.iter().map(run_cell).collect();
+    let fired = reference.iter().filter(|r| r.2).count();
+    assert!(
+        fired >= 6,
+        "only {fired} checkpoint-fault cells fired — matrix too sparse"
+    );
+    for threads in [1, 2, 8] {
+        let got = pool::parallel_map(&cells, threads, |_, cell| run_cell(cell));
+        assert_eq!(got, reference, "ckpt matrix changed at {threads} threads");
+    }
+}
+
 /// The durable substrate's physical counters flow through the ambient
 /// observability layer: a `RunReport` assembled from the thread-local
 /// metrics delta of one durable session reports the WAL, disk, and

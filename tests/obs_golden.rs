@@ -85,6 +85,36 @@ fn clean_conversion_report_renders_stably() {
     assert_golden("run_report_clean.txt", &run.deterministic().to_string());
 }
 
+/// A run against the **out-of-core** engine: the paged twin of the
+/// company database under a 4-frame pool (far smaller than its heap),
+/// so the program's scans cross evictions. The deterministic projection
+/// pins the `heap.*` physical gauges (pages, records, fill factor —
+/// pure functions of the fixed corpus and page size); the racy buffer
+/// traffic (`buffer.evictions` et al.) must ride in the full report but
+/// stay out of the projection, since its exact counts depend on pool
+/// warmth.
+#[test]
+fn paged_engine_report_renders_stably() {
+    let before = dbpc::obs::local_snapshot();
+    let (trace, capture) = dbpc::obs::capture("paged-run", || {
+        let mut db = named::company_db(4, 3, 8).to_paged(256, 4).unwrap();
+        let t =
+            dbpc::engine::host_exec::run_host(&mut db, &fig_4_4_program(), Inputs::new()).unwrap();
+        db.publish_heap_gauges();
+        t
+    });
+    assert!(!trace.is_empty(), "the probe program prints a count");
+    let mut registry = MetricsRegistry::new();
+    registry.absorb(&dbpc::obs::local_snapshot().since(&before));
+    let run = RunReport::assemble("paged-run", vec![capture], registry);
+    let full = run.to_string();
+    assert!(
+        full.contains("buffer.evictions"),
+        "4-frame pool over a multi-page heap must evict; full report:\n{full}"
+    );
+    assert_golden("run_report_paged.txt", &run.deterministic().to_string());
+}
+
 #[test]
 fn optimizer_fault_ladder_report_renders_stably() {
     const KEY: u64 = 31;
